@@ -1,0 +1,11 @@
+// Reproduces Figure 8: feasibility and attack surface for the enterprise
+// network under All / Neighbor / Heimdall access strategies.
+#include "scenarios/enterprise.hpp"
+#include "tradeoff_common.hpp"
+
+int main() {
+  using namespace heimdall;
+  net::Network network = scen::build_enterprise();
+  bench::run_tradeoff("Figure 8 (enterprise)", network, scen::enterprise_policies(network));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 9: feasibility and attack surface for the university
+// network under All / Neighbor / Heimdall access strategies.
+#include "scenarios/university.hpp"
+#include "tradeoff_common.hpp"
+
+int main() {
+  using namespace heimdall;
+  net::Network network = scen::build_university();
+  bench::run_tradeoff("Figure 9 (university)", network, scen::university_policies(network));
+  return 0;
+}

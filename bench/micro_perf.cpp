@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the substrates every experiment
+// rides on: dataplane computation, LPM lookups, flow tracing, reachability,
+// policy verification, twin creation, config round-trips, audit appends,
+// SHA-256 throughput.
+#include <benchmark/benchmark.h>
+
+#include "config/parse.hpp"
+#include "config/serialize.hpp"
+#include "dataplane/reachability.hpp"
+#include "enforcer/audit.hpp"
+#include "scenarios/enterprise.hpp"
+#include "scenarios/university.hpp"
+#include "spec/verify.hpp"
+#include "twin/twin.hpp"
+#include "util/random.hpp"
+#include "util/sha256.hpp"
+
+namespace {
+
+using namespace heimdall;
+
+const net::Network& enterprise() {
+  static const net::Network network = scen::build_enterprise();
+  return network;
+}
+
+const net::Network& university() {
+  static const net::Network network = scen::build_university();
+  return network;
+}
+
+const net::Network& pick(int index) { return index == 0 ? enterprise() : university(); }
+
+void BM_DataplaneCompute(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::Dataplane::compute(network));
+  }
+}
+BENCHMARK(BM_DataplaneCompute)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_FibLookup(benchmark::State& state) {
+  dp::Fib fib;
+  util::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    dp::Route route;
+    route.prefix = net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+                                   static_cast<unsigned>(rng.next_in(8, 32)));
+    route.protocol = dp::RouteProtocol::Static;
+    route.out_iface = net::InterfaceId("e0");
+    fib.insert(route);
+  }
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 12345u;
+    benchmark::DoNotOptimize(fib.lookup(net::Ipv4Address(probe)));
+  }
+}
+BENCHMARK(BM_FibLookup);
+
+void BM_FlowTrace(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  auto hosts = network.device_ids(net::DeviceKind::Host);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::DeviceId& src = hosts[i % hosts.size()];
+    const net::DeviceId& dst = hosts[(i + 1) % hosts.size()];
+    benchmark::DoNotOptimize(dp::trace_hosts(network, dataplane, src, dst));
+    ++i;
+  }
+}
+BENCHMARK(BM_FlowTrace)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_ReachabilityMatrix(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::ReachabilityMatrix::compute(network, dataplane));
+  }
+}
+BENCHMARK(BM_ReachabilityMatrix)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_PolicyVerifyFullPipeline(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  spec::PolicyVerifier verifier(state.range(0) == 0 ? scen::enterprise_policies(network)
+                                                    : scen::university_policies(network));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify_network(network));
+  }
+}
+BENCHMARK(BM_PolicyVerifyFullPipeline)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_TwinCreate(benchmark::State& state) {
+  const net::Network& network = enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  msp::Ticket ticket = msp::Ticket::connectivity(1, net::DeviceId("h2"), net::DeviceId("h4"),
+                                                 "bench", priv::TaskClass::VlanIssue);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        twin::TwinNetwork::create(network, dataplane, ticket, twin::SliceStrategy::TaskDriven));
+  }
+}
+BENCHMARK(BM_TwinCreate);
+
+void BM_ConfigSerializeParse(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string text = cfg::serialize_network(network);
+    benchmark::DoNotOptimize(cfg::parse_network(text));
+  }
+}
+BENCHMARK(BM_ConfigSerializeParse)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_AuditAppend(benchmark::State& state) {
+  enforce::AuditLog log;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        log.append(++t, "tech", enforce::AuditCategory::Command, "interface r1 Gi0/0 down"));
+  }
+}
+BENCHMARK(BM_AuditAppend);
+
+void BM_AuditVerifyChain(benchmark::State& state) {
+  enforce::AuditLog log;
+  for (int i = 0; i < 1000; ++i)
+    log.append(i, "tech", enforce::AuditCategory::Command, "entry");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.verify_chain());
+  }
+}
+BENCHMARK(BM_AuditVerifyChain);
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

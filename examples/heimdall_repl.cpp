@@ -1,0 +1,192 @@
+// Interactive Heimdall session: drive a full twin-network workflow from a
+// terminal (or a piped script). This is the closest thing to the web console
+// an MSP technician would see.
+//
+// Usage:
+//   ./build/examples/heimdall_repl [enterprise|university] [vlan|ospf|isp|acl|route]
+//
+// Meta-commands on top of the twin console grammar:
+//   .slice       show the slice and its rationale
+//   .privileges  dump the active Privilege_msp (JSON)
+//   .escalate <action> <device> [<kind> <name>]   request an escalation
+//   .submit      extract changes and run the policy enforcer
+//   .audit       print the audit trail
+//   .help        list commands
+//   .quit        leave without submitting
+//
+// Example scripted run:
+//   printf 'ping h2 h4\ninterface r7 Fa0/2 switchport-access-vlan 20\n.submit\n' |
+// ./build/examples/heimdall_repl enterprise vlan
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "enforcer/enforcer.hpp"
+#include "twin/presentation.hpp"
+#include "twin/twin.hpp"
+#include "privilege/explain.hpp"
+#include "privilege/json_frontend.hpp"
+#include "scenarios/enterprise.hpp"
+#include "scenarios/university.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace heimdall;
+
+scen::IssueSpec find_issue(const std::string& network, const std::string& key) {
+  bool enterprise = network == "enterprise";
+  auto issues = enterprise ? scen::enterprise_issues() : scen::university_issues();
+  auto extended =
+      enterprise ? scen::enterprise_extended_issues() : scen::university_extended_issues();
+  issues.insert(issues.end(), std::make_move_iterator(extended.begin()),
+                std::make_move_iterator(extended.end()));
+  for (scen::IssueSpec& issue : issues) {
+    if (issue.key == key) return issue;
+  }
+  std::fprintf(stderr, "unknown issue '%s' (try: vlan ospf isp acl route)\n", key.c_str());
+  std::exit(2);
+}
+
+void print_help() {
+  std::printf(
+      "twin console commands:\n"
+      "  show config|interfaces|routes|acls|ospf|vlans <device>\n"
+      "  show topology\n"
+      "  ping|traceroute <src> <dst>\n"
+      "  interface <dev> <if> up|down | address <ip> <mask> | access-group <acl> in|out\n"
+      "            | no-access-group in|out | switchport-access-vlan <n> | ospf-cost <n>\n"
+      "  acl <dev> <name> add [<idx>] <entry...> | remove <idx>; acl <dev> create|delete <name>\n"
+      "  route <dev> add|remove <net> <mask> <nh>\n"
+      "  ospf <dev> network-add|network-remove <addr> <wild> area <n>\n"
+      "  vlan <dev> add|remove <n>; save <dev>\n"
+      "meta: .slice .privileges .explain .inventory .dot .escalate .submit .audit .help .quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string network_name = argc > 1 ? argv[1] : "enterprise";
+  std::string issue_key = argc > 2 ? argv[2] : "vlan";
+  if (network_name != "enterprise" && network_name != "university") {
+    std::fprintf(stderr, "unknown network '%s'\n", network_name.c_str());
+    return 2;
+  }
+
+  net::Network production =
+      network_name == "enterprise" ? scen::build_enterprise() : scen::build_university();
+  std::vector<spec::Policy> policies = network_name == "enterprise"
+                                           ? scen::enterprise_policies(production)
+                                           : scen::university_policies(production);
+  scen::IssueSpec issue = find_issue(network_name, issue_key);
+  issue.inject(production);
+
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  twin::TwinNetwork sandbox = twin::TwinNetwork::create(production, dataplane, issue.ticket);
+  enforce::PolicyEnforcer enforcer(spec::PolicyVerifier(policies),
+                                   enforce::SimulatedEnclave("heimdall-enforcer-v1", "hw-root"));
+  util::VirtualClock clock;
+  enforcer.audit_event(clock, "repl", enforce::AuditCategory::Session,
+                       "session opened for ticket #" + std::to_string(issue.ticket.id));
+
+  std::printf("Heimdall twin session — %s / %s\n", network_name.c_str(), issue_key.c_str());
+  std::printf("ticket #%d: %s\n", issue.ticket.id, issue.ticket.description.c_str());
+  std::printf("twin: %zu of %zu devices visible, %zu secrets scrubbed — '.help' for commands\n\n",
+              sandbox.slice().devices.size(), production.devices().size(),
+              sandbox.scrubbed_secret_count());
+
+  bool submitted = false;
+  std::string line;
+  while (std::printf("heimdall> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    auto trimmed = std::string(util::trim(line));
+    if (trimmed.empty()) continue;
+    clock.advance(3000);
+
+    if (trimmed == ".quit") break;
+    if (trimmed == ".help") {
+      print_help();
+      continue;
+    }
+    if (trimmed == ".slice") {
+      std::printf("%s\n", sandbox.slice().rationale.c_str());
+      continue;
+    }
+    if (trimmed == ".privileges") {
+      std::printf("%s\n", priv::privilege_to_json(sandbox.privileges()).dump(2).c_str());
+      continue;
+    }
+    if (trimmed == ".explain") {
+      std::printf("%s", priv::explain_privileges(sandbox.privileges()).c_str());
+      continue;
+    }
+    if (trimmed == ".inventory") {
+      std::printf("%s", twin::render_inventory(sandbox.emulation().network()).c_str());
+      continue;
+    }
+    if (trimmed == ".dot") {
+      std::printf("%s", twin::render_topology_dot(sandbox.emulation().network()).c_str());
+      continue;
+    }
+    if (trimmed == ".audit") {
+      for (const enforce::AuditEntry& entry : enforcer.audit().entries()) {
+        std::printf("[%2llu] %-9s %s\n", static_cast<unsigned long long>(entry.sequence),
+                    to_string(entry.category).c_str(), entry.message.c_str());
+      }
+      std::printf("chain intact: %s\n", enforcer.audit_intact() ? "yes" : "NO");
+      continue;
+    }
+    if (util::starts_with(trimmed, ".escalate")) {
+      auto tokens = util::split_ws(trimmed);
+      if (tokens.size() < 3) {
+        std::printf("usage: .escalate <action> <device> [<kind> <name>]\n");
+        continue;
+      }
+      try {
+        priv::EscalationRequest request;
+        request.action = priv::parse_action(tokens[1]);
+        request.resource =
+            tokens.size() >= 5
+                ? priv::Resource{tokens[2], priv::parse_object_kind(tokens[3]), tokens[4]}
+                : priv::Resource::whole_device(net::DeviceId(tokens[2]));
+        request.justification = "requested interactively";
+        priv::EscalationResult result = sandbox.request_escalation(request, true);
+        std::printf("escalation -> %s (%s)\n", to_string(result.verdict).c_str(),
+                    result.reason.c_str());
+        enforcer.audit_event(clock, "repl", enforce::AuditCategory::Escalation,
+                             trimmed + " -> " + to_string(result.verdict));
+      } catch (const util::Error& error) {
+        std::printf("error: %s\n", error.what());
+      }
+      continue;
+    }
+    if (trimmed == ".submit") {
+      enforce::QuarantineReport report = enforcer.enforce_with_quarantine(
+          production, sandbox.extract_changes(), sandbox.privileges(), clock, "repl");
+      std::printf("enforcer: %zu applied, %zu intercepted\n", report.applied_changes.size(),
+                  report.quarantined.size());
+      for (const auto& [change, reason] : report.quarantined)
+        std::printf("  intercepted: %s (%s)\n", change.summary().c_str(), reason.c_str());
+      for (const cfg::ConfigChange& change : report.applied_changes)
+        std::printf("  applied: %s\n", change.summary().c_str());
+      std::printf("issue resolved on production: %s\n",
+                  issue.resolved(production) ? "YES" : "not yet");
+      submitted = true;
+      continue;
+    }
+
+    try {
+      twin::CommandResult result = sandbox.run(trimmed);
+      std::printf("%s", result.output.c_str());
+      enforcer.audit_event(clock, "repl", enforce::AuditCategory::Command,
+                           trimmed + (result.ok ? " [ok]" : " [denied/failed]"));
+    } catch (const util::Error& error) {
+      std::printf("parse error: %s\n", error.what());
+    }
+  }
+
+  std::printf("\nsession ended; %zu commands audited; issue resolved: %s\n",
+              enforcer.audit().size(),
+              issue.resolved(production) ? "yes" : (submitted ? "no" : "never submitted"));
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Insider attack demo (paper §2.2 Figure 2 + §4.3 Figure 6): a technician
+// with a legitimate ticket tries to (a) harvest credentials APT10-style and
+// (b) smuggle a malicious permit into the DMZ firewall next to a real fix.
+//
+// The same script is run twice:
+//   * through the baseline RMM with root agents - everything succeeds;
+//   * through Heimdall - the recon is scrubbed/denied and the malicious
+//     rule is intercepted by the policy enforcer, while the fix lands.
+//
+// Run:  ./build/examples/insider_attack
+#include <cstdio>
+
+#include "enforcer/enforcer.hpp"
+#include "msp/attacker.hpp"
+#include "msp/rmm.hpp"
+#include "scenarios/enterprise.hpp"
+#include "twin/twin.hpp"
+
+namespace {
+
+using namespace heimdall;
+
+/// The combined session: legitimate ACL fix + recon + malicious rule.
+std::vector<std::string> insider_session() {
+  return {
+      // Legitimate work: the ticket says h1 lost access to the DMZ app; the
+      // technician (correctly) removes a bogus deny that "someone" added.
+      "show acls r9",
+      "acl r9 DMZ_IN remove 0",
+      // Recon: pull configs hoping for credentials.
+      "show config r9",
+      "show config r6",
+      // Persistence: rotate a password to an attacker-known value.
+      "secret r9 enable_password attacker-owned",
+      // The malicious payload: open the sensitive store h8 to h2's subnet.
+      "acl r9 DMZ_IN add 0 permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255",
+  };
+}
+
+net::Network broken_enterprise() {
+  net::Network production = scen::build_enterprise();
+  // Injected problem for the cover ticket: a stray deny blocking h1 -> DMZ.
+  net::AclEntry bogus;
+  bogus.action = net::AclEntry::Action::Deny;
+  bogus.src = net::Ipv4Prefix::parse("10.0.10.0/24");
+  bogus.dst = net::Ipv4Prefix::parse("10.0.7.0/24");
+  auto& entries = production.device(net::DeviceId("r9")).find_acl("DMZ_IN")->entries;
+  entries.insert(entries.begin(), bogus);
+  return production;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<spec::Policy> policies = scen::enterprise_policies(scen::build_enterprise());
+  spec::PolicyVerifier verifier(policies);
+
+  // ---------------------------------------------------------- baseline ----
+  std::printf("=== baseline: RMM with root agents (the current approach) ===\n");
+  net::Network rmm_production = broken_enterprise();
+  msp::RmmServer server(rmm_production);
+  server.register_user({"tech", "hunter2", false});
+  msp::RmmSession session = server.open_session({"tech", "hunter2", false});
+
+  std::string harvested;
+  for (const std::string& command : insider_session()) {
+    twin::CommandResult result = session.execute(command);
+    if (result.output.find("snmp-server community") != std::string::npos)
+      harvested = "credentials visible in plaintext";
+    std::printf("  rmm> %-68s [%s]\n", command.c_str(), result.ok ? "ok" : "failed");
+  }
+  session.commit();
+  bool baseline_breached = !verifier.verify_network(rmm_production).ok();
+  std::printf("  -> %s; policy check on production: %s\n\n",
+              harvested.empty() ? "no credentials seen" : harvested.c_str(),
+              baseline_breached ? "VIOLATED (h2 can now reach the sensitive store h8)"
+                                : "clean");
+
+  // ---------------------------------------------------------- heimdall ----
+  std::printf("=== Heimdall: twin network + policy enforcer ===\n");
+  net::Network production = broken_enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  msp::Ticket ticket = msp::Ticket::connectivity(99, net::DeviceId("h1"), net::DeviceId("h7"),
+                                                 "h1 lost access to the DMZ app server",
+                                                 priv::TaskClass::AclChange);
+  twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);
+
+  for (const std::string& command : insider_session()) {
+    twin::CommandResult result = twin.run(command);
+    bool denied = result.output.find("DENIED") != std::string::npos;
+    std::printf("  twin> %-67s [%s]\n", command.c_str(),
+                denied ? "DENIED" : (result.ok ? "ok" : "failed"));
+  }
+  std::printf("  (configs shown in the twin are scrubbed: secrets read '%s')\n",
+              twin::kScrubToken);
+
+  enforce::PolicyEnforcer enforcer(verifier,
+                                   enforce::SimulatedEnclave("heimdall-enforcer-v1", "hw-root"));
+  util::VirtualClock clock;
+  // Quarantine mode: legitimate changes are applied, violations intercepted
+  // per change (paper §3).
+  enforce::QuarantineReport report = enforcer.enforce_with_quarantine(
+      production, twin.extract_changes(), twin.privileges(), clock, "tech");
+
+  std::printf("  enforcer: %zu change(s) applied, %zu intercepted\n",
+              report.applied_changes.size(), report.quarantined.size());
+  for (const auto& [change, reason] : report.quarantined)
+    std::printf("    intercepted: %s  (%s)\n", change.summary().c_str(), reason.c_str());
+  for (const cfg::ConfigChange& change : report.applied_changes)
+    std::printf("    applied:     %s\n", change.summary().c_str());
+
+  bool heimdall_clean = verifier.verify_network(production).ok();
+  std::printf("  -> policy check on production: %s\n",
+              heimdall_clean ? "clean (fix landed, attack intercepted)" : "VIOLATED");
+
+  std::printf("\naudit trail (tamper-evident, head sealed in the enclave):\n");
+  for (const enforce::AuditEntry& entry : enforcer.audit().entries()) {
+    if (entry.category == enforce::AuditCategory::Violation)
+      std::printf("  [%llu] %s\n", static_cast<unsigned long long>(entry.sequence),
+                  entry.message.c_str());
+  }
+  return (baseline_breached && heimdall_clean) ? 0 : 1;
+}

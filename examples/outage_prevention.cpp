@@ -1,0 +1,75 @@
+// Careless-technician demo (paper §2.2, Figure 3): the "sudo rm -rf *"
+// moment. A technician with a routine ticket erases the border router's
+// configuration by accident.
+//
+//   * Baseline RMM: the command executes on production; the enterprise
+//     loses its uplink and most of its reachability policies fail.
+//   * Heimdall, twin path: the erase is denied by the Privilege_msp before
+//     it touches even the emulated network.
+//   * Heimdall, emergency mode (paper §7): a privileged erase is executed
+//     on a shadow first, fails post-state verification, and is rolled back.
+//
+// Run:  ./build/examples/outage_prevention
+#include <cstdio>
+
+#include "enforcer/enforcer.hpp"
+#include "msp/attacker.hpp"
+#include "msp/rmm.hpp"
+#include "scenarios/enterprise.hpp"
+#include "twin/twin.hpp"
+
+int main() {
+  using namespace heimdall;
+  std::vector<spec::Policy> policies = scen::enterprise_policies(scen::build_enterprise());
+  spec::PolicyVerifier verifier(policies);
+  msp::AttackScript accident = msp::careless_erase(net::DeviceId("r6"));
+  std::printf("the accident-in-waiting: '%s'\n\n", accident.commands.front().c_str());
+
+  // ---------------------------------------------------------- baseline ----
+  std::printf("=== baseline RMM ===\n");
+  net::Network rmm_production = scen::build_enterprise();
+  msp::RmmServer server(rmm_production);
+  server.register_user({"tech", "pw", false});
+  msp::RmmSession session = server.open_session({"tech", "pw", false});
+  session.execute(accident.commands.front());
+  session.commit();
+  spec::VerificationReport damage = verifier.verify_network(rmm_production);
+  std::printf("  erase executed; %zu of %zu policies now violated "
+              "(network outage, paper Figure 3)\n\n",
+              damage.violations.size(), damage.checked);
+
+  // ------------------------------------------------- heimdall twin path ----
+  std::printf("=== Heimdall twin ===\n");
+  net::Network production = scen::build_enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  msp::Ticket ticket = msp::Ticket::connectivity(55, net::DeviceId("ext"), net::DeviceId("h1"),
+                                                 "routine border maintenance",
+                                                 priv::TaskClass::IspReconfig);
+  twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);
+  twin::CommandResult result = twin.run(accident.commands.front());
+  std::printf("  twin> %s\n  %s\n", accident.commands.front().c_str(), result.output.c_str());
+  std::printf("  production untouched; %zu policies still hold\n\n",
+              verifier.verify_network(production).checked);
+
+  // -------------------------------------------- heimdall emergency mode ----
+  std::printf("=== Heimdall emergency mode ===\n");
+  enforce::PolicyEnforcer enforcer(verifier,
+                                   enforce::SimulatedEnclave("heimdall-enforcer-v1", "hw-root"));
+  util::VirtualClock clock;
+  // Emergency mode runs with broader privileges (the admin has approved
+  // direct access) - but verification still gates production.
+  priv::PrivilegeSpec emergency_privileges;
+  emergency_privileges.allow(priv::all_actions(),
+                             priv::Resource{"*", priv::ObjectKind::Device, ""});
+  enforce::EmergencyResult emergency = enforcer.emergency_execute(
+      production, accident.commands.front(), emergency_privileges, clock, "tech");
+  std::printf("  permitted=%s applied=%s\n", emergency.permitted ? "yes" : "no",
+              emergency.applied ? "yes" : "no (rolled back)");
+  for (const std::string& reason : emergency.rejection_reasons)
+    std::printf("    - %s\n", reason.c_str());
+
+  bool still_healthy = verifier.verify_network(production).ok();
+  std::printf("\nproduction after all three attempts: %s\n",
+              still_healthy ? "healthy (outage prevented twice)" : "BROKEN");
+  return still_healthy ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Privilege-escalation demo (paper §7): a ticket's privileges evolve as the
+// diagnosis narrows. The technician starts with routing-scoped privileges,
+// discovers the problem is actually a firewall rule, and escalates —
+// legitimately — to ACL editing, while illegitimate escalation attempts are
+// rejected.
+//
+// Run:  ./build/examples/privilege_escalation
+#include <cstdio>
+
+#include "enforcer/enforcer.hpp"
+#include "scenarios/enterprise.hpp"
+#include "twin/twin.hpp"
+
+namespace {
+
+using namespace heimdall;
+
+void attempt(twin::TwinNetwork& twin, const char* command) {
+  twin::CommandResult result = twin.run(command);
+  bool denied = result.output.find("DENIED") != std::string::npos;
+  std::printf("  twin> %-66s [%s]\n", command,
+              denied ? "DENIED" : (result.ok ? "ok" : "failed"));
+}
+
+void escalate(twin::TwinNetwork& twin, priv::Action action, priv::Resource resource,
+              const char* why, bool admin_approved = false) {
+  priv::EscalationResult result =
+      twin.request_escalation({action, resource, why}, admin_approved);
+  std::printf("  escalation: %-22s on %-28s -> %s (%s)\n",
+              priv::to_string(action).c_str(), resource.to_string().c_str(),
+              priv::to_string(result.verdict).c_str(), result.reason.c_str());
+}
+
+}  // namespace
+
+int main() {
+  net::Network production = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(production);
+
+  // The real problem: a deny entry in the DMZ firewall blocks h1 -> h7,
+  // but the ticket was filed as a *routing* issue.
+  net::AclEntry bogus;
+  bogus.action = net::AclEntry::Action::Deny;
+  bogus.src = net::Ipv4Prefix::parse("10.0.10.0/24");
+  bogus.dst = net::Ipv4Prefix::parse("10.0.7.0/24");
+  auto& entries = production.device(net::DeviceId("r9")).find_acl("DMZ_IN")->entries;
+  entries.insert(entries.begin(), bogus);
+
+  msp::Ticket ticket = msp::Ticket::connectivity(
+      77, net::DeviceId("h1"), net::DeviceId("h7"),
+      "h1 cannot reach the DMZ app server - suspected routing problem",
+      priv::TaskClass::OspfIssue);
+
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);
+  std::printf("ticket filed as %s; twin covers %zu devices\n\n",
+              to_string(ticket.task).c_str(), twin.slice().devices.size());
+
+  std::printf("phase 1: routing diagnosis (granted by the task class)\n");
+  attempt(twin, "ping h1 h7");
+  attempt(twin, "show routes r2");
+  attempt(twin, "show ospf r9");
+  std::printf("\n");
+
+  std::printf("phase 2: routing is fine; the ACL is suspect - but ACL edits are\n"
+              "out of class for an OSPF ticket:\n");
+  attempt(twin, "show acls r9");
+  attempt(twin, "acl r9 DMZ_IN remove 0");
+  std::printf("\n");
+
+  std::printf("phase 3: escalation requests\n");
+  // Legitimate: read + edit the suspect ACL, inside the slice, with a
+  // justification. The mutation needs customer approval (out of class).
+  escalate(twin, priv::Action::AclEdit, priv::Resource::acl(net::DeviceId("r9"), "DMZ_IN"),
+           "routing verified clean; deny entry in DMZ_IN matches the broken flow",
+           /*admin_approved=*/true);
+  // Illegitimate: a device outside the slice.
+  escalate(twin, priv::Action::ShowConfig, priv::Resource::whole_device(net::DeviceId("r6")),
+           "just curious");
+  // Illegitimate: high-impact action.
+  escalate(twin, priv::Action::EraseConfig, priv::Resource::whole_device(net::DeviceId("r9")),
+           "fastest way to clear the ACL");
+  // Illegitimate: secrets.
+  escalate(twin, priv::Action::ChangeSecret,
+           priv::Resource::secret(net::DeviceId("r9"), "enable_password"), "lost the password");
+  std::printf("\n");
+
+  std::printf("phase 4: fix with the escalated privilege\n");
+  attempt(twin, "acl r9 DMZ_IN remove 0");
+  attempt(twin, "ping h1 h7");
+  std::printf("\n");
+
+  enforce::PolicyEnforcer enforcer(spec::PolicyVerifier(policies),
+                                   enforce::SimulatedEnclave("heimdall-enforcer-v1", "hw-root"));
+  util::VirtualClock clock;
+  enforce::EnforcementReport report =
+      enforcer.enforce(production, twin.extract_changes(), twin.privileges(), clock, "tech");
+  bool healthy = spec::PolicyVerifier(policies).verify_network(production).ok();
+  std::printf("enforcer applied the fix: %s; production healthy: %s\n",
+              report.applied ? "yes" : "no", healthy ? "yes" : "no");
+  return (report.applied && healthy) ? 0 : 1;
+}

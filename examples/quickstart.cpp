@@ -1,0 +1,71 @@
+// Quickstart: the complete Heimdall workflow in ~80 lines.
+//
+//   1. Build (or load) a production network and mine its policies.
+//   2. A ticket arrives; production is broken.
+//   3. Create the twin network (task-driven slice, scrubbed, mediated).
+//   4. The technician troubleshoots and fixes the issue inside the twin.
+//   5. The policy enforcer verifies, schedules and applies the changes.
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "enforcer/enforcer.hpp"
+#include "msp/ticket.hpp"
+#include "scenarios/enterprise.hpp"
+#include "twin/twin.hpp"
+
+int main() {
+  using namespace heimdall;
+
+  // 1. The customer's production network + its pinned policies.
+  net::Network production = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(production);
+  std::printf("production: %zu devices, %zu policies pinned\n\n", production.devices().size(),
+              policies.size());
+
+  // 2. Overnight, a change window left h2's access port in the wrong VLAN.
+  production.device(net::DeviceId("r7")).interface(net::InterfaceId("Fa0/2")).access_vlan = 10;
+  msp::Ticket ticket = msp::Ticket::connectivity(
+      4711, net::DeviceId("h2"), net::DeviceId("h4"),
+      "web clients on h2 cannot reach the app server h4", priv::TaskClass::VlanIssue);
+  std::printf("ticket #%d: %s\n\n", ticket.id, ticket.description.c_str());
+
+  // 3. Twin network: sliced to the task, secrets scrubbed, every command
+  //    mediated against a generated Privilege_msp.
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);
+  std::printf("twin created: %zu of %zu devices visible, %zu secrets scrubbed\n",
+              twin.slice().devices.size(), production.devices().size(),
+              twin.scrubbed_secret_count());
+  std::printf("slice rationale:\n%s\n", twin.slice().rationale.c_str());
+
+  // 4. The technician works inside the twin.
+  for (const char* command : {
+           "ping h2 h4",                                    // reproduce the issue
+           "show interfaces r7",                            // inspect the access switch
+           "interface r7 Fa0/2 switchport-access-vlan 20",  // fix
+           "ping h2 h4",                                    // confirm
+       }) {
+    twin::CommandResult result = twin.run(command);
+    std::printf("twin> %s\n%s\n", command, result.output.c_str());
+  }
+
+  // 5. Enforce: verify the changeset against the policies, schedule, apply.
+  enforce::PolicyEnforcer enforcer(spec::PolicyVerifier(policies),
+                                   enforce::SimulatedEnclave("heimdall-enforcer-v1", "hw-root"));
+  util::VirtualClock clock;
+  enforce::EnforcementReport report =
+      enforcer.enforce(production, twin.extract_changes(), twin.privileges(), clock, "tech-7");
+
+  std::printf("enforcer: changeset %s (%zu policies checked)\n",
+              report.applied ? "APPROVED and applied" : "REJECTED",
+              report.verification.policy_report.checked);
+  for (const enforce::ScheduledStep& step : report.plan.steps)
+    std::printf("  applied: %s\n", step.change.summary().c_str());
+
+  bool healthy = spec::PolicyVerifier(policies).verify_network(production).ok();
+  std::printf("\nproduction healthy again: %s; audit trail intact: %s (%zu entries)\n",
+              healthy ? "yes" : "NO", enforcer.audit_intact() ? "yes" : "NO",
+              enforcer.audit().size());
+  return healthy ? 0 : 1;
+}

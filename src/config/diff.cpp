@@ -1,0 +1,369 @@
+#include "config/diff.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace heimdall::cfg {
+
+using namespace heimdall::net;
+
+std::string to_string(AclDirection direction) {
+  return direction == AclDirection::In ? "in" : "out";
+}
+
+namespace {
+
+std::string render_optional_address(const std::optional<InterfaceAddress>& address) {
+  return address ? address->to_string() : "(none)";
+}
+
+std::string render_optional_cost(const std::optional<unsigned>& cost) {
+  return cost ? std::to_string(*cost) : "(default)";
+}
+
+struct SummaryVisitor {
+  std::string operator()(const InterfaceAdminChange& c) const {
+    return "interface " + c.iface.str() + (c.new_shutdown ? " shutdown" : " no shutdown");
+  }
+  std::string operator()(const InterfaceAddressChange& c) const {
+    return "interface " + c.iface.str() + " address " + render_optional_address(c.old_address) +
+           " -> " + render_optional_address(c.new_address);
+  }
+  std::string operator()(const InterfaceAclBindingChange& c) const {
+    return "interface " + c.iface.str() + " access-group " + to_string(c.direction) + " '" +
+           c.old_acl + "' -> '" + c.new_acl + "'";
+  }
+  std::string operator()(const SwitchportChange& c) const {
+    return "interface " + c.iface.str() + " switchport " + net::to_string(c.old_mode) + "/vlan" +
+           std::to_string(c.old_access_vlan) + " -> " + net::to_string(c.new_mode) + "/vlan" +
+           std::to_string(c.new_access_vlan);
+  }
+  std::string operator()(const OspfCostChange& c) const {
+    return "interface " + c.iface.str() + " ospf cost " + render_optional_cost(c.old_cost) +
+           " -> " + render_optional_cost(c.new_cost);
+  }
+  std::string operator()(const AclEntryAdd& c) const {
+    return "acl " + c.acl + " insert@" + std::to_string(c.index) + " '" + c.entry.to_string() + "'";
+  }
+  std::string operator()(const AclEntryRemove& c) const {
+    return "acl " + c.acl + " remove@" + std::to_string(c.index) + " '" + c.entry.to_string() + "'";
+  }
+  std::string operator()(const AclCreate& c) const {
+    return "acl " + c.acl.name + " created (" + std::to_string(c.acl.entries.size()) + " entries)";
+  }
+  std::string operator()(const AclDelete& c) const { return "acl " + c.name + " deleted"; }
+  std::string operator()(const StaticRouteAdd& c) const {
+    return "static route add " + c.route.prefix.to_string() + " via " + c.route.next_hop.to_string();
+  }
+  std::string operator()(const StaticRouteRemove& c) const {
+    return "static route remove " + c.route.prefix.to_string() + " via " +
+           c.route.next_hop.to_string();
+  }
+  std::string operator()(const OspfNetworkAdd& c) const {
+    return "ospf network add " + c.network.prefix.to_string() + " area " +
+           std::to_string(c.network.area);
+  }
+  std::string operator()(const OspfNetworkRemove& c) const {
+    return "ospf network remove " + c.network.prefix.to_string() + " area " +
+           std::to_string(c.network.area);
+  }
+  std::string operator()(const OspfProcessChange& c) const {
+    if (c.new_process && !c.old_process) return "ospf process enabled";
+    if (!c.new_process && c.old_process) return "ospf process disabled";
+    return "ospf process reconfigured";
+  }
+  std::string operator()(const VlanDeclare& c) const {
+    return "vlan " + std::to_string(c.vlan) + " declared";
+  }
+  std::string operator()(const VlanRemove& c) const {
+    return "vlan " + std::to_string(c.vlan) + " removed";
+  }
+  std::string operator()(const SecretChange& c) const { return "secret changed: " + c.field; }
+};
+
+void diff_interface(const DeviceId& device, const Interface& before, const Interface& after,
+                    std::vector<ConfigChange>& out) {
+  if (before.shutdown != after.shutdown) {
+    out.push_back({device, InterfaceAdminChange{before.id, before.shutdown, after.shutdown}});
+  }
+  if (before.address != after.address) {
+    out.push_back({device, InterfaceAddressChange{before.id, before.address, after.address}});
+  }
+  if (before.acl_in != after.acl_in) {
+    out.push_back(
+        {device, InterfaceAclBindingChange{before.id, AclDirection::In, before.acl_in, after.acl_in}});
+  }
+  if (before.acl_out != after.acl_out) {
+    out.push_back({device, InterfaceAclBindingChange{before.id, AclDirection::Out, before.acl_out,
+                                                     after.acl_out}});
+  }
+  if (before.mode != after.mode || before.access_vlan != after.access_vlan ||
+      before.trunk_allowed != after.trunk_allowed) {
+    out.push_back({device, SwitchportChange{before.id, before.mode, after.mode, before.access_vlan,
+                                            after.access_vlan, before.trunk_allowed,
+                                            after.trunk_allowed}});
+  }
+  if (before.ospf_cost != after.ospf_cost) {
+    out.push_back({device, OspfCostChange{before.id, before.ospf_cost, after.ospf_cost}});
+  }
+}
+
+void diff_acls(const DeviceId& device, const Device& before, const Device& after,
+               std::vector<ConfigChange>& out) {
+  for (const Acl& old_acl : before.acls()) {
+    const Acl* new_acl = after.find_acl(old_acl.name);
+    if (!new_acl) {
+      out.push_back({device, AclDelete{old_acl.name}});
+      continue;
+    }
+    if (old_acl.entries == new_acl->entries) continue;
+    // Entry-level diff via LCS so that a single inserted/removed/modified line
+    // yields a minimal change list (a modified line becomes remove+add).
+    const auto& a = old_acl.entries;
+    const auto& b = new_acl->entries;
+    std::vector<std::vector<std::size_t>> lcs(a.size() + 1, std::vector<std::size_t>(b.size() + 1, 0));
+    for (std::size_t i = a.size(); i-- > 0;) {
+      for (std::size_t j = b.size(); j-- > 0;) {
+        lcs[i][j] = a[i] == b[j] ? lcs[i + 1][j + 1] + 1 : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+      }
+    }
+    // Walk the LCS emitting removals (at the *current* index, accounting for
+    // previously-applied edits) and insertions. `cursor` tracks the index in
+    // the list as it exists after the edits emitted so far.
+    std::size_t i = 0, j = 0, cursor = 0;
+    while (i < a.size() || j < b.size()) {
+      if (i < a.size() && j < b.size() && a[i] == b[j]) {
+        ++i;
+        ++j;
+        ++cursor;
+      } else if (j < b.size() && (i == a.size() || lcs[i][j + 1] >= lcs[i + 1][j])) {
+        out.push_back({device, AclEntryAdd{old_acl.name, cursor, b[j]}});
+        ++j;
+        ++cursor;
+      } else {
+        out.push_back({device, AclEntryRemove{old_acl.name, cursor, a[i]}});
+        ++i;
+      }
+    }
+  }
+  for (const Acl& new_acl : after.acls()) {
+    if (!before.find_acl(new_acl.name)) out.push_back({device, AclCreate{new_acl}});
+  }
+}
+
+template <typename T, typename MakeAdd, typename MakeRemove>
+void diff_sets(const DeviceId& device, const std::vector<T>& before, const std::vector<T>& after,
+               MakeAdd make_add, MakeRemove make_remove, std::vector<ConfigChange>& out) {
+  for (const T& item : before) {
+    if (std::find(after.begin(), after.end(), item) == after.end())
+      out.push_back({device, make_remove(item)});
+  }
+  for (const T& item : after) {
+    if (std::find(before.begin(), before.end(), item) == before.end())
+      out.push_back({device, make_add(item)});
+  }
+}
+
+}  // namespace
+
+std::string ConfigChange::summary() const {
+  return device.str() + ": " + std::visit(SummaryVisitor{}, detail);
+}
+
+std::vector<ConfigChange> diff_devices(const Device& before, const Device& after) {
+  util::require(before.id() == after.id(),
+                "diff_devices: device ids differ (" + before.id().str() + " vs " +
+                    after.id().str() + ")");
+  const DeviceId& device = before.id();
+  std::vector<ConfigChange> out;
+
+  // Interfaces: same set expected (twin sessions cannot add hardware).
+  for (const Interface& old_iface : before.interfaces()) {
+    const Interface* new_iface = after.find_interface(old_iface.id);
+    util::require(new_iface != nullptr,
+                  "diff_devices: interface removed: " + old_iface.id.str());
+    diff_interface(device, old_iface, *new_iface, out);
+  }
+  for (const Interface& new_iface : after.interfaces()) {
+    util::require(before.find_interface(new_iface.id) != nullptr,
+                  "diff_devices: interface added: " + new_iface.id.str());
+  }
+
+  diff_acls(device, before, after, out);
+
+  diff_sets(
+      device, before.static_routes(), after.static_routes(),
+      [](const StaticRoute& r) { return StaticRouteAdd{r}; },
+      [](const StaticRoute& r) { return StaticRouteRemove{r}; }, out);
+
+  // OSPF process.
+  const auto& old_ospf = before.ospf();
+  const auto& new_ospf = after.ospf();
+  if (old_ospf.has_value() != new_ospf.has_value()) {
+    out.push_back({device, OspfProcessChange{old_ospf, new_ospf}});
+  } else if (old_ospf && new_ospf && !(*old_ospf == *new_ospf)) {
+    // Same process present on both sides: decompose into network-statement
+    // add/removes when only those differ; otherwise a wholesale change.
+    OspfProcess old_stripped = *old_ospf;
+    OspfProcess new_stripped = *new_ospf;
+    old_stripped.networks.clear();
+    new_stripped.networks.clear();
+    if (old_stripped == new_stripped) {
+      diff_sets(
+          device, old_ospf->networks, new_ospf->networks,
+          [](const OspfNetwork& n) { return OspfNetworkAdd{n}; },
+          [](const OspfNetwork& n) { return OspfNetworkRemove{n}; }, out);
+    } else {
+      out.push_back({device, OspfProcessChange{old_ospf, new_ospf}});
+    }
+  }
+
+  diff_sets(
+      device, before.vlans(), after.vlans(), [](VlanId v) { return VlanDeclare{v}; },
+      [](VlanId v) { return VlanRemove{v}; }, out);
+
+  // Secrets: record *which* field changed, never the value.
+  if (before.secrets().enable_password != after.secrets().enable_password)
+    out.push_back({device, SecretChange{"enable_password"}});
+  if (before.secrets().snmp_community != after.secrets().snmp_community)
+    out.push_back({device, SecretChange{"snmp_community"}});
+  if (before.secrets().ipsec_key != after.secrets().ipsec_key)
+    out.push_back({device, SecretChange{"ipsec_key"}});
+
+  return out;
+}
+
+std::vector<ConfigChange> diff_networks(const Network& before, const Network& after) {
+  std::vector<ConfigChange> out;
+  for (const Device& old_device : before.devices()) {
+    const Device* new_device = after.find_device(old_device.id());
+    if (!new_device) continue;  // device absent from twin slice: unchanged
+    auto changes = diff_devices(old_device, *new_device);
+    out.insert(out.end(), changes.begin(), changes.end());
+  }
+  for (const Device& new_device : after.devices()) {
+    util::require(before.find_device(new_device.id()) != nullptr,
+                  "diff_networks: device added: " + new_device.id().str());
+  }
+  return out;
+}
+
+namespace {
+
+struct ApplyVisitor {
+  Network& network;
+  const DeviceId& device_id;
+
+  Device& device() { return network.device(device_id); }
+
+  void operator()(const InterfaceAdminChange& c) {
+    device().interface(c.iface).shutdown = c.new_shutdown;
+  }
+  void operator()(const InterfaceAddressChange& c) {
+    device().interface(c.iface).address = c.new_address;
+  }
+  void operator()(const InterfaceAclBindingChange& c) {
+    Interface& iface = device().interface(c.iface);
+    (c.direction == AclDirection::In ? iface.acl_in : iface.acl_out) = c.new_acl;
+  }
+  void operator()(const SwitchportChange& c) {
+    Interface& iface = device().interface(c.iface);
+    iface.mode = c.new_mode;
+    iface.access_vlan = c.new_access_vlan;
+    iface.trunk_allowed = c.new_trunk;
+  }
+  void operator()(const OspfCostChange& c) {
+    device().interface(c.iface).ospf_cost = c.new_cost;
+  }
+  void operator()(const AclEntryAdd& c) {
+    Acl* acl = device().find_acl(c.acl);
+    if (!acl) throw util::NotFoundError("apply_change: no ACL '" + c.acl + "'");
+    // Clamp: when sibling edits were filtered out (enforcer quarantine) the
+    // recorded index can exceed the current size; appending preserves the
+    // change's content semantics.
+    std::size_t index = std::min(c.index, acl->entries.size());
+    acl->entries.insert(acl->entries.begin() + static_cast<std::ptrdiff_t>(index), c.entry);
+  }
+  void operator()(const AclEntryRemove& c) {
+    Acl* acl = device().find_acl(c.acl);
+    if (!acl) throw util::NotFoundError("apply_change: no ACL '" + c.acl + "'");
+    // Prefer the recorded index when it still matches; otherwise fall back
+    // to content addressing (mirrors IOS, where ACL edits target sequence
+    // content, and keeps sibling edits replayable after quarantine).
+    if (c.index < acl->entries.size() && acl->entries[c.index] == c.entry) {
+      acl->entries.erase(acl->entries.begin() + static_cast<std::ptrdiff_t>(c.index));
+      return;
+    }
+    auto it = std::find(acl->entries.begin(), acl->entries.end(), c.entry);
+    util::require(it != acl->entries.end(),
+                  "apply_change: ACL entry not present: '" + c.entry.to_string() + "'");
+    acl->entries.erase(it);
+  }
+  void operator()(const AclCreate& c) { device().add_acl(c.acl); }
+  void operator()(const AclDelete& c) {
+    util::require(device().find_acl(c.name) != nullptr, "apply_change: no ACL '" + c.name + "'");
+    device().remove_acl(c.name);
+  }
+  void operator()(const StaticRouteAdd& c) {
+    auto& routes = device().static_routes();
+    util::require(std::find(routes.begin(), routes.end(), c.route) == routes.end(),
+                  "apply_change: duplicate static route");
+    routes.push_back(c.route);
+  }
+  void operator()(const StaticRouteRemove& c) {
+    auto& routes = device().static_routes();
+    auto it = std::find(routes.begin(), routes.end(), c.route);
+    util::require(it != routes.end(), "apply_change: static route not present");
+    routes.erase(it);
+  }
+  void operator()(const OspfNetworkAdd& c) {
+    auto& ospf = device().ospf();
+    util::require(ospf.has_value(), "apply_change: device has no OSPF process");
+    ospf->networks.push_back(c.network);
+  }
+  void operator()(const OspfNetworkRemove& c) {
+    auto& ospf = device().ospf();
+    util::require(ospf.has_value(), "apply_change: device has no OSPF process");
+    auto it = std::find(ospf->networks.begin(), ospf->networks.end(), c.network);
+    util::require(it != ospf->networks.end(), "apply_change: ospf network not present");
+    ospf->networks.erase(it);
+  }
+  void operator()(const OspfProcessChange& c) { device().ospf() = c.new_process; }
+  void operator()(const VlanDeclare& c) {
+    util::require(!device().has_vlan(c.vlan), "apply_change: vlan already declared");
+    device().vlans().push_back(c.vlan);
+  }
+  void operator()(const VlanRemove& c) {
+    auto& vlans = device().vlans();
+    auto it = std::find(vlans.begin(), vlans.end(), c.vlan);
+    util::require(it != vlans.end(), "apply_change: vlan not declared");
+    vlans.erase(it);
+  }
+  void operator()(const SecretChange& c) {
+    // Secret values are not carried in change records; replaying one marks
+    // the field as rotated with a placeholder so diffs remain visible.
+    DeviceSecrets& secrets = device().secrets();
+    if (c.field == "enable_password")
+      secrets.enable_password += "*";
+    else if (c.field == "snmp_community")
+      secrets.snmp_community += "*";
+    else if (c.field == "ipsec_key")
+      secrets.ipsec_key += "*";
+    else
+      throw util::InvariantError("apply_change: unknown secret field '" + c.field + "'");
+  }
+};
+
+}  // namespace
+
+void apply_change(Network& network, const ConfigChange& change) {
+  ApplyVisitor visitor{network, change.device};
+  std::visit(visitor, change.detail);
+}
+
+void apply_changes(Network& network, const std::vector<ConfigChange>& changes) {
+  for (const ConfigChange& change : changes) apply_change(network, change);
+}
+
+}  // namespace heimdall::cfg

@@ -1,0 +1,178 @@
+// Semantic configuration diff.
+//
+// The policy enforcer does not look at raw text diffs: it extracts *typed*
+// changes (an ACL entry flipped, an interface brought up, a route added) so
+// it can (1) map each change to a privilege Action x Resource for compliance
+// checking, (2) replay changes onto a shadow network for verification, and
+// (3) order them safely (scheduler).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "netmodel/network.hpp"
+
+namespace heimdall::cfg {
+
+/// Direction of an interface ACL binding.
+enum class AclDirection : std::uint8_t { In, Out };
+
+std::string to_string(AclDirection direction);
+
+// -- Change payloads --------------------------------------------------------
+
+/// Interface shutdown / no shutdown.
+struct InterfaceAdminChange {
+  net::InterfaceId iface;
+  bool old_shutdown = false;
+  bool new_shutdown = false;
+  bool operator==(const InterfaceAdminChange&) const = default;
+};
+
+/// Interface IP address (re)assignment or removal.
+struct InterfaceAddressChange {
+  net::InterfaceId iface;
+  std::optional<net::InterfaceAddress> old_address;
+  std::optional<net::InterfaceAddress> new_address;
+  bool operator==(const InterfaceAddressChange&) const = default;
+};
+
+/// ACL bound to / unbound from an interface direction.
+struct InterfaceAclBindingChange {
+  net::InterfaceId iface;
+  AclDirection direction = AclDirection::In;
+  std::string old_acl;
+  std::string new_acl;
+  bool operator==(const InterfaceAclBindingChange&) const = default;
+};
+
+/// Switchport mode / access VLAN / trunk set change.
+struct SwitchportChange {
+  net::InterfaceId iface;
+  net::SwitchportMode old_mode = net::SwitchportMode::None;
+  net::SwitchportMode new_mode = net::SwitchportMode::None;
+  net::VlanId old_access_vlan = 1;
+  net::VlanId new_access_vlan = 1;
+  std::vector<net::VlanId> old_trunk;
+  std::vector<net::VlanId> new_trunk;
+  bool operator==(const SwitchportChange&) const = default;
+};
+
+/// OSPF interface cost change.
+struct OspfCostChange {
+  net::InterfaceId iface;
+  std::optional<unsigned> old_cost;
+  std::optional<unsigned> new_cost;
+  bool operator==(const OspfCostChange&) const = default;
+};
+
+/// One ACL entry inserted at `index`.
+struct AclEntryAdd {
+  std::string acl;
+  std::size_t index = 0;
+  net::AclEntry entry;
+  bool operator==(const AclEntryAdd&) const = default;
+};
+
+/// One ACL entry removed from `index`.
+struct AclEntryRemove {
+  std::string acl;
+  std::size_t index = 0;
+  net::AclEntry entry;  ///< the removed entry, for audit readability
+  bool operator==(const AclEntryRemove&) const = default;
+};
+
+/// A whole ACL created (with its entries).
+struct AclCreate {
+  net::Acl acl;
+  bool operator==(const AclCreate&) const = default;
+};
+
+/// A whole ACL deleted.
+struct AclDelete {
+  std::string name;
+  bool operator==(const AclDelete&) const = default;
+};
+
+struct StaticRouteAdd {
+  net::StaticRoute route;
+  bool operator==(const StaticRouteAdd&) const = default;
+};
+
+struct StaticRouteRemove {
+  net::StaticRoute route;
+  bool operator==(const StaticRouteRemove&) const = default;
+};
+
+struct OspfNetworkAdd {
+  net::OspfNetwork network;
+  bool operator==(const OspfNetworkAdd&) const = default;
+};
+
+struct OspfNetworkRemove {
+  net::OspfNetwork network;
+  bool operator==(const OspfNetworkRemove&) const = default;
+};
+
+/// OSPF process enabled/disabled wholesale.
+struct OspfProcessChange {
+  std::optional<net::OspfProcess> old_process;
+  std::optional<net::OspfProcess> new_process;
+  bool operator==(const OspfProcessChange&) const = default;
+};
+
+struct VlanDeclare {
+  net::VlanId vlan = 1;
+  bool operator==(const VlanDeclare&) const = default;
+};
+
+struct VlanRemove {
+  net::VlanId vlan = 1;
+  bool operator==(const VlanRemove&) const = default;
+};
+
+/// A credential / secret changed. `field` is one of "enable_password",
+/// "snmp_community", "ipsec_key". Secret *values* never appear in a change
+/// record (they would leak into audit logs).
+struct SecretChange {
+  std::string field;
+  bool operator==(const SecretChange&) const = default;
+};
+
+using ChangeDetail =
+    std::variant<InterfaceAdminChange, InterfaceAddressChange, InterfaceAclBindingChange,
+                 SwitchportChange, OspfCostChange, AclEntryAdd, AclEntryRemove, AclCreate,
+                 AclDelete, StaticRouteAdd, StaticRouteRemove, OspfNetworkAdd, OspfNetworkRemove,
+                 OspfProcessChange, VlanDeclare, VlanRemove, SecretChange>;
+
+/// One semantic change on one device.
+struct ConfigChange {
+  net::DeviceId device;
+  ChangeDetail detail;
+
+  bool operator==(const ConfigChange&) const = default;
+
+  /// One-line human-readable rendering for audit trails and reports.
+  std::string summary() const;
+};
+
+// -- Diff and replay ---------------------------------------------------------
+
+/// Computes the semantic changes turning `before` into `after` for a single
+/// device. Both must have the same id.
+std::vector<ConfigChange> diff_devices(const net::Device& before, const net::Device& after);
+
+/// Diffs every device present in both networks. Devices present in only one
+/// network are rejected (twin workflows never add/remove devices).
+std::vector<ConfigChange> diff_networks(const net::Network& before, const net::Network& after);
+
+/// Replays one change onto `network`. Throws NotFoundError / InvariantError
+/// when the change does not apply (e.g. removing an absent route).
+void apply_change(net::Network& network, const ConfigChange& change);
+
+/// Replays a list of changes in order.
+void apply_changes(net::Network& network, const std::vector<ConfigChange>& changes);
+
+}  // namespace heimdall::cfg

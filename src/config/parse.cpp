@@ -1,0 +1,352 @@
+#include "config/parse.hpp"
+
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::cfg {
+
+using namespace heimdall::net;
+
+namespace {
+
+using util::ParseError;
+using util::split;
+using util::split_ws;
+using util::starts_with;
+using util::trim;
+
+/// Parses "<addr> <wildcard-or-any>" from token stream position `i`.
+/// Accepts: "any" | "host <ip>" | "<ip> <wildcard>".
+Ipv4Prefix parse_acl_prefix(const std::vector<std::string>& tokens, size_t& i) {
+  if (i >= tokens.size()) throw ParseError("ACL entry truncated: missing address");
+  if (tokens[i] == "any") {
+    ++i;
+    return Ipv4Prefix(Ipv4Address(0), 0);
+  }
+  if (tokens[i] == "host") {
+    if (i + 1 >= tokens.size()) throw ParseError("ACL entry truncated after 'host'");
+    Ipv4Address address = Ipv4Address::parse(tokens[i + 1]);
+    i += 2;
+    return Ipv4Prefix(address, 32);
+  }
+  if (i + 1 >= tokens.size()) throw ParseError("ACL entry truncated: missing wildcard");
+  Ipv4Address address = Ipv4Address::parse(tokens[i]);
+  Ipv4Address wildcard = Ipv4Address::parse(tokens[i + 1]);
+  i += 2;
+  // Wildcard is the inverted mask.
+  return Ipv4Prefix::from_netmask(address, Ipv4Address(~wildcard.value()));
+}
+
+/// Parses an optional "eq <port>" / "range <lo> <hi>" selector.
+PortRange parse_acl_ports(const std::vector<std::string>& tokens, size_t& i) {
+  if (i < tokens.size() && tokens[i] == "eq") {
+    if (i + 1 >= tokens.size()) throw ParseError("ACL entry truncated after 'eq'");
+    auto port = static_cast<std::uint16_t>(util::parse_uint(tokens[i + 1], 65535));
+    i += 2;
+    return PortRange::exactly(port);
+  }
+  if (i < tokens.size() && tokens[i] == "range") {
+    if (i + 2 >= tokens.size()) throw ParseError("ACL entry truncated after 'range'");
+    auto lo = static_cast<std::uint16_t>(util::parse_uint(tokens[i + 1], 65535));
+    auto hi = static_cast<std::uint16_t>(util::parse_uint(tokens[i + 2], 65535));
+    i += 3;
+    if (lo > hi) throw ParseError("ACL port range reversed");
+    return PortRange{lo, hi};
+  }
+  return PortRange::any();
+}
+
+class DeviceParser {
+ public:
+  explicit DeviceParser(std::string_view text) : lines_(split(text, '\n')) {}
+
+  Device parse() {
+    while (line_no_ < lines_.size()) {
+      std::string_view line = trim(lines_[line_no_]);
+      if (line.empty()) {
+        ++line_no_;
+        continue;
+      }
+      if (line == "!") {
+        ++line_no_;
+        continue;
+      }
+      if (starts_with(line, "! heimdall-device-kind:")) {
+        kind_ = parse_device_kind(trim(line.substr(std::string_view("! heimdall-device-kind:").size())));
+        ++line_no_;
+        continue;
+      }
+      if (line[0] == '!') {
+        ++line_no_;
+        continue;
+      }
+      parse_top_level(line);
+    }
+    Device device(DeviceId(hostname_), kind_);
+    device.secrets() = secrets_;
+    for (VlanId vlan : vlans_) device.vlans().push_back(vlan);
+    for (Interface& iface : interfaces_) device.add_interface(std::move(iface));
+    for (Acl& acl : acls_) device.add_acl(std::move(acl));
+    device.static_routes() = static_routes_;
+    device.ospf() = ospf_;
+    return device;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw ParseError("config line " + std::to_string(line_no_ + 1) + ": " + message);
+  }
+
+  /// Operational boilerplate lines that carry no modeled semantics.
+  static bool is_boilerplate(std::string_view line, const std::string& head) {
+    static const char* const kSkippable[] = {
+        "version", "service",       "logging",   "ntp",  "clock",
+        "line",    "spanning-tree", "login",     "transport", "banner",
+        "boot",    "exec-timeout",  "aaa",
+    };
+    for (const char* prefix : kSkippable) {
+      if (head == prefix) return true;
+    }
+    // "ip cef/ssh/tcp ..." are boilerplate; "ip route"/"ip access-list" are
+    // dispatched before this check ever runs.
+    if (head == "ip")
+      return util::starts_with(line, "ip cef") || util::starts_with(line, "ip ssh") ||
+             util::starts_with(line, "ip tcp");
+    // "no ip ..." hardening knobs and "no exec".
+    if (head == "no")
+      return util::starts_with(line, "no ip ") || line == "no exec";
+    return false;
+  }
+
+  void parse_top_level(std::string_view line) {
+    auto tokens = split_ws(line);
+    const std::string& head = tokens[0];
+    if (head == "hostname") {
+      if (tokens.size() != 2) fail("hostname expects one argument");
+      hostname_ = tokens[1];
+      ++line_no_;
+    } else if (head == "enable") {
+      // "enable secret 5 <hash>"
+      if (tokens.size() < 4) fail("malformed enable secret");
+      secrets_.enable_password = tokens[3];
+      ++line_no_;
+    } else if (head == "snmp-server") {
+      if (tokens.size() < 3) fail("malformed snmp-server line");
+      secrets_.snmp_community = tokens[2];
+      ++line_no_;
+    } else if (head == "crypto") {
+      if (tokens.size() < 4) fail("malformed crypto isakmp line");
+      secrets_.ipsec_key = tokens[3];
+      ++line_no_;
+    } else if (head == "vlan") {
+      if (tokens.size() != 2) fail("vlan expects one argument");
+      vlans_.push_back(static_cast<VlanId>(util::parse_uint(tokens[1], 4094)));
+      ++line_no_;
+    } else if (head == "interface") {
+      if (tokens.size() != 2) fail("interface expects one argument");
+      parse_interface(tokens[1]);
+    } else if (head == "ip" && tokens.size() >= 2 && tokens[1] == "access-list") {
+      if (tokens.size() != 4 || tokens[2] != "extended") fail("malformed ip access-list line");
+      parse_acl(tokens[3]);
+    } else if (head == "ip" && tokens.size() >= 2 && tokens[1] == "route") {
+      if (tokens.size() < 5) fail("malformed ip route line");
+      Ipv4Address network = Ipv4Address::parse(tokens[2]);
+      Ipv4Address mask = Ipv4Address::parse(tokens[3]);
+      StaticRoute route;
+      route.prefix = Ipv4Prefix::from_netmask(network, mask);
+      route.next_hop = Ipv4Address::parse(tokens[4]);
+      if (tokens.size() >= 6) route.admin_distance = static_cast<unsigned>(util::parse_uint(tokens[5], 255));
+      static_routes_.push_back(route);
+      ++line_no_;
+    } else if (head == "router") {
+      if (tokens.size() != 3 || tokens[1] != "ospf") fail("only 'router ospf <pid>' is supported");
+      parse_ospf(static_cast<unsigned>(util::parse_uint(tokens[2], 65535)));
+    } else if (head == "end") {
+      ++line_no_;
+    } else if (is_boilerplate(line, head)) {
+      ++line_no_;
+    } else {
+      fail("unrecognized configuration line: '" + std::string(line) + "'");
+    }
+  }
+
+  /// Consumes indented block lines following a section header. Returns each
+  /// trimmed non-empty, non-'!' line.
+  std::vector<std::string> take_block() {
+    ++line_no_;  // skip header
+    std::vector<std::string> block;
+    while (line_no_ < lines_.size()) {
+      const std::string& raw = lines_[line_no_];
+      if (raw.empty() || raw[0] != ' ') break;  // block ends at column-0 line
+      std::string_view line = trim(raw);
+      ++line_no_;
+      if (line.empty() || line[0] == '!') continue;
+      block.emplace_back(line);
+    }
+    return block;
+  }
+
+  void parse_interface(const std::string& name) {
+    Interface iface;
+    iface.id = InterfaceId(name);
+    for (const std::string& line : take_block()) {
+      auto tokens = split_ws(line);
+      if (tokens[0] == "description") {
+        iface.description = std::string(trim(line.substr(std::string("description").size())));
+      } else if (tokens[0] == "ip" && tokens.size() >= 2 && tokens[1] == "address") {
+        if (tokens.size() != 4) fail("malformed ip address line");
+        Ipv4Address ip = Ipv4Address::parse(tokens[2]);
+        Ipv4Prefix subnet = Ipv4Prefix::from_netmask(ip, Ipv4Address::parse(tokens[3]));
+        iface.address = InterfaceAddress{ip, subnet.length()};
+      } else if (tokens[0] == "ip" && tokens.size() >= 2 && tokens[1] == "access-group") {
+        if (tokens.size() != 4) fail("malformed ip access-group line");
+        if (tokens[3] == "in")
+          iface.acl_in = tokens[2];
+        else if (tokens[3] == "out")
+          iface.acl_out = tokens[2];
+        else
+          fail("access-group direction must be 'in' or 'out'");
+      } else if (tokens[0] == "ip" && tokens.size() >= 2 && tokens[1] == "ospf") {
+        if (tokens.size() != 4 || tokens[2] != "cost") fail("malformed ip ospf line");
+        iface.ospf_cost = static_cast<unsigned>(util::parse_uint(tokens[3], 65535));
+      } else if (tokens[0] == "switchport") {
+        if (tokens.size() >= 3 && tokens[1] == "mode") {
+          iface.mode = tokens[2] == "access" ? SwitchportMode::Access
+                       : tokens[2] == "trunk" ? SwitchportMode::Trunk
+                                              : SwitchportMode::None;
+        } else if (tokens.size() == 4 && tokens[1] == "access" && tokens[2] == "vlan") {
+          iface.access_vlan = static_cast<VlanId>(util::parse_uint(tokens[3], 4094));
+        } else if (tokens.size() == 5 && tokens[1] == "trunk" && tokens[2] == "allowed" &&
+                   tokens[3] == "vlan") {
+          for (const std::string& v : split(tokens[4], ','))
+            iface.trunk_allowed.push_back(static_cast<VlanId>(util::parse_uint(v, 4094)));
+        } else {
+          fail("malformed switchport line: '" + line + "'");
+        }
+      } else if (line == "shutdown") {
+        iface.shutdown = true;
+      } else if (line == "no shutdown") {
+        iface.shutdown = false;
+      } else {
+        fail("unrecognized interface line: '" + line + "'");
+      }
+    }
+    interfaces_.push_back(std::move(iface));
+  }
+
+  void parse_acl(const std::string& name) {
+    Acl acl;
+    acl.name = name;
+    for (const std::string& line : take_block()) acl.entries.push_back(parse_acl_entry(line));
+    acls_.push_back(std::move(acl));
+  }
+
+  void parse_ospf(unsigned process_id) {
+    OspfProcess ospf;
+    ospf.process_id = process_id;
+    for (const std::string& line : take_block()) {
+      auto tokens = split_ws(line);
+      if (tokens[0] == "router-id") {
+        if (tokens.size() != 2) fail("malformed router-id");
+        ospf.router_id = Ipv4Address::parse(tokens[1]);
+      } else if (tokens[0] == "network") {
+        if (tokens.size() != 5 || tokens[3] != "area") fail("malformed network statement");
+        Ipv4Address address = Ipv4Address::parse(tokens[1]);
+        Ipv4Address wildcard = Ipv4Address::parse(tokens[2]);
+        OspfNetwork network;
+        network.prefix = Ipv4Prefix::from_netmask(address, Ipv4Address(~wildcard.value()));
+        network.area = static_cast<unsigned>(util::parse_uint(tokens[4], 4294967294UL));
+        ospf.networks.push_back(network);
+      } else if (tokens[0] == "passive-interface") {
+        if (tokens.size() != 2) fail("malformed passive-interface");
+        ospf.passive_interfaces.emplace_back(tokens[1]);
+      } else {
+        fail("unrecognized ospf line: '" + line + "'");
+      }
+    }
+    ospf_ = ospf;
+  }
+
+  std::vector<std::string> lines_;
+  size_t line_no_ = 0;
+
+  std::string hostname_ = "unnamed";
+  DeviceKind kind_ = DeviceKind::Router;
+  DeviceSecrets secrets_;
+  std::vector<VlanId> vlans_;
+  std::vector<Interface> interfaces_;
+  std::vector<Acl> acls_;
+  std::vector<StaticRoute> static_routes_;
+  std::optional<OspfProcess> ospf_;
+};
+
+}  // namespace
+
+AclEntry parse_acl_entry(std::string_view line) {
+  auto tokens = split_ws(line);
+  if (tokens.size() < 3) throw ParseError("ACL entry too short: '" + std::string(line) + "'");
+  AclEntry entry;
+  size_t i = 0;
+  if (tokens[i] == "permit")
+    entry.action = AclEntry::Action::Permit;
+  else if (tokens[i] == "deny")
+    entry.action = AclEntry::Action::Deny;
+  else
+    throw ParseError("ACL entry must start with permit/deny: '" + std::string(line) + "'");
+  ++i;
+  entry.protocol = parse_protocol(tokens[i]);
+  ++i;
+  entry.src = parse_acl_prefix(tokens, i);
+  entry.src_ports = parse_acl_ports(tokens, i);
+  entry.dst = parse_acl_prefix(tokens, i);
+  entry.dst_ports = parse_acl_ports(tokens, i);
+  if (i != tokens.size())
+    throw ParseError("trailing tokens in ACL entry: '" + std::string(line) + "'");
+  return entry;
+}
+
+Device parse_device(std::string_view text) { return DeviceParser(text).parse(); }
+
+Network parse_network(std::string_view text) {
+  Network network;
+  std::vector<std::string> chunks;
+  std::string current;
+  bool in_device = false;
+  for (const std::string& line : split(text, '\n')) {
+    if (starts_with(line, "!=== device ")) {
+      if (in_device) chunks.push_back(std::move(current));
+      current.clear();
+      in_device = true;
+      continue;
+    }
+    if (in_device) {
+      current += line;
+      current += '\n';
+    }
+  }
+  if (in_device) chunks.push_back(std::move(current));
+  if (chunks.empty() && !util::trim(text).empty()) chunks.emplace_back(text);
+  for (const std::string& chunk : chunks) network.add_device(parse_device(chunk));
+  return network;
+}
+
+void parse_topology(std::string_view text, Network& network) {
+  for (const std::string& raw : split(text, '\n')) {
+    std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '!' || line[0] == '#') continue;
+    auto tokens = split_ws(line);
+    if (tokens.size() != 3 || tokens[0] != "link")
+      throw ParseError("malformed topology line: '" + std::string(line) + "'");
+    auto parse_endpoint = [](const std::string& token) {
+      auto colon = token.find(':');
+      if (colon == std::string::npos)
+        throw ParseError("malformed endpoint (missing ':'): '" + token + "'");
+      return Endpoint{DeviceId(token.substr(0, colon)), InterfaceId(token.substr(colon + 1))};
+    };
+    network.connect(parse_endpoint(tokens[1]), parse_endpoint(tokens[2]));
+  }
+}
+
+}  // namespace heimdall::cfg

@@ -1,0 +1,24 @@
+// Cisco-IOS-style configuration parsing (the inverse of serialize.hpp).
+#pragma once
+
+#include <string_view>
+
+#include "netmodel/network.hpp"
+
+namespace heimdall::cfg {
+
+/// Parses one device configuration. Throws util::ParseError with the line
+/// number on malformed input.
+net::Device parse_device(std::string_view text);
+
+/// Parses a multi-device dump produced by serialize_network().
+net::Network parse_network(std::string_view text);
+
+/// Parses "link a:ifA b:ifB" lines into `network`'s topology; devices and
+/// interfaces must already exist.
+void parse_topology(std::string_view text, net::Network& network);
+
+/// Parses one ACL entry line, e.g. "permit tcp 10.0.1.0 0.0.0.255 any eq 80".
+net::AclEntry parse_acl_entry(std::string_view line);
+
+}  // namespace heimdall::cfg

@@ -1,0 +1,161 @@
+#include "config/serialize.hpp"
+
+#include "util/strings.hpp"
+
+namespace heimdall::cfg {
+
+using namespace heimdall::net;
+
+namespace {
+
+void render_interface(std::string& out, const Interface& iface) {
+  out += "interface " + iface.id.str() + "\n";
+  if (!iface.description.empty()) out += " description " + iface.description + "\n";
+  if (iface.address) {
+    out += " ip address " + iface.address->ip.to_string() + " " +
+           iface.address->subnet().netmask().to_string() + "\n";
+  }
+  if (iface.mode == SwitchportMode::Access) {
+    out += " switchport mode access\n";
+    out += " switchport access vlan " + std::to_string(iface.access_vlan) + "\n";
+  } else if (iface.mode == SwitchportMode::Trunk) {
+    out += " switchport mode trunk\n";
+    std::vector<std::string> vlans;
+    for (VlanId v : iface.trunk_allowed) vlans.push_back(std::to_string(v));
+    out += " switchport trunk allowed vlan " + util::join(vlans, ",") + "\n";
+  }
+  if (!iface.acl_in.empty()) out += " ip access-group " + iface.acl_in + " in\n";
+  if (!iface.acl_out.empty()) out += " ip access-group " + iface.acl_out + " out\n";
+  if (iface.ospf_cost) out += " ip ospf cost " + std::to_string(*iface.ospf_cost) + "\n";
+  out += iface.shutdown ? " shutdown\n" : " no shutdown\n";
+  out += "!\n";
+}
+
+void render_acl(std::string& out, const Acl& acl) {
+  out += "ip access-list extended " + acl.name + "\n";
+  for (const AclEntry& entry : acl.entries) out += " " + entry.to_string() + "\n";
+  out += "!\n";
+}
+
+void render_ospf(std::string& out, const OspfProcess& ospf) {
+  out += "router ospf " + std::to_string(ospf.process_id) + "\n";
+  if (ospf.router_id) out += " router-id " + ospf.router_id->to_string() + "\n";
+  for (const OspfNetwork& network : ospf.networks) {
+    out += " network " + network.prefix.network().to_string() + " " +
+           network.prefix.wildcard().to_string() + " area " + std::to_string(network.area) + "\n";
+  }
+  for (const InterfaceId& iface : ospf.passive_interfaces)
+    out += " passive-interface " + iface.str() + "\n";
+  out += "!\n";
+}
+
+}  // namespace
+
+namespace {
+
+/// Standard operational boilerplate real router configs carry. Emitted for
+/// routers/switches and skipped (not modeled) by the parser; keeps rendered
+/// configs at a realistic line volume.
+const char* const kBoilerplate =
+    "version 15.2\n"
+    "service timestamps debug datetime msec\n"
+    "service timestamps log datetime msec\n"
+    "service password-encryption\n"
+    "service tcp-keepalives-in\n"
+    "service tcp-keepalives-out\n"
+    "no ip domain-lookup\n"
+    "ip cef\n"
+    "ip ssh version 2\n"
+    "ip ssh time-out 60\n"
+    "login block-for 120 attempts 3 within 60\n"
+    "login on-failure log\n"
+    "login on-success log\n"
+    "logging buffered 64000\n"
+    "logging console warnings\n"
+    "logging trap informational\n"
+    "logging host 10.255.0.5\n"
+    "ntp server 10.255.0.1\n"
+    "ntp server 10.255.0.2\n"
+    "clock timezone UTC 0 0\n"
+    "spanning-tree mode rapid-pvst\n"
+    "spanning-tree extend system-id\n"
+    "no ip http server\n"
+    "no ip http secure-server\n"
+    "ip tcp synwait-time 10\n"
+    "no ip source-route\n"
+    "no ip bootp server\n"
+    "line con 0\n"
+    " logging synchronous\n"
+    " exec-timeout 15 0\n"
+    "line aux 0\n"
+    " no exec\n"
+    " transport output none\n"
+    "line vty 0 4\n"
+    " login local\n"
+    " transport input ssh\n"
+    " exec-timeout 30 0\n"
+    "line vty 5 15\n"
+    " login local\n"
+    " transport input ssh\n";
+
+}  // namespace
+
+std::string serialize_device(const Device& device) {
+  std::string out;
+  out += "hostname " + device.id().str() + "\n";
+  out += "! heimdall-device-kind: " + to_string(device.kind()) + "\n";
+  if (!device.is_host()) out += kBoilerplate;
+  const DeviceSecrets& secrets = device.secrets();
+  if (!secrets.enable_password.empty()) out += "enable secret 5 " + secrets.enable_password + "\n";
+  if (!secrets.snmp_community.empty())
+    out += "snmp-server community " + secrets.snmp_community + " RO\n";
+  if (!secrets.ipsec_key.empty())
+    out += "crypto isakmp key " + secrets.ipsec_key + " address 0.0.0.0\n";
+  out += "!\n";
+  for (VlanId vlan : device.vlans()) out += "vlan " + std::to_string(vlan) + "\n";
+  if (!device.vlans().empty()) out += "!\n";
+  for (const Interface& iface : device.interfaces()) render_interface(out, iface);
+  for (const Acl& acl : device.acls()) render_acl(out, acl);
+  if (device.ospf()) render_ospf(out, *device.ospf());
+  for (const StaticRoute& route : device.static_routes()) {
+    out += "ip route " + route.prefix.network().to_string() + " " +
+           route.prefix.netmask().to_string() + " " + route.next_hop.to_string();
+    if (route.admin_distance != 1) out += " " + std::to_string(route.admin_distance);
+    out += "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+std::string serialize_network(const net::Network& network) {
+  std::string out;
+  for (const Device& device : network.devices()) {
+    out += "!=== device " + device.id().str() + " ===\n";
+    out += serialize_device(device);
+  }
+  return out;
+}
+
+std::string serialize_topology(const net::Topology& topology) {
+  std::string out;
+  for (const Link& link : topology.links()) {
+    out += "link " + link.a.device.str() + ":" + link.a.iface.str() + " " + link.b.device.str() +
+           ":" + link.b.iface.str() + "\n";
+  }
+  return out;
+}
+
+std::size_t config_line_count(const net::Network& network) {
+  std::size_t count = 0;
+  for (const Device& device : network.devices()) {
+    std::string text = serialize_device(device);
+    for (const std::string& line : util::split(text, '\n')) {
+      auto trimmed = util::trim(line);
+      if (trimmed.empty() || trimmed[0] == '!') continue;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace heimdall::cfg

@@ -1,0 +1,27 @@
+// Cisco-IOS-style configuration rendering.
+//
+// The serializer and parser round-trip the device model, which is what lets
+// the twin network hand a technician textual configs, accept edited configs
+// back, and diff them semantically.
+#pragma once
+
+#include <string>
+
+#include "netmodel/network.hpp"
+
+namespace heimdall::cfg {
+
+/// Renders one device's running configuration (IOS-style).
+std::string serialize_device(const net::Device& device);
+
+/// Renders every device config concatenated, separated by banner comments.
+std::string serialize_network(const net::Network& network);
+
+/// Renders the physical topology as "link devA:ifaceA devB:ifaceB" lines.
+std::string serialize_topology(const net::Topology& topology);
+
+/// Counts configuration lines across the whole network (Table 1's
+/// "lines of configs" column). Blank lines and '!' separators excluded.
+std::size_t config_line_count(const net::Network& network);
+
+}  // namespace heimdall::cfg

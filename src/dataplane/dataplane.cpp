@@ -1,0 +1,66 @@
+#include "dataplane/dataplane.hpp"
+
+namespace heimdall::dp {
+
+using namespace heimdall::net;
+
+Dataplane Dataplane::compute(const Network& network) {
+  Dataplane dataplane;
+  dataplane.l2_ = L2Domains::compute(network);
+
+  // Connected + static routes.
+  for (const Device& device : network.devices()) {
+    Fib& fib = dataplane.fibs_[device.id()];
+    for (const Interface& iface : device.interfaces()) {
+      if (!iface.address || iface.shutdown) continue;
+      Route route;
+      route.prefix = iface.address->subnet();
+      route.protocol = RouteProtocol::Connected;
+      route.out_iface = iface.id;
+      route.admin_distance = default_admin_distance(RouteProtocol::Connected);
+      fib.insert(route);
+    }
+    for (const StaticRoute& configured : device.static_routes()) {
+      // A static route is usable only when its next hop lies in a connected
+      // subnet of an up interface (no recursive resolution in this model).
+      const Interface* egress = nullptr;
+      for (const Interface& iface : device.interfaces()) {
+        if (iface.address && !iface.shutdown && iface.address->subnet().contains(configured.next_hop)) {
+          egress = &iface;
+          break;
+        }
+      }
+      if (!egress) continue;
+      Route route;
+      route.prefix = configured.prefix;
+      route.protocol = RouteProtocol::Static;
+      route.next_hop = configured.next_hop;
+      route.out_iface = egress->id;
+      route.admin_distance = configured.admin_distance;
+      fib.insert(route);
+    }
+  }
+
+  // OSPF.
+  OspfResult ospf = compute_ospf(network, dataplane.l2_);
+  dataplane.ospf_adjacencies_ = std::move(ospf.adjacencies);
+  for (const auto& [router, routes] : ospf.routes) {
+    Fib& fib = dataplane.fibs_[router];
+    for (const Route& route : routes) fib.insert(route);
+  }
+
+  return dataplane;
+}
+
+const Fib& Dataplane::fib(const DeviceId& device) const {
+  auto it = fibs_.find(device);
+  return it == fibs_.end() ? empty_ : it->second;
+}
+
+std::size_t Dataplane::total_routes() const {
+  std::size_t total = 0;
+  for (const auto& [device, fib] : fibs_) total += fib.size();
+  return total;
+}
+
+}  // namespace heimdall::dp

@@ -1,0 +1,42 @@
+// Whole-network dataplane snapshot: per-device FIBs + L2 domains + OSPF
+// adjacencies, computed from a Network's configurations. This is the
+// Batfish-equivalent substrate the verifier and the twin emulation layer
+// both run on.
+#pragma once
+
+#include <map>
+
+#include "dataplane/fib.hpp"
+#include "dataplane/l2.hpp"
+#include "dataplane/ospf.hpp"
+#include "netmodel/network.hpp"
+
+namespace heimdall::dp {
+
+/// A computed dataplane. Immutable snapshot: recompute after config changes.
+class Dataplane {
+ public:
+  /// Computes the dataplane for `network`:
+  ///   1. L2 broadcast domains,
+  ///   2. connected routes from up L3 interfaces,
+  ///   3. configured static routes,
+  ///   4. OSPF routes (routers only).
+  static Dataplane compute(const net::Network& network);
+
+  /// The FIB of `device`; an empty FIB for pure-L2 devices.
+  const Fib& fib(const net::DeviceId& device) const;
+
+  const L2Domains& l2() const { return l2_; }
+  const std::vector<OspfAdjacency>& ospf_adjacencies() const { return ospf_adjacencies_; }
+
+  /// Total routes across all devices (micro-bench statistic).
+  std::size_t total_routes() const;
+
+ private:
+  std::map<net::DeviceId, Fib> fibs_;
+  L2Domains l2_;
+  std::vector<OspfAdjacency> ospf_adjacencies_;
+  Fib empty_;
+};
+
+}  // namespace heimdall::dp

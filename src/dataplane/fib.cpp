@@ -1,0 +1,82 @@
+#include "dataplane/fib.hpp"
+
+#include <algorithm>
+
+namespace heimdall::dp {
+
+Fib::Fib() : root_(std::make_unique<Node>()) {}
+
+Fib::Fib(const Fib& other) : root_(clone(*other.root_)), size_(other.size_) {}
+
+Fib& Fib::operator=(const Fib& other) {
+  if (this != &other) {
+    root_ = clone(*other.root_);
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+std::unique_ptr<Fib::Node> Fib::clone(const Node& node) {
+  auto copy = std::make_unique<Node>();
+  copy->route = node.route;
+  for (int i = 0; i < 2; ++i)
+    if (node.child[i]) copy->child[i] = clone(*node.child[i]);
+  return copy;
+}
+
+void Fib::insert(const Route& route) {
+  Node* node = root_.get();
+  std::uint32_t bits = route.prefix.network().value();
+  for (unsigned depth = 0; depth < route.prefix.length(); ++depth) {
+    unsigned bit = (bits >> (31 - depth)) & 1;
+    if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+    node = node->child[bit].get();
+  }
+  if (!node->route) {
+    node->route = route;
+    ++size_;
+  } else if (route.preferred_over(*node->route)) {
+    node->route = route;
+  }
+}
+
+std::optional<Route> Fib::lookup(net::Ipv4Address address) const {
+  const Node* node = root_.get();
+  std::optional<Route> best = node->route;
+  std::uint32_t bits = address.value();
+  for (unsigned depth = 0; depth < 32 && node; ++depth) {
+    unsigned bit = (bits >> (31 - depth)) & 1;
+    node = node->child[bit].get();
+    if (node && node->route) best = node->route;
+  }
+  return best;
+}
+
+std::optional<Route> Fib::route_for(const net::Ipv4Prefix& prefix) const {
+  const Node* node = root_.get();
+  std::uint32_t bits = prefix.network().value();
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    unsigned bit = (bits >> (31 - depth)) & 1;
+    if (!node->child[bit]) return std::nullopt;
+    node = node->child[bit].get();
+  }
+  return node->route;
+}
+
+std::vector<Route> Fib::routes() const {
+  std::vector<Route> out;
+  collect(*root_, out);
+  std::sort(out.begin(), out.end(), [](const Route& a, const Route& b) {
+    if (a.prefix.length() != b.prefix.length()) return a.prefix.length() > b.prefix.length();
+    return a.prefix.network() < b.prefix.network();
+  });
+  return out;
+}
+
+void Fib::collect(const Node& node, std::vector<Route>& out) const {
+  if (node.route) out.push_back(*node.route);
+  for (int i = 0; i < 2; ++i)
+    if (node.child[i]) collect(*node.child[i], out);
+}
+
+}  // namespace heimdall::dp

@@ -1,0 +1,55 @@
+// Forwarding information base with longest-prefix-match lookup.
+//
+// Implemented as a binary trie over address bits; lookups walk at most 32
+// nodes. Route selection among equal prefixes follows admin distance then
+// metric (Route::preferred_over).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dataplane/route.hpp"
+
+namespace heimdall::dp {
+
+/// One device's FIB.
+class Fib {
+ public:
+  Fib();
+  Fib(const Fib& other);
+  Fib& operator=(const Fib& other);
+  Fib(Fib&&) noexcept = default;
+  Fib& operator=(Fib&&) noexcept = default;
+  ~Fib() = default;
+
+  /// Installs `route`. When a route for the same prefix exists, the preferred
+  /// one (admin distance, metric) wins; the loser is dropped.
+  void insert(const Route& route);
+
+  /// Longest-prefix-match lookup; nullopt when no route covers `address`.
+  std::optional<Route> lookup(net::Ipv4Address address) const;
+
+  /// Exact-prefix lookup.
+  std::optional<Route> route_for(const net::Ipv4Prefix& prefix) const;
+
+  /// All installed routes, ordered by (prefix length desc, network).
+  std::vector<Route> routes() const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<Route> route;
+  };
+
+  static std::unique_ptr<Node> clone(const Node& node);
+  void collect(const Node& node, std::vector<Route>& out) const;
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace heimdall::dp

@@ -1,0 +1,188 @@
+#include "dataplane/l2.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace heimdall::dp {
+
+using namespace heimdall::net;
+
+namespace {
+
+/// Union-find over string keys. Small networks; path compression only.
+class UnionFind {
+ public:
+  void add(const std::string& key) { parent_.try_emplace(key, key); }
+
+  std::string find(const std::string& key) {
+    add(key);
+    std::string root = key;
+    while (parent_[root] != root) root = parent_[root];
+    // Path compression.
+    std::string walk = key;
+    while (parent_[walk] != root) {
+      std::string next = parent_[walk];
+      parent_[walk] = root;
+      walk = next;
+    }
+    return root;
+  }
+
+  void unite(const std::string& a, const std::string& b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+std::string l3_key(const Endpoint& endpoint) { return "l3|" + endpoint.to_string(); }
+
+std::string vlan_key(const DeviceId& sw, VlanId vlan) {
+  return "vlan|" + sw.str() + "|" + std::to_string(vlan);
+}
+
+/// Kind of one side of a link, for segment-merging purposes.
+struct Side {
+  enum class Kind { Down, L3, Access, Trunk } kind = Kind::Down;
+  Endpoint endpoint;
+  VlanId access_vlan = 1;
+  std::vector<VlanId> trunk_allowed;
+};
+
+Side classify(const Network& network, const Endpoint& endpoint) {
+  Side side;
+  side.endpoint = endpoint;
+  const Device* device = network.find_device(endpoint.device);
+  if (!device) return side;
+  const Interface* iface = device->find_interface(endpoint.iface);
+  if (!iface || iface->shutdown) return side;
+  // Switchport semantics apply to any device kind: routers acting as L3
+  // switches carry access/trunk ports too.
+  if (iface->mode == SwitchportMode::Access) {
+    side.kind = Side::Kind::Access;
+    side.access_vlan = iface->access_vlan;
+  } else if (iface->mode == SwitchportMode::Trunk) {
+    side.kind = Side::Kind::Trunk;
+    side.trunk_allowed = iface->trunk_allowed;
+  } else if (iface->address) {
+    side.kind = Side::Kind::L3;
+  }
+  return side;
+}
+
+}  // namespace
+
+namespace {
+
+/// SVI detection: "Vlan<N>" interfaces are L3 endpoints attached to their
+/// own device's VLAN-N broadcast domain (switched virtual interfaces).
+std::optional<VlanId> svi_vlan(const Interface& iface) {
+  const std::string& name = iface.id.str();
+  if (name.size() < 5 || name.compare(0, 4, "Vlan") != 0) return std::nullopt;
+  VlanId vlan = 0;
+  for (std::size_t i = 4; i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    vlan = static_cast<VlanId>(vlan * 10 + static_cast<VlanId>(c - '0'));
+    if (vlan > 4094) return std::nullopt;
+  }
+  return vlan;
+}
+
+}  // namespace
+
+L2Domains L2Domains::compute(const Network& network) {
+  UnionFind uf;
+
+  // Register every up L3 endpoint so isolated interfaces still get segments,
+  // and attach SVIs to their device's VLAN domain.
+  for (const Device& device : network.devices()) {
+    for (const Interface& iface : device.interfaces()) {
+      if (!iface.address || iface.shutdown) continue;
+      Endpoint endpoint{device.id(), iface.id};
+      uf.add(l3_key(endpoint));
+      if (auto vlan = svi_vlan(iface)) {
+        uf.unite(l3_key(endpoint), vlan_key(device.id(), *vlan));
+      }
+    }
+  }
+
+  for (const Link& link : network.topology().links()) {
+    Side a = classify(network, link.a);
+    Side b = classify(network, link.b);
+    if (a.kind == Side::Kind::Down || b.kind == Side::Kind::Down) continue;
+    auto key_of = [&](const Side& side, VlanId vlan) {
+      return side.kind == Side::Kind::L3 ? l3_key(side.endpoint)
+                                         : vlan_key(side.endpoint.device, vlan);
+    };
+    if (a.kind == Side::Kind::L3 && b.kind == Side::Kind::L3) {
+      uf.unite(l3_key(a.endpoint), l3_key(b.endpoint));
+    } else if (a.kind != Side::Kind::Trunk && b.kind != Side::Kind::Trunk) {
+      // L3/access combinations: merge using each side's own VLAN domain.
+      uf.unite(key_of(a, a.access_vlan), key_of(b, b.access_vlan));
+    } else if (a.kind == Side::Kind::Trunk && b.kind == Side::Kind::Trunk) {
+      for (VlanId vlan : a.trunk_allowed) {
+        if (std::find(b.trunk_allowed.begin(), b.trunk_allowed.end(), vlan) !=
+            b.trunk_allowed.end()) {
+          uf.unite(vlan_key(a.endpoint.device, vlan), vlan_key(b.endpoint.device, vlan));
+        }
+      }
+    } else {
+      // One trunk, one access/L3.
+      const Side& trunk = a.kind == Side::Kind::Trunk ? a : b;
+      const Side& other = a.kind == Side::Kind::Trunk ? b : a;
+      VlanId vlan = other.kind == Side::Kind::Access ? other.access_vlan : VlanId{1};
+      if (std::find(trunk.trunk_allowed.begin(), trunk.trunk_allowed.end(), vlan) !=
+          trunk.trunk_allowed.end()) {
+        uf.unite(key_of(other, vlan), vlan_key(trunk.endpoint.device, vlan));
+      }
+    }
+  }
+
+  // Assign dense segment ids to roots that contain at least one L3 endpoint.
+  L2Domains domains;
+  std::map<std::string, SegmentId> root_ids;
+  for (const Device& device : network.devices()) {
+    for (const Interface& iface : device.interfaces()) {
+      if (!iface.address || iface.shutdown) continue;
+      Endpoint endpoint{device.id(), iface.id};
+      std::string root = uf.find(l3_key(endpoint));
+      auto [it, inserted] = root_ids.try_emplace(root, domains.segment_count_);
+      if (inserted) ++domains.segment_count_;
+      domains.endpoint_segment_[endpoint] = it->second;
+      domains.segment_members_[it->second].push_back(endpoint);
+    }
+  }
+  for (auto& [segment, members] : domains.segment_members_) std::sort(members.begin(), members.end());
+  return domains;
+}
+
+std::optional<SegmentId> L2Domains::segment_of(const Endpoint& endpoint) const {
+  auto it = endpoint_segment_.find(endpoint);
+  if (it == endpoint_segment_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Endpoint> L2Domains::members(SegmentId segment) const {
+  auto it = segment_members_.find(segment);
+  if (it == segment_members_.end()) return {};
+  return it->second;
+}
+
+bool L2Domains::adjacent(const Endpoint& a, const Endpoint& b) const {
+  auto sa = segment_of(a);
+  auto sb = segment_of(b);
+  return sa && sb && *sa == *sb;
+}
+
+std::optional<Endpoint> L2Domains::resolve_ip(SegmentId segment, Ipv4Address ip,
+                                              const Network& network) const {
+  for (const Endpoint& endpoint : members(segment)) {
+    const Device* device = network.find_device(endpoint.device);
+    if (!device) continue;
+    const Interface* iface = device->find_interface(endpoint.iface);
+    if (iface && iface->address && iface->address->ip == ip) return endpoint;
+  }
+  return std::nullopt;
+}
+
+}  // namespace heimdall::dp

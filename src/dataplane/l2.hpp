@@ -1,0 +1,59 @@
+// Layer-2 broadcast-domain computation.
+//
+// The model: every up L3 endpoint (router interface or host NIC) and every
+// (switch, VLAN) pair is a node in a union-find structure. Physical links
+// merge nodes according to switchport semantics:
+//   * L3 <-> L3: a point-to-point segment.
+//   * L3 <-> access port (S, V): the L3 endpoint joins S's VLAN-V domain.
+//   * access (S1,V) <-> access (S2,W): domains merge (untagged bridging;
+//     this also models the classic wrong-VLAN misconfig when W differs).
+//   * trunk <-> trunk: each VLAN allowed on both sides merges.
+//   * access (S1,V) <-> trunk: merges when V is allowed on the trunk.
+// Links with a shutdown endpoint carry nothing.
+//
+// Two L3 endpoints can exchange frames directly iff they end up in the same
+// segment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "netmodel/network.hpp"
+
+namespace heimdall::dp {
+
+/// Opaque broadcast-domain id (stable within one computation).
+using SegmentId = std::size_t;
+
+/// The computed L2 view of a network.
+class L2Domains {
+ public:
+  /// Computes broadcast domains for `network`.
+  static L2Domains compute(const net::Network& network);
+
+  /// Segment of an L3 endpoint; nullopt when the interface is down, has no
+  /// link, or is not L3.
+  std::optional<SegmentId> segment_of(const net::Endpoint& endpoint) const;
+
+  /// All L3 endpoints in `segment`, sorted.
+  std::vector<net::Endpoint> members(SegmentId segment) const;
+
+  /// True when the two endpoints share a broadcast domain.
+  bool adjacent(const net::Endpoint& a, const net::Endpoint& b) const;
+
+  /// The endpoint in `segment` whose interface is configured with `ip`
+  /// (ARP resolution); nullopt when absent.
+  std::optional<net::Endpoint> resolve_ip(SegmentId segment, net::Ipv4Address ip,
+                                          const net::Network& network) const;
+
+  std::size_t segment_count() const { return segment_count_; }
+
+ private:
+  std::map<net::Endpoint, SegmentId> endpoint_segment_;
+  std::map<SegmentId, std::vector<net::Endpoint>> segment_members_;
+  std::size_t segment_count_ = 0;
+};
+
+}  // namespace heimdall::dp

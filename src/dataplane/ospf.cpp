@@ -1,0 +1,289 @@
+#include "dataplane/ospf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace heimdall::dp {
+
+using namespace heimdall::net;
+
+namespace {
+
+constexpr unsigned kInfinity = std::numeric_limits<unsigned>::max();
+
+/// One OSPF-enabled interface.
+struct OspfIface {
+  DeviceId router;
+  InterfaceId iface;
+  InterfaceAddress address;
+  unsigned area = 0;
+  unsigned cost = kDefaultOspfCost;
+  bool passive = false;
+};
+
+/// First hop used by a router to reach another router within an area.
+struct FirstHop {
+  InterfaceId out_iface;
+  Ipv4Address next_hop_ip;
+};
+
+/// Per-area shortest-path state for one source router.
+struct SpfTree {
+  std::map<DeviceId, unsigned> dist;
+  std::map<DeviceId, FirstHop> first_hop;
+};
+
+/// Directed edge of the per-area router graph.
+struct Edge {
+  DeviceId to;
+  unsigned cost;              ///< egress interface cost at `from`
+  InterfaceId out_iface;      ///< egress interface at `from`
+  Ipv4Address next_hop_ip;    ///< the neighbor's interface address
+};
+
+using AreaGraph = std::map<DeviceId, std::vector<Edge>>;
+
+SpfTree dijkstra(const AreaGraph& graph, const DeviceId& source) {
+  SpfTree tree;
+  tree.dist[source] = 0;
+  // Keyed by (distance, router, next-hop ip) for a deterministic order.
+  std::set<std::tuple<unsigned, DeviceId>> frontier{{0, source}};
+  while (!frontier.empty()) {
+    auto [d, router] = *frontier.begin();
+    frontier.erase(frontier.begin());
+    auto edges = graph.find(router);
+    if (edges == graph.end()) continue;
+    for (const Edge& edge : edges->second) {
+      unsigned nd = d + edge.cost;
+      auto it = tree.dist.find(edge.to);
+      FirstHop hop = router == source ? FirstHop{edge.out_iface, edge.next_hop_ip}
+                                      : tree.first_hop[router];
+      if (it == tree.dist.end() || nd < it->second) {
+        if (it != tree.dist.end()) frontier.erase({it->second, edge.to});
+        tree.dist[edge.to] = nd;
+        tree.first_hop[edge.to] = hop;
+        frontier.insert({nd, edge.to});
+      } else if (nd == it->second) {
+        // Deterministic ECMP tie-break: keep the lower next-hop address.
+        FirstHop& existing = tree.first_hop[edge.to];
+        if (hop.next_hop_ip < existing.next_hop_ip) existing = hop;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+OspfResult compute_ospf(const Network& network, const L2Domains& l2) {
+  OspfResult result;
+
+  // 1. Collect OSPF-enabled interfaces.
+  std::vector<OspfIface> ifaces;
+  for (const Device& device : network.devices()) {
+    if (!device.is_router() || !device.ospf()) continue;
+    const OspfProcess& process = *device.ospf();
+    for (const Interface& iface : device.interfaces()) {
+      if (!iface.address || iface.shutdown) continue;
+      auto area = process.area_for(iface.address->ip);
+      if (!area) continue;
+      OspfIface entry;
+      entry.router = device.id();
+      entry.iface = iface.id;
+      entry.address = *iface.address;
+      entry.area = *area;
+      entry.cost = iface.ospf_cost.value_or(kDefaultOspfCost);
+      entry.passive = process.is_passive(iface.id);
+      ifaces.push_back(entry);
+    }
+  }
+
+  // 2. Adjacencies: same L2 segment + same subnet + same area, non-passive.
+  std::map<unsigned, AreaGraph> graphs;
+  std::set<OspfAdjacency> adjacencies;
+  for (const OspfIface& a : ifaces) {
+    for (const OspfIface& b : ifaces) {
+      if (a.router == b.router) continue;
+      if (a.area != b.area || a.passive || b.passive) continue;
+      if (a.address.subnet() != b.address.subnet()) continue;
+      if (!l2.adjacent({a.router, a.iface}, {b.router, b.iface})) continue;
+      graphs[a.area][a.router].push_back(
+          Edge{b.router, a.cost, a.iface, b.address.ip});
+      Endpoint ea{a.router, a.iface};
+      Endpoint eb{b.router, b.iface};
+      if (eb < ea) std::swap(ea, eb);
+      adjacencies.insert(OspfAdjacency{ea, eb, a.area});
+    }
+  }
+  result.adjacencies.assign(adjacencies.begin(), adjacencies.end());
+
+  // 3. Per-area membership and all-pairs SPF.
+  std::map<unsigned, std::set<DeviceId>> area_routers;
+  for (const OspfIface& iface : ifaces) area_routers[iface.area].insert(iface.router);
+
+  std::map<unsigned, std::map<DeviceId, SpfTree>> spf;  // area -> source -> tree
+  for (const auto& [area, routers] : area_routers) {
+    for (const DeviceId& router : routers) {
+      auto graph_it = graphs.find(area);
+      spf[area][router] = graph_it == graphs.end() ? SpfTree{.dist = {{router, 0}}, .first_hop = {}}
+                                                   : dijkstra(graph_it->second, router);
+      spf[area][router].dist.try_emplace(router, 0);
+    }
+  }
+
+  auto dist_in_area = [&](unsigned area, const DeviceId& from, const DeviceId& to) -> unsigned {
+    auto area_it = spf.find(area);
+    if (area_it == spf.end()) return kInfinity;
+    auto src_it = area_it->second.find(from);
+    if (src_it == area_it->second.end()) return kInfinity;
+    auto d = src_it->second.dist.find(to);
+    return d == src_it->second.dist.end() ? kInfinity : d->second;
+  };
+
+  auto first_hop_in_area = [&](unsigned area, const DeviceId& from,
+                               const DeviceId& to) -> const FirstHop* {
+    auto& tree = spf[area][from];
+    auto it = tree.first_hop.find(to);
+    return it == tree.first_hop.end() ? nullptr : &it->second;
+  };
+
+  // ABRs per area: routers present in both the backbone and that area.
+  std::map<unsigned, std::vector<DeviceId>> abrs;
+  for (const auto& [area, routers] : area_routers) {
+    if (area == 0) continue;
+    for (const DeviceId& router : routers) {
+      auto backbone = area_routers.find(0);
+      if (backbone != area_routers.end() && backbone->second.count(router))
+        abrs[area].push_back(router);
+    }
+  }
+
+  // 4. Advertisements: every OSPF interface's subnet into its area.
+  struct Advertisement {
+    Ipv4Prefix prefix;
+    unsigned area;
+    DeviceId owner;
+    unsigned stub_cost;
+  };
+  std::vector<Advertisement> advertisements;
+  for (const OspfIface& iface : ifaces)
+    advertisements.push_back({iface.address.subnet(), iface.area, iface.router, iface.cost});
+
+  // 5. Routes: for each router, best path to each advertised prefix.
+  auto areas_of = [&](const DeviceId& router) {
+    std::vector<unsigned> out;
+    for (const auto& [area, routers] : area_routers)
+      if (routers.count(router)) out.push_back(area);
+    return out;
+  };
+
+  for (const auto& [area_unused, routers] : area_routers) {
+    (void)area_unused;
+    for (const DeviceId& router : routers) {
+      auto& installed = result.routes[router];  // ensure entry exists
+      (void)installed;
+    }
+  }
+
+  std::set<DeviceId> all_ospf_routers;
+  for (const auto& [area, routers] : area_routers)
+    for (const DeviceId& r : routers) all_ospf_routers.insert(r);
+
+  for (const DeviceId& router : all_ospf_routers) {
+    std::vector<unsigned> my_areas = areas_of(router);
+    for (const Advertisement& adv : advertisements) {
+      if (adv.owner == router) continue;  // connected route wins anyway
+
+      unsigned best_cost = kInfinity;
+      const FirstHop* best_hop = nullptr;
+
+      // Intra-area candidate.
+      for (unsigned area : my_areas) {
+        if (area != adv.area) continue;
+        unsigned d = dist_in_area(area, router, adv.owner);
+        if (d == kInfinity) continue;
+        unsigned total = d + adv.stub_cost;
+        const FirstHop* hop = first_hop_in_area(area, router, adv.owner);
+        if (d == 0 || !hop) continue;  // owner unreachable or self
+        if (total < best_cost) {
+          best_cost = total;
+          best_hop = hop;
+        }
+      }
+
+      // Inter-area candidates (only when no intra-area path exists, per OSPF
+      // route preference: intra-area beats inter-area).
+      if (best_cost == kInfinity && adv.area != 0) {
+        // Reach an ABR of adv.area through the backbone (possibly via our
+        // own area's ABR first when we are not in the backbone).
+        bool in_backbone =
+            std::find(my_areas.begin(), my_areas.end(), 0u) != my_areas.end();
+        for (const DeviceId& b2 : abrs[adv.area]) {
+          unsigned tail = dist_in_area(adv.area, b2, adv.owner);
+          if (tail == kInfinity) continue;
+          if (in_backbone) {
+            unsigned head = dist_in_area(0, router, b2);
+            if (head == kInfinity) continue;
+            unsigned total = head + tail + adv.stub_cost;
+            const FirstHop* hop =
+                b2 == router ? nullptr : first_hop_in_area(0, router, b2);
+            if (b2 == router) continue;
+            if (hop && total < best_cost) {
+              best_cost = total;
+              best_hop = hop;
+            }
+          } else {
+            for (unsigned my_area : my_areas) {
+              for (const DeviceId& b1 : abrs[my_area]) {
+                unsigned leg1 = dist_in_area(my_area, router, b1);
+                unsigned leg2 = dist_in_area(0, b1, b2);
+                if (leg1 == kInfinity || leg2 == kInfinity) continue;
+                unsigned total = leg1 + leg2 + tail + adv.stub_cost;
+                const FirstHop* hop =
+                    b1 == router ? nullptr : first_hop_in_area(my_area, router, b1);
+                if (b1 == router) continue;
+                if (hop && total < best_cost) {
+                  best_cost = total;
+                  best_hop = hop;
+                }
+              }
+            }
+          }
+        }
+      }
+      if (best_cost == kInfinity && adv.area == 0) {
+        // Destination in backbone, we are not: go through our ABR.
+        for (unsigned my_area : my_areas) {
+          if (my_area == 0) continue;
+          for (const DeviceId& b1 : abrs[my_area]) {
+            unsigned leg1 = dist_in_area(my_area, router, b1);
+            unsigned leg2 = dist_in_area(0, b1, adv.owner);
+            if (leg1 == kInfinity || leg2 == kInfinity || b1 == router) continue;
+            unsigned total = leg1 + leg2 + adv.stub_cost;
+            const FirstHop* hop = first_hop_in_area(my_area, router, b1);
+            if (hop && total < best_cost) {
+              best_cost = total;
+              best_hop = hop;
+            }
+          }
+        }
+      }
+
+      if (best_cost == kInfinity || !best_hop) continue;
+
+      Route route;
+      route.prefix = adv.prefix;
+      route.protocol = RouteProtocol::Ospf;
+      route.next_hop = best_hop->next_hop_ip;
+      route.out_iface = best_hop->out_iface;
+      route.admin_distance = default_admin_distance(RouteProtocol::Ospf);
+      route.metric = best_cost;
+      result.routes[router].push_back(route);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace heimdall::dp

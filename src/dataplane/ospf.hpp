@@ -1,0 +1,48 @@
+// OSPF control-plane simulation.
+//
+// Model (sufficient for enterprise-style configs, mirroring what Batfish
+// computes for the paper's networks):
+//   * An interface participates in OSPF when a "network ... area N" statement
+//     covers its address. It advertises its connected subnet into that area.
+//   * Two routers form an adjacency when they have up, same-subnet, same-area
+//     interfaces in one L2 segment and neither side is passive.
+//   * Per-area SPF (Dijkstra, egress-interface costs, default cost 10).
+//   * Inter-area routes traverse the backbone through ABRs (two-level
+//     hierarchy, standard OSPF area routing).
+//   * Deterministic ECMP tie-break: lowest next-hop address wins.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dataplane/l2.hpp"
+#include "dataplane/route.hpp"
+#include "netmodel/network.hpp"
+
+namespace heimdall::dp {
+
+/// A formed OSPF adjacency (for `show ip ospf neighbor` in the twin console
+/// and for slicer dependency analysis).
+struct OspfAdjacency {
+  net::Endpoint a;
+  net::Endpoint b;
+  unsigned area = 0;
+
+  auto operator<=>(const OspfAdjacency&) const = default;
+};
+
+/// Result of the OSPF computation over one network snapshot.
+struct OspfResult {
+  /// Routes per router (hosts/switches never appear).
+  std::map<net::DeviceId, std::vector<Route>> routes;
+  /// All formed adjacencies, sorted.
+  std::vector<OspfAdjacency> adjacencies;
+};
+
+/// Runs OSPF over `network` using precomputed L2 domains.
+OspfResult compute_ospf(const net::Network& network, const L2Domains& l2);
+
+/// Default OSPF interface cost when no override is configured.
+inline constexpr unsigned kDefaultOspfCost = 10;
+
+}  // namespace heimdall::dp

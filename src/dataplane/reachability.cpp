@@ -1,0 +1,63 @@
+#include "dataplane/reachability.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace heimdall::dp {
+
+using namespace heimdall::net;
+
+ReachabilityMatrix ReachabilityMatrix::compute(const Network& network, const Dataplane& dataplane) {
+  ReachabilityMatrix matrix;
+  std::vector<DeviceId> hosts = network.device_ids(DeviceKind::Host);
+  for (const DeviceId& src : hosts) {
+    for (const DeviceId& dst : hosts) {
+      if (src == dst) continue;
+      TraceResult result = trace_hosts(network, dataplane, src, dst);
+      PairReachability pair;
+      pair.src = src;
+      pair.dst = dst;
+      pair.disposition = result.disposition;
+      pair.path = result.path();
+      matrix.index_[{src, dst}] = matrix.pairs_.size();
+      matrix.pairs_.push_back(std::move(pair));
+    }
+  }
+  return matrix;
+}
+
+const PairReachability& ReachabilityMatrix::pair(const DeviceId& src, const DeviceId& dst) const {
+  auto it = index_.find({src, dst});
+  if (it == index_.end())
+    throw util::NotFoundError("no reachability entry for " + src.str() + " -> " + dst.str());
+  return pairs_[it->second];
+}
+
+bool ReachabilityMatrix::reachable(const DeviceId& src, const DeviceId& dst) const {
+  return pair(src, dst).reachable();
+}
+
+bool ReachabilityMatrix::has_pair(const DeviceId& src, const DeviceId& dst) const {
+  return index_.count({src, dst}) != 0;
+}
+
+std::size_t ReachabilityMatrix::reachable_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      pairs_.begin(), pairs_.end(), [](const PairReachability& p) { return p.reachable(); }));
+}
+
+std::vector<std::tuple<DeviceId, DeviceId, bool, bool>> ReachabilityMatrix::diff(
+    const ReachabilityMatrix& before, const ReachabilityMatrix& after) {
+  std::vector<std::tuple<DeviceId, DeviceId, bool, bool>> out;
+  for (const PairReachability& b : before.pairs_) {
+    auto it = after.index_.find({b.src, b.dst});
+    if (it == after.index_.end()) continue;
+    const PairReachability& a = after.pairs_[it->second];
+    if (b.reachable() != a.reachable())
+      out.emplace_back(b.src, b.dst, b.reachable(), a.reachable());
+  }
+  return out;
+}
+
+}  // namespace heimdall::dp

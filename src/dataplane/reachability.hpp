@@ -1,0 +1,50 @@
+// All-pairs host reachability analysis over a computed dataplane.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dataplane/trace.hpp"
+
+namespace heimdall::dp {
+
+/// Reachability verdict for one ordered host pair.
+struct PairReachability {
+  net::DeviceId src;
+  net::DeviceId dst;
+  Disposition disposition = Disposition::NoRoute;
+  std::vector<net::DeviceId> path;
+
+  bool reachable() const { return disposition == Disposition::Delivered; }
+};
+
+/// The full ordered-pair matrix.
+class ReachabilityMatrix {
+ public:
+  /// Traces every ordered pair of hosts (ICMP on primary addresses).
+  static ReachabilityMatrix compute(const net::Network& network, const Dataplane& dataplane);
+
+  const std::vector<PairReachability>& pairs() const { return pairs_; }
+
+  /// Lookup; throws NotFoundError for unknown pairs.
+  const PairReachability& pair(const net::DeviceId& src, const net::DeviceId& dst) const;
+
+  bool reachable(const net::DeviceId& src, const net::DeviceId& dst) const;
+
+  /// True when both endpoints were present when the matrix was computed.
+  bool has_pair(const net::DeviceId& src, const net::DeviceId& dst) const;
+
+  std::size_t reachable_count() const;
+  std::size_t total_count() const { return pairs_.size(); }
+
+  /// Ordered pairs whose reachability differs between two matrices. Each
+  /// element is (src, dst, was_reachable, now_reachable).
+  static std::vector<std::tuple<net::DeviceId, net::DeviceId, bool, bool>> diff(
+      const ReachabilityMatrix& before, const ReachabilityMatrix& after);
+
+ private:
+  std::vector<PairReachability> pairs_;
+  std::map<std::pair<net::DeviceId, net::DeviceId>, std::size_t> index_;
+};
+
+}  // namespace heimdall::dp

@@ -1,0 +1,31 @@
+#include "dataplane/route.hpp"
+
+namespace heimdall::dp {
+
+std::string to_string(RouteProtocol protocol) {
+  switch (protocol) {
+    case RouteProtocol::Connected: return "connected";
+    case RouteProtocol::Static: return "static";
+    case RouteProtocol::Ospf: return "ospf";
+  }
+  return "connected";
+}
+
+unsigned default_admin_distance(RouteProtocol protocol) {
+  switch (protocol) {
+    case RouteProtocol::Connected: return 0;
+    case RouteProtocol::Static: return 1;
+    case RouteProtocol::Ospf: return 110;
+  }
+  return 255;
+}
+
+std::string Route::to_string() const {
+  std::string out = dp::to_string(protocol) + " " + prefix.to_string();
+  if (next_hop) out += " via " + next_hop->to_string();
+  out += " dev " + out_iface.str();
+  out += " [" + std::to_string(admin_distance) + "/" + std::to_string(metric) + "]";
+  return out;
+}
+
+}  // namespace heimdall::dp

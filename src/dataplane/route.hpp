@@ -1,0 +1,46 @@
+// RIB/FIB route entries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netmodel/ipv4.hpp"
+#include "netmodel/types.hpp"
+
+namespace heimdall::dp {
+
+/// Origin protocol of a route, ordered by preference via admin distance.
+enum class RouteProtocol : std::uint8_t { Connected, Static, Ospf };
+
+std::string to_string(RouteProtocol protocol);
+
+/// Cisco-style administrative distance for each protocol.
+unsigned default_admin_distance(RouteProtocol protocol);
+
+/// One route installed in a device's FIB.
+struct Route {
+  net::Ipv4Prefix prefix;
+  RouteProtocol protocol = RouteProtocol::Connected;
+  /// Next-hop IP; nullopt for connected routes (deliver on-link).
+  std::optional<net::Ipv4Address> next_hop;
+  /// Egress interface.
+  net::InterfaceId out_iface;
+  unsigned admin_distance = 0;
+  unsigned metric = 0;
+
+  auto operator<=>(const Route&) const = default;
+
+  /// True when `other` is less preferred for the same prefix
+  /// (admin distance, then metric, then next-hop as the tiebreak).
+  bool preferred_over(const Route& other) const {
+    if (admin_distance != other.admin_distance) return admin_distance < other.admin_distance;
+    if (metric != other.metric) return metric < other.metric;
+    return next_hop.value_or(net::Ipv4Address(0)) < other.next_hop.value_or(net::Ipv4Address(0));
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace heimdall::dp

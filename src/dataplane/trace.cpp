@@ -1,0 +1,179 @@
+#include "dataplane/trace.hpp"
+
+#include "util/error.hpp"
+
+namespace heimdall::dp {
+
+using namespace heimdall::net;
+
+std::string to_string(Disposition disposition) {
+  switch (disposition) {
+    case Disposition::Delivered: return "delivered";
+    case Disposition::DeniedInbound: return "denied-inbound";
+    case Disposition::DeniedOutbound: return "denied-outbound";
+    case Disposition::NoRoute: return "no-route";
+    case Disposition::NextHopUnreachable: return "next-hop-unreachable";
+    case Disposition::Loop: return "loop";
+    case Disposition::UnknownSource: return "unknown-source";
+    case Disposition::UnknownDestination: return "unknown-destination";
+    case Disposition::SourceDown: return "source-down";
+  }
+  return "no-route";
+}
+
+std::vector<DeviceId> TraceResult::path() const {
+  std::vector<DeviceId> out;
+  for (const Hop& hop : hops) {
+    if (out.empty() || !(out.back() == hop.device)) out.push_back(hop.device);
+  }
+  return out;
+}
+
+namespace {
+
+constexpr unsigned kHopLimit = 32;
+
+/// Evaluates the ACL bound to `iface` in the given direction; true=permit.
+/// Unbound (or dangling) ACL names permit everything, matching IOS behavior
+/// for a missing access-group.
+bool acl_allows(const Device& device, const Interface& iface, bool inbound, const Flow& flow,
+                std::string& detail) {
+  const std::string& name = inbound ? iface.acl_in : iface.acl_out;
+  if (name.empty()) return true;
+  const Acl* acl = device.find_acl(name);
+  if (!acl) return true;  // dangling reference: no filter installed
+  if (acl_permits(*acl, flow)) return true;
+  detail = "acl '" + name + "' (" + (inbound ? "in" : "out") + ") on " + device.id().str() + ":" +
+           iface.id.str() + " denied " + flow.to_string();
+  return false;
+}
+
+}  // namespace
+
+TraceResult trace_flow(const Network& network, const Dataplane& dataplane, const Flow& flow) {
+  TraceResult result;
+
+  auto src = network.endpoint_of_ip(flow.src_ip);
+  if (!src) {
+    result.disposition = Disposition::UnknownSource;
+    result.detail = "no interface owns " + flow.src_ip.to_string();
+    return result;
+  }
+  auto dst = network.endpoint_of_ip(flow.dst_ip);
+  if (!dst) {
+    result.disposition = Disposition::UnknownDestination;
+    result.detail = "no interface owns " + flow.dst_ip.to_string();
+    return result;
+  }
+
+  const Interface& src_iface = network.device(src->device).interface(src->iface);
+  if (src_iface.shutdown) {
+    result.disposition = Disposition::SourceDown;
+    result.last_device = src->device;
+    result.detail = "source interface " + src->to_string() + " is shutdown";
+    return result;
+  }
+
+  DeviceId current = src->device;
+  InterfaceId in_iface;  // empty at origin
+
+  for (unsigned hop_count = 0; hop_count <= kHopLimit; ++hop_count) {
+    const Device& device = network.device(current);
+
+    // Ingress ACL (not at the originating device).
+    if (!in_iface.empty()) {
+      const Interface& iface = device.interface(in_iface);
+      if (iface.shutdown) {
+        result.disposition = Disposition::NextHopUnreachable;
+        result.last_device = current;
+        result.detail = "ingress interface " + in_iface.str() + " is down";
+        return result;
+      }
+      std::string detail;
+      if (!acl_allows(device, iface, /*inbound=*/true, flow, detail)) {
+        result.hops.push_back({current, in_iface, InterfaceId{}});
+        result.disposition = Disposition::DeniedInbound;
+        result.last_device = current;
+        result.detail = detail;
+        return result;
+      }
+    }
+
+    // Delivered?
+    if (device.interface_with_address(flow.dst_ip)) {
+      result.hops.push_back({current, in_iface, InterfaceId{}});
+      result.disposition = Disposition::Delivered;
+      result.last_device = current;
+      return result;
+    }
+
+    // FIB lookup.
+    auto route = dataplane.fib(current).lookup(flow.dst_ip);
+    if (!route) {
+      result.hops.push_back({current, in_iface, InterfaceId{}});
+      result.disposition = Disposition::NoRoute;
+      result.last_device = current;
+      result.detail = "no route to " + flow.dst_ip.to_string() + " on " + current.str();
+      return result;
+    }
+
+    const Interface& out_iface = device.interface(route->out_iface);
+    if (out_iface.shutdown) {
+      result.hops.push_back({current, in_iface, route->out_iface});
+      result.disposition = Disposition::NextHopUnreachable;
+      result.last_device = current;
+      result.detail = "egress interface " + route->out_iface.str() + " is down";
+      return result;
+    }
+
+    // Egress ACL.
+    {
+      std::string detail;
+      if (!acl_allows(device, out_iface, /*inbound=*/false, flow, detail)) {
+        result.hops.push_back({current, in_iface, route->out_iface});
+        result.disposition = Disposition::DeniedOutbound;
+        result.last_device = current;
+        result.detail = detail;
+        return result;
+      }
+    }
+
+    // L2 delivery to the next hop (the route's next hop, or the destination
+    // itself for connected routes).
+    Ipv4Address next_ip = route->next_hop.value_or(flow.dst_ip);
+    auto segment = dataplane.l2().segment_of({current, route->out_iface});
+    std::optional<Endpoint> next;
+    if (segment) next = dataplane.l2().resolve_ip(*segment, next_ip, network);
+    result.hops.push_back({current, in_iface, route->out_iface});
+    if (!next) {
+      result.disposition = Disposition::NextHopUnreachable;
+      result.last_device = current;
+      result.detail = "next hop " + next_ip.to_string() + " not reachable on segment of " +
+                      current.str() + ":" + route->out_iface.str();
+      return result;
+    }
+
+    current = next->device;
+    in_iface = next->iface;
+  }
+
+  result.disposition = Disposition::Loop;
+  result.last_device = current;
+  result.detail = "hop limit exceeded";
+  return result;
+}
+
+TraceResult trace_hosts(const Network& network, const Dataplane& dataplane, const DeviceId& src,
+                        const DeviceId& dst) {
+  auto src_ip = network.primary_ip(src);
+  auto dst_ip = network.primary_ip(dst);
+  util::require(src_ip.has_value(), "trace_hosts: no address on " + src.str());
+  util::require(dst_ip.has_value(), "trace_hosts: no address on " + dst.str());
+  Flow flow;
+  flow.src_ip = *src_ip;
+  flow.dst_ip = *dst_ip;
+  flow.protocol = IpProtocol::Icmp;
+  return trace_flow(network, dataplane, flow);
+}
+
+}  // namespace heimdall::dp

@@ -1,0 +1,58 @@
+// Flow tracing: simulates one packet's path through the computed dataplane,
+// applying FIB lookups, L2 delivery and interface ACLs hop by hop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+#include "netmodel/acl.hpp"
+
+namespace heimdall::dp {
+
+/// Why a trace ended.
+enum class Disposition : std::uint8_t {
+  Delivered,           ///< reached the device owning the destination IP
+  DeniedInbound,       ///< dropped by an ingress ACL
+  DeniedOutbound,      ///< dropped by an egress ACL
+  NoRoute,             ///< FIB miss at some hop
+  NextHopUnreachable,  ///< route present but the next hop did not resolve on L2
+  Loop,                ///< hop limit exceeded
+  UnknownSource,       ///< flow's source IP is not configured anywhere
+  UnknownDestination,  ///< flow's destination IP is not configured anywhere
+  SourceDown,          ///< source interface is shutdown
+};
+
+std::string to_string(Disposition disposition);
+
+/// One forwarding step of a trace.
+struct Hop {
+  net::DeviceId device;
+  net::InterfaceId in_iface;   ///< empty at the originating device
+  net::InterfaceId out_iface;  ///< empty at the final device
+};
+
+/// The outcome of tracing one flow.
+struct TraceResult {
+  Disposition disposition = Disposition::NoRoute;
+  std::vector<Hop> hops;
+  /// Device where the trace ended (dropped or delivered).
+  net::DeviceId last_device;
+  /// Human-readable detail, e.g. which ACL dropped the packet.
+  std::string detail;
+
+  bool delivered() const { return disposition == Disposition::Delivered; }
+
+  /// Devices touched, in order, without duplicates.
+  std::vector<net::DeviceId> path() const;
+};
+
+/// Traces `flow` from the device owning its source IP.
+TraceResult trace_flow(const net::Network& network, const Dataplane& dataplane,
+                       const net::Flow& flow);
+
+/// Convenience: ICMP flow between two hosts' primary addresses.
+TraceResult trace_hosts(const net::Network& network, const Dataplane& dataplane,
+                        const net::DeviceId& src, const net::DeviceId& dst);
+
+}  // namespace heimdall::dp

@@ -1,0 +1,124 @@
+#include "enforcer/audit.hpp"
+
+#include "util/error.hpp"
+
+namespace heimdall::enforce {
+
+using util::Sha256;
+using util::Sha256Digest;
+
+std::string to_string(AuditCategory category) {
+  switch (category) {
+    case AuditCategory::Session: return "session";
+    case AuditCategory::Command: return "command";
+    case AuditCategory::Escalation: return "escalation";
+    case AuditCategory::Verify: return "verify";
+    case AuditCategory::Schedule: return "schedule";
+    case AuditCategory::Violation: return "violation";
+  }
+  return "command";
+}
+
+std::string AuditEntry::canonical() const {
+  return std::to_string(sequence) + "|" + std::to_string(timestamp_ms) + "|" + actor + "|" +
+         to_string(category) + "|" + message + "|" + util::to_hex(previous_hash);
+}
+
+const AuditEntry& AuditLog::append(std::int64_t timestamp_ms, std::string actor,
+                                   AuditCategory category, std::string message) {
+  AuditEntry entry;
+  entry.sequence = entries_.size();
+  entry.timestamp_ms = timestamp_ms;
+  entry.actor = std::move(actor);
+  entry.category = category;
+  entry.message = std::move(message);
+  entry.previous_hash = head();
+  entry.hash = Sha256::hash(entry.canonical());
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Sha256Digest AuditLog::head() const {
+  if (entries_.empty()) return Sha256Digest{};
+  return entries_.back().hash;
+}
+
+bool AuditLog::verify_chain() const { return first_corrupt_index() == entries_.size(); }
+
+std::size_t AuditLog::first_corrupt_index() const {
+  Sha256Digest previous{};
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const AuditEntry& entry = entries_[i];
+    if (entry.sequence != i) return i;
+    if (entry.previous_hash != previous) return i;
+    if (entry.hash != Sha256::hash(entry.canonical())) return i;
+    previous = entry.hash;
+  }
+  return entries_.size();
+}
+
+namespace {
+
+AuditCategory parse_category(const std::string& text) {
+  for (AuditCategory category :
+       {AuditCategory::Session, AuditCategory::Command, AuditCategory::Escalation,
+        AuditCategory::Verify, AuditCategory::Schedule, AuditCategory::Violation}) {
+    if (to_string(category) == text) return category;
+  }
+  throw util::ParseError("unknown audit category '" + text + "'");
+}
+
+Sha256Digest parse_digest(const std::string& hex) {
+  if (hex.size() != 64) throw util::ParseError("audit hash must be 64 hex chars");
+  Sha256Digest digest{};
+  auto nibble = [](char c) -> unsigned {
+    if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<unsigned>(c - 'A' + 10);
+    throw util::ParseError("bad hex character in audit hash");
+  };
+  for (std::size_t i = 0; i < 32; ++i) {
+    digest[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1]));
+  }
+  return digest;
+}
+
+}  // namespace
+
+AuditLog AuditLog::from_json(const util::Json& document) {
+  AuditLog log;
+  for (const util::Json& item : document.at("audit_log").as_array()) {
+    AuditEntry entry;
+    entry.sequence = static_cast<std::uint64_t>(item.at("seq").as_number());
+    entry.timestamp_ms = static_cast<std::int64_t>(item.at("t_ms").as_number());
+    entry.actor = item.at("actor").as_string();
+    entry.category = parse_category(item.at("category").as_string());
+    entry.message = item.at("message").as_string();
+    entry.previous_hash = parse_digest(item.at("prev").as_string());
+    entry.hash = parse_digest(item.at("hash").as_string());
+    log.entries_.push_back(std::move(entry));
+  }
+  return log;
+}
+
+util::Json AuditLog::to_json() const {
+  util::Json array{util::JsonArray{}};
+  for (const AuditEntry& entry : entries_) {
+    util::Json item;
+    item.set("seq", util::Json(entry.sequence > 0x1fffffffffffffULL
+                                   ? static_cast<double>(entry.sequence)
+                                   : static_cast<double>(entry.sequence)));
+    item.set("t_ms", util::Json(static_cast<double>(entry.timestamp_ms)));
+    item.set("actor", util::Json(entry.actor));
+    item.set("category", util::Json(to_string(entry.category)));
+    item.set("message", util::Json(entry.message));
+    item.set("prev", util::Json(util::to_hex(entry.previous_hash)));
+    item.set("hash", util::Json(util::to_hex(entry.hash)));
+    array.push_back(std::move(item));
+  }
+  util::Json document;
+  document.set("audit_log", std::move(array));
+  return document;
+}
+
+}  // namespace heimdall::enforce

@@ -1,0 +1,89 @@
+// Tamper-evident audit trail (paper challenge 3: "provide tamper-resistant
+// audit trails ... that can be reviewed later to analyze a technician's
+// network modifications").
+//
+// Implementation: a SHA-256 hash chain. Each entry's hash covers its own
+// content plus the previous entry's hash, so any in-place edit, deletion or
+// reorder invalidates every later hash. The chain head is sealed inside the
+// (simulated) enclave, making silent truncation detectable too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/sha256.hpp"
+
+namespace heimdall::enforce {
+
+/// What kind of event an entry records.
+enum class AuditCategory : std::uint8_t {
+  Session,     ///< twin session opened/closed
+  Command,     ///< a mediated technician command (with its decision)
+  Escalation,  ///< privilege escalation request and verdict
+  Verify,      ///< enforcer verification outcome
+  Schedule,    ///< a change pushed to production
+  Violation,   ///< an intercepted privilege/policy violation
+};
+
+std::string to_string(AuditCategory category);
+
+/// One immutable audit record.
+struct AuditEntry {
+  std::uint64_t sequence = 0;
+  std::int64_t timestamp_ms = 0;  ///< virtual-clock time
+  std::string actor;              ///< technician / enforcer identity
+  AuditCategory category = AuditCategory::Command;
+  std::string message;
+  util::Sha256Digest previous_hash{};
+  util::Sha256Digest hash{};
+
+  /// Canonical byte string covered by `hash` (excluding `hash` itself).
+  std::string canonical() const;
+};
+
+/// Append-only hash-chained log.
+class AuditLog {
+ public:
+  AuditLog() = default;
+
+  /// Appends an entry, chaining it to the current head. Returns the entry.
+  const AuditEntry& append(std::int64_t timestamp_ms, std::string actor, AuditCategory category,
+                           std::string message);
+
+  const std::vector<AuditEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Hash of the last entry (all-zero when empty).
+  util::Sha256Digest head() const;
+
+  /// Walks the chain; true iff every link verifies.
+  bool verify_chain() const;
+
+  /// Index of the first corrupt entry, or size() when intact.
+  std::size_t first_corrupt_index() const;
+
+  /// True when `expected_head` matches the current head — detects
+  /// truncation when the expected head is stored elsewhere (the enclave).
+  bool matches_head(const util::Sha256Digest& expected_head) const {
+    return head() == expected_head;
+  }
+
+  /// JSON export for offline review.
+  util::Json to_json() const;
+
+  /// Rebuilds a log from its JSON export (offline forensics: an auditor
+  /// loads the shipped log and re-verifies the chain). Throws ParseError on
+  /// malformed documents; the *chain* is not validated here — call
+  /// verify_chain()/matches_head() afterwards, that is the point.
+  static AuditLog from_json(const util::Json& document);
+
+  /// TAMPERING HOOK (tests only): direct mutable access to entries.
+  std::vector<AuditEntry>& mutable_entries_for_test() { return entries_; }
+
+ private:
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace heimdall::enforce

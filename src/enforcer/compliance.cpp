@@ -1,0 +1,88 @@
+#include "enforcer/compliance.hpp"
+
+namespace heimdall::enforce {
+
+using namespace heimdall::cfg;
+using priv::Action;
+using priv::Resource;
+
+namespace {
+
+struct ClassifyVisitor {
+  const net::DeviceId& device;
+
+  ChangeClassification operator()(const InterfaceAdminChange& c) const {
+    return {c.new_shutdown ? Action::InterfaceDown : Action::InterfaceUp,
+            Resource::interface(device, c.iface)};
+  }
+  ChangeClassification operator()(const InterfaceAddressChange& c) const {
+    return {Action::SetInterfaceAddress, Resource::interface(device, c.iface)};
+  }
+  ChangeClassification operator()(const InterfaceAclBindingChange& c) const {
+    return {Action::BindAcl, Resource::interface(device, c.iface)};
+  }
+  ChangeClassification operator()(const SwitchportChange& c) const {
+    return {Action::SetSwitchport, Resource::interface(device, c.iface)};
+  }
+  ChangeClassification operator()(const OspfCostChange& c) const {
+    return {Action::SetOspfCost, Resource::interface(device, c.iface)};
+  }
+  ChangeClassification operator()(const AclEntryAdd& c) const {
+    return {Action::AclEdit, Resource::acl(device, c.acl)};
+  }
+  ChangeClassification operator()(const AclEntryRemove& c) const {
+    return {Action::AclEdit, Resource::acl(device, c.acl)};
+  }
+  ChangeClassification operator()(const AclCreate& c) const {
+    return {Action::AclCreate, Resource::acl(device, c.acl.name)};
+  }
+  ChangeClassification operator()(const AclDelete& c) const {
+    return {Action::AclDelete, Resource::acl(device, c.name)};
+  }
+  ChangeClassification operator()(const StaticRouteAdd&) const {
+    return {Action::StaticRouteAdd, Resource::routes(device)};
+  }
+  ChangeClassification operator()(const StaticRouteRemove&) const {
+    return {Action::StaticRouteRemove, Resource::routes(device)};
+  }
+  ChangeClassification operator()(const OspfNetworkAdd&) const {
+    return {Action::OspfNetworkEdit, Resource::ospf(device)};
+  }
+  ChangeClassification operator()(const OspfNetworkRemove&) const {
+    return {Action::OspfNetworkEdit, Resource::ospf(device)};
+  }
+  ChangeClassification operator()(const OspfProcessChange&) const {
+    return {Action::OspfProcessEdit, Resource::ospf(device)};
+  }
+  ChangeClassification operator()(const VlanDeclare& c) const {
+    return {Action::VlanEdit, Resource::vlan(device, c.vlan)};
+  }
+  ChangeClassification operator()(const VlanRemove& c) const {
+    return {Action::VlanEdit, Resource::vlan(device, c.vlan)};
+  }
+  ChangeClassification operator()(const SecretChange& c) const {
+    return {Action::ChangeSecret, Resource::secret(device, c.field)};
+  }
+};
+
+}  // namespace
+
+ChangeClassification classify_change(const ConfigChange& change) {
+  return std::visit(ClassifyVisitor{change.device}, change.detail);
+}
+
+std::vector<PrivilegeViolation> check_privilege_compliance(
+    const std::vector<ConfigChange>& changes, const priv::PrivilegeSpec& privileges) {
+  std::vector<PrivilegeViolation> violations;
+  for (const ConfigChange& change : changes) {
+    ChangeClassification classification = classify_change(change);
+    priv::Decision decision =
+        privileges.evaluate(classification.action, classification.resource);
+    if (!decision.allowed) {
+      violations.push_back({change, classification, decision.reason});
+    }
+  }
+  return violations;
+}
+
+}  // namespace heimdall::enforce

@@ -1,0 +1,35 @@
+// Maps semantic config changes back onto privilege (Action, Resource) pairs
+// so the enforcer can re-check the Privilege_msp at the production boundary.
+// Defense in depth: even if the reference monitor were bypassed, a change
+// the spec does not allow cannot cross into production.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "config/diff.hpp"
+#include "privilege/spec.hpp"
+
+namespace heimdall::enforce {
+
+/// The privilege classification of one config change.
+struct ChangeClassification {
+  priv::Action action = priv::Action::ShowConfig;
+  priv::Resource resource;
+};
+
+/// Classifies `change` (action + concrete resource).
+ChangeClassification classify_change(const cfg::ConfigChange& change);
+
+/// One privilege-violating change.
+struct PrivilegeViolation {
+  cfg::ConfigChange change;
+  ChangeClassification classification;
+  std::string reason;
+};
+
+/// Checks every change against `privileges`; returns the violations.
+std::vector<PrivilegeViolation> check_privilege_compliance(
+    const std::vector<cfg::ConfigChange>& changes, const priv::PrivilegeSpec& privileges);
+
+}  // namespace heimdall::enforce

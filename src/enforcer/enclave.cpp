@@ -1,0 +1,49 @@
+#include "enforcer/enclave.hpp"
+
+namespace heimdall::enforce {
+
+using util::hmac_sha256;
+using util::Sha256;
+using util::Sha256Digest;
+
+SimulatedEnclave::SimulatedEnclave(std::string code_identity, std::string hardware_key)
+    : hardware_key_(std::move(hardware_key)),
+      measurement_(Sha256::hash(code_identity)) {}
+
+Sha256Digest SimulatedEnclave::mac_over(std::string_view domain, std::string_view payload) const {
+  std::string message = std::string(domain) + "|" + util::to_hex(measurement_) + "|" +
+                        std::string(payload);
+  return hmac_sha256(hardware_key_, message);
+}
+
+AttestationReport SimulatedEnclave::attest(std::string report_data) const {
+  AttestationReport report;
+  report.measurement = measurement_;
+  report.report_data = std::move(report_data);
+  report.mac = mac_over("attest", report.report_data);
+  return report;
+}
+
+bool SimulatedEnclave::verify_report(const AttestationReport& report,
+                                     const Sha256Digest& expected_measurement) const {
+  if (report.measurement != expected_measurement) return false;
+  std::string message =
+      "attest|" + util::to_hex(report.measurement) + "|" + report.report_data;
+  return hmac_sha256(hardware_key_, message) == report.mac;
+}
+
+SealedBlob SimulatedEnclave::seal(std::string payload) const {
+  SealedBlob blob;
+  blob.payload = std::move(payload);
+  blob.sealer_measurement = measurement_;
+  blob.mac = mac_over("seal", blob.payload);
+  return blob;
+}
+
+std::optional<std::string> SimulatedEnclave::unseal(const SealedBlob& blob) const {
+  if (blob.sealer_measurement != measurement_) return std::nullopt;
+  if (mac_over("seal", blob.payload) != blob.mac) return std::nullopt;
+  return blob.payload;
+}
+
+}  // namespace heimdall::enforce

@@ -1,0 +1,77 @@
+// Simulated trusted execution environment.
+//
+// The paper runs the policy enforcer inside an Intel SGX enclave (§4.3) for
+// data integrity with a small TCB. Real SGX is hardware; this simulation
+// preserves the *interfaces and checkable properties* the design relies on:
+//   * measurement-based identity (SHA-256 over the enclave's code identity),
+//   * remote attestation reports (MAC over measurement + report data under a
+//     key derived from the simulated hardware root),
+//   * sealed storage (data + HMAC, unsealable only by the same measurement),
+//   * a monotonic counter (rollback protection for the audit head).
+// See DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/sha256.hpp"
+
+namespace heimdall::enforce {
+
+/// An attestation report a relying party (the enterprise) can check.
+struct AttestationReport {
+  util::Sha256Digest measurement{};   ///< enclave code identity
+  std::string report_data;            ///< caller-supplied freshness data
+  util::Sha256Digest mac{};           ///< MAC under the hardware key
+
+  bool operator==(const AttestationReport&) const = default;
+};
+
+/// Sealed blob: ciphertext is modeled as plaintext+MAC (confidentiality is
+/// out of scope for the properties being evaluated; integrity is what the
+/// enforcer depends on).
+struct SealedBlob {
+  std::string payload;
+  util::Sha256Digest mac{};
+  util::Sha256Digest sealer_measurement{};
+};
+
+/// The simulated enclave.
+class SimulatedEnclave {
+ public:
+  /// `code_identity` stands in for the measured enclave binary;
+  /// `hardware_key` for the CPU's fused root key.
+  SimulatedEnclave(std::string code_identity, std::string hardware_key);
+
+  const util::Sha256Digest& measurement() const { return measurement_; }
+
+  /// Produces an attestation report binding `report_data` to this enclave.
+  AttestationReport attest(std::string report_data) const;
+
+  /// Verifies a report against an expected measurement, using the same
+  /// hardware key (the relying party talks to the attestation service).
+  bool verify_report(const AttestationReport& report,
+                     const util::Sha256Digest& expected_measurement) const;
+
+  /// Seals `payload` to this enclave's identity.
+  SealedBlob seal(std::string payload) const;
+
+  /// Unseals; nullopt when the blob was tampered with or sealed by a
+  /// different enclave.
+  std::optional<std::string> unseal(const SealedBlob& blob) const;
+
+  /// Monotonic counter (rollback protection). Increments and returns.
+  std::uint64_t bump_counter() { return ++counter_; }
+  std::uint64_t counter() const { return counter_; }
+
+ private:
+  util::Sha256Digest mac_over(std::string_view domain, std::string_view payload) const;
+
+  std::string hardware_key_;
+  util::Sha256Digest measurement_{};
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace heimdall::enforce

@@ -1,0 +1,215 @@
+#include "enforcer/enforcer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace heimdall::enforce {
+
+PolicyEnforcer::PolicyEnforcer(spec::PolicyVerifier policies, SimulatedEnclave enclave)
+    : policies_(std::move(policies)), enclave_(std::move(enclave)) {
+  reseal_head();
+}
+
+void PolicyEnforcer::reseal_head() {
+  std::string head = util::to_hex(audit_.head()) + "|" + std::to_string(enclave_.bump_counter());
+  sealed_head_ = enclave_.seal(head);
+}
+
+void PolicyEnforcer::audit_event(util::VirtualClock& clock, const std::string& actor,
+                                 AuditCategory category, std::string message) {
+  audit_.append(clock.now(), actor, category, std::move(message));
+  reseal_head();
+}
+
+EnforcementReport PolicyEnforcer::enforce(net::Network& production,
+                                          const std::vector<cfg::ConfigChange>& changes,
+                                          const priv::PrivilegeSpec& privileges,
+                                          util::VirtualClock& clock, const std::string& actor,
+                                          bool check_transients) {
+  EnforcementReport report;
+  report.verification = verify_changes(production, changes, policies_, privileges);
+
+  for (const PrivilegeViolation& violation : report.verification.privilege_violations) {
+    audit_event(clock, actor, AuditCategory::Violation,
+                "intercepted privilege violation: " + violation.change.summary());
+  }
+  for (const spec::Violation& violation : report.verification.policy_report.violations) {
+    audit_event(clock, actor, AuditCategory::Violation,
+                "intercepted policy violation: " + violation.policy.to_string() + " — " +
+                    violation.detail);
+  }
+
+  if (!report.verification.approved()) {
+    report.rejection_reasons = report.verification.rejection_reasons();
+    audit_event(clock, actor, AuditCategory::Verify,
+                "changeset REJECTED (" + std::to_string(changes.size()) + " changes, " +
+                    std::to_string(report.rejection_reasons.size()) + " reasons)");
+    return report;
+  }
+
+  audit_event(clock, actor, AuditCategory::Verify,
+              "changeset approved (" + std::to_string(changes.size()) + " changes, " +
+                  std::to_string(report.verification.policy_report.checked) +
+                  " policies checked)");
+
+  report.plan = build_plan(production, changes, policies_, check_transients);
+  for (const ScheduledStep& step : report.plan.steps) {
+    cfg::apply_change(production, step.change);
+    audit_event(clock, actor, AuditCategory::Schedule, "applied: " + step.change.summary());
+  }
+  report.applied = true;
+  return report;
+}
+
+QuarantineReport PolicyEnforcer::enforce_with_quarantine(
+    net::Network& production, const std::vector<cfg::ConfigChange>& changes,
+    const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor) {
+  QuarantineReport report;
+
+  // 1. Privilege compliance per change.
+  std::vector<cfg::ConfigChange> candidates;
+  for (const cfg::ConfigChange& change : changes) {
+    ChangeClassification classification = classify_change(change);
+    priv::Decision decision = privileges.evaluate(classification.action, classification.resource);
+    if (!decision.allowed) {
+      audit_event(clock, actor, AuditCategory::Violation,
+                  "quarantined (privilege): " + change.summary());
+      report.quarantined.emplace_back(change, "privilege: " + decision.reason);
+    } else {
+      candidates.push_back(change);
+    }
+  }
+
+  // Production may already be violating policies (that is often why the
+  // ticket exists); a change is only quarantined when it introduces *new*
+  // violations beyond that baseline.
+  std::vector<std::string> baseline = policies_.verify_network(production).violated_ids();
+  auto introduces_new_violation = [&](const spec::VerificationReport& verification,
+                                      std::string* which) {
+    for (const std::string& id : verification.violated_ids()) {
+      if (std::find(baseline.begin(), baseline.end(), id) == baseline.end()) {
+        if (which) *which = id;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // 2. Individual policy attribution: a change that introduces a violation
+  //    all by itself is quarantined.
+  std::vector<cfg::ConfigChange> remainder;
+  for (const cfg::ConfigChange& change : candidates) {
+    net::Network shadow = production;
+    bool replayable = true;
+    try {
+      cfg::apply_change(shadow, change);
+    } catch (const util::Error& error) {
+      audit_event(clock, actor, AuditCategory::Violation,
+                  "quarantined (replay): " + change.summary());
+      report.quarantined.emplace_back(change, std::string("replay: ") + error.what());
+      replayable = false;
+    }
+    if (!replayable) continue;
+    std::string which;
+    if (introduces_new_violation(policies_.verify_network(shadow), &which)) {
+      std::string detail = "policy: " + which;
+      audit_event(clock, actor, AuditCategory::Violation,
+                  "quarantined (" + detail + "): " + change.summary());
+      report.quarantined.emplace_back(change, detail);
+    } else {
+      remainder.push_back(change);
+    }
+  }
+
+  // 3. Joint verification of the remainder; combination-only violations
+  //    cannot be attributed to one change, so the remainder is rejected.
+  if (!remainder.empty()) {
+    net::Network shadow = production;
+    bool replay_ok = true;
+    try {
+      cfg::apply_changes(shadow, remainder);
+    } catch (const util::Error& error) {
+      replay_ok = false;
+      audit_event(clock, actor, AuditCategory::Verify,
+                  std::string("remainder rejected (replay): ") + error.what());
+    }
+    if (replay_ok && !introduces_new_violation(policies_.verify_network(shadow), nullptr)) {
+      for (const cfg::ConfigChange& change : schedule_changes(remainder)) {
+        cfg::apply_change(production, change);
+        audit_event(clock, actor, AuditCategory::Schedule, "applied: " + change.summary());
+        report.applied_changes.push_back(change);
+      }
+      report.applied_any = true;
+    } else if (replay_ok) {
+      for (const cfg::ConfigChange& change : remainder) {
+        report.quarantined.emplace_back(change, "combination violates policies");
+      }
+      audit_event(clock, actor, AuditCategory::Verify,
+                  "remainder rejected: combination violates policies");
+    }
+  }
+
+  audit_event(clock, actor, AuditCategory::Verify,
+              "quarantine round: " + std::to_string(report.applied_changes.size()) +
+                  " applied, " + std::to_string(report.quarantined.size()) + " intercepted");
+  return report;
+}
+
+EmergencyResult PolicyEnforcer::emergency_execute(net::Network& production,
+                                                  std::string_view command_line,
+                                                  const priv::PrivilegeSpec& privileges,
+                                                  util::VirtualClock& clock,
+                                                  const std::string& actor) {
+  EmergencyResult result;
+  twin::ParsedCommand command = twin::parse_command(command_line);
+
+  priv::Decision decision = privileges.evaluate(command.action, command.resource);
+  if (!decision.allowed) {
+    audit_event(clock, actor, AuditCategory::Violation,
+                "emergency command DENIED: " + command.raw + " (" + decision.reason + ")");
+    result.output = "DENIED: " + decision.reason;
+    return result;
+  }
+  result.permitted = true;
+
+  // Execute against a shadow first; verify; only then touch production.
+  twin::EmulationLayer shadow(production);
+  twin::CommandResult executed = shadow.execute(command);
+  result.output = executed.output;
+  if (!executed.ok) {
+    audit_event(clock, actor, AuditCategory::Command,
+                "emergency command failed in shadow: " + command.raw);
+    return result;
+  }
+
+  spec::VerificationReport report = policies_.verify_network(shadow.network());
+  if (!report.ok()) {
+    for (const spec::Violation& violation : report.violations)
+      result.rejection_reasons.push_back(violation.policy.to_string() + ": " + violation.detail);
+    audit_event(clock, actor, AuditCategory::Violation,
+                "emergency command rolled back (policy violations): " + command.raw);
+    return result;
+  }
+
+  for (const cfg::ConfigChange& change : executed.changes)
+    cfg::apply_change(production, change);
+  result.applied = true;
+  audit_event(clock, actor, AuditCategory::Command, "emergency command applied: " + command.raw);
+  return result;
+}
+
+AttestationReport PolicyEnforcer::attest() const {
+  return enclave_.attest(util::to_hex(audit_.head()));
+}
+
+bool PolicyEnforcer::audit_intact() const {
+  if (!audit_.verify_chain()) return false;
+  auto unsealed = enclave_.unseal(sealed_head_);
+  if (!unsealed) return false;
+  auto separator = unsealed->find('|');
+  if (separator == std::string::npos) return false;
+  return unsealed->substr(0, separator) == util::to_hex(audit_.head());
+}
+
+}  // namespace heimdall::enforce

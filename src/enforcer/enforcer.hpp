@@ -1,0 +1,107 @@
+// PolicyEnforcer: the trusted component between the twin network and the
+// production network (paper §4.3). Verifies changesets, schedules approved
+// changes, applies them to production, and keeps the tamper-evident audit
+// trail whose head is sealed inside the (simulated) SGX enclave.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "enforcer/audit.hpp"
+#include "enforcer/enclave.hpp"
+#include "enforcer/scheduler.hpp"
+#include "enforcer/verifier.hpp"
+#include "twin/console.hpp"
+#include "twin/emulation.hpp"
+#include "util/clock.hpp"
+
+namespace heimdall::enforce {
+
+/// Result of one enforcement round.
+struct EnforcementReport {
+  VerifyOutcome verification;
+  SchedulePlan plan;
+  bool applied = false;
+  std::vector<std::string> rejection_reasons;
+};
+
+/// Result of a quarantining enforcement round: legitimate changes applied,
+/// violating ones intercepted individually (paper §3: "legitimate changes
+/// are applied to the production network and violations are intercepted").
+struct QuarantineReport {
+  std::vector<cfg::ConfigChange> applied_changes;
+  /// Intercepted changes with the reason each was quarantined.
+  std::vector<std::pair<cfg::ConfigChange, std::string>> quarantined;
+  /// False when even the non-quarantined remainder violated policies
+  /// jointly and everything was rejected.
+  bool applied_any = false;
+};
+
+/// Outcome of one emergency-mode command.
+struct EmergencyResult {
+  bool permitted = false;
+  bool applied = false;
+  std::string output;
+  std::vector<std::string> rejection_reasons;
+};
+
+class PolicyEnforcer {
+ public:
+  /// `policies` are the mined network policies the enterprise pins;
+  /// `technician`/`enclave` identities feed attestation and audit records.
+  PolicyEnforcer(spec::PolicyVerifier policies, SimulatedEnclave enclave);
+
+  const spec::PolicyVerifier& policies() const { return policies_; }
+
+  /// Verifies `changes` against `production` + `privileges`; on approval,
+  /// schedules and applies them to `production` (with transient checking
+  /// when `check_transients`). Every outcome is audited.
+  EnforcementReport enforce(net::Network& production,
+                            const std::vector<cfg::ConfigChange>& changes,
+                            const priv::PrivilegeSpec& privileges, util::VirtualClock& clock,
+                            const std::string& actor, bool check_transients = true);
+
+  /// Like enforce(), but intercepts violating changes *individually* and
+  /// applies the legitimate remainder: (1) privilege violations are
+  /// quarantined, (2) each remaining change is tested alone against the
+  /// policies and quarantined when it violates by itself, (3) the remainder
+  /// is verified jointly — combination-only violations reject the remainder
+  /// wholesale (no safe attribution exists in that case).
+  QuarantineReport enforce_with_quarantine(net::Network& production,
+                                           const std::vector<cfg::ConfigChange>& changes,
+                                           const priv::PrivilegeSpec& privileges,
+                                           util::VirtualClock& clock, const std::string& actor);
+
+  /// Emergency mode (paper §7): a command bypasses the twin but still goes
+  /// through privilege mediation and post-state verification before touching
+  /// production. Rolls back on violation.
+  EmergencyResult emergency_execute(net::Network& production, std::string_view command_line,
+                                    const priv::PrivilegeSpec& privileges,
+                                    util::VirtualClock& clock, const std::string& actor);
+
+  /// Records a twin-session event into the audit trail (sessions route their
+  /// logs through the enforcer so the chain covers them).
+  void audit_event(util::VirtualClock& clock, const std::string& actor, AuditCategory category,
+                   std::string message);
+
+  const AuditLog& audit() const { return audit_; }
+
+  /// Attestation report over the current audit head (freshness binding).
+  AttestationReport attest() const;
+
+  /// True when the chain verifies AND the sealed head matches — detects
+  /// both in-place tampering and truncation.
+  bool audit_intact() const;
+
+  const SimulatedEnclave& enclave() const { return enclave_; }
+
+ private:
+  void reseal_head();
+
+  spec::PolicyVerifier policies_;
+  SimulatedEnclave enclave_;
+  AuditLog audit_;
+  SealedBlob sealed_head_;
+};
+
+}  // namespace heimdall::enforce

@@ -1,0 +1,137 @@
+#include "enforcer/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace heimdall::enforce {
+
+using namespace heimdall::cfg;
+
+std::vector<ConfigChange> SchedulePlan::ordered_changes() const {
+  std::vector<ConfigChange> out;
+  out.reserve(steps.size());
+  for (const ScheduledStep& step : steps) out.push_back(step.change);
+  return out;
+}
+
+std::size_t SchedulePlan::transient_violation_count() const {
+  std::size_t total = 0;
+  for (const ScheduledStep& step : steps) total += step.transient_violations.size();
+  return total;
+}
+
+namespace {
+
+struct PriorityVisitor {
+  int operator()(const VlanDeclare&) const { return 0; }
+  int operator()(const AclCreate&) const { return 0; }
+  int operator()(const InterfaceAdminChange& c) const { return c.new_shutdown ? 3 : 1; }
+  int operator()(const InterfaceAddressChange& c) const { return c.new_address ? 1 : 3; }
+  int operator()(const AclEntryAdd& c) const {
+    return c.entry.action == net::AclEntry::Action::Permit ? 1 : 3;
+  }
+  int operator()(const AclEntryRemove& c) const {
+    // Removing a deny restores connectivity; removing a permit takes it away.
+    return c.entry.action == net::AclEntry::Action::Deny ? 1 : 3;
+  }
+  int operator()(const StaticRouteAdd&) const { return 1; }
+  int operator()(const OspfNetworkAdd&) const { return 1; }
+  int operator()(const OspfCostChange&) const { return 2; }
+  int operator()(const SwitchportChange&) const { return 2; }
+  int operator()(const InterfaceAclBindingChange& c) const { return c.new_acl.empty() ? 1 : 2; }
+  int operator()(const OspfProcessChange& c) const { return c.new_process ? 1 : 3; }
+  int operator()(const StaticRouteRemove&) const { return 3; }
+  int operator()(const OspfNetworkRemove&) const { return 3; }
+  int operator()(const AclDelete&) const { return 3; }
+  int operator()(const VlanRemove&) const { return 3; }
+  int operator()(const SecretChange&) const { return 4; }
+};
+
+/// Key grouping changes that must keep their relative order.
+std::string atomic_group_key(const ConfigChange& change) {
+  if (const auto* add = std::get_if<AclEntryAdd>(&change.detail))
+    return change.device.str() + "|acl|" + add->acl;
+  if (const auto* remove = std::get_if<AclEntryRemove>(&change.detail))
+    return change.device.str() + "|acl|" + remove->acl;
+  return "";  // independent
+}
+
+}  // namespace
+
+int change_priority(const ConfigChange& change) {
+  return std::visit(PriorityVisitor{}, change.detail);
+}
+
+std::vector<ConfigChange> schedule_changes(const std::vector<ConfigChange>& changes) {
+  // Build scheduling units: single changes, or per-ACL sequences kept atomic.
+  struct Unit {
+    int priority;
+    std::size_t first_index;  // stable tiebreak
+    std::vector<ConfigChange> members;
+  };
+  std::vector<Unit> units;
+  std::map<std::string, std::size_t> group_index;
+
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    const ConfigChange& change = changes[i];
+    std::string key = atomic_group_key(change);
+    int priority = change_priority(change);
+    if (key.empty()) {
+      units.push_back({priority, i, {change}});
+      continue;
+    }
+    auto it = group_index.find(key);
+    if (it == group_index.end()) {
+      group_index[key] = units.size();
+      units.push_back({priority, i, {change}});
+    } else {
+      Unit& unit = units[it->second];
+      unit.priority = std::min(unit.priority, priority);
+      unit.members.push_back(change);
+    }
+  }
+
+  std::stable_sort(units.begin(), units.end(), [](const Unit& a, const Unit& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.first_index < b.first_index;
+  });
+
+  std::vector<ConfigChange> out;
+  out.reserve(changes.size());
+  for (const Unit& unit : units)
+    out.insert(out.end(), unit.members.begin(), unit.members.end());
+  return out;
+}
+
+SchedulePlan check_plan_order(const net::Network& production,
+                              const std::vector<ConfigChange>& ordered,
+                              const spec::PolicyVerifier& invariants) {
+  SchedulePlan plan;
+  net::Network shadow = production;
+  for (const ConfigChange& change : ordered) {
+    ScheduledStep step;
+    step.change = change;
+    try {
+      cfg::apply_change(shadow, change);
+      spec::VerificationReport report = invariants.verify_network(shadow);
+      step.transient_violations = report.violated_ids();
+    } catch (const util::Error& error) {
+      step.transient_violations.push_back(std::string("replay-error: ") + error.what());
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+SchedulePlan build_plan(const net::Network& production, const std::vector<ConfigChange>& changes,
+                        const spec::PolicyVerifier& invariants, bool check_transients) {
+  std::vector<ConfigChange> ordered = schedule_changes(changes);
+  if (check_transients) return check_plan_order(production, ordered, invariants);
+  SchedulePlan plan;
+  for (ConfigChange& change : ordered) plan.steps.push_back({std::move(change), {}});
+  return plan;
+}
+
+}  // namespace heimdall::enforce

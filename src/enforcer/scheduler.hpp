@@ -1,0 +1,66 @@
+// Change scheduler (paper §4.3: "a scheduler that orders changes and pushes
+// them to the production network"; "updating routers in the wrong order can
+// result in inconsistent behavior").
+//
+// Ordering rules (make-before-break):
+//   1. object creation first (VLAN declarations, new ACLs),
+//   2. connectivity-adding changes (permit entries, route/network adds,
+//      interfaces up, address assignments),
+//   3. neutral tweaks (costs, switchports, bindings),
+//   4. connectivity-removing changes (deny entries, removals, shutdowns),
+//   5. secrets last.
+// Edits to the same ACL are kept in their original relative order (entry
+// indexes refer to the evolving list) by scheduling them as one atomic group
+// at the group's earliest priority.
+//
+// The plan can additionally be checked step-by-step: each prefix of the
+// ordered changes is applied to a shadow network and the invariant policies
+// verified, counting transient violations (the ablation_scheduler bench
+// compares this against naive session order).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/diff.hpp"
+#include "spec/verify.hpp"
+
+namespace heimdall::enforce {
+
+/// One scheduled step with its transient-state check (when requested).
+struct ScheduledStep {
+  cfg::ConfigChange change;
+  /// Policies violated in the intermediate state *after* this step.
+  std::vector<std::string> transient_violations;
+};
+
+/// A complete ordered plan.
+struct SchedulePlan {
+  std::vector<ScheduledStep> steps;
+
+  std::vector<cfg::ConfigChange> ordered_changes() const;
+
+  /// Total transient violations across intermediate states.
+  std::size_t transient_violation_count() const;
+};
+
+/// Priority class of a change (exposed for tests/ablation).
+int change_priority(const cfg::ConfigChange& change);
+
+/// Orders `changes` by the make-before-break rules. Stable within a class.
+std::vector<cfg::ConfigChange> schedule_changes(const std::vector<cfg::ConfigChange>& changes);
+
+/// Orders and, when `check_transients`, applies step by step to a shadow of
+/// `production`, recording policies violated in each intermediate state.
+/// `invariants` are the policies that should hold *throughout* the update.
+SchedulePlan build_plan(const net::Network& production,
+                        const std::vector<cfg::ConfigChange>& changes,
+                        const spec::PolicyVerifier& invariants, bool check_transients);
+
+/// Same stepwise check over an arbitrary (e.g. unscheduled) order; used by
+/// the ablation bench to quantify what ordering buys.
+SchedulePlan check_plan_order(const net::Network& production,
+                              const std::vector<cfg::ConfigChange>& ordered,
+                              const spec::PolicyVerifier& invariants);
+
+}  // namespace heimdall::enforce

@@ -1,0 +1,43 @@
+#include "enforcer/verifier.hpp"
+
+#include "util/error.hpp"
+
+namespace heimdall::enforce {
+
+std::vector<std::string> VerifyOutcome::rejection_reasons() const {
+  std::vector<std::string> out;
+  for (const PrivilegeViolation& violation : privilege_violations) {
+    out.push_back("privilege violation: " + violation.change.summary() + " (" + violation.reason +
+                  ")");
+  }
+  for (const spec::Violation& violation : policy_report.violations) {
+    out.push_back("policy violation: " + violation.policy.to_string() + " (" + violation.detail +
+                  ")");
+  }
+  for (const std::string& error : replay_errors) {
+    out.push_back("replay error: " + error);
+  }
+  return out;
+}
+
+VerifyOutcome verify_changes(const net::Network& production,
+                             const std::vector<cfg::ConfigChange>& changes,
+                             const spec::PolicyVerifier& verifier,
+                             const priv::PrivilegeSpec& privileges) {
+  VerifyOutcome outcome;
+  outcome.privilege_violations = check_privilege_compliance(changes, privileges);
+
+  outcome.shadow = production;
+  for (const cfg::ConfigChange& change : changes) {
+    try {
+      cfg::apply_change(outcome.shadow, change);
+    } catch (const util::Error& error) {
+      outcome.replay_errors.push_back(change.summary() + ": " + error.what());
+    }
+  }
+
+  outcome.policy_report = verifier.verify_network(outcome.shadow);
+  return outcome;
+}
+
+}  // namespace heimdall::enforce

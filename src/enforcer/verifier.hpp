@@ -1,0 +1,40 @@
+// Change verification at the production boundary (paper §4.3).
+//
+// The verifier replays the twin session's changeset onto a *shadow* copy of
+// the production network, recomputes the dataplane, and checks (1) the
+// mined network policies and (2) Privilege_msp compliance of every change.
+// Only a clean outcome lets changes proceed to the scheduler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "enforcer/compliance.hpp"
+#include "spec/verify.hpp"
+
+namespace heimdall::enforce {
+
+/// The verifier's verdict on one changeset.
+struct VerifyOutcome {
+  std::vector<PrivilegeViolation> privilege_violations;
+  spec::VerificationReport policy_report;
+  /// Changes that failed to replay (stale indexes, missing objects).
+  std::vector<std::string> replay_errors;
+  /// Shadow network with the changes applied (valid when replay succeeded).
+  net::Network shadow;
+
+  bool approved() const {
+    return privilege_violations.empty() && policy_report.ok() && replay_errors.empty();
+  }
+
+  /// Human-readable rejection reasons (empty when approved).
+  std::vector<std::string> rejection_reasons() const;
+};
+
+/// Verifies `changes` against `production`.
+VerifyOutcome verify_changes(const net::Network& production,
+                             const std::vector<cfg::ConfigChange>& changes,
+                             const spec::PolicyVerifier& verifier,
+                             const priv::PrivilegeSpec& privileges);
+
+}  // namespace heimdall::enforce

@@ -1,0 +1,40 @@
+#include "msp/attacker.hpp"
+
+namespace heimdall::msp {
+
+AttackScript data_exfiltration_attack(const std::vector<net::DeviceId>& targets) {
+  AttackScript script;
+  script.name = "apt10-exfiltration";
+  script.goal = "harvest credentials/configs from every reachable device, then persist";
+  for (const net::DeviceId& device : targets) {
+    script.commands.push_back("show config " + device.str());
+  }
+  if (!targets.empty()) {
+    script.commands.push_back("secret " + targets.front().str() +
+                              " enable_password attacker-owned");
+  }
+  return script;
+}
+
+AttackScript careless_erase(const net::DeviceId& gateway) {
+  AttackScript script;
+  script.name = "careless-erase";
+  script.goal = "accidentally wipe the gateway router (the 'rm -rf' moment)";
+  script.commands = {"erase " + gateway.str()};
+  return script;
+}
+
+AttackScript insider_acl_attack(const net::DeviceId& device, const std::string& acl,
+                                const std::string& legitimate_fix,
+                                const std::string& malicious_entry) {
+  AttackScript script;
+  script.name = "insider-acl";
+  script.goal = "hide a malicious permit next to a legitimate ACL fix";
+  script.commands = {
+      legitimate_fix,
+      "acl " + device.str() + " " + acl + " add 0 " + malicious_entry,
+  };
+  return script;
+}
+
+}  // namespace heimdall::msp

@@ -1,0 +1,35 @@
+// Attacker and accident models from the paper's motivating incidents (§2.2):
+// the APT10-style data-exfiltration campaign (Figure 2) and the careless
+// technician wiping a gateway (Figure 3), plus the §4.3 insider who slips a
+// malicious rule change in next to a legitimate fix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netmodel/types.hpp"
+
+namespace heimdall::msp {
+
+/// A named sequence of console commands pursuing a malicious/accidental goal.
+struct AttackScript {
+  std::string name;
+  std::string goal;
+  std::vector<std::string> commands;
+};
+
+/// APT10-style reconnaissance + credential theft: read configs (hunting for
+/// secrets) on every given device, then try to rotate a credential to
+/// establish persistence.
+AttackScript data_exfiltration_attack(const std::vector<net::DeviceId>& targets);
+
+/// Careless technician (Figure 3): erases the gateway's configuration.
+AttackScript careless_erase(const net::DeviceId& gateway);
+
+/// The §4.3 insider: fixes the ticket legitimately but also opens a path to
+/// a sensitive host by inserting `malicious_entry` into `acl` on `device`.
+AttackScript insider_acl_attack(const net::DeviceId& device, const std::string& acl,
+                                const std::string& legitimate_fix,
+                                const std::string& malicious_entry);
+
+}  // namespace heimdall::msp

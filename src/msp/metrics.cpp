@@ -1,0 +1,182 @@
+#include "msp/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace heimdall::msp {
+
+using namespace heimdall::net;
+using priv::Action;
+using priv::Resource;
+
+std::vector<std::pair<Action, Resource>> device_command_catalog(const Device& device) {
+  std::vector<std::pair<Action, Resource>> catalog;
+  Resource whole = Resource::whole_device(device.id());
+
+  for (Action action : {Action::ShowConfig, Action::ShowInterfaces, Action::ShowRoutes,
+                        Action::ShowAcls, Action::ShowOspf, Action::ShowVlans, Action::Ping,
+                        Action::Traceroute, Action::Reboot, Action::EraseConfig,
+                        Action::SaveConfig, Action::AclCreate}) {
+    catalog.emplace_back(action, whole);
+  }
+  for (const Interface& iface : device.interfaces()) {
+    Resource resource = Resource::interface(device.id(), iface.id);
+    for (Action action : {Action::InterfaceUp, Action::InterfaceDown,
+                          Action::SetInterfaceAddress, Action::BindAcl, Action::SetSwitchport,
+                          Action::SetOspfCost}) {
+      catalog.emplace_back(action, resource);
+    }
+  }
+  for (const Acl& acl : device.acls()) {
+    Resource resource = Resource::acl(device.id(), acl.name);
+    catalog.emplace_back(Action::AclEdit, resource);
+    catalog.emplace_back(Action::AclDelete, resource);
+  }
+  catalog.emplace_back(Action::StaticRouteAdd, Resource::routes(device.id()));
+  catalog.emplace_back(Action::StaticRouteRemove, Resource::routes(device.id()));
+  if (device.ospf()) {
+    catalog.emplace_back(Action::OspfNetworkEdit, Resource::ospf(device.id()));
+    catalog.emplace_back(Action::OspfProcessEdit, Resource::ospf(device.id()));
+  }
+  for (VlanId vlan : device.vlans()) {
+    catalog.emplace_back(Action::VlanEdit, Resource::vlan(device.id(), vlan));
+  }
+  for (const char* field : {"enable_password", "snmp_community", "ipsec_key"}) {
+    catalog.emplace_back(Action::ChangeSecret, Resource::secret(device.id(), field));
+  }
+  return catalog;
+}
+
+std::vector<AttackProbe> device_attack_probes(const Device& device) {
+  std::vector<AttackProbe> probes;
+  const DeviceId& id = device.id();
+
+  // Shut down every up interface.
+  for (const Interface& iface : device.interfaces()) {
+    if (iface.shutdown) continue;
+    probes.push_back({cfg::ConfigChange{id, cfg::InterfaceAdminChange{iface.id, false, true}},
+                      Action::InterfaceDown, Resource::interface(id, iface.id)});
+  }
+
+  // Prepend deny-any and permit-any to every ACL (break reachability /
+  // break isolation respectively).
+  for (const Acl& acl : device.acls()) {
+    AclEntry deny_any;
+    deny_any.action = AclEntry::Action::Deny;
+    probes.push_back({cfg::ConfigChange{id, cfg::AclEntryAdd{acl.name, 0, deny_any}},
+                      Action::AclEdit, Resource::acl(id, acl.name)});
+    AclEntry permit_any;
+    permit_any.action = AclEntry::Action::Permit;
+    probes.push_back({cfg::ConfigChange{id, cfg::AclEntryAdd{acl.name, 0, permit_any}},
+                      Action::AclEdit, Resource::acl(id, acl.name)});
+  }
+
+  // Unbind every interface ACL (defeats intentional isolation).
+  for (const Interface& iface : device.interfaces()) {
+    if (!iface.acl_in.empty()) {
+      probes.push_back(
+          {cfg::ConfigChange{id, cfg::InterfaceAclBindingChange{iface.id, cfg::AclDirection::In,
+                                                                iface.acl_in, ""}},
+           Action::BindAcl, Resource::interface(id, iface.id)});
+    }
+    if (!iface.acl_out.empty()) {
+      probes.push_back(
+          {cfg::ConfigChange{id, cfg::InterfaceAclBindingChange{iface.id, cfg::AclDirection::Out,
+                                                                iface.acl_out, ""}},
+           Action::BindAcl, Resource::interface(id, iface.id)});
+    }
+  }
+
+  // Remove every static route.
+  for (const StaticRoute& route : device.static_routes()) {
+    probes.push_back({cfg::ConfigChange{id, cfg::StaticRouteRemove{route}},
+                      Action::StaticRouteRemove, Resource::routes(id)});
+  }
+
+  // Remove every OSPF network statement, and the whole process.
+  if (device.ospf()) {
+    for (const OspfNetwork& network : device.ospf()->networks) {
+      probes.push_back({cfg::ConfigChange{id, cfg::OspfNetworkRemove{network}},
+                        Action::OspfNetworkEdit, Resource::ospf(id)});
+    }
+    probes.push_back({cfg::ConfigChange{id, cfg::OspfProcessChange{device.ospf(), std::nullopt}},
+                      Action::OspfProcessEdit, Resource::ospf(id)});
+  }
+
+  // Move every access port to an unused VLAN (strands the attached host).
+  for (const Interface& iface : device.interfaces()) {
+    if (iface.mode != SwitchportMode::Access) continue;
+    VlanId stray = 4094;
+    probes.push_back(
+        {cfg::ConfigChange{id, cfg::SwitchportChange{iface.id, iface.mode, SwitchportMode::Access,
+                                                     iface.access_vlan, stray,
+                                                     iface.trunk_allowed, iface.trunk_allowed}},
+         Action::SetSwitchport, Resource::interface(id, iface.id)});
+  }
+
+  return probes;
+}
+
+SurfaceResult compute_attack_surface(const Network& production,
+                                     const spec::PolicyVerifier& policies,
+                                     const SurfaceQuery& query) {
+  SurfaceResult result;
+  result.total_policies = policies.policies().size();
+
+  // Command exposure: ΣC_n / ΣA_n over *all* nodes.
+  for (const Device& device : production.devices()) {
+    auto catalog = device_command_catalog(device);
+    result.available_commands += catalog.size();
+    if (!query.accessible.count(device.id())) continue;
+    if (query.privileges == nullptr) {
+      result.allowed_commands += catalog.size();  // unrestricted root
+    } else {
+      result.allowed_commands += query.privileges->count_allowed(catalog);
+    }
+  }
+
+  // VP: policies violable by at least one allowed probe.
+  std::set<std::string> violated;
+  for (const Device& device : production.devices()) {
+    if (!query.accessible.count(device.id())) continue;
+    for (const AttackProbe& probe : device_attack_probes(device)) {
+      if (query.privileges != nullptr &&
+          !query.privileges->allows(probe.action, probe.resource))
+        continue;
+      Network shadow = production;
+      try {
+        cfg::apply_change(shadow, probe.change);
+      } catch (const util::Error&) {
+        continue;  // probe does not apply to this state
+      }
+      spec::VerificationReport report = policies.verify_network(shadow);
+      for (const std::string& policy_id : report.violated_ids()) violated.insert(policy_id);
+    }
+  }
+  result.violable_policies = violated.size();
+
+  double exposure = result.exposure_ratio();
+  double violation_ratio =
+      result.total_policies == 0
+          ? 0.0
+          : static_cast<double>(result.violable_policies) /
+                static_cast<double>(result.total_policies);
+  result.surface_pct = (exposure * 0.5 + violation_ratio * 0.5) * 100.0;
+  return result;
+}
+
+bool is_feasible(const DeviceId& root_cause, const Network& production,
+                 const SurfaceQuery& query) {
+  if (!query.accessible.count(root_cause)) return false;
+  if (query.privileges == nullptr) return true;
+  const Device* device = production.find_device(root_cause);
+  if (!device) return false;
+  for (const auto& [action, resource] : device_command_catalog(*device)) {
+    if (priv::is_mutating(action) && query.privileges->allows(action, resource)) return true;
+  }
+  return false;
+}
+
+}  // namespace heimdall::msp

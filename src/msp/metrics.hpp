@@ -1,0 +1,76 @@
+// Attack-surface and feasibility metrics (paper §5).
+//
+// Attack_Surface(%) = ( ΣC_n / ΣA_n · 0.5  +  VP / P · 0.5 ) · 100
+//   C_n = commands *allowed* to the technician on node n,
+//   A_n = commands *available* on node n,
+//   VP  = policies violable by some allowed command on an accessible node
+//         (found by searching a battery of concrete mutations),
+//   P   = total provided policies.
+// Feasibility = can the technician still reach (and mutate) the root-cause
+// node of the injected issue.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "config/diff.hpp"
+#include "netmodel/network.hpp"
+#include "privilege/spec.hpp"
+#include "spec/verify.hpp"
+
+namespace heimdall::msp {
+
+/// Every concrete (action, resource) command available on `device` — the
+/// A_n catalog. Deterministic order.
+std::vector<std::pair<priv::Action, priv::Resource>> device_command_catalog(
+    const net::Device& device);
+
+/// One candidate malicious/destructive mutation used by the VP search.
+struct AttackProbe {
+  cfg::ConfigChange change;
+  priv::Action action = priv::Action::ShowConfig;
+  priv::Resource resource;
+};
+
+/// The battery of concrete single-change probes on `device`: interface
+/// shutdowns, deny-any/permit-any ACL prepends, route/network removals,
+/// OSPF process disable, switchport moves, secret changes.
+std::vector<AttackProbe> device_attack_probes(const net::Device& device);
+
+/// Inputs for one attack-surface evaluation.
+struct SurfaceQuery {
+  /// Devices the technician can see/touch under the strategy being scored.
+  std::set<net::DeviceId> accessible;
+  /// Privilege_msp in force; nullptr means unrestricted root on accessible
+  /// nodes (the All / Neighbor baselines).
+  const priv::PrivilegeSpec* privileges = nullptr;
+};
+
+/// The metric's components plus the final percentage.
+struct SurfaceResult {
+  std::size_t allowed_commands = 0;    ///< Σ C_n
+  std::size_t available_commands = 0;  ///< Σ A_n
+  std::size_t violable_policies = 0;   ///< VP
+  std::size_t total_policies = 0;      ///< P
+  double surface_pct = 0;
+
+  double exposure_ratio() const {
+    return available_commands == 0
+               ? 0.0
+               : static_cast<double>(allowed_commands) / static_cast<double>(available_commands);
+  }
+};
+
+/// Computes the attack surface of `query` against `production` + policies.
+SurfaceResult compute_attack_surface(const net::Network& production,
+                                     const spec::PolicyVerifier& policies,
+                                     const SurfaceQuery& query);
+
+/// Feasibility: the root-cause device is accessible AND at least one
+/// mutating command is allowed on it.
+bool is_feasible(const net::DeviceId& root_cause, const net::Network& production,
+                 const SurfaceQuery& query);
+
+}  // namespace heimdall::msp

@@ -1,0 +1,47 @@
+#include "msp/rmm.hpp"
+
+#include "config/diff.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::msp {
+
+using namespace heimdall::net;
+
+RmmSession::RmmSession(Network& production, std::string user)
+    : production_(production), emulation_(production), user_(std::move(user)) {}
+
+twin::CommandResult RmmSession::execute(std::string_view command_line) {
+  history_.emplace_back(command_line);
+  twin::ParsedCommand command = twin::parse_command(command_line);
+  return emulation_.execute(command);
+}
+
+std::size_t RmmSession::commit() {
+  std::vector<cfg::ConfigChange> changes = emulation_.session_changes();
+  cfg::apply_changes(production_, changes);
+  return changes.size();
+}
+
+RmmServer::RmmServer(Network& production) : production_(production) {
+  for (const Device& device : production.devices()) {
+    agents_.push_back(RmmAgent{device.id(), true});
+  }
+}
+
+bool RmmServer::authenticate(const Credentials& credentials) const {
+  for (const RmmUser& user : users_) {
+    if (user.user != credentials.user) continue;
+    if (user.password != credentials.password) return false;
+    if (user.requires_mfa && !credentials.mfa_passed) return false;
+    return true;
+  }
+  return false;
+}
+
+RmmSession RmmServer::open_session(const Credentials& credentials) {
+  util::require(authenticate(credentials),
+                "RMM authentication failed for user '" + credentials.user + "'");
+  return RmmSession(production_, credentials.user);
+}
+
+}  // namespace heimdall::msp

@@ -1,0 +1,86 @@
+// Baseline RMM (Remote Management & Monitoring) substrate — the paper's
+// "current approach" (§2.1, Figure 1): a central server authenticates a
+// technician, after which agents with root privileges execute commands
+// directly on production devices, with no mediation and no tamper-evident
+// audit. Heimdall's evaluation compares against exactly this workflow.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "twin/emulation.hpp"
+
+namespace heimdall::msp {
+
+/// Login credentials (the baseline's only protection).
+struct Credentials {
+  std::string user;
+  std::string password;
+  bool mfa_passed = false;
+};
+
+/// A registered RMM user.
+struct RmmUser {
+  std::string user;
+  std::string password;
+  bool requires_mfa = false;
+};
+
+/// An agent deployed on one device. Always root — that is the point.
+struct RmmAgent {
+  net::DeviceId device;
+  bool root = true;
+};
+
+/// A direct-access session on the production network. Commands execute with
+/// no privilege mediation; commit() pushes all session changes to production
+/// with no verification.
+class RmmSession {
+ public:
+  RmmSession(net::Network& production, std::string user);
+
+  /// Executes a console command with root privileges. Every command is
+  /// permitted; semantic failures still surface as ok=false.
+  twin::CommandResult execute(std::string_view command_line);
+
+  /// Pushes every change made this session into the production network,
+  /// unverified — the baseline behavior.
+  std::size_t commit();
+
+  /// Plain (non-tamper-evident) command history.
+  const std::vector<std::string>& history() const { return history_; }
+
+  const net::Network& view() const { return emulation_.network(); }
+  twin::EmulationLayer& emulation() { return emulation_; }
+
+ private:
+  net::Network& production_;
+  twin::EmulationLayer emulation_;
+  std::string user_;
+  std::vector<std::string> history_;
+};
+
+/// The central RMM server.
+class RmmServer {
+ public:
+  /// Deploys root agents on every device of `production`.
+  explicit RmmServer(net::Network& production);
+
+  void register_user(RmmUser user) { users_.push_back(std::move(user)); }
+
+  /// Authentication: password match, plus MFA when required.
+  bool authenticate(const Credentials& credentials) const;
+
+  /// Opens a session; throws InvariantError when authentication fails.
+  RmmSession open_session(const Credentials& credentials);
+
+  const std::vector<RmmAgent>& agents() const { return agents_; }
+
+ private:
+  net::Network& production_;
+  std::vector<RmmAgent> agents_;
+  std::vector<RmmUser> users_;
+};
+
+}  // namespace heimdall::msp

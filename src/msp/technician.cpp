@@ -1,0 +1,13 @@
+#include "msp/technician.hpp"
+
+#include "privilege/action.hpp"
+
+namespace heimdall::msp {
+
+util::VirtualMillis LatencyModel::command_cost(const twin::ParsedCommand& command) const {
+  util::VirtualMillis cost = command_type_ms;
+  if (priv::is_read_only(command.action)) cost += show_read_ms;
+  return cost;
+}
+
+}  // namespace heimdall::msp

@@ -1,0 +1,52 @@
+// Trouble tickets: the unit of work an MSP technician receives (paper §2.1,
+// workflow step 1). Header-only so the twin module can consume tickets
+// without a link-time dependency on the MSP substrate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netmodel/acl.hpp"
+#include "netmodel/types.hpp"
+#include "privilege/generator.hpp"
+
+namespace heimdall::msp {
+
+/// Lifecycle state of a ticket.
+enum class TicketState : std::uint8_t { Open, InProgress, Resolved, Closed };
+
+inline std::string to_string(TicketState state) {
+  switch (state) {
+    case TicketState::Open: return "open";
+    case TicketState::InProgress: return "in-progress";
+    case TicketState::Resolved: return "resolved";
+    case TicketState::Closed: return "closed";
+  }
+  return "open";
+}
+
+/// One trouble ticket.
+struct Ticket {
+  int id = 0;
+  priv::TaskClass task = priv::TaskClass::Connectivity;
+  std::string description;
+  /// Devices named by the reporter (e.g. the two hosts that cannot talk).
+  std::vector<net::DeviceId> affected;
+  /// The reported failing flow, when the ticket is about connectivity.
+  std::optional<net::Flow> flow;
+  TicketState state = TicketState::Open;
+
+  /// Convenience factory for "src cannot reach dst" tickets.
+  static Ticket connectivity(int id, const net::DeviceId& src, const net::DeviceId& dst,
+                             std::string description, priv::TaskClass task) {
+    Ticket ticket;
+    ticket.id = id;
+    ticket.task = task;
+    ticket.description = std::move(description);
+    ticket.affected = {src, dst};
+    return ticket;
+  }
+};
+
+}  // namespace heimdall::msp

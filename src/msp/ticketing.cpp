@@ -1,0 +1,99 @@
+#include "msp/ticketing.hpp"
+
+#include "util/error.hpp"
+
+namespace heimdall::msp {
+
+using util::InvariantError;
+using util::NotFoundError;
+
+int TicketingSystem::open(Ticket ticket) {
+  if (ticket.id == 0) ticket.id = next_id_;
+  util::require(records_.find(ticket.id) == records_.end(),
+                "ticket id already in use: " + std::to_string(ticket.id));
+  ticket.state = TicketState::Open;
+  next_id_ = std::max(next_id_, ticket.id + 1);
+  int id = ticket.id;
+  records_.emplace(id, TicketRecord{std::move(ticket), "", {}});
+  return id;
+}
+
+const TicketRecord& TicketingSystem::record(int id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) throw NotFoundError("no ticket #" + std::to_string(id));
+  return it->second;
+}
+
+TicketRecord& TicketingSystem::mutable_record(int id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) throw NotFoundError("no ticket #" + std::to_string(id));
+  return it->second;
+}
+
+std::vector<int> TicketingSystem::in_state(TicketState state) const {
+  std::vector<int> out;
+  for (const auto& [id, entry] : records_) {
+    if (entry.ticket.state == state) out.push_back(id);
+  }
+  return out;
+}
+
+void TicketingSystem::assign(int id, std::string technician) {
+  TicketRecord& entry = mutable_record(id);
+  util::require(entry.ticket.state == TicketState::Open,
+                "ticket #" + std::to_string(id) + " is not open (state: " +
+                    to_string(entry.ticket.state) + ")");
+  util::require(!technician.empty(), "assignee must be non-empty");
+  entry.ticket.state = TicketState::InProgress;
+  entry.assignee = std::move(technician);
+  entry.notes.push_back("assigned to " + entry.assignee);
+}
+
+void TicketingSystem::resolve(int id, std::string note) {
+  TicketRecord& entry = mutable_record(id);
+  util::require(entry.ticket.state == TicketState::InProgress,
+                "ticket #" + std::to_string(id) + " is not in progress");
+  entry.ticket.state = TicketState::Resolved;
+  entry.notes.push_back("resolved: " + note);
+}
+
+void TicketingSystem::close(int id) {
+  TicketRecord& entry = mutable_record(id);
+  util::require(entry.ticket.state == TicketState::Resolved,
+                "ticket #" + std::to_string(id) + " is not resolved");
+  entry.ticket.state = TicketState::Closed;
+  entry.notes.push_back("closed");
+}
+
+void TicketingSystem::annotate(int id, std::string note) {
+  mutable_record(id).notes.push_back(std::move(note));
+}
+
+std::vector<int> TicketingSystem::monitor(const net::Network& network,
+                                          const spec::PolicyVerifier& verifier) {
+  std::vector<int> opened;
+  spec::VerificationReport report = verifier.verify_network(network);
+  for (const spec::Violation& violation : report.violations) {
+    if (violation.policy.type == spec::PolicyType::Isolation) continue;  // security alert, not a ticket
+    bool already_tracked = false;
+    for (const auto& [id, entry] : records_) {
+      if (entry.ticket.state != TicketState::Open &&
+          entry.ticket.state != TicketState::InProgress)
+        continue;
+      if (entry.ticket.affected.size() == 2 && entry.ticket.affected[0] == violation.policy.src &&
+          entry.ticket.affected[1] == violation.policy.dst) {
+        already_tracked = true;
+        break;
+      }
+    }
+    if (already_tracked) continue;
+    Ticket ticket = Ticket::connectivity(
+        0, violation.policy.src, violation.policy.dst,
+        "monitoring: " + violation.policy.to_string() + " (" + violation.detail + ")",
+        priv::TaskClass::Connectivity);
+    opened.push_back(open(std::move(ticket)));
+  }
+  return opened;
+}
+
+}  // namespace heimdall::msp

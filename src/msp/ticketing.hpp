@@ -1,0 +1,64 @@
+// Ticketing system (paper §2.1, Figure 1): tickets are created by the
+// network admin or by a monitoring system, assigned to MSP technicians,
+// and closed with resolution notes. The monitoring hook turns policy
+// violations into connectivity tickets automatically.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "msp/ticket.hpp"
+#include "spec/verify.hpp"
+
+namespace heimdall::msp {
+
+/// One ticket's record inside the system.
+struct TicketRecord {
+  Ticket ticket;
+  std::string assignee;
+  std::vector<std::string> notes;
+};
+
+/// The MSP-side ticket queue with a validated lifecycle:
+/// Open -> InProgress -> Resolved -> Closed.
+class TicketingSystem {
+ public:
+  /// Files a ticket. A zero id is replaced with the next free id. Returns
+  /// the assigned id.
+  int open(Ticket ticket);
+
+  /// Lookup; throws NotFoundError for unknown ids.
+  const TicketRecord& record(int id) const;
+
+  /// Tickets in a given state, ordered by id.
+  std::vector<int> in_state(TicketState state) const;
+
+  std::size_t size() const { return records_.size(); }
+
+  /// Open -> InProgress, recording the technician. Throws InvariantError on
+  /// invalid transitions.
+  void assign(int id, std::string technician);
+
+  /// InProgress -> Resolved with a resolution note.
+  void resolve(int id, std::string note);
+
+  /// Resolved -> Closed (admin sign-off).
+  void close(int id);
+
+  /// Free-form annotation at any state.
+  void annotate(int id, std::string note);
+
+  /// Monitoring hook: verifies `network` and opens one Connectivity ticket
+  /// per violated reachability/waypoint policy whose pair has no open or
+  /// in-progress ticket yet. Returns the newly-opened ids.
+  std::vector<int> monitor(const net::Network& network, const spec::PolicyVerifier& verifier);
+
+ private:
+  TicketRecord& mutable_record(int id);
+
+  std::map<int, TicketRecord> records_;
+  int next_id_ = 1;
+};
+
+}  // namespace heimdall::msp

@@ -1,0 +1,126 @@
+#include "msp/workflow.hpp"
+
+#include "msp/rmm.hpp"
+
+namespace heimdall::msp {
+
+using namespace heimdall::net;
+
+double WorkflowResult::total_ms() const {
+  double total = 0;
+  for (const StepTiming& step : steps) total += step.total_ms();
+  return total;
+}
+
+const StepTiming* WorkflowResult::step(const std::string& name) const {
+  for (const StepTiming& step : steps)
+    if (step.step == name) return &step;
+  return nullptr;
+}
+
+WorkflowResult run_current_workflow(Network& production, const Ticket& ticket,
+                                    const std::vector<std::string>& fix_script,
+                                    const Technician& technician, const ResolvedCheck& resolved) {
+  (void)ticket;
+  WorkflowResult result;
+  result.workflow = "current";
+  util::VirtualClock clock;
+  const LatencyModel& latency = technician.latency;
+
+  // Step 1: connect (authenticate to the RMM server).
+  RmmServer server(production);
+  server.register_user(RmmUser{technician.name, "hunter2", false});
+  {
+    util::Stopwatch watch;
+    clock.advance(latency.login_ms + latency.ticket_review_ms);
+    RmmSession session = server.open_session(Credentials{technician.name, "hunter2", false});
+    result.steps.push_back(
+        {"connect", static_cast<double>(latency.login_ms + latency.ticket_review_ms),
+         watch.elapsed_ms()});
+
+    // Step 2: perform operations, directly on production.
+    util::Stopwatch operate_watch;
+    util::VirtualMillis human = 0;
+    for (const std::string& line : fix_script) {
+      twin::ParsedCommand command = twin::parse_command(line);
+      human += latency.command_cost(command);
+      session.execute(line);
+    }
+    clock.advance(human);
+    result.steps.push_back({"operate", static_cast<double>(human), operate_watch.elapsed_ms()});
+
+    // Step 3: save changes (committed unverified).
+    util::Stopwatch save_watch;
+    clock.advance(latency.save_ms);
+    session.commit();
+    result.steps.push_back(
+        {"save", static_cast<double>(latency.save_ms), save_watch.elapsed_ms()});
+  }
+
+  result.changes_applied = true;
+  result.issue_resolved = resolved(production);
+  return result;
+}
+
+WorkflowResult run_heimdall_workflow(Network& production, enforce::PolicyEnforcer& enforcer,
+                                     const Ticket& ticket,
+                                     const std::vector<std::string>& fix_script,
+                                     const Technician& technician, const ResolvedCheck& resolved,
+                                     twin::SliceStrategy strategy) {
+  WorkflowResult result;
+  result.workflow = "heimdall";
+  util::VirtualClock clock;
+  const LatencyModel& latency = technician.latency;
+
+  // Step 1: connect + generate Privilege_msp.
+  util::Stopwatch generate_watch;
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  clock.advance(latency.login_ms + latency.ticket_review_ms + latency.privilege_gen_ms);
+  result.steps.push_back({"connect+privilege",
+                          static_cast<double>(latency.login_ms + latency.ticket_review_ms +
+                                              latency.privilege_gen_ms),
+                          generate_watch.elapsed_ms()});
+
+  // Step 2: set up the twin network (slice + scrub + privileges + boot).
+  util::Stopwatch twin_watch;
+  twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket, strategy);
+  util::VirtualMillis boot =
+      latency.twin_boot_per_device_ms *
+      static_cast<util::VirtualMillis>(twin.slice().devices.size());
+  clock.advance(boot);
+  enforcer.audit_event(clock, technician.name, enforce::AuditCategory::Session,
+                       "twin created for ticket #" + std::to_string(ticket.id) + " (" +
+                           std::to_string(twin.slice().devices.size()) + " devices)");
+  result.steps.push_back({"twin-setup", static_cast<double>(boot), twin_watch.elapsed_ms()});
+
+  // Step 3: perform operations inside the twin.
+  util::Stopwatch operate_watch;
+  util::VirtualMillis human = 0;
+  for (const std::string& line : fix_script) {
+    twin::ParsedCommand command = twin::parse_command(line);
+    human += latency.command_cost(command);
+    twin::CommandResult outcome = twin.run(line);
+    enforcer.audit_event(clock, technician.name, enforce::AuditCategory::Command,
+                         line + (outcome.ok ? " [ok]" : " [failed/denied]"));
+  }
+  clock.advance(human);
+  result.commands_denied = twin.monitor().denied_count();
+  result.steps.push_back({"operate", static_cast<double>(human), operate_watch.elapsed_ms()});
+
+  // Step 4: verify & schedule through the policy enforcer.
+  util::Stopwatch verify_watch;
+  std::vector<cfg::ConfigChange> changes = twin.extract_changes();
+  enforce::EnforcementReport report =
+      enforcer.enforce(production, changes, twin.privileges(), clock, technician.name);
+  util::VirtualMillis push =
+      latency.push_per_change_ms * static_cast<util::VirtualMillis>(changes.size());
+  clock.advance(push);
+  result.steps.push_back(
+      {"verify+schedule", static_cast<double>(push), verify_watch.elapsed_ms()});
+
+  result.changes_applied = report.applied;
+  result.issue_resolved = resolved(production);
+  return result;
+}
+
+}  // namespace heimdall::msp

@@ -1,0 +1,60 @@
+// End-to-end ticket-resolution workflows: the baseline ("current approach")
+// and the Heimdall workflow, with per-step timing (Figure 7's quantity).
+//
+// Time accounting: human actions advance a virtual clock via the
+// LatencyModel; machine steps (twin setup, verification, scheduling) are
+// measured with a real stopwatch. Each step's reported milliseconds is the
+// sum of both, so Figure 7's bars have the same composition as the paper's
+// (operations dominated by human time, Heimdall adding setup + verify).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "enforcer/enforcer.hpp"
+#include "msp/technician.hpp"
+#include "msp/ticket.hpp"
+#include "twin/twin.hpp"
+
+namespace heimdall::msp {
+
+/// One timed workflow step.
+struct StepTiming {
+  std::string step;
+  double human_ms = 0;    ///< virtual-clock time
+  double machine_ms = 0;  ///< measured compute time
+
+  double total_ms() const { return human_ms + machine_ms; }
+};
+
+/// Outcome of running one workflow on one issue.
+struct WorkflowResult {
+  std::string workflow;  ///< "current" or "heimdall"
+  std::vector<StepTiming> steps;
+  bool issue_resolved = false;
+  bool changes_applied = false;
+  std::size_t commands_denied = 0;
+
+  double total_ms() const;
+  const StepTiming* step(const std::string& name) const;
+};
+
+/// Checks whether the production network is healthy again after the fix.
+using ResolvedCheck = std::function<bool(const net::Network&)>;
+
+/// Baseline: login -> operate directly on production -> save (unverified).
+WorkflowResult run_current_workflow(net::Network& production, const Ticket& ticket,
+                                    const std::vector<std::string>& fix_script,
+                                    const Technician& technician,
+                                    const ResolvedCheck& resolved);
+
+/// Heimdall: generate Privilege_msp + twin -> operate in the twin ->
+/// verify & schedule through the policy enforcer.
+WorkflowResult run_heimdall_workflow(net::Network& production,
+                                     enforce::PolicyEnforcer& enforcer, const Ticket& ticket,
+                                     const std::vector<std::string>& fix_script,
+                                     const Technician& technician, const ResolvedCheck& resolved,
+                                     twin::SliceStrategy strategy = twin::SliceStrategy::TaskDriven);
+
+}  // namespace heimdall::msp

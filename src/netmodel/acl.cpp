@@ -1,0 +1,84 @@
+#include "netmodel/acl.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::net {
+
+std::string to_string(IpProtocol protocol) {
+  switch (protocol) {
+    case IpProtocol::Any: return "ip";
+    case IpProtocol::Icmp: return "icmp";
+    case IpProtocol::Tcp: return "tcp";
+    case IpProtocol::Udp: return "udp";
+  }
+  return "ip";
+}
+
+IpProtocol parse_protocol(std::string_view text) {
+  std::string lower = util::to_lower(text);
+  if (lower == "ip" || lower == "any") return IpProtocol::Any;
+  if (lower == "icmp") return IpProtocol::Icmp;
+  if (lower == "tcp") return IpProtocol::Tcp;
+  if (lower == "udp") return IpProtocol::Udp;
+  throw util::ParseError("unknown IP protocol: '" + std::string(text) + "'");
+}
+
+namespace {
+
+std::string render_prefix(const Ipv4Prefix& prefix) {
+  if (prefix.length() == 0) return "any";
+  if (prefix.length() == 32) return "host " + prefix.network().to_string();
+  return prefix.network().to_string() + " " + prefix.wildcard().to_string();
+}
+
+std::string render_ports(const PortRange& ports) {
+  if (ports.is_any()) return "";
+  if (ports.lo == ports.hi) return " eq " + std::to_string(ports.lo);
+  return " range " + std::to_string(ports.lo) + " " + std::to_string(ports.hi);
+}
+
+}  // namespace
+
+std::string AclEntry::to_string() const {
+  std::string out = action == Action::Permit ? "permit" : "deny";
+  out += " " + net::to_string(protocol);
+  out += " " + render_prefix(src) + render_ports(src_ports);
+  out += " " + render_prefix(dst) + render_ports(dst_ports);
+  return out;
+}
+
+std::string Flow::to_string() const {
+  std::string out = net::to_string(protocol) + " " + src_ip.to_string();
+  if (src_port != 0) out += ":" + std::to_string(src_port);
+  out += " -> " + dst_ip.to_string();
+  if (dst_port != 0) out += ":" + std::to_string(dst_port);
+  return out;
+}
+
+bool entry_matches(const AclEntry& entry, const Flow& flow) {
+  if (entry.protocol != IpProtocol::Any && flow.protocol != IpProtocol::Any &&
+      entry.protocol != flow.protocol)
+    return false;
+  if (!entry.src.contains(flow.src_ip)) return false;
+  if (!entry.dst.contains(flow.dst_ip)) return false;
+  // Port selectors only constrain TCP/UDP flows.
+  bool has_ports = flow.protocol == IpProtocol::Tcp || flow.protocol == IpProtocol::Udp;
+  if (has_ports) {
+    if (!entry.src_ports.matches(flow.src_port)) return false;
+    if (!entry.dst_ports.matches(flow.dst_port)) return false;
+  } else {
+    // An entry with a port constraint cannot match a portless protocol.
+    if (!entry.src_ports.is_any() || !entry.dst_ports.is_any()) return false;
+  }
+  return true;
+}
+
+bool acl_permits(const Acl& acl, const Flow& flow) {
+  for (const AclEntry& entry : acl.entries) {
+    if (entry_matches(entry, flow)) return entry.action == AclEntry::Action::Permit;
+  }
+  return false;  // implicit deny
+}
+
+}  // namespace heimdall::net

@@ -1,0 +1,78 @@
+// Access control lists, Cisco extended-ACL style.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netmodel/ipv4.hpp"
+
+namespace heimdall::net {
+
+/// IP protocol selector for ACL entries.
+enum class IpProtocol : std::uint8_t { Any, Icmp, Tcp, Udp };
+
+std::string to_string(IpProtocol protocol);
+IpProtocol parse_protocol(std::string_view text);
+
+/// Inclusive port range. {0, 65535} matches any port.
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+
+  bool matches(std::uint16_t port) const { return port >= lo && port <= hi; }
+  bool is_any() const { return lo == 0 && hi == 65535; }
+  auto operator<=>(const PortRange&) const = default;
+
+  static PortRange any() { return {}; }
+  static PortRange exactly(std::uint16_t port) { return {port, port}; }
+};
+
+/// One entry (line) of an access list; first match wins.
+struct AclEntry {
+  enum class Action : std::uint8_t { Permit, Deny };
+
+  Action action = Action::Deny;
+  IpProtocol protocol = IpProtocol::Any;
+  Ipv4Prefix src;  // 0.0.0.0/0 == any
+  Ipv4Prefix dst;
+  PortRange src_ports = PortRange::any();
+  PortRange dst_ports = PortRange::any();
+
+  auto operator<=>(const AclEntry&) const = default;
+
+  /// Cisco-style rendering, e.g. "permit tcp 10.0.1.0 0.0.0.255 any eq 80".
+  std::string to_string() const;
+};
+
+/// A named access list. Evaluation is first-match with an implicit trailing
+/// deny, as on Cisco IOS.
+struct Acl {
+  std::string name;
+  std::vector<AclEntry> entries;
+
+  auto operator<=>(const Acl&) const = default;
+};
+
+/// The flow tuple ACLs and the flow tracer operate on.
+struct Flow {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  IpProtocol protocol = IpProtocol::Any;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  auto operator<=>(const Flow&) const = default;
+
+  std::string to_string() const;
+};
+
+/// Evaluates `flow` against `acl`; true = permitted. The implicit trailing
+/// deny applies when no entry matches.
+bool acl_permits(const Acl& acl, const Flow& flow);
+
+/// True when `entry` matches `flow`.
+bool entry_matches(const AclEntry& entry, const Flow& flow);
+
+}  // namespace heimdall::net

@@ -1,0 +1,100 @@
+#include "netmodel/device.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::net {
+
+std::string to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::Router: return "router";
+    case DeviceKind::Switch: return "switch";
+    case DeviceKind::Host: return "host";
+  }
+  return "router";
+}
+
+DeviceKind parse_device_kind(std::string_view text) {
+  std::string lower = util::to_lower(text);
+  if (lower == "router") return DeviceKind::Router;
+  if (lower == "switch") return DeviceKind::Switch;
+  if (lower == "host") return DeviceKind::Host;
+  throw util::ParseError("unknown device kind: '" + std::string(text) + "'");
+}
+
+std::string to_string(SwitchportMode mode) {
+  switch (mode) {
+    case SwitchportMode::None: return "none";
+    case SwitchportMode::Access: return "access";
+    case SwitchportMode::Trunk: return "trunk";
+  }
+  return "none";
+}
+
+Interface& Device::add_interface(Interface iface) {
+  util::require(!iface.id.empty(), "interface must have a name");
+  util::require(find_interface(iface.id) == nullptr,
+                "duplicate interface '" + iface.id.str() + "' on device '" + id_.str() + "'");
+  interfaces_.push_back(std::move(iface));
+  return interfaces_.back();
+}
+
+Interface& Device::interface(const InterfaceId& id) {
+  Interface* found = find_interface(id);
+  if (!found)
+    throw util::NotFoundError("no interface '" + id.str() + "' on device '" + id_.str() + "'");
+  return *found;
+}
+
+const Interface& Device::interface(const InterfaceId& id) const {
+  return const_cast<Device*>(this)->interface(id);
+}
+
+Interface* Device::find_interface(const InterfaceId& id) {
+  for (Interface& iface : interfaces_)
+    if (iface.id == id) return &iface;
+  return nullptr;
+}
+
+const Interface* Device::find_interface(const InterfaceId& id) const {
+  return const_cast<Device*>(this)->find_interface(id);
+}
+
+const Interface* Device::interface_with_address(Ipv4Address address) const {
+  for (const Interface& iface : interfaces_) {
+    if (iface.address && iface.address->ip == address) return &iface;
+  }
+  return nullptr;
+}
+
+Acl& Device::add_acl(Acl acl) {
+  util::require(!acl.name.empty(), "ACL must have a name");
+  util::require(find_acl(acl.name) == nullptr,
+                "duplicate ACL '" + acl.name + "' on device '" + id_.str() + "'");
+  acls_.push_back(std::move(acl));
+  return acls_.back();
+}
+
+Acl* Device::find_acl(std::string_view name) {
+  for (Acl& acl : acls_)
+    if (acl.name == name) return &acl;
+  return nullptr;
+}
+
+const Acl* Device::find_acl(std::string_view name) const {
+  return const_cast<Device*>(this)->find_acl(name);
+}
+
+void Device::remove_acl(std::string_view name) {
+  auto it = std::remove_if(acls_.begin(), acls_.end(),
+                           [&](const Acl& acl) { return acl.name == name; });
+  acls_.erase(it, acls_.end());
+}
+
+bool Device::has_vlan(VlanId vlan) const {
+  return std::find(vlans_.begin(), vlans_.end(), vlan) != vlans_.end();
+}
+
+}  // namespace heimdall::net

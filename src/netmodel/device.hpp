@@ -1,0 +1,114 @@
+// Device model: routers, switches and hosts with their full configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netmodel/acl.hpp"
+#include "netmodel/interface.hpp"
+#include "netmodel/routing.hpp"
+#include "netmodel/types.hpp"
+
+namespace heimdall::net {
+
+enum class DeviceKind : std::uint8_t { Router, Switch, Host };
+
+std::string to_string(DeviceKind kind);
+DeviceKind parse_device_kind(std::string_view text);
+
+/// Secrets stored in a device configuration. These are exactly the fields the
+/// twin-network scrubber removes before a technician can see a config
+/// (paper §4.2: a cloned config "can expose sensitive data (e.g., an IPSec
+/// key)").
+struct DeviceSecrets {
+  std::string enable_password;
+  std::string snmp_community;
+  std::string ipsec_key;
+
+  bool operator==(const DeviceSecrets&) const = default;
+
+  bool empty() const {
+    return enable_password.empty() && snmp_community.empty() && ipsec_key.empty();
+  }
+};
+
+/// A configured network device. This is a value type: cloning a Device gives
+/// an independent configuration, which is how the twin network's emulation
+/// layer obtains its state.
+class Device {
+ public:
+  Device() = default;
+  Device(DeviceId id, DeviceKind kind) : id_(std::move(id)), kind_(kind) {}
+
+  const DeviceId& id() const { return id_; }
+  DeviceKind kind() const { return kind_; }
+
+  bool is_router() const { return kind_ == DeviceKind::Router; }
+  bool is_switch() const { return kind_ == DeviceKind::Switch; }
+  bool is_host() const { return kind_ == DeviceKind::Host; }
+
+  // -- Interfaces ---------------------------------------------------------
+
+  /// Adds an interface; throws InvariantError on duplicate names.
+  Interface& add_interface(Interface iface);
+
+  /// Lookup; throws NotFoundError when absent.
+  Interface& interface(const InterfaceId& id);
+  const Interface& interface(const InterfaceId& id) const;
+
+  /// Lookup; nullptr when absent.
+  Interface* find_interface(const InterfaceId& id);
+  const Interface* find_interface(const InterfaceId& id) const;
+
+  /// Interfaces in insertion order (stable across runs).
+  const std::vector<Interface>& interfaces() const { return interfaces_; }
+  std::vector<Interface>& interfaces() { return interfaces_; }
+
+  /// First interface owning `address`, or nullptr.
+  const Interface* interface_with_address(Ipv4Address address) const;
+
+  // -- ACLs ---------------------------------------------------------------
+
+  Acl& add_acl(Acl acl);
+  Acl* find_acl(std::string_view name);
+  const Acl* find_acl(std::string_view name) const;
+  void remove_acl(std::string_view name);
+  const std::vector<Acl>& acls() const { return acls_; }
+  std::vector<Acl>& acls() { return acls_; }
+
+  // -- Routing ------------------------------------------------------------
+
+  std::vector<StaticRoute>& static_routes() { return static_routes_; }
+  const std::vector<StaticRoute>& static_routes() const { return static_routes_; }
+
+  std::optional<OspfProcess>& ospf() { return ospf_; }
+  const std::optional<OspfProcess>& ospf() const { return ospf_; }
+
+  // -- L2 -----------------------------------------------------------------
+
+  /// VLANs declared on this device ("vlan <n>").
+  std::vector<VlanId>& vlans() { return vlans_; }
+  const std::vector<VlanId>& vlans() const { return vlans_; }
+  bool has_vlan(VlanId vlan) const;
+
+  // -- Secrets ------------------------------------------------------------
+
+  DeviceSecrets& secrets() { return secrets_; }
+  const DeviceSecrets& secrets() const { return secrets_; }
+
+  bool operator==(const Device&) const = default;
+
+ private:
+  DeviceId id_;
+  DeviceKind kind_ = DeviceKind::Router;
+  std::vector<Interface> interfaces_;
+  std::vector<Acl> acls_;
+  std::vector<StaticRoute> static_routes_;
+  std::optional<OspfProcess> ospf_;
+  std::vector<VlanId> vlans_;
+  DeviceSecrets secrets_;
+};
+
+}  // namespace heimdall::net

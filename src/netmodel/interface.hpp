@@ -1,0 +1,49 @@
+// Network interface model.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netmodel/ipv4.hpp"
+#include "netmodel/types.hpp"
+
+namespace heimdall::net {
+
+/// Layer-2 role of a switch port.
+enum class SwitchportMode : std::uint8_t {
+  None,    ///< routed port / host NIC (L3)
+  Access,  ///< carries a single untagged VLAN
+  Trunk,   ///< carries multiple tagged VLANs
+};
+
+std::string to_string(SwitchportMode mode);
+
+/// One interface on a device. An interface may be L3 (has `address`), L2
+/// (switchport access/trunk) or both disabled (shutdown).
+struct Interface {
+  InterfaceId id;
+  std::string description;
+
+  /// L3 address with its subnet, e.g. 10.0.1.1/24. Empty on pure L2 ports.
+  std::optional<InterfaceAddress> address;
+
+  bool shutdown = false;
+
+  SwitchportMode mode = SwitchportMode::None;
+  VlanId access_vlan = 1;                 ///< meaningful when mode == Access
+  std::vector<VlanId> trunk_allowed;      ///< meaningful when mode == Trunk
+
+  /// Names of ACLs applied to traffic entering / leaving this interface.
+  std::string acl_in;
+  std::string acl_out;
+
+  /// OSPF interface cost override; defaults to 10 when OSPF runs here.
+  std::optional<unsigned> ospf_cost;
+
+  bool operator==(const Interface&) const = default;
+
+  /// True when the interface is administratively and operationally usable.
+  bool is_up() const { return !shutdown; }
+};
+
+}  // namespace heimdall::net

@@ -1,0 +1,104 @@
+#include "netmodel/ipv4.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::net {
+
+namespace {
+
+std::uint32_t mask_bits(unsigned length) {
+  if (length == 0) return 0;
+  return ~std::uint32_t{0} << (32 - length);
+}
+
+}  // namespace
+
+Ipv4Address Ipv4Address::parse(std::string_view text) {
+  auto parsed = try_parse(text);
+  if (!parsed) throw util::ParseError("malformed IPv4 address: '" + std::string(text) + "'");
+  return *parsed;
+}
+
+std::optional<Ipv4Address> Ipv4Address::try_parse(std::string_view text) {
+  auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  return std::to_string((value_ >> 24) & 0xff) + "." + std::to_string((value_ >> 16) & 0xff) +
+         "." + std::to_string((value_ >> 8) & 0xff) + "." + std::to_string(value_ & 0xff);
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address address, unsigned length) : length_(length) {
+  util::require(length <= 32, "prefix length out of range: " + std::to_string(length));
+  network_ = Ipv4Address(address.value() & mask_bits(length));
+}
+
+Ipv4Prefix Ipv4Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos)
+    throw util::ParseError("malformed prefix (missing '/'): '" + std::string(text) + "'");
+  Ipv4Address address = Ipv4Address::parse(text.substr(0, slash));
+  unsigned long length = util::parse_uint(text.substr(slash + 1), 32);
+  return Ipv4Prefix(address, static_cast<unsigned>(length));
+}
+
+Ipv4Prefix Ipv4Prefix::from_netmask(Ipv4Address address, Ipv4Address netmask) {
+  std::uint32_t m = netmask.value();
+  unsigned length = 0;
+  while (length < 32 && (m & (1u << 31))) {
+    ++length;
+    m <<= 1;
+  }
+  if (m != 0)
+    throw util::ParseError("non-contiguous netmask: " + netmask.to_string());
+  return Ipv4Prefix(address, length);
+}
+
+Ipv4Address Ipv4Prefix::netmask() const { return Ipv4Address(mask_bits(length_)); }
+
+Ipv4Address Ipv4Prefix::wildcard() const { return Ipv4Address(~mask_bits(length_)); }
+
+Ipv4Address Ipv4Prefix::broadcast() const {
+  return Ipv4Address(network_.value() | ~mask_bits(length_));
+}
+
+bool Ipv4Prefix::contains(Ipv4Address address) const {
+  return (address.value() & mask_bits(length_)) == network_.value();
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const {
+  return other.length_ >= length_ && contains(other.network_);
+}
+
+bool Ipv4Prefix::overlaps(const Ipv4Prefix& other) const {
+  return contains(other) || other.contains(*this);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+InterfaceAddress InterfaceAddress::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos)
+    throw util::ParseError("malformed interface address (missing '/'): '" + std::string(text) + "'");
+  Ipv4Address ip = Ipv4Address::parse(text.substr(0, slash));
+  unsigned long length = util::parse_uint(text.substr(slash + 1), 32);
+  return InterfaceAddress{ip, static_cast<unsigned>(length)};
+}
+
+}  // namespace heimdall::net

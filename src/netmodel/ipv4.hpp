@@ -1,0 +1,107 @@
+// IPv4 address and prefix value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace heimdall::net {
+
+/// An IPv4 address stored as a host-order 32-bit integer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+
+  /// Builds from dotted octets: Ipv4Address::of(10, 0, 1, 2).
+  static constexpr Ipv4Address of(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                       (std::uint32_t(c) << 8) | std::uint32_t(d));
+  }
+
+  /// Parses "a.b.c.d"; throws util::ParseError on malformed input.
+  static Ipv4Address parse(std::string_view text);
+
+  /// Parses, returning nullopt on malformed input.
+  static std::optional<Ipv4Address> try_parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Dotted-quad representation.
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix (address + mask length), canonicalized so host bits are 0.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Canonicalizes: host bits below `length` are cleared.
+  Ipv4Prefix(Ipv4Address address, unsigned length);
+
+  /// Parses "a.b.c.d/len"; throws util::ParseError on malformed input.
+  static Ipv4Prefix parse(std::string_view text);
+
+  /// Builds from an address and a dotted netmask like 255.255.255.0.
+  static Ipv4Prefix from_netmask(Ipv4Address address, Ipv4Address netmask);
+
+  Ipv4Address network() const { return network_; }
+  unsigned length() const { return length_; }
+
+  /// Dotted netmask (e.g. /24 -> 255.255.255.0).
+  Ipv4Address netmask() const;
+
+  /// Inverted mask used by Cisco ACL/OSPF syntax (/24 -> 0.0.0.255).
+  Ipv4Address wildcard() const;
+
+  /// Highest address in the prefix.
+  Ipv4Address broadcast() const;
+
+  bool contains(Ipv4Address address) const;
+  bool contains(const Ipv4Prefix& other) const;
+  bool overlaps(const Ipv4Prefix& other) const;
+
+  /// "a.b.c.d/len".
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  Ipv4Address network_;
+  unsigned length_ = 0;
+};
+
+/// Default route 0.0.0.0/0.
+inline Ipv4Prefix default_route() { return Ipv4Prefix(Ipv4Address(0), 0); }
+
+/// A host address together with its subnet mask length, as configured on an
+/// interface ("ip address 10.0.1.1 255.255.255.0"). Unlike Ipv4Prefix this
+/// preserves the host bits.
+struct InterfaceAddress {
+  Ipv4Address ip;
+  unsigned prefix_length = 24;
+
+  auto operator<=>(const InterfaceAddress&) const = default;
+
+  /// The connected subnet (host bits cleared).
+  Ipv4Prefix subnet() const { return Ipv4Prefix(ip, prefix_length); }
+
+  /// The host route for this address (a /32).
+  Ipv4Prefix host_prefix() const { return Ipv4Prefix(ip, 32); }
+
+  /// Parses "a.b.c.d/len".
+  static InterfaceAddress parse(std::string_view text);
+
+  std::string to_string() const {
+    return ip.to_string() + "/" + std::to_string(prefix_length);
+  }
+};
+
+}  // namespace heimdall::net

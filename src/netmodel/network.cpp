@@ -1,0 +1,129 @@
+#include "netmodel/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace heimdall::net {
+
+Device& Network::add_device(Device device) {
+  util::require(!device.id().empty(), "device must have an id");
+  util::require(!has_device(device.id()), "duplicate device '" + device.id().str() + "'");
+  devices_.push_back(std::move(device));
+  return devices_.back();
+}
+
+void Network::remove_device(const DeviceId& id) {
+  auto it = std::remove_if(devices_.begin(), devices_.end(),
+                           [&](const Device& d) { return d.id() == id; });
+  devices_.erase(it, devices_.end());
+  // Drop links touching the removed device.
+  Topology pruned;
+  for (const Link& link : topology_.links()) {
+    if (link.a.device == id || link.b.device == id) continue;
+    pruned.add_link(link);
+  }
+  topology_ = std::move(pruned);
+}
+
+Device& Network::device(const DeviceId& id) {
+  Device* found = find_device(id);
+  if (!found) throw util::NotFoundError("no device '" + id.str() + "' in network '" + name_ + "'");
+  return *found;
+}
+
+const Device& Network::device(const DeviceId& id) const {
+  return const_cast<Network*>(this)->device(id);
+}
+
+Device* Network::find_device(const DeviceId& id) {
+  for (Device& d : devices_)
+    if (d.id() == id) return &d;
+  return nullptr;
+}
+
+const Device* Network::find_device(const DeviceId& id) const {
+  return const_cast<Network*>(this)->find_device(id);
+}
+
+std::vector<DeviceId> Network::device_ids() const {
+  std::vector<DeviceId> out;
+  out.reserve(devices_.size());
+  for (const Device& d : devices_) out.push_back(d.id());
+  return out;
+}
+
+std::vector<DeviceId> Network::device_ids(DeviceKind kind) const {
+  std::vector<DeviceId> out;
+  for (const Device& d : devices_)
+    if (d.kind() == kind) out.push_back(d.id());
+  return out;
+}
+
+std::size_t Network::count(DeviceKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(devices_.begin(), devices_.end(),
+                    [&](const Device& d) { return d.kind() == kind; }));
+}
+
+void Network::connect(const Endpoint& a, const Endpoint& b) {
+  device(a.device).interface(a.iface);  // throws when missing
+  device(b.device).interface(b.iface);
+  topology_.add_link(Link{a, b});
+}
+
+std::optional<Endpoint> Network::endpoint_of_ip(Ipv4Address address) const {
+  for (const Device& d : devices_) {
+    const Interface* iface = d.interface_with_address(address);
+    if (iface) return Endpoint{d.id(), iface->id};
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<DeviceId, Ipv4Address>> Network::host_addresses() const {
+  std::vector<std::pair<DeviceId, Ipv4Address>> out;
+  for (const Device& d : devices_) {
+    if (!d.is_host()) continue;
+    auto ip = primary_ip(d.id());
+    if (ip) out.emplace_back(d.id(), *ip);
+  }
+  return out;
+}
+
+std::optional<Ipv4Address> Network::primary_ip(const DeviceId& id) const {
+  const Device* d = find_device(id);
+  if (!d) return std::nullopt;
+  for (const Interface& iface : d->interfaces()) {
+    if (iface.address) return iface.address->ip;
+  }
+  return std::nullopt;
+}
+
+void Network::validate() const {
+  for (const Link& link : topology_.links()) {
+    for (const Endpoint& endpoint : {link.a, link.b}) {
+      const Device* d = find_device(endpoint.device);
+      util::require(d != nullptr, "link references unknown device '" + endpoint.device.str() + "'");
+      util::require(d->find_interface(endpoint.iface) != nullptr,
+                    "link references unknown interface " + endpoint.to_string());
+    }
+  }
+  for (const Device& d : devices_) {
+    for (const Interface& iface : d.interfaces()) {
+      for (const std::string& acl_name : {iface.acl_in, iface.acl_out}) {
+        if (!acl_name.empty()) {
+          util::require(d.find_acl(acl_name) != nullptr,
+                        "interface " + d.id().str() + ":" + iface.id.str() +
+                            " references unknown ACL '" + acl_name + "'");
+        }
+      }
+      if (iface.mode == SwitchportMode::Access) {
+        util::require(d.has_vlan(iface.access_vlan) || iface.access_vlan == 1,
+                      "interface " + d.id().str() + ":" + iface.id.str() +
+                          " uses undeclared VLAN " + std::to_string(iface.access_vlan));
+      }
+    }
+  }
+}
+
+}  // namespace heimdall::net

@@ -1,0 +1,83 @@
+// Network: the complete model of one production (or twin) network —
+// devices plus topology, with cross-object validation and lookups.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netmodel/device.hpp"
+#include "netmodel/topology.hpp"
+
+namespace heimdall::net {
+
+/// A whole network. Value semantics: copying a Network yields an independent
+/// clone (the twin network's emulation layer relies on this).
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- Devices ------------------------------------------------------------
+
+  /// Adds a device; throws InvariantError on duplicate ids.
+  Device& add_device(Device device);
+
+  /// Removes a device and all links touching it.
+  void remove_device(const DeviceId& id);
+
+  Device& device(const DeviceId& id);
+  const Device& device(const DeviceId& id) const;
+
+  Device* find_device(const DeviceId& id);
+  const Device* find_device(const DeviceId& id) const;
+
+  bool has_device(const DeviceId& id) const { return find_device(id) != nullptr; }
+
+  /// Devices in insertion order.
+  const std::vector<Device>& devices() const { return devices_; }
+  std::vector<Device>& devices() { return devices_; }
+
+  std::vector<DeviceId> device_ids() const;
+  std::vector<DeviceId> device_ids(DeviceKind kind) const;
+
+  std::size_t count(DeviceKind kind) const;
+
+  // -- Topology -----------------------------------------------------------
+
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Wires two interfaces; validates both endpoints exist.
+  void connect(const Endpoint& a, const Endpoint& b);
+
+  // -- Lookups ------------------------------------------------------------
+
+  /// The device owning the interface configured with exactly `address`.
+  std::optional<Endpoint> endpoint_of_ip(Ipv4Address address) const;
+
+  /// All host devices with their primary IP (first L3 interface address).
+  std::vector<std::pair<DeviceId, Ipv4Address>> host_addresses() const;
+
+  /// Primary IP of `device` (first interface with an address); nullopt when
+  /// the device has no L3 address.
+  std::optional<Ipv4Address> primary_ip(const DeviceId& device) const;
+
+  /// Checks structural invariants (links reference real interfaces, ACL
+  /// references resolve, access VLANs are declared). Throws InvariantError
+  /// describing the first violation.
+  void validate() const;
+
+  bool operator==(const Network&) const = default;
+
+ private:
+  std::string name_;
+  std::vector<Device> devices_;
+  Topology topology_;
+};
+
+}  // namespace heimdall::net

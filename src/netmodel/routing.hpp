@@ -1,0 +1,56 @@
+// Routing configuration: static routes and the OSPF process.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netmodel/ipv4.hpp"
+#include "netmodel/types.hpp"
+
+namespace heimdall::net {
+
+/// A configured static route ("ip route <prefix> <mask> <next-hop>").
+struct StaticRoute {
+  Ipv4Prefix prefix;
+  Ipv4Address next_hop;
+  unsigned admin_distance = 1;
+
+  auto operator<=>(const StaticRoute&) const = default;
+};
+
+/// An OSPF "network <addr> <wildcard> area <n>" statement: interfaces whose
+/// address falls inside `prefix` participate in `area`.
+struct OspfNetwork {
+  Ipv4Prefix prefix;
+  unsigned area = 0;
+
+  auto operator<=>(const OspfNetwork&) const = default;
+};
+
+/// The device's OSPF process configuration ("router ospf <pid>").
+struct OspfProcess {
+  unsigned process_id = 1;
+  std::optional<Ipv4Address> router_id;
+  std::vector<OspfNetwork> networks;
+  /// Prefixes of passive interfaces (advertised but no adjacency formed).
+  std::vector<InterfaceId> passive_interfaces;
+
+  bool operator==(const OspfProcess&) const = default;
+
+  /// Area for an interface address; nullopt when OSPF is not enabled there.
+  std::optional<unsigned> area_for(Ipv4Address address) const {
+    for (const OspfNetwork& network : networks) {
+      if (network.prefix.contains(address)) return network.area;
+    }
+    return std::nullopt;
+  }
+
+  bool is_passive(const InterfaceId& iface) const {
+    for (const InterfaceId& p : passive_interfaces)
+      if (p == iface) return true;
+    return false;
+  }
+};
+
+}  // namespace heimdall::net

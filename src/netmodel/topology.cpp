@@ -1,0 +1,116 @@
+#include "netmodel/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace heimdall::net {
+
+const Endpoint& Link::other(const Endpoint& endpoint) const {
+  if (a == endpoint) return b;
+  if (b == endpoint) return a;
+  throw util::InvariantError("Link::other: endpoint " + endpoint.to_string() +
+                             " is not on link " + to_string());
+}
+
+void Topology::add_link(Link link) {
+  util::require(!(link.a == link.b), "self-link at " + link.a.to_string());
+  util::require(link_at(link.a) == nullptr, "endpoint already wired: " + link.a.to_string());
+  util::require(link_at(link.b) == nullptr, "endpoint already wired: " + link.b.to_string());
+  links_.push_back(std::move(link));
+}
+
+const Link* Topology::link_at(const Endpoint& endpoint) const {
+  for (const Link& link : links_)
+    if (link.touches(endpoint)) return &link;
+  return nullptr;
+}
+
+std::optional<Endpoint> Topology::peer_of(const Endpoint& endpoint) const {
+  const Link* link = link_at(endpoint);
+  if (!link) return std::nullopt;
+  return link->other(endpoint);
+}
+
+std::vector<DeviceId> Topology::neighbors(const DeviceId& device) const {
+  std::set<DeviceId> out;
+  for (const Link& link : links_) {
+    if (link.a.device == device && link.b.device != device) out.insert(link.b.device);
+    if (link.b.device == device && link.a.device != device) out.insert(link.a.device);
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<DeviceId> Topology::devices() const {
+  std::set<DeviceId> out;
+  for (const Link& link : links_) {
+    out.insert(link.a.device);
+    out.insert(link.b.device);
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<DeviceId> Topology::shortest_path(const DeviceId& from, const DeviceId& to) const {
+  if (from == to) return {from};
+  std::map<DeviceId, DeviceId> parent;
+  std::deque<DeviceId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    DeviceId current = frontier.front();
+    frontier.pop_front();
+    for (const DeviceId& next : neighbors(current)) {
+      if (parent.count(next)) continue;
+      parent[next] = current;
+      if (next == to) {
+        std::vector<DeviceId> path{to};
+        DeviceId walk = to;
+        while (!(walk == from)) {
+          walk = parent[walk];
+          path.push_back(walk);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::set<DeviceId> Topology::devices_on_shortest_paths(const DeviceId& from,
+                                                       const DeviceId& to) const {
+  // BFS distances from both endpoints; a device v is on some shortest path
+  // iff dist(from, v) + dist(v, to) == dist(from, to).
+  auto bfs = [this](const DeviceId& source) {
+    std::map<DeviceId, unsigned> dist;
+    std::deque<DeviceId> frontier{source};
+    dist[source] = 0;
+    while (!frontier.empty()) {
+      DeviceId current = frontier.front();
+      frontier.pop_front();
+      for (const DeviceId& next : neighbors(current)) {
+        if (dist.count(next)) continue;
+        dist[next] = dist[current] + 1;
+        frontier.push_back(next);
+      }
+    }
+    return dist;
+  };
+
+  std::set<DeviceId> out;
+  auto dist_from = bfs(from);
+  auto dist_to = bfs(to);
+  auto it = dist_from.find(to);
+  if (it == dist_from.end()) return out;  // disconnected
+  unsigned total = it->second;
+  for (const auto& [device, df] : dist_from) {
+    auto dt = dist_to.find(device);
+    if (dt != dist_to.end() && df + dt->second == total) out.insert(device);
+  }
+  return out;
+}
+
+}  // namespace heimdall::net

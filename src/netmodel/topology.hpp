@@ -1,0 +1,67 @@
+// Physical topology: links between device interfaces, with graph queries
+// (neighbors, BFS paths) used by the twin-network slicer.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netmodel/types.hpp"
+
+namespace heimdall::net {
+
+/// An undirected physical link between two interface endpoints.
+struct Link {
+  Endpoint a;
+  Endpoint b;
+
+  auto operator<=>(const Link&) const = default;
+
+  /// True when `endpoint` is one side of the link.
+  bool touches(const Endpoint& endpoint) const { return a == endpoint || b == endpoint; }
+
+  /// The endpoint opposite `endpoint`; throws when the link does not touch it.
+  const Endpoint& other(const Endpoint& endpoint) const;
+
+  std::string to_string() const { return a.to_string() + " <-> " + b.to_string(); }
+};
+
+/// The link graph. Devices themselves live in Network; Topology only knows
+/// endpoints.
+class Topology {
+ public:
+  /// Adds a link; throws InvariantError when either endpoint already has a
+  /// link (interfaces are point-to-point in this model).
+  void add_link(Link link);
+
+  const std::vector<Link>& links() const { return links_; }
+
+  /// The link attached to `endpoint`, or nullptr.
+  const Link* link_at(const Endpoint& endpoint) const;
+
+  /// The endpoint wired to `endpoint`, or nullopt when unwired.
+  std::optional<Endpoint> peer_of(const Endpoint& endpoint) const;
+
+  /// Devices adjacent to `device` (one hop over any link).
+  std::vector<DeviceId> neighbors(const DeviceId& device) const;
+
+  /// All devices mentioned by any link, sorted.
+  std::vector<DeviceId> devices() const;
+
+  /// Shortest device path (by hop count) between two devices; empty when
+  /// unreachable. Both endpoints are included.
+  std::vector<DeviceId> shortest_path(const DeviceId& from, const DeviceId& to) const;
+
+  /// Every device lying on at least one shortest path between `from` and
+  /// `to` (the union over equal-cost paths). Used by the task-driven slicer.
+  std::set<DeviceId> devices_on_shortest_paths(const DeviceId& from, const DeviceId& to) const;
+
+  bool operator==(const Topology&) const = default;
+
+ private:
+  std::vector<Link> links_;
+};
+
+}  // namespace heimdall::net

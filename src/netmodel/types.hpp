@@ -1,0 +1,70 @@
+// Strong identifier types for network objects.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace heimdall::net {
+
+/// Device name, e.g. "r3" or "host2". Kept as a distinct type so device and
+/// interface names cannot be swapped silently at call sites.
+class DeviceId {
+ public:
+  DeviceId() = default;
+  explicit DeviceId(std::string name) : name_(std::move(name)) {}
+  const std::string& str() const { return name_; }
+  bool empty() const { return name_.empty(); }
+  auto operator<=>(const DeviceId&) const = default;
+
+ private:
+  std::string name_;
+};
+
+/// Interface name local to a device, e.g. "GigabitEthernet0/1".
+class InterfaceId {
+ public:
+  InterfaceId() = default;
+  explicit InterfaceId(std::string name) : name_(std::move(name)) {}
+  const std::string& str() const { return name_; }
+  bool empty() const { return name_.empty(); }
+  auto operator<=>(const InterfaceId&) const = default;
+
+ private:
+  std::string name_;
+};
+
+/// A (device, interface) endpoint of a link.
+struct Endpoint {
+  DeviceId device;
+  InterfaceId iface;
+
+  auto operator<=>(const Endpoint&) const = default;
+
+  std::string to_string() const { return device.str() + ":" + iface.str(); }
+};
+
+/// IEEE 802.1Q VLAN number (1-4094).
+using VlanId = std::uint16_t;
+
+}  // namespace heimdall::net
+
+namespace std {
+
+template <>
+struct hash<heimdall::net::DeviceId> {
+  size_t operator()(const heimdall::net::DeviceId& id) const noexcept {
+    return hash<string>()(id.str());
+  }
+};
+
+template <>
+struct hash<heimdall::net::InterfaceId> {
+  size_t operator()(const heimdall::net::InterfaceId& id) const noexcept {
+    return hash<string>()(id.str());
+  }
+};
+
+}  // namespace std

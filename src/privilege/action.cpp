@@ -1,0 +1,109 @@
+#include "privilege/action.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::priv {
+
+namespace {
+
+struct ActionName {
+  Action action;
+  const char* name;
+};
+
+constexpr std::array<ActionName, 27> kActionNames = {{
+    {Action::ShowConfig, "show-config"},
+    {Action::ShowInterfaces, "show-interfaces"},
+    {Action::ShowRoutes, "show-routes"},
+    {Action::ShowAcls, "show-acls"},
+    {Action::ShowOspf, "show-ospf"},
+    {Action::ShowVlans, "show-vlans"},
+    {Action::ShowTopology, "show-topology"},
+    {Action::Ping, "ping"},
+    {Action::Traceroute, "traceroute"},
+    {Action::InterfaceUp, "interface-up"},
+    {Action::InterfaceDown, "interface-down"},
+    {Action::SetInterfaceAddress, "set-interface-address"},
+    {Action::BindAcl, "bind-acl"},
+    {Action::SetSwitchport, "set-switchport"},
+    {Action::SetOspfCost, "set-ospf-cost"},
+    {Action::AclEdit, "acl-edit"},
+    {Action::AclCreate, "acl-create"},
+    {Action::AclDelete, "acl-delete"},
+    {Action::StaticRouteAdd, "static-route-add"},
+    {Action::StaticRouteRemove, "static-route-remove"},
+    {Action::OspfNetworkEdit, "ospf-network-edit"},
+    {Action::OspfProcessEdit, "ospf-process-edit"},
+    {Action::VlanEdit, "vlan-edit"},
+    {Action::ChangeSecret, "change-secret"},
+    {Action::Reboot, "reboot"},
+    {Action::EraseConfig, "erase-config"},
+    {Action::SaveConfig, "save-config"},
+}};
+
+}  // namespace
+
+std::string to_string(Action action) {
+  for (const ActionName& entry : kActionNames) {
+    if (entry.action == action) return entry.name;
+  }
+  throw util::InvariantError("unknown action enum value");
+}
+
+Action parse_action(std::string_view text) {
+  for (const ActionName& entry : kActionNames) {
+    if (text == entry.name) return entry.action;
+  }
+  throw util::ParseError("unknown action: '" + std::string(text) + "'");
+}
+
+const std::vector<Action>& all_actions() {
+  static const std::vector<Action> actions = [] {
+    std::vector<Action> out;
+    out.reserve(kActionNames.size());
+    for (const ActionName& entry : kActionNames) out.push_back(entry.action);
+    return out;
+  }();
+  return actions;
+}
+
+std::vector<Action> actions_matching(std::string_view pattern) {
+  std::vector<Action> out;
+  for (const ActionName& entry : kActionNames) {
+    if (util::glob_match(pattern, entry.name)) out.push_back(entry.action);
+  }
+  return out;
+}
+
+bool is_read_only(Action action) {
+  switch (action) {
+    case Action::ShowConfig:
+    case Action::ShowInterfaces:
+    case Action::ShowRoutes:
+    case Action::ShowAcls:
+    case Action::ShowOspf:
+    case Action::ShowVlans:
+    case Action::ShowTopology:
+    case Action::Ping:
+    case Action::Traceroute:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_high_impact(Action action) {
+  switch (action) {
+    case Action::ChangeSecret:
+    case Action::Reboot:
+    case Action::EraseConfig:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace heimdall::priv

@@ -1,0 +1,72 @@
+// The technician action taxonomy.
+//
+// Every operation a technician can perform — through the twin console or,
+// in the baseline, through an RMM agent — is classified as one Action. The
+// Privilege_msp evaluates (Action, Resource) pairs, the attack-surface
+// metric counts them, and the enforcer maps config changes back onto them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heimdall::priv {
+
+enum class Action : std::uint8_t {
+  // Read-only (presentation-layer) actions.
+  ShowConfig,
+  ShowInterfaces,
+  ShowRoutes,
+  ShowAcls,
+  ShowOspf,
+  ShowVlans,
+  ShowTopology,
+  Ping,
+  Traceroute,
+  // Interface mutations.
+  InterfaceUp,
+  InterfaceDown,
+  SetInterfaceAddress,
+  BindAcl,
+  SetSwitchport,
+  SetOspfCost,
+  // ACL mutations.
+  AclEdit,
+  AclCreate,
+  AclDelete,
+  // Routing mutations.
+  StaticRouteAdd,
+  StaticRouteRemove,
+  OspfNetworkEdit,
+  OspfProcessEdit,
+  // VLAN mutations.
+  VlanEdit,
+  // High-impact operations (never granted by the task-driven generator).
+  ChangeSecret,
+  Reboot,
+  EraseConfig,
+  SaveConfig,
+};
+
+/// Canonical lowercase-dashed name, e.g. "set-interface-address".
+std::string to_string(Action action);
+
+/// Inverse of to_string; throws util::ParseError on unknown names.
+Action parse_action(std::string_view text);
+
+/// Every action, in enum order.
+const std::vector<Action>& all_actions();
+
+/// Actions matching a glob over canonical names ("show-*", "*").
+std::vector<Action> actions_matching(std::string_view pattern);
+
+/// True for presentation-layer actions that cannot change state.
+bool is_read_only(Action action);
+
+/// True for actions that mutate device configuration or state.
+inline bool is_mutating(Action action) { return !is_read_only(action); }
+
+/// True for the high-impact operations (secrets, reboot, erase).
+bool is_high_impact(Action action);
+
+}  // namespace heimdall::priv

@@ -1,0 +1,65 @@
+#include "privilege/escalation.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace heimdall::priv {
+
+std::string to_string(EscalationVerdict verdict) {
+  switch (verdict) {
+    case EscalationVerdict::AutoGranted: return "auto-granted";
+    case EscalationVerdict::Granted: return "granted";
+    case EscalationVerdict::RequiresAdmin: return "requires-admin";
+    case EscalationVerdict::Rejected: return "rejected";
+  }
+  return "rejected";
+}
+
+bool EscalationPolicy::in_slice(const Resource& resource) const {
+  // A request naming a device outside the slice (or a glob) is out-of-slice:
+  // escalations must stay within the technician's visible world.
+  if (resource.device.find('*') != std::string::npos ||
+      resource.device.find('?') != std::string::npos)
+    return false;
+  return std::any_of(slice_devices_.begin(), slice_devices_.end(),
+                     [&](const net::DeviceId& d) { return d.str() == resource.device; });
+}
+
+EscalationResult EscalationPolicy::assess(const EscalationRequest& request) const {
+  if (is_high_impact(request.action)) {
+    return {EscalationVerdict::Rejected,
+            "high-impact action " + to_string(request.action) + " is never escalatable"};
+  }
+  if (request.resource.kind == ObjectKind::SecretObject) {
+    return {EscalationVerdict::Rejected, "secrets are never escalatable"};
+  }
+  if (!in_slice(request.resource)) {
+    return {EscalationVerdict::Rejected,
+            "resource " + request.resource.to_string() + " is outside the twin slice"};
+  }
+  if (is_read_only(request.action)) {
+    return {EscalationVerdict::AutoGranted, "read-only action within the slice"};
+  }
+  const std::vector<Action>& compatible = mutating_actions_for(task_);
+  if (std::find(compatible.begin(), compatible.end(), request.action) != compatible.end()) {
+    return {EscalationVerdict::Granted,
+            "mutation compatible with task class " + to_string(task_)};
+  }
+  return {EscalationVerdict::RequiresAdmin,
+          "mutation outside task class " + to_string(task_) + "; customer approval required"};
+}
+
+EscalationResult EscalationPolicy::apply(PrivilegeSpec& spec, const EscalationRequest& request,
+                                         bool admin_approved) const {
+  EscalationResult result = assess(request);
+  bool grant = result.verdict == EscalationVerdict::AutoGranted ||
+               result.verdict == EscalationVerdict::Granted ||
+               (result.verdict == EscalationVerdict::RequiresAdmin && admin_approved);
+  if (grant) spec.allow({request.action}, request.resource);
+  if (result.verdict == EscalationVerdict::RequiresAdmin && admin_approved)
+    result.reason += " (admin approved)";
+  return result;
+}
+
+}  // namespace heimdall::priv

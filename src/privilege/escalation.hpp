@@ -1,0 +1,65 @@
+// Privilege escalation workflow (paper §7: privileges "likely escalating
+// from more to less restrictive" over a ticket's life cycle, and the open
+// question of telling valid escalations from subversion attempts).
+//
+// Heimdall's rule set:
+//   * read-only actions on slice devices       -> auto-granted
+//   * task-compatible mutations on slice nodes -> granted, logged
+//   * mutations outside the task class         -> requires admin approval
+//   * high-impact actions / secrets / devices
+//     outside the slice                        -> rejected outright
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netmodel/types.hpp"
+#include "privilege/generator.hpp"
+#include "privilege/spec.hpp"
+
+namespace heimdall::priv {
+
+/// A technician's request for additional privileges.
+struct EscalationRequest {
+  Action action = Action::ShowConfig;
+  Resource resource;
+  std::string justification;
+};
+
+enum class EscalationVerdict : std::uint8_t {
+  AutoGranted,    ///< read-only; no human in the loop
+  Granted,        ///< mutating but task-compatible; granted and logged
+  RequiresAdmin,  ///< out-of-class mutation; needs customer approval
+  Rejected,       ///< high-impact / out-of-slice; never granted
+};
+
+std::string to_string(EscalationVerdict verdict);
+
+/// Assessed escalation outcome.
+struct EscalationResult {
+  EscalationVerdict verdict = EscalationVerdict::Rejected;
+  std::string reason;
+};
+
+/// Stateless policy assessing escalation requests for one ticket.
+class EscalationPolicy {
+ public:
+  EscalationPolicy(TaskClass task, std::vector<net::DeviceId> slice_devices)
+      : task_(task), slice_devices_(std::move(slice_devices)) {}
+
+  EscalationResult assess(const EscalationRequest& request) const;
+
+  /// Assesses and, when the verdict grants (AutoGranted/Granted, or
+  /// RequiresAdmin with `admin_approved`), extends `spec` with the new
+  /// predicate. Returns the assessment.
+  EscalationResult apply(PrivilegeSpec& spec, const EscalationRequest& request,
+                         bool admin_approved = false) const;
+
+ private:
+  bool in_slice(const Resource& resource) const;
+
+  TaskClass task_;
+  std::vector<net::DeviceId> slice_devices_;
+};
+
+}  // namespace heimdall::priv

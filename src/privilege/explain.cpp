@@ -1,0 +1,124 @@
+#include "privilege/explain.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace heimdall::priv {
+
+std::string human_phrase(Action action) {
+  switch (action) {
+    case Action::ShowConfig: return "view the configuration";
+    case Action::ShowInterfaces: return "view interface status";
+    case Action::ShowRoutes: return "view the routing table";
+    case Action::ShowAcls: return "view access-lists";
+    case Action::ShowOspf: return "view OSPF state";
+    case Action::ShowVlans: return "view VLANs";
+    case Action::ShowTopology: return "view the topology";
+    case Action::Ping: return "run connectivity tests";
+    case Action::Traceroute: return "trace forwarding paths";
+    case Action::InterfaceUp: return "bring interfaces up";
+    case Action::InterfaceDown: return "shut interfaces down";
+    case Action::SetInterfaceAddress: return "re-address interfaces";
+    case Action::BindAcl: return "bind/unbind access-lists";
+    case Action::SetSwitchport: return "change switchport VLANs";
+    case Action::SetOspfCost: return "tune OSPF costs";
+    case Action::AclEdit: return "edit access-list entries";
+    case Action::AclCreate: return "create access-lists";
+    case Action::AclDelete: return "delete access-lists";
+    case Action::StaticRouteAdd: return "add static routes";
+    case Action::StaticRouteRemove: return "remove static routes";
+    case Action::OspfNetworkEdit: return "edit OSPF network statements";
+    case Action::OspfProcessEdit: return "reconfigure the OSPF process";
+    case Action::VlanEdit: return "declare/remove VLANs";
+    case Action::ChangeSecret: return "change credentials";
+    case Action::Reboot: return "reboot the device";
+    case Action::EraseConfig: return "erase the configuration";
+    case Action::SaveConfig: return "save the configuration";
+  }
+  return to_string(action);
+}
+
+std::string human_phrase(const Resource& resource) {
+  std::string device = resource.device == "*" ? "any device" : "device " + resource.device;
+  bool any_name = resource.name.empty() || resource.name == "*";
+  switch (resource.kind) {
+    case ObjectKind::Device:
+      return device;
+    case ObjectKind::Interface:
+      return (any_name ? "any interface" : "interface " + resource.name) + " on " + device;
+    case ObjectKind::AclObject:
+      return (any_name ? "any access-list" : "access-list " + resource.name) + " on " + device;
+    case ObjectKind::OspfObject:
+      return "the OSPF process on " + device;
+    case ObjectKind::VlanObject:
+      return (any_name ? "any VLAN" : "VLAN " + resource.name) + " on " + device;
+    case ObjectKind::RouteObject:
+      return "the static routing table on " + device;
+    case ObjectKind::SecretObject:
+      return (any_name ? "any credential" : "the " + resource.name + " credential") + " on " +
+             device;
+  }
+  return resource.to_string();
+}
+
+std::string explain_predicate(const Predicate& predicate) {
+  std::string verbs;
+  for (std::size_t i = 0; i < predicate.actions.size(); ++i) {
+    if (i > 0) verbs += i + 1 == predicate.actions.size() ? " and " : ", ";
+    verbs += human_phrase(predicate.actions[i]);
+  }
+  std::string modal = predicate.effect == Effect::Allow ? "MAY " : "MAY NOT ";
+  return modal + verbs + " on " + human_phrase(predicate.resource) + ".";
+}
+
+std::string explain_privileges(const PrivilegeSpec& spec) {
+  // Group identical action sets to compress "same grant on N devices" into
+  // one line listing the devices.
+  struct Group {
+    Effect effect;
+    std::vector<Action> actions;
+    ObjectKind kind;
+    std::string name;
+    std::vector<std::string> devices;
+  };
+  std::vector<Group> groups;
+  for (const Predicate& predicate : spec.predicates()) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const Group& group) {
+      return group.effect == predicate.effect && group.actions == predicate.actions &&
+             group.kind == predicate.resource.kind && group.name == predicate.resource.name;
+    });
+    if (it == groups.end()) {
+      groups.push_back({predicate.effect, predicate.actions, predicate.resource.kind,
+                        predicate.resource.name, {predicate.resource.device}});
+    } else if (std::find(it->devices.begin(), it->devices.end(), predicate.resource.device) ==
+               it->devices.end()) {
+      it->devices.push_back(predicate.resource.device);
+    }
+  }
+  std::stable_sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+    return a.effect == Effect::Allow && b.effect == Effect::Deny;
+  });
+
+  std::string out = "The technician:\n";
+  for (const Group& group : groups) {
+    Predicate representative{group.effect, group.actions,
+                             Resource{group.devices.size() == 1 ? group.devices.front() : "",
+                                      group.kind, group.name}};
+    if (group.devices.size() == 1) {
+      out += "  - " + explain_predicate(representative) + "\n";
+      continue;
+    }
+    // Multi-device group: render the device list explicitly.
+    std::string devices;
+    for (std::size_t i = 0; i < group.devices.size(); ++i) {
+      if (i > 0) devices += i + 1 == group.devices.size() ? " and " : ", ";
+      devices += group.devices[i];
+    }
+    representative.resource.device = devices;
+    out += "  - " + explain_predicate(representative) + "\n";
+  }
+  out += "Everything not listed above is denied by default.\n";
+  return out;
+}
+
+}  // namespace heimdall::priv

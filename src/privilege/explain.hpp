@@ -1,0 +1,32 @@
+// Human-readable privilege explanations (paper §7, "User experience": "How
+// should resources and privileges be presented and translated into
+// easy-to-understand behavior?").
+//
+// Turns a Privilege_msp into plain-English sentences an enterprise admin
+// can review before a ticket starts, and explains individual decisions
+// after the fact.
+#pragma once
+
+#include <string>
+
+#include "privilege/spec.hpp"
+
+namespace heimdall::priv {
+
+/// Plain-English phrase for one action, e.g. "view the configuration" or
+/// "edit access-list entries".
+std::string human_phrase(Action action);
+
+/// Plain-English phrase for a resource pattern, e.g. "router r3",
+/// "access-list WEB on r3", "any device".
+std::string human_phrase(const Resource& resource);
+
+/// One sentence per predicate: "MAY view the configuration, ping hosts on
+/// device r7." / "MAY NOT change credentials on any device."
+std::string explain_predicate(const Predicate& predicate);
+
+/// The whole spec as a bulleted, deduplicated summary, most-permissive
+/// grants first, denials last.
+std::string explain_privileges(const PrivilegeSpec& spec);
+
+}  // namespace heimdall::priv

@@ -1,0 +1,121 @@
+#include "privilege/generator.hpp"
+
+#include "util/error.hpp"
+
+namespace heimdall::priv {
+
+using namespace heimdall::net;
+
+std::string to_string(TaskClass task) {
+  switch (task) {
+    case TaskClass::Connectivity: return "connectivity";
+    case TaskClass::OspfIssue: return "ospf-issue";
+    case TaskClass::VlanIssue: return "vlan-issue";
+    case TaskClass::IspReconfig: return "isp-reconfig";
+    case TaskClass::AclChange: return "acl-change";
+    case TaskClass::Monitoring: return "monitoring";
+  }
+  return "connectivity";
+}
+
+const std::vector<Action>& read_only_actions() {
+  static const std::vector<Action> actions = [] {
+    std::vector<Action> out;
+    for (Action action : all_actions())
+      if (is_read_only(action)) out.push_back(action);
+    return out;
+  }();
+  return actions;
+}
+
+const std::vector<Action>& mutating_actions_for(TaskClass task) {
+  static const std::vector<Action> connectivity = {
+      Action::InterfaceUp,   Action::InterfaceDown,    Action::AclEdit,
+      Action::BindAcl,       Action::StaticRouteAdd,   Action::StaticRouteRemove,
+      Action::OspfNetworkEdit, Action::SetOspfCost,    Action::SaveConfig,
+  };
+  static const std::vector<Action> ospf = {
+      Action::InterfaceUp,     Action::InterfaceDown, Action::OspfNetworkEdit,
+      Action::OspfProcessEdit, Action::SetOspfCost,   Action::SetInterfaceAddress,
+      Action::SaveConfig,
+  };
+  static const std::vector<Action> vlan = {
+      Action::InterfaceUp, Action::InterfaceDown, Action::SetSwitchport,
+      Action::VlanEdit,    Action::SaveConfig,
+  };
+  static const std::vector<Action> isp = {
+      Action::StaticRouteAdd, Action::StaticRouteRemove, Action::SetInterfaceAddress,
+      Action::InterfaceUp,    Action::InterfaceDown,     Action::SetOspfCost,
+      Action::SaveConfig,
+  };
+  static const std::vector<Action> acl = {
+      Action::AclEdit, Action::AclCreate, Action::AclDelete, Action::BindAcl,
+      Action::SaveConfig,
+  };
+  static const std::vector<Action> monitoring = {};
+  switch (task) {
+    case TaskClass::Connectivity: return connectivity;
+    case TaskClass::OspfIssue: return ospf;
+    case TaskClass::VlanIssue: return vlan;
+    case TaskClass::IspReconfig: return isp;
+    case TaskClass::AclChange: return acl;
+    case TaskClass::Monitoring: return monitoring;
+  }
+  return monitoring;
+}
+
+namespace {
+
+/// Device kinds on which a task's mutations make sense; mutations on other
+/// kinds stay denied even inside the slice.
+bool task_mutates_kind(TaskClass task, DeviceKind kind) {
+  switch (task) {
+    case TaskClass::VlanIssue:
+      return kind == DeviceKind::Switch || kind == DeviceKind::Router;
+    case TaskClass::OspfIssue:
+    case TaskClass::IspReconfig:
+    case TaskClass::AclChange:
+      return kind == DeviceKind::Router;
+    case TaskClass::Connectivity:
+      return kind == DeviceKind::Router || kind == DeviceKind::Switch;
+    case TaskClass::Monitoring:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+PrivilegeSpec generate_privileges(const Network& slice, TaskClass task) {
+  PrivilegeSpec spec;
+
+  // Read-only visibility over every device in the slice. The slice topology
+  // itself is inherently visible (the presentation layer renders it), so
+  // ShowTopology is granted globally.
+  spec.allow({Action::ShowTopology}, Resource{"*", ObjectKind::Device, ""});
+  for (const Device& device : slice.devices()) {
+    spec.allow(read_only_actions(), Resource::whole_device(device.id()));
+  }
+
+  // Task-scoped mutating actions on the kinds that can hold the root cause.
+  const std::vector<Action>& mutations = mutating_actions_for(task);
+  if (!mutations.empty()) {
+    for (const Device& device : slice.devices()) {
+      if (!task_mutates_kind(task, device.kind())) continue;
+      spec.allow(mutations, Resource::whole_device(device.id()));
+    }
+  }
+
+  // Explicit global denies: secrets and high-impact operations are never
+  // part of a ticket's least-privilege set. These use maximally-specific
+  // per-kind patterns so they beat the whole-device allows above.
+  for (const Device& device : slice.devices()) {
+    spec.deny({Action::ChangeSecret}, Resource{device.id().str(), ObjectKind::SecretObject, "*"});
+    spec.deny({Action::Reboot, Action::EraseConfig},
+              Resource{device.id().str(), ObjectKind::Device, ""});
+  }
+
+  return spec;
+}
+
+}  // namespace heimdall::priv

@@ -1,0 +1,41 @@
+// Task-driven privilege generation.
+//
+// Rather than asking the admin to enumerate predicates for every ticket
+// (paper challenge 1: "tedious and error-prone"), Heimdall derives a
+// Privilege_msp from the task class and the twin slice: read-only actions on
+// every visible device, the task's mutating actions on the device kinds that
+// can hold the root cause, and explicit denies on secrets and high-impact
+// operations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netmodel/network.hpp"
+#include "privilege/spec.hpp"
+
+namespace heimdall::priv {
+
+/// Task class of a ticket, driving which mutating actions are granted.
+enum class TaskClass : std::uint8_t {
+  Connectivity,  ///< host A cannot reach host B (root cause unknown)
+  OspfIssue,     ///< routing adjacency / OSPF reachability problem
+  VlanIssue,     ///< L2 / VLAN misconfiguration
+  IspReconfig,   ///< planned static-route / uplink change
+  AclChange,     ///< planned firewall-rule change
+  Monitoring,    ///< performance monitoring (read-only)
+};
+
+std::string to_string(TaskClass task);
+
+/// Mutating actions a task class legitimately needs.
+const std::vector<Action>& mutating_actions_for(TaskClass task);
+
+/// All read-only actions.
+const std::vector<Action>& read_only_actions();
+
+/// Generates the Privilege_msp for `task` over the devices visible in the
+/// twin slice.
+PrivilegeSpec generate_privileges(const net::Network& slice, TaskClass task);
+
+}  // namespace heimdall::priv

@@ -1,0 +1,74 @@
+#include "privilege/json_frontend.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace heimdall::priv {
+
+using util::Json;
+using util::ParseError;
+
+PrivilegeSpec parse_privilege_json(std::string_view text) {
+  return privilege_from_json(Json::parse(text));
+}
+
+PrivilegeSpec privilege_from_json(const Json& document) {
+  PrivilegeSpec spec;
+  const Json& privileges = document.at("privileges");
+  for (const Json& item : privileges.as_array()) {
+    Predicate predicate;
+
+    const std::string& effect = item.at("effect").as_string();
+    if (effect == "allow")
+      predicate.effect = Effect::Allow;
+    else if (effect == "deny")
+      predicate.effect = Effect::Deny;
+    else
+      throw ParseError("privilege effect must be allow/deny, got '" + effect + "'");
+
+    for (const Json& action_json : item.at("actions").as_array()) {
+      const std::string& pattern = action_json.as_string();
+      std::vector<Action> matched = actions_matching(pattern);
+      bool is_glob = pattern.find('*') != std::string::npos ||
+                     pattern.find('?') != std::string::npos;
+      if (matched.empty() && !is_glob)
+        throw ParseError("unknown action '" + pattern + "' in privilege spec");
+      for (Action action : matched) {
+        if (std::find(predicate.actions.begin(), predicate.actions.end(), action) ==
+            predicate.actions.end())
+          predicate.actions.push_back(action);
+      }
+    }
+
+    const Json& resource = item.at("resource");
+    predicate.resource.device = resource.at("device").as_string();
+    predicate.resource.kind = parse_object_kind(resource.at("kind").as_string());
+    if (const Json* name = resource.find("name")) predicate.resource.name = name->as_string();
+
+    spec.add(std::move(predicate));
+  }
+  return spec;
+}
+
+Json privilege_to_json(const PrivilegeSpec& spec) {
+  Json privileges{util::JsonArray{}};
+  for (const Predicate& predicate : spec.predicates()) {
+    Json actions{util::JsonArray{}};
+    for (Action action : predicate.actions) actions.push_back(Json(to_string(action)));
+    Json resource;
+    resource.set("device", Json(predicate.resource.device));
+    resource.set("kind", Json(to_string(predicate.resource.kind)));
+    resource.set("name", Json(predicate.resource.name));
+    Json item;
+    item.set("effect", Json(to_string(predicate.effect)));
+    item.set("actions", std::move(actions));
+    item.set("resource", std::move(resource));
+    privileges.push_back(std::move(item));
+  }
+  Json document;
+  document.set("privileges", std::move(privileges));
+  return document;
+}
+
+}  // namespace heimdall::priv

@@ -1,0 +1,36 @@
+// JSON front-end for Privilege_msp (paper §4.1: "a convenient front-end
+// interface, based on JSON, that builds on the specification DSL").
+//
+// Format:
+// {
+//   "privileges": [
+//     {"effect": "allow",
+//      "actions": ["show-*", "ping"],
+//      "resource": {"device": "r3", "kind": "interface", "name": "*"}},
+//     {"effect": "deny",
+//      "actions": ["*"],
+//      "resource": {"device": "*", "kind": "secret", "name": "*"}}
+//   ]
+// }
+// Action strings are globs over canonical action names, expanded at parse
+// time. An unknown literal action (no glob characters, zero matches) is a
+// parse error to catch typos early.
+#pragma once
+
+#include <string_view>
+
+#include "privilege/spec.hpp"
+#include "util/json.hpp"
+
+namespace heimdall::priv {
+
+/// Parses a Privilege_msp from JSON text. Throws util::ParseError.
+PrivilegeSpec parse_privilege_json(std::string_view text);
+
+/// Parses from an already-parsed document.
+PrivilegeSpec privilege_from_json(const util::Json& document);
+
+/// Serializes a spec back to the JSON format (round-trips predicates).
+util::Json privilege_to_json(const PrivilegeSpec& spec);
+
+}  // namespace heimdall::priv

@@ -1,0 +1,100 @@
+#include "privilege/resource.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::priv {
+
+std::string to_string(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::Device: return "device";
+    case ObjectKind::Interface: return "interface";
+    case ObjectKind::AclObject: return "acl";
+    case ObjectKind::OspfObject: return "ospf";
+    case ObjectKind::VlanObject: return "vlan";
+    case ObjectKind::RouteObject: return "routes";
+    case ObjectKind::SecretObject: return "secret";
+  }
+  return "device";
+}
+
+ObjectKind parse_object_kind(std::string_view text) {
+  std::string lower = util::to_lower(text);
+  if (lower == "device") return ObjectKind::Device;
+  if (lower == "interface") return ObjectKind::Interface;
+  if (lower == "acl") return ObjectKind::AclObject;
+  if (lower == "ospf") return ObjectKind::OspfObject;
+  if (lower == "vlan") return ObjectKind::VlanObject;
+  if (lower == "routes") return ObjectKind::RouteObject;
+  if (lower == "secret") return ObjectKind::SecretObject;
+  throw util::ParseError("unknown object kind: '" + std::string(text) + "'");
+}
+
+Resource Resource::whole_device(const net::DeviceId& device) {
+  return Resource{device.str(), ObjectKind::Device, ""};
+}
+
+Resource Resource::interface(const net::DeviceId& device, const net::InterfaceId& iface) {
+  return Resource{device.str(), ObjectKind::Interface, iface.str()};
+}
+
+Resource Resource::acl(const net::DeviceId& device, std::string_view name) {
+  return Resource{device.str(), ObjectKind::AclObject, std::string(name)};
+}
+
+Resource Resource::ospf(const net::DeviceId& device) {
+  return Resource{device.str(), ObjectKind::OspfObject, ""};
+}
+
+Resource Resource::vlan(const net::DeviceId& device, net::VlanId vlan) {
+  return Resource{device.str(), ObjectKind::VlanObject, std::to_string(vlan)};
+}
+
+Resource Resource::routes(const net::DeviceId& device) {
+  return Resource{device.str(), ObjectKind::RouteObject, ""};
+}
+
+Resource Resource::secret(const net::DeviceId& device, std::string_view field) {
+  return Resource{device.str(), ObjectKind::SecretObject, std::string(field)};
+}
+
+Resource Resource::any(ObjectKind kind) { return Resource{"*", kind, "*"}; }
+
+namespace {
+
+bool name_matches(const std::string& pattern, const std::string& name) {
+  if (pattern.empty()) return true;  // empty pattern == "*"
+  return util::glob_match(pattern, name);
+}
+
+}  // namespace
+
+bool Resource::covers(const Resource& concrete) const {
+  if (!util::glob_match(device, concrete.device)) return false;
+  if (kind == ObjectKind::Device) {
+    // A whole-device grant covers every object on the device.
+    return true;
+  }
+  if (kind != concrete.kind) return false;
+  return name_matches(name, concrete.name);
+}
+
+int Resource::specificity() const {
+  int score = 0;
+  bool device_glob = device.find('*') != std::string::npos || device.find('?') != std::string::npos;
+  bool name_glob = name.empty() || name.find('*') != std::string::npos ||
+                   name.find('?') != std::string::npos;
+  if (!device_glob) score += 4;
+  if (kind != ObjectKind::Device) score += 2;
+  if (kind != ObjectKind::Device && !name_glob) score += 1;
+  return score;
+}
+
+std::string Resource::to_string() const {
+  std::string out = device;
+  out += "/" + priv::to_string(kind);
+  if (kind != ObjectKind::Device) out += "/" + (name.empty() ? std::string("*") : name);
+  return out;
+}
+
+}  // namespace heimdall::priv

@@ -1,0 +1,63 @@
+// Hierarchical resource references with glob patterns.
+//
+// A concrete resource names one object a technician acts on:
+//   device "r3", interface "r3 : Gig0/1", ACL "r3 : acl : WEB", the OSPF
+//   process on r3, VLAN 10 on sw1, ...
+// A resource *pattern* may use globs in the device and object-name fields.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netmodel/types.hpp"
+
+namespace heimdall::priv {
+
+/// Class of object inside a device.
+enum class ObjectKind : std::uint8_t {
+  Device,       ///< the device as a whole (show config, reboot, ...)
+  Interface,    ///< one interface (name = interface id)
+  AclObject,    ///< one access list (name = ACL name)
+  OspfObject,   ///< the OSPF process
+  VlanObject,   ///< one VLAN (name = decimal VLAN id)
+  RouteObject,  ///< the static routing table
+  SecretObject, ///< credentials (name = secret field)
+};
+
+std::string to_string(ObjectKind kind);
+ObjectKind parse_object_kind(std::string_view text);
+
+/// A concrete resource or a resource pattern. Patterns allow '*'/'?' in
+/// `device` and `name`.
+struct Resource {
+  std::string device;              ///< device id or glob
+  ObjectKind kind = ObjectKind::Device;
+  std::string name;                ///< object name or glob; empty == "*"
+
+  auto operator<=>(const Resource&) const = default;
+
+  /// Concrete-resource constructors.
+  static Resource whole_device(const net::DeviceId& device);
+  static Resource interface(const net::DeviceId& device, const net::InterfaceId& iface);
+  static Resource acl(const net::DeviceId& device, std::string_view name);
+  static Resource ospf(const net::DeviceId& device);
+  static Resource vlan(const net::DeviceId& device, net::VlanId vlan);
+  static Resource routes(const net::DeviceId& device);
+  static Resource secret(const net::DeviceId& device, std::string_view field);
+
+  /// Pattern: any object of `kind` on any device.
+  static Resource any(ObjectKind kind);
+
+  /// True when this (pattern) resource covers `concrete`. A Device-kind
+  /// pattern covers every object on matching devices.
+  bool covers(const Resource& concrete) const;
+
+  /// Specificity used for most-specific-wins conflict resolution: higher is
+  /// more specific (exact device > glob device; exact name > glob name;
+  /// non-Device kind > Device kind).
+  int specificity() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace heimdall::priv

@@ -1,0 +1,71 @@
+#include "privilege/spec.hpp"
+
+#include <algorithm>
+
+namespace heimdall::priv {
+
+std::string to_string(Effect effect) { return effect == Effect::Allow ? "allow" : "deny"; }
+
+bool Predicate::applies_to(Action action, const Resource& concrete) const {
+  if (std::find(actions.begin(), actions.end(), action) == actions.end()) return false;
+  return resource.covers(concrete);
+}
+
+std::string Predicate::to_string() const {
+  std::string names;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) names += ",";
+    names += priv::to_string(actions[i]);
+  }
+  return priv::to_string(effect) + "(" + names + " @ " + resource.to_string() + ")";
+}
+
+void PrivilegeSpec::allow(std::vector<Action> actions, Resource resource) {
+  add(Predicate{Effect::Allow, std::move(actions), std::move(resource)});
+}
+
+void PrivilegeSpec::deny(std::vector<Action> actions, Resource resource) {
+  add(Predicate{Effect::Deny, std::move(actions), std::move(resource)});
+}
+
+Decision PrivilegeSpec::evaluate(Action action, const Resource& resource) const {
+  const Predicate* best = nullptr;
+  int best_specificity = -1;
+  for (const Predicate& predicate : predicates_) {
+    if (!predicate.applies_to(action, resource)) continue;
+    int specificity = predicate.resource.specificity();
+    bool wins = specificity > best_specificity ||
+                // Deny wins specificity ties.
+                (specificity == best_specificity && predicate.effect == Effect::Deny &&
+                 best && best->effect == Effect::Allow);
+    if (wins) {
+      best = &predicate;
+      best_specificity = specificity;
+    }
+  }
+  if (!best) {
+    return Decision{false, "default deny: no predicate covers " + priv::to_string(action) +
+                               " @ " + resource.to_string()};
+  }
+  return Decision{best->effect == Effect::Allow, "matched " + best->to_string()};
+}
+
+std::size_t PrivilegeSpec::count_allowed(
+    const std::vector<std::pair<Action, Resource>>& catalog) const {
+  std::size_t count = 0;
+  for (const auto& [action, resource] : catalog) {
+    if (allows(action, resource)) ++count;
+  }
+  return count;
+}
+
+std::string PrivilegeSpec::to_string() const {
+  std::string out;
+  for (const Predicate& predicate : predicates_) {
+    out += predicate.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace heimdall::priv

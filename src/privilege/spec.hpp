@@ -1,0 +1,73 @@
+// Privilege_msp: the fine-grained privilege specification of paper §4.1.
+//
+// A PrivilegeSpec is a set of predicates, each allowing or denying a set of
+// actions on a resource pattern. Evaluation is default-deny; among matching
+// predicates the most specific resource wins, and deny wins ties (a safe
+// conflict-resolution rule the paper leaves open).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "privilege/action.hpp"
+#include "privilege/resource.hpp"
+
+namespace heimdall::priv {
+
+enum class Effect : std::uint8_t { Allow, Deny };
+
+std::string to_string(Effect effect);
+
+/// One predicate: effect + action set + resource pattern.
+struct Predicate {
+  Effect effect = Effect::Deny;
+  std::vector<Action> actions;
+  Resource resource;
+
+  bool operator==(const Predicate&) const = default;
+
+  bool applies_to(Action action, const Resource& concrete) const;
+
+  std::string to_string() const;
+};
+
+/// A decision with its justification (for audit trails).
+struct Decision {
+  bool allowed = false;
+  std::string reason;
+};
+
+/// The Privilege_msp.
+class PrivilegeSpec {
+ public:
+  PrivilegeSpec() = default;
+  explicit PrivilegeSpec(std::vector<Predicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  void add(Predicate predicate) { predicates_.push_back(std::move(predicate)); }
+
+  /// Convenience builders.
+  void allow(std::vector<Action> actions, Resource resource);
+  void deny(std::vector<Action> actions, Resource resource);
+
+  /// Evaluates one concrete (action, resource) pair. Default deny.
+  Decision evaluate(Action action, const Resource& resource) const;
+
+  bool allows(Action action, const Resource& resource) const {
+    return evaluate(action, resource).allowed;
+  }
+
+  /// Number of (action, device-object) pairs this spec allows out of a given
+  /// catalog of concrete resources; used by the attack-surface metric.
+  std::size_t count_allowed(const std::vector<std::pair<Action, Resource>>& catalog) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace heimdall::priv

@@ -1,0 +1,91 @@
+#include "scenarios/builder.hpp"
+
+namespace heimdall::scen {
+
+using namespace heimdall::net;
+
+Device make_router(const std::string& name) {
+  Device device(DeviceId(name), DeviceKind::Router);
+  device.secrets().enable_password = "$1$" + name + "$f8AxVzzXqGx";
+  device.secrets().snmp_community = "c0mmun1ty-" + name;
+  device.secrets().ipsec_key = "psk-" + name + "-2481632";
+  return device;
+}
+
+Device make_host(const std::string& name, Ipv4Address ip, unsigned prefix_len,
+                 Ipv4Address gateway) {
+  Device device(DeviceId(name), DeviceKind::Host);
+  Interface nic;
+  nic.id = InterfaceId("eth0");
+  nic.address = InterfaceAddress{ip, prefix_len};
+  device.add_interface(std::move(nic));
+  StaticRoute route;
+  route.prefix = default_route();
+  route.next_hop = gateway;
+  device.static_routes().push_back(route);
+  return device;
+}
+
+void connect_routers(Network& network, const std::string& a, const std::string& if_a,
+                     Ipv4Address ip_a, const std::string& b, const std::string& if_b,
+                     Ipv4Address ip_b) {
+  Device& device_a = network.device(DeviceId(a));
+  Device& device_b = network.device(DeviceId(b));
+  Interface iface_a;
+  iface_a.id = InterfaceId(if_a);
+  iface_a.description = "to " + b;
+  iface_a.address = InterfaceAddress{ip_a, 30};
+  device_a.add_interface(std::move(iface_a));
+  Interface iface_b;
+  iface_b.id = InterfaceId(if_b);
+  iface_b.description = "to " + a;
+  iface_b.address = InterfaceAddress{ip_b, 30};
+  device_b.add_interface(std::move(iface_b));
+  network.connect({DeviceId(a), InterfaceId(if_a)}, {DeviceId(b), InterfaceId(if_b)});
+}
+
+void attach_host_routed(Network& network, const std::string& router,
+                        const std::string& router_iface, Ipv4Address gateway_ip,
+                        unsigned prefix_len, const std::string& host) {
+  Device& device = network.device(DeviceId(router));
+  Interface iface;
+  iface.id = InterfaceId(router_iface);
+  iface.description = "to " + host;
+  iface.address = InterfaceAddress{gateway_ip, prefix_len};
+  device.add_interface(std::move(iface));
+  network.connect({DeviceId(router), InterfaceId(router_iface)},
+                  {DeviceId(host), InterfaceId("eth0")});
+}
+
+void attach_host_access(Network& network, const std::string& router,
+                        const std::string& router_iface, VlanId vlan, const std::string& host) {
+  Device& device = network.device(DeviceId(router));
+  Interface iface;
+  iface.id = InterfaceId(router_iface);
+  iface.description = "to " + host;
+  iface.mode = SwitchportMode::Access;
+  iface.access_vlan = vlan;
+  device.add_interface(std::move(iface));
+  network.connect({DeviceId(router), InterfaceId(router_iface)},
+                  {DeviceId(host), InterfaceId("eth0")});
+}
+
+void add_svi(Device& device, VlanId vlan, Ipv4Address ip, unsigned prefix_len) {
+  if (!device.has_vlan(vlan)) device.vlans().push_back(vlan);
+  Interface svi;
+  svi.id = InterfaceId("Vlan" + std::to_string(vlan));
+  svi.description = "SVI vlan " + std::to_string(vlan);
+  svi.address = InterfaceAddress{ip, prefix_len};
+  device.add_interface(std::move(svi));
+}
+
+void ospf_network(Device& device, const Ipv4Prefix& subnet, unsigned area) {
+  if (!device.ospf()) {
+    OspfProcess process;
+    process.process_id = 1;
+    device.ospf() = process;
+  }
+  device.ospf()->networks.push_back(OspfNetwork{subnet, area});
+}
+
+}  // namespace heimdall::scen

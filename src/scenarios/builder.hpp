@@ -1,0 +1,44 @@
+// Shared construction helpers for the evaluation networks.
+#pragma once
+
+#include <string>
+
+#include "netmodel/network.hpp"
+
+namespace heimdall::scen {
+
+/// Creates a router with standard secrets (so the scrubber has work to do).
+net::Device make_router(const std::string& name);
+
+/// Creates a host device with a single NIC `eth0` at `ip`/`prefix_len`
+/// and a default route via `gateway`.
+net::Device make_host(const std::string& name, net::Ipv4Address ip, unsigned prefix_len,
+                      net::Ipv4Address gateway);
+
+/// Adds a routed point-to-point /30 between two existing routers. Interface
+/// `if_a` on `a` gets `ip_a`, `if_b` on `b` gets `ip_b`; both /30.
+void connect_routers(net::Network& network, const std::string& a, const std::string& if_a,
+                     net::Ipv4Address ip_a, const std::string& b, const std::string& if_b,
+                     net::Ipv4Address ip_b);
+
+/// Adds a routed host port on `router` and wires `host` to it. The router
+/// port gets `gateway_ip`/`prefix_len`.
+void attach_host_routed(net::Network& network, const std::string& router,
+                        const std::string& router_iface, net::Ipv4Address gateway_ip,
+                        unsigned prefix_len, const std::string& host);
+
+/// Adds an L2 access port on `router` (acting as L3 switch) in `vlan` and
+/// wires `host` to it. Assumes the SVI Vlan<vlan> exists or will be added.
+void attach_host_access(net::Network& network, const std::string& router,
+                        const std::string& router_iface, net::VlanId vlan,
+                        const std::string& host);
+
+/// Adds an SVI ("interface Vlan<vlan>") with `ip`/`prefix_len` on `device`
+/// and declares the VLAN.
+void add_svi(net::Device& device, net::VlanId vlan, net::Ipv4Address ip, unsigned prefix_len);
+
+/// Appends "network <subnet> area <area>" to the device's OSPF process,
+/// creating the process (id 1) on first use.
+void ospf_network(net::Device& device, const net::Ipv4Prefix& subnet, unsigned area = 0);
+
+}  // namespace heimdall::scen

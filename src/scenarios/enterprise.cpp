@@ -1,0 +1,330 @@
+#include "scenarios/enterprise.hpp"
+
+#include <algorithm>
+
+#include "config/parse.hpp"
+#include "scenarios/builder.hpp"
+#include "spec/mine.hpp"
+
+namespace heimdall::scen {
+
+using namespace heimdall::net;
+
+namespace {
+
+Ipv4Address ip(const char* text) { return Ipv4Address::parse(text); }
+Ipv4Prefix prefix(const char* text) { return Ipv4Prefix::parse(text); }
+
+}  // namespace
+
+Network build_enterprise() {
+  Network network("enterprise");
+
+  // Routers.
+  for (const char* name : {"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"})
+    network.add_device(make_router(name));
+
+  // Hosts (addresses first; wiring below).
+  network.add_device(make_host("h1", ip("10.0.10.10"), 24, ip("10.0.10.1")));
+  network.add_device(make_host("h2", ip("10.0.20.10"), 24, ip("10.0.20.1")));
+  network.add_device(make_host("h3", ip("10.0.30.10"), 24, ip("10.0.30.1")));
+  network.add_device(make_host("h4", ip("10.0.40.10"), 24, ip("10.0.40.1")));
+  network.add_device(make_host("h5", ip("10.0.5.10"), 24, ip("10.0.5.1")));
+  network.add_device(make_host("h6", ip("10.0.6.10"), 24, ip("10.0.6.1")));
+  network.add_device(make_host("h7", ip("10.0.7.10"), 24, ip("10.0.7.1")));
+  network.add_device(make_host("h8", ip("10.0.8.10"), 24, ip("10.0.8.1")));
+  network.add_device(make_host("ext", ip("198.51.100.10"), 24, ip("198.51.100.1")));
+
+  // Core / distribution mesh (13 router-router links).
+  connect_routers(network, "r1", "Gi0/0", ip("10.1.12.1"), "r2", "Gi0/0", ip("10.1.12.2"));
+  connect_routers(network, "r1", "Gi0/1", ip("10.1.13.1"), "r3", "Gi0/0", ip("10.1.13.2"));
+  connect_routers(network, "r1", "Gi0/2", ip("10.1.16.1"), "r6", "Gi0/0", ip("10.1.16.2"));
+  connect_routers(network, "r2", "Gi0/1", ip("10.1.23.1"), "r3", "Gi0/1", ip("10.1.23.2"));
+  connect_routers(network, "r2", "Gi0/2", ip("10.1.24.1"), "r4", "Gi0/0", ip("10.1.24.2"));
+  connect_routers(network, "r2", "Gi0/3", ip("10.1.25.1"), "r5", "Gi0/2", ip("10.1.25.2"));
+  connect_routers(network, "r2", "Gi0/4", ip("10.1.26.1"), "r6", "Gi0/1", ip("10.1.26.2"));
+  connect_routers(network, "r2", "Gi0/5", ip("10.1.29.1"), "r9", "Gi0/0", ip("10.1.29.2"));
+  connect_routers(network, "r3", "Gi0/2", ip("10.1.35.1"), "r5", "Gi0/0", ip("10.1.35.2"));
+  connect_routers(network, "r3", "Gi0/3", ip("10.1.34.1"), "r4", "Gi0/2", ip("10.1.34.2"));
+  connect_routers(network, "r4", "Gi0/1", ip("10.1.45.1"), "r5", "Gi0/1", ip("10.1.45.2"));
+  connect_routers(network, "r4", "Gi0/3", ip("10.1.47.1"), "r7", "Gi0/0", ip("10.1.47.2"));
+  connect_routers(network, "r5", "Gi0/3", ip("10.1.58.1"), "r8", "Gi0/0", ip("10.1.58.2"));
+
+  // Access layer: r7/r8 are L3 switches with SVIs + access ports.
+  {
+    Device& r7 = network.device(DeviceId("r7"));
+    add_svi(r7, 10, ip("10.0.10.1"), 24);
+    add_svi(r7, 20, ip("10.0.20.1"), 24);
+  }
+  attach_host_access(network, "r7", "Fa0/1", 10, "h1");
+  attach_host_access(network, "r7", "Fa0/2", 20, "h2");
+  {
+    Device& r8 = network.device(DeviceId("r8"));
+    add_svi(r8, 30, ip("10.0.30.1"), 24);
+    add_svi(r8, 40, ip("10.0.40.1"), 24);
+  }
+  attach_host_access(network, "r8", "Fa0/1", 30, "h3");
+  attach_host_access(network, "r8", "Fa0/2", 40, "h4");
+
+  // Routed host ports.
+  attach_host_routed(network, "r4", "Gi0/4", ip("10.0.5.1"), 24, "h5");
+  attach_host_routed(network, "r5", "Gi0/4", ip("10.0.6.1"), 24, "h6");
+  attach_host_routed(network, "r9", "Gi0/1", ip("10.0.7.1"), 24, "h7");
+  attach_host_routed(network, "r9", "Gi0/2", ip("10.0.8.1"), 24, "h8");
+  attach_host_routed(network, "r6", "Gi0/2", ip("198.51.100.1"), 24, "ext");
+
+  // DMZ firewall policy on r9: only selected subnets may enter the DMZ, and
+  // nothing outside the DMZ may touch the sensitive store h8.
+  {
+    Device& r9 = network.device(DeviceId("r9"));
+    Acl dmz;
+    dmz.name = "DMZ_IN";
+    auto permit = [&](const char* src) {
+      AclEntry entry;
+      entry.action = AclEntry::Action::Permit;
+      entry.protocol = IpProtocol::Icmp;
+      entry.src = prefix(src);
+      entry.dst = prefix("10.0.7.0/24");
+      dmz.entries.push_back(entry);
+    };
+    permit("10.0.10.0/24");  // h1
+    permit("10.0.30.0/24");  // h3
+    permit("10.0.5.0/24");   // h5
+    permit("10.0.6.0/24");   // h6
+    // Application traffic to the DMZ app server (same sources).
+    for (const char* src : {"10.0.10.0/24", "10.0.30.0/24", "10.0.5.0/24", "10.0.6.0/24"}) {
+      for (std::uint16_t port : {std::uint16_t{443}, std::uint16_t{8080}}) {
+        AclEntry entry;
+        entry.action = AclEntry::Action::Permit;
+        entry.protocol = IpProtocol::Tcp;
+        entry.src = prefix(src);
+        entry.dst = prefix("10.0.7.0/24");
+        entry.dst_ports = PortRange::exactly(port);
+        dmz.entries.push_back(entry);
+      }
+    }
+    AclEntry deny_all;
+    deny_all.action = AclEntry::Action::Deny;
+    dmz.entries.push_back(deny_all);
+    r9.add_acl(std::move(dmz));
+    r9.interface(InterfaceId("Gi0/0")).acl_in = "DMZ_IN";
+  }
+
+  // Border egress hygiene on r6: bogon filtering plus explicit service
+  // permits toward the ISP block (no effect on internal reachability).
+  {
+    Device& r6 = network.device(DeviceId("r6"));
+    Acl border;
+    border.name = "BORDER_OUT";
+    for (const char* bogon : {"192.168.0.0/16", "172.16.0.0/12", "127.0.0.0/8",
+                              "169.254.0.0/16", "224.0.0.0/4"}) {
+      AclEntry entry;
+      entry.action = AclEntry::Action::Deny;
+      entry.src = prefix(bogon);
+      border.entries.push_back(entry);
+    }
+    {
+      AclEntry entry;
+      entry.action = AclEntry::Action::Permit;
+      entry.protocol = IpProtocol::Icmp;
+      entry.src = prefix("10.0.0.0/8");
+      entry.dst = prefix("198.51.100.0/24");
+      border.entries.push_back(entry);
+    }
+    for (std::uint16_t port : {std::uint16_t{80}, std::uint16_t{443}, std::uint16_t{53}}) {
+      AclEntry entry;
+      entry.action = AclEntry::Action::Permit;
+      entry.protocol = IpProtocol::Tcp;
+      entry.src = prefix("10.0.0.0/8");
+      entry.dst = prefix("198.51.100.0/24");
+      entry.dst_ports = PortRange::exactly(port);
+      border.entries.push_back(entry);
+    }
+    AclEntry deny_all;
+    deny_all.action = AclEntry::Action::Deny;
+    border.entries.push_back(deny_all);
+    r6.add_acl(std::move(border));
+    r6.interface(InterfaceId("Gi0/2")).acl_out = "BORDER_OUT";
+  }
+
+  // OSPF: per-subnet network statements, everything in area 0; host-facing
+  // ports passive.
+  for (Device& device : network.devices()) {
+    if (!device.is_router()) continue;
+    for (const Interface& iface : device.interfaces()) {
+      if (!iface.address) continue;
+      ospf_network(device, iface.address->subnet(), 0);
+      // Host-facing and SVI interfaces form no adjacencies.
+      if (iface.description.rfind("to h", 0) == 0 || iface.description.rfind("to ext", 0) == 0 ||
+          iface.id.str().rfind("Vlan", 0) == 0) {
+        device.ospf()->passive_interfaces.push_back(iface.id);
+      }
+    }
+    device.ospf()->router_id = ip(("10.255.255." + std::to_string(&device - network.devices().data() + 1)).c_str());
+  }
+
+  network.validate();
+  return network;
+}
+
+std::vector<spec::Policy> enterprise_policies(const Network& network) {
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  spec::MineOptions options;
+  options.max_policies = kEnterprisePolicyBudget;
+  options.waypoint_candidates = {DeviceId("r9")};
+  return spec::mine_policies(network, dataplane, options);
+}
+
+std::vector<IssueSpec> enterprise_issues() {
+  std::vector<IssueSpec> issues;
+
+  // --- VLAN issue: h2's access port lands in the wrong VLAN. -------------
+  {
+    IssueSpec issue;
+    issue.key = "vlan";
+    issue.ticket = msp::Ticket::connectivity(
+        101, DeviceId("h2"), DeviceId("h4"),
+        "web clients on h2 cannot reach the app on h4 since last night's change window",
+        priv::TaskClass::VlanIssue);
+    issue.root_cause = DeviceId("r7");
+    issue.inject = [](Network& network) {
+      network.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).access_vlan = 10;
+    };
+    issue.fix_script = {
+        "show topology",
+        "ping h2 h4",
+        "show interfaces r7",
+        "show vlans r7",
+        "show config r7",
+        "interface r7 Fa0/2 switchport-access-vlan 20",
+        "ping h2 h4",
+        "save r7",
+    };
+    issue.resolved = pair_reachable_check("h2", "h4");
+    issues.push_back(std::move(issue));
+  }
+
+  // --- OSPF issue: r5 lost the network statement for the r8 uplink. -------
+  {
+    IssueSpec issue;
+    issue.key = "ospf";
+    issue.ticket = msp::Ticket::connectivity(
+        102, DeviceId("h3"), DeviceId("h1"),
+        "branch hosts behind r8 unreachable; suspected routing problem",
+        priv::TaskClass::OspfIssue);
+    issue.root_cause = DeviceId("r5");
+    issue.inject = [](Network& network) {
+      Device& r5 = network.device(DeviceId("r5"));
+      auto& networks = r5.ospf()->networks;
+      std::erase_if(networks, [](const OspfNetwork& n) {
+        return n.prefix == Ipv4Prefix::parse("10.1.58.0/30");
+      });
+    };
+    issue.fix_script = {
+        "ping h3 h1",
+        "show routes r8",
+        "show ospf r8",
+        "show ospf r5",
+        "ospf r5 network-add 10.1.58.0 0.0.0.3 area 0",
+        "show ospf r5",
+        "ping h3 h1",
+        "save r5",
+    };
+    issue.resolved = pair_reachable_check("h3", "h1");
+    issues.push_back(std::move(issue));
+  }
+
+  // --- ISP reconfiguration: prefer the r2 uplink for border traffic. ------
+  {
+    IssueSpec issue;
+    issue.key = "isp";
+    issue.ticket = msp::Ticket::connectivity(
+        103, DeviceId("ext"), DeviceId("h1"),
+        "planned change: ISP migration, shift border traffic to the r1-r6 uplink",
+        priv::TaskClass::IspReconfig);
+    issue.root_cause = DeviceId("r6");
+    issue.inject = [](Network&) {};  // planned change: nothing broken
+    issue.fix_script = {
+        "show routes r6",
+        "interface r6 Gi0/0 ospf-cost 5",
+        "interface r6 Gi0/1 ospf-cost 50",
+        "ping ext h1",
+        "save r6",
+    };
+    issue.resolved = [](const Network& network) {
+      dp::Dataplane dataplane = dp::Dataplane::compute(network);
+      dp::TraceResult trace =
+          dp::trace_hosts(network, dataplane, DeviceId("ext"), DeviceId("h1"));
+      if (!trace.delivered()) return false;
+      auto path = trace.path();
+      // The reconfigured border must now leave through the r1 uplink
+      // (before the change the r2 uplink is cheaper and r1 is bypassed).
+      return std::find(path.begin(), path.end(), DeviceId("r1")) != path.end();
+    };
+    issues.push_back(std::move(issue));
+  }
+
+  return issues;
+}
+
+std::vector<IssueSpec> enterprise_extended_issues() {
+  std::vector<IssueSpec> issues;
+
+  // --- ACL misconfiguration: a stray deny blocks h1 -> DMZ app server. ----
+  {
+    IssueSpec issue;
+    issue.key = "acl";
+    issue.ticket = msp::Ticket::connectivity(
+        104, DeviceId("h1"), DeviceId("h7"),
+        "h1 lost access to the DMZ app server after last night's firewall work",
+        priv::TaskClass::AclChange);
+    issue.root_cause = DeviceId("r9");
+    issue.inject = [](Network& network) {
+      AclEntry bogus;
+      bogus.action = AclEntry::Action::Deny;
+      bogus.src = prefix("10.0.10.0/24");
+      bogus.dst = prefix("10.0.7.0/24");
+      auto& entries = network.device(DeviceId("r9")).find_acl("DMZ_IN")->entries;
+      entries.insert(entries.begin(), bogus);
+    };
+    issue.fix_script = {
+        "ping h1 h7",
+        "show acls r9",
+        "acl r9 DMZ_IN remove 0",
+        "ping h1 h7",
+        "save r9",
+    };
+    issue.resolved = pair_reachable_check("h1", "h7");
+    issues.push_back(std::move(issue));
+  }
+
+  // --- Blackhole static route: border traffic to h4 detoured into the DMZ.
+  {
+    IssueSpec issue;
+    issue.key = "route";
+    issue.ticket = msp::Ticket::connectivity(
+        105, DeviceId("ext"), DeviceId("h4"),
+        "external monitor lost the app server h4; suspected routing problem",
+        priv::TaskClass::Connectivity);
+    issue.root_cause = DeviceId("r2");
+    issue.inject = [](Network& network) {
+      StaticRoute blackhole;
+      blackhole.prefix = prefix("10.0.40.0/24");
+      blackhole.next_hop = ip("10.1.29.2");  // into the DMZ filter
+      network.device(DeviceId("r2")).static_routes().push_back(blackhole);
+    };
+    issue.fix_script = {
+        "ping ext h4",
+        "show routes r2",
+        "route r2 remove 10.0.40.0 255.255.255.0 10.1.29.2",
+        "ping ext h4",
+        "save r2",
+    };
+    issue.resolved = pair_reachable_check("ext", "h4");
+    issues.push_back(std::move(issue));
+  }
+
+  return issues;
+}
+
+}  // namespace heimdall::scen

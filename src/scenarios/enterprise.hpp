@@ -1,0 +1,39 @@
+// The enterprise evaluation network (paper Table 1: 9 routers, 9 hosts,
+// 22 links, 21 policies).
+//
+// Layout:
+//   * r1-r3: OSPF core triangle; r2 also uplinks the DMZ router r9.
+//   * r4, r5: distribution, each with one directly-attached host (h5, h6)
+//     and cross-links for redundancy.
+//   * r7, r8: L3 access switches with VLAN access ports + SVIs
+//     (h1/h2 on r7 VLANs 10/20, h3/h4 on r8 VLANs 30/40).
+//   * r9: DMZ firewall (ACL "DMZ_IN") in front of h7 (app server) and h8
+//     (sensitive data store: isolated from everything outside the DMZ).
+//   * r6: border router to the ISP-side endpoint `ext`.
+#pragma once
+
+#include <vector>
+
+#include "scenarios/issues.hpp"
+#include "spec/policy.hpp"
+
+namespace heimdall::scen {
+
+/// Number of policies the enterprise pins (Table 1).
+inline constexpr std::size_t kEnterprisePolicyBudget = 21;
+
+/// Builds the enterprise production network. Deterministic.
+net::Network build_enterprise();
+
+/// Mines the enterprise policy set (capped at the Table 1 budget).
+std::vector<spec::Policy> enterprise_policies(const net::Network& network);
+
+/// The three pilot-study issues: "vlan", "ospf", "isp".
+std::vector<IssueSpec> enterprise_issues();
+
+/// Extra issue classes beyond the pilot study: "acl" (a stray deny blocks
+/// DMZ access) and "route" (a blackhole static route detours border traffic
+/// into the DMZ filter). Used by the extended tests and examples.
+std::vector<IssueSpec> enterprise_extended_issues();
+
+}  // namespace heimdall::scen

@@ -1,0 +1,18 @@
+#include "scenarios/issues.hpp"
+
+#include "dataplane/trace.hpp"
+
+namespace heimdall::scen {
+
+using namespace heimdall::net;
+
+std::function<bool(const Network&)> pair_reachable_check(const std::string& a,
+                                                         const std::string& b) {
+  return [a, b](const Network& network) {
+    dp::Dataplane dataplane = dp::Dataplane::compute(network);
+    return dp::trace_hosts(network, dataplane, DeviceId(a), DeviceId(b)).delivered() &&
+           dp::trace_hosts(network, dataplane, DeviceId(b), DeviceId(a)).delivered();
+  };
+}
+
+}  // namespace heimdall::scen

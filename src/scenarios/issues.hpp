@@ -1,0 +1,36 @@
+// Issue specifications: reproducible real-world problem classes (paper §5:
+// an OSPF issue, an ISP reconfiguration, a VLAN issue) with their injection,
+// the prepared fix command list, and a resolution check.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "msp/ticket.hpp"
+#include "netmodel/network.hpp"
+
+namespace heimdall::scen {
+
+/// One injectable issue with everything the benches need.
+struct IssueSpec {
+  /// Short key: "vlan", "ospf", "isp".
+  std::string key;
+  msp::Ticket ticket;
+  /// Breaks the production network (no-op for planned-change issues).
+  std::function<void(net::Network&)> inject;
+  /// The prepared command list the scripted technician runs (paper §5:
+  /// "the technician performs a prepared list of commands to fix each
+  /// issue").
+  std::vector<std::string> fix_script;
+  /// True when the network is healthy again (post-fix acceptance check).
+  std::function<bool(const net::Network&)> resolved;
+  /// The device whose configuration holds the root cause.
+  net::DeviceId root_cause;
+};
+
+/// Convenience resolution check: both directions of a host pair deliver.
+std::function<bool(const net::Network&)> pair_reachable_check(const std::string& a,
+                                                              const std::string& b);
+
+}  // namespace heimdall::scen

@@ -1,0 +1,308 @@
+#include "scenarios/university.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "scenarios/builder.hpp"
+#include "spec/mine.hpp"
+
+namespace heimdall::scen {
+
+using namespace heimdall::net;
+
+namespace {
+
+Ipv4Address ip(const std::string& text) { return Ipv4Address::parse(text); }
+Ipv4Prefix prefix(const std::string& text) { return Ipv4Prefix::parse(text); }
+
+std::string router_name(int i) { return "u" + std::to_string(i); }
+std::string host_name(int k) { return "uh" + std::to_string(k); }
+
+/// Router pairs with no direct link (keeps the mesh at 75 links).
+bool pair_pruned(int i, int j) {
+  return (i == 1 && j == 13) || (i == 2 && j == 12) || (i == 3 && j == 11);
+}
+
+/// /30 transit subnet for the (i, j) router pair, i < j.
+Ipv4Address pair_ip(int i, int j, int host) {
+  return Ipv4Address::of(172, 16, static_cast<std::uint8_t>(i),
+                         static_cast<std::uint8_t>(4 * j + host));
+}
+
+/// Host index -> owning router: u1/u2 get two VLAN hosts each, u4/u5 a
+/// second routed host, the rest one routed host apiece.
+int host_router(int k) {
+  switch (k) {
+    case 1: case 2: return 1;
+    case 3: case 4: return 2;
+    case 16: return 4;
+    case 17: return 5;
+    default: return k - 2;  // uh5 -> u3 ... uh15 -> u13
+  }
+}
+
+/// OSPF area of a subnet: u12/u13 territory is area 1, the rest area 0.
+unsigned area_of_subnet(const Ipv4Prefix& subnet) {
+  if (subnet == prefix("172.16.12.52/30")) return 1;                 // u12-u13 link
+  if (subnet == prefix("10.20.14.0/24")) return 1;                   // uh14 (u12)
+  if (subnet == prefix("10.20.15.0/24")) return 1;                   // uh15 (u13)
+  return 0;
+}
+
+void add_guard_acl(Network& network, const std::string& router, const std::string& acl_name,
+                   const std::string& guarded_subnet,
+                   const std::vector<std::string>& permitted_sources) {
+  Device& device = network.device(DeviceId(router));
+  Acl acl;
+  acl.name = acl_name;
+  for (const std::string& src : permitted_sources) {
+    AclEntry entry;
+    entry.action = AclEntry::Action::Permit;
+    entry.protocol = IpProtocol::Icmp;
+    entry.src = prefix(src);
+    entry.dst = prefix(guarded_subnet);
+    acl.entries.push_back(entry);
+  }
+  AclEntry deny_guarded;
+  deny_guarded.action = AclEntry::Action::Deny;
+  deny_guarded.dst = prefix(guarded_subnet);
+  acl.entries.push_back(deny_guarded);
+  AclEntry permit_rest;
+  permit_rest.action = AclEntry::Action::Permit;
+  acl.entries.push_back(permit_rest);
+  device.add_acl(std::move(acl));
+  // Bind inbound on every transit (inter-router) interface.
+  for (Interface& iface : device.interfaces()) {
+    if (iface.description.rfind("to u", 0) == 0 && iface.description.rfind("to uh", 0) != 0) {
+      iface.acl_in = acl_name;
+    }
+  }
+}
+
+}  // namespace
+
+Network build_university() {
+  Network network("university");
+
+  for (int i = 1; i <= 13; ++i) network.add_device(make_router(router_name(i)));
+
+  // Hosts: VLAN hosts on u1/u2 use .1/.2/.3/.4 SVI gateways; routed hosts
+  // use 10.20.<k>.1 gateways.
+  for (int k = 1; k <= 17; ++k) {
+    std::string subnet_octet = std::to_string(k);
+    network.add_device(make_host(host_name(k), ip("10.20." + subnet_octet + ".10"), 24,
+                                 ip("10.20." + subnet_octet + ".1")));
+  }
+
+  // Dense router mesh: 75 links.
+  for (int i = 1; i <= 13; ++i) {
+    for (int j = i + 1; j <= 13; ++j) {
+      if (pair_pruned(i, j)) continue;
+      connect_routers(network, router_name(i), "Gi" + std::to_string(i) + "/" + std::to_string(j),
+                      pair_ip(i, j, 1), router_name(j),
+                      "Gi" + std::to_string(j) + "/" + std::to_string(i), pair_ip(i, j, 2));
+    }
+  }
+
+  // Access-layer hosts on u1/u2 (VLAN + SVI), matching the enterprise style.
+  {
+    Device& u1 = network.device(DeviceId("u1"));
+    add_svi(u1, 110, ip("10.20.1.1"), 24);
+    add_svi(u1, 120, ip("10.20.2.1"), 24);
+    Device& u2 = network.device(DeviceId("u2"));
+    add_svi(u2, 210, ip("10.20.3.1"), 24);
+    add_svi(u2, 220, ip("10.20.4.1"), 24);
+  }
+  attach_host_access(network, "u1", "Fa0/1", 110, "uh1");
+  attach_host_access(network, "u1", "Fa0/2", 120, "uh2");
+  attach_host_access(network, "u2", "Fa0/1", 210, "uh3");
+  attach_host_access(network, "u2", "Fa0/2", 220, "uh4");
+
+  // Routed hosts.
+  for (int k = 5; k <= 17; ++k) {
+    int r = host_router(k);
+    attach_host_routed(network, router_name(r), "Fa0/" + std::to_string(k),
+                       ip("10.20." + std::to_string(k) + ".1"), 24, host_name(k));
+  }
+
+  // Department firewalls: u13 guards uh15, u9 guards uh11.
+  add_guard_acl(network, "u13", "SEC_IN", "10.20.15.0/24",
+                {"10.20.1.0/24", "10.20.3.0/24", "10.20.5.0/24"});
+  add_guard_acl(network, "u9", "ENG_IN", "10.20.11.0/24",
+                {"10.20.1.0/24", "10.20.5.0/24", "10.20.7.0/24", "10.20.9.0/24"});
+
+  // OSPF everywhere; u12/u13 territory in area 1 (they are the ABRs).
+  int router_index = 0;
+  for (Device& device : network.devices()) {
+    if (!device.is_router()) continue;
+    ++router_index;
+    for (const Interface& iface : device.interfaces()) {
+      if (!iface.address) continue;
+      Ipv4Prefix subnet = iface.address->subnet();
+      ospf_network(device, subnet, area_of_subnet(subnet));
+      if (iface.description.rfind("to uh", 0) == 0 || iface.id.str().rfind("Vlan", 0) == 0) {
+        device.ospf()->passive_interfaces.push_back(iface.id);
+      }
+    }
+    device.ospf()->router_id =
+        Ipv4Address::of(10, 254, 254, static_cast<std::uint8_t>(router_index));
+  }
+
+  network.validate();
+  return network;
+}
+
+std::vector<spec::Policy> university_policies(const Network& network) {
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  spec::MineOptions options;
+  options.max_policies = kUniversityPolicyBudget;
+  options.waypoint_candidates = {DeviceId("u13"), DeviceId("u9")};
+  return spec::mine_policies(network, dataplane, options);
+}
+
+std::vector<IssueSpec> university_issues() {
+  std::vector<IssueSpec> issues;
+
+  // --- VLAN issue on the u1 access layer. ---------------------------------
+  {
+    IssueSpec issue;
+    issue.key = "vlan";
+    issue.ticket = msp::Ticket::connectivity(
+        201, DeviceId("uh2"), DeviceId("uh4"),
+        "lab workstation uh2 cannot reach the course server uh4",
+        priv::TaskClass::VlanIssue);
+    issue.root_cause = DeviceId("u1");
+    issue.inject = [](Network& network) {
+      network.device(DeviceId("u1")).interface(InterfaceId("Fa0/2")).access_vlan = 110;
+    };
+    issue.fix_script = {
+        "ping uh2 uh4",
+        "show interfaces u1",
+        "show vlans u1",
+        "interface u1 Fa0/2 switchport-access-vlan 120",
+        "ping uh2 uh4",
+        "save u1",
+    };
+    issue.resolved = pair_reachable_check("uh2", "uh4");
+    issues.push_back(std::move(issue));
+  }
+
+  // --- OSPF issue: u13 stops advertising the department subnet. -----------
+  {
+    IssueSpec issue;
+    issue.key = "ospf";
+    issue.ticket = msp::Ticket::connectivity(
+        202, DeviceId("uh1"), DeviceId("uh15"),
+        "department server uh15 dropped off the campus network",
+        priv::TaskClass::OspfIssue);
+    issue.root_cause = DeviceId("u13");
+    issue.inject = [](Network& network) {
+      Device& u13 = network.device(DeviceId("u13"));
+      std::erase_if(u13.ospf()->networks, [](const OspfNetwork& n) {
+        return n.prefix == Ipv4Prefix::parse("10.20.15.0/24");
+      });
+    };
+    issue.fix_script = {
+        "ping uh1 uh15",
+        "show routes u13",
+        "show ospf u13",
+        "ospf u13 network-add 10.20.15.0 0.0.0.255 area 1",
+        "ping uh1 uh15",
+        "save u13",
+    };
+    issue.resolved = pair_reachable_check("uh1", "uh15");
+    issues.push_back(std::move(issue));
+  }
+
+  // --- ISP reconfiguration: shift u6's border traffic towards u2. ---------
+  {
+    IssueSpec issue;
+    issue.key = "isp";
+    issue.ticket = msp::Ticket::connectivity(
+        203, DeviceId("uh8"), DeviceId("uh1"),
+        "planned change: prefer the u2 uplink for u6's border traffic",
+        priv::TaskClass::IspReconfig);
+    issue.root_cause = DeviceId("u6");
+    issue.inject = [](Network&) {};
+    issue.fix_script = {
+        "show routes u6",
+        "interface u6 Gi6/1 ospf-cost 20",
+        "interface u6 Gi6/2 ospf-cost 5",
+        "ping uh8 uh1",
+        "save u6",
+    };
+    issue.resolved = [](const Network& network) {
+      dp::Dataplane dataplane = dp::Dataplane::compute(network);
+      dp::TraceResult trace =
+          dp::trace_hosts(network, dataplane, DeviceId("uh8"), DeviceId("uh1"));
+      if (!trace.delivered()) return false;
+      auto path = trace.path();
+      return std::find(path.begin(), path.end(), DeviceId("u2")) != path.end();
+    };
+    issues.push_back(std::move(issue));
+  }
+
+  return issues;
+}
+
+std::vector<IssueSpec> university_extended_issues() {
+  std::vector<IssueSpec> issues;
+
+  // --- ACL misconfiguration on the department firewall. -------------------
+  {
+    IssueSpec issue;
+    issue.key = "acl";
+    issue.ticket = msp::Ticket::connectivity(
+        204, DeviceId("uh1"), DeviceId("uh15"),
+        "lab workstation uh1 lost access to the department server uh15",
+        priv::TaskClass::AclChange);
+    issue.root_cause = DeviceId("u13");
+    issue.inject = [](Network& network) {
+      AclEntry bogus;
+      bogus.action = AclEntry::Action::Deny;
+      bogus.src = prefix("10.20.1.0/24");
+      bogus.dst = prefix("10.20.15.0/24");
+      auto& entries = network.device(DeviceId("u13")).find_acl("SEC_IN")->entries;
+      entries.insert(entries.begin(), bogus);
+    };
+    issue.fix_script = {
+        "ping uh1 uh15",
+        "show acls u13",
+        "acl u13 SEC_IN remove 0",
+        "ping uh1 uh15",
+        "save u13",
+    };
+    issue.resolved = pair_reachable_check("uh1", "uh15");
+    issues.push_back(std::move(issue));
+  }
+
+  // --- Blackhole static route on u1 pointing the server subnet at a host.
+  {
+    IssueSpec issue;
+    issue.key = "route";
+    issue.ticket = msp::Ticket::connectivity(
+        205, DeviceId("uh1"), DeviceId("uh15"),
+        "uh1 cannot reach uh15; other hosts unaffected",
+        priv::TaskClass::Connectivity);
+    issue.root_cause = DeviceId("u1");
+    issue.inject = [](Network& network) {
+      StaticRoute blackhole;
+      blackhole.prefix = prefix("10.20.15.0/24");
+      blackhole.next_hop = ip("10.20.1.10");  // uh1 itself: a forwarding loop
+      network.device(DeviceId("u1")).static_routes().push_back(blackhole);
+    };
+    issue.fix_script = {
+        "ping uh1 uh15",
+        "show routes u1",
+        "route u1 remove 10.20.15.0 255.255.255.0 10.20.1.10",
+        "ping uh1 uh15",
+        "save u1",
+    };
+    issue.resolved = pair_reachable_check("uh1", "uh15");
+    issues.push_back(std::move(issue));
+  }
+
+  return issues;
+}
+
+}  // namespace heimdall::scen

@@ -1,0 +1,36 @@
+// The university evaluation network (paper Table 1: 13 routers, 17 hosts,
+// 92 links, 175 policies).
+//
+// Layout: a densely meshed campus core of 13 routers (u1..u13 — every pair
+// linked except three pruned pairs, giving 75 router links; plus 17 host
+// links = 92). Hosts uh1..uh17 are spread across the routers; u1/u2 serve
+// their two hosts through VLAN access ports + SVIs (L3-switch style), the
+// rest through routed ports. The departmental server router u13 filters all
+// inbound traffic with the "SEC_IN" ACL, and u12/u13's subnets live in OSPF
+// area 1 behind ABRs (the rest of the campus is area 0).
+#pragma once
+
+#include <vector>
+
+#include "scenarios/issues.hpp"
+#include "spec/policy.hpp"
+
+namespace heimdall::scen {
+
+/// Number of policies the university pins (Table 1).
+inline constexpr std::size_t kUniversityPolicyBudget = 175;
+
+/// Builds the university production network. Deterministic.
+net::Network build_university();
+
+/// Mines the university policy set (capped at the Table 1 budget).
+std::vector<spec::Policy> university_policies(const net::Network& network);
+
+/// The three pilot-study issues: "vlan", "ospf", "isp".
+std::vector<IssueSpec> university_issues();
+
+/// Extra issue classes: "acl" (a stray deny on the department firewall) and
+/// "route" (a blackhole static route pointing a server subnet at a host).
+std::vector<IssueSpec> university_extended_issues();
+
+}  // namespace heimdall::scen

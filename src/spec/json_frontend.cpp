@@ -1,0 +1,60 @@
+#include "spec/json_frontend.hpp"
+
+#include "util/error.hpp"
+
+namespace heimdall::spec {
+
+using util::Json;
+using util::ParseError;
+
+namespace {
+
+PolicyType parse_policy_type(const std::string& text) {
+  if (text == "reach") return PolicyType::Reachability;
+  if (text == "isolate") return PolicyType::Isolation;
+  if (text == "waypoint") return PolicyType::Waypoint;
+  throw ParseError("unknown policy type '" + text + "'");
+}
+
+}  // namespace
+
+std::vector<Policy> parse_policies_json(std::string_view text) {
+  return policies_from_json(Json::parse(text));
+}
+
+std::vector<Policy> policies_from_json(const Json& document) {
+  std::vector<Policy> out;
+  for (const Json& item : document.at("policies").as_array()) {
+    Policy policy;
+    policy.type = parse_policy_type(item.at("type").as_string());
+    policy.src = net::DeviceId(item.at("src").as_string());
+    policy.dst = net::DeviceId(item.at("dst").as_string());
+    if (policy.src.empty() || policy.dst.empty())
+      throw ParseError("policy src/dst must be non-empty");
+    if (policy.type == PolicyType::Waypoint) {
+      policy.waypoint = net::DeviceId(item.at("via").as_string());
+      if (policy.waypoint.empty()) throw ParseError("waypoint policy needs a 'via' device");
+    } else if (item.find("via") != nullptr) {
+      throw ParseError("'via' is only valid on waypoint policies");
+    }
+    out.push_back(std::move(policy));
+  }
+  return out;
+}
+
+util::Json policies_to_json(const std::vector<Policy>& policies) {
+  Json array{util::JsonArray{}};
+  for (const Policy& policy : policies) {
+    Json item;
+    item.set("type", Json(to_string(policy.type)));
+    item.set("src", Json(policy.src.str()));
+    item.set("dst", Json(policy.dst.str()));
+    if (policy.type == PolicyType::Waypoint) item.set("via", Json(policy.waypoint.str()));
+    array.push_back(std::move(item));
+  }
+  Json document;
+  document.set("policies", std::move(array));
+  return document;
+}
+
+}  // namespace heimdall::spec

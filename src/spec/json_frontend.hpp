@@ -1,0 +1,34 @@
+// JSON front-end for network policies.
+//
+// Paper §4.1: "the admin can specify both privileges and network policies
+// using the same interface" — this mirrors privilege/json_frontend.hpp for
+// the policy side, and doubles as the export format for mined policies.
+//
+// Format:
+// {
+//   "policies": [
+//     {"type": "reach",    "src": "h1", "dst": "h4"},
+//     {"type": "isolate",  "src": "h2", "dst": "h8"},
+//     {"type": "waypoint", "src": "h1", "dst": "h7", "via": "r9"}
+//   ]
+// }
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "spec/policy.hpp"
+#include "util/json.hpp"
+
+namespace heimdall::spec {
+
+/// Parses a policy set from JSON text. Throws util::ParseError.
+std::vector<Policy> parse_policies_json(std::string_view text);
+
+/// Parses from an already-parsed document.
+std::vector<Policy> policies_from_json(const util::Json& document);
+
+/// Serializes a policy set (round-trips).
+util::Json policies_to_json(const std::vector<Policy>& policies);
+
+}  // namespace heimdall::spec

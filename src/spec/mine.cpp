@@ -1,0 +1,46 @@
+#include "spec/mine.hpp"
+
+#include <algorithm>
+
+namespace heimdall::spec {
+
+using namespace heimdall::net;
+using dp::Disposition;
+
+std::vector<Policy> mine_policies(const Network& network, const dp::Dataplane& dataplane,
+                                  const MineOptions& options) {
+  dp::ReachabilityMatrix matrix = dp::ReachabilityMatrix::compute(network, dataplane);
+  std::vector<Policy> out;
+
+  for (const dp::PairReachability& pair : matrix.pairs()) {
+    if (pair.reachable()) {
+      if (options.include_reachability) {
+        out.push_back(Policy{PolicyType::Reachability, pair.src, pair.dst, DeviceId{}});
+      }
+      for (const DeviceId& waypoint : options.waypoint_candidates) {
+        if (std::find(pair.path.begin(), pair.path.end(), waypoint) != pair.path.end()) {
+          out.push_back(Policy{PolicyType::Waypoint, pair.src, pair.dst, waypoint});
+        }
+      }
+    } else if (options.include_isolation &&
+               (pair.disposition == Disposition::DeniedInbound ||
+                pair.disposition == Disposition::DeniedOutbound)) {
+      out.push_back(Policy{PolicyType::Isolation, pair.src, pair.dst, DeviceId{}});
+    }
+  }
+
+  if (options.max_policies != 0 && out.size() > options.max_policies) {
+    // Keep intent-bearing policies (isolation/waypoint) first, then fill the
+    // budget with reachability policies; deterministic within each class.
+    std::stable_sort(out.begin(), out.end(), [](const Policy& a, const Policy& b) {
+      auto rank = [](const Policy& p) { return p.type == PolicyType::Reachability ? 1 : 0; };
+      if (rank(a) != rank(b)) return rank(a) < rank(b);
+      return a < b;
+    });
+    out.resize(options.max_policies);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace heimdall::spec

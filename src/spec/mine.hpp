@@ -1,0 +1,31 @@
+// config2spec-style policy mining: derive the policy set from a known-good
+// network snapshot. Reachable host pairs become Reachability policies;
+// pairs blocked *intentionally* (by an ACL) become Isolation policies; pairs
+// that merely lack routes are not promoted to policy (they carry no intent).
+#pragma once
+
+#include <vector>
+
+#include "dataplane/reachability.hpp"
+#include "spec/policy.hpp"
+
+namespace heimdall::spec {
+
+struct MineOptions {
+  bool include_reachability = true;
+  bool include_isolation = true;
+  /// Also mine waypoint policies for reachable pairs whose path crosses one
+  /// of these devices.
+  std::vector<net::DeviceId> waypoint_candidates;
+  /// Hard cap on the number of mined policies (0 = unlimited) — the
+  /// "policy budget" an enterprise pins. Intent-bearing policies (isolation,
+  /// waypoint) are kept preferentially; the remainder fills with
+  /// reachability policies in deterministic order.
+  std::size_t max_policies = 0;
+};
+
+/// Mines policies from a network snapshot.
+std::vector<Policy> mine_policies(const net::Network& network, const dp::Dataplane& dataplane,
+                                  const MineOptions& options = {});
+
+}  // namespace heimdall::spec

@@ -1,0 +1,33 @@
+#include "spec/policy.hpp"
+
+namespace heimdall::spec {
+
+std::string to_string(PolicyType type) {
+  switch (type) {
+    case PolicyType::Reachability: return "reach";
+    case PolicyType::Isolation: return "isolate";
+    case PolicyType::Waypoint: return "waypoint";
+  }
+  return "reach";
+}
+
+std::string Policy::id() const {
+  std::string out = spec::to_string(type) + "(" + src.str() + "," + dst.str();
+  if (type == PolicyType::Waypoint) out += "," + waypoint.str();
+  out += ")";
+  return out;
+}
+
+std::string Policy::to_string() const {
+  switch (type) {
+    case PolicyType::Reachability:
+      return src.str() + " must reach " + dst.str();
+    case PolicyType::Isolation:
+      return src.str() + " must not reach " + dst.str();
+    case PolicyType::Waypoint:
+      return src.str() + " -> " + dst.str() + " must traverse " + waypoint.str();
+  }
+  return id();
+}
+
+}  // namespace heimdall::spec

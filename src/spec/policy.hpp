@@ -1,0 +1,36 @@
+// Network policies: the invariants the enterprise cares about, mined from a
+// known-good snapshot (config2spec-style) and checked by the enforcer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netmodel/types.hpp"
+
+namespace heimdall::spec {
+
+/// Kind of invariant.
+enum class PolicyType : std::uint8_t {
+  Reachability,  ///< src must reach dst
+  Isolation,     ///< src must NOT reach dst
+  Waypoint,      ///< src->dst traffic must traverse `waypoint`
+};
+
+std::string to_string(PolicyType type);
+
+/// One policy over a pair of hosts (plus a waypoint device for Waypoint).
+struct Policy {
+  PolicyType type = PolicyType::Reachability;
+  net::DeviceId src;
+  net::DeviceId dst;
+  net::DeviceId waypoint;  ///< only for PolicyType::Waypoint
+
+  auto operator<=>(const Policy&) const = default;
+
+  /// Stable identifier, e.g. "reach(host1,host2)".
+  std::string id() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace heimdall::spec

@@ -1,0 +1,60 @@
+#include "spec/verify.hpp"
+
+#include <algorithm>
+
+namespace heimdall::spec {
+
+using namespace heimdall::net;
+
+std::vector<std::string> VerificationReport::violated_ids() const {
+  std::vector<std::string> out;
+  out.reserve(violations.size());
+  for (const Violation& violation : violations) out.push_back(violation.policy.id());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PolicyVerifier::PolicyVerifier(std::vector<Policy> policies) : policies_(std::move(policies)) {}
+
+VerificationReport PolicyVerifier::verify(const dp::ReachabilityMatrix& matrix) const {
+  VerificationReport report;
+  for (const Policy& policy : policies_) {
+    // Policies whose endpoints are absent from this (possibly sliced)
+    // network cannot be evaluated here; the enforcer always verifies on the
+    // full production shadow where every endpoint exists.
+    if (!matrix.has_pair(policy.src, policy.dst)) continue;
+    ++report.checked;
+    const dp::PairReachability& pair = matrix.pair(policy.src, policy.dst);
+    switch (policy.type) {
+      case PolicyType::Reachability:
+        if (!pair.reachable()) {
+          report.violations.push_back(
+              {policy, "unreachable: " + dp::to_string(pair.disposition)});
+        }
+        break;
+      case PolicyType::Isolation:
+        if (pair.reachable()) {
+          report.violations.push_back({policy, "traffic now delivered"});
+        }
+        break;
+      case PolicyType::Waypoint:
+        if (!pair.reachable()) {
+          report.violations.push_back(
+              {policy, "unreachable: " + dp::to_string(pair.disposition)});
+        } else if (std::find(pair.path.begin(), pair.path.end(), policy.waypoint) ==
+                   pair.path.end()) {
+          report.violations.push_back({policy, "path bypasses " + policy.waypoint.str()});
+        }
+        break;
+    }
+  }
+  return report;
+}
+
+VerificationReport PolicyVerifier::verify_network(const Network& network) const {
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ReachabilityMatrix matrix = dp::ReachabilityMatrix::compute(network, dataplane);
+  return verify(matrix);
+}
+
+}  // namespace heimdall::spec

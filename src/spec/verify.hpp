@@ -1,0 +1,54 @@
+// Policy verification: checks a policy set against a network snapshot.
+//
+// Two entry points mirror the paper's two verification strategies:
+//   * verify(matrix)      — check against a precomputed reachability matrix
+//                           (the enforcer's final-changeset verification);
+//   * verify_network(net) — recompute dataplane + matrix, then check (what
+//                           "continuous verification after every action"
+//                           costs; benchmarked in ablation_verification).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataplane/reachability.hpp"
+#include "spec/policy.hpp"
+
+namespace heimdall::spec {
+
+/// One violated policy with an explanation.
+struct Violation {
+  Policy policy;
+  std::string detail;
+};
+
+/// Outcome of verifying a policy set.
+struct VerificationReport {
+  std::size_t checked = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  /// Ids of violated policies, sorted.
+  std::vector<std::string> violated_ids() const;
+};
+
+/// Verifies policies against a network + dataplane snapshot.
+class PolicyVerifier {
+ public:
+  explicit PolicyVerifier(std::vector<Policy> policies);
+
+  const std::vector<Policy>& policies() const { return policies_; }
+
+  /// Checks every policy against a precomputed matrix.
+  VerificationReport verify(const dp::ReachabilityMatrix& matrix) const;
+
+  /// Recomputes the dataplane and matrix for `network`, then checks. This is
+  /// the expensive full pipeline.
+  VerificationReport verify_network(const net::Network& network) const;
+
+ private:
+  std::vector<Policy> policies_;
+};
+
+}  // namespace heimdall::spec

@@ -1,0 +1,189 @@
+#include "twin/console.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::twin {
+
+using namespace heimdall::net;
+using priv::Action;
+using priv::ObjectKind;
+using priv::Resource;
+using util::ParseError;
+
+namespace {
+
+[[noreturn]] void fail(std::string_view line, const std::string& why) {
+  throw ParseError("bad command '" + std::string(line) + "': " + why);
+}
+
+void need(bool ok, std::string_view line, const std::string& why) {
+  if (!ok) fail(line, why);
+}
+
+ParsedCommand parse_show(std::string_view line, const std::vector<std::string>& tokens) {
+  ParsedCommand out;
+  need(tokens.size() >= 2, line, "show requires a subcommand");
+  const std::string& what = tokens[1];
+  if (what == "topology") {
+    out.action = Action::ShowTopology;
+    out.resource = Resource{"*", ObjectKind::Device, ""};
+    return out;
+  }
+  need(tokens.size() == 3, line, "show <what> <device>");
+  DeviceId device(tokens[2]);
+  if (what == "config")
+    out.action = Action::ShowConfig;
+  else if (what == "interfaces")
+    out.action = Action::ShowInterfaces;
+  else if (what == "routes")
+    out.action = Action::ShowRoutes;
+  else if (what == "acls")
+    out.action = Action::ShowAcls;
+  else if (what == "ospf")
+    out.action = Action::ShowOspf;
+  else if (what == "vlans")
+    out.action = Action::ShowVlans;
+  else
+    fail(line, "unknown show subcommand '" + what + "'");
+  out.resource = Resource::whole_device(device);
+  return out;
+}
+
+ParsedCommand parse_interface(std::string_view line, const std::vector<std::string>& tokens) {
+  ParsedCommand out;
+  need(tokens.size() >= 4, line, "interface <device> <iface> <op> ...");
+  DeviceId device(tokens[1]);
+  InterfaceId iface(tokens[2]);
+  const std::string& op = tokens[3];
+  out.resource = Resource::interface(device, iface);
+  if (op == "up") {
+    need(tokens.size() == 4, line, "interface ... up takes no operands");
+    out.action = Action::InterfaceUp;
+  } else if (op == "down") {
+    need(tokens.size() == 4, line, "interface ... down takes no operands");
+    out.action = Action::InterfaceDown;
+  } else if (op == "address") {
+    need(tokens.size() == 6, line, "interface ... address <ip> <netmask>");
+    out.action = Action::SetInterfaceAddress;
+    out.args = {tokens[4], tokens[5]};
+  } else if (op == "access-group") {
+    need(tokens.size() == 6 && (tokens[5] == "in" || tokens[5] == "out"), line,
+         "interface ... access-group <acl> in|out");
+    out.action = Action::BindAcl;
+    out.args = {tokens[4], tokens[5]};
+  } else if (op == "no-access-group") {
+    need(tokens.size() == 5 && (tokens[4] == "in" || tokens[4] == "out"), line,
+         "interface ... no-access-group in|out");
+    out.action = Action::BindAcl;
+    out.args = {"", tokens[4]};
+  } else if (op == "switchport-access-vlan") {
+    need(tokens.size() == 5, line, "interface ... switchport-access-vlan <vlan>");
+    out.action = Action::SetSwitchport;
+    out.args = {tokens[4]};
+  } else if (op == "ospf-cost") {
+    need(tokens.size() == 5, line, "interface ... ospf-cost <cost>");
+    out.action = Action::SetOspfCost;
+    out.args = {tokens[4]};
+  } else {
+    fail(line, "unknown interface operation '" + op + "'");
+  }
+  return out;
+}
+
+ParsedCommand parse_acl(std::string_view line, const std::vector<std::string>& tokens) {
+  ParsedCommand out;
+  need(tokens.size() >= 4, line, "acl <device> <name|create|delete> ...");
+  DeviceId device(tokens[1]);
+  if (tokens[2] == "create") {
+    need(tokens.size() == 4, line, "acl <device> create <name>");
+    out.action = Action::AclCreate;
+    out.resource = Resource::acl(device, tokens[3]);
+    return out;
+  }
+  if (tokens[2] == "delete") {
+    need(tokens.size() == 4, line, "acl <device> delete <name>");
+    out.action = Action::AclDelete;
+    out.resource = Resource::acl(device, tokens[3]);
+    return out;
+  }
+  const std::string& name = tokens[2];
+  const std::string& op = tokens[3];
+  out.resource = Resource::acl(device, name);
+  out.action = Action::AclEdit;
+  if (op == "add") {
+    need(tokens.size() >= 5, line, "acl ... add [<index>] <entry>");
+    out.args.assign(tokens.begin() + 4, tokens.end());
+  } else if (op == "remove") {
+    need(tokens.size() == 5, line, "acl ... remove <index>");
+    out.args = {"remove", tokens[4]};
+  } else {
+    fail(line, "unknown acl operation '" + op + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+ParsedCommand parse_command(std::string_view line) {
+  auto tokens = util::split_ws(line);
+  if (tokens.empty()) throw ParseError("empty command");
+  ParsedCommand out;
+
+  const std::string& head = tokens[0];
+  if (head == "show") {
+    out = parse_show(line, tokens);
+  } else if (head == "ping" || head == "traceroute") {
+    need(tokens.size() == 3, line, head + " <src-device> <dst-device>");
+    out.action = head == "ping" ? Action::Ping : Action::Traceroute;
+    out.resource = Resource::whole_device(DeviceId(tokens[1]));
+    out.args = {tokens[1], tokens[2]};
+  } else if (head == "interface") {
+    out = parse_interface(line, tokens);
+  } else if (head == "acl") {
+    out = parse_acl(line, tokens);
+  } else if (head == "route") {
+    need(tokens.size() == 6 && (tokens[2] == "add" || tokens[2] == "remove"), line,
+         "route <device> add|remove <network> <netmask> <next-hop>");
+    out.action = tokens[2] == "add" ? Action::StaticRouteAdd : Action::StaticRouteRemove;
+    out.resource = Resource::routes(DeviceId(tokens[1]));
+    out.args = {tokens[3], tokens[4], tokens[5]};
+  } else if (head == "ospf") {
+    need(tokens.size() == 7 && (tokens[2] == "network-add" || tokens[2] == "network-remove") &&
+             tokens[5] == "area",
+         line, "ospf <device> network-add|network-remove <addr> <wildcard> area <n>");
+    out.action = Action::OspfNetworkEdit;
+    out.resource = Resource::ospf(DeviceId(tokens[1]));
+    out.args = {tokens[2], tokens[3], tokens[4], tokens[6]};
+  } else if (head == "vlan") {
+    need(tokens.size() == 4 && (tokens[2] == "add" || tokens[2] == "remove"), line,
+         "vlan <device> add|remove <vlan>");
+    out.action = Action::VlanEdit;
+    out.resource = Resource::vlan(
+        DeviceId(tokens[1]), static_cast<VlanId>(util::parse_uint(tokens[3], 4094)));
+    out.args = {tokens[2], tokens[3]};
+  } else if (head == "secret") {
+    need(tokens.size() == 4, line, "secret <device> <field> <value>");
+    out.action = Action::ChangeSecret;
+    out.resource = Resource::secret(DeviceId(tokens[1]), tokens[2]);
+    out.args = {tokens[2], tokens[3]};
+  } else if (head == "reboot") {
+    need(tokens.size() == 2, line, "reboot <device>");
+    out.action = Action::Reboot;
+    out.resource = Resource::whole_device(DeviceId(tokens[1]));
+  } else if (head == "erase") {
+    need(tokens.size() == 2, line, "erase <device>");
+    out.action = Action::EraseConfig;
+    out.resource = Resource::whole_device(DeviceId(tokens[1]));
+  } else if (head == "save") {
+    need(tokens.size() == 2, line, "save <device>");
+    out.action = Action::SaveConfig;
+    out.resource = Resource::whole_device(DeviceId(tokens[1]));
+  } else {
+    throw ParseError("unknown command '" + head + "'");
+  }
+  out.raw = std::string(line);
+  return out;
+}
+
+}  // namespace heimdall::twin

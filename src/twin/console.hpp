@@ -1,0 +1,55 @@
+// The technician console command language.
+//
+// The presentation layer accepts these commands; parsing classifies each as
+// one privilege Action on one concrete Resource *before* anything executes,
+// which is what lets the reference monitor mediate uniformly.
+//
+// Grammar (one command per line):
+//   show config|interfaces|routes|acls|ospf|vlans <device>
+//   show topology
+//   ping <src-device> <dst-device>
+//   traceroute <src-device> <dst-device>
+//   interface <device> <iface> up|down
+//   interface <device> <iface> address <ip> <netmask>
+//   interface <device> <iface> access-group <acl> in|out
+//   interface <device> <iface> no-access-group in|out
+//   interface <device> <iface> switchport-access-vlan <vlan>
+//   interface <device> <iface> ospf-cost <cost>
+//   acl <device> <name> add [<index>] permit|deny <proto> <src> [<wild>] [ports] <dst> [<wild>] [ports]
+//   acl <device> <name> remove <index>
+//   acl <device> create <name>
+//   acl <device> delete <name>
+//   route <device> add|remove <network> <netmask> <next-hop>
+//   ospf <device> network-add|network-remove <addr> <wildcard> area <n>
+//   vlan <device> add|remove <vlan>
+//   secret <device> <field> <value>        (high-impact; exists to be denied)
+//   reboot <device>                        (high-impact)
+//   erase <device>                         (high-impact)
+//   save <device>
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netmodel/acl.hpp"
+#include "privilege/action.hpp"
+#include "privilege/resource.hpp"
+
+namespace heimdall::twin {
+
+/// A parsed, classified command, ready for mediation.
+struct ParsedCommand {
+  std::string raw;
+  priv::Action action = priv::Action::ShowConfig;
+  priv::Resource resource;
+  /// Remaining operands, already tokenized, interpreted by the emulation
+  /// layer per action (e.g. the ACL entry text for acl-edit).
+  std::vector<std::string> args;
+};
+
+/// Parses one console line. Throws util::ParseError on malformed input.
+ParsedCommand parse_command(std::string_view line);
+
+}  // namespace heimdall::twin

@@ -1,0 +1,367 @@
+#include "twin/emulation.hpp"
+
+#include <algorithm>
+
+#include "config/parse.hpp"
+#include "config/serialize.hpp"
+#include "dataplane/trace.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::twin {
+
+using namespace heimdall::net;
+using priv::Action;
+
+EmulationLayer::EmulationLayer(Network network)
+    : original_(network), startup_(network), current_(std::move(network)) {}
+
+const dp::Dataplane& EmulationLayer::dataplane() {
+  if (!dataplane_) {
+    dataplane_ = dp::Dataplane::compute(current_);
+    ++recompute_count_;
+  }
+  return *dataplane_;
+}
+
+void EmulationLayer::invalidate() { dataplane_.reset(); }
+
+std::vector<cfg::ConfigChange> EmulationLayer::session_changes() const {
+  return cfg::diff_networks(original_, current_);
+}
+
+CommandResult EmulationLayer::execute(const ParsedCommand& command) {
+  try {
+    return run(command);
+  } catch (const util::Error& error) {
+    return CommandResult{false, std::string("error: ") + error.what(), {}};
+  }
+}
+
+CommandResult EmulationLayer::apply(cfg::ConfigChange change, std::string output) {
+  cfg::apply_change(current_, change);
+  invalidate();
+  return CommandResult{true, std::move(output), {std::move(change)}};
+}
+
+namespace {
+
+std::string render_interfaces(const Device& device) {
+  std::string out;
+  for (const Interface& iface : device.interfaces()) {
+    out += iface.id.str();
+    if (iface.address) out += " " + iface.address->to_string();
+    if (iface.mode == SwitchportMode::Access)
+      out += " access-vlan " + std::to_string(iface.access_vlan);
+    if (iface.mode == SwitchportMode::Trunk) out += " trunk";
+    if (!iface.acl_in.empty()) out += " acl-in " + iface.acl_in;
+    if (!iface.acl_out.empty()) out += " acl-out " + iface.acl_out;
+    out += iface.shutdown ? " DOWN" : " UP";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_routes(const dp::Fib& fib) {
+  std::string out;
+  for (const dp::Route& route : fib.routes()) out += route.to_string() + "\n";
+  if (out.empty()) out = "(no routes)\n";
+  return out;
+}
+
+std::string render_acls(const Device& device) {
+  std::string out;
+  for (const Acl& acl : device.acls()) {
+    out += "acl " + acl.name + "\n";
+    for (std::size_t i = 0; i < acl.entries.size(); ++i)
+      out += "  [" + std::to_string(i) + "] " + acl.entries[i].to_string() + "\n";
+  }
+  if (out.empty()) out = "(no acls)\n";
+  return out;
+}
+
+std::string render_ospf(const Device& device, const dp::Dataplane& dataplane) {
+  std::string out;
+  if (!device.ospf()) return "(ospf not running)\n";
+  const OspfProcess& ospf = *device.ospf();
+  out += "process " + std::to_string(ospf.process_id) + "\n";
+  for (const OspfNetwork& network : ospf.networks)
+    out += "  network " + network.prefix.to_string() + " area " + std::to_string(network.area) +
+           "\n";
+  out += "neighbors:\n";
+  for (const dp::OspfAdjacency& adjacency : dataplane.ospf_adjacencies()) {
+    if (adjacency.a.device == device.id() || adjacency.b.device == device.id())
+      out += "  " + adjacency.a.to_string() + " <-> " + adjacency.b.to_string() + " area " +
+             std::to_string(adjacency.area) + "\n";
+  }
+  return out;
+}
+
+std::string render_vlans(const Device& device) {
+  std::string out = "vlans:";
+  for (VlanId vlan : device.vlans()) out += " " + std::to_string(vlan);
+  out += "\n";
+  return out;
+}
+
+std::string render_topology(const Network& network) {
+  std::string out;
+  for (const Device& device : network.devices())
+    out += device.id().str() + " (" + to_string(device.kind()) + ")\n";
+  for (const Link& link : network.topology().links()) out += link.to_string() + "\n";
+  return out;
+}
+
+}  // namespace
+
+CommandResult EmulationLayer::run(const ParsedCommand& command) {
+  auto device_of = [&](const std::string& name) -> Device& {
+    return current_.device(DeviceId(name));
+  };
+
+  switch (command.action) {
+    // ---- Reads -----------------------------------------------------------
+    case Action::ShowConfig:
+      return {true, cfg::serialize_device(device_of(command.resource.device)), {}};
+    case Action::ShowInterfaces:
+      return {true, render_interfaces(device_of(command.resource.device)), {}};
+    case Action::ShowRoutes:
+      return {true, render_routes(dataplane().fib(DeviceId(command.resource.device))), {}};
+    case Action::ShowAcls:
+      return {true, render_acls(device_of(command.resource.device)), {}};
+    case Action::ShowOspf: {
+      const dp::Dataplane& snapshot = dataplane();
+      return {true, render_ospf(device_of(command.resource.device), snapshot), {}};
+    }
+    case Action::ShowVlans:
+      return {true, render_vlans(device_of(command.resource.device)), {}};
+    case Action::ShowTopology:
+      return {true, render_topology(current_), {}};
+    case Action::Ping:
+    case Action::Traceroute: {
+      DeviceId src(command.args.at(0));
+      DeviceId dst(command.args.at(1));
+      dp::TraceResult trace = dp::trace_hosts(current_, dataplane(), src, dst);
+      std::string out = dp::to_string(trace.disposition);
+      if (command.action == Action::Traceroute || !trace.delivered()) {
+        out += " path:";
+        for (const DeviceId& device : trace.path()) out += " " + device.str();
+        if (!trace.detail.empty()) out += " (" + trace.detail + ")";
+      }
+      return {trace.delivered(), out + "\n", {}};
+    }
+
+    // ---- Interface mutations ----------------------------------------------
+    case Action::InterfaceUp:
+    case Action::InterfaceDown: {
+      Device& device = device_of(command.resource.device);
+      Interface& iface = device.interface(InterfaceId(command.resource.name));
+      bool down = command.action == Action::InterfaceDown;
+      if (iface.shutdown == down) return {true, "(no change)\n", {}};
+      return apply(cfg::ConfigChange{device.id(),
+                                     cfg::InterfaceAdminChange{iface.id, iface.shutdown, down}},
+                   down ? "interface shutdown\n" : "interface up\n");
+    }
+    case Action::SetInterfaceAddress: {
+      Device& device = device_of(command.resource.device);
+      Interface& iface = device.interface(InterfaceId(command.resource.name));
+      Ipv4Address ip = Ipv4Address::parse(command.args.at(0));
+      Ipv4Prefix subnet = Ipv4Prefix::from_netmask(ip, Ipv4Address::parse(command.args.at(1)));
+      InterfaceAddress address{ip, subnet.length()};
+      return apply(cfg::ConfigChange{device.id(), cfg::InterfaceAddressChange{
+                                                      iface.id, iface.address, address}},
+                   "address set to " + address.to_string() + "\n");
+    }
+    case Action::BindAcl: {
+      Device& device = device_of(command.resource.device);
+      Interface& iface = device.interface(InterfaceId(command.resource.name));
+      const std::string& acl_name = command.args.at(0);
+      bool inbound = command.args.at(1) == "in";
+      if (!acl_name.empty() && !device.find_acl(acl_name))
+        return {false, "error: no such ACL '" + acl_name + "'\n", {}};
+      std::string old_acl = inbound ? iface.acl_in : iface.acl_out;
+      return apply(
+          cfg::ConfigChange{device.id(),
+                            cfg::InterfaceAclBindingChange{
+                                iface.id, inbound ? cfg::AclDirection::In : cfg::AclDirection::Out,
+                                old_acl, acl_name}},
+          acl_name.empty() ? "access-group removed\n" : "access-group bound\n");
+    }
+    case Action::SetSwitchport: {
+      Device& device = device_of(command.resource.device);
+      Interface& iface = device.interface(InterfaceId(command.resource.name));
+      auto vlan = static_cast<VlanId>(util::parse_uint(command.args.at(0), 4094));
+      cfg::SwitchportChange change{iface.id,        iface.mode,  SwitchportMode::Access,
+                                   iface.access_vlan, vlan,      iface.trunk_allowed,
+                                   iface.trunk_allowed};
+      return apply(cfg::ConfigChange{device.id(), change},
+                   "switchport access vlan " + std::to_string(vlan) + "\n");
+    }
+    case Action::SetOspfCost: {
+      Device& device = device_of(command.resource.device);
+      Interface& iface = device.interface(InterfaceId(command.resource.name));
+      auto cost = static_cast<unsigned>(util::parse_uint(command.args.at(0), 65535));
+      return apply(cfg::ConfigChange{device.id(),
+                                     cfg::OspfCostChange{iface.id, iface.ospf_cost, cost}},
+                   "ospf cost " + std::to_string(cost) + "\n");
+    }
+
+    // ---- ACL mutations -----------------------------------------------------
+    case Action::AclCreate: {
+      Device& device = device_of(command.resource.device);
+      if (device.find_acl(command.resource.name))
+        return {false, "error: ACL exists\n", {}};
+      Acl acl;
+      acl.name = command.resource.name;
+      return apply(cfg::ConfigChange{device.id(), cfg::AclCreate{acl}}, "acl created\n");
+    }
+    case Action::AclDelete: {
+      Device& device = device_of(command.resource.device);
+      if (!device.find_acl(command.resource.name))
+        return {false, "error: no such ACL\n", {}};
+      return apply(cfg::ConfigChange{device.id(), cfg::AclDelete{command.resource.name}},
+                   "acl deleted\n");
+    }
+    case Action::AclEdit: {
+      Device& device = device_of(command.resource.device);
+      Acl* acl = device.find_acl(command.resource.name);
+      if (!acl) return {false, "error: no such ACL '" + command.resource.name + "'\n", {}};
+      if (!command.args.empty() && command.args[0] == "remove") {
+        auto index = static_cast<std::size_t>(util::parse_uint(command.args.at(1), 1000000));
+        if (index >= acl->entries.size()) return {false, "error: index out of range\n", {}};
+        return apply(cfg::ConfigChange{device.id(), cfg::AclEntryRemove{acl->name, index,
+                                                                        acl->entries[index]}},
+                     "entry removed\n");
+      }
+      // add [<index>] <entry...>
+      std::size_t first = 0;
+      std::size_t index = acl->entries.size();
+      if (!command.args.empty() && !command.args[0].empty() &&
+          std::all_of(command.args[0].begin(), command.args[0].end(),
+                      [](char c) { return c >= '0' && c <= '9'; })) {
+        index = static_cast<std::size_t>(util::parse_uint(command.args[0], 1000000));
+        first = 1;
+      }
+      if (index > acl->entries.size()) return {false, "error: index out of range\n", {}};
+      std::vector<std::string> entry_tokens(command.args.begin() +
+                                                static_cast<std::ptrdiff_t>(first),
+                                            command.args.end());
+      AclEntry entry = cfg::parse_acl_entry(util::join(entry_tokens, " "));
+      return apply(cfg::ConfigChange{device.id(), cfg::AclEntryAdd{acl->name, index, entry}},
+                   "entry added at " + std::to_string(index) + "\n");
+    }
+
+    // ---- Routing mutations --------------------------------------------------
+    case Action::StaticRouteAdd:
+    case Action::StaticRouteRemove: {
+      Device& device = device_of(command.resource.device);
+      StaticRoute route;
+      route.prefix = Ipv4Prefix::from_netmask(Ipv4Address::parse(command.args.at(0)),
+                                              Ipv4Address::parse(command.args.at(1)));
+      route.next_hop = Ipv4Address::parse(command.args.at(2));
+      bool adding = command.action == Action::StaticRouteAdd;
+      const auto& routes = device.static_routes();
+      bool present = std::find(routes.begin(), routes.end(), route) != routes.end();
+      if (adding && present) return {false, "error: route already present\n", {}};
+      if (!adding && !present) return {false, "error: route not present\n", {}};
+      if (adding)
+        return apply(cfg::ConfigChange{device.id(), cfg::StaticRouteAdd{route}}, "route added\n");
+      return apply(cfg::ConfigChange{device.id(), cfg::StaticRouteRemove{route}},
+                   "route removed\n");
+    }
+    case Action::OspfNetworkEdit: {
+      Device& device = device_of(command.resource.device);
+      if (!device.ospf()) return {false, "error: ospf not running\n", {}};
+      OspfNetwork network;
+      Ipv4Address address = Ipv4Address::parse(command.args.at(1));
+      Ipv4Address wildcard = Ipv4Address::parse(command.args.at(2));
+      network.prefix = Ipv4Prefix::from_netmask(address, Ipv4Address(~wildcard.value()));
+      network.area = static_cast<unsigned>(util::parse_uint(command.args.at(3), 4294967294UL));
+      bool adding = command.args.at(0) == "network-add";
+      const auto& networks = device.ospf()->networks;
+      bool present = std::find(networks.begin(), networks.end(), network) != networks.end();
+      if (adding && present) return {false, "error: network statement already present\n", {}};
+      if (!adding && !present) return {false, "error: network statement not present\n", {}};
+      if (adding)
+        return apply(cfg::ConfigChange{device.id(), cfg::OspfNetworkAdd{network}},
+                     "ospf network added\n");
+      return apply(cfg::ConfigChange{device.id(), cfg::OspfNetworkRemove{network}},
+                   "ospf network removed\n");
+    }
+    case Action::OspfProcessEdit:
+      return {false, "error: ospf process edits are not exposed via the console\n", {}};
+    case Action::VlanEdit: {
+      Device& device = device_of(command.resource.device);
+      auto vlan = static_cast<VlanId>(util::parse_uint(command.args.at(1), 4094));
+      bool adding = command.args.at(0) == "add";
+      bool present = device.has_vlan(vlan);
+      if (adding && present) return {false, "error: vlan already declared\n", {}};
+      if (!adding && !present) return {false, "error: vlan not declared\n", {}};
+      if (adding)
+        return apply(cfg::ConfigChange{device.id(), cfg::VlanDeclare{vlan}}, "vlan declared\n");
+      return apply(cfg::ConfigChange{device.id(), cfg::VlanRemove{vlan}}, "vlan removed\n");
+    }
+
+    // ---- High-impact ---------------------------------------------------------
+    case Action::ChangeSecret: {
+      Device& device = device_of(command.resource.device);
+      const std::string& field = command.args.at(0);
+      DeviceSecrets& secrets = device.secrets();
+      std::string* target = field == "enable_password"  ? &secrets.enable_password
+                            : field == "snmp_community" ? &secrets.snmp_community
+                            : field == "ipsec_key"      ? &secrets.ipsec_key
+                                                        : nullptr;
+      if (!target) return {false, "error: unknown secret field '" + field + "'\n", {}};
+      *target = command.args.at(1);
+      invalidate();
+      return {true, "secret changed\n", {cfg::ConfigChange{device.id(), cfg::SecretChange{field}}}};
+    }
+    case Action::Reboot: {
+      // A reboot reloads the device's *startup* configuration: unsaved
+      // running-config changes are lost — exactly why the paper notes that
+      // "rebooting a router may temporarily violate reachability" and why
+      // continuous verification false-alarms on it.
+      Device& device = device_of(command.resource.device);
+      const Device* saved = startup_.find_device(device.id());
+      if (!saved) return {false, "error: no startup config for device\n", {}};
+      std::vector<cfg::ConfigChange> reverted = cfg::diff_devices(device, *saved);
+      device = *saved;
+      invalidate();
+      return {true,
+              "device reloaded from startup-config (" + std::to_string(reverted.size()) +
+                  " unsaved change(s) lost)\n",
+              std::move(reverted)};
+    }
+    case Action::EraseConfig: {
+      // The careless-technician scenario (paper Figure 3): wipes ACLs,
+      // routes, OSPF and shuts every interface.
+      Device& device = device_of(command.resource.device);
+      std::vector<cfg::ConfigChange> changes;
+      for (const Interface& iface : device.interfaces()) {
+        if (!iface.shutdown)
+          changes.push_back(
+              {device.id(), cfg::InterfaceAdminChange{iface.id, false, true}});
+      }
+      for (const Acl& acl : device.acls())
+        changes.push_back({device.id(), cfg::AclDelete{acl.name}});
+      for (const StaticRoute& route : device.static_routes())
+        changes.push_back({device.id(), cfg::StaticRouteRemove{route}});
+      if (device.ospf())
+        changes.push_back({device.id(), cfg::OspfProcessChange{device.ospf(), std::nullopt}});
+      for (const cfg::ConfigChange& change : changes) cfg::apply_change(current_, change);
+      invalidate();
+      return {true, "configuration erased\n", std::move(changes)};
+    }
+    case Action::SaveConfig: {
+      // copy running-config -> startup-config for this device.
+      Device& device = device_of(command.resource.device);
+      Device* saved = startup_.find_device(device.id());
+      if (!saved) return {false, "error: no startup config slot for device\n", {}};
+      *saved = device;
+      return {true, "configuration saved to startup-config\n", {}};
+    }
+  }
+  return {false, "error: unhandled action\n", {}};
+}
+
+}  // namespace heimdall::twin

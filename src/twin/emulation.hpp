@@ -1,0 +1,66 @@
+// Emulation layer of the twin network (paper §4.2, Figure 5d).
+//
+// Holds the (scrubbed, sliced) network state, interprets mediated commands
+// against it, and keeps a dataplane snapshot that is recomputed after each
+// mutation — the in-process equivalent of re-converging an emulated network.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/diff.hpp"
+#include "dataplane/dataplane.hpp"
+#include "twin/console.hpp"
+
+namespace heimdall::twin {
+
+/// Outcome of executing one command.
+struct CommandResult {
+  bool ok = false;
+  std::string output;
+  /// Semantic changes the command performed (empty for reads/failures).
+  std::vector<cfg::ConfigChange> changes;
+};
+
+/// The twin's emulated network.
+class EmulationLayer {
+ public:
+  /// Takes ownership of the (already sliced and scrubbed) network.
+  explicit EmulationLayer(net::Network network);
+
+  const net::Network& network() const { return current_; }
+
+  /// The pristine snapshot taken at construction (diff baseline).
+  const net::Network& original() const { return original_; }
+
+  /// The startup configuration (what `save` persists and `reboot` restores).
+  const net::Network& startup() const { return startup_; }
+
+  /// Current dataplane; recomputed lazily after mutations.
+  const dp::Dataplane& dataplane();
+
+  /// Executes a (previously authorized) command. Never throws for semantic
+  /// errors — they come back as ok=false with an explanatory output.
+  CommandResult execute(const ParsedCommand& command);
+
+  /// Semantic diff between the original snapshot and the current state:
+  /// everything the technician changed this session.
+  std::vector<cfg::ConfigChange> session_changes() const;
+
+  /// Number of dataplane recomputations performed (benchmark statistic).
+  std::size_t recompute_count() const { return recompute_count_; }
+
+ private:
+  CommandResult run(const ParsedCommand& command);
+  CommandResult apply(cfg::ConfigChange change, std::string output);
+  void invalidate();
+
+  net::Network original_;
+  net::Network startup_;
+  net::Network current_;
+  std::optional<dp::Dataplane> dataplane_;
+  std::size_t recompute_count_ = 0;
+};
+
+}  // namespace heimdall::twin

@@ -1,0 +1,54 @@
+#include "twin/monitor.hpp"
+
+#include <algorithm>
+
+namespace heimdall::twin {
+
+CommandResult ReferenceMonitor::mediate(EmulationLayer& emulation, const ParsedCommand& command) {
+  priv::Decision decision = privileges_.evaluate(command.action, command.resource);
+
+  MediatedAction record;
+  record.raw = command.raw;
+  record.action = command.action;
+  record.resource = command.resource;
+  record.permitted = decision.allowed;
+  record.decision_reason = decision.reason;
+
+  if (!decision.allowed) {
+    session_log_.push_back(std::move(record));
+    return CommandResult{false,
+                         "DENIED by Privilege_msp: " + priv::to_string(command.action) + " @ " +
+                             command.resource.to_string() + " (" + decision.reason + ")\n",
+                         {}};
+  }
+
+  CommandResult result = emulation.execute(command);
+  record.executed_ok = result.ok;
+  session_log_.push_back(std::move(record));
+  return result;
+}
+
+util::Json ReferenceMonitor::session_to_json() const {
+  util::Json array{util::JsonArray{}};
+  for (const MediatedAction& action : session_log_) {
+    util::Json item;
+    item.set("command", util::Json(action.raw));
+    item.set("action", util::Json(priv::to_string(action.action)));
+    item.set("resource", util::Json(action.resource.to_string()));
+    item.set("permitted", util::Json(action.permitted));
+    item.set("decision", util::Json(action.decision_reason));
+    if (action.permitted) item.set("executed_ok", util::Json(action.executed_ok));
+    array.push_back(std::move(item));
+  }
+  util::Json document;
+  document.set("session", std::move(array));
+  return document;
+}
+
+std::size_t ReferenceMonitor::denied_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(session_log_.begin(), session_log_.end(),
+                    [](const MediatedAction& a) { return !a.permitted; }));
+}
+
+}  // namespace heimdall::twin

@@ -1,0 +1,60 @@
+// Reference monitor: mediates every request crossing from the presentation
+// layer to the emulation layer (paper §4.2, Figure 5d). No command reaches
+// the emulated network without an explicit Privilege_msp decision, and every
+// decision is recorded in the session log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "privilege/spec.hpp"
+#include "twin/emulation.hpp"
+#include "util/json.hpp"
+
+namespace heimdall::twin {
+
+/// One mediated request and its outcome.
+struct MediatedAction {
+  std::string raw;
+  priv::Action action = priv::Action::ShowConfig;
+  priv::Resource resource;
+  bool permitted = false;
+  std::string decision_reason;
+  bool executed_ok = false;  ///< meaningful when permitted
+};
+
+/// The monitor. Owns nothing but the privilege spec reference semantics:
+/// it holds a copy so later escalations must go through update_privileges().
+class ReferenceMonitor {
+ public:
+  explicit ReferenceMonitor(priv::PrivilegeSpec privileges)
+      : privileges_(std::move(privileges)) {}
+
+  const priv::PrivilegeSpec& privileges() const { return privileges_; }
+
+  /// Replaces the spec (after an escalation grant).
+  void update_privileges(priv::PrivilegeSpec privileges) {
+    privileges_ = std::move(privileges);
+  }
+
+  priv::PrivilegeSpec& mutable_privileges() { return privileges_; }
+
+  /// Checks `command` against the Privilege_msp; executes it on `emulation`
+  /// only when permitted. Always appends to the session log.
+  CommandResult mediate(EmulationLayer& emulation, const ParsedCommand& command);
+
+  const std::vector<MediatedAction>& session_log() const { return session_log_; }
+
+  /// Denied requests so far (attack-surface telemetry).
+  std::size_t denied_count() const;
+
+  /// Exports the session log as JSON (one record per mediated command) for
+  /// hand-off to the enterprise's review tooling.
+  util::Json session_to_json() const;
+
+ private:
+  priv::PrivilegeSpec privileges_;
+  std::vector<MediatedAction> session_log_;
+};
+
+}  // namespace heimdall::twin

@@ -1,0 +1,57 @@
+#include "twin/presentation.hpp"
+
+#include <cstdio>
+
+namespace heimdall::twin {
+
+using namespace heimdall::net;
+
+std::string render_topology_dot(const Network& network) {
+  std::string out = "graph \"" + network.name() + "\" {\n";
+  out += "  layout=neato; overlap=false; splines=true;\n";
+  for (const Device& device : network.devices()) {
+    std::string shape = device.is_router() ? "ellipse" : device.is_switch() ? "box" : "plaintext";
+    out += "  \"" + device.id().str() + "\" [shape=" + shape + "];\n";
+  }
+  for (const Link& link : network.topology().links()) {
+    bool down = false;
+    for (const Endpoint& endpoint : {link.a, link.b}) {
+      const Device* device = network.find_device(endpoint.device);
+      const Interface* iface = device ? device->find_interface(endpoint.iface) : nullptr;
+      if (iface && iface->shutdown) down = true;
+    }
+    out += "  \"" + link.a.device.str() + "\" -- \"" + link.b.device.str() + "\" [label=\"" +
+           link.a.iface.str() + "|" + link.b.iface.str() + "\"" +
+           (down ? ", style=dashed, color=red" : "") + "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string render_inventory(const Network& network) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-10s %-8s %-22s %s\n", "device", "kind", "interface",
+                "address");
+  out += line;
+  for (const Device& device : network.devices()) {
+    bool first = true;
+    for (const Interface& iface : device.interfaces()) {
+      std::snprintf(line, sizeof line, "%-10s %-8s %-22s %s%s\n",
+                    first ? device.id().str().c_str() : "",
+                    first ? to_string(device.kind()).c_str() : "", iface.id.str().c_str(),
+                    iface.address ? iface.address->to_string().c_str() : "-",
+                    iface.shutdown ? " (down)" : "");
+      out += line;
+      first = false;
+    }
+    if (device.interfaces().empty()) {
+      std::snprintf(line, sizeof line, "%-10s %-8s %-22s %s\n", device.id().str().c_str(),
+                    to_string(device.kind()).c_str(), "-", "-");
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace heimdall::twin

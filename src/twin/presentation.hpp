@@ -1,0 +1,21 @@
+// Presentation-layer rendering helpers: what the technician's console/GUI
+// shows about the (sliced) network. Text renderers live in the emulation
+// layer's show commands; this adds exportable formats.
+#pragma once
+
+#include <string>
+
+#include "netmodel/network.hpp"
+
+namespace heimdall::twin {
+
+/// Graphviz DOT rendering of a network's topology. Device shape encodes its
+/// kind (router = ellipse, switch = box, host = plaintext); shutdown
+/// interfaces render their links dashed.
+std::string render_topology_dot(const net::Network& network);
+
+/// Fixed-width text table of devices and their L3 addresses (the "inventory"
+/// panel of the presentation layer).
+std::string render_inventory(const net::Network& network);
+
+}  // namespace heimdall::twin

@@ -1,0 +1,39 @@
+#include "twin/scrub.hpp"
+
+namespace heimdall::twin {
+
+using namespace heimdall::net;
+
+std::size_t scrub_device(Device& device) {
+  std::size_t count = 0;
+  DeviceSecrets& secrets = device.secrets();
+  auto scrub = [&count](std::string& field) {
+    if (!field.empty() && field != kScrubToken) {
+      field = kScrubToken;
+      ++count;
+    }
+  };
+  scrub(secrets.enable_password);
+  scrub(secrets.snmp_community);
+  scrub(secrets.ipsec_key);
+  return count;
+}
+
+std::size_t scrub_network(Network& network) {
+  std::size_t count = 0;
+  for (Device& device : network.devices()) count += scrub_device(device);
+  return count;
+}
+
+bool is_scrubbed(const Network& network) {
+  for (const Device& device : network.devices()) {
+    const DeviceSecrets& secrets = device.secrets();
+    for (const std::string* field :
+         {&secrets.enable_password, &secrets.snmp_community, &secrets.ipsec_key}) {
+      if (!field->empty() && *field != kScrubToken) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace heimdall::twin

@@ -1,0 +1,25 @@
+// Sensitive-data scrubbing for the emulation layer (paper §4.2: cloned
+// configs "can expose sensitive data (e.g., an IPSec key)").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "netmodel/network.hpp"
+
+namespace heimdall::twin {
+
+/// The placeholder written over scrubbed fields.
+inline constexpr const char* kScrubToken = "<redacted>";
+
+/// Replaces every secret on `device` with kScrubToken. Returns how many
+/// fields were scrubbed.
+std::size_t scrub_device(net::Device& device);
+
+/// Scrubs every device in `network`. Returns total fields scrubbed.
+std::size_t scrub_network(net::Network& network);
+
+/// True when `network` holds no real secrets (everything empty or scrubbed).
+bool is_scrubbed(const net::Network& network);
+
+}  // namespace heimdall::twin

@@ -1,0 +1,120 @@
+#include "twin/slice.hpp"
+
+#include "dataplane/trace.hpp"
+
+namespace heimdall::twin {
+
+using namespace heimdall::net;
+
+std::string to_string(SliceStrategy strategy) {
+  switch (strategy) {
+    case SliceStrategy::All: return "all";
+    case SliceStrategy::Neighbor: return "neighbor";
+    case SliceStrategy::TaskDriven: return "task-driven";
+  }
+  return "task-driven";
+}
+
+namespace {
+
+void note(Slice& slice, const DeviceId& device, const std::string& why) {
+  if (slice.devices.insert(device).second)
+    slice.rationale += device.str() + ": " + why + "\n";
+}
+
+}  // namespace
+
+Slice compute_slice(const Network& production, const dp::Dataplane& dataplane,
+                    const msp::Ticket& ticket, SliceStrategy strategy) {
+  Slice slice;
+  slice.strategy = strategy;
+
+  if (strategy == SliceStrategy::All) {
+    for (const Device& device : production.devices())
+      note(slice, device.id(), "all-nodes strategy");
+    return slice;
+  }
+
+  for (const DeviceId& device : ticket.affected) {
+    if (production.has_device(device)) note(slice, device, "named in ticket");
+  }
+
+  if (strategy == SliceStrategy::Neighbor) {
+    for (const DeviceId& device : ticket.affected) {
+      for (const DeviceId& neighbor : production.topology().neighbors(device))
+        note(slice, neighbor, "physical neighbor of " + device.str());
+    }
+    return slice;
+  }
+
+  // TaskDriven.
+  // 1. Physical shortest paths between every affected pair: these are the
+  //    devices that *should* carry the traffic, so the root cause of a
+  //    connectivity issue lies on (or adjacent to) them.
+  for (std::size_t i = 0; i < ticket.affected.size(); ++i) {
+    for (std::size_t j = i + 1; j < ticket.affected.size(); ++j) {
+      const DeviceId& a = ticket.affected[i];
+      const DeviceId& b = ticket.affected[j];
+      if (!production.has_device(a) || !production.has_device(b)) continue;
+      for (const DeviceId& device : production.topology().devices_on_shortest_paths(a, b))
+        note(slice, device, "on shortest path " + a.str() + " <-> " + b.str());
+    }
+  }
+
+  // 2. Devices the current (possibly broken) forwarding actually touches —
+  //    including the device where traffic dies, which is a prime root-cause
+  //    candidate.
+  std::set<DeviceId> failure_points;
+  for (std::size_t i = 0; i < ticket.affected.size(); ++i) {
+    for (std::size_t j = 0; j < ticket.affected.size(); ++j) {
+      if (i == j) continue;
+      const DeviceId& src = ticket.affected[i];
+      const DeviceId& dst = ticket.affected[j];
+      if (!production.has_device(src) || !production.has_device(dst)) continue;
+      if (!production.primary_ip(src) || !production.primary_ip(dst)) continue;
+      dp::TraceResult trace = dp::trace_hosts(production, dataplane, src, dst);
+      for (const DeviceId& device : trace.path())
+        note(slice, device, "on live forwarding path " + src.str() + " -> " + dst.str());
+      if (!trace.delivered() && !trace.last_device.empty()) {
+        note(slice, trace.last_device,
+             "traffic dies here (" + dp::to_string(trace.disposition) + ")");
+        // Control-plane dependencies only matter when routes are missing;
+        // local failures (ACL drop, dead port, unresolved next hop) are
+        // diagnosable without the failure point's routing peers.
+        if (trace.disposition == dp::Disposition::NoRoute ||
+            trace.disposition == dp::Disposition::Loop) {
+          failure_points.insert(trace.last_device);
+        }
+      }
+    }
+  }
+
+  // 3. Control-plane dependencies around the failure points: the OSPF
+  //    neighbors of the device where traffic dies feed the routes it acts
+  //    on, so hiding them could reproduce a different failure (paper:
+  //    "missing a relevant element could yield a different failure
+  //    scenario"). Scoped to the failure points — not every path router —
+  //    to keep the slice minimal on dense topologies.
+  for (const dp::OspfAdjacency& adjacency : dataplane.ospf_adjacencies()) {
+    if (failure_points.count(adjacency.a.device))
+      note(slice, adjacency.b.device, "ospf neighbor of failure point " + adjacency.a.device.str());
+    if (failure_points.count(adjacency.b.device))
+      note(slice, adjacency.a.device, "ospf neighbor of failure point " + adjacency.b.device.str());
+  }
+
+  return slice;
+}
+
+Network materialize_slice(const Network& production, const Slice& slice) {
+  Network out(production.name() + "-twin");
+  for (const Device& device : production.devices()) {
+    if (slice.contains(device.id())) out.add_device(device);
+  }
+  for (const Link& link : production.topology().links()) {
+    if (slice.contains(link.a.device) && slice.contains(link.b.device))
+      out.topology().add_link(link);
+  }
+  return out;
+}
+
+}  // namespace heimdall::twin

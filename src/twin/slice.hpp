@@ -1,0 +1,46 @@
+// Twin-network slicing: which production devices become visible inside the
+// twin (paper §4.2 / Figure 5).
+//
+// Three strategies, matching the paper's evaluation:
+//   * All        — clone everything (Figure 5b): feasible, maximal exposure.
+//   * Neighbor   — affected devices + their physical neighbors (Figure 5c):
+//                  minimal exposure, often infeasible (root cause missing).
+//   * TaskDriven — Heimdall's minimal-but-sufficient slice: the affected
+//                  devices, every device on any physical shortest path
+//                  between affected pairs, the devices the *current* (broken)
+//                  forwarding actually touches, and one hop of control-plane
+//                  dependencies (OSPF neighbors of routers in the slice).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "dataplane/dataplane.hpp"
+#include "msp/ticket.hpp"
+#include "netmodel/network.hpp"
+
+namespace heimdall::twin {
+
+enum class SliceStrategy : std::uint8_t { All, Neighbor, TaskDriven };
+
+std::string to_string(SliceStrategy strategy);
+
+/// The computed slice.
+struct Slice {
+  SliceStrategy strategy = SliceStrategy::TaskDriven;
+  std::set<net::DeviceId> devices;
+  /// Per-device notes on why each entered the slice (audit/readability).
+  std::string rationale;
+
+  bool contains(const net::DeviceId& device) const { return devices.count(device) != 0; }
+};
+
+/// Computes the visible device set for `ticket` under `strategy`.
+Slice compute_slice(const net::Network& production, const dp::Dataplane& dataplane,
+                    const msp::Ticket& ticket, SliceStrategy strategy);
+
+/// Builds the sliced network: the devices in `slice`, plus only the links
+/// whose both endpoints are visible.
+net::Network materialize_slice(const net::Network& production, const Slice& slice);
+
+}  // namespace heimdall::twin

@@ -1,0 +1,71 @@
+#include "twin/twin.hpp"
+
+#include "config/serialize.hpp"
+#include "privilege/generator.hpp"
+
+namespace heimdall::twin {
+
+using namespace heimdall::net;
+
+namespace {
+
+util::Sha256Digest config_fingerprint(const Device& device) {
+  return util::Sha256::hash(cfg::serialize_device(device));
+}
+
+}  // namespace
+
+TwinNetwork TwinNetwork::create(const Network& production, const dp::Dataplane& dataplane,
+                                const msp::Ticket& ticket, SliceStrategy strategy) {
+  Slice slice = compute_slice(production, dataplane, ticket, strategy);
+  Network sliced = materialize_slice(production, slice);
+  std::size_t scrubbed = scrub_network(sliced);
+  priv::PrivilegeSpec privileges = priv::generate_privileges(sliced, ticket.task);
+  TwinNetwork twin(std::move(slice), scrubbed, std::move(sliced), std::move(privileges), ticket);
+  for (const DeviceId& device : twin.slice_.devices) {
+    twin.baseline_[device] = config_fingerprint(production.device(device));
+  }
+  return twin;
+}
+
+TwinNetwork::TwinNetwork(Slice slice, std::size_t scrubbed, Network sliced,
+                         priv::PrivilegeSpec privileges, msp::Ticket ticket)
+    : slice_(std::move(slice)),
+      scrubbed_(scrubbed),
+      emulation_(std::move(sliced)),
+      monitor_(std::move(privileges)),
+      ticket_(std::move(ticket)) {}
+
+CommandResult TwinNetwork::run(std::string_view command_line) {
+  ParsedCommand command = parse_command(command_line);
+  return monitor_.mediate(emulation_, command);
+}
+
+std::vector<CommandResult> TwinNetwork::run_script(const std::vector<std::string>& commands) {
+  std::vector<CommandResult> results;
+  results.reserve(commands.size());
+  for (const std::string& line : commands) results.push_back(run(line));
+  return results;
+}
+
+priv::EscalationResult TwinNetwork::request_escalation(const priv::EscalationRequest& request,
+                                                       bool admin_approved) {
+  std::vector<DeviceId> devices(slice_.devices.begin(), slice_.devices.end());
+  priv::EscalationPolicy policy(ticket_.task, devices);
+  return policy.apply(monitor_.mutable_privileges(), request, admin_approved);
+}
+
+std::vector<cfg::ConfigChange> TwinNetwork::extract_changes() const {
+  return emulation_.session_changes();
+}
+
+std::vector<DeviceId> TwinNetwork::conflicts_with(const Network& production) const {
+  std::vector<DeviceId> conflicts;
+  for (const auto& [device, fingerprint] : baseline_) {
+    const Device* current = production.find_device(device);
+    if (!current || config_fingerprint(*current) != fingerprint) conflicts.push_back(device);
+  }
+  return conflicts;
+}
+
+}  // namespace heimdall::twin

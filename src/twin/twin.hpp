@@ -1,0 +1,84 @@
+// TwinNetwork: the complete sandbox handed to an MSP technician.
+//
+// Construction pipeline (paper §4.2):
+//   production network + ticket
+//     -> compute slice (task-driven by default)
+//     -> materialize + scrub secrets
+//     -> generate task-scoped Privilege_msp
+//     -> presentation layer (this class's run()) over a reference monitor
+//        over the emulation layer.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "privilege/escalation.hpp"
+#include "twin/monitor.hpp"
+#include "twin/slice.hpp"
+#include "twin/scrub.hpp"
+#include "util/sha256.hpp"
+
+namespace heimdall::twin {
+
+class TwinNetwork {
+ public:
+  /// Builds the twin for `ticket`. The default strategy is Heimdall's
+  /// task-driven slice; All/Neighbor exist for the baseline comparisons.
+  static TwinNetwork create(const net::Network& production, const dp::Dataplane& dataplane,
+                            const msp::Ticket& ticket,
+                            SliceStrategy strategy = SliceStrategy::TaskDriven);
+
+  /// The slice metadata (visible devices + rationale).
+  const Slice& slice() const { return slice_; }
+
+  /// Scrubbed fields removed while cloning.
+  std::size_t scrubbed_secret_count() const { return scrubbed_; }
+
+  /// Presentation-layer entry point: parse, mediate, execute.
+  CommandResult run(std::string_view command_line);
+
+  /// Runs a whole script; stops at the first parse error, continues over
+  /// denials and semantic failures (as a real session would).
+  std::vector<CommandResult> run_script(const std::vector<std::string>& commands);
+
+  /// Requests a privilege escalation mid-session.
+  priv::EscalationResult request_escalation(const priv::EscalationRequest& request,
+                                            bool admin_approved = false);
+
+  /// Everything the technician changed, as semantic config changes relative
+  /// to the slice snapshot (input to the policy enforcer).
+  std::vector<cfg::ConfigChange> extract_changes() const;
+
+  /// Staleness check before importing changes (paper §3: "it is also
+  /// challenging to import changes into the production network"): returns
+  /// the slice devices whose *production* configuration changed since this
+  /// twin was created. A non-empty result means the session worked against
+  /// a stale view and its changes need re-validation on a fresh twin.
+  std::vector<net::DeviceId> conflicts_with(const net::Network& production) const;
+
+  /// SHA-256 fingerprints of the slice devices' production configs taken at
+  /// twin-creation time (basis of conflicts_with()).
+  const std::map<net::DeviceId, util::Sha256Digest>& baseline_fingerprints() const {
+    return baseline_;
+  }
+
+  const ReferenceMonitor& monitor() const { return monitor_; }
+  EmulationLayer& emulation() { return emulation_; }
+  const EmulationLayer& emulation() const { return emulation_; }
+  const msp::Ticket& ticket() const { return ticket_; }
+  const priv::PrivilegeSpec& privileges() const { return monitor_.privileges(); }
+
+ private:
+  TwinNetwork(Slice slice, std::size_t scrubbed, net::Network sliced,
+              priv::PrivilegeSpec privileges, msp::Ticket ticket);
+
+  Slice slice_;
+  std::size_t scrubbed_ = 0;
+  EmulationLayer emulation_;
+  ReferenceMonitor monitor_;
+  msp::Ticket ticket_;
+  std::map<net::DeviceId, util::Sha256Digest> baseline_;
+};
+
+}  // namespace heimdall::twin

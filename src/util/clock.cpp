@@ -1,0 +1,12 @@
+#include "util/clock.hpp"
+
+#include "util/error.hpp"
+
+namespace heimdall::util {
+
+void VirtualClock::advance(VirtualMillis delta_ms) {
+  require(delta_ms >= 0, "VirtualClock::advance: negative delta");
+  now_ms_ += delta_ms;
+}
+
+}  // namespace heimdall::util

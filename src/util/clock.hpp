@@ -1,0 +1,51 @@
+// Virtual clock used to model human/technician latencies deterministically.
+//
+// The paper's pilot study (Figure 7) measures wall-clock time that is mostly
+// human think/typing time. To reproduce the *shape* deterministically we keep
+// human latencies on a virtual clock and measure machine steps (twin setup,
+// verification, scheduling) with a real steady clock; both are reported in
+// the same unit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace heimdall::util {
+
+/// Milliseconds on the virtual timeline.
+using VirtualMillis = std::int64_t;
+
+/// A monotonically advancing virtual clock. Advancing is explicit; nothing
+/// in the library reads the OS clock through this type.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Current virtual time in milliseconds since construction.
+  VirtualMillis now() const { return now_ms_; }
+
+  /// Moves the clock forward. Negative advances are rejected.
+  void advance(VirtualMillis delta_ms);
+
+ private:
+  VirtualMillis now_ms_ = 0;
+};
+
+/// Wall-clock stopwatch for measuring real compute inside benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Elapsed time in milliseconds (fractional).
+  double elapsed_ms() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace heimdall::util

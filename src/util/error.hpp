@@ -1,0 +1,47 @@
+// Error-handling primitives shared across the Heimdall library.
+//
+// The library signals unrecoverable API misuse with exceptions derived from
+// heimdall::util::Error (per I.10 of the C++ Core Guidelines), and uses
+// std::optional / status structs for expected, recoverable conditions such as
+// "this flow has no route".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace heimdall::util {
+
+/// Base class for all exceptions thrown by the Heimdall library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when textual input (configs, JSON, DSL, CLI commands) cannot be
+/// parsed. Carries a human-readable location in `what()`.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a lookup by identifier fails (unknown device, interface, ...).
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an operation would violate a structural invariant of the
+/// model (duplicate ids, link to a missing interface, ...).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Precondition check used at public API boundaries. Unlike assert() it is
+/// active in all build types: network-facing code must not disable its
+/// argument validation in release builds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvariantError(message);
+}
+
+}  // namespace heimdall::util

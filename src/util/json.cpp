@@ -1,0 +1,341 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace heimdall::util {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw ParseError("JSON parse error at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_literal(std::string_view literal) {
+    for (char c : literal) expect(c);
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Json(std::move(object));
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_ws();
+      char c = take();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Json(std::move(array));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = take();
+      if (c == '"') break;
+      if (c == '\\') {
+        char esc = take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9')
+                code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("bad \\u escape");
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                                   text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    try {
+      size_t consumed = 0;
+      double value = std::stod(token, &consumed);
+      if (consumed != token.size()) fail("malformed number '" + token + "'");
+      return Json(value);
+    } catch (const std::exception&) {
+      fail("malformed number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(std::string& out, double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw ParseError("JSON value is not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) throw ParseError("JSON value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw ParseError("JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  if (!is_array()) throw ParseError("JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  if (!is_object()) throw ParseError("JSON value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (!found) throw ParseError("JSON object has no field '" + std::string(key) + "'");
+  return *found;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<JsonObject>(value_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json value) {
+  if (is_null()) value_ = JsonArray{};
+  if (!is_array()) throw ParseError("Json::push_back on non-array");
+  std::get<JsonArray>(value_).push_back(std::move(value));
+}
+
+void Json::set(std::string key, Json value) {
+  if (is_null()) value_ = JsonObject{};
+  if (!is_object()) throw ParseError("Json::set on non-object");
+  auto& object = std::get<JsonObject>(value_);
+  for (auto& [k, v] : object) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object.emplace_back(std::move(key), std::move(value));
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    dump_number(out, as_number());
+  } else if (is_string()) {
+    dump_string(out, as_string());
+  } else if (is_array()) {
+    const auto& array = as_array();
+    if (array.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (size_t i = 0; i < array.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      newline(depth + 1);
+      array[i].dump_to(out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back(']');
+  } else {
+    const auto& object = as_object();
+    if (object.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : object) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline(depth + 1);
+      dump_string(out, key);
+      out.push_back(':');
+      if (indent > 0) out.push_back(' ');
+      value.dump_to(out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back('}');
+  }
+}
+
+}  // namespace heimdall::util

@@ -1,0 +1,79 @@
+// Minimal, dependency-free JSON document model, parser and writer.
+//
+// This backs the Privilege_msp front-end ("a convenient front-end interface,
+// based on JSON", paper §4.1) and the audit-trail export format. It supports
+// the full JSON grammar except for \u escapes beyond Latin-1 (sufficient for
+// configuration identifiers, which are ASCII).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace heimdall::util {
+
+class Json;
+
+/// Ordered object representation: preserves insertion order so serialized
+/// policies diff cleanly.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+using JsonArray = std::vector<Json>;
+
+/// A JSON value (null, bool, number, string, array, object).
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw ParseError when the value has a different type.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field lookup; throws ParseError when absent or not an object.
+  const Json& at(std::string_view key) const;
+
+  /// Object field lookup; returns nullptr when absent.
+  const Json* find(std::string_view key) const;
+
+  /// Appends / sets fields (creates the aggregate type on first use).
+  void push_back(Json value);
+  void set(std::string key, Json value);
+
+  /// Parses a JSON document. Throws ParseError with position info.
+  static Json parse(std::string_view text);
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+}  // namespace heimdall::util

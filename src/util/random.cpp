@@ -1,0 +1,62 @@
+#include "util/random.hpp"
+
+#include "util/error.hpp"
+
+namespace heimdall::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  require(bound > 0, "Rng::next_below: bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t value = next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
+  require(lo <= hi, "Rng::next_in: lo > hi");
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return next_double() < p;
+}
+
+}  // namespace heimdall::util

@@ -1,0 +1,51 @@
+// Deterministic PRNG (splitmix64 + xoshiro256**). The library never uses OS
+// randomness; every scenario and test seeds one of these explicitly so runs
+// are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace heimdall::util {
+
+/// Deterministic 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; requires non-empty input.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace heimdall::util

@@ -1,0 +1,52 @@
+// Self-contained SHA-256 (FIPS 180-4). Used by the audit hash chain and the
+// simulated enclave's measurement/attestation machinery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace heimdall::util {
+
+/// A 256-bit digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.update("hello");
+///   Sha256Digest d = h.finish();
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `data` into the hash state. May be called repeatedly.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view data) { update(data.data(), data.size()); }
+
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+/// Hex-encodes a digest (lowercase, 64 chars).
+std::string to_hex(const Sha256Digest& digest);
+
+/// Keyed MAC built from SHA-256 (HMAC, RFC 2104). Used by the simulated
+/// enclave to seal data so tampering outside the enclave is detectable.
+Sha256Digest hmac_sha256(std::string_view key, std::string_view message);
+
+}  // namespace heimdall::util

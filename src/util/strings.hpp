@@ -1,0 +1,39 @@
+// Small string utilities used throughout the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heimdall::util {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits `text` on runs of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// Parses a non-negative integer; throws ParseError on malformed input or
+/// overflow past `max`.
+unsigned long parse_uint(std::string_view text, unsigned long max);
+
+/// Simple glob match supporting '*' (any run, including empty) and '?'
+/// (exactly one character). Used by the privilege resource language.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace heimdall::util

@@ -1,0 +1,340 @@
+// Unit tests for the config layer: serializer/parser round-trips and the
+// semantic differ + change replay.
+#include <gtest/gtest.h>
+
+#include "config/diff.hpp"
+#include "config/parse.hpp"
+#include "config/serialize.hpp"
+#include "scenarios/enterprise.hpp"
+#include "scenarios/university.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::cfg {
+namespace {
+
+using namespace heimdall::net;
+
+Device sample_router() {
+  Device device(DeviceId("r1"), DeviceKind::Router);
+  device.secrets().enable_password = "hash123";
+  device.secrets().snmp_community = "comm";
+  device.secrets().ipsec_key = "psk";
+  device.vlans() = {10, 20};
+
+  Interface uplink;
+  uplink.id = InterfaceId("Gi0/0");
+  uplink.description = "to r2";
+  uplink.address = InterfaceAddress{Ipv4Address::parse("10.1.12.1"), 30};
+  uplink.acl_in = "EDGE";
+  uplink.ospf_cost = 25;
+  device.add_interface(uplink);
+
+  Interface access;
+  access.id = InterfaceId("Fa0/1");
+  access.mode = SwitchportMode::Access;
+  access.access_vlan = 10;
+  access.shutdown = true;
+  device.add_interface(access);
+
+  Interface trunk;
+  trunk.id = InterfaceId("Fa0/24");
+  trunk.mode = SwitchportMode::Trunk;
+  trunk.trunk_allowed = {10, 20};
+  device.add_interface(trunk);
+
+  Acl acl;
+  acl.name = "EDGE";
+  acl.entries.push_back(parse_acl_entry("permit tcp 10.0.1.0 0.0.0.255 any eq 443"));
+  acl.entries.push_back(parse_acl_entry("deny ip any any"));
+  device.add_acl(acl);
+
+  StaticRoute route;
+  route.prefix = Ipv4Prefix::parse("0.0.0.0/0");
+  route.next_hop = Ipv4Address::parse("10.1.12.2");
+  device.static_routes().push_back(route);
+
+  OspfProcess ospf;
+  ospf.process_id = 1;
+  ospf.router_id = Ipv4Address::parse("1.1.1.1");
+  ospf.networks.push_back({Ipv4Prefix::parse("10.0.0.0/8"), 0});
+  ospf.passive_interfaces.push_back(InterfaceId("Fa0/1"));
+  device.ospf() = ospf;
+
+  return device;
+}
+
+// ------------------------------------------------------------ ACL parsing --
+
+TEST(AclParse, AllForms) {
+  AclEntry entry = parse_acl_entry("permit tcp 10.0.1.0 0.0.0.255 any eq 443");
+  EXPECT_EQ(entry.action, AclEntry::Action::Permit);
+  EXPECT_EQ(entry.protocol, IpProtocol::Tcp);
+  EXPECT_EQ(entry.src.to_string(), "10.0.1.0/24");
+  EXPECT_EQ(entry.dst.length(), 0u);
+  EXPECT_EQ(entry.dst_ports, PortRange::exactly(443));
+
+  entry = parse_acl_entry("deny ip host 10.0.0.5 host 10.0.0.9");
+  EXPECT_EQ(entry.src.to_string(), "10.0.0.5/32");
+  EXPECT_EQ(entry.dst.to_string(), "10.0.0.9/32");
+
+  entry = parse_acl_entry("permit udp any range 5000 6000 10.2.0.0 0.0.255.255");
+  EXPECT_EQ(entry.src_ports, (PortRange{5000, 6000}));
+  EXPECT_EQ(entry.dst.to_string(), "10.2.0.0/16");
+}
+
+TEST(AclParse, RoundTripsItsOwnRendering) {
+  for (const char* text :
+       {"permit tcp 10.0.1.0 0.0.0.255 any eq 443", "deny ip any any",
+        "permit icmp host 1.2.3.4 10.0.0.0 0.255.255.255",
+        "permit udp any range 1 100 any eq 53", "deny tcp any any range 6000 7000"}) {
+    AclEntry entry = parse_acl_entry(text);
+    EXPECT_EQ(parse_acl_entry(entry.to_string()), entry) << text;
+  }
+}
+
+TEST(AclParse, RejectsMalformed) {
+  for (const char* bad :
+       {"", "permit", "allow ip any any", "permit xyz any any", "permit ip any",
+        "permit ip host any", "permit tcp any eq any any", "permit ip any any trailing",
+        "permit tcp any range 7 3 any"}) {
+    EXPECT_THROW(parse_acl_entry(bad), util::ParseError) << bad;
+  }
+}
+
+// ------------------------------------------------------------- round trip --
+
+TEST(ConfigRoundTrip, SampleRouter) {
+  Device device = sample_router();
+  std::string text = serialize_device(device);
+  Device parsed = parse_device(text);
+  EXPECT_EQ(parsed, device);
+  // Second generation is byte-identical (canonical form).
+  EXPECT_EQ(serialize_device(parsed), text);
+}
+
+TEST(ConfigRoundTrip, EnterpriseNetwork) {
+  Network network = scen::build_enterprise();
+  for (const Device& device : network.devices()) {
+    Device parsed = parse_device(serialize_device(device));
+    EXPECT_EQ(parsed, device) << device.id().str();
+  }
+}
+
+TEST(ConfigRoundTrip, UniversityNetworkBundle) {
+  Network network = scen::build_university();
+  Network parsed = parse_network(serialize_network(network));
+  ASSERT_EQ(parsed.devices().size(), network.devices().size());
+  for (const Device& device : network.devices()) {
+    EXPECT_EQ(*parsed.find_device(device.id()), device) << device.id().str();
+  }
+}
+
+TEST(ConfigRoundTrip, TopologySerialization) {
+  Network network = scen::build_enterprise();
+  std::string text = serialize_topology(network.topology());
+
+  // Rebuild: same devices, re-wire from the text.
+  Network rewired("copy");
+  for (const Device& device : network.devices()) rewired.add_device(device);
+  parse_topology(text, rewired);
+  EXPECT_EQ(rewired.topology(), network.topology());
+}
+
+TEST(ConfigParse, ReportsLineNumbers) {
+  try {
+    parse_device("hostname r1\nbogus line here\n");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos) << error.what();
+  }
+}
+
+TEST(ConfigParse, SkipsBoilerplate) {
+  Device device = parse_device(
+      "hostname r1\n"
+      "! heimdall-device-kind: router\n"
+      "version 15.2\n"
+      "service timestamps log datetime msec\n"
+      "no ip domain-lookup\n"
+      "ip cef\n"
+      "logging buffered 64000\n"
+      "line vty 0 4\n"
+      " login local\n"
+      " transport input ssh\n"
+      "end\n");
+  EXPECT_EQ(device.id().str(), "r1");
+  EXPECT_TRUE(device.interfaces().empty());
+}
+
+TEST(ConfigParse, LineCountIsStable) {
+  Network network = scen::build_enterprise();
+  std::size_t count = config_line_count(network);
+  EXPECT_GT(count, 500u);
+  EXPECT_EQ(config_line_count(network), count);  // deterministic
+}
+
+// ------------------------------------------------------------------- diff --
+
+TEST(Diff, IdenticalDevicesYieldNoChanges) {
+  Device device = sample_router();
+  EXPECT_TRUE(diff_devices(device, device).empty());
+}
+
+TEST(Diff, DetectsEveryFieldKind) {
+  Device before = sample_router();
+  Device after = before;
+
+  after.interface(InterfaceId("Fa0/1")).shutdown = false;
+  after.interface(InterfaceId("Gi0/0")).address = InterfaceAddress{Ipv4Address::parse("10.1.12.5"), 30};
+  after.interface(InterfaceId("Gi0/0")).acl_in = "";
+  after.interface(InterfaceId("Fa0/1")).access_vlan = 20;
+  after.interface(InterfaceId("Gi0/0")).ospf_cost = std::nullopt;
+  after.find_acl("EDGE")->entries.insert(after.find_acl("EDGE")->entries.begin(),
+                                         parse_acl_entry("permit icmp any any"));
+  after.static_routes().clear();
+  after.ospf()->networks.push_back({Ipv4Prefix::parse("192.168.0.0/16"), 1});
+  after.vlans().push_back(30);
+  after.secrets().enable_password = "newhash";
+
+  auto changes = diff_devices(before, after);
+  auto has = [&](const char* fragment) {
+    for (const ConfigChange& change : changes) {
+      if (change.summary().find(fragment) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("no shutdown"));
+  EXPECT_TRUE(has("address"));
+  EXPECT_TRUE(has("access-group in"));
+  EXPECT_TRUE(has("switchport"));
+  EXPECT_TRUE(has("ospf cost"));
+  EXPECT_TRUE(has("insert@0"));
+  EXPECT_TRUE(has("static route remove"));
+  EXPECT_TRUE(has("ospf network add"));
+  EXPECT_TRUE(has("vlan 30 declared"));
+  EXPECT_TRUE(has("secret changed: enable_password"));
+  EXPECT_EQ(changes.size(), 10u);
+}
+
+TEST(Diff, ReplayReproducesAfterState) {
+  Network before = scen::build_enterprise();
+  Network after = before;
+  // A few scattered edits.
+  after.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).access_vlan = 10;
+  after.device(DeviceId("r9")).find_acl("DMZ_IN")->entries.insert(
+      after.device(DeviceId("r9")).find_acl("DMZ_IN")->entries.begin(),
+      parse_acl_entry("permit icmp 10.0.20.0 0.0.0.255 10.0.7.0 0.0.0.255"));
+  after.device(DeviceId("r6")).interface(InterfaceId("Gi0/0")).ospf_cost = 50;
+
+  auto changes = diff_networks(before, after);
+  EXPECT_EQ(changes.size(), 3u);
+
+  Network replayed = before;
+  apply_changes(replayed, changes);
+  EXPECT_EQ(replayed, after);
+}
+
+TEST(Diff, AclLcsMinimalEdits) {
+  Device before(DeviceId("r1"), DeviceKind::Router);
+  Acl acl;
+  acl.name = "A";
+  acl.entries = {parse_acl_entry("permit icmp any any"), parse_acl_entry("deny ip any any")};
+  before.add_acl(acl);
+
+  Device after = before;
+  // Insert one entry in the middle: exactly one AclEntryAdd at index 1.
+  after.find_acl("A")->entries.insert(after.find_acl("A")->entries.begin() + 1,
+                                      parse_acl_entry("permit tcp any any eq 22"));
+  auto changes = diff_devices(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  const auto* add = std::get_if<AclEntryAdd>(&changes[0].detail);
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->index, 1u);
+}
+
+TEST(Diff, AclModifiedEntryBecomesRemoveThenAdd) {
+  Device before(DeviceId("r1"), DeviceKind::Router);
+  Acl acl;
+  acl.name = "A";
+  acl.entries = {parse_acl_entry("deny ip any any")};
+  before.add_acl(acl);
+
+  Device after = before;
+  after.find_acl("A")->entries[0] = parse_acl_entry("permit ip any any");
+  auto changes = diff_devices(before, after);
+  ASSERT_EQ(changes.size(), 2u);
+
+  // Replaying must reproduce the after state regardless of remove/add order.
+  Device replay_target = before;
+  Network scratch("scratch");
+  scratch.add_device(replay_target);
+  for (const ConfigChange& change : changes) apply_change(scratch, change);
+  EXPECT_EQ(scratch.device(DeviceId("r1")), after);
+}
+
+TEST(Diff, AclCreateAndDelete) {
+  Device before(DeviceId("r1"), DeviceKind::Router);
+  Acl old_acl;
+  old_acl.name = "OLD";
+  before.add_acl(old_acl);
+
+  Device after(DeviceId("r1"), DeviceKind::Router);
+  Acl new_acl;
+  new_acl.name = "NEW";
+  new_acl.entries.push_back(parse_acl_entry("permit ip any any"));
+  after.add_acl(new_acl);
+
+  auto changes = diff_devices(before, after);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_NE(std::get_if<AclDelete>(&changes[0].detail), nullptr);
+  EXPECT_NE(std::get_if<AclCreate>(&changes[1].detail), nullptr);
+}
+
+TEST(Diff, RejectsDeviceIdMismatchAndHardwareChanges) {
+  Device r1(DeviceId("r1"), DeviceKind::Router);
+  Device r2(DeviceId("r2"), DeviceKind::Router);
+  EXPECT_THROW(diff_devices(r1, r2), util::InvariantError);
+
+  Device with_iface = r1;
+  Interface iface;
+  iface.id = InterfaceId("Gi0/9");
+  with_iface.add_interface(iface);
+  EXPECT_THROW(diff_devices(r1, with_iface), util::InvariantError);
+  EXPECT_THROW(diff_devices(with_iface, r1), util::InvariantError);
+}
+
+TEST(Diff, ApplyChangeValidatesState) {
+  Network network("n");
+  Device device(DeviceId("r1"), DeviceKind::Router);
+  network.add_device(device);
+
+  // Removing an absent route fails loudly.
+  StaticRoute route;
+  route.prefix = Ipv4Prefix::parse("10.0.0.0/8");
+  route.next_hop = Ipv4Address::parse("10.1.1.1");
+  EXPECT_THROW(apply_change(network, {DeviceId("r1"), StaticRouteRemove{route}}),
+               util::InvariantError);
+  // ACL entry remove with mismatching recorded entry fails.
+  Acl acl;
+  acl.name = "A";
+  acl.entries.push_back(parse_acl_entry("deny ip any any"));
+  network.device(DeviceId("r1")).add_acl(acl);
+  EXPECT_THROW(apply_change(network, {DeviceId("r1"),
+                                      AclEntryRemove{"A", 0, parse_acl_entry("permit ip any any")}}),
+               util::InvariantError);
+  // Unknown device.
+  EXPECT_THROW(apply_change(network, {DeviceId("ghost"), VlanDeclare{10}}),
+               util::NotFoundError);
+}
+
+TEST(Diff, SecretChangesCarryNoValues) {
+  Device before = sample_router();
+  Device after = before;
+  after.secrets().ipsec_key = "super-secret-new-key";
+  auto changes = diff_devices(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].summary().find("super-secret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heimdall::cfg

@@ -1,0 +1,458 @@
+// Unit tests for the dataplane simulator: FIB/LPM, L2 domains, OSPF SPF,
+// flow tracing, reachability.
+#include <gtest/gtest.h>
+
+#include "dataplane/reachability.hpp"
+#include "scenarios/builder.hpp"
+#include "scenarios/enterprise.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::dp {
+namespace {
+
+using namespace heimdall::net;
+using heimdall::scen::add_svi;
+using heimdall::scen::attach_host_access;
+using heimdall::scen::attach_host_routed;
+using heimdall::scen::connect_routers;
+using heimdall::scen::make_host;
+using heimdall::scen::make_router;
+using heimdall::scen::ospf_network;
+
+Ipv4Address ip(const char* text) { return Ipv4Address::parse(text); }
+
+Route route_to(const char* prefix, RouteProtocol protocol, unsigned metric = 0,
+               const char* next_hop = nullptr) {
+  Route route;
+  route.prefix = Ipv4Prefix::parse(prefix);
+  route.protocol = protocol;
+  route.admin_distance = default_admin_distance(protocol);
+  route.metric = metric;
+  route.out_iface = InterfaceId("e0");
+  if (next_hop) route.next_hop = ip(next_hop);
+  return route;
+}
+
+// -------------------------------------------------------------------- FIB --
+
+TEST(Fib, LongestPrefixMatchWins) {
+  Fib fib;
+  fib.insert(route_to("10.0.0.0/8", RouteProtocol::Static, 0, "1.1.1.1"));
+  fib.insert(route_to("10.1.0.0/16", RouteProtocol::Static, 0, "2.2.2.2"));
+  fib.insert(route_to("10.1.2.0/24", RouteProtocol::Static, 0, "3.3.3.3"));
+
+  EXPECT_EQ(fib.lookup(ip("10.1.2.9"))->next_hop, ip("3.3.3.3"));
+  EXPECT_EQ(fib.lookup(ip("10.1.9.9"))->next_hop, ip("2.2.2.2"));
+  EXPECT_EQ(fib.lookup(ip("10.9.9.9"))->next_hop, ip("1.1.1.1"));
+  EXPECT_FALSE(fib.lookup(ip("11.0.0.1")).has_value());
+}
+
+TEST(Fib, DefaultRouteCatchesAll) {
+  Fib fib;
+  fib.insert(route_to("0.0.0.0/0", RouteProtocol::Static, 0, "9.9.9.9"));
+  EXPECT_EQ(fib.lookup(ip("1.2.3.4"))->next_hop, ip("9.9.9.9"));
+  EXPECT_EQ(fib.lookup(ip("255.255.255.255"))->next_hop, ip("9.9.9.9"));
+}
+
+TEST(Fib, AdminDistanceBreaksPrefixTies) {
+  Fib fib;
+  fib.insert(route_to("10.0.0.0/8", RouteProtocol::Ospf, 20, "1.1.1.1"));
+  fib.insert(route_to("10.0.0.0/8", RouteProtocol::Static, 0, "2.2.2.2"));
+  EXPECT_EQ(fib.lookup(ip("10.5.5.5"))->protocol, RouteProtocol::Static);
+  EXPECT_EQ(fib.size(), 1u);  // one route per prefix survives
+}
+
+TEST(Fib, MetricBreaksProtocolTies) {
+  Fib fib;
+  fib.insert(route_to("10.0.0.0/8", RouteProtocol::Ospf, 30, "1.1.1.1"));
+  fib.insert(route_to("10.0.0.0/8", RouteProtocol::Ospf, 10, "2.2.2.2"));
+  EXPECT_EQ(fib.lookup(ip("10.5.5.5"))->next_hop, ip("2.2.2.2"));
+}
+
+TEST(Fib, CopyIsDeep) {
+  Fib fib;
+  fib.insert(route_to("10.0.0.0/8", RouteProtocol::Static, 0, "1.1.1.1"));
+  Fib copy = fib;
+  copy.insert(route_to("11.0.0.0/8", RouteProtocol::Static, 0, "2.2.2.2"));
+  EXPECT_EQ(fib.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+TEST(Fib, RoutesAreSortedMostSpecificFirst) {
+  Fib fib;
+  fib.insert(route_to("10.0.0.0/8", RouteProtocol::Static, 0, "1.1.1.1"));
+  fib.insert(route_to("10.1.0.0/16", RouteProtocol::Static, 0, "1.1.1.1"));
+  fib.insert(route_to("0.0.0.0/0", RouteProtocol::Static, 0, "1.1.1.1"));
+  auto routes = fib.routes();
+  ASSERT_EQ(routes.size(), 3u);
+  EXPECT_EQ(routes[0].prefix.length(), 16u);
+  EXPECT_EQ(routes[2].prefix.length(), 0u);
+}
+
+TEST(Fib, ExactRouteLookup) {
+  Fib fib;
+  fib.insert(route_to("10.1.0.0/16", RouteProtocol::Static, 0, "1.1.1.1"));
+  EXPECT_TRUE(fib.route_for(Ipv4Prefix::parse("10.1.0.0/16")).has_value());
+  EXPECT_FALSE(fib.route_for(Ipv4Prefix::parse("10.0.0.0/8")).has_value());
+}
+
+// -------------------------------------------------------------- L2 domains --
+
+/// Two hosts on one switch, same VLAN.
+Network switch_pair(VlanId vlan_a, VlanId vlan_b) {
+  Network network("l2");
+  Device sw(DeviceId("sw1"), DeviceKind::Switch);
+  sw.vlans() = {10, 20};
+  Interface p1;
+  p1.id = InterfaceId("Fa0/1");
+  p1.mode = SwitchportMode::Access;
+  p1.access_vlan = vlan_a;
+  sw.add_interface(p1);
+  Interface p2;
+  p2.id = InterfaceId("Fa0/2");
+  p2.mode = SwitchportMode::Access;
+  p2.access_vlan = vlan_b;
+  sw.add_interface(p2);
+  network.add_device(std::move(sw));
+  network.add_device(make_host("ha", ip("10.0.0.1"), 24, ip("10.0.0.254")));
+  network.add_device(make_host("hb", ip("10.0.0.2"), 24, ip("10.0.0.254")));
+  network.connect({DeviceId("sw1"), InterfaceId("Fa0/1")}, {DeviceId("ha"), InterfaceId("eth0")});
+  network.connect({DeviceId("sw1"), InterfaceId("Fa0/2")}, {DeviceId("hb"), InterfaceId("eth0")});
+  return network;
+}
+
+TEST(L2, SameVlanShareSegment) {
+  Network network = switch_pair(10, 10);
+  L2Domains domains = L2Domains::compute(network);
+  EXPECT_TRUE(domains.adjacent({DeviceId("ha"), InterfaceId("eth0")},
+                               {DeviceId("hb"), InterfaceId("eth0")}));
+}
+
+TEST(L2, DifferentVlanSplitSegments) {
+  Network network = switch_pair(10, 20);
+  L2Domains domains = L2Domains::compute(network);
+  EXPECT_FALSE(domains.adjacent({DeviceId("ha"), InterfaceId("eth0")},
+                                {DeviceId("hb"), InterfaceId("eth0")}));
+}
+
+TEST(L2, TrunkCarriesSharedVlansOnly) {
+  // ha on sw1 vlan 10, hb on sw2 vlan 10, trunk sw1-sw2 allows {10}: joined.
+  // hc on sw2 vlan 20: isolated from both.
+  Network network("trunked");
+  for (const char* name : {"sw1", "sw2"}) {
+    Device sw(DeviceId(name), DeviceKind::Switch);
+    sw.vlans() = {10, 20};
+    Interface access;
+    access.id = InterfaceId("Fa0/1");
+    access.mode = SwitchportMode::Access;
+    access.access_vlan = 10;
+    sw.add_interface(access);
+    Interface access2;
+    access2.id = InterfaceId("Fa0/2");
+    access2.mode = SwitchportMode::Access;
+    access2.access_vlan = 20;
+    sw.add_interface(access2);
+    Interface trunk;
+    trunk.id = InterfaceId("Gi0/1");
+    trunk.mode = SwitchportMode::Trunk;
+    trunk.trunk_allowed = {10};
+    sw.add_interface(trunk);
+    network.add_device(std::move(sw));
+  }
+  network.add_device(make_host("ha", ip("10.0.0.1"), 24, ip("10.0.0.254")));
+  network.add_device(make_host("hb", ip("10.0.0.2"), 24, ip("10.0.0.254")));
+  network.add_device(make_host("hc", ip("10.0.0.3"), 24, ip("10.0.0.254")));
+  network.connect({DeviceId("sw1"), InterfaceId("Fa0/1")}, {DeviceId("ha"), InterfaceId("eth0")});
+  network.connect({DeviceId("sw2"), InterfaceId("Fa0/1")}, {DeviceId("hb"), InterfaceId("eth0")});
+  network.connect({DeviceId("sw2"), InterfaceId("Fa0/2")}, {DeviceId("hc"), InterfaceId("eth0")});
+  network.connect({DeviceId("sw1"), InterfaceId("Gi0/1")}, {DeviceId("sw2"), InterfaceId("Gi0/1")});
+
+  L2Domains domains = L2Domains::compute(network);
+  Endpoint ha{DeviceId("ha"), InterfaceId("eth0")};
+  Endpoint hb{DeviceId("hb"), InterfaceId("eth0")};
+  Endpoint hc{DeviceId("hc"), InterfaceId("eth0")};
+  EXPECT_TRUE(domains.adjacent(ha, hb));
+  EXPECT_FALSE(domains.adjacent(ha, hc));
+  EXPECT_FALSE(domains.adjacent(hb, hc));
+}
+
+TEST(L2, ShutdownPortLeavesSegment) {
+  Network network = switch_pair(10, 10);
+  network.device(DeviceId("sw1")).interface(InterfaceId("Fa0/2")).shutdown = true;
+  L2Domains domains = L2Domains::compute(network);
+  EXPECT_FALSE(domains.adjacent({DeviceId("ha"), InterfaceId("eth0")},
+                                {DeviceId("hb"), InterfaceId("eth0")}));
+}
+
+TEST(L2, SviJoinsVlanDomain) {
+  Network network = switch_pair(10, 10);
+  Device& sw = network.device(DeviceId("sw1"));
+  add_svi(sw, 10, ip("10.0.0.254"), 24);
+  L2Domains domains = L2Domains::compute(network);
+  EXPECT_TRUE(domains.adjacent({DeviceId("sw1"), InterfaceId("Vlan10")},
+                               {DeviceId("ha"), InterfaceId("eth0")}));
+  auto segment = domains.segment_of({DeviceId("ha"), InterfaceId("eth0")});
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(domains.resolve_ip(*segment, ip("10.0.0.254"), network),
+            (Endpoint{DeviceId("sw1"), InterfaceId("Vlan10")}));
+}
+
+TEST(L2, RoutedPointToPoint) {
+  Network network("p2p");
+  network.add_device(make_router("r1"));
+  network.add_device(make_router("r2"));
+  connect_routers(network, "r1", "e0", ip("10.1.1.1"), "r2", "e0", ip("10.1.1.2"));
+  L2Domains domains = L2Domains::compute(network);
+  EXPECT_TRUE(domains.adjacent({DeviceId("r1"), InterfaceId("e0")},
+                               {DeviceId("r2"), InterfaceId("e0")}));
+}
+
+// ------------------------------------------------------------------- OSPF --
+
+/// Square of routers with a host on each of r1/r4's stub interfaces:
+/// r1 - r2 - r4, r1 - r3 - r4 (equal costs unless overridden).
+Network ospf_square() {
+  Network network("square");
+  for (const char* name : {"r1", "r2", "r3", "r4"}) network.add_device(make_router(name));
+  connect_routers(network, "r1", "e0", ip("10.1.12.1"), "r2", "e0", ip("10.1.12.2"));
+  connect_routers(network, "r1", "e1", ip("10.1.13.1"), "r3", "e0", ip("10.1.13.2"));
+  connect_routers(network, "r2", "e1", ip("10.1.24.1"), "r4", "e0", ip("10.1.24.2"));
+  connect_routers(network, "r3", "e1", ip("10.1.34.1"), "r4", "e1", ip("10.1.34.2"));
+  network.add_device(make_host("h1", ip("10.0.1.10"), 24, ip("10.0.1.1")));
+  network.add_device(make_host("h4", ip("10.0.4.10"), 24, ip("10.0.4.1")));
+  attach_host_routed(network, "r1", "e2", ip("10.0.1.1"), 24, "h1");
+  attach_host_routed(network, "r4", "e2", ip("10.0.4.1"), 24, "h4");
+  for (Device& device : network.devices()) {
+    if (!device.is_router()) continue;
+    for (const Interface& iface : device.interfaces()) {
+      if (iface.address) ospf_network(device, iface.address->subnet(), 0);
+    }
+  }
+  return network;
+}
+
+TEST(Ospf, FormsAdjacenciesAndRoutes) {
+  Network network = ospf_square();
+  Dataplane dataplane = Dataplane::compute(network);
+  EXPECT_EQ(dataplane.ospf_adjacencies().size(), 4u);
+
+  // r1 learns the far stub subnet.
+  auto route = dataplane.fib(DeviceId("r1")).lookup(ip("10.0.4.10"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->protocol, RouteProtocol::Ospf);
+  // Two hops at default cost 10 + stub cost 10.
+  EXPECT_EQ(route->metric, 30u);
+}
+
+TEST(Ospf, EcmpTieBreakIsDeterministic) {
+  Network network = ospf_square();
+  Dataplane a = Dataplane::compute(network);
+  Dataplane b = Dataplane::compute(network);
+  auto route_a = a.fib(DeviceId("r1")).lookup(ip("10.0.4.10"));
+  auto route_b = b.fib(DeviceId("r1")).lookup(ip("10.0.4.10"));
+  ASSERT_TRUE(route_a && route_b);
+  EXPECT_EQ(route_a->next_hop, route_b->next_hop);
+  // Lowest next-hop address wins the tie: r2 (10.1.12.2) < r3 (10.1.13.2).
+  EXPECT_EQ(route_a->next_hop, ip("10.1.12.2"));
+}
+
+TEST(Ospf, CostSteersPathSelection) {
+  Network network = ospf_square();
+  // Make the r2 branch expensive: r1 must route via r3.
+  network.device(DeviceId("r1")).interface(InterfaceId("e0")).ospf_cost = 100;
+  Dataplane dataplane = Dataplane::compute(network);
+  auto route = dataplane.fib(DeviceId("r1")).lookup(ip("10.0.4.10"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->next_hop, ip("10.1.13.2"));
+}
+
+TEST(Ospf, ShutdownInterfaceDropsAdjacency) {
+  Network network = ospf_square();
+  network.device(DeviceId("r1")).interface(InterfaceId("e0")).shutdown = true;
+  Dataplane dataplane = Dataplane::compute(network);
+  EXPECT_EQ(dataplane.ospf_adjacencies().size(), 3u);
+  // Traffic still flows via r3.
+  auto route = dataplane.fib(DeviceId("r1")).lookup(ip("10.0.4.10"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->next_hop, ip("10.1.13.2"));
+}
+
+TEST(Ospf, PassiveInterfaceAdvertisesButNoAdjacency) {
+  Network network = ospf_square();
+  // Make r4's e0 (to r2) passive on both sides: adjacency disappears but
+  // r4's stub subnet is still advertised via the r3 branch.
+  network.device(DeviceId("r4")).ospf()->passive_interfaces.push_back(InterfaceId("e0"));
+  network.device(DeviceId("r2")).ospf()->passive_interfaces.push_back(InterfaceId("e1"));
+  Dataplane dataplane = Dataplane::compute(network);
+  EXPECT_EQ(dataplane.ospf_adjacencies().size(), 3u);
+  auto route = dataplane.fib(DeviceId("r1")).lookup(ip("10.0.4.10"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->next_hop, ip("10.1.13.2"));
+}
+
+TEST(Ospf, AreaMismatchBlocksAdjacency) {
+  Network network = ospf_square();
+  // r3's side of the r3-r4 link goes to area 7; r4 stays in 0: no adjacency.
+  Device& r3 = network.device(DeviceId("r3"));
+  for (OspfNetwork& statement : r3.ospf()->networks) {
+    if (statement.prefix == Ipv4Prefix::parse("10.1.34.0/30")) statement.area = 7;
+  }
+  Dataplane dataplane = Dataplane::compute(network);
+  EXPECT_EQ(dataplane.ospf_adjacencies().size(), 3u);
+}
+
+TEST(Ospf, InterAreaRoutingThroughAbr) {
+  // Chain r1 --(area 0)-- r2 --(area 1)-- r3, stub host subnets on r1 & r3.
+  Network network("chain");
+  for (const char* name : {"r1", "r2", "r3"}) network.add_device(make_router(name));
+  connect_routers(network, "r1", "e0", ip("10.1.12.1"), "r2", "e0", ip("10.1.12.2"));
+  connect_routers(network, "r2", "e1", ip("10.1.23.1"), "r3", "e0", ip("10.1.23.2"));
+  network.add_device(make_host("h1", ip("10.0.1.10"), 24, ip("10.0.1.1")));
+  network.add_device(make_host("h3", ip("10.0.3.10"), 24, ip("10.0.3.1")));
+  attach_host_routed(network, "r1", "e2", ip("10.0.1.1"), 24, "h1");
+  attach_host_routed(network, "r3", "e2", ip("10.0.3.1"), 24, "h3");
+
+  Device& r1 = network.device(DeviceId("r1"));
+  ospf_network(r1, Ipv4Prefix::parse("10.1.12.0/30"), 0);
+  ospf_network(r1, Ipv4Prefix::parse("10.0.1.0/24"), 0);
+  Device& r2 = network.device(DeviceId("r2"));
+  ospf_network(r2, Ipv4Prefix::parse("10.1.12.0/30"), 0);
+  ospf_network(r2, Ipv4Prefix::parse("10.1.23.0/30"), 1);
+  Device& r3 = network.device(DeviceId("r3"));
+  ospf_network(r3, Ipv4Prefix::parse("10.1.23.0/30"), 1);
+  ospf_network(r3, Ipv4Prefix::parse("10.0.3.0/24"), 1);
+
+  Dataplane dataplane = Dataplane::compute(network);
+  // r1 (pure area 0) reaches the area-1 stub via the ABR r2.
+  auto route = dataplane.fib(DeviceId("r1")).lookup(ip("10.0.3.10"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->next_hop, ip("10.1.12.2"));
+  // And end-to-end host traffic works.
+  TraceResult trace = trace_hosts(network, dataplane, DeviceId("h1"), DeviceId("h3"));
+  EXPECT_TRUE(trace.delivered());
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(Trace, DeliversAcrossEnterprise) {
+  Network network = scen::build_enterprise();
+  Dataplane dataplane = Dataplane::compute(network);
+  TraceResult trace = trace_hosts(network, dataplane, DeviceId("h1"), DeviceId("h4"));
+  EXPECT_TRUE(trace.delivered());
+  auto path = trace.path();
+  EXPECT_EQ(path.front(), DeviceId("h1"));
+  EXPECT_EQ(path.back(), DeviceId("h4"));
+}
+
+TEST(Trace, AclDenyInbound) {
+  Network network = scen::build_enterprise();
+  Dataplane dataplane = Dataplane::compute(network);
+  TraceResult trace = trace_hosts(network, dataplane, DeviceId("h2"), DeviceId("h7"));
+  EXPECT_EQ(trace.disposition, Disposition::DeniedInbound);
+  EXPECT_EQ(trace.last_device, DeviceId("r9"));
+  EXPECT_NE(trace.detail.find("DMZ_IN"), std::string::npos);
+}
+
+TEST(Trace, UnknownEndpoints) {
+  Network network = scen::build_enterprise();
+  Dataplane dataplane = Dataplane::compute(network);
+  Flow flow;
+  flow.src_ip = ip("203.0.113.99");
+  flow.dst_ip = ip("10.0.10.10");
+  EXPECT_EQ(trace_flow(network, dataplane, flow).disposition, Disposition::UnknownSource);
+  flow.src_ip = ip("10.0.10.10");
+  flow.dst_ip = ip("203.0.113.99");
+  EXPECT_EQ(trace_flow(network, dataplane, flow).disposition, Disposition::UnknownDestination);
+}
+
+TEST(Trace, SourceDownAndNoRoute) {
+  Network network = ospf_square();
+  network.device(DeviceId("h1")).interface(InterfaceId("eth0")).shutdown = true;
+  Dataplane dataplane = Dataplane::compute(network);
+  Flow flow;
+  flow.src_ip = ip("10.0.1.10");
+  flow.dst_ip = ip("10.0.4.10");
+  // Source iface down: its address no longer resolves to an endpoint at all,
+  // or reports SourceDown when it does.
+  auto disposition = trace_flow(network, dataplane, flow).disposition;
+  EXPECT_TRUE(disposition == Disposition::SourceDown ||
+              disposition == Disposition::UnknownSource);
+
+  // No-route: host with no default route.
+  Network bare = ospf_square();
+  bare.device(DeviceId("h1")).static_routes().clear();
+  Dataplane bare_dataplane = Dataplane::compute(bare);
+  EXPECT_EQ(trace_flow(bare, bare_dataplane, flow).disposition, Disposition::NoRoute);
+}
+
+TEST(Trace, NextHopUnreachableWhenGatewayPortDown) {
+  Network network = ospf_square();
+  network.device(DeviceId("r1")).interface(InterfaceId("e2")).shutdown = true;
+  Dataplane dataplane = Dataplane::compute(network);
+  TraceResult trace = trace_hosts(network, dataplane, DeviceId("h1"), DeviceId("h4"));
+  EXPECT_EQ(trace.disposition, Disposition::NextHopUnreachable);
+  EXPECT_EQ(trace.last_device, DeviceId("h1"));
+}
+
+TEST(Trace, LoopDetection) {
+  // h9's subnet exists behind r3, but r1 and r2 point static routes for it
+  // at each other — a classic routing loop.
+  Network network("loop");
+  for (const char* name : {"r1", "r2", "r3"}) network.add_device(make_router(name));
+  connect_routers(network, "r1", "e0", ip("10.1.1.1"), "r2", "e0", ip("10.1.1.2"));
+  connect_routers(network, "r2", "e1", ip("10.1.2.1"), "r3", "e0", ip("10.1.2.2"));
+  network.add_device(make_host("h1", ip("10.0.1.10"), 24, ip("10.0.1.1")));
+  network.add_device(make_host("h9", ip("10.0.9.10"), 24, ip("10.0.9.1")));
+  attach_host_routed(network, "r1", "e1", ip("10.0.1.1"), 24, "h1");
+  attach_host_routed(network, "r3", "e1", ip("10.0.9.1"), 24, "h9");
+
+  auto add_static = [&](const char* router, const char* next_hop) {
+    StaticRoute route;
+    route.prefix = Ipv4Prefix::parse("10.0.9.0/24");
+    route.next_hop = ip(next_hop);
+    network.device(DeviceId(router)).static_routes().push_back(route);
+  };
+  add_static("r1", "10.1.1.2");  // r1 -> r2
+  add_static("r2", "10.1.1.1");  // r2 -> r1 (should have been 10.1.2.2)
+
+  Dataplane dataplane = Dataplane::compute(network);
+  TraceResult trace = trace_hosts(network, dataplane, DeviceId("h1"), DeviceId("h9"));
+  EXPECT_EQ(trace.disposition, Disposition::Loop);
+  EXPECT_GT(trace.hops.size(), 30u);
+}
+
+// ---------------------------------------------------------- reachability --
+
+TEST(Reachability, MatrixCountsAndDiff) {
+  Network network = scen::build_enterprise();
+  Dataplane dataplane = Dataplane::compute(network);
+  ReachabilityMatrix before = ReachabilityMatrix::compute(network, dataplane);
+  EXPECT_EQ(before.total_count(), 72u);
+  EXPECT_GT(before.reachable_count(), 50u);
+
+  // Break the VLAN: h2's pairs flip.
+  Network broken = network;
+  broken.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).access_vlan = 10;
+  Dataplane broken_dataplane = Dataplane::compute(broken);
+  ReachabilityMatrix after = ReachabilityMatrix::compute(broken, broken_dataplane);
+  auto flips = ReachabilityMatrix::diff(before, after);
+  EXPECT_FALSE(flips.empty());
+  for (const auto& [src, dst, was, now] : flips) {
+    EXPECT_TRUE(src == DeviceId("h2") || dst == DeviceId("h2"))
+        << src.str() << "->" << dst.str();
+    EXPECT_TRUE(was);
+    EXPECT_FALSE(now);
+  }
+}
+
+TEST(Reachability, PairLookupThrowsForUnknown) {
+  Network network = ospf_square();
+  Dataplane dataplane = Dataplane::compute(network);
+  ReachabilityMatrix matrix = ReachabilityMatrix::compute(network, dataplane);
+  EXPECT_TRUE(matrix.has_pair(DeviceId("h1"), DeviceId("h4")));
+  EXPECT_FALSE(matrix.has_pair(DeviceId("h1"), DeviceId("ghost")));
+  EXPECT_THROW(matrix.pair(DeviceId("h1"), DeviceId("ghost")), util::NotFoundError);
+}
+
+}  // namespace
+}  // namespace heimdall::dp

@@ -1,0 +1,590 @@
+// Unit + integration tests for the policy enforcer: change classification,
+// compliance, audit chain, simulated enclave, verifier, scheduler, façade,
+// emergency mode.
+#include <gtest/gtest.h>
+
+#include "enforcer/enforcer.hpp"
+#include "util/error.hpp"
+#include "scenarios/enterprise.hpp"
+#include "twin/twin.hpp"
+
+namespace heimdall::enforce {
+namespace {
+
+using namespace heimdall::net;
+using cfg::ConfigChange;
+using priv::Action;
+
+ConfigChange shutdown_change(const char* device, const char* iface) {
+  return {DeviceId(device), cfg::InterfaceAdminChange{InterfaceId(iface), false, true}};
+}
+
+// ----------------------------------------------------------- classification --
+
+TEST(Compliance, ClassifiesEveryChangeKind) {
+  struct Case {
+    ConfigChange change;
+    Action action;
+    priv::ObjectKind kind;
+  };
+  StaticRoute route;
+  route.prefix = Ipv4Prefix::parse("10.0.0.0/8");
+  route.next_hop = Ipv4Address::parse("10.1.1.1");
+  Acl acl;
+  acl.name = "A";
+  std::vector<Case> cases = {
+      {shutdown_change("r1", "e0"), Action::InterfaceDown, priv::ObjectKind::Interface},
+      {{DeviceId("r1"), cfg::InterfaceAdminChange{InterfaceId("e0"), true, false}},
+       Action::InterfaceUp, priv::ObjectKind::Interface},
+      {{DeviceId("r1"), cfg::InterfaceAddressChange{InterfaceId("e0"), {}, {}}},
+       Action::SetInterfaceAddress, priv::ObjectKind::Interface},
+      {{DeviceId("r1"), cfg::InterfaceAclBindingChange{InterfaceId("e0"), cfg::AclDirection::In,
+                                                       "", "X"}},
+       Action::BindAcl, priv::ObjectKind::Interface},
+      {{DeviceId("r1"), cfg::SwitchportChange{InterfaceId("e0")}}, Action::SetSwitchport,
+       priv::ObjectKind::Interface},
+      {{DeviceId("r1"), cfg::OspfCostChange{InterfaceId("e0"), {}, 5}}, Action::SetOspfCost,
+       priv::ObjectKind::Interface},
+      {{DeviceId("r1"), cfg::AclEntryAdd{"A", 0, {}}}, Action::AclEdit,
+       priv::ObjectKind::AclObject},
+      {{DeviceId("r1"), cfg::AclEntryRemove{"A", 0, {}}}, Action::AclEdit,
+       priv::ObjectKind::AclObject},
+      {{DeviceId("r1"), cfg::AclCreate{acl}}, Action::AclCreate, priv::ObjectKind::AclObject},
+      {{DeviceId("r1"), cfg::AclDelete{"A"}}, Action::AclDelete, priv::ObjectKind::AclObject},
+      {{DeviceId("r1"), cfg::StaticRouteAdd{route}}, Action::StaticRouteAdd,
+       priv::ObjectKind::RouteObject},
+      {{DeviceId("r1"), cfg::StaticRouteRemove{route}}, Action::StaticRouteRemove,
+       priv::ObjectKind::RouteObject},
+      {{DeviceId("r1"), cfg::OspfNetworkAdd{{}}}, Action::OspfNetworkEdit,
+       priv::ObjectKind::OspfObject},
+      {{DeviceId("r1"), cfg::OspfNetworkRemove{{}}}, Action::OspfNetworkEdit,
+       priv::ObjectKind::OspfObject},
+      {{DeviceId("r1"), cfg::OspfProcessChange{{}, {}}}, Action::OspfProcessEdit,
+       priv::ObjectKind::OspfObject},
+      {{DeviceId("r1"), cfg::VlanDeclare{10}}, Action::VlanEdit, priv::ObjectKind::VlanObject},
+      {{DeviceId("r1"), cfg::VlanRemove{10}}, Action::VlanEdit, priv::ObjectKind::VlanObject},
+      {{DeviceId("r1"), cfg::SecretChange{"ipsec_key"}}, Action::ChangeSecret,
+       priv::ObjectKind::SecretObject},
+  };
+  for (const Case& test_case : cases) {
+    ChangeClassification classification = classify_change(test_case.change);
+    EXPECT_EQ(classification.action, test_case.action) << test_case.change.summary();
+    EXPECT_EQ(classification.resource.kind, test_case.kind) << test_case.change.summary();
+    EXPECT_EQ(classification.resource.device, "r1");
+  }
+}
+
+TEST(Compliance, FlagsUnauthorizedChanges) {
+  priv::PrivilegeSpec spec;
+  spec.allow({Action::InterfaceDown}, priv::Resource::whole_device(DeviceId("r1")));
+  std::vector<ConfigChange> changes = {
+      shutdown_change("r1", "e0"),  // allowed
+      shutdown_change("r2", "e0"),  // wrong device
+      {DeviceId("r1"), cfg::SecretChange{"ipsec_key"}},  // wrong action
+  };
+  auto violations = check_privilege_compliance(changes, spec);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].change.device, DeviceId("r2"));
+  EXPECT_EQ(violations[1].classification.action, Action::ChangeSecret);
+}
+
+// ------------------------------------------------------------------- audit --
+
+TEST(Audit, ChainVerifies) {
+  AuditLog log;
+  for (int i = 0; i < 20; ++i)
+    log.append(i * 100, "tech", AuditCategory::Command, "command " + std::to_string(i));
+  EXPECT_EQ(log.size(), 20u);
+  EXPECT_TRUE(log.verify_chain());
+  EXPECT_EQ(log.first_corrupt_index(), 20u);
+}
+
+TEST(Audit, DetectsMessageTampering) {
+  AuditLog log;
+  log.append(0, "tech", AuditCategory::Command, "honest entry");
+  log.append(1, "tech", AuditCategory::Command, "second entry");
+  log.mutable_entries_for_test()[0].message = "doctored entry";
+  EXPECT_FALSE(log.verify_chain());
+  EXPECT_EQ(log.first_corrupt_index(), 0u);
+}
+
+TEST(Audit, DetectsDeletionAndReorder) {
+  AuditLog log;
+  for (int i = 0; i < 5; ++i)
+    log.append(i, "tech", AuditCategory::Command, "entry " + std::to_string(i));
+
+  AuditLog deleted = log;
+  auto& entries = deleted.mutable_entries_for_test();
+  entries.erase(entries.begin() + 2);
+  EXPECT_FALSE(deleted.verify_chain());
+
+  AuditLog reordered = log;
+  std::swap(reordered.mutable_entries_for_test()[1], reordered.mutable_entries_for_test()[3]);
+  EXPECT_FALSE(reordered.verify_chain());
+}
+
+TEST(Audit, TruncationKeepsChainButChangesHead) {
+  AuditLog log;
+  for (int i = 0; i < 5; ++i) log.append(i, "tech", AuditCategory::Command, "entry");
+  auto full_head = log.head();
+  log.mutable_entries_for_test().pop_back();
+  // A truncated chain still verifies internally...
+  EXPECT_TRUE(log.verify_chain());
+  // ...which is exactly why the enclave-sealed head is needed.
+  EXPECT_FALSE(log.matches_head(full_head));
+}
+
+TEST(Audit, JsonExportContainsHashes) {
+  AuditLog log;
+  log.append(5, "tech", AuditCategory::Violation, "intercepted");
+  util::Json json = log.to_json();
+  const auto& entries = json.at("audit_log").as_array();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].at("category").as_string(), "violation");
+  EXPECT_EQ(entries[0].at("hash").as_string().size(), 64u);
+}
+
+TEST(Audit, JsonRoundTripReVerifies) {
+  AuditLog log;
+  for (int i = 0; i < 7; ++i)
+    log.append(i * 10, "tech", AuditCategory::Command, "cmd " + std::to_string(i));
+  log.append(99, "enforcer", AuditCategory::Violation, "intercepted: \"quoted\"\nnewline");
+
+  AuditLog reloaded = AuditLog::from_json(util::Json::parse(log.to_json().dump()));
+  ASSERT_EQ(reloaded.size(), log.size());
+  EXPECT_TRUE(reloaded.verify_chain());
+  EXPECT_TRUE(reloaded.matches_head(log.head()));
+
+  // A doctored export fails re-verification after reload.
+  util::Json doctored = log.to_json();
+  // Rebuild with one message edited via the object model.
+  AuditLog tampered = AuditLog::from_json(doctored);
+  tampered.mutable_entries_for_test()[3].message = "redacted";
+  EXPECT_FALSE(tampered.verify_chain());
+}
+
+TEST(Audit, FromJsonRejectsMalformed) {
+  EXPECT_THROW(AuditLog::from_json(util::Json::parse(R"({"audit_log":[{"seq":0}]})")),
+               util::ParseError);
+  EXPECT_THROW(AuditLog::from_json(util::Json::parse(
+                   R"({"audit_log":[{"seq":0,"t_ms":0,"actor":"a","category":"bogus",
+                       "message":"m","prev":"00","hash":"00"}]})")),
+               util::ParseError);
+  EXPECT_THROW(AuditLog::from_json(util::Json::parse(R"({"wrong":[]})")), util::ParseError);
+}
+
+// ----------------------------------------------------------------- enclave --
+
+TEST(Enclave, AttestationVerifies) {
+  SimulatedEnclave enclave("enforcer-v1", "hw-key");
+  AttestationReport report = enclave.attest("nonce-123");
+  EXPECT_TRUE(enclave.verify_report(report, enclave.measurement()));
+
+  // Wrong expected measurement.
+  SimulatedEnclave other("enforcer-v2", "hw-key");
+  EXPECT_FALSE(enclave.verify_report(report, other.measurement()));
+
+  // Tampered report data.
+  AttestationReport tampered = report;
+  tampered.report_data = "nonce-456";
+  EXPECT_FALSE(enclave.verify_report(tampered, enclave.measurement()));
+}
+
+TEST(Enclave, SealUnsealRoundTrip) {
+  SimulatedEnclave enclave("enforcer-v1", "hw-key");
+  SealedBlob blob = enclave.seal("audit-head-abc");
+  auto unsealed = enclave.unseal(blob);
+  ASSERT_TRUE(unsealed.has_value());
+  EXPECT_EQ(*unsealed, "audit-head-abc");
+}
+
+TEST(Enclave, UnsealRejectsTamperAndForeignSealer) {
+  SimulatedEnclave enclave("enforcer-v1", "hw-key");
+  SealedBlob blob = enclave.seal("data");
+  SealedBlob tampered = blob;
+  tampered.payload = "datX";
+  EXPECT_FALSE(enclave.unseal(tampered).has_value());
+
+  SimulatedEnclave impostor("malicious-enclave", "hw-key");
+  EXPECT_FALSE(impostor.unseal(blob).has_value());
+}
+
+TEST(Enclave, MonotonicCounter) {
+  SimulatedEnclave enclave("enforcer-v1", "hw-key");
+  auto first = enclave.bump_counter();
+  auto second = enclave.bump_counter();
+  EXPECT_LT(first, second);
+}
+
+// ---------------------------------------------------------------- verifier --
+
+struct EnforcerFixture {
+  Network production = scen::build_enterprise();
+  spec::PolicyVerifier policies{scen::enterprise_policies(production)};
+  priv::PrivilegeSpec root;  // permissive spec for verifier-only tests
+
+  EnforcerFixture() {
+    root.allow(priv::all_actions(), priv::Resource{"*", priv::ObjectKind::Device, ""});
+  }
+};
+
+TEST(Verifier, ApprovesBenignChange) {
+  EnforcerFixture fixture;
+  std::vector<ConfigChange> changes = {
+      {DeviceId("r6"),
+       cfg::OspfCostChange{InterfaceId("Gi0/0"), std::nullopt, 50u}}};
+  VerifyOutcome outcome = verify_changes(fixture.production, changes, fixture.policies, fixture.root);
+  EXPECT_TRUE(outcome.approved());
+  EXPECT_TRUE(outcome.rejection_reasons().empty());
+}
+
+TEST(Verifier, InterceptsMaliciousAclChange) {
+  // The paper's §4.3 scenario: a permit that opens the sensitive host.
+  EnforcerFixture fixture;
+  AclEntry entry;
+  entry.action = AclEntry::Action::Permit;
+  entry.src = Ipv4Prefix::parse("10.0.20.0/24");
+  entry.dst = Ipv4Prefix::parse("10.0.8.0/24");
+  std::vector<ConfigChange> changes = {{DeviceId("r9"), cfg::AclEntryAdd{"DMZ_IN", 0, entry}}};
+  VerifyOutcome outcome = verify_changes(fixture.production, changes, fixture.policies, fixture.root);
+  EXPECT_FALSE(outcome.approved());
+  EXPECT_FALSE(outcome.policy_report.ok());
+  bool found_isolation_breach = false;
+  for (const spec::Violation& violation : outcome.policy_report.violations)
+    found_isolation_breach |= violation.policy.type == spec::PolicyType::Isolation;
+  EXPECT_TRUE(found_isolation_breach);
+}
+
+TEST(Verifier, InterceptsPrivilegeViolation) {
+  EnforcerFixture fixture;
+  priv::PrivilegeSpec narrow;
+  narrow.allow({Action::SetOspfCost}, priv::Resource::whole_device(DeviceId("r6")));
+  std::vector<ConfigChange> changes = {shutdown_change("r9", "Gi0/1")};
+  VerifyOutcome outcome = verify_changes(fixture.production, changes, fixture.policies, narrow);
+  EXPECT_FALSE(outcome.approved());
+  ASSERT_EQ(outcome.privilege_violations.size(), 1u);
+  EXPECT_FALSE(outcome.rejection_reasons().empty());
+}
+
+TEST(Verifier, ReportsReplayErrors) {
+  EnforcerFixture fixture;
+  std::vector<ConfigChange> changes = {
+      {DeviceId("r1"), cfg::AclDelete{"NO_SUCH_ACL"}}};
+  VerifyOutcome outcome = verify_changes(fixture.production, changes, fixture.policies, fixture.root);
+  EXPECT_FALSE(outcome.approved());
+  EXPECT_EQ(outcome.replay_errors.size(), 1u);
+}
+
+// --------------------------------------------------------------- scheduler --
+
+TEST(Scheduler, MakeBeforeBreakOrdering) {
+  AclEntry permit;
+  permit.action = AclEntry::Action::Permit;
+  AclEntry deny;
+  deny.action = AclEntry::Action::Deny;
+  Acl acl;
+  acl.name = "NEW";
+  std::vector<ConfigChange> changes = {
+      shutdown_change("r1", "e0"),                               // break: prio 3
+      {DeviceId("r2"), cfg::SecretChange{"snmp_community"}},     // last: prio 4
+      {DeviceId("r1"), cfg::AclCreate{acl}},                     // create: prio 0
+      {DeviceId("r1"), cfg::StaticRouteAdd{{}}},                 // make: prio 1
+      {DeviceId("r3"), cfg::OspfCostChange{InterfaceId("e1"), {}, 5}},  // neutral: 2
+  };
+  auto ordered = schedule_changes(changes);
+  ASSERT_EQ(ordered.size(), changes.size());
+  EXPECT_NE(std::get_if<cfg::AclCreate>(&ordered[0].detail), nullptr);
+  EXPECT_NE(std::get_if<cfg::StaticRouteAdd>(&ordered[1].detail), nullptr);
+  EXPECT_NE(std::get_if<cfg::OspfCostChange>(&ordered[2].detail), nullptr);
+  EXPECT_NE(std::get_if<cfg::InterfaceAdminChange>(&ordered[3].detail), nullptr);
+  EXPECT_NE(std::get_if<cfg::SecretChange>(&ordered[4].detail), nullptr);
+}
+
+TEST(Scheduler, SameAclEditsStayAtomicAndOrdered) {
+  AclEntry permit;
+  permit.action = AclEntry::Action::Permit;
+  AclEntry deny;
+  deny.action = AclEntry::Action::Deny;
+  // deny-add (prio 3) precedes permit-add (prio 1) in session order; both
+  // touch ACL "A" so their relative order must survive scheduling.
+  std::vector<ConfigChange> changes = {
+      {DeviceId("r1"), cfg::AclEntryAdd{"A", 0, deny}},
+      {DeviceId("r1"), cfg::AclEntryAdd{"A", 1, permit}},
+      {DeviceId("r2"), cfg::StaticRouteAdd{{}}},
+  };
+  auto ordered = schedule_changes(changes);
+  ASSERT_EQ(ordered.size(), 3u);
+  // The ACL group inherits the min priority (1) and stays in order.
+  const auto* first = std::get_if<cfg::AclEntryAdd>(&ordered[0].detail);
+  const auto* second = std::get_if<cfg::AclEntryAdd>(&ordered[1].detail);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->index, 0u);
+  EXPECT_EQ(second->index, 1u);
+}
+
+TEST(Scheduler, OutputIsPermutationOfInput) {
+  std::vector<ConfigChange> changes = {
+      shutdown_change("r1", "e0"),
+      {DeviceId("r1"), cfg::VlanDeclare{30}},
+      {DeviceId("r2"), cfg::VlanRemove{40}},
+      {DeviceId("r3"), cfg::SecretChange{"ipsec_key"}},
+  };
+  auto ordered = schedule_changes(changes);
+  ASSERT_EQ(ordered.size(), changes.size());
+  for (const ConfigChange& change : changes) {
+    EXPECT_NE(std::find(ordered.begin(), ordered.end(), change), ordered.end())
+        << change.summary();
+  }
+}
+
+TEST(Scheduler, OrderingAvoidsTransientViolation) {
+  // Scenario: technician swaps h3's DMZ permit for an equivalent one
+  // (remove old permit, add new). Naive session order (remove first) leaves
+  // an intermediate state where reach(h3,h7) is broken; scheduled order
+  // (add first) never violates it.
+  Network production = scen::build_enterprise();
+  spec::PolicyVerifier invariants({spec::Policy{spec::PolicyType::Reachability, DeviceId("h3"),
+                                                DeviceId("h7"), DeviceId{}}});
+
+  const Acl* dmz = production.device(DeviceId("r9")).find_acl("DMZ_IN");
+  ASSERT_NE(dmz, nullptr);
+  AclEntry old_permit = dmz->entries[1];  // permit icmp 10.0.30.0/24 -> DMZ
+  AclEntry wide_permit = old_permit;
+  wide_permit.protocol = IpProtocol::Any;
+
+  // Session order: remove the old entry, then add the replacement at its slot.
+  std::vector<ConfigChange> session_order = {
+      {DeviceId("r9"), cfg::AclEntryRemove{"DMZ_IN", 1, old_permit}},
+      {DeviceId("r9"), cfg::AclEntryAdd{"DMZ_IN", 1, wide_permit}},
+  };
+  SchedulePlan naive = check_plan_order(production, session_order, invariants);
+  EXPECT_GT(naive.transient_violation_count(), 0u);
+
+  // Scheduled order: the same-ACL group keeps relative order... which is
+  // exactly the hazard; express the make-before-break variant instead:
+  std::vector<ConfigChange> scheduled = {
+      {DeviceId("r9"), cfg::AclEntryAdd{"DMZ_IN", 1, wide_permit}},
+      {DeviceId("r9"), cfg::AclEntryRemove{"DMZ_IN", 2, old_permit}},
+  };
+  SchedulePlan safe = check_plan_order(production, scheduled, invariants);
+  EXPECT_EQ(safe.transient_violation_count(), 0u);
+
+  // Both orders land on the same final state.
+  Network via_naive = production;
+  cfg::apply_changes(via_naive, naive.ordered_changes());
+  Network via_safe = production;
+  cfg::apply_changes(via_safe, safe.ordered_changes());
+  EXPECT_EQ(via_naive, via_safe);
+}
+
+// ----------------------------------------------------------------- facade --
+
+TEST(Enforcer, AppliesApprovedChangeset) {
+  EnforcerFixture fixture;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  std::vector<ConfigChange> changes = {
+      {DeviceId("r6"), cfg::OspfCostChange{InterfaceId("Gi0/0"), std::nullopt, 50u}}};
+  EnforcementReport report =
+      enforcer.enforce(fixture.production, changes, fixture.root, clock, "tech");
+  EXPECT_TRUE(report.applied);
+  EXPECT_EQ(fixture.production.device(DeviceId("r6")).interface(InterfaceId("Gi0/0")).ospf_cost,
+            50u);
+  EXPECT_TRUE(enforcer.audit_intact());
+  EXPECT_GT(enforcer.audit().size(), 0u);
+}
+
+TEST(Enforcer, RejectsAndAuditsMaliciousChangeset) {
+  EnforcerFixture fixture;
+  Network pristine = fixture.production;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+
+  AclEntry entry;
+  entry.action = AclEntry::Action::Permit;
+  entry.src = Ipv4Prefix::parse("10.0.20.0/24");
+  entry.dst = Ipv4Prefix::parse("10.0.8.0/24");
+  std::vector<ConfigChange> changes = {{DeviceId("r9"), cfg::AclEntryAdd{"DMZ_IN", 0, entry}}};
+
+  EnforcementReport report =
+      enforcer.enforce(fixture.production, changes, fixture.root, clock, "rogue");
+  EXPECT_FALSE(report.applied);
+  EXPECT_FALSE(report.rejection_reasons.empty());
+  EXPECT_EQ(fixture.production, pristine);  // production untouched
+
+  bool audited_violation = false;
+  for (const AuditEntry& entry_record : enforcer.audit().entries())
+    audited_violation |= entry_record.category == AuditCategory::Violation;
+  EXPECT_TRUE(audited_violation);
+}
+
+TEST(Enforcer, AttestationBindsAuditHead) {
+  EnforcerFixture fixture;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  enforcer.audit_event(clock, "tech", AuditCategory::Session, "session open");
+  AttestationReport report = enforcer.attest();
+  EXPECT_TRUE(enforcer.enclave().verify_report(report, enforcer.enclave().measurement()));
+  EXPECT_EQ(report.report_data, util::to_hex(enforcer.audit().head()));
+}
+
+TEST(Enforcer, EmergencyModeVerifiesBeforeApply) {
+  EnforcerFixture fixture;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+
+  // Benign emergency command: applied.
+  EmergencyResult ok = enforcer.emergency_execute(
+      fixture.production, "interface r6 Gi0/0 ospf-cost 42", fixture.root, clock, "tech");
+  EXPECT_TRUE(ok.permitted);
+  EXPECT_TRUE(ok.applied);
+  EXPECT_EQ(fixture.production.device(DeviceId("r6")).interface(InterfaceId("Gi0/0")).ospf_cost,
+            42u);
+
+  // Catastrophic emergency command: rolled back.
+  Network before = fixture.production;
+  EmergencyResult bad = enforcer.emergency_execute(fixture.production, "erase r6", fixture.root,
+                                                   clock, "careless");
+  EXPECT_TRUE(bad.permitted);
+  EXPECT_FALSE(bad.applied);
+  EXPECT_FALSE(bad.rejection_reasons.empty());
+  EXPECT_EQ(fixture.production, before);
+
+  // Unprivileged emergency command: denied outright.
+  priv::PrivilegeSpec none;
+  EmergencyResult denied = enforcer.emergency_execute(fixture.production, "reboot r1", none,
+                                                      clock, "rogue");
+  EXPECT_FALSE(denied.permitted);
+}
+
+TEST(Quarantine, AppliesLegitimateInterceptsMalicious) {
+  // Paper §3: "legitimate changes are applied to the production network and
+  // violations are intercepted." Production starts broken (a bogus deny
+  // blocks h1 -> DMZ); the session contains the fix plus a malicious permit.
+  Network production = scen::build_enterprise();
+  auto policies = scen::enterprise_policies(scen::build_enterprise());
+  AclEntry bogus;
+  bogus.action = AclEntry::Action::Deny;
+  bogus.src = Ipv4Prefix::parse("10.0.10.0/24");
+  bogus.dst = Ipv4Prefix::parse("10.0.7.0/24");
+  auto& entries = production.device(DeviceId("r9")).find_acl("DMZ_IN")->entries;
+  entries.insert(entries.begin(), bogus);
+
+  AclEntry malicious;
+  malicious.action = AclEntry::Action::Permit;
+  malicious.src = Ipv4Prefix::parse("10.0.20.0/24");
+  malicious.dst = Ipv4Prefix::parse("10.0.8.0/24");
+
+  std::vector<ConfigChange> session = {
+      {DeviceId("r9"), cfg::AclEntryAdd{"DMZ_IN", 0, malicious}},
+      {DeviceId("r9"), cfg::AclEntryRemove{"DMZ_IN", 1, bogus}},
+  };
+
+  priv::PrivilegeSpec root;
+  root.allow(priv::all_actions(), priv::Resource{"*", priv::ObjectKind::Device, ""});
+  PolicyEnforcer enforcer(spec::PolicyVerifier(policies), SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  QuarantineReport report =
+      enforcer.enforce_with_quarantine(production, session, root, clock, "tech");
+
+  EXPECT_TRUE(report.applied_any);
+  ASSERT_EQ(report.applied_changes.size(), 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_NE(report.quarantined[0].second.find("isolate(h2,h8)"), std::string::npos);
+  // The fix landed: production is fully healthy again.
+  EXPECT_TRUE(spec::PolicyVerifier(policies).verify_network(production).ok());
+  EXPECT_TRUE(enforcer.audit_intact());
+}
+
+TEST(Quarantine, PrivilegeViolationsFilteredFirst) {
+  EnforcerFixture fixture;
+  priv::PrivilegeSpec narrow;
+  narrow.allow({Action::SetOspfCost}, priv::Resource::whole_device(DeviceId("r6")));
+  std::vector<ConfigChange> session = {
+      {DeviceId("r6"), cfg::OspfCostChange{InterfaceId("Gi0/0"), std::nullopt, 42u}},
+      {DeviceId("r9"), cfg::SecretChange{"enable_password"}},  // no privilege
+  };
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  QuarantineReport report =
+      enforcer.enforce_with_quarantine(fixture.production, session, narrow, clock, "tech");
+  EXPECT_TRUE(report.applied_any);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_NE(report.quarantined[0].second.find("privilege"), std::string::npos);
+  EXPECT_EQ(fixture.production.device(DeviceId("r6")).interface(InterfaceId("Gi0/0")).ospf_cost,
+            42u);
+}
+
+TEST(Quarantine, CombinationViolationRejectsRemainder) {
+  // Two changes that are individually harmless but jointly open h2 -> h8:
+  // (1) permit h2's subnet into the whole DMZ range on DMZ_IN,
+  // (2) is modeled here as a pair where each alone keeps isolation intact.
+  // Construct: change A permits h2 -> h8 on a *new unbound* ACL (harmless
+  // alone), change B binds that ACL, replacing DMZ_IN (the combination
+  // bypasses the deny).
+  EnforcerFixture fixture;
+  Acl open_acl;
+  open_acl.name = "OPEN";
+  AclEntry permit_any;
+  permit_any.action = AclEntry::Action::Permit;
+  open_acl.entries.push_back(permit_any);
+
+  std::vector<ConfigChange> session = {
+      {DeviceId("r9"), cfg::AclCreate{open_acl}},  // harmless alone (unbound)
+      {DeviceId("r9"), cfg::InterfaceAclBindingChange{InterfaceId("Gi0/0"),
+                                                      cfg::AclDirection::In, "DMZ_IN", "OPEN"}},
+  };
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  Network pristine = fixture.production;
+  QuarantineReport report =
+      enforcer.enforce_with_quarantine(fixture.production, session, fixture.root, clock, "tech");
+
+  // The rebind alone already violates (it swaps the filter); depending on
+  // attribution it is quarantined individually, and the create is harmless.
+  // Either way: production must never end up violating policies.
+  EXPECT_TRUE(spec::PolicyVerifier(fixture.policies.policies())
+                  .verify_network(fixture.production)
+                  .ok());
+  EXPECT_FALSE(report.quarantined.empty());
+}
+
+TEST(Quarantine, CleanSessionAppliesEverything) {
+  EnforcerFixture fixture;
+  std::vector<ConfigChange> session = {
+      {DeviceId("r6"), cfg::OspfCostChange{InterfaceId("Gi0/0"), std::nullopt, 5u}},
+      {DeviceId("r6"), cfg::OspfCostChange{InterfaceId("Gi0/1"), std::nullopt, 50u}},
+  };
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  QuarantineReport report =
+      enforcer.enforce_with_quarantine(fixture.production, session, fixture.root, clock, "tech");
+  EXPECT_TRUE(report.applied_any);
+  EXPECT_EQ(report.applied_changes.size(), 2u);
+  EXPECT_TRUE(report.quarantined.empty());
+}
+
+TEST(Enforcer, EndToEndWithTwin) {
+  // Full pipeline: broken production -> twin session -> enforce -> healthy.
+  Network production = scen::build_enterprise();
+  auto policies = scen::enterprise_policies(production);
+  production.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).access_vlan = 10;
+
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  msp::Ticket ticket = msp::Ticket::connectivity(7, DeviceId("h2"), DeviceId("h4"), "vlan",
+                                                 priv::TaskClass::VlanIssue);
+  twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);
+  twin.run("interface r7 Fa0/2 switchport-access-vlan 20");
+
+  PolicyEnforcer enforcer(spec::PolicyVerifier(policies), SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  EnforcementReport report =
+      enforcer.enforce(production, twin.extract_changes(), twin.privileges(), clock, "tech");
+  EXPECT_TRUE(report.applied);
+  EXPECT_TRUE(spec::PolicyVerifier(policies).verify_network(production).ok());
+  EXPECT_TRUE(enforcer.audit_intact());
+}
+
+}  // namespace
+}  // namespace heimdall::enforce

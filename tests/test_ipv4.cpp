@@ -1,0 +1,117 @@
+// Unit + property tests for IPv4 addresses, prefixes, interface addresses.
+#include <gtest/gtest.h>
+
+#include "netmodel/ipv4.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace heimdall::net {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255").value(), 0xffffffffu);
+  EXPECT_EQ(Ipv4Address::parse("10.0.1.2"), Ipv4Address::of(10, 0, 1, 2));
+  EXPECT_EQ(Ipv4Address::parse("192.168.0.1").to_string(), "192.168.0.1");
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3",
+                          "1.2.3.-4", "01x.2.3.4", "1.2.3.4 "}) {
+    EXPECT_FALSE(Ipv4Address::try_parse(bad).has_value()) << bad;
+    EXPECT_THROW(Ipv4Address::parse(bad), util::ParseError) << bad;
+  }
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address::parse("10.0.0.1"), Ipv4Address::parse("10.0.0.2"));
+  EXPECT_LT(Ipv4Address::parse("9.255.255.255"), Ipv4Address::parse("10.0.0.0"));
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  Ipv4Prefix prefix(Ipv4Address::parse("10.0.1.77"), 24);
+  EXPECT_EQ(prefix.network().to_string(), "10.0.1.0");
+  EXPECT_EQ(prefix.length(), 24u);
+  EXPECT_EQ(prefix.to_string(), "10.0.1.0/24");
+}
+
+TEST(Ipv4Prefix, ParseAndMaskForms) {
+  Ipv4Prefix prefix = Ipv4Prefix::parse("172.16.5.0/30");
+  EXPECT_EQ(prefix.netmask().to_string(), "255.255.255.252");
+  EXPECT_EQ(prefix.wildcard().to_string(), "0.0.0.3");
+  EXPECT_EQ(prefix.broadcast().to_string(), "172.16.5.3");
+  EXPECT_EQ(Ipv4Prefix::from_netmask(Ipv4Address::parse("172.16.5.1"),
+                                     Ipv4Address::parse("255.255.255.252")),
+            prefix);
+}
+
+TEST(Ipv4Prefix, ZeroAndFullLength) {
+  Ipv4Prefix all = Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(Ipv4Address::parse("1.2.3.4")));
+  EXPECT_EQ(all.netmask().value(), 0u);
+  Ipv4Prefix host = Ipv4Prefix::parse("10.1.1.1/32");
+  EXPECT_TRUE(host.contains(Ipv4Address::parse("10.1.1.1")));
+  EXPECT_FALSE(host.contains(Ipv4Address::parse("10.1.1.2")));
+}
+
+TEST(Ipv4Prefix, RejectsMalformed) {
+  EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0"), util::ParseError);
+  EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0/33"), util::ParseError);
+  EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0/x"), util::ParseError);
+  EXPECT_THROW(Ipv4Prefix::from_netmask(Ipv4Address(0), Ipv4Address::parse("255.0.255.0")),
+               util::ParseError);
+}
+
+TEST(Ipv4Prefix, Containment) {
+  Ipv4Prefix big = Ipv4Prefix::parse("10.0.0.0/8");
+  Ipv4Prefix small = Ipv4Prefix::parse("10.1.2.0/24");
+  Ipv4Prefix other = Ipv4Prefix::parse("192.168.0.0/16");
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.overlaps(small));
+  EXPECT_TRUE(small.overlaps(big));
+  EXPECT_FALSE(big.overlaps(other));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(InterfaceAddress, PreservesHostBits) {
+  InterfaceAddress address = InterfaceAddress::parse("10.0.1.77/24");
+  EXPECT_EQ(address.ip.to_string(), "10.0.1.77");
+  EXPECT_EQ(address.subnet().to_string(), "10.0.1.0/24");
+  EXPECT_EQ(address.host_prefix().to_string(), "10.0.1.77/32");
+  EXPECT_EQ(address.to_string(), "10.0.1.77/24");
+  EXPECT_THROW(InterfaceAddress::parse("10.0.1.77"), util::ParseError);
+}
+
+// Property sweep: parse(to_string(x)) == x over random addresses/prefixes.
+class Ipv4PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Ipv4PropertyTest, AddressRoundTrip) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Ipv4Address address(static_cast<std::uint32_t>(rng.next()));
+    EXPECT_EQ(Ipv4Address::parse(address.to_string()), address);
+  }
+}
+
+TEST_P(Ipv4PropertyTest, PrefixRoundTripAndInvariants) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    auto length = static_cast<unsigned>(rng.next_below(33));
+    Ipv4Prefix prefix(Ipv4Address(static_cast<std::uint32_t>(rng.next())), length);
+    EXPECT_EQ(Ipv4Prefix::parse(prefix.to_string()), prefix);
+    // Network and broadcast both live inside the prefix.
+    EXPECT_TRUE(prefix.contains(prefix.network()));
+    EXPECT_TRUE(prefix.contains(prefix.broadcast()));
+    // Netmask | wildcard covers all bits; netmask & wildcard is empty.
+    EXPECT_EQ(prefix.netmask().value() | prefix.wildcard().value(), 0xffffffffu);
+    EXPECT_EQ(prefix.netmask().value() & prefix.wildcard().value(), 0u);
+    // from_netmask inverts netmask().
+    EXPECT_EQ(Ipv4Prefix::from_netmask(prefix.network(), prefix.netmask()), prefix);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ipv4PropertyTest, ::testing::Values(1, 42, 2026));
+
+}  // namespace
+}  // namespace heimdall::net

@@ -1,0 +1,287 @@
+// Unit + integration tests for the MSP substrate: the RMM baseline, the
+// latency model, both workflows, attack-surface metrics, attacker scripts.
+#include <gtest/gtest.h>
+
+#include "msp/attacker.hpp"
+#include "msp/metrics.hpp"
+#include "msp/rmm.hpp"
+#include "msp/workflow.hpp"
+#include "scenarios/enterprise.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::msp {
+namespace {
+
+using namespace heimdall::net;
+using priv::Action;
+
+// --------------------------------------------------------------------- RMM --
+
+TEST(Rmm, AgentsDeployedEverywhereWithRoot) {
+  Network production = scen::build_enterprise();
+  RmmServer server(production);
+  EXPECT_EQ(server.agents().size(), production.devices().size());
+  for (const RmmAgent& agent : server.agents()) EXPECT_TRUE(agent.root);
+}
+
+TEST(Rmm, AuthenticationRules) {
+  Network production = scen::build_enterprise();
+  RmmServer server(production);
+  server.register_user({"alice", "pw1", false});
+  server.register_user({"bob", "pw2", true});
+
+  EXPECT_TRUE(server.authenticate({"alice", "pw1", false}));
+  EXPECT_FALSE(server.authenticate({"alice", "wrong", false}));
+  EXPECT_FALSE(server.authenticate({"bob", "pw2", false}));  // MFA required
+  EXPECT_TRUE(server.authenticate({"bob", "pw2", true}));
+  EXPECT_FALSE(server.authenticate({"mallory", "pw1", true}));
+  EXPECT_THROW(server.open_session({"mallory", "x", false}), util::InvariantError);
+}
+
+TEST(Rmm, SessionHasUnmediatedRoot) {
+  Network production = scen::build_enterprise();
+  RmmServer server(production);
+  server.register_user({"tech", "pw", false});
+  RmmSession session = server.open_session({"tech", "pw", false});
+
+  // The baseline gladly executes what Heimdall would deny: reading any
+  // config (secrets included) and rotating credentials.
+  twin::CommandResult shown = session.execute("show config r9");
+  EXPECT_TRUE(shown.ok);
+  EXPECT_NE(shown.output.find(production.device(DeviceId("r9")).secrets().snmp_community),
+            std::string::npos);
+  EXPECT_TRUE(session.execute("secret r9 enable_password attacker-owned").ok);
+  EXPECT_EQ(session.history().size(), 2u);
+}
+
+TEST(Rmm, CommitPushesUnverifiedChanges) {
+  Network production = scen::build_enterprise();
+  auto policies = scen::enterprise_policies(production);
+  RmmServer server(production);
+  server.register_user({"tech", "pw", false});
+  RmmSession session = server.open_session({"tech", "pw", false});
+
+  // A policy-violating change sails straight through the baseline.
+  session.execute("acl r9 DMZ_IN add 0 permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255");
+  EXPECT_EQ(session.commit(), 1u);
+  EXPECT_FALSE(spec::PolicyVerifier(policies).verify_network(production).ok());
+}
+
+// ----------------------------------------------------------------- latency --
+
+TEST(Latency, ReadCommandsCostMore) {
+  LatencyModel latency;
+  auto mutate_cost = latency.command_cost(twin::parse_command("interface r1 Gi0/0 down"));
+  auto read_cost = latency.command_cost(twin::parse_command("show routes r1"));
+  EXPECT_EQ(mutate_cost, latency.command_type_ms);
+  EXPECT_EQ(read_cost, latency.command_type_ms + latency.show_read_ms);
+}
+
+// --------------------------------------------------------------- workflows --
+
+struct WorkflowFixture {
+  Network healthy = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(healthy);
+  std::vector<scen::IssueSpec> issues = scen::enterprise_issues();
+
+  const scen::IssueSpec& issue(const std::string& key) const {
+    for (const scen::IssueSpec& candidate : issues)
+      if (candidate.key == key) return candidate;
+    throw util::NotFoundError("no issue " + key);
+  }
+};
+
+TEST(Workflow, CurrentResolvesVlanIssue) {
+  WorkflowFixture fixture;
+  const scen::IssueSpec& issue = fixture.issue("vlan");
+  Network production = fixture.healthy;
+  issue.inject(production);
+  Technician technician;
+  WorkflowResult result =
+      run_current_workflow(production, issue.ticket, issue.fix_script, technician, issue.resolved);
+  EXPECT_TRUE(result.issue_resolved);
+  EXPECT_EQ(result.steps.size(), 3u);
+  EXPECT_NE(result.step("operate"), nullptr);
+  EXPECT_GT(result.total_ms(), 0.0);
+}
+
+TEST(Workflow, HeimdallResolvesWithBoundedOverhead) {
+  WorkflowFixture fixture;
+  const scen::IssueSpec& issue = fixture.issue("vlan");
+  Technician technician;
+
+  Network current_production = fixture.healthy;
+  issue.inject(current_production);
+  WorkflowResult current = run_current_workflow(current_production, issue.ticket,
+                                                issue.fix_script, technician, issue.resolved);
+
+  Network heimdall_production = fixture.healthy;
+  issue.inject(heimdall_production);
+  enforce::PolicyEnforcer enforcer(spec::PolicyVerifier(fixture.policies),
+                                   enforce::SimulatedEnclave("v1", "hw"));
+  WorkflowResult heimdall =
+      run_heimdall_workflow(heimdall_production, enforcer, issue.ticket, issue.fix_script,
+                            technician, issue.resolved);
+
+  EXPECT_TRUE(current.issue_resolved);
+  EXPECT_TRUE(heimdall.issue_resolved);
+  // Heimdall is slower (twin setup + verification) but same order of
+  // magnitude - the paper's Figure 7 shape.
+  EXPECT_GT(heimdall.total_ms(), current.total_ms());
+  EXPECT_LT(heimdall.total_ms(), current.total_ms() * 4.0);
+  EXPECT_NE(heimdall.step("twin-setup"), nullptr);
+  EXPECT_NE(heimdall.step("verify+schedule"), nullptr);
+}
+
+TEST(Workflow, HeimdallBlocksWhatCurrentAllows) {
+  // The insider attack rides the vlan ticket: fix + malicious extra command.
+  WorkflowFixture fixture;
+  const scen::IssueSpec& issue = fixture.issue("vlan");
+  std::vector<std::string> attack_script = issue.fix_script;
+  attack_script.push_back("acl r9 DMZ_IN add 0 permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255");
+  Technician technician;
+
+  // Baseline: attack lands in production.
+  Network current_production = fixture.healthy;
+  issue.inject(current_production);
+  run_current_workflow(current_production, issue.ticket, attack_script, technician,
+                       issue.resolved);
+  EXPECT_FALSE(spec::PolicyVerifier(fixture.policies).verify_network(current_production).ok());
+
+  // Heimdall: the malicious command dies at the reference monitor (r9 is
+  // not even in the twin slice), the fix still applies.
+  Network heimdall_production = fixture.healthy;
+  issue.inject(heimdall_production);
+  enforce::PolicyEnforcer enforcer(spec::PolicyVerifier(fixture.policies),
+                                   enforce::SimulatedEnclave("v1", "hw"));
+  WorkflowResult result =
+      run_heimdall_workflow(heimdall_production, enforcer, issue.ticket, attack_script,
+                            technician, issue.resolved);
+  EXPECT_TRUE(result.issue_resolved);
+  EXPECT_GT(result.commands_denied, 0u);
+  EXPECT_TRUE(spec::PolicyVerifier(fixture.policies).verify_network(heimdall_production).ok());
+}
+
+// ----------------------------------------------------------------- metrics --
+
+TEST(Metrics, CatalogCountsDeterministic) {
+  Network production = scen::build_enterprise();
+  const Device& r9 = production.device(DeviceId("r9"));
+  auto catalog = device_command_catalog(r9);
+  EXPECT_FALSE(catalog.empty());
+  EXPECT_EQ(catalog.size(), device_command_catalog(r9).size());
+  // Hosts have fewer commands than routers.
+  auto host_catalog = device_command_catalog(production.device(DeviceId("h1")));
+  EXPECT_LT(host_catalog.size(), catalog.size());
+}
+
+TEST(Metrics, ProbesCoverDeviceSurface) {
+  Network production = scen::build_enterprise();
+  auto probes = device_attack_probes(production.device(DeviceId("r9")));
+  bool has_shutdown = false, has_acl = false, has_unbind = false;
+  for (const AttackProbe& probe : probes) {
+    has_shutdown |= probe.action == Action::InterfaceDown;
+    has_acl |= probe.action == Action::AclEdit;
+    has_unbind |= probe.action == Action::BindAcl;
+  }
+  EXPECT_TRUE(has_shutdown);
+  EXPECT_TRUE(has_acl);
+  EXPECT_TRUE(has_unbind);
+}
+
+TEST(Metrics, AttackSurfaceOrdering) {
+  // The paper's headline: All >= Heimdall, with a substantial gap; and
+  // Heimdall stays feasible.
+  Network production = scen::build_enterprise();
+  spec::PolicyVerifier policies(scen::enterprise_policies(production));
+
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  Ticket ticket = Ticket::connectivity(1, DeviceId("h2"), DeviceId("h4"), "x",
+                                       priv::TaskClass::Connectivity);
+
+  auto accessible = [&](twin::SliceStrategy strategy) {
+    return twin::compute_slice(production, dataplane, ticket, strategy).devices;
+  };
+
+  SurfaceQuery all_query{accessible(twin::SliceStrategy::All), nullptr};
+  SurfaceQuery neighbor_query{accessible(twin::SliceStrategy::Neighbor), nullptr};
+
+  twin::Slice heimdall_slice =
+      twin::compute_slice(production, dataplane, ticket, twin::SliceStrategy::TaskDriven);
+  Network sliced = twin::materialize_slice(production, heimdall_slice);
+  priv::PrivilegeSpec privileges =
+      priv::generate_privileges(sliced, priv::TaskClass::Connectivity);
+  SurfaceQuery heimdall_query{heimdall_slice.devices, &privileges};
+
+  SurfaceResult all = compute_attack_surface(production, policies, all_query);
+  SurfaceResult neighbor = compute_attack_surface(production, policies, neighbor_query);
+  SurfaceResult heimdall = compute_attack_surface(production, policies, heimdall_query);
+
+  EXPECT_GT(all.surface_pct, heimdall.surface_pct);
+  EXPECT_GT(all.surface_pct, neighbor.surface_pct);
+  EXPECT_GT(heimdall.surface_pct, 0.0);
+  EXPECT_LE(all.surface_pct, 100.0);
+  // All exposes every command on every node.
+  EXPECT_EQ(all.allowed_commands, all.available_commands);
+}
+
+TEST(Metrics, FeasibilityRules) {
+  Network production = scen::build_enterprise();
+  SurfaceQuery root_everywhere{{DeviceId("r7"), DeviceId("h2")}, nullptr};
+  EXPECT_TRUE(is_feasible(DeviceId("r7"), production, root_everywhere));
+  EXPECT_FALSE(is_feasible(DeviceId("r9"), production, root_everywhere));
+
+  // With privileges: accessible but no mutating rights => infeasible.
+  priv::PrivilegeSpec read_only;
+  read_only.allow(priv::read_only_actions(), priv::Resource::whole_device(DeviceId("r7")));
+  SurfaceQuery read_query{{DeviceId("r7")}, &read_only};
+  EXPECT_FALSE(is_feasible(DeviceId("r7"), production, read_query));
+
+  priv::PrivilegeSpec with_mutation = read_only;
+  with_mutation.allow({Action::SetSwitchport}, priv::Resource::whole_device(DeviceId("r7")));
+  SurfaceQuery mutate_query{{DeviceId("r7")}, &with_mutation};
+  EXPECT_TRUE(is_feasible(DeviceId("r7"), production, mutate_query));
+}
+
+// ---------------------------------------------------------------- attacker --
+
+TEST(Attacker, ScriptsAreWellFormedCommands) {
+  AttackScript exfiltration =
+      data_exfiltration_attack({DeviceId("r1"), DeviceId("r9")});
+  AttackScript erase = careless_erase(DeviceId("r6"));
+  AttackScript insider = insider_acl_attack(
+      DeviceId("r9"), "DMZ_IN", "acl r9 DMZ_IN remove 0",
+      "permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255");
+  for (const AttackScript* script : {&exfiltration, &erase, &insider}) {
+    EXPECT_FALSE(script->commands.empty());
+    for (const std::string& line : script->commands) {
+      EXPECT_NO_THROW(twin::parse_command(line)) << line;
+    }
+  }
+}
+
+TEST(Attacker, ExfiltrationBlockedByTwin) {
+  Network production = scen::build_enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  Ticket ticket = Ticket::connectivity(9, DeviceId("h2"), DeviceId("h4"), "cover ticket",
+                                       priv::TaskClass::VlanIssue);
+  twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);
+
+  AttackScript attack = data_exfiltration_attack(production.device_ids(DeviceKind::Router));
+  std::size_t leaked_secrets = 0;
+  for (const std::string& line : attack.commands) {
+    twin::CommandResult result = twin.run(line);
+    if (!result.ok) continue;
+    // Even permitted reads only ever show scrubbed configs.
+    for (const Device& device : production.devices()) {
+      if (!device.secrets().empty() &&
+          result.output.find(device.secrets().snmp_community) != std::string::npos)
+        ++leaked_secrets;
+    }
+  }
+  EXPECT_EQ(leaked_secrets, 0u);
+  EXPECT_GT(twin.monitor().denied_count(), 0u);
+}
+
+}  // namespace
+}  // namespace heimdall::msp

@@ -1,0 +1,290 @@
+// Unit tests for the network object model: ACL evaluation, devices,
+// topology queries, and Network container invariants.
+#include <gtest/gtest.h>
+
+#include "netmodel/network.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::net {
+namespace {
+
+Flow icmp(const char* src, const char* dst) {
+  Flow flow;
+  flow.src_ip = Ipv4Address::parse(src);
+  flow.dst_ip = Ipv4Address::parse(dst);
+  flow.protocol = IpProtocol::Icmp;
+  return flow;
+}
+
+Flow tcp(const char* src, std::uint16_t sport, const char* dst, std::uint16_t dport) {
+  Flow flow;
+  flow.src_ip = Ipv4Address::parse(src);
+  flow.dst_ip = Ipv4Address::parse(dst);
+  flow.protocol = IpProtocol::Tcp;
+  flow.src_port = sport;
+  flow.dst_port = dport;
+  return flow;
+}
+
+// -------------------------------------------------------------------- ACL --
+
+TEST(Acl, FirstMatchWins) {
+  Acl acl;
+  acl.name = "TEST";
+  AclEntry permit;
+  permit.action = AclEntry::Action::Permit;
+  permit.src = Ipv4Prefix::parse("10.0.1.0/24");
+  acl.entries.push_back(permit);
+  AclEntry deny;
+  deny.action = AclEntry::Action::Deny;
+  acl.entries.push_back(deny);
+
+  EXPECT_TRUE(acl_permits(acl, icmp("10.0.1.5", "10.0.2.1")));
+  EXPECT_FALSE(acl_permits(acl, icmp("10.0.3.5", "10.0.2.1")));
+}
+
+TEST(Acl, ImplicitDenyOnEmptyOrNoMatch) {
+  Acl acl;
+  acl.name = "EMPTY";
+  EXPECT_FALSE(acl_permits(acl, icmp("1.2.3.4", "5.6.7.8")));
+
+  AclEntry narrow;
+  narrow.action = AclEntry::Action::Permit;
+  narrow.dst = Ipv4Prefix::parse("10.9.9.0/24");
+  acl.entries.push_back(narrow);
+  EXPECT_FALSE(acl_permits(acl, icmp("1.2.3.4", "5.6.7.8")));
+}
+
+TEST(Acl, ProtocolSelector) {
+  AclEntry entry;
+  entry.action = AclEntry::Action::Permit;
+  entry.protocol = IpProtocol::Tcp;
+  EXPECT_TRUE(entry_matches(entry, tcp("1.1.1.1", 1024, "2.2.2.2", 80)));
+  EXPECT_FALSE(entry_matches(entry, icmp("1.1.1.1", "2.2.2.2")));
+
+  entry.protocol = IpProtocol::Any;
+  EXPECT_TRUE(entry_matches(entry, tcp("1.1.1.1", 1024, "2.2.2.2", 80)));
+  EXPECT_TRUE(entry_matches(entry, icmp("1.1.1.1", "2.2.2.2")));
+}
+
+TEST(Acl, PortRanges) {
+  AclEntry entry;
+  entry.action = AclEntry::Action::Permit;
+  entry.protocol = IpProtocol::Tcp;
+  entry.dst_ports = PortRange{80, 443};
+  EXPECT_TRUE(entry_matches(entry, tcp("1.1.1.1", 5000, "2.2.2.2", 80)));
+  EXPECT_TRUE(entry_matches(entry, tcp("1.1.1.1", 5000, "2.2.2.2", 443)));
+  EXPECT_FALSE(entry_matches(entry, tcp("1.1.1.1", 5000, "2.2.2.2", 8080)));
+  // Port-constrained entries never match portless protocols.
+  EXPECT_FALSE(entry_matches(entry, icmp("1.1.1.1", "2.2.2.2")));
+}
+
+TEST(Acl, RendersCiscoSyntax) {
+  AclEntry entry;
+  entry.action = AclEntry::Action::Permit;
+  entry.protocol = IpProtocol::Tcp;
+  entry.src = Ipv4Prefix::parse("10.0.1.0/24");
+  entry.dst = Ipv4Prefix::parse("10.0.2.5/32");
+  entry.dst_ports = PortRange::exactly(80);
+  EXPECT_EQ(entry.to_string(), "permit tcp 10.0.1.0 0.0.0.255 host 10.0.2.5 eq 80");
+
+  AclEntry deny_any;
+  deny_any.action = AclEntry::Action::Deny;
+  EXPECT_EQ(deny_any.to_string(), "deny ip any any");
+}
+
+// ----------------------------------------------------------------- Device --
+
+TEST(Device, InterfaceManagement) {
+  Device device(DeviceId("r1"), DeviceKind::Router);
+  Interface iface;
+  iface.id = InterfaceId("Gi0/0");
+  device.add_interface(iface);
+  EXPECT_NE(device.find_interface(InterfaceId("Gi0/0")), nullptr);
+  EXPECT_EQ(device.find_interface(InterfaceId("Gi0/1")), nullptr);
+  EXPECT_THROW(device.interface(InterfaceId("Gi0/1")), util::NotFoundError);
+  EXPECT_THROW(device.add_interface(iface), util::InvariantError);  // duplicate
+}
+
+TEST(Device, InterfaceWithAddressMatchesExactIp) {
+  Device device(DeviceId("r1"), DeviceKind::Router);
+  Interface iface;
+  iface.id = InterfaceId("Gi0/0");
+  iface.address = InterfaceAddress{Ipv4Address::parse("10.0.1.1"), 24};
+  device.add_interface(iface);
+  EXPECT_NE(device.interface_with_address(Ipv4Address::parse("10.0.1.1")), nullptr);
+  // Same subnet, different host: no match.
+  EXPECT_EQ(device.interface_with_address(Ipv4Address::parse("10.0.1.2")), nullptr);
+}
+
+TEST(Device, AclManagement) {
+  Device device(DeviceId("r1"), DeviceKind::Router);
+  Acl acl;
+  acl.name = "WEB";
+  device.add_acl(acl);
+  EXPECT_NE(device.find_acl("WEB"), nullptr);
+  EXPECT_THROW(device.add_acl(acl), util::InvariantError);
+  device.remove_acl("WEB");
+  EXPECT_EQ(device.find_acl("WEB"), nullptr);
+}
+
+TEST(Device, KindParsing) {
+  EXPECT_EQ(parse_device_kind("router"), DeviceKind::Router);
+  EXPECT_EQ(parse_device_kind("Switch"), DeviceKind::Switch);
+  EXPECT_EQ(parse_device_kind("HOST"), DeviceKind::Host);
+  EXPECT_THROW(parse_device_kind("toaster"), util::ParseError);
+}
+
+// --------------------------------------------------------------- Topology --
+
+Endpoint ep(const char* device, const char* iface) {
+  return Endpoint{DeviceId(device), InterfaceId(iface)};
+}
+
+TEST(Topology, LinkQueries) {
+  Topology topology;
+  topology.add_link({ep("a", "1"), ep("b", "1")});
+  topology.add_link({ep("b", "2"), ep("c", "1")});
+
+  EXPECT_EQ(topology.peer_of(ep("a", "1")), ep("b", "1"));
+  EXPECT_EQ(topology.peer_of(ep("c", "1")), ep("b", "2"));
+  EXPECT_FALSE(topology.peer_of(ep("a", "9")).has_value());
+  EXPECT_EQ(topology.neighbors(DeviceId("b")),
+            (std::vector<DeviceId>{DeviceId("a"), DeviceId("c")}));
+}
+
+TEST(Topology, RejectsDoubleWiringAndSelfLinks) {
+  Topology topology;
+  topology.add_link({ep("a", "1"), ep("b", "1")});
+  EXPECT_THROW(topology.add_link({ep("a", "1"), ep("c", "1")}), util::InvariantError);
+  EXPECT_THROW(topology.add_link({ep("d", "1"), ep("d", "1")}), util::InvariantError);
+}
+
+TEST(Topology, ShortestPath) {
+  // a - b - c - e, a - d - e: two equal 3-hop device paths a..e? No:
+  // a-b-c-e is 4 devices, a-d-e is 3 devices. Shortest is via d.
+  Topology topology;
+  topology.add_link({ep("a", "1"), ep("b", "1")});
+  topology.add_link({ep("b", "2"), ep("c", "1")});
+  topology.add_link({ep("c", "2"), ep("e", "1")});
+  topology.add_link({ep("a", "2"), ep("d", "1")});
+  topology.add_link({ep("d", "2"), ep("e", "2")});
+
+  auto path = topology.shortest_path(DeviceId("a"), DeviceId("e"));
+  EXPECT_EQ(path, (std::vector<DeviceId>{DeviceId("a"), DeviceId("d"), DeviceId("e")}));
+  EXPECT_EQ(topology.shortest_path(DeviceId("a"), DeviceId("a")),
+            (std::vector<DeviceId>{DeviceId("a")}));
+  EXPECT_TRUE(topology.shortest_path(DeviceId("a"), DeviceId("zzz")).empty());
+}
+
+TEST(Topology, DevicesOnShortestPathsUnionsEcmp) {
+  // Diamond: a-b-d and a-c-d are both shortest; the union holds all four.
+  Topology topology;
+  topology.add_link({ep("a", "1"), ep("b", "1")});
+  topology.add_link({ep("a", "2"), ep("c", "1")});
+  topology.add_link({ep("b", "2"), ep("d", "1")});
+  topology.add_link({ep("c", "2"), ep("d", "2")});
+  // A longer detour that must NOT be included.
+  topology.add_link({ep("a", "3"), ep("x", "1")});
+  topology.add_link({ep("x", "2"), ep("y", "1")});
+  topology.add_link({ep("y", "2"), ep("d", "3")});
+
+  auto devices = topology.devices_on_shortest_paths(DeviceId("a"), DeviceId("d"));
+  EXPECT_EQ(devices, (std::set<DeviceId>{DeviceId("a"), DeviceId("b"), DeviceId("c"),
+                                         DeviceId("d")}));
+  EXPECT_TRUE(topology.devices_on_shortest_paths(DeviceId("a"), DeviceId("missing")).empty());
+}
+
+// ---------------------------------------------------------------- Network --
+
+TEST(Network, DeviceLifecycle) {
+  Network network("test");
+  network.add_device(Device(DeviceId("r1"), DeviceKind::Router));
+  EXPECT_TRUE(network.has_device(DeviceId("r1")));
+  EXPECT_THROW(network.add_device(Device(DeviceId("r1"), DeviceKind::Router)),
+               util::InvariantError);
+  EXPECT_THROW(network.device(DeviceId("nope")), util::NotFoundError);
+
+  network.remove_device(DeviceId("r1"));
+  EXPECT_FALSE(network.has_device(DeviceId("r1")));
+}
+
+TEST(Network, RemoveDevicePrunesLinks) {
+  Network network("test");
+  for (const char* name : {"a", "b", "c"}) {
+    Device device(DeviceId(name), DeviceKind::Router);
+    Interface iface;
+    iface.id = InterfaceId("e0");
+    device.add_interface(iface);
+    Interface iface2;
+    iface2.id = InterfaceId("e1");
+    device.add_interface(iface2);
+    network.add_device(std::move(device));
+  }
+  network.connect(ep("a", "e0"), ep("b", "e0"));
+  network.connect(ep("b", "e1"), ep("c", "e0"));
+  network.remove_device(DeviceId("b"));
+  EXPECT_TRUE(network.topology().links().empty());
+}
+
+TEST(Network, ConnectValidatesEndpoints) {
+  Network network("test");
+  network.add_device(Device(DeviceId("a"), DeviceKind::Router));
+  network.add_device(Device(DeviceId("b"), DeviceKind::Router));
+  EXPECT_THROW(network.connect(ep("a", "missing"), ep("b", "missing")), util::NotFoundError);
+}
+
+TEST(Network, EndpointOfIpAndPrimaryIp) {
+  Network network("test");
+  Device device(DeviceId("r1"), DeviceKind::Router);
+  Interface iface;
+  iface.id = InterfaceId("Gi0/0");
+  iface.address = InterfaceAddress{Ipv4Address::parse("10.0.1.1"), 24};
+  device.add_interface(iface);
+  network.add_device(std::move(device));
+
+  EXPECT_EQ(network.endpoint_of_ip(Ipv4Address::parse("10.0.1.1")), ep("r1", "Gi0/0"));
+  EXPECT_FALSE(network.endpoint_of_ip(Ipv4Address::parse("10.0.9.9")).has_value());
+  EXPECT_EQ(network.primary_ip(DeviceId("r1")), Ipv4Address::parse("10.0.1.1"));
+  EXPECT_FALSE(network.primary_ip(DeviceId("ghost")).has_value());
+}
+
+TEST(Network, ValidateCatchesDanglingAclReference) {
+  Network network("test");
+  Device device(DeviceId("r1"), DeviceKind::Router);
+  Interface iface;
+  iface.id = InterfaceId("Gi0/0");
+  iface.acl_in = "GHOST";
+  device.add_interface(iface);
+  network.add_device(std::move(device));
+  EXPECT_THROW(network.validate(), util::InvariantError);
+}
+
+TEST(Network, ValidateCatchesUndeclaredVlan) {
+  Network network("test");
+  Device device(DeviceId("sw1"), DeviceKind::Switch);
+  Interface iface;
+  iface.id = InterfaceId("Fa0/1");
+  iface.mode = SwitchportMode::Access;
+  iface.access_vlan = 77;
+  device.add_interface(iface);
+  network.add_device(std::move(device));
+  EXPECT_THROW(network.validate(), util::InvariantError);
+}
+
+TEST(Network, ValueSemanticsCloneIsIndependent) {
+  Network original("prod");
+  Device device(DeviceId("r1"), DeviceKind::Router);
+  Interface iface;
+  iface.id = InterfaceId("Gi0/0");
+  device.add_interface(iface);
+  original.add_device(std::move(device));
+
+  Network clone = original;
+  clone.device(DeviceId("r1")).interface(InterfaceId("Gi0/0")).shutdown = true;
+  EXPECT_FALSE(original.device(DeviceId("r1")).interface(InterfaceId("Gi0/0")).shutdown);
+  EXPECT_NE(original, clone);
+}
+
+}  // namespace
+}  // namespace heimdall::net

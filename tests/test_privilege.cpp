@@ -1,0 +1,353 @@
+// Unit tests for the Privilege_msp DSL: actions, resources, predicates,
+// evaluation semantics, JSON front-end, task-driven generation, escalation.
+#include <gtest/gtest.h>
+
+#include "privilege/escalation.hpp"
+#include "privilege/explain.hpp"
+#include "privilege/generator.hpp"
+#include "privilege/json_frontend.hpp"
+#include "scenarios/enterprise.hpp"
+#include "twin/slice.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::priv {
+namespace {
+
+using namespace heimdall::net;
+
+// ---------------------------------------------------------------- actions --
+
+TEST(Action, NamesRoundTrip) {
+  for (Action action : all_actions()) {
+    EXPECT_EQ(parse_action(to_string(action)), action);
+  }
+  EXPECT_THROW(parse_action("frobnicate"), util::ParseError);
+}
+
+TEST(Action, Classification) {
+  EXPECT_TRUE(is_read_only(Action::ShowConfig));
+  EXPECT_TRUE(is_read_only(Action::Ping));
+  EXPECT_FALSE(is_read_only(Action::AclEdit));
+  EXPECT_TRUE(is_mutating(Action::InterfaceDown));
+  EXPECT_TRUE(is_high_impact(Action::EraseConfig));
+  EXPECT_TRUE(is_high_impact(Action::ChangeSecret));
+  EXPECT_FALSE(is_high_impact(Action::AclEdit));
+  // Every high-impact action is mutating.
+  for (Action action : all_actions()) {
+    if (is_high_impact(action)) EXPECT_TRUE(is_mutating(action));
+  }
+}
+
+TEST(Action, GlobMatching) {
+  auto shows = actions_matching("show-*");
+  EXPECT_EQ(shows.size(), 7u);
+  EXPECT_EQ(actions_matching("*").size(), all_actions().size());
+  EXPECT_EQ(actions_matching("ping").size(), 1u);
+  EXPECT_TRUE(actions_matching("no-such-*").empty());
+}
+
+// -------------------------------------------------------------- resources --
+
+TEST(Resource, CoversExactAndGlob) {
+  Resource concrete = Resource::interface(DeviceId("r3"), InterfaceId("Gi0/1"));
+  EXPECT_TRUE((Resource{"r3", ObjectKind::Interface, "Gi0/1"}).covers(concrete));
+  EXPECT_TRUE((Resource{"r3", ObjectKind::Interface, "*"}).covers(concrete));
+  EXPECT_TRUE((Resource{"r?", ObjectKind::Interface, "Gi0/*"}).covers(concrete));
+  EXPECT_TRUE((Resource{"*", ObjectKind::Interface, ""}).covers(concrete));
+  EXPECT_FALSE((Resource{"r4", ObjectKind::Interface, "*"}).covers(concrete));
+  EXPECT_FALSE((Resource{"r3", ObjectKind::AclObject, "*"}).covers(concrete));
+}
+
+TEST(Resource, WholeDeviceCoversAllObjects) {
+  Resource whole = Resource::whole_device(DeviceId("r3"));
+  EXPECT_TRUE(whole.covers(Resource::interface(DeviceId("r3"), InterfaceId("Gi0/1"))));
+  EXPECT_TRUE(whole.covers(Resource::acl(DeviceId("r3"), "WEB")));
+  EXPECT_TRUE(whole.covers(Resource::secret(DeviceId("r3"), "ipsec_key")));
+  EXPECT_FALSE(whole.covers(Resource::acl(DeviceId("r4"), "WEB")));
+}
+
+TEST(Resource, SpecificityOrdering) {
+  Resource exact = Resource::interface(DeviceId("r3"), InterfaceId("Gi0/1"));
+  Resource name_glob{"r3", ObjectKind::Interface, "*"};
+  Resource device_glob{"*", ObjectKind::Interface, "Gi0/1"};
+  Resource whole = Resource::whole_device(DeviceId("r3"));
+  Resource any{"*", ObjectKind::Device, ""};
+  EXPECT_GT(exact.specificity(), name_glob.specificity());
+  EXPECT_GT(name_glob.specificity(), device_glob.specificity());
+  EXPECT_GT(whole.specificity(), any.specificity());
+}
+
+TEST(Resource, ObjectKindRoundTrip) {
+  for (ObjectKind kind : {ObjectKind::Device, ObjectKind::Interface, ObjectKind::AclObject,
+                          ObjectKind::OspfObject, ObjectKind::VlanObject, ObjectKind::RouteObject,
+                          ObjectKind::SecretObject}) {
+    EXPECT_EQ(parse_object_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_object_kind("widget"), util::ParseError);
+}
+
+// ------------------------------------------------------------- evaluation --
+
+TEST(PrivilegeSpec, DefaultDeny) {
+  PrivilegeSpec spec;
+  Decision decision = spec.evaluate(Action::Ping, Resource::whole_device(DeviceId("r1")));
+  EXPECT_FALSE(decision.allowed);
+  EXPECT_NE(decision.reason.find("default deny"), std::string::npos);
+}
+
+TEST(PrivilegeSpec, AllowThenEvaluate) {
+  PrivilegeSpec spec;
+  spec.allow({Action::Ping, Action::ShowConfig}, Resource::whole_device(DeviceId("r1")));
+  EXPECT_TRUE(spec.allows(Action::Ping, Resource::whole_device(DeviceId("r1"))));
+  EXPECT_FALSE(spec.allows(Action::Ping, Resource::whole_device(DeviceId("r2"))));
+  EXPECT_FALSE(spec.allows(Action::AclEdit, Resource::whole_device(DeviceId("r1"))));
+}
+
+TEST(PrivilegeSpec, MostSpecificWins) {
+  PrivilegeSpec spec;
+  // Broad deny, specific allow: the allow is more specific, so it wins.
+  spec.deny({Action::AclEdit}, Resource{"*", ObjectKind::AclObject, "*"});
+  spec.allow({Action::AclEdit}, Resource::acl(DeviceId("r3"), "WEB"));
+  EXPECT_TRUE(spec.allows(Action::AclEdit, Resource::acl(DeviceId("r3"), "WEB")));
+  EXPECT_FALSE(spec.allows(Action::AclEdit, Resource::acl(DeviceId("r3"), "OTHER")));
+}
+
+TEST(PrivilegeSpec, DenyWinsSpecificityTies) {
+  PrivilegeSpec spec;
+  spec.allow({Action::AclEdit}, Resource::acl(DeviceId("r3"), "WEB"));
+  spec.deny({Action::AclEdit}, Resource::acl(DeviceId("r3"), "WEB"));
+  EXPECT_FALSE(spec.allows(Action::AclEdit, Resource::acl(DeviceId("r3"), "WEB")));
+
+  // Order-independent: deny first, allow second.
+  PrivilegeSpec reversed;
+  reversed.deny({Action::AclEdit}, Resource::acl(DeviceId("r3"), "WEB"));
+  reversed.allow({Action::AclEdit}, Resource::acl(DeviceId("r3"), "WEB"));
+  EXPECT_FALSE(reversed.allows(Action::AclEdit, Resource::acl(DeviceId("r3"), "WEB")));
+}
+
+TEST(PrivilegeSpec, SecretDenyBeatsWholeDeviceAllow) {
+  PrivilegeSpec spec;
+  spec.allow({Action::ChangeSecret}, Resource::whole_device(DeviceId("r1")));
+  spec.deny({Action::ChangeSecret}, Resource{"r1", ObjectKind::SecretObject, "*"});
+  EXPECT_FALSE(spec.allows(Action::ChangeSecret, Resource::secret(DeviceId("r1"), "ipsec_key")));
+}
+
+TEST(PrivilegeSpec, CountAllowed) {
+  PrivilegeSpec spec;
+  spec.allow({Action::Ping}, Resource::whole_device(DeviceId("r1")));
+  std::vector<std::pair<Action, Resource>> catalog = {
+      {Action::Ping, Resource::whole_device(DeviceId("r1"))},
+      {Action::Ping, Resource::whole_device(DeviceId("r2"))},
+      {Action::AclEdit, Resource::whole_device(DeviceId("r1"))},
+  };
+  EXPECT_EQ(spec.count_allowed(catalog), 1u);
+}
+
+// ---------------------------------------------------------- JSON frontend --
+
+TEST(JsonFrontend, ParsesAllowDeny) {
+  PrivilegeSpec spec = parse_privilege_json(R"({
+    "privileges": [
+      {"effect": "allow", "actions": ["show-*", "ping"],
+       "resource": {"device": "r3", "kind": "device"}},
+      {"effect": "deny", "actions": ["*"],
+       "resource": {"device": "*", "kind": "secret", "name": "*"}}
+    ]
+  })");
+  EXPECT_TRUE(spec.allows(Action::ShowConfig, Resource::whole_device(DeviceId("r3"))));
+  EXPECT_TRUE(spec.allows(Action::Ping, Resource::whole_device(DeviceId("r3"))));
+  EXPECT_FALSE(spec.allows(Action::AclEdit, Resource::whole_device(DeviceId("r3"))));
+  EXPECT_FALSE(spec.allows(Action::ChangeSecret, Resource::secret(DeviceId("r3"), "ipsec_key")));
+}
+
+TEST(JsonFrontend, RejectsTyposAndBadShapes) {
+  EXPECT_THROW(parse_privilege_json(R"({"privileges": [
+    {"effect": "allow", "actions": ["show-cofnig"],
+     "resource": {"device": "r3", "kind": "device"}}]})"),
+               util::ParseError);
+  EXPECT_THROW(parse_privilege_json(R"({"privileges": [
+    {"effect": "maybe", "actions": ["ping"],
+     "resource": {"device": "r3", "kind": "device"}}]})"),
+               util::ParseError);
+  EXPECT_THROW(parse_privilege_json(R"({"wrong_key": []})"), util::ParseError);
+  EXPECT_THROW(parse_privilege_json("not json"), util::ParseError);
+}
+
+TEST(JsonFrontend, RoundTrips) {
+  Network slice = scen::build_enterprise();
+  PrivilegeSpec original = generate_privileges(slice, TaskClass::Connectivity);
+  PrivilegeSpec reparsed = privilege_from_json(privilege_to_json(original));
+  ASSERT_EQ(reparsed.predicates().size(), original.predicates().size());
+  for (std::size_t i = 0; i < original.predicates().size(); ++i) {
+    EXPECT_EQ(reparsed.predicates()[i], original.predicates()[i]) << i;
+  }
+}
+
+// ---------------------------------------------------------------- generator --
+
+TEST(Generator, ReadOnlyEverywhereMutationsScoped) {
+  Network production = scen::build_enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  msp::Ticket ticket = msp::Ticket::connectivity(1, DeviceId("h2"), DeviceId("h4"), "vlan",
+                                                 TaskClass::VlanIssue);
+  twin::Slice slice = twin::compute_slice(production, dataplane, ticket,
+                                          twin::SliceStrategy::TaskDriven);
+  Network sliced = twin::materialize_slice(production, slice);
+  PrivilegeSpec spec = generate_privileges(sliced, TaskClass::VlanIssue);
+
+  // Read-only everywhere in the slice (hosts included).
+  for (const Device& device : sliced.devices()) {
+    EXPECT_TRUE(spec.allows(Action::ShowConfig, Resource::whole_device(device.id())))
+        << device.id().str();
+  }
+  // VLAN mutations on slice routers; none outside the slice.
+  EXPECT_TRUE(spec.allows(Action::SetSwitchport,
+                          Resource::interface(DeviceId("r7"), InterfaceId("Fa0/2"))));
+  EXPECT_FALSE(spec.allows(Action::SetSwitchport,
+                           Resource::interface(DeviceId("r9"), InterfaceId("Gi0/0"))));
+  // Out-of-class mutations denied even in the slice.
+  EXPECT_FALSE(spec.allows(Action::AclEdit, Resource::acl(DeviceId("r7"), "X")));
+  // High-impact: never.
+  EXPECT_FALSE(spec.allows(Action::EraseConfig, Resource::whole_device(DeviceId("r7"))));
+  EXPECT_FALSE(spec.allows(Action::ChangeSecret, Resource::secret(DeviceId("r7"), "ipsec_key")));
+  // No mutations on hosts.
+  EXPECT_FALSE(spec.allows(Action::InterfaceDown,
+                           Resource::interface(DeviceId("h2"), InterfaceId("eth0"))));
+  // ShowTopology works globally.
+  EXPECT_TRUE(spec.allows(Action::ShowTopology, Resource{"*", ObjectKind::Device, ""}));
+}
+
+TEST(Generator, MonitoringIsPureReadOnly) {
+  Network production = scen::build_enterprise();
+  PrivilegeSpec spec = generate_privileges(production, TaskClass::Monitoring);
+  for (const Device& device : production.devices()) {
+    for (Action action : all_actions()) {
+      if (is_mutating(action)) {
+        EXPECT_FALSE(spec.allows(action, Resource::whole_device(device.id())))
+            << to_string(action) << " on " << device.id().str();
+      }
+    }
+  }
+}
+
+TEST(Generator, TaskClassesGrantTheirTools) {
+  Network production = scen::build_enterprise();
+  struct Expectation {
+    TaskClass task;
+    Action granted;
+    Action denied;
+  };
+  for (const Expectation& expectation :
+       {Expectation{TaskClass::OspfIssue, Action::OspfNetworkEdit, Action::SetSwitchport},
+        Expectation{TaskClass::AclChange, Action::AclEdit, Action::OspfNetworkEdit},
+        Expectation{TaskClass::IspReconfig, Action::StaticRouteAdd, Action::AclDelete}}) {
+    PrivilegeSpec spec = generate_privileges(production, expectation.task);
+    EXPECT_TRUE(spec.allows(expectation.granted, Resource::whole_device(DeviceId("r1"))))
+        << to_string(expectation.task);
+    EXPECT_FALSE(spec.allows(expectation.denied, Resource::whole_device(DeviceId("r1"))))
+        << to_string(expectation.task);
+  }
+}
+
+// ---------------------------------------------------------------- explainer --
+
+TEST(Explain, EveryActionHasAPhrase) {
+  for (Action action : all_actions()) {
+    EXPECT_FALSE(human_phrase(action).empty());
+    // Phrases are English sentences, not the canonical enum names.
+    EXPECT_NE(human_phrase(action), to_string(action));
+    EXPECT_NE(human_phrase(action).find(' '), std::string::npos) << to_string(action);
+  }
+}
+
+TEST(Explain, ResourcePhrases) {
+  EXPECT_EQ(human_phrase(Resource::whole_device(DeviceId("r3"))), "device r3");
+  EXPECT_EQ(human_phrase(Resource{"*", ObjectKind::Device, ""}), "any device");
+  EXPECT_EQ(human_phrase(Resource::acl(DeviceId("r9"), "DMZ_IN")), "access-list DMZ_IN on device r9");
+  EXPECT_EQ(human_phrase(Resource{"r9", ObjectKind::SecretObject, "*"}),
+            "any credential on device r9");
+  EXPECT_EQ(human_phrase(Resource::interface(DeviceId("r7"), InterfaceId("Fa0/2"))),
+            "interface Fa0/2 on device r7");
+}
+
+TEST(Explain, PredicateSentences) {
+  Predicate allow{Effect::Allow, {Action::Ping, Action::ShowRoutes},
+                  Resource::whole_device(DeviceId("r5"))};
+  std::string sentence = explain_predicate(allow);
+  EXPECT_NE(sentence.find("MAY run connectivity tests and view the routing table"),
+            std::string::npos)
+      << sentence;
+  Predicate deny{Effect::Deny, {Action::ChangeSecret}, Resource{"r5", ObjectKind::SecretObject, "*"}};
+  EXPECT_NE(explain_predicate(deny).find("MAY NOT change credentials"), std::string::npos);
+}
+
+TEST(Explain, SpecSummaryGroupsDevicesAndEndsWithDefaultDeny) {
+  Network slice = scen::build_enterprise();
+  PrivilegeSpec spec = generate_privileges(slice, TaskClass::VlanIssue);
+  std::string summary = explain_privileges(spec);
+  EXPECT_NE(summary.find("The technician:"), std::string::npos);
+  EXPECT_NE(summary.find("denied by default"), std::string::npos);
+  // Grouping: the per-device read-only grants collapse into one line
+  // listing several devices rather than one bullet per device.
+  EXPECT_NE(summary.find(" and "), std::string::npos);
+  EXPECT_NE(summary.find("MAY NOT"), std::string::npos);
+  // No raw enum names leak through.
+  EXPECT_EQ(summary.find("show-config"), std::string::npos);
+}
+
+// --------------------------------------------------------------- escalation --
+
+TEST(Escalation, VerdictMatrix) {
+  EscalationPolicy policy(TaskClass::OspfIssue, {DeviceId("r5"), DeviceId("r8")});
+
+  // Read-only in slice: auto.
+  EXPECT_EQ(policy.assess({Action::ShowRoutes, Resource::whole_device(DeviceId("r5")), ""}).verdict,
+            EscalationVerdict::AutoGranted);
+  // Task-compatible mutation in slice: granted.
+  EXPECT_EQ(policy.assess({Action::SetOspfCost,
+                           Resource::interface(DeviceId("r5"), InterfaceId("Gi0/3")), ""})
+                .verdict,
+            EscalationVerdict::Granted);
+  // Out-of-class mutation in slice: admin approval.
+  EXPECT_EQ(policy.assess({Action::AclEdit, Resource::acl(DeviceId("r5"), "X"), ""}).verdict,
+            EscalationVerdict::RequiresAdmin);
+  // Outside the slice: rejected.
+  EXPECT_EQ(policy.assess({Action::ShowRoutes, Resource::whole_device(DeviceId("r9")), ""}).verdict,
+            EscalationVerdict::Rejected);
+  // High impact: rejected.
+  EXPECT_EQ(policy.assess({Action::Reboot, Resource::whole_device(DeviceId("r5")), ""}).verdict,
+            EscalationVerdict::Rejected);
+  // Secrets: rejected.
+  EXPECT_EQ(
+      policy.assess({Action::BindAcl, Resource::secret(DeviceId("r5"), "ipsec_key"), ""}).verdict,
+      EscalationVerdict::Rejected);
+  // Glob device: rejected (cannot escalate onto patterns).
+  EXPECT_EQ(policy.assess({Action::ShowRoutes, Resource{"*", ObjectKind::Device, ""}, ""}).verdict,
+            EscalationVerdict::Rejected);
+}
+
+TEST(Escalation, ApplyExtendsSpec) {
+  EscalationPolicy policy(TaskClass::OspfIssue, {DeviceId("r5")});
+  PrivilegeSpec spec;
+
+  EscalationRequest granted{Action::SetOspfCost, Resource::whole_device(DeviceId("r5")),
+                            "need to tune costs"};
+  EXPECT_EQ(policy.apply(spec, granted).verdict, EscalationVerdict::Granted);
+  EXPECT_TRUE(spec.allows(Action::SetOspfCost, Resource::whole_device(DeviceId("r5"))));
+
+  EscalationRequest admin_needed{Action::AclEdit, Resource::acl(DeviceId("r5"), "X"), "why not"};
+  EXPECT_EQ(policy.apply(spec, admin_needed, /*admin_approved=*/false).verdict,
+            EscalationVerdict::RequiresAdmin);
+  EXPECT_FALSE(spec.allows(Action::AclEdit, Resource::acl(DeviceId("r5"), "X")));
+  EXPECT_EQ(policy.apply(spec, admin_needed, /*admin_approved=*/true).verdict,
+            EscalationVerdict::RequiresAdmin);
+  EXPECT_TRUE(spec.allows(Action::AclEdit, Resource::acl(DeviceId("r5"), "X")));
+
+  EscalationRequest rejected{Action::EraseConfig, Resource::whole_device(DeviceId("r5")), "oops"};
+  EXPECT_EQ(policy.apply(spec, rejected, /*admin_approved=*/true).verdict,
+            EscalationVerdict::Rejected);
+  EXPECT_FALSE(spec.allows(Action::EraseConfig, Resource::whole_device(DeviceId("r5"))));
+}
+
+}  // namespace
+}  // namespace heimdall::priv

@@ -1,0 +1,359 @@
+// Property-based tests: randomized networks and inputs, checked against
+// invariants rather than fixed expectations. Seeds are parameterized so each
+// suite runs across several deterministic universes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "config/diff.hpp"
+#include "config/parse.hpp"
+#include "config/serialize.hpp"
+#include "dataplane/reachability.hpp"
+#include "enforcer/audit.hpp"
+#include "enforcer/scheduler.hpp"
+#include "privilege/generator.hpp"
+#include "scenarios/builder.hpp"
+#include "twin/console.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+
+namespace heimdall {
+namespace {
+
+using namespace heimdall::net;
+using util::Rng;
+
+/// Builds a random tree-topology OSPF network: `routers` routers, one host
+/// hanging off each of a random subset. All interfaces OSPF area 0.
+Network random_tree_network(Rng& rng, int routers) {
+  Network network("random");
+  for (int i = 0; i < routers; ++i) network.add_device(scen::make_router("r" + std::to_string(i)));
+
+  // Tree edges: node i attaches to a random earlier node.
+  for (int i = 1; i < routers; ++i) {
+    int parent = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i)));
+    auto ip_a = Ipv4Address::of(10, static_cast<std::uint8_t>(parent),
+                                static_cast<std::uint8_t>(i), 1);
+    auto ip_b = Ipv4Address::of(10, static_cast<std::uint8_t>(parent),
+                                static_cast<std::uint8_t>(i), 2);
+    scen::connect_routers(network, "r" + std::to_string(parent), "t" + std::to_string(i), ip_a,
+                          "r" + std::to_string(i), "u" + std::to_string(parent), ip_b);
+  }
+
+  // Hosts on a random subset of routers (always at least two).
+  int hosts = 0;
+  for (int i = 0; i < routers; ++i) {
+    if (hosts >= 2 && !rng.chance(0.6)) continue;
+    auto gateway = Ipv4Address::of(10, 200, static_cast<std::uint8_t>(i), 1);
+    auto address = Ipv4Address::of(10, 200, static_cast<std::uint8_t>(i), 10);
+    std::string host = "h" + std::to_string(i);
+    network.add_device(scen::make_host(host, address, 24, gateway));
+    scen::attach_host_routed(network, "r" + std::to_string(i), "host0", gateway, 24, host);
+    ++hosts;
+  }
+
+  for (Device& device : network.devices()) {
+    if (!device.is_router()) continue;
+    for (const Interface& iface : device.interfaces()) {
+      if (iface.address) scen::ospf_network(device, iface.address->subnet(), 0);
+    }
+  }
+  network.validate();
+  return network;
+}
+
+/// Applies a random benign mutation to the network; returns a description.
+std::string random_mutation(Rng& rng, Network& network) {
+  std::vector<DeviceId> routers = network.device_ids(DeviceKind::Router);
+  Device& device = network.device(rng.pick(routers));
+  switch (rng.next_below(5)) {
+    case 0: {
+      // Toggle a non-host interface cost.
+      auto& ifaces = device.interfaces();
+      Interface& iface = ifaces[static_cast<std::size_t>(rng.next_below(ifaces.size()))];
+      iface.ospf_cost = static_cast<unsigned>(rng.next_in(1, 100));
+      return "cost " + device.id().str() + ":" + iface.id.str();
+    }
+    case 1: {
+      StaticRoute route;
+      route.prefix = Ipv4Prefix(Ipv4Address::of(192, 0, 2, 0), 24);
+      route.next_hop = Ipv4Address::of(10, 200, 0, static_cast<std::uint8_t>(rng.next_below(250)));
+      if (std::find(device.static_routes().begin(), device.static_routes().end(), route) ==
+          device.static_routes().end()) {
+        device.static_routes().push_back(route);
+      }
+      return "static " + device.id().str();
+    }
+    case 2: {
+      VlanId vlan = static_cast<VlanId>(rng.next_in(2, 4094));
+      if (!device.has_vlan(vlan)) device.vlans().push_back(vlan);
+      return "vlan " + device.id().str();
+    }
+    case 3: {
+      Acl* acl = device.acls().empty() ? nullptr : &device.acls().front();
+      if (!acl) {
+        Acl fresh;
+        fresh.name = "GEN";
+        device.add_acl(fresh);
+        acl = device.find_acl("GEN");
+      }
+      AclEntry entry;
+      entry.action = rng.chance(0.5) ? AclEntry::Action::Permit : AclEntry::Action::Deny;
+      entry.src = Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+                             static_cast<unsigned>(rng.next_below(33)));
+      acl->entries.insert(
+          acl->entries.begin() +
+              static_cast<std::ptrdiff_t>(rng.next_below(acl->entries.size() + 1)),
+          entry);
+      return "acl " + device.id().str();
+    }
+    default: {
+      auto& ifaces = device.interfaces();
+      Interface& iface = ifaces[static_cast<std::size_t>(rng.next_below(ifaces.size()))];
+      iface.shutdown = !iface.shutdown;
+      return "shutdown " + device.id().str() + ":" + iface.id.str();
+    }
+  }
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertyTest, ConfigRoundTripOnRandomNetworks) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    Network network = random_tree_network(rng, static_cast<int>(rng.next_in(3, 12)));
+    for (const Device& device : network.devices()) {
+      Device parsed = cfg::parse_device(cfg::serialize_device(device));
+      EXPECT_EQ(parsed, device) << device.id().str() << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(PropertyTest, TreeNetworksAreFullyReachable) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    Network network = random_tree_network(rng, static_cast<int>(rng.next_in(3, 10)));
+    dp::Dataplane dataplane = dp::Dataplane::compute(network);
+    dp::ReachabilityMatrix matrix = dp::ReachabilityMatrix::compute(network, dataplane);
+    EXPECT_EQ(matrix.reachable_count(), matrix.total_count())
+        << "seed=" << GetParam() << " round=" << round;
+  }
+}
+
+TEST_P(PropertyTest, DeliveredTracesEndAtOwner) {
+  Rng rng(GetParam());
+  Network network = random_tree_network(rng, 8);
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ReachabilityMatrix matrix = dp::ReachabilityMatrix::compute(network, dataplane);
+  for (const dp::PairReachability& pair : matrix.pairs()) {
+    ASSERT_FALSE(pair.path.empty());
+    EXPECT_EQ(pair.path.front(), pair.src);
+    if (pair.reachable()) {
+      EXPECT_EQ(pair.path.back(), pair.dst);
+    }
+    EXPECT_LE(pair.path.size(), 33u);
+  }
+}
+
+TEST_P(PropertyTest, DiffApplyIsIdentity) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    Network before = random_tree_network(rng, static_cast<int>(rng.next_in(3, 8)));
+    Network after = before;
+    int mutations = static_cast<int>(rng.next_in(1, 6));
+    for (int i = 0; i < mutations; ++i) random_mutation(rng, after);
+
+    auto changes = cfg::diff_networks(before, after);
+    Network replayed = before;
+    cfg::apply_changes(replayed, changes);
+    EXPECT_EQ(replayed, after) << "seed=" << GetParam() << " round=" << round;
+
+    // Diffing identical networks after replay yields nothing.
+    EXPECT_TRUE(cfg::diff_networks(replayed, after).empty());
+  }
+}
+
+TEST_P(PropertyTest, SchedulerPreservesChangesAndFinalState) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    Network before = random_tree_network(rng, static_cast<int>(rng.next_in(3, 8)));
+    Network after = before;
+    int mutations = static_cast<int>(rng.next_in(2, 7));
+    for (int i = 0; i < mutations; ++i) random_mutation(rng, after);
+
+    auto changes = cfg::diff_networks(before, after);
+    auto ordered = enforce::schedule_changes(changes);
+    ASSERT_EQ(ordered.size(), changes.size());
+    // Permutation check.
+    for (const cfg::ConfigChange& change : changes) {
+      EXPECT_NE(std::find(ordered.begin(), ordered.end(), change), ordered.end());
+    }
+    // Replaying the scheduled order lands on the same final state.
+    Network replayed = before;
+    cfg::apply_changes(replayed, ordered);
+    EXPECT_EQ(replayed, after) << "seed=" << GetParam() << " round=" << round;
+  }
+}
+
+TEST_P(PropertyTest, AuditChainSurvivesAnythingButTampering) {
+  Rng rng(GetParam());
+  enforce::AuditLog log;
+  int entries = static_cast<int>(rng.next_in(5, 40));
+  for (int i = 0; i < entries; ++i) {
+    log.append(static_cast<std::int64_t>(i), "actor" + std::to_string(rng.next_below(3)),
+               enforce::AuditCategory::Command, "message " + std::to_string(rng.next()));
+  }
+  EXPECT_TRUE(log.verify_chain());
+
+  // Any single corrupted entry is detected at exactly that index.
+  std::size_t victim = static_cast<std::size_t>(rng.next_below(log.size()));
+  enforce::AuditLog corrupted = log;
+  corrupted.mutable_entries_for_test()[victim].message += "!";
+  EXPECT_FALSE(corrupted.verify_chain());
+  EXPECT_EQ(corrupted.first_corrupt_index(), victim);
+}
+
+TEST_P(PropertyTest, GeneratedPrivilegesNeverAllowHighImpact) {
+  Rng rng(GetParam());
+  Network network = random_tree_network(rng, 6);
+  for (priv::TaskClass task :
+       {priv::TaskClass::Connectivity, priv::TaskClass::OspfIssue, priv::TaskClass::VlanIssue,
+        priv::TaskClass::IspReconfig, priv::TaskClass::AclChange, priv::TaskClass::Monitoring}) {
+    priv::PrivilegeSpec spec = priv::generate_privileges(network, task);
+    for (const Device& device : network.devices()) {
+      EXPECT_FALSE(spec.allows(priv::Action::EraseConfig,
+                               priv::Resource::whole_device(device.id())));
+      EXPECT_FALSE(spec.allows(priv::Action::Reboot, priv::Resource::whole_device(device.id())));
+      for (const char* field : {"enable_password", "snmp_community", "ipsec_key"}) {
+        EXPECT_FALSE(
+            spec.allows(priv::Action::ChangeSecret, priv::Resource::secret(device.id(), field)));
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, FibLookupAlwaysContainsQuery) {
+  Rng rng(GetParam());
+  dp::Fib fib;
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 200; ++i) {
+    Ipv4Prefix prefix(Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+                      static_cast<unsigned>(rng.next_below(33)));
+    dp::Route route;
+    route.prefix = prefix;
+    route.protocol = dp::RouteProtocol::Static;
+    route.out_iface = InterfaceId("e0");
+    route.admin_distance = 1;
+    fib.insert(route);
+    prefixes.push_back(prefix);
+  }
+  for (int i = 0; i < 500; ++i) {
+    Ipv4Address probe(static_cast<std::uint32_t>(rng.next()));
+    auto route = fib.lookup(probe);
+    if (route) {
+      EXPECT_TRUE(route->prefix.contains(probe));
+      // No inserted prefix that contains the probe is longer than the match.
+      for (const Ipv4Prefix& prefix : prefixes) {
+        if (prefix.contains(probe)) EXPECT_LE(prefix.length(), route->prefix.length());
+      }
+    } else {
+      for (const Ipv4Prefix& prefix : prefixes) EXPECT_FALSE(prefix.contains(probe));
+    }
+  }
+}
+
+TEST_P(PropertyTest, InterfaceDownNeverHelpsOnTrees) {
+  // On ACL-free tree topologies there is exactly one path per pair, so
+  // taking any interface down can only shrink the reachable set.
+  Rng rng(GetParam());
+  Network network = random_tree_network(rng, 7);
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  auto baseline = dp::ReachabilityMatrix::compute(network, dataplane);
+
+  std::vector<DeviceId> routers = network.device_ids(DeviceKind::Router);
+  const Device& victim = network.device(rng.pick(routers));
+  if (victim.interfaces().empty()) return;
+  const Interface& iface =
+      victim.interfaces()[static_cast<std::size_t>(rng.next_below(victim.interfaces().size()))];
+
+  Network broken = network;
+  broken.device(victim.id()).interface(iface.id).shutdown = true;
+  auto degraded =
+      dp::ReachabilityMatrix::compute(broken, dp::Dataplane::compute(broken));
+  for (const auto& [src, dst, was, now] : dp::ReachabilityMatrix::diff(baseline, degraded)) {
+    EXPECT_TRUE(was && !now) << src.str() << "->" << dst.str();
+  }
+}
+
+TEST_P(PropertyTest, ConsoleParserNeverCrashesOnGarbage) {
+  // Fuzz the console grammar: random token soup must either parse or throw
+  // ParseError — never crash, never throw anything else.
+  Rng rng(GetParam());
+  const std::vector<std::string> vocabulary = {
+      "show",    "config", "interface", "acl",   "route",  "ospf",   "vlan",   "ping",
+      "r1",      "Gi0/0",  "up",        "down",  "add",    "remove", "permit", "deny",
+      "ip",      "any",    "10.0.0.1",  "255.255.255.0", "area", "0", "99999", "in",
+      "out",     "save",   "erase",     "secret", "-1",    "🦊",    "", "network-add"};
+  for (int round = 0; round < 500; ++round) {
+    std::string line;
+    int tokens = static_cast<int>(rng.next_in(1, 9));
+    for (int i = 0; i < tokens; ++i) {
+      if (i > 0) line += " ";
+      line += rng.pick(vocabulary);
+    }
+    try {
+      twin::ParsedCommand command = twin::parse_command(line);
+      EXPECT_FALSE(priv::to_string(command.action).empty());
+    } catch (const util::ParseError&) {
+      // expected for garbage
+    }
+  }
+}
+
+TEST_P(PropertyTest, ConfigParserNeverCrashesOnMutatedInput) {
+  // Take a valid config and flip random bytes: the parser must either accept
+  // the result or throw ParseError.
+  Rng rng(GetParam());
+  Network network = random_tree_network(rng, 5);
+  std::string text = cfg::serialize_device(network.devices().front());
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = text;
+    int flips = static_cast<int>(rng.next_in(1, 5));
+    for (int i = 0; i < flips; ++i) {
+      std::size_t position = static_cast<std::size_t>(rng.next_below(mutated.size()));
+      mutated[position] = static_cast<char>('!' + rng.next_below(90));
+    }
+    try {
+      (void)cfg::parse_device(mutated);
+    } catch (const util::ParseError&) {
+      // expected
+    }
+  }
+}
+
+TEST_P(PropertyTest, JsonParserNeverCrashesOnMutatedInput) {
+  Rng rng(GetParam());
+  const std::string seed_document =
+      R"({"privileges":[{"effect":"allow","actions":["show-*"],)"
+      R"("resource":{"device":"r3","kind":"interface","name":"*"}}],"n":[1,2.5,-3,true,null]})";
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = seed_document;
+    int flips = static_cast<int>(rng.next_in(1, 4));
+    for (int i = 0; i < flips; ++i) {
+      std::size_t position = static_cast<std::size_t>(rng.next_below(mutated.size()));
+      mutated[position] = static_cast<char>(' ' + rng.next_below(95));
+    }
+    try {
+      (void)util::Json::parse(mutated);
+    } catch (const util::ParseError&) {
+      // expected
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(1, 7, 42, 1337, 20260704));
+
+}  // namespace
+}  // namespace heimdall

@@ -1,0 +1,91 @@
+// End-to-end smoke tests: both scenario networks build, converge, and the
+// full Heimdall pipeline resolves each pilot-study issue.
+#include <gtest/gtest.h>
+
+#include "config/serialize.hpp"
+#include "dataplane/reachability.hpp"
+#include "msp/workflow.hpp"
+#include "scenarios/enterprise.hpp"
+#include "scenarios/university.hpp"
+
+namespace heimdall {
+namespace {
+
+using namespace heimdall::net;
+
+TEST(Smoke, EnterpriseBuildsAndConverges) {
+  Network network = scen::build_enterprise();
+  EXPECT_EQ(network.count(DeviceKind::Router), 9u);
+  EXPECT_EQ(network.count(DeviceKind::Host), 9u);
+  EXPECT_EQ(network.topology().links().size(), 22u);
+
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ReachabilityMatrix matrix = dp::ReachabilityMatrix::compute(network, dataplane);
+  EXPECT_EQ(matrix.total_count(), 72u);
+  // Baseline health: h1 reaches h4 and h7; nothing outside the DMZ reaches h8.
+  EXPECT_TRUE(matrix.reachable(DeviceId("h1"), DeviceId("h4")));
+  EXPECT_TRUE(matrix.reachable(DeviceId("h1"), DeviceId("h7")));
+  EXPECT_FALSE(matrix.reachable(DeviceId("h1"), DeviceId("h8")));
+  EXPECT_TRUE(matrix.reachable(DeviceId("h7"), DeviceId("h8")));
+  EXPECT_TRUE(matrix.reachable(DeviceId("ext"), DeviceId("h1")));
+}
+
+TEST(Smoke, UniversityBuildsAndConverges) {
+  Network network = scen::build_university();
+  EXPECT_EQ(network.count(DeviceKind::Router), 13u);
+  EXPECT_EQ(network.count(DeviceKind::Host), 17u);
+  EXPECT_EQ(network.topology().links().size(), 92u);
+
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ReachabilityMatrix matrix = dp::ReachabilityMatrix::compute(network, dataplane);
+  EXPECT_EQ(matrix.total_count(), 17u * 16u);
+  EXPECT_TRUE(matrix.reachable(DeviceId("uh1"), DeviceId("uh15")));
+  EXPECT_FALSE(matrix.reachable(DeviceId("uh2"), DeviceId("uh15")));
+  EXPECT_TRUE(matrix.reachable(DeviceId("uh1"), DeviceId("uh8")));
+}
+
+TEST(Smoke, PolicyBudgetsMatchTable1) {
+  Network enterprise = scen::build_enterprise();
+  EXPECT_EQ(scen::enterprise_policies(enterprise).size(), scen::kEnterprisePolicyBudget);
+  Network university = scen::build_university();
+  EXPECT_EQ(scen::university_policies(university).size(), scen::kUniversityPolicyBudget);
+}
+
+TEST(Smoke, EveryIssueResolvesThroughHeimdall) {
+  struct Case {
+    Network network;
+    std::vector<scen::IssueSpec> issues;
+    std::vector<spec::Policy> policies;
+  };
+  std::vector<Case> cases;
+  {
+    Network network = scen::build_enterprise();
+    cases.push_back({network, scen::enterprise_issues(), scen::enterprise_policies(network)});
+  }
+  {
+    Network network = scen::build_university();
+    cases.push_back({network, scen::university_issues(), scen::university_policies(network)});
+  }
+
+  for (Case& test_case : cases) {
+    for (const scen::IssueSpec& issue : test_case.issues) {
+      Network production = test_case.network;
+      issue.inject(production);
+      enforce::PolicyEnforcer enforcer(
+          spec::PolicyVerifier(test_case.policies),
+          enforce::SimulatedEnclave("heimdall-enforcer-v1", "hw-root-key"));
+      msp::Technician technician;
+      msp::WorkflowResult result = msp::run_heimdall_workflow(
+          production, enforcer, issue.ticket, issue.fix_script, technician, issue.resolved);
+      EXPECT_TRUE(result.changes_applied)
+          << production.name() << "/" << issue.key << ": changes not applied";
+      EXPECT_TRUE(result.issue_resolved)
+          << production.name() << "/" << issue.key << ": issue not resolved";
+      EXPECT_EQ(result.commands_denied, 0u) << production.name() << "/" << issue.key;
+      EXPECT_TRUE(enforcer.audit_intact());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace heimdall

@@ -1,0 +1,170 @@
+// Unit tests for policy mining and verification.
+#include <gtest/gtest.h>
+
+#include "scenarios/enterprise.hpp"
+#include "spec/mine.hpp"
+#include "spec/verify.hpp"
+
+namespace heimdall::spec {
+namespace {
+
+using namespace heimdall::net;
+
+TEST(Policy, IdsAndRendering) {
+  Policy reach{PolicyType::Reachability, DeviceId("h1"), DeviceId("h2"), DeviceId{}};
+  EXPECT_EQ(reach.id(), "reach(h1,h2)");
+  EXPECT_EQ(reach.to_string(), "h1 must reach h2");
+
+  Policy isolate{PolicyType::Isolation, DeviceId("h1"), DeviceId("h8"), DeviceId{}};
+  EXPECT_EQ(isolate.id(), "isolate(h1,h8)");
+
+  Policy waypoint{PolicyType::Waypoint, DeviceId("h1"), DeviceId("h7"), DeviceId("r9")};
+  EXPECT_EQ(waypoint.id(), "waypoint(h1,h7,r9)");
+  EXPECT_NE(waypoint.to_string().find("traverse r9"), std::string::npos);
+}
+
+TEST(Mine, ReachabilityAndIsolationFromEnterprise) {
+  Network network = scen::build_enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  std::vector<Policy> policies = spec::mine_policies(network, dataplane);
+
+  auto find_policy = [&](const std::string& id) {
+    for (const Policy& policy : policies)
+      if (policy.id() == id) return true;
+    return false;
+  };
+  EXPECT_TRUE(find_policy("reach(h1,h4)"));
+  EXPECT_TRUE(find_policy("reach(h1,h7)"));
+  EXPECT_TRUE(find_policy("isolate(h1,h8)"));
+  EXPECT_TRUE(find_policy("isolate(h2,h7)"));
+  // h7 -> h8 stays inside the DMZ: reachable, not isolated.
+  EXPECT_TRUE(find_policy("reach(h7,h8)"));
+  EXPECT_FALSE(find_policy("isolate(h7,h8)"));
+}
+
+TEST(Mine, WaypointPolicies) {
+  Network network = scen::build_enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  MineOptions options;
+  options.include_reachability = false;
+  options.include_isolation = false;
+  options.waypoint_candidates = {DeviceId("r9")};
+  std::vector<Policy> policies = spec::mine_policies(network, dataplane, options);
+  ASSERT_FALSE(policies.empty());
+  for (const Policy& policy : policies) {
+    EXPECT_EQ(policy.type, PolicyType::Waypoint);
+    EXPECT_EQ(policy.waypoint, DeviceId("r9"));
+    // Only DMZ-bound traffic traverses r9.
+    EXPECT_TRUE(policy.dst == DeviceId("h7") || policy.dst == DeviceId("h8") ||
+                policy.src == DeviceId("h7") || policy.src == DeviceId("h8"))
+        << policy.id();
+  }
+}
+
+TEST(Mine, BudgetKeepsIntentPoliciesFirst) {
+  Network network = scen::build_enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+
+  std::vector<Policy> uncapped = spec::mine_policies(network, dataplane);
+  std::size_t isolation_count = 0;
+  for (const Policy& policy : uncapped)
+    if (policy.type == PolicyType::Isolation) ++isolation_count;
+  ASSERT_GT(isolation_count, 0u);
+
+  MineOptions options;
+  options.max_policies = isolation_count + 2;
+  std::vector<Policy> capped = spec::mine_policies(network, dataplane, options);
+  EXPECT_EQ(capped.size(), isolation_count + 2);
+  std::size_t capped_isolation = 0;
+  for (const Policy& policy : capped)
+    if (policy.type == PolicyType::Isolation) ++capped_isolation;
+  EXPECT_EQ(capped_isolation, isolation_count);  // every isolation survived
+}
+
+TEST(Mine, Deterministic) {
+  Network network = scen::build_enterprise();
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  EXPECT_EQ(spec::mine_policies(network, dataplane), spec::mine_policies(network, dataplane));
+}
+
+TEST(Verify, CleanNetworkPasses) {
+  Network network = scen::build_enterprise();
+  PolicyVerifier verifier(scen::enterprise_policies(network));
+  VerificationReport report = verifier.verify_network(network);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.checked, scen::kEnterprisePolicyBudget);
+}
+
+TEST(Verify, DetectsReachabilityBreak) {
+  Network network = scen::build_enterprise();
+  PolicyVerifier verifier(scen::enterprise_policies(network));
+  // Break the VLAN: h2 loses connectivity.
+  network.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).access_vlan = 10;
+  VerificationReport report = verifier.verify_network(network);
+  EXPECT_FALSE(report.ok());
+  for (const Violation& violation : report.violations) {
+    // Connectivity loss trips reachability policies and waypoint policies
+    // whose pair can no longer deliver; isolation policies cannot trip.
+    EXPECT_NE(violation.policy.type, PolicyType::Isolation) << violation.policy.id();
+    EXPECT_TRUE(violation.policy.src == DeviceId("h2") || violation.policy.dst == DeviceId("h2"))
+        << violation.policy.id();
+  }
+}
+
+TEST(Verify, DetectsIsolationBreak) {
+  Network network = scen::build_enterprise();
+  // Pin the isolation policy explicitly so this test is self-contained.
+  PolicyVerifier verifier({Policy{PolicyType::Isolation, DeviceId("h2"), DeviceId("h8"),
+                                  DeviceId{}}});
+  EXPECT_TRUE(verifier.verify_network(network).ok());
+
+  // Malicious permit lets h2 into the sensitive store.
+  Device& r9 = network.device(DeviceId("r9"));
+  AclEntry entry;
+  entry.action = AclEntry::Action::Permit;
+  entry.src = Ipv4Prefix::parse("10.0.20.0/24");
+  entry.dst = Ipv4Prefix::parse("10.0.8.0/24");
+  r9.find_acl("DMZ_IN")->entries.insert(r9.find_acl("DMZ_IN")->entries.begin(), entry);
+
+  VerificationReport report = verifier.verify_network(network);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].policy.id(), "isolate(h2,h8)");
+}
+
+TEST(Verify, DetectsWaypointBypass) {
+  // Build a diamond where traffic normally crosses the waypoint, then open
+  // a bypass link and verify the waypoint policy trips.
+  Network network = scen::build_enterprise();
+  PolicyVerifier verifier({Policy{PolicyType::Waypoint, DeviceId("h1"), DeviceId("h7"),
+                                  DeviceId("r9")}});
+  EXPECT_TRUE(verifier.verify_network(network).ok());
+
+  // Break reachability to h7 entirely: the waypoint policy also reports.
+  network.device(DeviceId("r9")).interface(InterfaceId("Gi0/1")).shutdown = true;
+  VerificationReport report = verifier.verify_network(network);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Verify, SkipsPoliciesWithAbsentEndpoints) {
+  Network network = scen::build_enterprise();
+  PolicyVerifier verifier({Policy{PolicyType::Reachability, DeviceId("ghost-a"),
+                                  DeviceId("ghost-b"), DeviceId{}}});
+  VerificationReport report = verifier.verify_network(network);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.checked, 0u);
+}
+
+TEST(Verify, ViolatedIdsSorted) {
+  Network network = scen::build_enterprise();
+  PolicyVerifier verifier(
+      {Policy{PolicyType::Reachability, DeviceId("h2"), DeviceId("h4"), DeviceId{}},
+       Policy{PolicyType::Reachability, DeviceId("h2"), DeviceId("h1"), DeviceId{}}});
+  network.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).access_vlan = 10;
+  VerificationReport report = verifier.verify_network(network);
+  auto ids = report.violated_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+}  // namespace
+}  // namespace heimdall::spec

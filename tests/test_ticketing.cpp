@@ -1,0 +1,139 @@
+// Tests for the ticketing system and the policy JSON front-end.
+#include <gtest/gtest.h>
+
+#include "msp/ticketing.hpp"
+#include "scenarios/enterprise.hpp"
+#include "spec/json_frontend.hpp"
+#include "util/error.hpp"
+
+namespace heimdall {
+namespace {
+
+using namespace heimdall::net;
+using namespace heimdall::msp;
+
+Ticket sample_ticket(int id = 0) {
+  return Ticket::connectivity(id, DeviceId("h2"), DeviceId("h4"), "h2 cannot reach h4",
+                              priv::TaskClass::Connectivity);
+}
+
+// ---------------------------------------------------------------- lifecycle --
+
+TEST(Ticketing, OpenAssignsIds) {
+  TicketingSystem system;
+  int first = system.open(sample_ticket());
+  int second = system.open(sample_ticket());
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+  EXPECT_EQ(system.size(), 2u);
+  EXPECT_EQ(system.record(first).ticket.state, TicketState::Open);
+}
+
+TEST(Ticketing, ExplicitIdsRespected) {
+  TicketingSystem system;
+  EXPECT_EQ(system.open(sample_ticket(42)), 42);
+  EXPECT_EQ(system.open(sample_ticket()), 43);  // next id advances past 42
+  EXPECT_THROW(system.open(sample_ticket(42)), util::InvariantError);
+}
+
+TEST(Ticketing, FullLifecycle) {
+  TicketingSystem system;
+  int id = system.open(sample_ticket());
+  system.assign(id, "tech-7");
+  EXPECT_EQ(system.record(id).ticket.state, TicketState::InProgress);
+  EXPECT_EQ(system.record(id).assignee, "tech-7");
+  system.annotate(id, "reproduced in the twin");
+  system.resolve(id, "wrong access VLAN on r7 Fa0/2");
+  EXPECT_EQ(system.record(id).ticket.state, TicketState::Resolved);
+  system.close(id);
+  EXPECT_EQ(system.record(id).ticket.state, TicketState::Closed);
+  EXPECT_GE(system.record(id).notes.size(), 3u);
+}
+
+TEST(Ticketing, InvalidTransitionsRejected) {
+  TicketingSystem system;
+  int id = system.open(sample_ticket());
+  EXPECT_THROW(system.resolve(id, "not started"), util::InvariantError);
+  EXPECT_THROW(system.close(id), util::InvariantError);
+  system.assign(id, "tech");
+  EXPECT_THROW(system.assign(id, "tech2"), util::InvariantError);
+  EXPECT_THROW(system.close(id), util::InvariantError);
+  EXPECT_THROW(system.assign(999, "tech"), util::NotFoundError);
+  EXPECT_THROW(system.record(999), util::NotFoundError);
+}
+
+TEST(Ticketing, InStateFilters) {
+  TicketingSystem system;
+  int a = system.open(sample_ticket());
+  int b = system.open(sample_ticket());
+  system.assign(b, "tech");
+  EXPECT_EQ(system.in_state(TicketState::Open), std::vector<int>{a});
+  EXPECT_EQ(system.in_state(TicketState::InProgress), std::vector<int>{b});
+  EXPECT_TRUE(system.in_state(TicketState::Closed).empty());
+}
+
+// --------------------------------------------------------------- monitoring --
+
+TEST(Ticketing, MonitoringOpensTicketsForViolations) {
+  Network production = scen::build_enterprise();
+  spec::PolicyVerifier verifier(scen::enterprise_policies(production));
+  TicketingSystem system;
+
+  // Healthy network: nothing to report.
+  EXPECT_TRUE(system.monitor(production, verifier).empty());
+
+  // Break the VLAN: h2's reachability policies trip.
+  production.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).access_vlan = 10;
+  std::vector<int> opened = system.monitor(production, verifier);
+  EXPECT_FALSE(opened.empty());
+  for (int id : opened) {
+    const TicketRecord& entry = system.record(id);
+    EXPECT_EQ(entry.ticket.state, TicketState::Open);
+    EXPECT_EQ(entry.ticket.task, priv::TaskClass::Connectivity);
+    EXPECT_NE(entry.ticket.description.find("monitoring:"), std::string::npos);
+  }
+
+  // Re-running monitoring does not duplicate open tickets.
+  EXPECT_TRUE(system.monitor(production, verifier).empty());
+}
+
+// -------------------------------------------------------------- policy JSON --
+
+TEST(PolicyJson, RoundTripsMinedPolicies) {
+  Network production = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(production);
+  util::Json json = spec::policies_to_json(policies);
+  std::vector<spec::Policy> reparsed = spec::policies_from_json(json);
+  EXPECT_EQ(reparsed, policies);
+  // And through text.
+  EXPECT_EQ(spec::parse_policies_json(json.dump(2)), policies);
+}
+
+TEST(PolicyJson, ParsesAllTypes) {
+  auto policies = spec::parse_policies_json(R"({
+    "policies": [
+      {"type": "reach", "src": "h1", "dst": "h4"},
+      {"type": "isolate", "src": "h2", "dst": "h8"},
+      {"type": "waypoint", "src": "h1", "dst": "h7", "via": "r9"}
+    ]
+  })");
+  ASSERT_EQ(policies.size(), 3u);
+  EXPECT_EQ(policies[0].id(), "reach(h1,h4)");
+  EXPECT_EQ(policies[1].id(), "isolate(h2,h8)");
+  EXPECT_EQ(policies[2].id(), "waypoint(h1,h7,r9)");
+}
+
+TEST(PolicyJson, RejectsMalformed) {
+  EXPECT_THROW(spec::parse_policies_json(R"({"policies":[{"type":"teleport","src":"a","dst":"b"}]})"),
+               util::ParseError);
+  EXPECT_THROW(spec::parse_policies_json(R"({"policies":[{"type":"reach","src":"a"}]})"),
+               util::ParseError);
+  EXPECT_THROW(spec::parse_policies_json(R"({"policies":[{"type":"waypoint","src":"a","dst":"b"}]})"),
+               util::ParseError);
+  EXPECT_THROW(spec::parse_policies_json(R"({"policies":[{"type":"reach","src":"a","dst":"b","via":"c"}]})"),
+               util::ParseError);
+  EXPECT_THROW(spec::parse_policies_json(R"({"nope": []})"), util::ParseError);
+}
+
+}  // namespace
+}  // namespace heimdall

@@ -1,0 +1,453 @@
+// Unit + integration tests for the twin network: slicing, scrubbing, the
+// console grammar, the emulation layer, the reference monitor, escalation.
+#include <gtest/gtest.h>
+
+#include "config/serialize.hpp"
+#include "scenarios/enterprise.hpp"
+#include "twin/presentation.hpp"
+#include "twin/twin.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::twin {
+namespace {
+
+using namespace heimdall::net;
+using priv::Action;
+
+msp::Ticket vlan_ticket() {
+  return msp::Ticket::connectivity(1, DeviceId("h2"), DeviceId("h4"), "h2 cannot reach h4",
+                                   priv::TaskClass::VlanIssue);
+}
+
+struct BrokenEnterprise {
+  Network production;
+  dp::Dataplane dataplane;
+
+  BrokenEnterprise() : production(scen::build_enterprise()), dataplane(dp::Dataplane::compute(production)) {
+    production.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).access_vlan = 10;
+    dataplane = dp::Dataplane::compute(production);
+  }
+};
+
+// ---------------------------------------------------------------- slicing --
+
+TEST(Slice, AllIncludesEverything) {
+  BrokenEnterprise fixture;
+  Slice slice = compute_slice(fixture.production, fixture.dataplane, vlan_ticket(),
+                              SliceStrategy::All);
+  EXPECT_EQ(slice.devices.size(), fixture.production.devices().size());
+}
+
+TEST(Slice, NeighborIsAffectedPlusAdjacent) {
+  BrokenEnterprise fixture;
+  Slice slice = compute_slice(fixture.production, fixture.dataplane, vlan_ticket(),
+                              SliceStrategy::Neighbor);
+  // h2 + h4 + their access switches r7 + r8.
+  EXPECT_EQ(slice.devices, (std::set<DeviceId>{DeviceId("h2"), DeviceId("h4"), DeviceId("r7"),
+                                               DeviceId("r8")}));
+}
+
+TEST(Slice, TaskDrivenIncludesRootCauseButNotWholeNetwork) {
+  BrokenEnterprise fixture;
+  Slice slice = compute_slice(fixture.production, fixture.dataplane, vlan_ticket(),
+                              SliceStrategy::TaskDriven);
+  EXPECT_TRUE(slice.contains(DeviceId("r7")));  // root cause
+  EXPECT_TRUE(slice.contains(DeviceId("h2")));
+  EXPECT_TRUE(slice.contains(DeviceId("h4")));
+  EXPECT_LT(slice.devices.size(), fixture.production.devices().size());
+  // DMZ and border are irrelevant to this ticket.
+  EXPECT_FALSE(slice.contains(DeviceId("h8")));
+  EXPECT_FALSE(slice.contains(DeviceId("ext")));
+  EXPECT_FALSE(slice.rationale.empty());
+}
+
+TEST(Slice, MaterializeDropsCrossBoundaryLinks) {
+  BrokenEnterprise fixture;
+  Slice slice = compute_slice(fixture.production, fixture.dataplane, vlan_ticket(),
+                              SliceStrategy::Neighbor);
+  Network sliced = materialize_slice(fixture.production, slice);
+  EXPECT_EQ(sliced.devices().size(), slice.devices.size());
+  for (const Link& link : sliced.topology().links()) {
+    EXPECT_TRUE(slice.contains(link.a.device));
+    EXPECT_TRUE(slice.contains(link.b.device));
+  }
+}
+
+// --------------------------------------------------------------- scrubbing --
+
+TEST(Scrub, RemovesAllSecrets) {
+  Network network = scen::build_enterprise();
+  EXPECT_FALSE(is_scrubbed(network));
+  std::size_t scrubbed = scrub_network(network);
+  EXPECT_EQ(scrubbed, 9u * 3u);  // 9 routers x 3 secret fields
+  EXPECT_TRUE(is_scrubbed(network));
+  // Idempotent.
+  EXPECT_EQ(scrub_network(network), 0u);
+}
+
+TEST(Scrub, ScrubbedConfigContainsNoSecretValues) {
+  Network network = scen::build_enterprise();
+  const Device& r1 = network.device(DeviceId("r1"));
+  std::string original_key = r1.secrets().ipsec_key;
+  scrub_network(network);
+  std::string config = cfg::serialize_device(network.device(DeviceId("r1")));
+  EXPECT_EQ(config.find(original_key), std::string::npos);
+  EXPECT_NE(config.find(kScrubToken), std::string::npos);
+}
+
+// ----------------------------------------------------------------- console --
+
+TEST(Console, ParsesReads) {
+  ParsedCommand command = parse_command("show routes r5");
+  EXPECT_EQ(command.action, Action::ShowRoutes);
+  EXPECT_EQ(command.resource.device, "r5");
+
+  command = parse_command("ping h2 h4");
+  EXPECT_EQ(command.action, Action::Ping);
+  EXPECT_EQ(command.args, (std::vector<std::string>{"h2", "h4"}));
+
+  command = parse_command("show topology");
+  EXPECT_EQ(command.action, Action::ShowTopology);
+}
+
+TEST(Console, ParsesInterfaceOps) {
+  ParsedCommand command = parse_command("interface r7 Fa0/2 switchport-access-vlan 20");
+  EXPECT_EQ(command.action, Action::SetSwitchport);
+  EXPECT_EQ(command.resource.kind, priv::ObjectKind::Interface);
+  EXPECT_EQ(command.resource.name, "Fa0/2");
+
+  command = parse_command("interface r1 Gi0/0 down");
+  EXPECT_EQ(command.action, Action::InterfaceDown);
+  command = parse_command("interface r1 Gi0/0 address 10.1.12.5 255.255.255.252");
+  EXPECT_EQ(command.action, Action::SetInterfaceAddress);
+  command = parse_command("interface r1 Gi0/0 no-access-group in");
+  EXPECT_EQ(command.action, Action::BindAcl);
+  EXPECT_EQ(command.args, (std::vector<std::string>{"", "in"}));
+}
+
+TEST(Console, ParsesAclRouteOspfVlan) {
+  ParsedCommand command =
+      parse_command("acl r9 DMZ_IN add 0 permit icmp 10.0.20.0 0.0.0.255 10.0.7.0 0.0.0.255");
+  EXPECT_EQ(command.action, Action::AclEdit);
+  EXPECT_EQ(command.resource.name, "DMZ_IN");
+  EXPECT_EQ(command.args.front(), "0");
+
+  command = parse_command("acl r9 DMZ_IN remove 2");
+  EXPECT_EQ(command.args, (std::vector<std::string>{"remove", "2"}));
+
+  command = parse_command("route r6 add 0.0.0.0 0.0.0.0 10.1.16.1");
+  EXPECT_EQ(command.action, Action::StaticRouteAdd);
+
+  command = parse_command("ospf r5 network-add 10.1.58.0 0.0.0.3 area 0");
+  EXPECT_EQ(command.action, Action::OspfNetworkEdit);
+
+  command = parse_command("vlan r7 add 30");
+  EXPECT_EQ(command.action, Action::VlanEdit);
+  EXPECT_EQ(command.resource.kind, priv::ObjectKind::VlanObject);
+}
+
+TEST(Console, ParsesHighImpact) {
+  EXPECT_EQ(parse_command("secret r1 enable_password pwned").action, Action::ChangeSecret);
+  EXPECT_EQ(parse_command("reboot r1").action, Action::Reboot);
+  EXPECT_EQ(parse_command("erase r1").action, Action::EraseConfig);
+  EXPECT_EQ(parse_command("save r1").action, Action::SaveConfig);
+}
+
+TEST(Console, RejectsMalformed) {
+  for (const char* bad :
+       {"", "bogus r1", "show", "show widgets r1", "ping h1", "interface r1", "interface r1 e0",
+        "interface r1 e0 levitate", "acl r1", "acl r1 X frob", "route r1 add 1.2.3.4",
+        "vlan r1 add notanumber", "ospf r1 network-add 1.1.1.0 0.0.0.3 zone 0"}) {
+    EXPECT_THROW(parse_command(bad), util::ParseError) << bad;
+  }
+}
+
+// --------------------------------------------------------------- emulation --
+
+class EmulationTest : public ::testing::Test {
+ protected:
+  EmulationTest() : emulation_(scen::build_enterprise()) {}
+
+  CommandResult run(const std::string& line) { return emulation_.execute(parse_command(line)); }
+
+  EmulationLayer emulation_;
+};
+
+TEST_F(EmulationTest, ShowCommandsRender) {
+  EXPECT_NE(run("show config r1").output.find("hostname r1"), std::string::npos);
+  EXPECT_NE(run("show interfaces r7").output.find("Fa0/2"), std::string::npos);
+  EXPECT_NE(run("show routes r1").output.find("ospf"), std::string::npos);
+  EXPECT_NE(run("show acls r9").output.find("DMZ_IN"), std::string::npos);
+  EXPECT_NE(run("show ospf r5").output.find("neighbors"), std::string::npos);
+  EXPECT_NE(run("show vlans r7").output.find("10"), std::string::npos);
+  EXPECT_NE(run("show topology").output.find("r1 (router)"), std::string::npos);
+}
+
+TEST_F(EmulationTest, PingReflectsDataplane) {
+  EXPECT_TRUE(run("ping h1 h4").ok);
+  EXPECT_FALSE(run("ping h2 h7").ok);  // DMZ_IN denies
+  CommandResult trace = run("traceroute h1 h4");
+  EXPECT_NE(trace.output.find("path:"), std::string::npos);
+}
+
+TEST_F(EmulationTest, MutationsApplyAndRecomputeDataplane) {
+  EXPECT_TRUE(run("ping h2 h4").ok);
+  CommandResult result = run("interface r7 Fa0/2 switchport-access-vlan 10");
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.changes.size(), 1u);
+  EXPECT_FALSE(run("ping h2 h4").ok);  // broke it
+  EXPECT_TRUE(run("interface r7 Fa0/2 switchport-access-vlan 20").ok);
+  EXPECT_TRUE(run("ping h2 h4").ok);  // fixed again
+}
+
+TEST_F(EmulationTest, SemanticFailuresDoNotThrow) {
+  EXPECT_FALSE(run("show config ghost").ok);
+  EXPECT_FALSE(run("acl r1 NO_SUCH add permit ip any any").ok);
+  EXPECT_FALSE(run("route r1 remove 99.0.0.0 255.0.0.0 10.1.12.2").ok);
+  EXPECT_FALSE(run("vlan r7 add 10").ok);  // already declared
+  EXPECT_FALSE(run("acl r9 DMZ_IN remove 99").ok);
+}
+
+TEST_F(EmulationTest, SessionChangesDiffOriginal) {
+  EXPECT_TRUE(emulation_.session_changes().empty());
+  run("interface r6 Gi0/0 ospf-cost 50");
+  run("route r6 add 192.0.2.0 255.255.255.0 10.1.16.1");
+  auto changes = emulation_.session_changes();
+  EXPECT_EQ(changes.size(), 2u);
+  // Undo one: only the other remains.
+  run("route r6 remove 192.0.2.0 255.255.255.0 10.1.16.1");
+  changes = emulation_.session_changes();
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_NE(changes[0].summary().find("ospf cost"), std::string::npos);
+}
+
+TEST_F(EmulationTest, EraseConfigIsCatastrophic) {
+  CommandResult result = run("erase r6");
+  EXPECT_TRUE(result.ok);
+  EXPECT_GT(result.changes.size(), 3u);
+  EXPECT_FALSE(run("ping ext h1").ok);
+}
+
+TEST_F(EmulationTest, DataplaneRecomputeIsLazy) {
+  std::size_t before = emulation_.recompute_count();
+  run("show config r1");  // no dataplane needed
+  EXPECT_EQ(emulation_.recompute_count(), before);
+  run("ping h1 h4");
+  run("ping h1 h5");  // cached
+  EXPECT_EQ(emulation_.recompute_count(), before + 1);
+  run("interface r7 Fa0/2 switchport-access-vlan 10");
+  run("ping h1 h4");
+  EXPECT_EQ(emulation_.recompute_count(), before + 2);
+}
+
+TEST_F(EmulationTest, RebootRevertsUnsavedChanges) {
+  // Unsaved running-config changes vanish on reload...
+  run("interface r6 Gi0/0 ospf-cost 77");
+  EXPECT_EQ(emulation_.session_changes().size(), 1u);
+  CommandResult reboot = run("reboot r6");
+  EXPECT_TRUE(reboot.ok);
+  EXPECT_NE(reboot.output.find("1 unsaved change(s) lost"), std::string::npos);
+  EXPECT_TRUE(emulation_.session_changes().empty());
+}
+
+TEST_F(EmulationTest, SavePersistsAcrossReboot) {
+  run("interface r6 Gi0/0 ospf-cost 77");
+  run("save r6");
+  run("interface r6 Gi0/1 ospf-cost 88");  // second change stays unsaved
+  run("reboot r6");
+  auto changes = emulation_.session_changes();
+  ASSERT_EQ(changes.size(), 1u);  // only the saved change survived
+  EXPECT_NE(changes[0].summary().find("Gi0/0"), std::string::npos);
+}
+
+TEST_F(EmulationTest, RebootOnlyAffectsOneDevice) {
+  run("interface r6 Gi0/0 ospf-cost 77");
+  run("interface r5 Gi0/3 ospf-cost 55");
+  run("reboot r6");
+  auto changes = emulation_.session_changes();
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].device, DeviceId("r5"));
+}
+
+TEST_F(EmulationTest, RebootTemporarilyDropsConnectivity) {
+  // The paper's continuous-verification false-positive: a reboot of the
+  // (pre-save) fixed device transiently reverts the fix.
+  run("interface r7 Fa0/2 switchport-access-vlan 10");  // break
+  run("save r7");                                       // persist the break
+  run("interface r7 Fa0/2 switchport-access-vlan 20");  // fix (unsaved)
+  EXPECT_TRUE(run("ping h2 h4").ok);
+  run("reboot r7");  // fix lost: back to broken startup config
+  EXPECT_FALSE(run("ping h2 h4").ok);
+}
+
+// ----------------------------------------------------------------- monitor --
+
+TEST(Monitor, DeniesOutsidePrivilege) {
+  priv::PrivilegeSpec spec;
+  spec.allow({Action::Ping}, priv::Resource::whole_device(DeviceId("h1")));
+  ReferenceMonitor monitor(spec);
+  EmulationLayer emulation(scen::build_enterprise());
+
+  CommandResult allowed = monitor.mediate(emulation, parse_command("ping h1 h4"));
+  EXPECT_TRUE(allowed.ok);
+  CommandResult denied = monitor.mediate(emulation, parse_command("show config r9"));
+  EXPECT_FALSE(denied.ok);
+  EXPECT_NE(denied.output.find("DENIED"), std::string::npos);
+
+  ASSERT_EQ(monitor.session_log().size(), 2u);
+  EXPECT_TRUE(monitor.session_log()[0].permitted);
+  EXPECT_FALSE(monitor.session_log()[1].permitted);
+  EXPECT_EQ(monitor.denied_count(), 1u);
+}
+
+TEST(Monitor, DeniedMutationNeverReachesEmulation) {
+  priv::PrivilegeSpec spec;  // empty: deny everything
+  ReferenceMonitor monitor(spec);
+  EmulationLayer emulation(scen::build_enterprise());
+  monitor.mediate(emulation, parse_command("interface r7 Fa0/2 switchport-access-vlan 10"));
+  EXPECT_TRUE(emulation.session_changes().empty());
+}
+
+// ------------------------------------------------------------ presentation --
+
+TEST(Presentation, DotRendersAllDevicesAndLinks) {
+  Network network = scen::build_enterprise();
+  network.device(DeviceId("r7")).interface(InterfaceId("Fa0/2")).shutdown = true;
+  std::string dot = render_topology_dot(network);
+  EXPECT_NE(dot.find("graph \"enterprise\""), std::string::npos);
+  for (const Device& device : network.devices()) {
+    EXPECT_NE(dot.find("\"" + device.id().str() + "\""), std::string::npos) << device.id().str();
+  }
+  // 22 links rendered.
+  std::size_t edges = 0, position = 0;
+  while ((position = dot.find(" -- ", position)) != std::string::npos) {
+    ++edges;
+    position += 4;
+  }
+  EXPECT_EQ(edges, 22u);
+  // The shut port's link renders dashed.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Presentation, InventoryListsInterfacesAndAddresses) {
+  Network network = scen::build_enterprise();
+  std::string inventory = render_inventory(network);
+  EXPECT_NE(inventory.find("r9"), std::string::npos);
+  EXPECT_NE(inventory.find("10.0.7.1/24"), std::string::npos);
+  EXPECT_NE(inventory.find("Vlan10"), std::string::npos);
+  network.device(DeviceId("r9")).interface(InterfaceId("Gi0/1")).shutdown = true;
+  EXPECT_NE(render_inventory(network).find("(down)"), std::string::npos);
+}
+
+// ------------------------------------------------------------ twin facade --
+
+TEST(Twin, EndToEndVlanFix) {
+  BrokenEnterprise fixture;
+  TwinNetwork twin = TwinNetwork::create(fixture.production, fixture.dataplane, vlan_ticket());
+
+  EXPECT_GT(twin.scrubbed_secret_count(), 0u);
+  EXPECT_TRUE(is_scrubbed(twin.emulation().network()));
+
+  EXPECT_FALSE(twin.run("ping h2 h4").ok);
+  EXPECT_TRUE(twin.run("interface r7 Fa0/2 switchport-access-vlan 20").ok);
+  EXPECT_TRUE(twin.run("ping h2 h4").ok);
+
+  auto changes = twin.extract_changes();
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].device, DeviceId("r7"));
+}
+
+TEST(Twin, OutOfSliceAndOutOfClassDenied) {
+  BrokenEnterprise fixture;
+  TwinNetwork twin = TwinNetwork::create(fixture.production, fixture.dataplane, vlan_ticket());
+  // r9 is not in the slice: even reads are denied.
+  EXPECT_FALSE(twin.run("show config r9").ok);
+  // ACL edit is out of class for a VLAN ticket.
+  EXPECT_FALSE(twin.run("acl r7 X add permit ip any any").ok);
+  // High-impact always denied.
+  EXPECT_FALSE(twin.run("erase r7").ok);
+  EXPECT_FALSE(twin.run("secret r7 enable_password pwn").ok);
+  EXPECT_EQ(twin.monitor().denied_count(), 4u);
+}
+
+TEST(Twin, EscalationUnlocksAction) {
+  BrokenEnterprise fixture;
+  TwinNetwork twin = TwinNetwork::create(fixture.production, fixture.dataplane, vlan_ticket());
+  std::string command = "interface r7 Fa0/1 down";
+  // InterfaceDown is in-class for VLAN tickets; craft an out-of-class need:
+  std::string acl_command = "acl r7 GUEST add permit ip any any";
+  EXPECT_FALSE(twin.run(acl_command).ok);
+
+  priv::EscalationRequest request{Action::AclEdit, priv::Resource::acl(DeviceId("r7"), "GUEST"),
+                                  "suspect ACL interference"};
+  priv::EscalationResult result = twin.request_escalation(request, /*admin_approved=*/true);
+  EXPECT_EQ(result.verdict, priv::EscalationVerdict::RequiresAdmin);
+  // Now permitted (fails semantically - no such ACL - but passes the monitor).
+  CommandResult after = twin.run(acl_command);
+  EXPECT_EQ(after.output.find("DENIED"), std::string::npos);
+  (void)command;
+}
+
+TEST(Twin, RunScriptContinuesPastDenials) {
+  BrokenEnterprise fixture;
+  TwinNetwork twin = TwinNetwork::create(fixture.production, fixture.dataplane, vlan_ticket());
+  auto results = twin.run_script({
+      "show topology",
+      "erase r7",  // denied
+      "interface r7 Fa0/2 switchport-access-vlan 20",
+      "ping h2 h4",
+  });
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_TRUE(results[2].ok);
+  EXPECT_TRUE(results[3].ok);
+}
+
+TEST(Twin, DetectsProductionDriftConflicts) {
+  BrokenEnterprise fixture;
+  TwinNetwork twin = TwinNetwork::create(fixture.production, fixture.dataplane, vlan_ticket());
+  EXPECT_TRUE(twin.conflicts_with(fixture.production).empty());
+  EXPECT_EQ(twin.baseline_fingerprints().size(), twin.slice().devices.size());
+
+  // Out-of-band change on a slice device while the session is open.
+  fixture.production.device(DeviceId("r4")).interface(InterfaceId("Gi0/1")).ospf_cost = 99;
+  auto conflicts = twin.conflicts_with(fixture.production);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0], DeviceId("r4"));
+
+  // Changes to devices OUTSIDE the slice do not count as conflicts.
+  fixture.production.device(DeviceId("r9")).interface(InterfaceId("Gi0/1")).ospf_cost = 77;
+  EXPECT_EQ(twin.conflicts_with(fixture.production).size(), 1u);
+
+  // A removed device is a conflict too.
+  fixture.production.remove_device(DeviceId("r4"));
+  EXPECT_EQ(twin.conflicts_with(fixture.production).size(), 1u);
+}
+
+TEST(Twin, SessionExportsToJson) {
+  BrokenEnterprise fixture;
+  TwinNetwork twin = TwinNetwork::create(fixture.production, fixture.dataplane, vlan_ticket());
+  twin.run("ping h2 h4");
+  twin.run("erase r7");  // denied
+  util::Json json = twin.monitor().session_to_json();
+  const auto& session = json.at("session").as_array();
+  ASSERT_EQ(session.size(), 2u);
+  EXPECT_TRUE(session[0].at("permitted").as_bool());
+  EXPECT_EQ(session[0].at("action").as_string(), "ping");
+  EXPECT_FALSE(session[1].at("permitted").as_bool());
+  EXPECT_NE(session[1].at("decision").as_string().find("deny"), std::string::npos);
+  // Round-trips as JSON text.
+  EXPECT_EQ(util::Json::parse(json.dump(2)), json);
+}
+
+TEST(Twin, ChangesInsideTwinDoNotTouchProduction) {
+  BrokenEnterprise fixture;
+  Network pristine = fixture.production;
+  TwinNetwork twin = TwinNetwork::create(fixture.production, fixture.dataplane, vlan_ticket());
+  twin.run("interface r7 Fa0/2 switchport-access-vlan 20");
+  EXPECT_EQ(fixture.production, pristine);
+}
+
+}  // namespace
+}  // namespace heimdall::twin

@@ -1,0 +1,319 @@
+// Unit tests for the utility substrate: strings, glob, SHA-256/HMAC, JSON,
+// PRNG and the virtual clock.
+#include <gtest/gtest.h>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+#include "util/sha256.hpp"
+#include "util/strings.hpp"
+
+namespace heimdall::util {
+namespace {
+
+// ---------------------------------------------------------------- strings --
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("interface Gi0/0", "interface"));
+  EXPECT_FALSE(starts_with("int", "interface"));
+  EXPECT_TRUE(ends_with("config.txt", ".txt"));
+  EXPECT_FALSE(ends_with("txt", "config.txt"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("GigABit"), "gigabit"); }
+
+TEST(Strings, ParseUintAcceptsValid) {
+  EXPECT_EQ(parse_uint("0", 100), 0u);
+  EXPECT_EQ(parse_uint("42", 100), 42u);
+  EXPECT_EQ(parse_uint("100", 100), 100u);
+}
+
+TEST(Strings, ParseUintRejectsInvalid) {
+  EXPECT_THROW(parse_uint("", 100), ParseError);
+  EXPECT_THROW(parse_uint("-1", 100), ParseError);
+  EXPECT_THROW(parse_uint("1a", 100), ParseError);
+  EXPECT_THROW(parse_uint("101", 100), ParseError);
+  EXPECT_THROW(parse_uint("99999999999999999999999", 100), ParseError);
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool matches;
+};
+
+class GlobTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobTest, Matches) {
+  const GlobCase& c = GetParam();
+  EXPECT_EQ(glob_match(c.pattern, c.text), c.matches)
+      << "pattern='" << c.pattern << "' text='" << c.text << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GlobTest,
+    ::testing::Values(
+        GlobCase{"*", "", true}, GlobCase{"*", "anything", true},
+        GlobCase{"", "", true}, GlobCase{"", "x", false},
+        GlobCase{"abc", "abc", true}, GlobCase{"abc", "abd", false},
+        GlobCase{"a*c", "abc", true}, GlobCase{"a*c", "ac", true},
+        GlobCase{"a*c", "abdc", true}, GlobCase{"a*c", "abcd", false},
+        GlobCase{"show-*", "show-config", true}, GlobCase{"show-*", "ping", false},
+        GlobCase{"r?", "r1", true}, GlobCase{"r?", "r12", false},
+        GlobCase{"*-edit", "acl-edit", true}, GlobCase{"*e*t*", "enforcement", true},
+        GlobCase{"**", "xy", true}, GlobCase{"a**b", "ab", true},
+        GlobCase{"Gi0/?", "Gi0/1", true}, GlobCase{"Gi0/?", "Gi0/11", false}));
+
+// ----------------------------------------------------------------- sha256 --
+
+TEST(Sha256, NistVectors) {
+  // FIPS 180-4 reference vectors.
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (std::size_t cut = 0; cut <= data.size(); cut += 7) {
+    Sha256 hasher;
+    hasher.update(data.substr(0, cut));
+    hasher.update(data.substr(cut));
+    EXPECT_EQ(hasher.finish(), Sha256::hash(data)) << "cut=" << cut;
+  }
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Padding boundaries: 55, 56, 63, 64, 65 bytes.
+  for (std::size_t length : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    std::string data(length, 'x');
+    Sha256 split_hasher;
+    split_hasher.update(data.substr(0, length / 2));
+    split_hasher.update(data.substr(length / 2));
+    EXPECT_EQ(split_hasher.finish(), Sha256::hash(data)) << "length=" << length;
+  }
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  Sha256 hasher;
+  hasher.update("x");
+  hasher.finish();
+  EXPECT_THROW(hasher.update("y"), InvariantError);
+  EXPECT_THROW(hasher.finish(), InvariantError);
+}
+
+TEST(Hmac, Rfc4231Vectors) {
+  // RFC 4231 test case 2.
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // RFC 4231 test case 1.
+  std::string key(20, '\x0b');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  std::string key(131, '\xaa');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  EXPECT_NE(hmac_sha256("k1", "msg"), hmac_sha256("k2", "msg"));
+  EXPECT_NE(hmac_sha256("k", "msg1"), hmac_sha256("k", "msg2"));
+}
+
+// ------------------------------------------------------------------- json --
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-17").as_number(), -17);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(Json, ParsesNested) {
+  Json doc = Json::parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  EXPECT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(doc.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_TRUE(doc.at("c").at("d").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), ParseError);
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("[1,]"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(Json::parse("tru"), ParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Json::parse("1 2"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), ParseError);
+}
+
+TEST(Json, DumpRoundTrips) {
+  const char* documents[] = {
+      R"({"privileges":[{"effect":"allow","actions":["ping"],"resource":{"device":"r1"}}]})",
+      R"([1,2,[3,[4]],{"x":true,"y":null}])",
+      R"("plain string")",
+      R"({})",
+      R"([])",
+  };
+  for (const char* text : documents) {
+    Json once = Json::parse(text);
+    Json twice = Json::parse(once.dump());
+    EXPECT_EQ(once, twice) << text;
+    // Pretty-printed form parses back identically too.
+    EXPECT_EQ(Json::parse(once.dump(2)), once) << text;
+  }
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json doc;
+  doc.set("zeta", Json(1));
+  doc.set("alpha", Json(2));
+  EXPECT_EQ(doc.dump(), R"({"zeta":1,"alpha":2})");
+  doc.set("zeta", Json(3));  // update in place, order unchanged
+  EXPECT_EQ(doc.dump(), R"({"zeta":3,"alpha":2})");
+}
+
+TEST(Json, TypeErrorsThrow) {
+  Json doc = Json::parse("[1]");
+  EXPECT_THROW(doc.as_object(), ParseError);
+  EXPECT_THROW(doc.as_string(), ParseError);
+  EXPECT_THROW(doc.as_array()[0].as_bool(), ParseError);
+}
+
+TEST(Json, IntegersDumpWithoutDecimals) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+// -------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_difference = false;
+  for (int i = 0; i < 10; ++i) any_difference |= (a.next() != b.next());
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_THROW(rng.next_below(0), InvariantError);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.next_in(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+// ------------------------------------------------------------------ clock --
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(100);
+  clock.advance(0);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150);
+  EXPECT_THROW(clock.advance(-1), InvariantError);
+}
+
+TEST(Stopwatch, MeasuresNonNegative) {
+  Stopwatch watch;
+  EXPECT_GE(watch.elapsed_ms(), 0.0);
+  watch.restart();
+  EXPECT_GE(watch.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace heimdall::util
