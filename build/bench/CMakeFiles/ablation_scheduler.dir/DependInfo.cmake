@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_scheduler.cpp" "bench/CMakeFiles/ablation_scheduler.dir/ablation_scheduler.cpp.o" "gcc" "bench/CMakeFiles/ablation_scheduler.dir/ablation_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/heimdall_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/msp/CMakeFiles/heimdall_msp.dir/DependInfo.cmake"
+  "/root/repo/build/src/enforcer/CMakeFiles/heimdall_enforcer.dir/DependInfo.cmake"
+  "/root/repo/build/src/twin/CMakeFiles/heimdall_twin.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/heimdall_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/privilege/CMakeFiles/heimdall_privilege.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/heimdall_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/heimdall_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/heimdall_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heimdall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_university_tradeoff.dir/fig9_university_tradeoff.cpp.o"
+  "CMakeFiles/fig9_university_tradeoff.dir/fig9_university_tradeoff.cpp.o.d"
+  "fig9_university_tradeoff"
+  "fig9_university_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_university_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_networks.dir/table1_networks.cpp.o"
+  "CMakeFiles/table1_networks.dir/table1_networks.cpp.o.d"
+  "table1_networks"
+  "table1_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

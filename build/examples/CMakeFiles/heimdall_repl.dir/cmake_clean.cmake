@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_repl.dir/heimdall_repl.cpp.o"
+  "CMakeFiles/heimdall_repl.dir/heimdall_repl.cpp.o.d"
+  "heimdall_repl"
+  "heimdall_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

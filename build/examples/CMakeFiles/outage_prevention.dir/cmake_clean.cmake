@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_prevention.dir/outage_prevention.cpp.o"
+  "CMakeFiles/outage_prevention.dir/outage_prevention.cpp.o.d"
+  "outage_prevention"
+  "outage_prevention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_prevention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

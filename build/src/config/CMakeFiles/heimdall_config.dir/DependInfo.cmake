@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/diff.cpp" "src/config/CMakeFiles/heimdall_config.dir/diff.cpp.o" "gcc" "src/config/CMakeFiles/heimdall_config.dir/diff.cpp.o.d"
+  "/root/repo/src/config/parse.cpp" "src/config/CMakeFiles/heimdall_config.dir/parse.cpp.o" "gcc" "src/config/CMakeFiles/heimdall_config.dir/parse.cpp.o.d"
+  "/root/repo/src/config/serialize.cpp" "src/config/CMakeFiles/heimdall_config.dir/serialize.cpp.o" "gcc" "src/config/CMakeFiles/heimdall_config.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netmodel/CMakeFiles/heimdall_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heimdall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

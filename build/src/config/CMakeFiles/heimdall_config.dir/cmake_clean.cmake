@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_config.dir/diff.cpp.o"
+  "CMakeFiles/heimdall_config.dir/diff.cpp.o.d"
+  "CMakeFiles/heimdall_config.dir/parse.cpp.o"
+  "CMakeFiles/heimdall_config.dir/parse.cpp.o.d"
+  "CMakeFiles/heimdall_config.dir/serialize.cpp.o"
+  "CMakeFiles/heimdall_config.dir/serialize.cpp.o.d"
+  "libheimdall_config.a"
+  "libheimdall_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/dataplane.cpp" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/dataplane.cpp.o" "gcc" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/dataplane.cpp.o.d"
+  "/root/repo/src/dataplane/fib.cpp" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/fib.cpp.o" "gcc" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/fib.cpp.o.d"
+  "/root/repo/src/dataplane/l2.cpp" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/l2.cpp.o" "gcc" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/l2.cpp.o.d"
+  "/root/repo/src/dataplane/ospf.cpp" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/ospf.cpp.o" "gcc" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/ospf.cpp.o.d"
+  "/root/repo/src/dataplane/reachability.cpp" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/reachability.cpp.o" "gcc" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/reachability.cpp.o.d"
+  "/root/repo/src/dataplane/route.cpp" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/route.cpp.o" "gcc" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/route.cpp.o.d"
+  "/root/repo/src/dataplane/trace.cpp" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/trace.cpp.o" "gcc" "src/dataplane/CMakeFiles/heimdall_dataplane.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netmodel/CMakeFiles/heimdall_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heimdall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

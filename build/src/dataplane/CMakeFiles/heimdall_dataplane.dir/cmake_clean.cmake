@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_dataplane.dir/dataplane.cpp.o"
+  "CMakeFiles/heimdall_dataplane.dir/dataplane.cpp.o.d"
+  "CMakeFiles/heimdall_dataplane.dir/fib.cpp.o"
+  "CMakeFiles/heimdall_dataplane.dir/fib.cpp.o.d"
+  "CMakeFiles/heimdall_dataplane.dir/l2.cpp.o"
+  "CMakeFiles/heimdall_dataplane.dir/l2.cpp.o.d"
+  "CMakeFiles/heimdall_dataplane.dir/ospf.cpp.o"
+  "CMakeFiles/heimdall_dataplane.dir/ospf.cpp.o.d"
+  "CMakeFiles/heimdall_dataplane.dir/reachability.cpp.o"
+  "CMakeFiles/heimdall_dataplane.dir/reachability.cpp.o.d"
+  "CMakeFiles/heimdall_dataplane.dir/route.cpp.o"
+  "CMakeFiles/heimdall_dataplane.dir/route.cpp.o.d"
+  "CMakeFiles/heimdall_dataplane.dir/trace.cpp.o"
+  "CMakeFiles/heimdall_dataplane.dir/trace.cpp.o.d"
+  "libheimdall_dataplane.a"
+  "libheimdall_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

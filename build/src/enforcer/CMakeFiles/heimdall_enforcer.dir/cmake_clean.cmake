@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_enforcer.dir/audit.cpp.o"
+  "CMakeFiles/heimdall_enforcer.dir/audit.cpp.o.d"
+  "CMakeFiles/heimdall_enforcer.dir/compliance.cpp.o"
+  "CMakeFiles/heimdall_enforcer.dir/compliance.cpp.o.d"
+  "CMakeFiles/heimdall_enforcer.dir/enclave.cpp.o"
+  "CMakeFiles/heimdall_enforcer.dir/enclave.cpp.o.d"
+  "CMakeFiles/heimdall_enforcer.dir/enforcer.cpp.o"
+  "CMakeFiles/heimdall_enforcer.dir/enforcer.cpp.o.d"
+  "CMakeFiles/heimdall_enforcer.dir/scheduler.cpp.o"
+  "CMakeFiles/heimdall_enforcer.dir/scheduler.cpp.o.d"
+  "CMakeFiles/heimdall_enforcer.dir/verifier.cpp.o"
+  "CMakeFiles/heimdall_enforcer.dir/verifier.cpp.o.d"
+  "libheimdall_enforcer.a"
+  "libheimdall_enforcer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_enforcer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_msp.dir/attacker.cpp.o"
+  "CMakeFiles/heimdall_msp.dir/attacker.cpp.o.d"
+  "CMakeFiles/heimdall_msp.dir/metrics.cpp.o"
+  "CMakeFiles/heimdall_msp.dir/metrics.cpp.o.d"
+  "CMakeFiles/heimdall_msp.dir/rmm.cpp.o"
+  "CMakeFiles/heimdall_msp.dir/rmm.cpp.o.d"
+  "CMakeFiles/heimdall_msp.dir/technician.cpp.o"
+  "CMakeFiles/heimdall_msp.dir/technician.cpp.o.d"
+  "CMakeFiles/heimdall_msp.dir/ticketing.cpp.o"
+  "CMakeFiles/heimdall_msp.dir/ticketing.cpp.o.d"
+  "CMakeFiles/heimdall_msp.dir/workflow.cpp.o"
+  "CMakeFiles/heimdall_msp.dir/workflow.cpp.o.d"
+  "libheimdall_msp.a"
+  "libheimdall_msp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_msp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for heimdall_msp.
+# This may be replaced when dependencies are built.

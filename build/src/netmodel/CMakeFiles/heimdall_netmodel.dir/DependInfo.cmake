@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netmodel/acl.cpp" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/acl.cpp.o" "gcc" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/acl.cpp.o.d"
+  "/root/repo/src/netmodel/device.cpp" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/device.cpp.o" "gcc" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/device.cpp.o.d"
+  "/root/repo/src/netmodel/ipv4.cpp" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/ipv4.cpp.o" "gcc" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/ipv4.cpp.o.d"
+  "/root/repo/src/netmodel/network.cpp" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/network.cpp.o" "gcc" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/network.cpp.o.d"
+  "/root/repo/src/netmodel/topology.cpp" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/topology.cpp.o" "gcc" "src/netmodel/CMakeFiles/heimdall_netmodel.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/heimdall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

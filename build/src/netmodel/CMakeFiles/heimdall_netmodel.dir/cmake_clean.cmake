@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_netmodel.dir/acl.cpp.o"
+  "CMakeFiles/heimdall_netmodel.dir/acl.cpp.o.d"
+  "CMakeFiles/heimdall_netmodel.dir/device.cpp.o"
+  "CMakeFiles/heimdall_netmodel.dir/device.cpp.o.d"
+  "CMakeFiles/heimdall_netmodel.dir/ipv4.cpp.o"
+  "CMakeFiles/heimdall_netmodel.dir/ipv4.cpp.o.d"
+  "CMakeFiles/heimdall_netmodel.dir/network.cpp.o"
+  "CMakeFiles/heimdall_netmodel.dir/network.cpp.o.d"
+  "CMakeFiles/heimdall_netmodel.dir/topology.cpp.o"
+  "CMakeFiles/heimdall_netmodel.dir/topology.cpp.o.d"
+  "libheimdall_netmodel.a"
+  "libheimdall_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

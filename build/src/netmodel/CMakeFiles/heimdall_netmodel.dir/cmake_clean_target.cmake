@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libheimdall_netmodel.a"
+)

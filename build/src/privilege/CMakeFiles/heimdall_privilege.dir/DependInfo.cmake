@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privilege/action.cpp" "src/privilege/CMakeFiles/heimdall_privilege.dir/action.cpp.o" "gcc" "src/privilege/CMakeFiles/heimdall_privilege.dir/action.cpp.o.d"
+  "/root/repo/src/privilege/escalation.cpp" "src/privilege/CMakeFiles/heimdall_privilege.dir/escalation.cpp.o" "gcc" "src/privilege/CMakeFiles/heimdall_privilege.dir/escalation.cpp.o.d"
+  "/root/repo/src/privilege/explain.cpp" "src/privilege/CMakeFiles/heimdall_privilege.dir/explain.cpp.o" "gcc" "src/privilege/CMakeFiles/heimdall_privilege.dir/explain.cpp.o.d"
+  "/root/repo/src/privilege/generator.cpp" "src/privilege/CMakeFiles/heimdall_privilege.dir/generator.cpp.o" "gcc" "src/privilege/CMakeFiles/heimdall_privilege.dir/generator.cpp.o.d"
+  "/root/repo/src/privilege/json_frontend.cpp" "src/privilege/CMakeFiles/heimdall_privilege.dir/json_frontend.cpp.o" "gcc" "src/privilege/CMakeFiles/heimdall_privilege.dir/json_frontend.cpp.o.d"
+  "/root/repo/src/privilege/resource.cpp" "src/privilege/CMakeFiles/heimdall_privilege.dir/resource.cpp.o" "gcc" "src/privilege/CMakeFiles/heimdall_privilege.dir/resource.cpp.o.d"
+  "/root/repo/src/privilege/spec.cpp" "src/privilege/CMakeFiles/heimdall_privilege.dir/spec.cpp.o" "gcc" "src/privilege/CMakeFiles/heimdall_privilege.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netmodel/CMakeFiles/heimdall_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heimdall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

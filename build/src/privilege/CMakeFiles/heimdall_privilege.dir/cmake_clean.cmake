@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_privilege.dir/action.cpp.o"
+  "CMakeFiles/heimdall_privilege.dir/action.cpp.o.d"
+  "CMakeFiles/heimdall_privilege.dir/escalation.cpp.o"
+  "CMakeFiles/heimdall_privilege.dir/escalation.cpp.o.d"
+  "CMakeFiles/heimdall_privilege.dir/explain.cpp.o"
+  "CMakeFiles/heimdall_privilege.dir/explain.cpp.o.d"
+  "CMakeFiles/heimdall_privilege.dir/generator.cpp.o"
+  "CMakeFiles/heimdall_privilege.dir/generator.cpp.o.d"
+  "CMakeFiles/heimdall_privilege.dir/json_frontend.cpp.o"
+  "CMakeFiles/heimdall_privilege.dir/json_frontend.cpp.o.d"
+  "CMakeFiles/heimdall_privilege.dir/resource.cpp.o"
+  "CMakeFiles/heimdall_privilege.dir/resource.cpp.o.d"
+  "CMakeFiles/heimdall_privilege.dir/spec.cpp.o"
+  "CMakeFiles/heimdall_privilege.dir/spec.cpp.o.d"
+  "libheimdall_privilege.a"
+  "libheimdall_privilege.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_privilege.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_scenarios.dir/builder.cpp.o"
+  "CMakeFiles/heimdall_scenarios.dir/builder.cpp.o.d"
+  "CMakeFiles/heimdall_scenarios.dir/enterprise.cpp.o"
+  "CMakeFiles/heimdall_scenarios.dir/enterprise.cpp.o.d"
+  "CMakeFiles/heimdall_scenarios.dir/issues.cpp.o"
+  "CMakeFiles/heimdall_scenarios.dir/issues.cpp.o.d"
+  "CMakeFiles/heimdall_scenarios.dir/university.cpp.o"
+  "CMakeFiles/heimdall_scenarios.dir/university.cpp.o.d"
+  "libheimdall_scenarios.a"
+  "libheimdall_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/json_frontend.cpp" "src/spec/CMakeFiles/heimdall_spec.dir/json_frontend.cpp.o" "gcc" "src/spec/CMakeFiles/heimdall_spec.dir/json_frontend.cpp.o.d"
+  "/root/repo/src/spec/mine.cpp" "src/spec/CMakeFiles/heimdall_spec.dir/mine.cpp.o" "gcc" "src/spec/CMakeFiles/heimdall_spec.dir/mine.cpp.o.d"
+  "/root/repo/src/spec/policy.cpp" "src/spec/CMakeFiles/heimdall_spec.dir/policy.cpp.o" "gcc" "src/spec/CMakeFiles/heimdall_spec.dir/policy.cpp.o.d"
+  "/root/repo/src/spec/verify.cpp" "src/spec/CMakeFiles/heimdall_spec.dir/verify.cpp.o" "gcc" "src/spec/CMakeFiles/heimdall_spec.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/heimdall_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/heimdall_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heimdall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

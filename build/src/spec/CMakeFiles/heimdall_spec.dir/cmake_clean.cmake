@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_spec.dir/json_frontend.cpp.o"
+  "CMakeFiles/heimdall_spec.dir/json_frontend.cpp.o.d"
+  "CMakeFiles/heimdall_spec.dir/mine.cpp.o"
+  "CMakeFiles/heimdall_spec.dir/mine.cpp.o.d"
+  "CMakeFiles/heimdall_spec.dir/policy.cpp.o"
+  "CMakeFiles/heimdall_spec.dir/policy.cpp.o.d"
+  "CMakeFiles/heimdall_spec.dir/verify.cpp.o"
+  "CMakeFiles/heimdall_spec.dir/verify.cpp.o.d"
+  "libheimdall_spec.a"
+  "libheimdall_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

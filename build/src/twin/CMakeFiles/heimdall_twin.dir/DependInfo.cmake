@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twin/console.cpp" "src/twin/CMakeFiles/heimdall_twin.dir/console.cpp.o" "gcc" "src/twin/CMakeFiles/heimdall_twin.dir/console.cpp.o.d"
+  "/root/repo/src/twin/emulation.cpp" "src/twin/CMakeFiles/heimdall_twin.dir/emulation.cpp.o" "gcc" "src/twin/CMakeFiles/heimdall_twin.dir/emulation.cpp.o.d"
+  "/root/repo/src/twin/monitor.cpp" "src/twin/CMakeFiles/heimdall_twin.dir/monitor.cpp.o" "gcc" "src/twin/CMakeFiles/heimdall_twin.dir/monitor.cpp.o.d"
+  "/root/repo/src/twin/presentation.cpp" "src/twin/CMakeFiles/heimdall_twin.dir/presentation.cpp.o" "gcc" "src/twin/CMakeFiles/heimdall_twin.dir/presentation.cpp.o.d"
+  "/root/repo/src/twin/scrub.cpp" "src/twin/CMakeFiles/heimdall_twin.dir/scrub.cpp.o" "gcc" "src/twin/CMakeFiles/heimdall_twin.dir/scrub.cpp.o.d"
+  "/root/repo/src/twin/slice.cpp" "src/twin/CMakeFiles/heimdall_twin.dir/slice.cpp.o" "gcc" "src/twin/CMakeFiles/heimdall_twin.dir/slice.cpp.o.d"
+  "/root/repo/src/twin/twin.cpp" "src/twin/CMakeFiles/heimdall_twin.dir/twin.cpp.o" "gcc" "src/twin/CMakeFiles/heimdall_twin.dir/twin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/heimdall_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/heimdall_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/privilege/CMakeFiles/heimdall_privilege.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/heimdall_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/heimdall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

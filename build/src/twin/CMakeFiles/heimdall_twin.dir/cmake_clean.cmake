@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_twin.dir/console.cpp.o"
+  "CMakeFiles/heimdall_twin.dir/console.cpp.o.d"
+  "CMakeFiles/heimdall_twin.dir/emulation.cpp.o"
+  "CMakeFiles/heimdall_twin.dir/emulation.cpp.o.d"
+  "CMakeFiles/heimdall_twin.dir/monitor.cpp.o"
+  "CMakeFiles/heimdall_twin.dir/monitor.cpp.o.d"
+  "CMakeFiles/heimdall_twin.dir/presentation.cpp.o"
+  "CMakeFiles/heimdall_twin.dir/presentation.cpp.o.d"
+  "CMakeFiles/heimdall_twin.dir/scrub.cpp.o"
+  "CMakeFiles/heimdall_twin.dir/scrub.cpp.o.d"
+  "CMakeFiles/heimdall_twin.dir/slice.cpp.o"
+  "CMakeFiles/heimdall_twin.dir/slice.cpp.o.d"
+  "CMakeFiles/heimdall_twin.dir/twin.cpp.o"
+  "CMakeFiles/heimdall_twin.dir/twin.cpp.o.d"
+  "libheimdall_twin.a"
+  "libheimdall_twin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_twin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

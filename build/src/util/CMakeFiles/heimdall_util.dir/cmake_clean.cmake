@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heimdall_util.dir/clock.cpp.o"
+  "CMakeFiles/heimdall_util.dir/clock.cpp.o.d"
+  "CMakeFiles/heimdall_util.dir/json.cpp.o"
+  "CMakeFiles/heimdall_util.dir/json.cpp.o.d"
+  "CMakeFiles/heimdall_util.dir/random.cpp.o"
+  "CMakeFiles/heimdall_util.dir/random.cpp.o.d"
+  "CMakeFiles/heimdall_util.dir/sha256.cpp.o"
+  "CMakeFiles/heimdall_util.dir/sha256.cpp.o.d"
+  "CMakeFiles/heimdall_util.dir/strings.cpp.o"
+  "CMakeFiles/heimdall_util.dir/strings.cpp.o.d"
+  "libheimdall_util.a"
+  "libheimdall_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heimdall_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

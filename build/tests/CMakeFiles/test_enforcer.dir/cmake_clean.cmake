@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enforcer.dir/test_enforcer.cpp.o"
+  "CMakeFiles/test_enforcer.dir/test_enforcer.cpp.o.d"
+  "test_enforcer"
+  "test_enforcer.pdb"
+  "test_enforcer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enforcer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

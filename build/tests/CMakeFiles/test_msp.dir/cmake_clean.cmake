@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msp.dir/test_msp.cpp.o"
+  "CMakeFiles/test_msp.dir/test_msp.cpp.o.d"
+  "test_msp"
+  "test_msp.pdb"
+  "test_msp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

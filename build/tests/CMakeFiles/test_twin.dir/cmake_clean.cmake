@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twin.dir/test_twin.cpp.o"
+  "CMakeFiles/test_twin.dir/test_twin.cpp.o.d"
+  "test_twin"
+  "test_twin.pdb"
+  "test_twin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_ipv4[1]_include.cmake")
+include("/root/repo/build/tests/test_netmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_dataplane[1]_include.cmake")
+include("/root/repo/build/tests/test_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_privilege[1]_include.cmake")
+include("/root/repo/build/tests/test_twin[1]_include.cmake")
+include("/root/repo/build/tests/test_enforcer[1]_include.cmake")
+include("/root/repo/build/tests/test_msp[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_ticketing[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
