@@ -4,6 +4,7 @@
 // the root cause stays reachable.
 #include <cstdio>
 
+#include "analysis/engine.hpp"
 #include "msp/metrics.hpp"
 #include "privilege/generator.hpp"
 #include "scenarios/enterprise.hpp"
@@ -17,7 +18,9 @@ using namespace heimdall;
 void run_issue(const net::Network& healthy, const scen::IssueSpec& issue) {
   net::Network broken = healthy;
   issue.inject(broken);
-  dp::Dataplane dataplane = dp::Dataplane::compute(broken);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(broken);
+  const dp::Dataplane& dataplane = *snapshot.dataplane;
 
   std::printf("  issue %-6s (root cause %s):\n", issue.key.c_str(), issue.root_cause.str().c_str());
   std::printf("    %-12s %9s %10s %10s %12s %10s\n", "strategy", "devices", "commands",

@@ -1,12 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the substrates every experiment
-// rides on: dataplane computation, LPM lookups, flow tracing, reachability,
-// policy verification, twin creation, config round-trips, audit appends,
-// SHA-256 throughput.
+// rides on: the analysis engine (full, incremental, memoized, parallel),
+// LPM lookups, flow tracing, policy verification, twin creation, config
+// round-trips, audit appends, SHA-256 throughput.
+//
+// Engines that measure real compute use cache_capacity = 0 so memoization
+// cannot turn the loop body into a lookup.
 #include <benchmark/benchmark.h>
 
+#include <stdexcept>
+
+#include "analysis/engine.hpp"
+#include "config/diff.hpp"
 #include "config/parse.hpp"
 #include "config/serialize.hpp"
-#include "dataplane/reachability.hpp"
 #include "enforcer/audit.hpp"
 #include "scenarios/enterprise.hpp"
 #include "scenarios/university.hpp"
@@ -31,13 +37,98 @@ const net::Network& university() {
 
 const net::Network& pick(int index) { return index == 0 ? enterprise() : university(); }
 
-void BM_DataplaneCompute(benchmark::State& state) {
+analysis::Options uncached() {
+  analysis::Options options;
+  options.cache_capacity = 0;
+  return options;
+}
+
+/// A static route on `router_id` towards an unused prefix, with a next hop
+/// inside one of the router's connected subnets (so the FIB installs it).
+cfg::ConfigChange make_static_route_change(const net::Network& network,
+                                           const net::DeviceId& router_id) {
+  const net::Device& router = network.device(router_id);
+  for (const net::Interface& iface : router.interfaces()) {
+    if (!iface.address || iface.shutdown) continue;
+    std::uint32_t candidate = iface.address->ip.value() + 1;
+    if (!iface.address->subnet().contains(net::Ipv4Address(candidate)))
+      candidate = iface.address->ip.value() - 1;
+    net::StaticRoute route;
+    route.prefix = net::Ipv4Prefix::parse("203.0.113.0/24");
+    route.next_hop = net::Ipv4Address(candidate);
+    return {router_id, cfg::StaticRouteAdd{route}};
+  }
+  throw std::runtime_error("no usable interface on " + router_id.str());
+}
+
+void BM_EngineAnalyzeDataplane(benchmark::State& state) {
   const net::Network& network = pick(static_cast<int>(state.range(0)));
+  analysis::Engine engine(uncached());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dp::Dataplane::compute(network));
+    benchmark::DoNotOptimize(engine.analyze_dataplane(network));
   }
 }
-BENCHMARK(BM_DataplaneCompute)->Arg(0)->Arg(1)->ArgNames({"net"});
+BENCHMARK(BM_EngineAnalyzeDataplane)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_EngineAnalyzeFull(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  analysis::Engine engine(uncached());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.analyze(network));
+  }
+}
+BENCHMARK(BM_EngineAnalyzeFull)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_EngineAnalyzeFullParallel(benchmark::State& state) {
+  const net::Network& network = university();
+  analysis::Options options = uncached();
+  options.trace_threads = static_cast<std::size_t>(state.range(0));
+  analysis::Engine engine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.analyze(network));
+  }
+}
+BENCHMARK(BM_EngineAnalyzeFullParallel)->Arg(2)->Arg(4)->ArgNames({"threads"});
+
+void BM_EngineCacheHit(benchmark::State& state) {
+  const net::Network& network = university();
+  analysis::Engine engine;
+  engine.analyze(network);  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.analyze(network));
+  }
+}
+BENCHMARK(BM_EngineCacheHit);
+
+// The incremental-vs-full pair: one static-route edit on the university
+// network (13 routers / 17 hosts / 92 links). The incremental path rebuilds
+// one FIB and re-traces only pairs crossing the edited router; the full path
+// recomputes L2 + OSPF + every FIB and re-traces all 272 pairs.
+void BM_EngineFullAfterStaticRoute(benchmark::State& state) {
+  const net::Network& base_net = university();
+  net::Network changed = base_net;
+  cfg::apply_change(changed, make_static_route_change(base_net, net::DeviceId("u1")));
+  analysis::Engine engine(uncached());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.analyze(changed));
+  }
+}
+BENCHMARK(BM_EngineFullAfterStaticRoute);
+
+void BM_EngineIncrementalStaticRoute(benchmark::State& state) {
+  const net::Network& base_net = university();
+  std::vector<cfg::ConfigChange> changes{
+      make_static_route_change(base_net, net::DeviceId("u1"))};
+  net::Network changed = base_net;
+  cfg::apply_change(changed, changes.front());
+
+  analysis::Engine engine(uncached());
+  analysis::Snapshot base = engine.analyze(base_net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.analyze(changed, base, changes));
+  }
+}
+BENCHMARK(BM_EngineIncrementalStaticRoute);
 
 void BM_FibLookup(benchmark::State& state) {
   dp::Fib fib;
@@ -60,45 +151,50 @@ BENCHMARK(BM_FibLookup);
 
 void BM_FlowTrace(benchmark::State& state) {
   const net::Network& network = pick(static_cast<int>(state.range(0)));
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(network);
   auto hosts = network.device_ids(net::DeviceKind::Host);
   std::size_t i = 0;
   for (auto _ : state) {
     const net::DeviceId& src = hosts[i % hosts.size()];
     const net::DeviceId& dst = hosts[(i + 1) % hosts.size()];
-    benchmark::DoNotOptimize(dp::trace_hosts(network, dataplane, src, dst));
+    benchmark::DoNotOptimize(dp::trace_hosts(network, *snapshot.dataplane, src, dst));
     ++i;
   }
 }
 BENCHMARK(BM_FlowTrace)->Arg(0)->Arg(1)->ArgNames({"net"});
-
-void BM_ReachabilityMatrix(benchmark::State& state) {
-  const net::Network& network = pick(static_cast<int>(state.range(0)));
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dp::ReachabilityMatrix::compute(network, dataplane));
-  }
-}
-BENCHMARK(BM_ReachabilityMatrix)->Arg(0)->Arg(1)->ArgNames({"net"});
 
 void BM_PolicyVerifyFullPipeline(benchmark::State& state) {
   const net::Network& network = pick(static_cast<int>(state.range(0)));
   spec::PolicyVerifier verifier(state.range(0) == 0 ? scen::enterprise_policies(network)
                                                     : scen::university_policies(network));
   for (auto _ : state) {
+    verifier.engine().clear();  // force the full pipeline every iteration
     benchmark::DoNotOptimize(verifier.verify_network(network));
   }
 }
 BENCHMARK(BM_PolicyVerifyFullPipeline)->Arg(0)->Arg(1)->ArgNames({"net"});
 
+void BM_PolicyVerifyMemoized(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  spec::PolicyVerifier verifier(state.range(0) == 0 ? scen::enterprise_policies(network)
+                                                    : scen::university_policies(network));
+  verifier.verify_network(network);  // warm the engine memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify_network(network));
+  }
+}
+BENCHMARK(BM_PolicyVerifyMemoized)->Arg(0)->Arg(1)->ArgNames({"net"});
+
 void BM_TwinCreate(benchmark::State& state) {
   const net::Network& network = enterprise();
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(network);
   msp::Ticket ticket = msp::Ticket::connectivity(1, net::DeviceId("h2"), net::DeviceId("h4"),
                                                  "bench", priv::TaskClass::VlanIssue);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        twin::TwinNetwork::create(network, dataplane, ticket, twin::SliceStrategy::TaskDriven));
+    benchmark::DoNotOptimize(twin::TwinNetwork::create(network, *snapshot.dataplane, ticket,
+                                                       twin::SliceStrategy::TaskDriven));
   }
 }
 BENCHMARK(BM_TwinCreate);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/engine.hpp"
 #include "dataplane/reachability.hpp"
 #include "msp/metrics.hpp"
 #include "privilege/generator.hpp"
@@ -52,9 +53,9 @@ inline void run_tradeoff(const char* figure, const net::Network& healthy,
   using namespace heimdall;
   spec::PolicyVerifier verifier(policies);
 
-  dp::Dataplane healthy_dataplane = dp::Dataplane::compute(healthy);
-  dp::ReachabilityMatrix healthy_matrix =
-      dp::ReachabilityMatrix::compute(healthy, healthy_dataplane);
+  analysis::Engine engine;
+  analysis::Snapshot healthy_snapshot = engine.analyze(healthy);
+  const dp::ReachabilityMatrix& healthy_matrix = *healthy_snapshot.reachability;
 
   StrategyStats all_stats{"All"};
   StrategyStats neighbor_stats{"Neighbor"};
@@ -80,10 +81,9 @@ inline void run_tradeoff(const char* figure, const net::Network& healthy,
 
       net::Network broken = healthy;
       broken.device(device.id()).interface(iface.id).shutdown = true;
-      dp::Dataplane broken_dataplane = dp::Dataplane::compute(broken);
-      dp::ReachabilityMatrix broken_matrix =
-          dp::ReachabilityMatrix::compute(broken, broken_dataplane);
-      auto flips = dp::ReachabilityMatrix::diff(healthy_matrix, broken_matrix);
+      analysis::Snapshot broken_snapshot = engine.analyze(broken);
+      const dp::Dataplane& broken_dataplane = *broken_snapshot.dataplane;
+      auto flips = dp::ReachabilityMatrix::diff(healthy_matrix, *broken_snapshot.reachability);
       if (flips.empty()) {
         ++skipped_no_impact;
         continue;

@@ -8,6 +8,7 @@
 // Run:  ./build/examples/audit_trail
 #include <cstdio>
 
+#include "analysis/engine.hpp"
 #include "enforcer/enforcer.hpp"
 #include "scenarios/enterprise.hpp"
 #include "twin/twin.hpp"
@@ -23,7 +24,9 @@ int main() {
   util::VirtualClock clock;
 
   // --- a recorded session -------------------------------------------------
-  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(production);
+  const dp::Dataplane& dataplane = *snapshot.dataplane;
   msp::Ticket ticket = msp::Ticket::connectivity(12, net::DeviceId("h2"), net::DeviceId("h4"),
                                                  "h2 down", priv::TaskClass::VlanIssue);
   twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);

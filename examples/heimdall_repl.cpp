@@ -21,6 +21,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/engine.hpp"
 #include "enforcer/enforcer.hpp"
 #include "twin/presentation.hpp"
 #include "twin/twin.hpp"
@@ -82,7 +83,9 @@ int main(int argc, char** argv) {
   scen::IssueSpec issue = find_issue(network_name, issue_key);
   issue.inject(production);
 
-  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(production);
+  const dp::Dataplane& dataplane = *snapshot.dataplane;
   twin::TwinNetwork sandbox = twin::TwinNetwork::create(production, dataplane, issue.ticket);
   enforce::PolicyEnforcer enforcer(spec::PolicyVerifier(policies),
                                    enforce::SimulatedEnclave("heimdall-enforcer-v1", "hw-root"));

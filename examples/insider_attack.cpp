@@ -10,6 +10,7 @@
 // Run:  ./build/examples/insider_attack
 #include <cstdio>
 
+#include "analysis/engine.hpp"
 #include "enforcer/enforcer.hpp"
 #include "msp/attacker.hpp"
 #include "msp/rmm.hpp"
@@ -79,7 +80,9 @@ int main() {
   // ---------------------------------------------------------- heimdall ----
   std::printf("=== Heimdall: twin network + policy enforcer ===\n");
   net::Network production = broken_enterprise();
-  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(production);
+  const dp::Dataplane& dataplane = *snapshot.dataplane;
   msp::Ticket ticket = msp::Ticket::connectivity(99, net::DeviceId("h1"), net::DeviceId("h7"),
                                                  "h1 lost access to the DMZ app server",
                                                  priv::TaskClass::AclChange);

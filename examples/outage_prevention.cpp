@@ -12,6 +12,7 @@
 // Run:  ./build/examples/outage_prevention
 #include <cstdio>
 
+#include "analysis/engine.hpp"
 #include "enforcer/enforcer.hpp"
 #include "msp/attacker.hpp"
 #include "msp/rmm.hpp"
@@ -41,7 +42,9 @@ int main() {
   // ------------------------------------------------- heimdall twin path ----
   std::printf("=== Heimdall twin ===\n");
   net::Network production = scen::build_enterprise();
-  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(production);
+  const dp::Dataplane& dataplane = *snapshot.dataplane;
   msp::Ticket ticket = msp::Ticket::connectivity(55, net::DeviceId("ext"), net::DeviceId("h1"),
                                                  "routine border maintenance",
                                                  priv::TaskClass::IspReconfig);

@@ -7,6 +7,7 @@
 // Run:  ./build/examples/privilege_escalation
 #include <cstdio>
 
+#include "analysis/engine.hpp"
 #include "enforcer/enforcer.hpp"
 #include "scenarios/enterprise.hpp"
 #include "twin/twin.hpp"
@@ -51,7 +52,9 @@ int main() {
       "h1 cannot reach the DMZ app server - suspected routing problem",
       priv::TaskClass::OspfIssue);
 
-  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(production);
+  const dp::Dataplane& dataplane = *snapshot.dataplane;
   twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);
   std::printf("ticket filed as %s; twin covers %zu devices\n\n",
               to_string(ticket.task).c_str(), twin.slice().devices.size());

@@ -9,6 +9,7 @@
 // Run:  ./build/examples/quickstart
 #include <cstdio>
 
+#include "analysis/engine.hpp"
 #include "enforcer/enforcer.hpp"
 #include "msp/ticket.hpp"
 #include "scenarios/enterprise.hpp"
@@ -32,7 +33,9 @@ int main() {
 
   // 3. Twin network: sliced to the task, secrets scrubbed, every command
   //    mediated against a generated Privilege_msp.
-  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(production);
+  const dp::Dataplane& dataplane = *snapshot.dataplane;
   twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket);
   std::printf("twin created: %zu of %zu devices visible, %zu secrets scrubbed\n",
               twin.slice().devices.size(), production.devices().size(),

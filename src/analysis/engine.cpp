@@ -1,0 +1,219 @@
+#include "analysis/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "config/serialize.hpp"
+#include "util/sha256.hpp"
+
+namespace heimdall::analysis {
+
+using heimdall::cfg::ConfigChange;
+
+Impact classify_impact(const ConfigChange& change) {
+  struct Visitor {
+    // Secrets never enter FIB computation or tracing.
+    Impact operator()(const cfg::SecretChange&) const { return Impact::None; }
+
+    // ACLs are consulted only while tracing flows; FIBs, L2 domains and OSPF
+    // never read them. Pairs whose path avoids the device are unaffected.
+    Impact operator()(const cfg::AclEntryAdd&) const { return Impact::TraceOnly; }
+    Impact operator()(const cfg::AclEntryRemove&) const { return Impact::TraceOnly; }
+    Impact operator()(const cfg::AclCreate&) const { return Impact::TraceOnly; }
+    Impact operator()(const cfg::AclDelete&) const { return Impact::TraceOnly; }
+    Impact operator()(const cfg::InterfaceAclBindingChange&) const { return Impact::TraceOnly; }
+
+    // Static routes live in exactly one device's FIB and are invisible to
+    // L2 domain computation and OSPF.
+    Impact operator()(const cfg::StaticRouteAdd&) const { return Impact::FibLocal; }
+    Impact operator()(const cfg::StaticRouteRemove&) const { return Impact::FibLocal; }
+
+    // Everything else can move broadcast domains, interface addresses, or
+    // the OSPF topology — all of which feed every router's SPF.
+    Impact operator()(const cfg::InterfaceAdminChange&) const { return Impact::Global; }
+    Impact operator()(const cfg::InterfaceAddressChange&) const { return Impact::Global; }
+    Impact operator()(const cfg::SwitchportChange&) const { return Impact::Global; }
+    Impact operator()(const cfg::OspfCostChange&) const { return Impact::Global; }
+    Impact operator()(const cfg::OspfNetworkAdd&) const { return Impact::Global; }
+    Impact operator()(const cfg::OspfNetworkRemove&) const { return Impact::Global; }
+    Impact operator()(const cfg::OspfProcessChange&) const { return Impact::Global; }
+    Impact operator()(const cfg::VlanDeclare&) const { return Impact::Global; }
+    Impact operator()(const cfg::VlanRemove&) const { return Impact::Global; }
+  };
+  return std::visit(Visitor{}, change.detail);
+}
+
+Engine::Engine(Options options) : options_(options) {
+  if (options_.trace_threads > 1)
+    pool_ = std::make_unique<util::ThreadPool>(options_.trace_threads);
+}
+
+std::string Engine::fingerprint(const net::Network& network) const {
+  util::Sha256 hasher;
+  hasher.update(cfg::serialize_network(network));
+  hasher.update(cfg::serialize_topology(network.topology()));
+  return util::to_hex(hasher.finish());
+}
+
+dp::TraceOptions Engine::trace_options() { return dp::TraceOptions{pool_.get()}; }
+
+Engine::Entry* Engine::lookup(const std::string& digest) {
+  auto it = cache_.find(digest);
+  if (it == cache_.end()) return nullptr;
+  lru_.remove(digest);
+  lru_.push_front(digest);
+  return &it->second;
+}
+
+void Engine::remember(const std::string& digest, Entry entry) {
+  if (options_.cache_capacity == 0) return;
+  auto it = cache_.find(digest);
+  if (it != cache_.end()) {
+    it->second = std::move(entry);
+    lru_.remove(digest);
+  } else {
+    while (cache_.size() >= options_.cache_capacity) {
+      cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    cache_.emplace(digest, std::move(entry));
+  }
+  lru_.push_front(digest);
+}
+
+void Engine::clear() {
+  cache_.clear();
+  lru_.clear();
+}
+
+Engine::Entry Engine::compute_full(const net::Network& network, bool want_matrix) {
+  ++stats_.full_recomputes;
+  Entry entry;
+  entry.dataplane = std::make_shared<dp::Dataplane>(dp::Dataplane::compute(network));
+  if (want_matrix) {
+    entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
+        dp::ReachabilityMatrix::compute(network, *entry.dataplane, trace_options()));
+  }
+  return entry;
+}
+
+Engine::Entry Engine::compute_incremental(const net::Network& network, const Snapshot& base,
+                                          const std::vector<ConfigChange>& changes, Impact worst,
+                                          bool want_matrix) {
+  ++stats_.incremental_recomputes;
+  std::set<net::DeviceId> dirty;
+  for (const ConfigChange& change : changes) {
+    if (classify_impact(change) != Impact::None) dirty.insert(change.device);
+  }
+
+  Entry entry;
+  if (worst == Impact::TraceOnly) {
+    // FIBs, L2 domains and OSPF are untouched: share the base dataplane.
+    entry.dataplane = base.dataplane;
+  } else {
+    // FibLocal: copy the snapshot and rebuild only the dirty devices' FIBs,
+    // reusing the cached L2 domains and per-router OSPF routes.
+    auto dataplane = std::make_shared<dp::Dataplane>(*base.dataplane);
+    for (const net::DeviceId& device : dirty) dataplane->rebuild_device_fib(network.device(device));
+    entry.dataplane = std::move(dataplane);
+  }
+
+  if (want_matrix) {
+    if (base.reachability) {
+      std::size_t retraced = 0;
+      entry.matrix = std::make_shared<dp::ReachabilityMatrix>(dp::ReachabilityMatrix::recompute(
+          network, *entry.dataplane, *base.reachability, dirty, trace_options(), &retraced));
+      stats_.retraced_pairs += retraced;
+    } else {
+      entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
+          dp::ReachabilityMatrix::compute(network, *entry.dataplane, trace_options()));
+    }
+  }
+  return entry;
+}
+
+Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
+                              const std::vector<ConfigChange>* changes, bool want_matrix) {
+  ++stats_.analyses;
+  // Digests exist to serve the memo cache; with caching disabled the
+  // serialize-and-hash cost would be pure overhead on every analysis, so
+  // snapshots then carry an empty digest.
+  const bool caching = options_.cache_capacity > 0;
+  std::string digest = caching ? fingerprint(network) : std::string();
+
+  // Unchanged network (e.g. a changeset that cancels out, or a secret edit
+  // against the same base): the base snapshot already answers.
+  if (caching && base && base->valid() && base->digest == digest &&
+      (!want_matrix || base->reachability)) {
+    ++stats_.cache_hits;
+    return *base;
+  }
+
+  if (Entry* cached = caching ? lookup(digest) : nullptr) {
+    if (!want_matrix || cached->matrix) {
+      ++stats_.cache_hits;
+      return Snapshot{digest, cached->dataplane, cached->matrix};
+    }
+    // Dataplane known, matrix missing: complete the cached entry in place.
+    ++stats_.matrix_completions;
+    std::shared_ptr<const dp::Dataplane> dataplane = cached->dataplane;
+    auto matrix = std::make_shared<dp::ReachabilityMatrix>(
+        dp::ReachabilityMatrix::compute(network, *dataplane, trace_options()));
+    remember(digest, Entry{dataplane, matrix});
+    return Snapshot{std::move(digest), std::move(dataplane), std::move(matrix)};
+  }
+
+  Impact worst = Impact::None;
+  if (base && base->valid() && changes) {
+    for (const ConfigChange& change : *changes) worst = std::max(worst, classify_impact(change));
+  } else {
+    worst = Impact::Global;
+  }
+
+  Entry entry;
+  if (worst == Impact::None) {
+    // Secrets only: the base artifacts describe this network verbatim.
+    ++stats_.carried_forward;
+    entry.dataplane = base->dataplane;
+    entry.matrix = base->reachability;
+    if (want_matrix && !entry.matrix) {
+      ++stats_.matrix_completions;
+      entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
+          dp::ReachabilityMatrix::compute(network, *entry.dataplane, trace_options()));
+    }
+  } else if (worst == Impact::Global || !base->reachability) {
+    // Incremental retrace needs the base matrix's recorded paths; without
+    // them (dataplane-only base) a non-global change still recomputes the
+    // dataplane incrementally but cannot scope the trace.
+    if (worst != Impact::Global && base && base->valid()) {
+      entry = compute_incremental(network, *base, *changes, worst, want_matrix);
+    } else {
+      entry = compute_full(network, want_matrix);
+    }
+  } else {
+    entry = compute_incremental(network, *base, *changes, worst, want_matrix);
+  }
+
+  remember(digest, entry);
+  return Snapshot{std::move(digest), std::move(entry.dataplane), std::move(entry.matrix)};
+}
+
+Snapshot Engine::analyze(const net::Network& network) {
+  return analyze_impl(network, nullptr, nullptr, /*want_matrix=*/true);
+}
+
+Snapshot Engine::analyze(const net::Network& network, const Snapshot& base,
+                         const std::vector<ConfigChange>& changes) {
+  return analyze_impl(network, &base, &changes, /*want_matrix=*/true);
+}
+
+Snapshot Engine::analyze_dataplane(const net::Network& network) {
+  return analyze_impl(network, nullptr, nullptr, /*want_matrix=*/false);
+}
+
+Snapshot Engine::analyze_dataplane(const net::Network& network, const Snapshot& base,
+                                   const std::vector<ConfigChange>& changes) {
+  return analyze_impl(network, &base, &changes, /*want_matrix=*/false);
+}
+
+}  // namespace heimdall::analysis

@@ -1,0 +1,143 @@
+// The unified analysis pipeline: network -> dataplane -> reachability,
+// behind one incremental, memoizing facade.
+//
+// Every layer of the system (twin emulation, the enforcer's shadow
+// verification, policy mining, workflows, benchmarks) needs the same chain
+//   Dataplane::compute -> ReachabilityMatrix::compute -> policy checks
+// and used to hand-roll it from scratch. The Engine owns that chain and adds
+// what scattered recomputation cannot:
+//
+//   * content-hash memoization — snapshots are keyed by the SHA-256 of their
+//     serialized configs + topology, so analyzing an identical network twice
+//     (tweak/undo, repeated shadow verification) never recomputes;
+//   * ConfigChange-driven dirty tracking — a change that provably stays
+//     device-local (static routes) rebuilds only that device's FIB and
+//     re-traces only the host pairs whose path crossed it; ACL edits reuse
+//     the entire dataplane and re-trace crossing pairs; anything that can
+//     move L2 domains or OSPF falls back to a full recompute;
+//   * an opt-in thread pool that parallelizes the all-pairs trace.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/diff.hpp"
+#include "dataplane/reachability.hpp"
+#include "util/thread_pool.hpp"
+
+namespace heimdall::analysis {
+
+/// How a ConfigChange can affect a cached analysis, from cheapest to most
+/// expensive. The engine reacts to the worst class in a changeset.
+enum class Impact : std::uint8_t {
+  None,       ///< secrets: no dataplane or reachability effect
+  TraceOnly,  ///< ACL edits: FIBs untouched, re-trace pairs crossing the device
+  FibLocal,   ///< static routes: rebuild one FIB, re-trace crossing pairs
+  Global,     ///< interfaces / VLANs / OSPF: L2 or SPF may move, full recompute
+};
+
+/// Classifies one semantic change (see Impact).
+Impact classify_impact(const cfg::ConfigChange& change);
+
+struct Options {
+  /// Memoized snapshots kept (LRU). 0 disables memoization entirely —
+  /// benchmarks use that to measure honest recompute cost.
+  std::size_t cache_capacity = 8;
+  /// Worker threads for the all-pairs trace; <= 1 keeps it sequential
+  /// (0 would mean hardware_concurrency, but the pool is only built when
+  /// trace_threads > 1).
+  std::size_t trace_threads = 1;
+};
+
+struct Stats {
+  std::size_t analyses = 0;                 ///< analyze* calls
+  std::size_t cache_hits = 0;               ///< served from memo (or the base snapshot)
+  std::size_t full_recomputes = 0;          ///< complete dataplane rebuilds
+  std::size_t incremental_recomputes = 0;   ///< dirty-device fast path taken
+  std::size_t carried_forward = 0;          ///< Impact::None — artifacts reused as-is
+  std::size_t retraced_pairs = 0;           ///< pairs re-traced by incremental paths
+  std::size_t matrix_completions = 0;       ///< matrix added to a dataplane-only snapshot
+
+  /// Dataplane computations of any kind — the twin emulation layer's
+  /// historical recompute_count() statistic.
+  std::size_t recompute_count() const { return full_recomputes + incremental_recomputes; }
+};
+
+/// One analyzed network state. Cheap to copy (shared immutable artifacts).
+/// `reachability` is null when only the dataplane stage was requested.
+struct Snapshot {
+  /// Hex SHA-256 of serialized configs + topology; empty when produced by an
+  /// engine with caching disabled (cache_capacity == 0).
+  std::string digest;
+  std::shared_ptr<const dp::Dataplane> dataplane;
+  std::shared_ptr<const dp::ReachabilityMatrix> reachability;
+
+  bool valid() const { return dataplane != nullptr; }
+};
+
+/// The facade. Not thread-safe itself (internal trace parallelism is);
+/// give each concurrent session its own Engine.
+class Engine {
+ public:
+  explicit Engine(Options options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  /// Full pipeline: dataplane + all-pairs reachability. Memoized.
+  Snapshot analyze(const net::Network& network);
+
+  /// Incremental full pipeline: `network` must be `base`'s network with
+  /// `changes` applied (in order). Falls back to a full recompute when any
+  /// change is Impact::Global or `base` is invalid.
+  Snapshot analyze(const net::Network& network, const Snapshot& base,
+                   const std::vector<cfg::ConfigChange>& changes);
+
+  /// Dataplane stage only — the twin console needs FIBs and single-flow
+  /// traces, not the all-pairs matrix. Memoized; a later analyze() of the
+  /// same snapshot completes the matrix in place.
+  Snapshot analyze_dataplane(const net::Network& network);
+
+  /// Incremental dataplane stage (see the incremental analyze()).
+  Snapshot analyze_dataplane(const net::Network& network, const Snapshot& base,
+                             const std::vector<cfg::ConfigChange>& changes);
+
+  /// Content hash used as the memo key (exposed for staleness checks).
+  std::string fingerprint(const net::Network& network) const;
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// Drops all memoized snapshots (stats are kept).
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const dp::Dataplane> dataplane;
+    std::shared_ptr<const dp::ReachabilityMatrix> matrix;  // may lag behind dataplane
+  };
+
+  Snapshot analyze_impl(const net::Network& network, const Snapshot* base,
+                        const std::vector<cfg::ConfigChange>* changes, bool want_matrix);
+  Entry compute_full(const net::Network& network, bool want_matrix);
+  Entry compute_incremental(const net::Network& network, const Snapshot& base,
+                            const std::vector<cfg::ConfigChange>& changes, Impact worst,
+                            bool want_matrix);
+  dp::TraceOptions trace_options();
+  Entry* lookup(const std::string& digest);
+  void remember(const std::string& digest, Entry entry);
+
+  Options options_;
+  Stats stats_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::map<std::string, Entry> cache_;
+  std::list<std::string> lru_;  // front = most recently used
+};
+
+}  // namespace heimdall::analysis

@@ -4,52 +4,66 @@ namespace heimdall::dp {
 
 using namespace heimdall::net;
 
+void Dataplane::install_local_routes(const Device& device, Fib& fib) {
+  for (const Interface& iface : device.interfaces()) {
+    if (!iface.address || iface.shutdown) continue;
+    Route route;
+    route.prefix = iface.address->subnet();
+    route.protocol = RouteProtocol::Connected;
+    route.out_iface = iface.id;
+    route.admin_distance = default_admin_distance(RouteProtocol::Connected);
+    fib.insert(route);
+  }
+  for (const StaticRoute& configured : device.static_routes()) {
+    // A static route is usable only when its next hop lies in a connected
+    // subnet of an up interface (no recursive resolution in this model).
+    const Interface* egress = nullptr;
+    for (const Interface& iface : device.interfaces()) {
+      if (iface.address && !iface.shutdown && iface.address->subnet().contains(configured.next_hop)) {
+        egress = &iface;
+        break;
+      }
+    }
+    if (!egress) continue;
+    Route route;
+    route.prefix = configured.prefix;
+    route.protocol = RouteProtocol::Static;
+    route.next_hop = configured.next_hop;
+    route.out_iface = egress->id;
+    route.admin_distance = configured.admin_distance;
+    fib.insert(route);
+  }
+}
+
 Dataplane Dataplane::compute(const Network& network) {
   Dataplane dataplane;
   dataplane.l2_ = L2Domains::compute(network);
 
   // Connected + static routes.
   for (const Device& device : network.devices()) {
-    Fib& fib = dataplane.fibs_[device.id()];
-    for (const Interface& iface : device.interfaces()) {
-      if (!iface.address || iface.shutdown) continue;
-      Route route;
-      route.prefix = iface.address->subnet();
-      route.protocol = RouteProtocol::Connected;
-      route.out_iface = iface.id;
-      route.admin_distance = default_admin_distance(RouteProtocol::Connected);
-      fib.insert(route);
-    }
-    for (const StaticRoute& configured : device.static_routes()) {
-      // A static route is usable only when its next hop lies in a connected
-      // subnet of an up interface (no recursive resolution in this model).
-      const Interface* egress = nullptr;
-      for (const Interface& iface : device.interfaces()) {
-        if (iface.address && !iface.shutdown && iface.address->subnet().contains(configured.next_hop)) {
-          egress = &iface;
-          break;
-        }
-      }
-      if (!egress) continue;
-      Route route;
-      route.prefix = configured.prefix;
-      route.protocol = RouteProtocol::Static;
-      route.next_hop = configured.next_hop;
-      route.out_iface = egress->id;
-      route.admin_distance = configured.admin_distance;
-      fib.insert(route);
-    }
+    install_local_routes(device, dataplane.fibs_[device.id()]);
   }
 
   // OSPF.
   OspfResult ospf = compute_ospf(network, dataplane.l2_);
   dataplane.ospf_adjacencies_ = std::move(ospf.adjacencies);
-  for (const auto& [router, routes] : ospf.routes) {
+  dataplane.ospf_routes_ = std::move(ospf.routes);
+  for (const auto& [router, routes] : dataplane.ospf_routes_) {
     Fib& fib = dataplane.fibs_[router];
     for (const Route& route : routes) fib.insert(route);
   }
 
   return dataplane;
+}
+
+void Dataplane::rebuild_device_fib(const Device& device) {
+  Fib& fib = fibs_[device.id()];
+  fib = Fib{};
+  install_local_routes(device, fib);
+  auto ospf = ospf_routes_.find(device.id());
+  if (ospf != ospf_routes_.end()) {
+    for (const Route& route : ospf->second) fib.insert(route);
+  }
 }
 
 const Fib& Dataplane::fib(const DeviceId& device) const {

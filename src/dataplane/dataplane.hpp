@@ -14,6 +14,8 @@
 namespace heimdall::dp {
 
 /// A computed dataplane. Immutable snapshot: recompute after config changes.
+/// (The one exception is rebuild_device_fib(), the analysis engine's
+/// incremental path for changes that provably stay device-local.)
 class Dataplane {
  public:
   /// Computes the dataplane for `network`:
@@ -22,6 +24,13 @@ class Dataplane {
   ///   3. configured static routes,
   ///   4. OSPF routes (routers only).
   static Dataplane compute(const net::Network& network);
+
+  /// Rebuilds one device's FIB from its current connected/static
+  /// configuration, reusing the L2 domains and per-router OSPF routes of
+  /// this snapshot. Only valid when the triggering config change cannot
+  /// affect L2 domains or OSPF (static-route edits); the analysis engine
+  /// enforces that classification.
+  void rebuild_device_fib(const net::Device& device);
 
   /// The FIB of `device`; an empty FIB for pure-L2 devices.
   const Fib& fib(const net::DeviceId& device) const;
@@ -33,9 +42,14 @@ class Dataplane {
   std::size_t total_routes() const;
 
  private:
+  static void install_local_routes(const net::Device& device, Fib& fib);
+
   std::map<net::DeviceId, Fib> fibs_;
   L2Domains l2_;
   std::vector<OspfAdjacency> ospf_adjacencies_;
+  /// Per-router OSPF routes kept alongside the merged FIBs so one device's
+  /// FIB can be rebuilt without rerunning SPF.
+  std::map<net::DeviceId, std::vector<Route>> ospf_routes_;
   Fib empty_;
 };
 

@@ -3,26 +3,82 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace heimdall::dp {
 
 using namespace heimdall::net;
 
-ReachabilityMatrix ReachabilityMatrix::compute(const Network& network, const Dataplane& dataplane) {
+namespace {
+
+PairReachability trace_pair(const Network& network, const Dataplane& dataplane,
+                            const DeviceId& src, const DeviceId& dst) {
+  TraceResult result = trace_hosts(network, dataplane, src, dst);
+  PairReachability pair;
+  pair.src = src;
+  pair.dst = dst;
+  pair.disposition = result.disposition;
+  pair.path = result.path();
+  return pair;
+}
+
+}  // namespace
+
+ReachabilityMatrix ReachabilityMatrix::compute(const Network& network, const Dataplane& dataplane,
+                                               const TraceOptions& options) {
   ReachabilityMatrix matrix;
   std::vector<DeviceId> hosts = network.device_ids(DeviceKind::Host);
   for (const DeviceId& src : hosts) {
     for (const DeviceId& dst : hosts) {
       if (src == dst) continue;
-      TraceResult result = trace_hosts(network, dataplane, src, dst);
       PairReachability pair;
       pair.src = src;
       pair.dst = dst;
-      pair.disposition = result.disposition;
-      pair.path = result.path();
       matrix.index_[{src, dst}] = matrix.pairs_.size();
       matrix.pairs_.push_back(std::move(pair));
     }
+  }
+
+  auto trace_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      PairReachability& pair = matrix.pairs_[i];
+      pair = trace_pair(network, dataplane, pair.src, pair.dst);
+    }
+  };
+  if (options.pool) {
+    options.pool->parallel_for(matrix.pairs_.size(), trace_range);
+  } else {
+    trace_range(0, matrix.pairs_.size());
+  }
+  return matrix;
+}
+
+ReachabilityMatrix ReachabilityMatrix::recompute(const Network& network, const Dataplane& dataplane,
+                                                 const ReachabilityMatrix& base,
+                                                 const std::set<DeviceId>& dirty,
+                                                 const TraceOptions& options,
+                                                 std::size_t* retraced) {
+  ReachabilityMatrix matrix = base;
+  std::vector<std::size_t> stale;
+  for (std::size_t i = 0; i < matrix.pairs_.size(); ++i) {
+    const PairReachability& pair = matrix.pairs_[i];
+    bool touches_dirty = std::any_of(pair.path.begin(), pair.path.end(), [&](const DeviceId& hop) {
+      return dirty.count(hop) != 0;
+    });
+    if (touches_dirty) stale.push_back(i);
+  }
+  if (retraced) *retraced = stale.size();
+
+  auto trace_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      PairReachability& pair = matrix.pairs_[stale[s]];
+      pair = trace_pair(network, dataplane, pair.src, pair.dst);
+    }
+  };
+  if (options.pool) {
+    options.pool->parallel_for(stale.size(), trace_range);
+  } else {
+    trace_range(0, stale.size());
   }
   return matrix;
 }

@@ -2,9 +2,14 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "dataplane/trace.hpp"
+
+namespace heimdall::util {
+class ThreadPool;
+}
 
 namespace heimdall::dp {
 
@@ -18,11 +23,32 @@ struct PairReachability {
   bool reachable() const { return disposition == Disposition::Delivered; }
 };
 
+/// Tuning knobs for the all-pairs trace.
+struct TraceOptions {
+  /// When non-null, pair traces are partitioned across this pool (each trace
+  /// is independent and read-only over network + dataplane).
+  util::ThreadPool* pool = nullptr;
+};
+
 /// The full ordered-pair matrix.
 class ReachabilityMatrix {
  public:
   /// Traces every ordered pair of hosts (ICMP on primary addresses).
-  static ReachabilityMatrix compute(const net::Network& network, const Dataplane& dataplane);
+  static ReachabilityMatrix compute(const net::Network& network, const Dataplane& dataplane,
+                                    const TraceOptions& options = {});
+
+  /// Partial recompute: copies `base` and re-traces only the pairs whose
+  /// recorded path touches a device in `dirty`. Valid only when every FIB,
+  /// L2 segment and interface address outside `dirty` is unchanged since
+  /// `base` was computed — tracing is deterministic, so a pair that never
+  /// crossed a dirty device takes the identical hop sequence again. The
+  /// analysis engine guarantees that precondition via change classification.
+  /// `retraced` (optional) receives the number of re-traced pairs.
+  static ReachabilityMatrix recompute(const net::Network& network, const Dataplane& dataplane,
+                                      const ReachabilityMatrix& base,
+                                      const std::set<net::DeviceId>& dirty,
+                                      const TraceOptions& options = {},
+                                      std::size_t* retraced = nullptr);
 
   const std::vector<PairReachability>& pairs() const { return pairs_; }
 

@@ -1,5 +1,6 @@
 #include "enforcer/verifier.hpp"
 
+#include "analysis/engine.hpp"
 #include "util/error.hpp"
 
 namespace heimdall::enforce {
@@ -27,16 +28,27 @@ VerifyOutcome verify_changes(const net::Network& production,
   VerifyOutcome outcome;
   outcome.privilege_violations = check_privilege_compliance(changes, privileges);
 
+  // Analyze the production baseline first (memoized across sessions), then
+  // replay and analyze the shadow incrementally from it: a changeset of
+  // ACL / static-route edits re-traces only the affected pairs instead of
+  // recomputing the whole pipeline.
+  analysis::Engine& engine = verifier.engine();
+  analysis::Snapshot base = engine.analyze(production);
+
   outcome.shadow = production;
+  std::vector<cfg::ConfigChange> applied;
+  applied.reserve(changes.size());
   for (const cfg::ConfigChange& change : changes) {
     try {
       cfg::apply_change(outcome.shadow, change);
+      applied.push_back(change);
     } catch (const util::Error& error) {
       outcome.replay_errors.push_back(change.summary() + ": " + error.what());
     }
   }
 
-  outcome.policy_report = verifier.verify_network(outcome.shadow);
+  analysis::Snapshot shadow = engine.analyze(outcome.shadow, base, applied);
+  outcome.policy_report = verifier.verify(*shadow.reachability);
   return outcome;
 }
 

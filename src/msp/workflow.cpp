@@ -1,5 +1,6 @@
 #include "msp/workflow.hpp"
 
+#include "analysis/engine.hpp"
 #include "msp/rmm.hpp"
 
 namespace heimdall::msp {
@@ -74,7 +75,9 @@ WorkflowResult run_heimdall_workflow(Network& production, enforce::PolicyEnforce
 
   // Step 1: connect + generate Privilege_msp.
   util::Stopwatch generate_watch;
-  dp::Dataplane dataplane = dp::Dataplane::compute(production);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(production);
+  const dp::Dataplane& dataplane = *snapshot.dataplane;
   clock.advance(latency.login_ms + latency.ticket_review_ms + latency.privilege_gen_ms);
   result.steps.push_back({"connect+privilege",
                           static_cast<double>(latency.login_ms + latency.ticket_review_ms +

@@ -15,11 +15,11 @@ PrivilegeSpec parse_privilege_json(std::string_view text) {
 
 PrivilegeSpec privilege_from_json(const Json& document) {
   PrivilegeSpec spec;
-  const Json& privileges = document.at("privileges");
-  for (const Json& item : privileges.as_array()) {
+  const util::JsonArray& privileges = util::require_array(document, "privileges", "privilege spec");
+  for (const Json& item : privileges) {
     Predicate predicate;
 
-    const std::string& effect = item.at("effect").as_string();
+    const std::string& effect = util::require_string(item, "effect", "privilege");
     if (effect == "allow")
       predicate.effect = Effect::Allow;
     else if (effect == "deny")
@@ -27,7 +27,7 @@ PrivilegeSpec privilege_from_json(const Json& document) {
     else
       throw ParseError("privilege effect must be allow/deny, got '" + effect + "'");
 
-    for (const Json& action_json : item.at("actions").as_array()) {
+    for (const Json& action_json : util::require_array(item, "actions", "privilege")) {
       const std::string& pattern = action_json.as_string();
       std::vector<Action> matched = actions_matching(pattern);
       bool is_glob = pattern.find('*') != std::string::npos ||
@@ -41,10 +41,12 @@ PrivilegeSpec privilege_from_json(const Json& document) {
       }
     }
 
-    const Json& resource = item.at("resource");
-    predicate.resource.device = resource.at("device").as_string();
-    predicate.resource.kind = parse_object_kind(resource.at("kind").as_string());
-    if (const Json* name = resource.find("name")) predicate.resource.name = name->as_string();
+    const Json& resource = util::require_field(item, "resource", "privilege");
+    predicate.resource.device = util::require_string(resource, "device", "privilege resource");
+    predicate.resource.kind =
+        parse_object_kind(util::require_string(resource, "kind", "privilege resource"));
+    if (auto name = util::optional_string(resource, "name", "privilege resource"))
+      predicate.resource.name = *name;
 
     spec.add(std::move(predicate));
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/engine.hpp"
 #include "config/parse.hpp"
 #include "scenarios/builder.hpp"
 #include "spec/mine.hpp"
@@ -168,11 +169,11 @@ Network build_enterprise() {
 }
 
 std::vector<spec::Policy> enterprise_policies(const Network& network) {
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  analysis::Engine engine;
   spec::MineOptions options;
   options.max_policies = kEnterprisePolicyBudget;
   options.waypoint_candidates = {DeviceId("r9")};
-  return spec::mine_policies(network, dataplane, options);
+  return spec::mine_policies(*engine.analyze(network).reachability, options);
 }
 
 std::vector<IssueSpec> enterprise_issues() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "analysis/engine.hpp"
 #include "scenarios/builder.hpp"
 #include "spec/mine.hpp"
 
@@ -153,11 +154,11 @@ Network build_university() {
 }
 
 std::vector<spec::Policy> university_policies(const Network& network) {
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  analysis::Engine engine;
   spec::MineOptions options;
   options.max_policies = kUniversityPolicyBudget;
   options.waypoint_candidates = {DeviceId("u13"), DeviceId("u9")};
-  return spec::mine_policies(network, dataplane, options);
+  return spec::mine_policies(*engine.analyze(network).reachability, options);
 }
 
 std::vector<IssueSpec> university_issues() {

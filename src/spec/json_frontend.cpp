@@ -24,15 +24,15 @@ std::vector<Policy> parse_policies_json(std::string_view text) {
 
 std::vector<Policy> policies_from_json(const Json& document) {
   std::vector<Policy> out;
-  for (const Json& item : document.at("policies").as_array()) {
+  for (const Json& item : util::require_array(document, "policies", "policy set")) {
     Policy policy;
-    policy.type = parse_policy_type(item.at("type").as_string());
-    policy.src = net::DeviceId(item.at("src").as_string());
-    policy.dst = net::DeviceId(item.at("dst").as_string());
+    policy.type = parse_policy_type(util::require_string(item, "type", "policy"));
+    policy.src = net::DeviceId(util::require_string(item, "src", "policy"));
+    policy.dst = net::DeviceId(util::require_string(item, "dst", "policy"));
     if (policy.src.empty() || policy.dst.empty())
       throw ParseError("policy src/dst must be non-empty");
     if (policy.type == PolicyType::Waypoint) {
-      policy.waypoint = net::DeviceId(item.at("via").as_string());
+      policy.waypoint = net::DeviceId(util::require_string(item, "via", "waypoint policy"));
       if (policy.waypoint.empty()) throw ParseError("waypoint policy needs a 'via' device");
     } else if (item.find("via") != nullptr) {
       throw ParseError("'via' is only valid on waypoint policies");

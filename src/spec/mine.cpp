@@ -7,9 +7,8 @@ namespace heimdall::spec {
 using namespace heimdall::net;
 using dp::Disposition;
 
-std::vector<Policy> mine_policies(const Network& network, const dp::Dataplane& dataplane,
+std::vector<Policy> mine_policies(const dp::ReachabilityMatrix& matrix,
                                   const MineOptions& options) {
-  dp::ReachabilityMatrix matrix = dp::ReachabilityMatrix::compute(network, dataplane);
   std::vector<Policy> out;
 
   for (const dp::PairReachability& pair : matrix.pairs()) {

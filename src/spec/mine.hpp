@@ -24,8 +24,10 @@ struct MineOptions {
   std::size_t max_policies = 0;
 };
 
-/// Mines policies from a network snapshot.
-std::vector<Policy> mine_policies(const net::Network& network, const dp::Dataplane& dataplane,
+/// Mines policies from an analyzed snapshot's reachability matrix (callers
+/// obtain one through analysis::Engine, which memoizes the expensive
+/// dataplane + all-pairs trace).
+std::vector<Policy> mine_policies(const dp::ReachabilityMatrix& matrix,
                                   const MineOptions& options = {});
 
 }  // namespace heimdall::spec

@@ -14,7 +14,8 @@ std::vector<std::string> VerificationReport::violated_ids() const {
   return out;
 }
 
-PolicyVerifier::PolicyVerifier(std::vector<Policy> policies) : policies_(std::move(policies)) {}
+PolicyVerifier::PolicyVerifier(std::vector<Policy> policies)
+    : policies_(std::move(policies)), engine_(std::make_shared<analysis::Engine>()) {}
 
 VerificationReport PolicyVerifier::verify(const dp::ReachabilityMatrix& matrix) const {
   VerificationReport report;
@@ -52,9 +53,8 @@ VerificationReport PolicyVerifier::verify(const dp::ReachabilityMatrix& matrix) 
 }
 
 VerificationReport PolicyVerifier::verify_network(const Network& network) const {
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
-  dp::ReachabilityMatrix matrix = dp::ReachabilityMatrix::compute(network, dataplane);
-  return verify(matrix);
+  analysis::Snapshot snapshot = engine_->analyze(network);
+  return verify(*snapshot.reachability);
 }
 
 }  // namespace heimdall::spec

@@ -3,14 +3,18 @@
 // Two entry points mirror the paper's two verification strategies:
 //   * verify(matrix)      — check against a precomputed reachability matrix
 //                           (the enforcer's final-changeset verification);
-//   * verify_network(net) — recompute dataplane + matrix, then check (what
-//                           "continuous verification after every action"
-//                           costs; benchmarked in ablation_verification).
+//   * verify_network(net) — analyze the network through the shared
+//                           analysis::Engine (memoized dataplane + matrix),
+//                           then check — "continuous verification after
+//                           every action"; benchmarked in
+//                           ablation_verification.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/engine.hpp"
 #include "dataplane/reachability.hpp"
 #include "spec/policy.hpp"
 
@@ -43,12 +47,18 @@ class PolicyVerifier {
   /// Checks every policy against a precomputed matrix.
   VerificationReport verify(const dp::ReachabilityMatrix& matrix) const;
 
-  /// Recomputes the dataplane and matrix for `network`, then checks. This is
-  /// the expensive full pipeline.
+  /// Analyzes `network` (dataplane + matrix) through the verifier's
+  /// analysis engine, then checks. Repeated calls on an unchanged network
+  /// hit the engine's memo instead of recomputing the pipeline.
   VerificationReport verify_network(const net::Network& network) const;
+
+  /// The engine backing verify_network(). Copies of a verifier share one
+  /// engine, so e.g. the enforcer's per-session verifiers pool their cache.
+  analysis::Engine& engine() const { return *engine_; }
 
  private:
   std::vector<Policy> policies_;
+  std::shared_ptr<analysis::Engine> engine_;
 };
 
 }  // namespace heimdall::spec

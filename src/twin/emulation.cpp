@@ -17,14 +17,16 @@ EmulationLayer::EmulationLayer(Network network)
     : original_(network), startup_(network), current_(std::move(network)) {}
 
 const dp::Dataplane& EmulationLayer::dataplane() {
-  if (!dataplane_) {
-    dataplane_ = dp::Dataplane::compute(current_);
-    ++recompute_count_;
+  if (!snapshot_.valid() || !pending_.empty()) {
+    snapshot_ = engine_.analyze_dataplane(current_, snapshot_, pending_);
+    pending_.clear();
   }
-  return *dataplane_;
+  return *snapshot_.dataplane;
 }
 
-void EmulationLayer::invalidate() { dataplane_.reset(); }
+void EmulationLayer::mark_dirty(const std::vector<cfg::ConfigChange>& changes) {
+  pending_.insert(pending_.end(), changes.begin(), changes.end());
+}
 
 std::vector<cfg::ConfigChange> EmulationLayer::session_changes() const {
   return cfg::diff_networks(original_, current_);
@@ -40,7 +42,7 @@ CommandResult EmulationLayer::execute(const ParsedCommand& command) {
 
 CommandResult EmulationLayer::apply(cfg::ConfigChange change, std::string output) {
   cfg::apply_change(current_, change);
-  invalidate();
+  pending_.push_back(change);
   return CommandResult{true, std::move(output), {std::move(change)}};
 }
 
@@ -313,8 +315,9 @@ CommandResult EmulationLayer::run(const ParsedCommand& command) {
                                                         : nullptr;
       if (!target) return {false, "error: unknown secret field '" + field + "'\n", {}};
       *target = command.args.at(1);
-      invalidate();
-      return {true, "secret changed\n", {cfg::ConfigChange{device.id(), cfg::SecretChange{field}}}};
+      cfg::ConfigChange change{device.id(), cfg::SecretChange{field}};
+      pending_.push_back(change);
+      return {true, "secret changed\n", {std::move(change)}};
     }
     case Action::Reboot: {
       // A reboot reloads the device's *startup* configuration: unsaved
@@ -326,7 +329,7 @@ CommandResult EmulationLayer::run(const ParsedCommand& command) {
       if (!saved) return {false, "error: no startup config for device\n", {}};
       std::vector<cfg::ConfigChange> reverted = cfg::diff_devices(device, *saved);
       device = *saved;
-      invalidate();
+      mark_dirty(reverted);
       return {true,
               "device reloaded from startup-config (" + std::to_string(reverted.size()) +
                   " unsaved change(s) lost)\n",
@@ -349,7 +352,7 @@ CommandResult EmulationLayer::run(const ParsedCommand& command) {
       if (device.ospf())
         changes.push_back({device.id(), cfg::OspfProcessChange{device.ospf(), std::nullopt}});
       for (const cfg::ConfigChange& change : changes) cfg::apply_change(current_, change);
-      invalidate();
+      mark_dirty(changes);
       return {true, "configuration erased\n", std::move(changes)};
     }
     case Action::SaveConfig: {

@@ -1,14 +1,17 @@
 // Emulation layer of the twin network (paper §4.2, Figure 5d).
 //
 // Holds the (scrubbed, sliced) network state, interprets mediated commands
-// against it, and keeps a dataplane snapshot that is recomputed after each
-// mutation — the in-process equivalent of re-converging an emulated network.
+// against it, and keeps an analyzed dataplane snapshot through the analysis
+// engine — the in-process equivalent of re-converging an emulated network.
+// Mutations record their semantic changes so the engine can recompute
+// incrementally (a static-route edit rebuilds one FIB; an ACL edit reuses
+// the dataplane outright; secrets cost nothing).
 #pragma once
 
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/engine.hpp"
 #include "config/diff.hpp"
 #include "dataplane/dataplane.hpp"
 #include "twin/console.hpp"
@@ -37,7 +40,7 @@ class EmulationLayer {
   /// The startup configuration (what `save` persists and `reboot` restores).
   const net::Network& startup() const { return startup_; }
 
-  /// Current dataplane; recomputed lazily after mutations.
+  /// Current dataplane; analyzed lazily (and incrementally) after mutations.
   const dp::Dataplane& dataplane();
 
   /// Executes a (previously authorized) command. Never throws for semantic
@@ -49,18 +52,26 @@ class EmulationLayer {
   std::vector<cfg::ConfigChange> session_changes() const;
 
   /// Number of dataplane recomputations performed (benchmark statistic).
-  std::size_t recompute_count() const { return recompute_count_; }
+  /// Sessions whose mutations stay on the engine's no-op path (secrets) or
+  /// hit its memo (tweak/undo) recompute less than they mutate.
+  std::size_t recompute_count() const { return engine_.stats().recompute_count(); }
+
+  /// The analysis engine backing this emulation (cache/retrace statistics).
+  const analysis::Engine& engine() const { return engine_; }
 
  private:
   CommandResult run(const ParsedCommand& command);
   CommandResult apply(cfg::ConfigChange change, std::string output);
-  void invalidate();
+  /// Records changes applied to `current_` since the last analyzed snapshot,
+  /// so the next dataplane() access can recompute incrementally.
+  void mark_dirty(const std::vector<cfg::ConfigChange>& changes);
 
   net::Network original_;
   net::Network startup_;
   net::Network current_;
-  std::optional<dp::Dataplane> dataplane_;
-  std::size_t recompute_count_ = 0;
+  analysis::Engine engine_;
+  analysis::Snapshot snapshot_;
+  std::vector<cfg::ConfigChange> pending_;
 };
 
 }  // namespace heimdall::twin

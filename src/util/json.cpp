@@ -338,4 +338,39 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
   }
 }
 
+const Json& require_field(const Json& object, std::string_view key, std::string_view context) {
+  const Json* field = object.find(key);
+  if (!field)
+    throw ParseError(std::string(context) + ": missing field '" + std::string(key) + "'");
+  return *field;
+}
+
+const std::string& require_string(const Json& object, std::string_view key,
+                                  std::string_view context) {
+  const Json& field = require_field(object, key, context);
+  if (!field.is_string())
+    throw ParseError(std::string(context) + ": field '" + std::string(key) +
+                     "' must be a string");
+  return field.as_string();
+}
+
+const JsonArray& require_array(const Json& object, std::string_view key,
+                               std::string_view context) {
+  const Json& field = require_field(object, key, context);
+  if (!field.is_array())
+    throw ParseError(std::string(context) + ": field '" + std::string(key) +
+                     "' must be an array");
+  return field.as_array();
+}
+
+std::optional<std::string> optional_string(const Json& object, std::string_view key,
+                                           std::string_view context) {
+  const Json* field = object.find(key);
+  if (!field) return std::nullopt;
+  if (!field->is_string())
+    throw ParseError(std::string(context) + ": field '" + std::string(key) +
+                     "' must be a string");
+  return field->as_string();
+}
+
 }  // namespace heimdall::util

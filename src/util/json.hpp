@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -75,5 +76,31 @@ class Json {
 
   std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
 };
+
+// -- Shared frontend helpers -------------------------------------------------
+//
+// The JSON frontends (privilege specs, policy sets) all walk arrays of
+// objects and demand typed fields. These helpers centralize the lookup +
+// type check and, unlike Json::at, name the enclosing entity in the error:
+//   "policy: missing field 'src'", "privilege: field 'actions' must be an
+//   array".
+
+/// `object[key]`; throws ParseError naming `context` when absent.
+const Json& require_field(const Json& object, std::string_view key, std::string_view context);
+
+/// `object[key]` as a string; throws ParseError naming `context` when the
+/// field is absent or not a string.
+const std::string& require_string(const Json& object, std::string_view key,
+                                  std::string_view context);
+
+/// `object[key]` as an array; throws ParseError naming `context` when the
+/// field is absent or not an array.
+const JsonArray& require_array(const Json& object, std::string_view key,
+                               std::string_view context);
+
+/// `object[key]` as a string when present, nullopt when absent; throws
+/// ParseError naming `context` when present with a non-string type.
+std::optional<std::string> optional_string(const Json& object, std::string_view key,
+                                           std::string_view context);
 
 }  // namespace heimdall::util

@@ -1,0 +1,73 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace heimdall::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t, std::size_t)>& body,
+                              std::size_t grain) {
+  if (count == 0) return;
+  if (workers_.empty() || count < grain) {
+    body(0, count);
+    return;
+  }
+
+  std::size_t chunks = std::min(workers_.size(), (count + grain - 1) / grain);
+  std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = chunks;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::size_t begin = c * chunk_size;
+      std::size_t end = std::min(count, begin + chunk_size);
+      tasks_.push([&, begin, end] {
+        body(begin, end);
+        {
+          std::lock_guard<std::mutex> done_lock(done_mutex);
+          --remaining;
+        }
+        done_cv.notify_one();
+      });
+    }
+  }
+  wake_.notify_all();
+
+  std::unique_lock<std::mutex> done_lock(done_mutex);
+  done_cv.wait(done_lock, [&] { return remaining == 0; });
+}
+
+}  // namespace heimdall::util

@@ -1,0 +1,48 @@
+// Small fixed-size worker pool for data-parallel loops.
+//
+// Built for the analysis engine's all-pairs reachability trace: the trace of
+// each host pair is independent and read-only over the network + dataplane,
+// so the pairs can be partitioned across workers with no locking beyond the
+// pool's own queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace heimdall::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Splits [0, count) into per-worker chunks, runs `body(begin, end)` for
+  /// each chunk concurrently and blocks until all chunks finish. Ranges
+  /// smaller than `grain` run inline on the calling thread — below that the
+  /// queue handshake costs more than the work saved.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 32);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+}  // namespace heimdall::util

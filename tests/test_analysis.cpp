@@ -1,0 +1,443 @@
+// Tests for the incremental, cached analysis::Engine: change-impact
+// classification, memoization, dirty tracking, parallel tracing, and the
+// core soundness property — an incremental chain of randomized config
+// changes must be bit-identical to computing each state from scratch.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "config/diff.hpp"
+#include "config/parse.hpp"
+#include "scenarios/enterprise.hpp"
+#include "util/random.hpp"
+
+namespace heimdall::analysis {
+namespace {
+
+using namespace heimdall::net;
+
+Network enterprise() { return scen::build_enterprise(); }
+
+cfg::ConfigChange secret_change(const Network& network) {
+  return {network.devices().front().id(), cfg::SecretChange{"enable_password"}};
+}
+
+/// A static route towards an unused prefix with a resolvable next hop.
+/// `serial` keeps repeated routes distinct.
+std::optional<cfg::ConfigChange> static_route_add(const Network& network, const DeviceId& router,
+                                                  unsigned serial) {
+  const Device& device = network.device(router);
+  for (const Interface& iface : device.interfaces()) {
+    if (!iface.address || iface.shutdown) continue;
+    std::uint32_t candidate = iface.address->ip.value() + 1;
+    if (!iface.address->subnet().contains(Ipv4Address(candidate)))
+      candidate = iface.address->ip.value() - 1;
+    StaticRoute route;
+    route.prefix = Ipv4Prefix(Ipv4Address::of(10, 250, static_cast<std::uint8_t>(serial % 250), 0),
+                              24);
+    route.next_hop = Ipv4Address(candidate);
+    return cfg::ConfigChange{router, cfg::StaticRouteAdd{route}};
+  }
+  return std::nullopt;
+}
+
+void expect_identical(const dp::ReachabilityMatrix& a, const dp::ReachabilityMatrix& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.pairs().size(), b.pairs().size()) << context;
+  for (const dp::PairReachability& expected : a.pairs()) {
+    const dp::PairReachability& actual = b.pair(expected.src, expected.dst);
+    EXPECT_EQ(expected.disposition, actual.disposition)
+        << context << ": " << expected.src.str() << " -> " << expected.dst.str();
+    EXPECT_EQ(expected.path, actual.path)
+        << context << ": " << expected.src.str() << " -> " << expected.dst.str();
+  }
+}
+
+std::vector<std::string> fib_lines(const Network& network, const dp::Dataplane& dataplane) {
+  std::vector<std::string> out;
+  for (const Device& device : network.devices()) {
+    for (const dp::Route& route : dataplane.fib(device.id()).routes())
+      out.push_back(device.id().str() + " " + route.to_string());
+  }
+  return out;
+}
+
+TEST(Impact, ClassificationTable) {
+  EXPECT_EQ(classify_impact({DeviceId("r1"), cfg::SecretChange{"ipsec_key"}}), Impact::None);
+  EXPECT_EQ(classify_impact({DeviceId("r1"), cfg::AclDelete{"acl"}}), Impact::TraceOnly);
+  EXPECT_EQ(classify_impact({DeviceId("r1"), cfg::AclEntryAdd{"acl", 0, {}}}), Impact::TraceOnly);
+  EXPECT_EQ(classify_impact({DeviceId("r1"),
+                             cfg::InterfaceAclBindingChange{InterfaceId("Gi0/0"),
+                                                            cfg::AclDirection::In, "", "acl"}}),
+            Impact::TraceOnly);
+  EXPECT_EQ(classify_impact({DeviceId("r1"), cfg::StaticRouteAdd{{}}}), Impact::FibLocal);
+  EXPECT_EQ(classify_impact({DeviceId("r1"), cfg::StaticRouteRemove{{}}}), Impact::FibLocal);
+  EXPECT_EQ(classify_impact(
+                {DeviceId("r1"), cfg::InterfaceAdminChange{InterfaceId("Gi0/0"), false, true}}),
+            Impact::Global);
+  EXPECT_EQ(classify_impact({DeviceId("r1"), cfg::OspfNetworkAdd{{}}}), Impact::Global);
+  EXPECT_EQ(classify_impact({DeviceId("r1"), cfg::VlanDeclare{10}}), Impact::Global);
+}
+
+TEST(Engine, MemoizesIdenticalNetworks) {
+  Network network = enterprise();
+  Engine engine;
+
+  Snapshot first = engine.analyze(network);
+  Snapshot second = engine.analyze(network);
+
+  EXPECT_EQ(engine.stats().full_recomputes, 1u);
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.dataplane.get(), second.dataplane.get());  // shared, not recomputed
+  EXPECT_EQ(first.reachability.get(), second.reachability.get());
+}
+
+TEST(Engine, FingerprintTracksContent) {
+  Network network = enterprise();
+  Engine engine;
+  std::string before = engine.fingerprint(network);
+  EXPECT_EQ(before, engine.fingerprint(network));
+
+  Network changed = network;
+  cfg::apply_change(changed, *static_route_add(network, DeviceId("r1"), 0));
+  EXPECT_NE(before, engine.fingerprint(changed));
+}
+
+TEST(Engine, CacheCapacityZeroDisablesMemoization) {
+  Network network = enterprise();
+  Engine engine(Options{.cache_capacity = 0, .trace_threads = 1});
+  engine.analyze(network);
+  engine.analyze(network);
+  EXPECT_EQ(engine.stats().full_recomputes, 2u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+}
+
+TEST(Engine, LruEvictsOldestSnapshot) {
+  Network network = enterprise();
+  Engine engine(Options{.cache_capacity = 1, .trace_threads = 1});
+  engine.analyze(network);
+
+  Network other = network;
+  cfg::apply_change(other, *static_route_add(network, DeviceId("r1"), 1));
+  engine.analyze(other);   // evicts the first entry (capacity 1)
+  engine.analyze(network); // must recompute
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.stats().full_recomputes, 3u);
+}
+
+TEST(Engine, SecretChangeCarriesArtifactsForward) {
+  Network network = enterprise();
+  Engine engine;
+  Snapshot base = engine.analyze(network);
+
+  Network changed = network;
+  cfg::ConfigChange change = secret_change(network);
+  cfg::apply_change(changed, change);
+
+  Snapshot after = engine.analyze(changed, base, {change});
+  EXPECT_NE(after.digest, base.digest);  // secrets are part of the fingerprint
+  EXPECT_EQ(after.dataplane.get(), base.dataplane.get());
+  EXPECT_EQ(after.reachability.get(), base.reachability.get());
+  EXPECT_EQ(engine.stats().carried_forward, 1u);
+  EXPECT_EQ(engine.stats().recompute_count(), 1u);  // only the base analyze
+}
+
+TEST(Engine, AclChangeSharesDataplaneAndRetracesPartially) {
+  Network network = enterprise();
+  Engine engine;
+  Snapshot base = engine.analyze(network);
+
+  // Bind a new deny-all ACL inbound on a router that delivered traffic
+  // actually crosses (so the change must re-trace at least one pair).
+  std::set<DeviceId> on_path;
+  for (const dp::PairReachability& pair : base.reachability->pairs())
+    on_path.insert(pair.path.begin(), pair.path.end());
+
+  const Device* router = nullptr;
+  const Interface* iface = nullptr;
+  for (const Device& device : network.devices()) {
+    if (device.is_host() || on_path.count(device.id()) == 0) continue;
+    for (const Interface& candidate : device.interfaces()) {
+      if (candidate.address && !candidate.shutdown && candidate.acl_in.empty()) {
+        router = &device;
+        iface = &candidate;
+        break;
+      }
+    }
+    if (router) break;
+  }
+  ASSERT_NE(router, nullptr);
+
+  Acl acl;
+  acl.name = "test-deny-all";
+  acl.entries.push_back(cfg::parse_acl_entry("deny ip any any"));
+  std::vector<cfg::ConfigChange> changes{
+      {router->id(), cfg::AclCreate{acl}},
+      {router->id(), cfg::InterfaceAclBindingChange{iface->id, cfg::AclDirection::In, "",
+                                                    acl.name}}};
+  Network changed = network;
+  cfg::apply_changes(changed, changes);
+
+  Snapshot after = engine.analyze(changed, base, changes);
+  // TraceOnly: the dataplane is shared untouched; only pairs whose path
+  // crossed the router were re-traced.
+  EXPECT_EQ(after.dataplane.get(), base.dataplane.get());
+  EXPECT_EQ(engine.stats().incremental_recomputes, 1u);
+  EXPECT_GT(engine.stats().retraced_pairs, 0u);
+  EXPECT_LT(engine.stats().retraced_pairs, base.reachability->total_count());
+
+  // Identical to a from-scratch analysis.
+  Engine fresh(Options{.cache_capacity = 0, .trace_threads = 1});
+  Snapshot reference = fresh.analyze(changed);
+  expect_identical(*reference.reachability, *after.reachability, "acl incremental");
+}
+
+TEST(Engine, StaticRouteChangeRebuildsOneFib) {
+  Network network = enterprise();
+  Engine engine;
+  Snapshot base = engine.analyze(network);
+
+  cfg::ConfigChange change = *static_route_add(network, DeviceId("r3"), 7);
+  Network changed = network;
+  cfg::apply_change(changed, change);
+
+  Snapshot after = engine.analyze(changed, base, {change});
+  EXPECT_NE(after.dataplane.get(), base.dataplane.get());  // copied + rebuilt
+  EXPECT_EQ(engine.stats().incremental_recomputes, 1u);
+  EXPECT_EQ(engine.stats().full_recomputes, 1u);  // only the base analyze
+
+  Engine fresh(Options{.cache_capacity = 0, .trace_threads = 1});
+  Snapshot reference = fresh.analyze(changed);
+  EXPECT_EQ(fib_lines(changed, *reference.dataplane), fib_lines(changed, *after.dataplane));
+  expect_identical(*reference.reachability, *after.reachability, "static route incremental");
+}
+
+TEST(Engine, GlobalChangeFallsBackToFullRecompute) {
+  Network network = enterprise();
+  Engine engine;
+  Snapshot base = engine.analyze(network);
+
+  // Shut down a router interface: L2 / OSPF topology may move.
+  const Device& router = network.device(DeviceId("r1"));
+  const Interface& iface = router.interfaces().front();
+  cfg::ConfigChange change{router.id(),
+                           cfg::InterfaceAdminChange{iface.id, iface.shutdown, !iface.shutdown}};
+  Network changed = network;
+  cfg::apply_change(changed, change);
+
+  Snapshot after = engine.analyze(changed, base, {change});
+  EXPECT_EQ(engine.stats().full_recomputes, 2u);
+  EXPECT_EQ(engine.stats().incremental_recomputes, 0u);
+
+  Engine fresh(Options{.cache_capacity = 0, .trace_threads = 1});
+  Snapshot reference = fresh.analyze(changed);
+  expect_identical(*reference.reachability, *after.reachability, "global fallback");
+}
+
+TEST(Engine, DataplaneOnlySnapshotCompletesMatrixLater) {
+  Network network = enterprise();
+  Engine engine;
+
+  Snapshot partial = engine.analyze_dataplane(network);
+  EXPECT_TRUE(partial.valid());
+  EXPECT_EQ(partial.reachability, nullptr);
+  EXPECT_EQ(engine.stats().full_recomputes, 1u);
+
+  Snapshot full = engine.analyze(network);
+  EXPECT_EQ(full.dataplane.get(), partial.dataplane.get());  // dataplane reused
+  EXPECT_NE(full.reachability, nullptr);
+  EXPECT_EQ(engine.stats().full_recomputes, 1u);  // matrix completion, not a recompute
+  EXPECT_EQ(engine.stats().matrix_completions, 1u);
+}
+
+TEST(Engine, ParallelTraceMatchesSerial) {
+  Network network = enterprise();
+  Engine serial(Options{.cache_capacity = 0, .trace_threads = 1});
+  Engine parallel(Options{.cache_capacity = 0, .trace_threads = 4});
+
+  Snapshot a = serial.analyze(network);
+  Snapshot b = parallel.analyze(network);
+  expect_identical(*a.reachability, *b.reachability, "parallel trace");
+}
+
+// ---------------------------------------------------------------------------
+// Property test: a randomized sequence of config changes, applied one step
+// at a time through the engine's incremental path, must produce exactly the
+// same FIBs and reachability matrix as computing each step from scratch.
+// ---------------------------------------------------------------------------
+
+class ChangeSequenceGenerator {
+ public:
+  explicit ChangeSequenceGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Generates one change valid against the current `network` state.
+  cfg::ConfigChange next(const Network& network) {
+    for (;;) {
+      switch (rng_.next_in(0, 9)) {
+        case 0:
+        case 1: {  // FibLocal: add a static route
+          if (auto change = static_route_add(network, random_router(network), serial_++))
+            return *change;
+          break;
+        }
+        case 2: {  // FibLocal: remove an existing static route
+          if (auto change = static_route_remove(network)) return *change;
+          break;
+        }
+        case 3: {  // TraceOnly: create an ACL
+          Acl acl;
+          acl.name = "gen-acl-" + std::to_string(serial_++);
+          acl.entries.push_back(cfg::parse_acl_entry(
+              rng_.next_in(0, 1) == 0 ? "deny ip 10.0.10.0 0.0.0.255 10.0.30.0 0.0.0.255"
+                                      : "permit ip any any"));
+          return {random_router(network), cfg::AclCreate{acl}};
+        }
+        case 4: {  // TraceOnly: append an entry to an existing ACL
+          if (auto change = acl_entry_add(network)) return *change;
+          break;
+        }
+        case 5: {  // TraceOnly: (un)bind an ACL on an interface
+          if (auto change = acl_binding_change(network)) return *change;
+          break;
+        }
+        case 6:  // None: rotate a secret
+          return {random_router(network), cfg::SecretChange{"snmp_community"}};
+        case 7: {  // Global: toggle a router interface
+          const Device& device = network.device(random_router(network));
+          if (device.interfaces().empty()) break;
+          const Interface& iface = pick_interface(device);
+          return {device.id(),
+                  cfg::InterfaceAdminChange{iface.id, iface.shutdown, !iface.shutdown}};
+        }
+        case 8: {  // Global: change an OSPF interface cost
+          const Device& device = network.device(random_router(network));
+          if (!device.ospf() || device.interfaces().empty()) break;
+          const Interface& iface = pick_interface(device);
+          auto cost = static_cast<unsigned>(rng_.next_in(1, 60));
+          return {device.id(), cfg::OspfCostChange{iface.id, iface.ospf_cost, cost}};
+        }
+        case 9: {  // Global: declare a VLAN
+          auto vlan = static_cast<VlanId>(rng_.next_in(100, 200));
+          const Device& device = network.device(random_router(network));
+          if (device.has_vlan(vlan)) break;
+          return {device.id(), cfg::VlanDeclare{vlan}};
+        }
+      }
+    }
+  }
+
+ private:
+  DeviceId random_router(const Network& network) {
+    std::vector<DeviceId> routers = network.device_ids(DeviceKind::Router);
+    return routers[rng_.next_in(0, routers.size() - 1)];
+  }
+
+  const Interface& pick_interface(const Device& device) {
+    return device.interfaces()[rng_.next_in(0, device.interfaces().size() - 1)];
+  }
+
+  std::optional<cfg::ConfigChange> static_route_remove(const Network& network) {
+    for (const Device& device : network.devices()) {
+      if (!device.static_routes().empty()) {
+        const auto& routes = device.static_routes();
+        return cfg::ConfigChange{
+            device.id(), cfg::StaticRouteRemove{routes[rng_.next_in(0, routes.size() - 1)]}};
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<cfg::ConfigChange> acl_entry_add(const Network& network) {
+    for (const Device& device : network.devices()) {
+      if (device.acls().empty()) continue;
+      const Acl& acl = device.acls()[rng_.next_in(0, device.acls().size() - 1)];
+      std::size_t index = rng_.next_in(0, acl.entries.size());
+      return cfg::ConfigChange{
+          device.id(),
+          cfg::AclEntryAdd{acl.name, index, cfg::parse_acl_entry("permit ip any any")}};
+    }
+    return std::nullopt;
+  }
+
+  std::optional<cfg::ConfigChange> acl_binding_change(const Network& network) {
+    for (const Device& device : network.devices()) {
+      if (device.acls().empty() || device.interfaces().empty()) continue;
+      const Acl& acl = device.acls()[rng_.next_in(0, device.acls().size() - 1)];
+      const Interface& iface = pick_interface(device);
+      bool inbound = rng_.next_in(0, 1) == 0;
+      const std::string& old_acl = inbound ? iface.acl_in : iface.acl_out;
+      std::string new_acl = old_acl == acl.name ? std::string{} : acl.name;
+      return cfg::ConfigChange{
+          device.id(),
+          cfg::InterfaceAclBindingChange{
+              iface.id, inbound ? cfg::AclDirection::In : cfg::AclDirection::Out, old_acl,
+              new_acl}};
+    }
+    return std::nullopt;
+  }
+
+  util::Rng rng_;
+  unsigned serial_ = 0;
+};
+
+TEST(EngineProperty, IncrementalChainMatchesFromScratch) {
+  constexpr int kSteps = 25;
+  for (std::uint64_t seed : {11u, 42u, 1337u}) {
+    Network network = enterprise();
+    ChangeSequenceGenerator generator(seed);
+
+    Engine incremental(Options{.cache_capacity = 0, .trace_threads = 1});
+    Snapshot snapshot = incremental.analyze(network);
+
+    for (int step = 0; step < kSteps; ++step) {
+      cfg::ConfigChange change = generator.next(network);
+      cfg::apply_change(network, change);
+      snapshot = incremental.analyze(network, snapshot, {change});
+
+      Engine scratch(Options{.cache_capacity = 0, .trace_threads = 1});
+      Snapshot reference = scratch.analyze(network);
+
+      std::string context = "seed " + std::to_string(seed) + " step " + std::to_string(step) +
+                            " (" + change.summary() + ")";
+      EXPECT_EQ(fib_lines(network, *reference.dataplane), fib_lines(network, *snapshot.dataplane))
+          << context;
+      expect_identical(*reference.reachability, *snapshot.reachability, context);
+    }
+    // The chain must actually have exercised the incremental paths.
+    EXPECT_GT(incremental.stats().incremental_recomputes + incremental.stats().carried_forward,
+              0u)
+        << "seed " << seed;
+  }
+}
+
+TEST(EngineProperty, BatchedChangesetMatchesFromScratch) {
+  for (std::uint64_t seed : {7u, 99u}) {
+    Network network = enterprise();
+    ChangeSequenceGenerator generator(seed);
+
+    Engine engine(Options{.cache_capacity = 0, .trace_threads = 1});
+    Snapshot base = engine.analyze(network);
+
+    std::vector<cfg::ConfigChange> changes;
+    for (int i = 0; i < 8; ++i) {
+      cfg::ConfigChange change = generator.next(network);
+      cfg::apply_change(network, change);
+      changes.push_back(std::move(change));
+    }
+
+    Snapshot after = engine.analyze(network, base, changes);
+    Engine scratch(Options{.cache_capacity = 0, .trace_threads = 1});
+    Snapshot reference = scratch.analyze(network);
+    EXPECT_EQ(fib_lines(network, *reference.dataplane), fib_lines(network, *after.dataplane));
+    expect_identical(*reference.reachability, *after.reachability,
+                     "batched seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace heimdall::analysis

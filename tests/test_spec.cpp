@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "scenarios/enterprise.hpp"
+#include "analysis/engine.hpp"
 #include "spec/mine.hpp"
 #include "spec/verify.hpp"
 
@@ -25,8 +26,8 @@ TEST(Policy, IdsAndRendering) {
 
 TEST(Mine, ReachabilityAndIsolationFromEnterprise) {
   Network network = scen::build_enterprise();
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
-  std::vector<Policy> policies = spec::mine_policies(network, dataplane);
+  analysis::Engine engine;
+  std::vector<Policy> policies = spec::mine_policies(*engine.analyze(network).reachability);
 
   auto find_policy = [&](const std::string& id) {
     for (const Policy& policy : policies)
@@ -44,12 +45,12 @@ TEST(Mine, ReachabilityAndIsolationFromEnterprise) {
 
 TEST(Mine, WaypointPolicies) {
   Network network = scen::build_enterprise();
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  analysis::Engine engine;
   MineOptions options;
   options.include_reachability = false;
   options.include_isolation = false;
   options.waypoint_candidates = {DeviceId("r9")};
-  std::vector<Policy> policies = spec::mine_policies(network, dataplane, options);
+  std::vector<Policy> policies = spec::mine_policies(*engine.analyze(network).reachability, options);
   ASSERT_FALSE(policies.empty());
   for (const Policy& policy : policies) {
     EXPECT_EQ(policy.type, PolicyType::Waypoint);
@@ -63,9 +64,10 @@ TEST(Mine, WaypointPolicies) {
 
 TEST(Mine, BudgetKeepsIntentPoliciesFirst) {
   Network network = scen::build_enterprise();
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze(network);
 
-  std::vector<Policy> uncapped = spec::mine_policies(network, dataplane);
+  std::vector<Policy> uncapped = spec::mine_policies(*snapshot.reachability);
   std::size_t isolation_count = 0;
   for (const Policy& policy : uncapped)
     if (policy.type == PolicyType::Isolation) ++isolation_count;
@@ -73,7 +75,7 @@ TEST(Mine, BudgetKeepsIntentPoliciesFirst) {
 
   MineOptions options;
   options.max_policies = isolation_count + 2;
-  std::vector<Policy> capped = spec::mine_policies(network, dataplane, options);
+  std::vector<Policy> capped = spec::mine_policies(*snapshot.reachability, options);
   EXPECT_EQ(capped.size(), isolation_count + 2);
   std::size_t capped_isolation = 0;
   for (const Policy& policy : capped)
@@ -83,8 +85,9 @@ TEST(Mine, BudgetKeepsIntentPoliciesFirst) {
 
 TEST(Mine, Deterministic) {
   Network network = scen::build_enterprise();
-  dp::Dataplane dataplane = dp::Dataplane::compute(network);
-  EXPECT_EQ(spec::mine_policies(network, dataplane), spec::mine_policies(network, dataplane));
+  analysis::Engine engine;
+  const dp::ReachabilityMatrix& matrix = *engine.analyze(network).reachability;
+  EXPECT_EQ(spec::mine_policies(matrix), spec::mine_policies(matrix));
 }
 
 TEST(Verify, CleanNetworkPasses) {
