@@ -7,6 +7,8 @@
 // cannot turn the loop body into a lookup.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "analysis/engine.hpp"
@@ -14,6 +16,7 @@
 #include "config/parse.hpp"
 #include "config/serialize.hpp"
 #include "enforcer/audit.hpp"
+#include "obs/telemetry.hpp"
 #include "scenarios/enterprise.hpp"
 #include "scenarios/university.hpp"
 #include "spec/verify.hpp"
@@ -100,6 +103,52 @@ void BM_EngineCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCacheHit);
 
+/// Per-iteration deltas of the engine's registry counters, attached to the
+/// benchmark row so incremental-vs-full runs show cache and dirty-set
+/// behaviour alongside wall time.
+class EngineCounterProbe {
+ public:
+  EngineCounterProbe()
+      : hits0_(counter("engine.cache_hits")),
+        misses0_(counter("engine.cache_misses")),
+        full0_(counter("engine.full_recomputes")),
+        incremental0_(counter("engine.incremental_recomputes")),
+        retraced0_(counter("engine.retraced_pairs")) {
+    const obs::HistogramSnapshot dirty = dirty_histogram();
+    dirty_count0_ = dirty.count;
+    dirty_sum0_ = dirty.sum;
+  }
+
+  void annotate(benchmark::State& state) const {
+    const double iterations = static_cast<double>(state.iterations());
+    if (iterations <= 0) return;
+    state.counters["cache_hits"] = (counter("engine.cache_hits") - hits0_) / iterations;
+    state.counters["cache_misses"] = (counter("engine.cache_misses") - misses0_) / iterations;
+    state.counters["full_recomputes"] =
+        (counter("engine.full_recomputes") - full0_) / iterations;
+    state.counters["incr_recomputes"] =
+        (counter("engine.incremental_recomputes") - incremental0_) / iterations;
+    state.counters["retraced_pairs"] =
+        (counter("engine.retraced_pairs") - retraced0_) / iterations;
+    const obs::HistogramSnapshot dirty = dirty_histogram();
+    if (dirty.count > dirty_count0_)
+      state.counters["dirty_devices"] =
+          (dirty.sum - dirty_sum0_) / static_cast<double>(dirty.count - dirty_count0_);
+  }
+
+ private:
+  static double counter(const std::string& name) {
+    return static_cast<double>(obs::Registry::global().counter(name).value());
+  }
+  static obs::HistogramSnapshot dirty_histogram() {
+    return obs::Registry::global().histogram("engine.dirty_devices").snapshot();
+  }
+
+  double hits0_, misses0_, full0_, incremental0_, retraced0_;
+  std::uint64_t dirty_count0_ = 0;
+  double dirty_sum0_ = 0;
+};
+
 // The incremental-vs-full pair: one static-route edit on the university
 // network (13 routers / 17 hosts / 92 links). The incremental path rebuilds
 // one FIB and re-traces only pairs crossing the edited router; the full path
@@ -109,9 +158,11 @@ void BM_EngineFullAfterStaticRoute(benchmark::State& state) {
   net::Network changed = base_net;
   cfg::apply_change(changed, make_static_route_change(base_net, net::DeviceId("u1")));
   analysis::Engine engine(uncached());
+  EngineCounterProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.analyze(changed));
   }
+  probe.annotate(state);
 }
 BENCHMARK(BM_EngineFullAfterStaticRoute);
 
@@ -124,9 +175,11 @@ void BM_EngineIncrementalStaticRoute(benchmark::State& state) {
 
   analysis::Engine engine(uncached());
   analysis::Snapshot base = engine.analyze(base_net);
+  EngineCounterProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.analyze(changed, base, changes));
   }
+  probe.annotate(state);
 }
 BENCHMARK(BM_EngineIncrementalStaticRoute);
 
@@ -239,4 +292,18 @@ BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus an optional metrics-snapshot dump: when
+// HEIMDALL_METRICS_OUT names a file, the global registry (engine cache
+// hits/misses, dirty-set histogram, ...) is written there as JSON after the
+// benchmarks finish — CI uploads it as an artifact.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* metrics_out = std::getenv("HEIMDALL_METRICS_OUT")) {
+    if (heimdall::obs::write_metrics_file(heimdall::obs::Registry::global(), metrics_out))
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out);
+  }
+  return 0;
+}

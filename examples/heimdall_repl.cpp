@@ -4,6 +4,11 @@
 //
 // Usage:
 //   ./build/examples/heimdall_repl [enterprise|university] [vlan|ospf|isp|acl|route]
+//                                  [--trace-out <file>] [--metrics-out <file>]
+//
+// --trace-out writes a Chrome trace_event JSON file (load it in Perfetto or
+// chrome://tracing) covering the whole session; --metrics-out dumps the global
+// metrics registry (counters, gauges, latency histograms) as JSON on exit.
 //
 // Meta-commands on top of the twin console grammar:
 //   .slice       show the slice and its rationale
@@ -23,6 +28,9 @@
 
 #include "analysis/engine.hpp"
 #include "enforcer/enforcer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "twin/presentation.hpp"
 #include "twin/twin.hpp"
 #include "privilege/explain.hpp"
@@ -68,12 +76,28 @@ void print_help() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string network_name = argc > 1 ? argv[1] : "enterprise";
-  std::string issue_key = argc > 2 ? argv[2] : "vlan";
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace-out" || arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file argument\n", arg.c_str());
+        return 2;
+      }
+      (arg == "--trace-out" ? trace_out : metrics_out) = argv[++i];
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  std::string network_name = positional.size() > 0 ? positional[0] : "enterprise";
+  std::string issue_key = positional.size() > 1 ? positional[1] : "vlan";
   if (network_name != "enterprise" && network_name != "university") {
     std::fprintf(stderr, "unknown network '%s'\n", network_name.c_str());
     return 2;
   }
+  if (!trace_out.empty()) obs::enable_tracing();
 
   net::Network production =
       network_name == "enterprise" ? scen::build_enterprise() : scen::build_university();
@@ -82,6 +106,13 @@ int main(int argc, char** argv) {
                                            : scen::university_policies(production);
   scen::IssueSpec issue = find_issue(network_name, issue_key);
   issue.inject(production);
+
+  // Every span begun during the session carries the ticket ID, so trace rows
+  // line up with "ticket #N" audit-trail entries.
+  obs::ScopedContext ticket_context("ticket", std::to_string(issue.ticket.id));
+  // Ended by hand before the trace file is written, so the export includes it.
+  obs::SpanId session_span = obs::tracer().begin(
+      "repl.session", "repl", {{"network", network_name}, {"issue", issue_key}});
 
   analysis::Engine engine;
   analysis::Snapshot snapshot = engine.analyze_dataplane(production);
@@ -191,5 +222,16 @@ int main(int argc, char** argv) {
   std::printf("\nsession ended; %zu commands audited; issue resolved: %s\n",
               enforcer.audit().size(),
               issue.resolved(production) ? "yes" : (submitted ? "no" : "never submitted"));
+
+  obs::tracer().end(session_span);
+  if (!trace_out.empty()) {
+    if (obs::write_trace_file(obs::tracer(), trace_out))
+      std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
+                  obs::tracer().span_count());
+  }
+  if (!metrics_out.empty()) {
+    if (obs::write_metrics_file(obs::Registry::global(), metrics_out))
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

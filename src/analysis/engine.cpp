@@ -4,11 +4,48 @@
 #include <utility>
 
 #include "config/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/clock.hpp"
 #include "util/sha256.hpp"
 
 namespace heimdall::analysis {
 
 using heimdall::cfg::ConfigChange;
+
+namespace {
+
+/// Global-registry mirrors of Engine::Stats, resolved once: hot analysis
+/// paths bump relaxed atomics instead of re-looking metrics up by name.
+struct EngineMetrics {
+  obs::Counter& analyses;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& full_recomputes;
+  obs::Counter& incremental_recomputes;
+  obs::Counter& carried_forward;
+  obs::Counter& retraced_pairs;
+  obs::Histogram& analyze_ms;
+  obs::Histogram& dirty_devices;
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics{
+        obs::Registry::global().counter("engine.analyses"),
+        obs::Registry::global().counter("engine.cache_hits"),
+        obs::Registry::global().counter("engine.cache_misses"),
+        obs::Registry::global().counter("engine.full_recomputes"),
+        obs::Registry::global().counter("engine.incremental_recomputes"),
+        obs::Registry::global().counter("engine.carried_forward"),
+        obs::Registry::global().counter("engine.retraced_pairs"),
+        obs::Registry::global().histogram("engine.analyze_ms"),
+        obs::Registry::global().histogram("engine.dirty_devices",
+                                          {0, 1, 2, 4, 8, 16, 32, 64, 128}),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Impact classify_impact(const ConfigChange& change) {
   struct Visitor {
@@ -49,6 +86,7 @@ Engine::Engine(Options options) : options_(options) {
 }
 
 std::string Engine::fingerprint(const net::Network& network) const {
+  obs::ScopedSpan span("engine.fingerprint", "analysis");
   util::Sha256 hasher;
   hasher.update(cfg::serialize_network(network));
   hasher.update(cfg::serialize_topology(network.topology()));
@@ -88,9 +126,14 @@ void Engine::clear() {
 
 Engine::Entry Engine::compute_full(const net::Network& network, bool want_matrix) {
   ++stats_.full_recomputes;
+  EngineMetrics::get().full_recomputes.add();
   Entry entry;
-  entry.dataplane = std::make_shared<dp::Dataplane>(dp::Dataplane::compute(network));
+  {
+    obs::ScopedSpan span("engine.dataplane", "analysis");
+    entry.dataplane = std::make_shared<dp::Dataplane>(dp::Dataplane::compute(network));
+  }
   if (want_matrix) {
+    obs::ScopedSpan span("engine.reachability", "analysis");
     entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
         dp::ReachabilityMatrix::compute(network, *entry.dataplane, trace_options()));
   }
@@ -101,10 +144,14 @@ Engine::Entry Engine::compute_incremental(const net::Network& network, const Sna
                                           const std::vector<ConfigChange>& changes, Impact worst,
                                           bool want_matrix) {
   ++stats_.incremental_recomputes;
+  EngineMetrics::get().incremental_recomputes.add();
   std::set<net::DeviceId> dirty;
   for (const ConfigChange& change : changes) {
     if (classify_impact(change) != Impact::None) dirty.insert(change.device);
   }
+  EngineMetrics::get().dirty_devices.observe(static_cast<double>(dirty.size()));
+  obs::ScopedSpan span("engine.incremental", "analysis",
+                       {{"dirty_devices", std::to_string(dirty.size())}});
 
   Entry entry;
   if (worst == Impact::TraceOnly) {
@@ -124,6 +171,8 @@ Engine::Entry Engine::compute_incremental(const net::Network& network, const Sna
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(dp::ReachabilityMatrix::recompute(
           network, *entry.dataplane, *base.reachability, dirty, trace_options(), &retraced));
       stats_.retraced_pairs += retraced;
+      EngineMetrics::get().retraced_pairs.add(retraced);
+      span.arg("retraced_pairs", std::to_string(retraced));
     } else {
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
           dp::ReachabilityMatrix::compute(network, *entry.dataplane, trace_options()));
@@ -135,6 +184,19 @@ Engine::Entry Engine::compute_incremental(const net::Network& network, const Sna
 Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
                               const std::vector<ConfigChange>* changes, bool want_matrix) {
   ++stats_.analyses;
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.analyses.add();
+  obs::ScopedSpan span("engine.analyze", "analysis",
+                       {{"want_matrix", want_matrix ? "true" : "false"}});
+  util::Stopwatch watch;
+  // The histogram records every exit path, including cache hits — that is
+  // the point: the snapshot shows what analyses cost *in situ*.
+  struct ObserveOnExit {
+    util::Stopwatch& watch;
+    obs::Histogram& histogram;
+    ~ObserveOnExit() { histogram.observe(watch.elapsed_ms()); }
+  } observe{watch, metrics.analyze_ms};
+
   // Digests exist to serve the memo cache; with caching disabled the
   // serialize-and-hash cost would be pure overhead on every analysis, so
   // snapshots then carry an empty digest.
@@ -146,22 +208,30 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
   if (caching && base && base->valid() && base->digest == digest &&
       (!want_matrix || base->reachability)) {
     ++stats_.cache_hits;
+    metrics.cache_hits.add();
+    span.arg("cache", "hit-base");
     return *base;
   }
 
   if (Entry* cached = caching ? lookup(digest) : nullptr) {
     if (!want_matrix || cached->matrix) {
       ++stats_.cache_hits;
+      metrics.cache_hits.add();
+      span.arg("cache", "hit");
       return Snapshot{digest, cached->dataplane, cached->matrix};
     }
     // Dataplane known, matrix missing: complete the cached entry in place.
     ++stats_.matrix_completions;
+    metrics.cache_misses.add();
+    span.arg("cache", "complete-matrix");
     std::shared_ptr<const dp::Dataplane> dataplane = cached->dataplane;
     auto matrix = std::make_shared<dp::ReachabilityMatrix>(
         dp::ReachabilityMatrix::compute(network, *dataplane, trace_options()));
     remember(digest, Entry{dataplane, matrix});
     return Snapshot{std::move(digest), std::move(dataplane), std::move(matrix)};
   }
+  metrics.cache_misses.add();
+  span.arg("cache", "miss");
 
   Impact worst = Impact::None;
   if (base && base->valid() && changes) {

@@ -1,5 +1,8 @@
 #include "enforcer/enclave.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace heimdall::enforce {
 
 using util::hmac_sha256;
@@ -17,6 +20,8 @@ Sha256Digest SimulatedEnclave::mac_over(std::string_view domain, std::string_vie
 }
 
 AttestationReport SimulatedEnclave::attest(std::string report_data) const {
+  obs::ScopedSpan span("enclave.attest", "enforcer");
+  obs::Registry::global().counter("enclave.attestations").add();
   AttestationReport report;
   report.measurement = measurement_;
   report.report_data = std::move(report_data);
@@ -33,6 +38,8 @@ bool SimulatedEnclave::verify_report(const AttestationReport& report,
 }
 
 SealedBlob SimulatedEnclave::seal(std::string payload) const {
+  obs::ScopedSpan span("enclave.seal", "enforcer");
+  obs::Registry::global().counter("enclave.seals").add();
   SealedBlob blob;
   blob.payload = std::move(payload);
   blob.sealer_measurement = measurement_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace heimdall::enforce {
@@ -18,7 +21,12 @@ void PolicyEnforcer::reseal_head() {
 
 void PolicyEnforcer::audit_event(util::VirtualClock& clock, const std::string& actor,
                                  AuditCategory category, std::string message) {
+  // The instant event mirrors the audit record into the trace (inheriting
+  // e.g. the workflow's ticket context), so an auditor can line the two up.
+  obs::tracer().instant("audit." + to_string(category), "audit", {{"actor", actor}});
+  OBS_LOG(Debug) << "audit[" << to_string(category) << "] " << actor << ": " << message;
   audit_.append(clock.now(), actor, category, std::move(message));
+  obs::Registry::global().counter("audit.entries").add();
   reseal_head();
 }
 
@@ -27,8 +35,17 @@ EnforcementReport PolicyEnforcer::enforce(net::Network& production,
                                           const priv::PrivilegeSpec& privileges,
                                           util::VirtualClock& clock, const std::string& actor,
                                           bool check_transients) {
+  obs::ScopedSpan span("enforcer.enforce", "enforcer",
+                       {{"actor", actor}, {"changes", std::to_string(changes.size())}});
   EnforcementReport report;
-  report.verification = verify_changes(production, changes, policies_, privileges);
+  {
+    obs::ScopedSpan verify_span("enforcer.verify", "enforcer");
+    report.verification = verify_changes(production, changes, policies_, privileges);
+  }
+  obs::Registry::global()
+      .counter("enforcer.violations")
+      .add(report.verification.privilege_violations.size() +
+           report.verification.policy_report.violations.size());
 
   for (const PrivilegeViolation& violation : report.verification.privilege_violations) {
     audit_event(clock, actor, AuditCategory::Violation,
@@ -42,6 +59,8 @@ EnforcementReport PolicyEnforcer::enforce(net::Network& production,
 
   if (!report.verification.approved()) {
     report.rejection_reasons = report.verification.rejection_reasons();
+    span.arg("outcome", "rejected");
+    obs::Registry::global().counter("enforcer.changesets_rejected").add();
     audit_event(clock, actor, AuditCategory::Verify,
                 "changeset REJECTED (" + std::to_string(changes.size()) + " changes, " +
                     std::to_string(report.rejection_reasons.size()) + " reasons)");
@@ -53,11 +72,16 @@ EnforcementReport PolicyEnforcer::enforce(net::Network& production,
                   std::to_string(report.verification.policy_report.checked) +
                   " policies checked)");
 
-  report.plan = build_plan(production, changes, policies_, check_transients);
-  for (const ScheduledStep& step : report.plan.steps) {
-    cfg::apply_change(production, step.change);
-    audit_event(clock, actor, AuditCategory::Schedule, "applied: " + step.change.summary());
+  {
+    obs::ScopedSpan schedule_span("enforcer.schedule", "enforcer");
+    report.plan = build_plan(production, changes, policies_, check_transients);
+    for (const ScheduledStep& step : report.plan.steps) {
+      cfg::apply_change(production, step.change);
+      audit_event(clock, actor, AuditCategory::Schedule, "applied: " + step.change.summary());
+    }
   }
+  obs::Registry::global().counter("enforcer.changes_applied").add(report.plan.steps.size());
+  span.arg("outcome", "applied");
   report.applied = true;
   return report;
 }
@@ -65,7 +89,13 @@ EnforcementReport PolicyEnforcer::enforce(net::Network& production,
 QuarantineReport PolicyEnforcer::enforce_with_quarantine(
     net::Network& production, const std::vector<cfg::ConfigChange>& changes,
     const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor) {
+  obs::ScopedSpan span("enforcer.quarantine", "enforcer",
+                       {{"actor", actor}, {"changes", std::to_string(changes.size())}});
   QuarantineReport report;
+
+  // Covers phases 1–2 (per-change privilege + policy attribution) and the
+  // joint check in phase 3; closed by hand because application interleaves.
+  obs::SpanId verify_span = obs::tracer().begin("enforcer.verify", "enforcer");
 
   // 1. Privilege compliance per change.
   std::vector<cfg::ConfigChange> candidates;
@@ -135,6 +165,9 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
                   std::string("remainder rejected (replay): ") + error.what());
     }
     if (replay_ok && !introduces_new_violation(policies_.verify_network(shadow), nullptr)) {
+      obs::tracer().end(verify_span);
+      verify_span = 0;
+      obs::ScopedSpan schedule_span("enforcer.schedule", "enforcer");
       for (const cfg::ConfigChange& change : schedule_changes(remainder)) {
         cfg::apply_change(production, change);
         audit_event(clock, actor, AuditCategory::Schedule, "applied: " + change.summary());
@@ -150,6 +183,11 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
     }
   }
 
+  obs::tracer().end(verify_span);  // still open on the no-apply paths
+  obs::Registry::global().counter("enforcer.changes_applied").add(report.applied_changes.size());
+  obs::Registry::global().counter("enforcer.changes_quarantined").add(report.quarantined.size());
+  span.arg("applied", std::to_string(report.applied_changes.size()));
+  span.arg("quarantined", std::to_string(report.quarantined.size()));
   audit_event(clock, actor, AuditCategory::Verify,
               "quarantine round: " + std::to_string(report.applied_changes.size()) +
                   " applied, " + std::to_string(report.quarantined.size()) + " intercepted");
@@ -161,6 +199,8 @@ EmergencyResult PolicyEnforcer::emergency_execute(net::Network& production,
                                                   const priv::PrivilegeSpec& privileges,
                                                   util::VirtualClock& clock,
                                                   const std::string& actor) {
+  obs::ScopedSpan span("enforcer.emergency", "enforcer", {{"actor", actor}});
+  obs::Registry::global().counter("enforcer.emergency_commands").add();
   EmergencyResult result;
   twin::ParsedCommand command = twin::parse_command(command_line);
 

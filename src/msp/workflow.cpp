@@ -2,10 +2,25 @@
 
 #include "analysis/engine.hpp"
 #include "msp/rmm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace heimdall::msp {
 
 using namespace heimdall::net;
+
+namespace {
+
+/// Step timings feed the per-step latency histogram so a metrics snapshot
+/// shows where workflow time goes without re-running Figure 7.
+void record_step(WorkflowResult& result, StepTiming step) {
+  obs::Registry::global()
+      .histogram("workflow.step_ms")
+      .observe(step.human_ms + step.machine_ms);
+  result.steps.push_back(std::move(step));
+}
+
+}  // namespace
 
 double WorkflowResult::total_ms() const {
   double total = 0;
@@ -22,7 +37,9 @@ const StepTiming* WorkflowResult::step(const std::string& name) const {
 WorkflowResult run_current_workflow(Network& production, const Ticket& ticket,
                                     const std::vector<std::string>& fix_script,
                                     const Technician& technician, const ResolvedCheck& resolved) {
-  (void)ticket;
+  obs::ScopedContext ticket_context("ticket", std::to_string(ticket.id));
+  obs::ScopedSpan workflow_span("workflow.current", "workflow");
+  obs::Registry::global().counter("workflow.current_runs").add();
   WorkflowResult result;
   result.workflow = "current";
   util::VirtualClock clock;
@@ -34,28 +51,37 @@ WorkflowResult run_current_workflow(Network& production, const Ticket& ticket,
   {
     util::Stopwatch watch;
     clock.advance(latency.login_ms + latency.ticket_review_ms);
+    // The session outlives the connect step, so the span is closed by hand.
+    obs::SpanId connect_span = obs::tracer().begin("workflow.connect", "workflow");
     RmmSession session = server.open_session(Credentials{technician.name, "hunter2", false});
-    result.steps.push_back(
-        {"connect", static_cast<double>(latency.login_ms + latency.ticket_review_ms),
-         watch.elapsed_ms()});
+    obs::tracer().end(connect_span);
+    record_step(result,
+                {"connect", static_cast<double>(latency.login_ms + latency.ticket_review_ms),
+                 watch.elapsed_ms()});
 
     // Step 2: perform operations, directly on production.
     util::Stopwatch operate_watch;
     util::VirtualMillis human = 0;
-    for (const std::string& line : fix_script) {
-      twin::ParsedCommand command = twin::parse_command(line);
-      human += latency.command_cost(command);
-      session.execute(line);
+    {
+      obs::ScopedSpan operate_span("workflow.operate", "workflow");
+      for (const std::string& line : fix_script) {
+        twin::ParsedCommand command = twin::parse_command(line);
+        human += latency.command_cost(command);
+        session.execute(line);
+      }
     }
     clock.advance(human);
-    result.steps.push_back({"operate", static_cast<double>(human), operate_watch.elapsed_ms()});
+    record_step(result, {"operate", static_cast<double>(human), operate_watch.elapsed_ms()});
 
     // Step 3: save changes (committed unverified).
     util::Stopwatch save_watch;
     clock.advance(latency.save_ms);
-    session.commit();
-    result.steps.push_back(
-        {"save", static_cast<double>(latency.save_ms), save_watch.elapsed_ms()});
+    {
+      obs::ScopedSpan save_span("workflow.save", "workflow");
+      session.commit();
+    }
+    record_step(result,
+                {"save", static_cast<double>(latency.save_ms), save_watch.elapsed_ms()});
   }
 
   result.changes_applied = true;
@@ -68,6 +94,9 @@ WorkflowResult run_heimdall_workflow(Network& production, enforce::PolicyEnforce
                                      const std::vector<std::string>& fix_script,
                                      const Technician& technician, const ResolvedCheck& resolved,
                                      twin::SliceStrategy strategy) {
+  obs::ScopedContext ticket_context("ticket", std::to_string(ticket.id));
+  obs::ScopedSpan workflow_span("workflow.heimdall", "workflow");
+  obs::Registry::global().counter("workflow.heimdall_runs").add();
   WorkflowResult result;
   result.workflow = "heimdall";
   util::VirtualClock clock;
@@ -76,17 +105,21 @@ WorkflowResult run_heimdall_workflow(Network& production, enforce::PolicyEnforce
   // Step 1: connect + generate Privilege_msp.
   util::Stopwatch generate_watch;
   analysis::Engine engine;
+  obs::SpanId connect_span = obs::tracer().begin("workflow.connect+privilege", "workflow");
   analysis::Snapshot snapshot = engine.analyze_dataplane(production);
+  obs::tracer().end(connect_span);
   const dp::Dataplane& dataplane = *snapshot.dataplane;
   clock.advance(latency.login_ms + latency.ticket_review_ms + latency.privilege_gen_ms);
-  result.steps.push_back({"connect+privilege",
-                          static_cast<double>(latency.login_ms + latency.ticket_review_ms +
-                                              latency.privilege_gen_ms),
-                          generate_watch.elapsed_ms()});
+  record_step(result, {"connect+privilege",
+                       static_cast<double>(latency.login_ms + latency.ticket_review_ms +
+                                           latency.privilege_gen_ms),
+                       generate_watch.elapsed_ms()});
 
   // Step 2: set up the twin network (slice + scrub + privileges + boot).
   util::Stopwatch twin_watch;
+  obs::SpanId setup_span = obs::tracer().begin("workflow.twin-setup", "workflow");
   twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket, strategy);
+  obs::tracer().end(setup_span);
   util::VirtualMillis boot =
       latency.twin_boot_per_device_ms *
       static_cast<util::VirtualMillis>(twin.slice().devices.size());
@@ -94,32 +127,38 @@ WorkflowResult run_heimdall_workflow(Network& production, enforce::PolicyEnforce
   enforcer.audit_event(clock, technician.name, enforce::AuditCategory::Session,
                        "twin created for ticket #" + std::to_string(ticket.id) + " (" +
                            std::to_string(twin.slice().devices.size()) + " devices)");
-  result.steps.push_back({"twin-setup", static_cast<double>(boot), twin_watch.elapsed_ms()});
+  record_step(result, {"twin-setup", static_cast<double>(boot), twin_watch.elapsed_ms()});
 
   // Step 3: perform operations inside the twin.
   util::Stopwatch operate_watch;
   util::VirtualMillis human = 0;
-  for (const std::string& line : fix_script) {
-    twin::ParsedCommand command = twin::parse_command(line);
-    human += latency.command_cost(command);
-    twin::CommandResult outcome = twin.run(line);
-    enforcer.audit_event(clock, technician.name, enforce::AuditCategory::Command,
-                         line + (outcome.ok ? " [ok]" : " [failed/denied]"));
+  {
+    obs::ScopedSpan operate_span("workflow.operate", "workflow");
+    for (const std::string& line : fix_script) {
+      twin::ParsedCommand command = twin::parse_command(line);
+      human += latency.command_cost(command);
+      twin::CommandResult outcome = twin.run(line);
+      enforcer.audit_event(clock, technician.name, enforce::AuditCategory::Command,
+                           line + (outcome.ok ? " [ok]" : " [failed/denied]"));
+    }
   }
   clock.advance(human);
   result.commands_denied = twin.monitor().denied_count();
-  result.steps.push_back({"operate", static_cast<double>(human), operate_watch.elapsed_ms()});
+  record_step(result, {"operate", static_cast<double>(human), operate_watch.elapsed_ms()});
 
   // Step 4: verify & schedule through the policy enforcer.
   util::Stopwatch verify_watch;
   std::vector<cfg::ConfigChange> changes = twin.extract_changes();
-  enforce::EnforcementReport report =
-      enforcer.enforce(production, changes, twin.privileges(), clock, technician.name);
+  enforce::EnforcementReport report;
+  {
+    obs::ScopedSpan verify_span("workflow.verify+schedule", "workflow");
+    report = enforcer.enforce(production, changes, twin.privileges(), clock, technician.name);
+  }
   util::VirtualMillis push =
       latency.push_per_change_ms * static_cast<util::VirtualMillis>(changes.size());
   clock.advance(push);
-  result.steps.push_back(
-      {"verify+schedule", static_cast<double>(push), verify_watch.elapsed_ms()});
+  record_step(result,
+              {"verify+schedule", static_cast<double>(push), verify_watch.elapsed_ms()});
 
   result.changes_applied = report.applied;
   result.issue_resolved = resolved(production);

@@ -1,0 +1,62 @@
+// Shared plumbing for the telemetry subsystem (src/obs/): the injectable
+// monotonic time source every component stamps with, and the JSON string
+// escaper the exporters share.
+//
+// heimdall_obs sits *below* heimdall_util (so even util/json.cpp can log
+// through it) and therefore depends on nothing but the standard library —
+// exporters build their JSON by hand instead of via util::Json.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace heimdall::obs {
+
+/// Monotonic microseconds. Injectable everywhere (logger, tracer, timers) so
+/// tests and the virtual-clock workflows produce deterministic timestamps;
+/// util::clock.hpp provides adapters from util::VirtualClock.
+using TimeSource = std::function<std::uint64_t()>;
+
+/// Default source: steady-clock microseconds since the first call — the only
+/// place in the telemetry subsystem that reads the OS clock.
+inline std::uint64_t steady_now_us() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - origin)
+                                        .count());
+}
+
+namespace detail {
+
+/// Appends `text` to `out` as a quoted JSON string.
+inline void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xF]);
+          out.push_back(hex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace detail
+
+}  // namespace heimdall::obs

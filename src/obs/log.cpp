@@ -1,0 +1,89 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace heimdall::obs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Basename of a __FILE__ path, so records stay readable across build dirs.
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+void default_sink(const LogRecord& record) {
+  std::fprintf(stderr, "[%s] %s:%d %s\n", to_string(record.level), basename_of(record.file),
+               record.line, record.message.c_str());
+}
+
+}  // namespace
+
+struct Logger::Impl {
+  std::atomic<std::uint8_t> level{static_cast<std::uint8_t>(LogLevel::Warn)};
+  std::mutex mutex;
+  LogSink sink;          // empty -> default_sink
+  TimeSource time;       // empty -> steady_now_us
+};
+
+Logger::Impl& Logger::impl() {
+  static Impl the_impl;
+  return the_impl;
+}
+
+Logger& Logger::instance() {
+  static Logger the_logger;
+  return the_logger;
+}
+
+LogLevel Logger::level() const {
+  return static_cast<LogLevel>(
+      const_cast<Logger*>(this)->impl().level.load(std::memory_order_relaxed));
+}
+
+void Logger::set_level(LogLevel level) {
+  impl().level.store(static_cast<std::uint8_t>(level), std::memory_order_relaxed);
+}
+
+void Logger::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  impl().sink = std::move(sink);
+}
+
+void Logger::set_time_source(TimeSource source) {
+  std::lock_guard<std::mutex> lock(impl().mutex);
+  impl().time = std::move(source);
+}
+
+void Logger::submit(LogLevel level, const char* file, int line, std::string message) {
+  if (!enabled(level)) return;
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  LogRecord record;
+  record.level = level;
+  record.file = file;
+  record.line = line;
+  record.timestamp_us = state.time ? state.time() : steady_now_us();
+  record.message = std::move(message);
+  if (state.sink)
+    state.sink(record);
+  else
+    default_sink(record);
+}
+
+}  // namespace heimdall::obs

@@ -1,0 +1,92 @@
+// Leveled structured logging with pluggable sinks.
+//
+//   OBS_LOG(Warn) << "twin link references unknown device " << id;
+//
+// The macro evaluates its stream arguments only when the level is enabled,
+// so disabled log sites cost one relaxed atomic load. The process-wide
+// Logger dispatches complete records to a single sink; the default sink
+// writes "[level] file:line message" to stderr for Warn and above —
+// replacing the ad-hoc std::cerr diagnostics the library used to have.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "obs/common.hpp"
+
+namespace heimdall::obs {
+
+enum class LogLevel : std::uint8_t { Trace = 0, Debug, Info, Warn, Error, Off };
+
+const char* to_string(LogLevel level);
+
+/// One complete log record handed to the sink.
+struct LogRecord {
+  LogLevel level = LogLevel::Info;
+  const char* file = "";  ///< __FILE__ of the log site
+  int line = 0;
+  std::uint64_t timestamp_us = 0;
+  std::string message;
+};
+
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Process-wide logger. Thread-safe; sinks are invoked under a mutex so a
+/// sink never sees interleaved records.
+class Logger {
+ public:
+  static Logger& instance();
+
+  LogLevel level() const;
+  void set_level(LogLevel level);
+  bool enabled(LogLevel level) const { return level >= this->level(); }
+
+  /// Replaces the sink ({} restores the default stderr sink).
+  void set_sink(LogSink sink);
+
+  /// Replaces the timestamp source ({} restores steady_now_us).
+  void set_time_source(TimeSource source);
+
+  void submit(LogLevel level, const char* file, int line, std::string message);
+
+ private:
+  Logger() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+/// Stream-style builder created by OBS_LOG; submits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::instance().submit(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace heimdall::obs
+
+// `if (!enabled) ; else LogMessage(...)` keeps the stream expression
+// unevaluated when the level is filtered, and stays an expression-statement
+// safe inside unbraced if/else.
+#define OBS_LOG(level_)                                                               \
+  if (!::heimdall::obs::Logger::instance().enabled(::heimdall::obs::LogLevel::level_)) \
+    ;                                                                                 \
+  else                                                                                \
+    ::heimdall::obs::LogMessage(::heimdall::obs::LogLevel::level_, __FILE__, __LINE__)

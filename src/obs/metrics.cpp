@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "obs/common.hpp"
+
+namespace heimdall::obs {
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Overflow bucket has no finite upper edge; report the largest bound.
+      if (i >= bounds.size()) return bounds.empty() ? 0 : bounds.back();
+      double lower = i == 0 ? 0 : bounds[i - 1];
+      double upper = bounds[i];
+      double into = (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(std::max(into, 0.0), 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+std::vector<double> default_latency_buckets_ms() {
+  return {0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_buckets_ms();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (Shard& shard : shards_) shard.counts.assign(bounds_.size() + 1, 0);
+}
+
+Histogram::Shard& Histogram::shard_for_thread() {
+  std::size_t index = std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shards_[index];
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                               bounds_.begin());
+  Shard& shard = shard_for_thread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counts[bucket] += 1;
+  shard.count += 1;
+  shard.sum += value;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot merged;
+  merged.bounds = bounds_;
+  merged.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t i = 0; i < shard.counts.size(); ++i) merged.counts[i] += shard.counts[i];
+    merged.count += shard.count;
+    merged.sum += shard.sum;
+  }
+  return merged;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::fill(shard.counts.begin(), shard.counts.end(), 0);
+    shard.count = 0;
+    shard.sum = 0;
+  }
+}
+
+Registry& Registry::global() {
+  static Registry the_registry;
+  return the_registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, std::make_unique<Histogram>(std::move(bounds))).first;
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) out.counters.emplace_back(name, counter->value());
+  for (const auto& [name, gauge] : gauges_) out.gauges.emplace_back(name, gauge->value());
+  for (const auto& [name, histogram] : histograms_)
+    out.histograms.emplace_back(name, histogram->snapshot());
+  return out;
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  MetricsSnapshot snap = snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : snap.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_json_string(out, name);
+    out += ":{\"count\":" + std::to_string(histogram.count) + ",\"sum\":";
+    append_double(out, histogram.sum);
+    out += ",\"p50\":";
+    append_double(out, histogram.p50());
+    out += ",\"p95\":";
+    append_double(out, histogram.p95());
+    out += ",\"p99\":";
+    append_double(out, histogram.p99());
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += "{\"le\":";
+      if (i < histogram.bounds.size())
+        append_double(out, histogram.bounds[i]);
+      else
+        out += "\"inf\"";
+      out += ",\"count\":" + std::to_string(histogram.counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::to_text() const {
+  MetricsSnapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters)
+    out += name + " " + std::to_string(value) + "\n";
+  for (const auto& [name, value] : snap.gauges) out += name + " " + std::to_string(value) + "\n";
+  for (const auto& [name, histogram] : snap.histograms) {
+    out += name + " count=" + std::to_string(histogram.count) + " sum=";
+    append_double(out, histogram.sum);
+    out += " p50=";
+    append_double(out, histogram.p50());
+    out += " p95=";
+    append_double(out, histogram.p95());
+    out += " p99=";
+    append_double(out, histogram.p99());
+    out += "\n";
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace heimdall::obs

@@ -1,0 +1,131 @@
+// Metrics registry: named counters, gauges and fixed-bucket latency
+// histograms with percentile snapshots and JSON / plain-text export.
+//
+// Counters and gauges are single relaxed atomics. Histograms are
+// lock-sharded: observe() takes one of kShards mutexes chosen by thread
+// identity, so the thread-pool trace path never serializes on a single
+// histogram lock; snapshot() merges the shards.
+//
+// Registry::global() is the process-wide registry instrumentation sites
+// update; metric references returned by the registry are stable for the
+// registry's lifetime, so hot paths can look a metric up once and keep the
+// reference.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace heimdall::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged view of a histogram at one instant.
+struct HistogramSnapshot {
+  std::vector<double> bounds;         ///< bucket upper bounds, ascending
+  std::vector<std::uint64_t> counts;  ///< bounds.size()+1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0;
+
+  /// Percentile estimate by linear interpolation inside the hit bucket
+  /// (overflow bucket reports the largest finite bound). p in [0, 100].
+  double percentile(double p) const;
+  double p50() const { return percentile(50); }
+  double p95() const { return percentile(95); }
+  double p99() const { return percentile(99); }
+  double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+};
+
+/// Exponential-ish default bounds for millisecond latencies.
+std::vector<double> default_latency_buckets_ms();
+
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0;
+  };
+
+  Shard& shard_for_thread();
+
+  std::vector<double> bounds_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Everything the registry holds, frozen at one instant.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// Finds or creates. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used only on first creation of `name`.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+  /// One metric per line, for terminal dumps.
+  std::string to_text() const;
+
+  /// Zeroes every metric (references stay valid). Test isolation hook.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace heimdall::obs

@@ -1,0 +1,37 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+
+namespace heimdall::obs {
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content, const char* what) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) {
+    OBS_LOG(Error) << "cannot open " << what << " output file '" << path << "'";
+    return false;
+  }
+  std::size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  bool ok = written == content.size() && std::fclose(file) == 0;
+  if (!ok) OBS_LOG(Error) << "short write to " << what << " output file '" << path << "'";
+  return ok;
+}
+
+}  // namespace
+
+Tracer& enable_tracing() {
+  Tracer& t = tracer();
+  t.set_enabled(true);
+  return t;
+}
+
+bool write_trace_file(const Tracer& tracer, const std::string& path) {
+  return write_file(path, tracer.to_chrome_json(), "trace");
+}
+
+bool write_metrics_file(const Registry& registry, const std::string& path, bool as_json) {
+  return write_file(path, as_json ? registry.to_json() : registry.to_text(), "metrics");
+}
+
+}  // namespace heimdall::obs

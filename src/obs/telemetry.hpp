@@ -1,0 +1,26 @@
+// Telemetry facade: one-call setup and file export for the global tracer
+// and metrics registry — what examples and benches use to implement their
+// --trace-out / --metrics-out flags.
+#pragma once
+
+#include <string>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace heimdall::obs {
+
+/// Enables span collection on the global tracer and returns it.
+Tracer& enable_tracing();
+
+/// Writes the tracer's Chrome trace_event JSON to `path` (loadable in
+/// chrome://tracing and Perfetto). Returns false (and logs an Error) when
+/// the file cannot be written.
+bool write_trace_file(const Tracer& tracer, const std::string& path);
+
+/// Writes a registry snapshot to `path`; JSON by default, plain text when
+/// `as_json` is false.
+bool write_metrics_file(const Registry& registry, const std::string& path, bool as_json = true);
+
+}  // namespace heimdall::obs

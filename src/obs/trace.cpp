@@ -1,0 +1,208 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace heimdall::obs {
+
+namespace {
+
+/// One open span per frame; the stack gives parent/child nesting per thread.
+struct OpenFrame {
+  const Tracer* tracer;
+  SpanId id;
+};
+
+thread_local std::vector<OpenFrame> t_open_stack;
+thread_local SpanArgs t_context;
+
+}  // namespace
+
+struct Tracer::State {
+  mutable std::mutex mutex;
+  TimeSource time;  // empty -> steady_now_us
+  SpanId next_id = 1;
+  std::map<SpanId, SpanRecord> open;
+  std::vector<SpanRecord> finished;
+  std::map<std::thread::id, std::uint32_t> thread_indices;
+};
+
+Tracer::~Tracer() { delete state_.load(); }
+
+Tracer::State& Tracer::state() const {
+  // Allocated lazily so a never-enabled tracer costs nothing but a pointer.
+  if (!state_.load(std::memory_order_acquire)) {
+    State* fresh = new State();
+    State* expected = nullptr;
+    if (!state_.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) delete fresh;
+  }
+  return *state_.load(std::memory_order_acquire);
+}
+
+std::uint32_t Tracer::thread_index_locked(State& state) const {
+  auto [it, inserted] =
+      state.thread_indices.emplace(std::this_thread::get_id(),
+                                   static_cast<std::uint32_t>(state.thread_indices.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void Tracer::set_time_source(TimeSource source) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.time = std::move(source);
+}
+
+SpanId Tracer::begin(std::string name, std::string category, SpanArgs args) {
+  if (!enabled()) return 0;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  SpanRecord record;
+  record.id = s.next_id++;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.start_us = s.time ? s.time() : steady_now_us();
+  record.tid = thread_index_locked(s);
+  // Context first, then explicit args, so explicit args win on key clashes
+  // in viewers that keep the last value.
+  record.args = t_context;
+  for (auto& kv : args) record.args.push_back(std::move(kv));
+  for (auto it = t_open_stack.rbegin(); it != t_open_stack.rend(); ++it) {
+    if (it->tracer == this) {
+      record.parent = it->id;
+      break;
+    }
+  }
+  SpanId id = record.id;
+  s.open.emplace(id, std::move(record));
+  t_open_stack.push_back({this, id});
+  return id;
+}
+
+void Tracer::arg(SpanId id, std::string key, std::string value) {
+  if (id == 0) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.open.find(id);
+  if (it != s.open.end()) it->second.args.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::end(SpanId id) {
+  if (id == 0) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.open.find(id);
+  if (it == s.open.end()) return;
+  SpanRecord record = std::move(it->second);
+  s.open.erase(it);
+  std::uint64_t now = s.time ? s.time() : steady_now_us();
+  record.duration_us = now >= record.start_us ? now - record.start_us : 0;
+  s.finished.push_back(std::move(record));
+  // Pop this thread's frame (RAII makes it the innermost one for `this`).
+  for (auto frame = t_open_stack.rbegin(); frame != t_open_stack.rend(); ++frame) {
+    if (frame->tracer == this && frame->id == id) {
+      t_open_stack.erase(std::next(frame).base());
+      break;
+    }
+  }
+}
+
+void Tracer::instant(std::string name, std::string category, SpanArgs args) {
+  if (!enabled()) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  SpanRecord record;
+  record.id = s.next_id++;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.start_us = s.time ? s.time() : steady_now_us();
+  record.duration_us = 0;
+  record.tid = thread_index_locked(s);
+  record.args = t_context;
+  for (auto& kv : args) record.args.push_back(std::move(kv));
+  for (auto it = t_open_stack.rbegin(); it != t_open_stack.rend(); ++it) {
+    if (it->tracer == this) {
+      record.parent = it->id;
+      break;
+    }
+  }
+  s.finished.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.finished;
+}
+
+std::size_t Tracer::span_count() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.finished.size();
+}
+
+void Tracer::clear() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.finished.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<SpanRecord> records = spans();
+  std::sort(records.begin(), records.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.start_us < b.start_us; });
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& record : records) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    detail::append_json_string(out, record.name);
+    out += ",\"cat\":";
+    detail::append_json_string(out, record.category.empty() ? "heimdall" : record.category);
+    out += ",\"ph\":\"X\",\"ts\":" + std::to_string(record.start_us);
+    out += ",\"dur\":" + std::to_string(record.duration_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(record.tid);
+    out += ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : record.args) {
+      if (!first_arg) out.push_back(',');
+      first_arg = false;
+      detail::append_json_string(out, key);
+      out.push_back(':');
+      detail::append_json_string(out, value);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Tracer& tracer() {
+  static Tracer the_tracer;
+  return the_tracer;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category, SpanArgs args)
+    : ScopedSpan(tracer(), std::move(name), std::move(category), std::move(args)) {}
+
+ScopedSpan::ScopedSpan(Tracer& tracer, std::string name, std::string category, SpanArgs args)
+    : tracer_(tracer), id_(tracer.begin(std::move(name), std::move(category), std::move(args))) {}
+
+ScopedSpan::~ScopedSpan() { tracer_.end(id_); }
+
+void ScopedSpan::arg(std::string key, std::string value) {
+  tracer_.arg(id_, std::move(key), std::move(value));
+}
+
+ScopedContext::ScopedContext(std::string key, std::string value) {
+  t_context.emplace_back(std::move(key), std::move(value));
+}
+
+ScopedContext::~ScopedContext() { t_context.pop_back(); }
+
+const SpanArgs& current_context() { return t_context; }
+
+}  // namespace heimdall::obs

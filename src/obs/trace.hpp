@@ -1,0 +1,128 @@
+// Span-based tracing with Chrome trace_event export.
+//
+// Instrumented code opens RAII spans against the process-global tracer:
+//
+//   obs::ScopedSpan span("engine.analyze", "analysis");
+//   span.arg("cache", "hit");
+//
+// Parent/child nesting comes from a thread-local span stack, so spans opened
+// on thread-pool workers appear on their own tracks and spans opened while
+// another span is live become its children. A thread-local key/value context
+// (ScopedContext) is stamped onto every span begun while it is alive — the
+// enforcer's spans carry the workflow's ticket ID that way, making traces
+// cross-correlatable with the audit trail.
+//
+// The tracer is disabled by default; every instrumentation site then costs a
+// single relaxed atomic load. to_chrome_json() emits complete ("ph":"X")
+// events loadable in chrome://tracing and https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/common.hpp"
+
+namespace heimdall::obs {
+
+using SpanId = std::uint64_t;
+using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// One finished span.
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;  ///< 0 = root span on its thread
+  std::string name;
+  std::string category;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t tid = 0;  ///< normalized small thread index (0 = first seen)
+  SpanArgs args;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Replaces the timestamp source ({} restores steady_now_us).
+  void set_time_source(TimeSource source);
+
+  /// Opens a span (parent = innermost open span on this thread). Returns 0
+  /// when tracing is disabled; end()/arg() ignore id 0.
+  SpanId begin(std::string name, std::string category, SpanArgs args = {});
+
+  /// Attaches an argument to a still-open span.
+  void arg(SpanId id, std::string key, std::string value);
+
+  /// Closes a span and records it.
+  void end(SpanId id);
+
+  /// Zero-duration instant event (e.g. "audit.append").
+  void instant(std::string name, std::string category, SpanArgs args = {});
+
+  /// Finished spans, in completion order.
+  std::vector<SpanRecord> spans() const;
+
+  std::size_t span_count() const;
+
+  /// Drops finished spans (open spans and thread bookkeeping are kept).
+  void clear();
+
+  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string to_chrome_json() const;
+
+ private:
+  struct State;
+  State& state() const;
+
+  std::uint32_t thread_index_locked(State& state) const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::atomic<State*> state_{nullptr};
+};
+
+/// The process-global tracer instrumentation sites bind to.
+Tracer& tracer();
+
+/// RAII span on the global tracer (or an explicit one). No-op while the
+/// tracer is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, std::string category, SpanArgs args = {});
+  ScopedSpan(Tracer& tracer, std::string name, std::string category, SpanArgs args = {});
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches an argument discovered mid-span.
+  void arg(std::string key, std::string value);
+
+ private:
+  Tracer& tracer_;
+  SpanId id_ = 0;
+};
+
+/// Thread-local key/value attached to every span begun while alive. Nests;
+/// inner duplicates shadow outer keys at export time (both are recorded).
+class ScopedContext {
+ public:
+  ScopedContext(std::string key, std::string value);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+};
+
+/// The current thread's context stack (outermost first).
+const SpanArgs& current_context();
+
+}  // namespace heimdall::obs

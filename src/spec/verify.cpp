@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/clock.hpp"
+
 namespace heimdall::spec {
 
 using namespace heimdall::net;
@@ -18,6 +22,8 @@ PolicyVerifier::PolicyVerifier(std::vector<Policy> policies)
     : policies_(std::move(policies)), engine_(std::make_shared<analysis::Engine>()) {}
 
 VerificationReport PolicyVerifier::verify(const dp::ReachabilityMatrix& matrix) const {
+  obs::ScopedSpan span("spec.verify", "spec",
+                       {{"policies", std::to_string(policies_.size())}});
   VerificationReport report;
   for (const Policy& policy : policies_) {
     // Policies whose endpoints are absent from this (possibly sliced)
@@ -49,12 +55,22 @@ VerificationReport PolicyVerifier::verify(const dp::ReachabilityMatrix& matrix) 
         break;
     }
   }
+  obs::Registry::global().counter("spec.policies_checked").add(report.checked);
+  if (!report.violations.empty()) {
+    obs::Registry::global().counter("spec.violations").add(report.violations.size());
+    span.arg("violations", std::to_string(report.violations.size()));
+  }
   return report;
 }
 
 VerificationReport PolicyVerifier::verify_network(const Network& network) const {
+  obs::ScopedSpan span("spec.verify_network", "spec");
+  util::Stopwatch watch;
+  obs::Registry::global().counter("spec.verifications").add();
   analysis::Snapshot snapshot = engine_->analyze(network);
-  return verify(*snapshot.reachability);
+  VerificationReport report = verify(*snapshot.reachability);
+  obs::Registry::global().histogram("spec.verify_ms").observe(watch.elapsed_ms());
+  return report;
 }
 
 }  // namespace heimdall::spec

@@ -5,6 +5,7 @@
 #include "config/parse.hpp"
 #include "config/serialize.hpp"
 #include "dataplane/trace.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -18,6 +19,8 @@ EmulationLayer::EmulationLayer(Network network)
 
 const dp::Dataplane& EmulationLayer::dataplane() {
   if (!snapshot_.valid() || !pending_.empty()) {
+    obs::ScopedSpan span("twin.reanalyze", "twin",
+                         {{"pending_changes", std::to_string(pending_.size())}});
     snapshot_ = engine_.analyze_dataplane(current_, snapshot_, pending_);
     pending_.clear();
   }

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace heimdall::twin {
 
 CommandResult ReferenceMonitor::mediate(EmulationLayer& emulation, const ParsedCommand& command) {
+  obs::ScopedSpan span("twin.mediate", "twin",
+                       {{"action", priv::to_string(command.action)}});
+  obs::Registry::global().counter("twin.commands_mediated").add();
   priv::Decision decision = privileges_.evaluate(command.action, command.resource);
 
   MediatedAction record;
@@ -15,6 +21,8 @@ CommandResult ReferenceMonitor::mediate(EmulationLayer& emulation, const ParsedC
   record.decision_reason = decision.reason;
 
   if (!decision.allowed) {
+    obs::Registry::global().counter("twin.commands_denied").add();
+    span.arg("decision", "denied");
     session_log_.push_back(std::move(record));
     return CommandResult{false,
                          "DENIED by Privilege_msp: " + priv::to_string(command.action) + " @ " +

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/log.hpp"
+
 namespace heimdall::twin {
 
 using namespace heimdall::net;
@@ -18,6 +20,11 @@ std::string render_topology_dot(const Network& network) {
     for (const Endpoint& endpoint : {link.a, link.b}) {
       const Device* device = network.find_device(endpoint.device);
       const Interface* iface = device ? device->find_interface(endpoint.iface) : nullptr;
+      if (!device || !iface) {
+        OBS_LOG(Warn) << "topology link references unknown endpoint " << endpoint.device.str()
+                      << "/" << endpoint.iface.str() << " while rendering '" << network.name()
+                      << "'";
+      }
       if (iface && iface->shutdown) down = true;
     }
     out += "  \"" + link.a.device.str() + "\" -- \"" + link.b.device.str() + "\" [label=\"" +

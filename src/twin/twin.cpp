@@ -1,6 +1,8 @@
 #include "twin/twin.hpp"
 
 #include "config/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "privilege/generator.hpp"
 
 namespace heimdall::twin {
@@ -17,10 +19,14 @@ util::Sha256Digest config_fingerprint(const Device& device) {
 
 TwinNetwork TwinNetwork::create(const Network& production, const dp::Dataplane& dataplane,
                                 const msp::Ticket& ticket, SliceStrategy strategy) {
+  obs::ScopedSpan span("twin.create", "twin", {{"ticket", std::to_string(ticket.id)}});
+  obs::Registry::global().counter("twin.created").add();
   Slice slice = compute_slice(production, dataplane, ticket, strategy);
   Network sliced = materialize_slice(production, slice);
   std::size_t scrubbed = scrub_network(sliced);
   priv::PrivilegeSpec privileges = priv::generate_privileges(sliced, ticket.task);
+  obs::Registry::global().counter("twin.secrets_scrubbed").add(scrubbed);
+  span.arg("slice_devices", std::to_string(slice.devices.size()));
   TwinNetwork twin(std::move(slice), scrubbed, std::move(sliced), std::move(privileges), ticket);
   for (const DeviceId& device : twin.slice_.devices) {
     twin.baseline_[device] = config_fingerprint(production.device(device));
@@ -37,6 +43,7 @@ TwinNetwork::TwinNetwork(Slice slice, std::size_t scrubbed, Network sliced,
       ticket_(std::move(ticket)) {}
 
 CommandResult TwinNetwork::run(std::string_view command_line) {
+  obs::ScopedSpan span("twin.command", "twin", {{"ticket", std::to_string(ticket_.id)}});
   ParsedCommand command = parse_command(command_line);
   return monitor_.mediate(emulation_, command);
 }

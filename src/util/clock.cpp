@@ -9,4 +9,12 @@ void VirtualClock::advance(VirtualMillis delta_ms) {
   now_ms_ += delta_ms;
 }
 
+obs::TimeSource virtual_time_source(const VirtualClock& clock) {
+  return [&clock] { return static_cast<std::uint64_t>(clock.now()) * 1000; };
+}
+
+obs::TimeSource steady_time_source() {
+  return [] { return obs::steady_now_us(); };
+}
+
 }  // namespace heimdall::util

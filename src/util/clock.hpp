@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/common.hpp"
+
 namespace heimdall::util {
 
 /// Milliseconds on the virtual timeline.
@@ -47,5 +49,14 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Adapts a VirtualClock into the telemetry TimeSource (virtual ms -> µs),
+/// so traces and log timestamps ride the deterministic timeline in tests and
+/// workflows. `clock` must outlive every component holding the source.
+obs::TimeSource virtual_time_source(const VirtualClock& clock);
+
+/// The default real time source (steady-clock µs) under the util clock
+/// vocabulary — call sites never touch std::chrono directly.
+obs::TimeSource steady_time_source();
 
 }  // namespace heimdall::util

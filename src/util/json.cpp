@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/log.hpp"
 #include "util/error.hpp"
 
 namespace heimdall::util {
@@ -22,6 +23,9 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& message) {
+    // Diagnostics route through the leveled logger (silent at the default
+    // Warn threshold); the caller still gets the full story in the throw.
+    OBS_LOG(Debug) << "JSON parse error at offset " << pos_ << ": " << message;
     throw ParseError("JSON parse error at offset " + std::to_string(pos_) + ": " + message);
   }
 

@@ -1,0 +1,415 @@
+// Tests for the telemetry subsystem (src/obs/): histogram bucket/percentile
+// math, logger sinks and level filtering, span nesting and ordering under a
+// manual time source, per-thread tracks under util::ThreadPool, Chrome
+// trace_event JSON round-trips, and the workflow-level guarantee that spans
+// carry the same ticket ID the audit trail records.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "enforcer/enforcer.hpp"
+#include "msp/workflow.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenarios/enterprise.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace heimdall {
+namespace {
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterAndGauge) {
+  obs::Counter counter;
+  counter.add();
+  counter.add(4);
+  EXPECT_EQ(counter.value(), 5u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+
+  obs::Gauge gauge;
+  gauge.set(7);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 4);
+}
+
+TEST(Metrics, HistogramBucketAssignment) {
+  obs::Histogram histogram({1, 2, 5});
+  histogram.observe(0.5);  // bucket le=1
+  histogram.observe(1.0);  // bucket le=1 (bounds are inclusive upper bounds)
+  histogram.observe(1.5);  // bucket le=2
+  histogram.observe(3.0);  // bucket le=5
+  histogram.observe(7.0);  // overflow
+
+  obs::HistogramSnapshot snapshot = histogram.snapshot();
+  ASSERT_EQ(snapshot.counts.size(), 4u);
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_EQ(snapshot.counts[1], 1u);
+  EXPECT_EQ(snapshot.counts[2], 1u);
+  EXPECT_EQ(snapshot.counts[3], 1u);
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 13.0);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 13.0 / 5.0);
+}
+
+TEST(Metrics, HistogramPercentiles) {
+  std::vector<double> bounds;
+  for (int b = 10; b <= 100; b += 10) bounds.push_back(b);
+  obs::Histogram histogram(bounds);
+  for (int v = 1; v <= 100; ++v) histogram.observe(v);
+
+  obs::HistogramSnapshot snapshot = histogram.snapshot();
+  // Uniform 1..100 over decade buckets: percentile ~= its rank, up to the
+  // interpolation error within one bucket.
+  EXPECT_NEAR(snapshot.p50(), 50.0, 10.0);
+  EXPECT_NEAR(snapshot.p95(), 95.0, 10.0);
+  EXPECT_NEAR(snapshot.p99(), 99.0, 10.0);
+  EXPECT_LE(snapshot.p50(), snapshot.p95());
+  EXPECT_LE(snapshot.p95(), snapshot.p99());
+
+  // Values past the last bound report the largest finite bound.
+  obs::Histogram overflow({1.0});
+  for (int i = 0; i < 10; ++i) overflow.observe(50.0);
+  EXPECT_DOUBLE_EQ(overflow.snapshot().p99(), 1.0);
+}
+
+TEST(Metrics, EmptyHistogramIsSane) {
+  obs::Histogram histogram({1, 2});
+  obs::HistogramSnapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 0.0);
+}
+
+TEST(Metrics, RegistryFindsOrCreatesAndExports) {
+  obs::Registry registry;
+  registry.counter("requests").add(3);
+  EXPECT_EQ(&registry.counter("requests"), &registry.counter("requests"));
+  registry.gauge("depth").set(2);
+  registry.histogram("latency_ms", {1, 10}).observe(4.0);
+
+  obs::MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "requests");
+  EXPECT_EQ(snapshot.counters[0].second, 3u);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 1u);
+
+  // JSON export parses and carries the same numbers.
+  util::Json doc = util::Json::parse(registry.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("requests").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("depth").as_number(), 2.0);
+  const util::Json& latency = doc.at("histograms").at("latency_ms");
+  EXPECT_DOUBLE_EQ(latency.at("count").as_number(), 1.0);
+  EXPECT_FALSE(latency.at("buckets").as_array().empty());
+
+  registry.reset();
+  EXPECT_EQ(registry.counter("requests").value(), 0u);
+  EXPECT_EQ(registry.histogram("latency_ms").snapshot().count, 0u);
+}
+
+// -------------------------------------------------------------------- log --
+
+/// Restores the global logger's level and sink on scope exit so tests leave
+/// no residue in other suites sharing the process.
+struct LoggerGuard {
+  ~LoggerGuard() {
+    obs::Logger::instance().set_level(obs::LogLevel::Warn);
+    obs::Logger::instance().set_sink({});
+    obs::Logger::instance().set_time_source({});
+  }
+};
+
+TEST(Log, SinkCapturesEnabledLevelsOnly) {
+  LoggerGuard guard;
+  std::vector<obs::LogRecord> records;
+  obs::Logger::instance().set_level(obs::LogLevel::Info);
+  obs::Logger::instance().set_sink(
+      [&](const obs::LogRecord& record) { records.push_back(record); });
+
+  OBS_LOG(Debug) << "filtered out";
+  OBS_LOG(Info) << "kept " << 42;
+  OBS_LOG(Error) << "also kept";
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, obs::LogLevel::Info);
+  EXPECT_EQ(records[0].message, "kept 42");
+  EXPECT_GT(records[0].line, 0);
+  EXPECT_EQ(records[1].level, obs::LogLevel::Error);
+}
+
+TEST(Log, DisabledLevelEvaluatesNoArguments) {
+  LoggerGuard guard;
+  obs::Logger::instance().set_level(obs::LogLevel::Warn);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  OBS_LOG(Debug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Log, TimestampsComeFromInjectedSource) {
+  LoggerGuard guard;
+  std::vector<obs::LogRecord> records;
+  obs::Logger::instance().set_level(obs::LogLevel::Info);
+  obs::Logger::instance().set_sink(
+      [&](const obs::LogRecord& record) { records.push_back(record); });
+  obs::Logger::instance().set_time_source([] { return std::uint64_t{1234}; });
+  OBS_LOG(Info) << "stamped";
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].timestamp_us, 1234u);
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer;
+  obs::SpanId id = tracer.begin("noop", "test");
+  EXPECT_EQ(id, 0u);
+  tracer.arg(id, "k", "v");
+  tracer.end(id);
+  tracer.instant("noop", "test");
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(Trace, NestingAndManualTime) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  std::uint64_t now = 0;
+  tracer.set_time_source([&now] { return now; });
+
+  obs::SpanId outer = tracer.begin("outer", "test");
+  now = 10;
+  obs::SpanId inner = tracer.begin("inner", "test");
+  now = 30;
+  tracer.end(inner);
+  now = 50;
+  tracer.end(outer);
+
+  std::vector<obs::SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner finishes first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent, outer);
+  EXPECT_EQ(spans[0].start_us, 10u);
+  EXPECT_EQ(spans[0].duration_us, 20u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].start_us, 0u);
+  EXPECT_EQ(spans[1].duration_us, 50u);
+}
+
+TEST(Trace, SiblingsShareAParent) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::ScopedSpan outer(tracer, "outer", "test");
+    { obs::ScopedSpan first(tracer, "first", "test"); }
+    { obs::ScopedSpan second(tracer, "second", "test"); }
+  }
+  std::vector<obs::SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "first");
+  EXPECT_EQ(spans[1].name, "second");
+  EXPECT_EQ(spans[0].parent, spans[2].id);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+  EXPECT_EQ(spans[2].parent, 0u);
+}
+
+TEST(Trace, ScopedContextStampsSpansAndInstants) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::ScopedContext context("ticket", "17");
+    obs::ScopedSpan span(tracer, "work", "test", {{"phase", "verify"}});
+    tracer.instant("event", "test");
+  }
+  { obs::ScopedSpan span(tracer, "outside", "test"); }
+
+  std::vector<obs::SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // The instant was recorded first (it completes immediately).
+  EXPECT_EQ(spans[0].name, "event");
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0], (std::pair<std::string, std::string>{"ticket", "17"}));
+  EXPECT_EQ(spans[1].name, "work");
+  ASSERT_EQ(spans[1].args.size(), 2u);
+  EXPECT_EQ(spans[1].args[0].first, "ticket");
+  EXPECT_EQ(spans[1].args[1].first, "phase");
+  EXPECT_TRUE(spans[2].args.empty());  // context expired before "outside"
+}
+
+TEST(Trace, ThreadPoolWorkersGetOwnTracks) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  util::ThreadPool pool(4);
+  std::atomic<int> started{0};
+  // Each chunk blocks until all four are running, forcing four distinct
+  // worker threads to hold a span simultaneously.
+  pool.parallel_for(
+      4,
+      [&](std::size_t begin, std::size_t end) {
+        obs::ScopedSpan span(tracer, "chunk", "test");
+        span.arg("begin", std::to_string(begin));
+        span.arg("end", std::to_string(end));
+        started.fetch_add(1);
+        while (started.load() < 4) {
+        }
+      },
+      1);
+
+  std::vector<obs::SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  std::set<std::uint32_t> tids;
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_EQ(span.name, "chunk");
+    EXPECT_EQ(span.parent, 0u);  // worker-thread stacks are independent
+    tids.insert(span.tid);
+  }
+  EXPECT_EQ(tids.size(), 4u);
+}
+
+TEST(Trace, ChromeJsonRoundTrip) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  std::uint64_t now = 100;
+  tracer.set_time_source([&now] { return now; });
+  obs::SpanId span = tracer.begin("analyze \"quoted\"", "engine", {{"net", "uni\nversity"}});
+  now = 250;
+  tracer.end(span);
+  tracer.instant("audit.command", "audit");
+
+  util::Json doc = util::Json::parse(tracer.to_chrome_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const util::JsonArray& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+
+  const util::Json& complete = events[0];
+  EXPECT_EQ(complete.at("name").as_string(), "analyze \"quoted\"");
+  EXPECT_EQ(complete.at("cat").as_string(), "engine");
+  EXPECT_EQ(complete.at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(complete.at("ts").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(complete.at("dur").as_number(), 150.0);
+  EXPECT_DOUBLE_EQ(complete.at("pid").as_number(), 1.0);
+  EXPECT_EQ(complete.at("args").at("net").as_string(), "uni\nversity");
+
+  const util::Json& instant = events[1];
+  EXPECT_EQ(instant.at("name").as_string(), "audit.command");
+  EXPECT_DOUBLE_EQ(instant.at("dur").as_number(), 0.0);
+}
+
+TEST(Trace, ClearKeepsCollecting) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  { obs::ScopedSpan span(tracer, "one", "test"); }
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  { obs::ScopedSpan span(tracer, "two", "test"); }
+  std::vector<obs::SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "two");
+}
+
+// ----------------------------------------------- workflow correlation ------
+
+/// Enables the global tracer for one test and restores the disabled default.
+struct GlobalTracerGuard {
+  GlobalTracerGuard() {
+    obs::tracer().clear();
+    obs::tracer().set_enabled(true);
+  }
+  ~GlobalTracerGuard() {
+    obs::tracer().set_enabled(false);
+    obs::tracer().clear();
+  }
+};
+
+const obs::SpanRecord* find_span(const std::vector<obs::SpanRecord>& spans,
+                                 const std::string& name) {
+  for (const obs::SpanRecord& span : spans)
+    if (span.name == name) return &span;
+  return nullptr;
+}
+
+const std::string* find_arg(const obs::SpanRecord& span, const std::string& key) {
+  for (const auto& [k, v] : span.args)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+TEST(Telemetry, HeimdallWorkflowSpansCarryAuditTicketId) {
+  net::Network production = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(production);
+  const scen::IssueSpec* vlan = nullptr;
+  std::vector<scen::IssueSpec> issues = scen::enterprise_issues();
+  for (const scen::IssueSpec& issue : issues)
+    if (issue.key == "vlan") vlan = &issue;
+  ASSERT_NE(vlan, nullptr);
+  vlan->inject(production);
+
+  enforce::PolicyEnforcer enforcer(spec::PolicyVerifier(policies),
+                                   enforce::SimulatedEnclave("v1", "hw"));
+  msp::Technician technician;
+
+  // Trace only the workflow itself: setup above (policy mining, enforcer
+  // construction) legitimately runs the engine outside any ticket context.
+  GlobalTracerGuard guard;
+  msp::WorkflowResult result = msp::run_heimdall_workflow(
+      production, enforcer, vlan->ticket, vlan->fix_script, technician, vlan->resolved);
+  EXPECT_TRUE(result.issue_resolved);
+
+  const std::string ticket_id = std::to_string(vlan->ticket.id);
+  std::vector<obs::SpanRecord> spans = obs::tracer().spans();
+
+  // The span tree nests workflow -> verify+schedule -> enforcer -> verifier.
+  const obs::SpanRecord* workflow = find_span(spans, "workflow.heimdall");
+  const obs::SpanRecord* verify_step = find_span(spans, "workflow.verify+schedule");
+  const obs::SpanRecord* enforce_span = find_span(spans, "enforcer.enforce");
+  const obs::SpanRecord* verifier = find_span(spans, "enforcer.verify");
+  ASSERT_NE(workflow, nullptr);
+  ASSERT_NE(verify_step, nullptr);
+  ASSERT_NE(enforce_span, nullptr);
+  ASSERT_NE(verifier, nullptr);
+  EXPECT_EQ(workflow->parent, 0u);
+  EXPECT_EQ(verify_step->parent, workflow->id);
+  EXPECT_EQ(enforce_span->parent, verify_step->id);
+  EXPECT_EQ(verifier->parent, enforce_span->id);
+
+  // Every span begun inside the workflow — including the enforcer's, which
+  // never sees a Ticket — carries the ticket ID via the scoped context.
+  std::size_t tagged = 0;
+  for (const obs::SpanRecord& span : spans) {
+    const std::string* ticket = find_arg(span, "ticket");
+    ASSERT_NE(ticket, nullptr) << "span without ticket context: " << span.name;
+    EXPECT_EQ(*ticket, ticket_id) << "span " << span.name;
+    ++tagged;
+  }
+  EXPECT_GE(tagged, 4u);
+
+  // The audit trail refers to the same ticket, so trace and audit rows can be
+  // joined on it.
+  bool audit_mentions_ticket = false;
+  for (const enforce::AuditEntry& entry : enforcer.audit().entries())
+    if (entry.message.find("ticket #" + ticket_id) != std::string::npos)
+      audit_mentions_ticket = true;
+  EXPECT_TRUE(audit_mentions_ticket);
+  EXPECT_TRUE(enforcer.audit_intact());
+
+  // Machine-time metrics accumulated along the way.
+  obs::Registry& registry = obs::Registry::global();
+  EXPECT_GE(registry.counter("workflow.heimdall_runs").value(), 1u);
+  EXPECT_GE(registry.counter("engine.analyses").value(), 1u);
+  EXPECT_GE(registry.histogram("workflow.step_ms").snapshot().count, 4u);
+  EXPECT_GE(registry.histogram("engine.analyze_ms").snapshot().count, 1u);
+}
+
+}  // namespace
+}  // namespace heimdall
