@@ -13,6 +13,7 @@
 
 #include "analysis/engine.hpp"
 #include "config/diff.hpp"
+#include "dataplane/compiled.hpp"
 #include "config/parse.hpp"
 #include "config/serialize.hpp"
 #include "enforcer/audit.hpp"
@@ -216,6 +217,90 @@ void BM_FlowTrace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowTrace)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+// ----------------------------------------------- compiled forwarding plane --
+// The reference/compiled pair below is the PR's headline comparison: the
+// same all-pairs reachability computed on the string-keyed object model vs
+// the compiled plane (sequential, no memoization in either).
+
+void BM_AllPairsReference(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::ReachabilityMatrix::compute(network, dataplane));
+  }
+}
+BENCHMARK(BM_AllPairsReference)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_AllPairsCompiled(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::CompiledPlane plane = dp::CompiledPlane::compile(network, dataplane);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::ReachabilityMatrix::compute(plane));
+  }
+}
+BENCHMARK(BM_AllPairsCompiled)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+// Compile + all-pairs together: what the engine actually pays per snapshot.
+void BM_AllPairsCompiledWithCompile(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  for (auto _ : state) {
+    dp::CompiledPlane plane = dp::CompiledPlane::compile(network, dataplane);
+    benchmark::DoNotOptimize(dp::ReachabilityMatrix::compute(plane));
+  }
+}
+BENCHMARK(BM_AllPairsCompiledWithCompile)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_CompilePlane(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::CompiledPlane::compile(network, dataplane));
+  }
+}
+BENCHMARK(BM_CompilePlane)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_CompiledFibLookup(benchmark::State& state) {
+  // Same route table construction as BM_FibLookup so the two are comparable.
+  dp::Fib fib;
+  util::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    dp::Route route;
+    route.prefix = net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+                                   static_cast<unsigned>(rng.next_in(8, 32)));
+    route.protocol = dp::RouteProtocol::Static;
+    route.out_iface = net::InterfaceId("e0");
+    fib.insert(route);
+  }
+  dp::CompiledFib compiled = dp::CompiledFib::build(fib);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 12345u;
+    benchmark::DoNotOptimize(compiled.lookup_index(net::Ipv4Address(probe)));
+  }
+}
+BENCHMARK(BM_CompiledFibLookup);
+
+void BM_CompiledFlowTrace(benchmark::State& state) {
+  const net::Network& network = pick(static_cast<int>(state.range(0)));
+  analysis::Engine engine;
+  analysis::Snapshot snapshot = engine.analyze_dataplane(network);
+  auto hosts = network.device_ids(net::DeviceKind::Host);
+  std::vector<net::Ipv4Address> ips;
+  for (const net::DeviceId& host : hosts) ips.push_back(*network.primary_ip(host));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    net::Flow flow;
+    flow.src_ip = ips[i % ips.size()];
+    flow.dst_ip = ips[(i + 1) % ips.size()];
+    flow.protocol = net::IpProtocol::Icmp;
+    benchmark::DoNotOptimize(snapshot.compiled->trace_flow(flow));
+    ++i;
+  }
+}
+BENCHMARK(BM_CompiledFlowTrace)->Arg(0)->Arg(1)->ArgNames({"net"});
 
 void BM_PolicyVerifyFullPipeline(benchmark::State& state) {
   const net::Network& network = pick(static_cast<int>(state.range(0)));

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "config/serialize.hpp"
+#include "dataplane/compiled.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/clock.hpp"
@@ -44,6 +45,15 @@ struct EngineMetrics {
     return metrics;
   }
 };
+
+/// Compiles the flat forwarding plane one analysis runs on. Always rebuilt
+/// when any artifact changed: the plane copies ACL bodies and interface
+/// state, so even a TraceOnly change (shared dataplane) needs a fresh one.
+std::shared_ptr<const dp::CompiledPlane> compile_plane(const net::Network& network,
+                                                       const dp::Dataplane& dataplane) {
+  obs::ScopedSpan span("engine.compile", "analysis");
+  return std::make_shared<dp::CompiledPlane>(dp::CompiledPlane::compile(network, dataplane));
+}
 
 }  // namespace
 
@@ -132,10 +142,11 @@ Engine::Entry Engine::compute_full(const net::Network& network, bool want_matrix
     obs::ScopedSpan span("engine.dataplane", "analysis");
     entry.dataplane = std::make_shared<dp::Dataplane>(dp::Dataplane::compute(network));
   }
+  entry.compiled = compile_plane(network, *entry.dataplane);
   if (want_matrix) {
     obs::ScopedSpan span("engine.reachability", "analysis");
     entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
-        dp::ReachabilityMatrix::compute(network, *entry.dataplane, trace_options()));
+        dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
   }
   return entry;
 }
@@ -164,18 +175,19 @@ Engine::Entry Engine::compute_incremental(const net::Network& network, const Sna
     for (const net::DeviceId& device : dirty) dataplane->rebuild_device_fib(network.device(device));
     entry.dataplane = std::move(dataplane);
   }
+  entry.compiled = compile_plane(network, *entry.dataplane);
 
   if (want_matrix) {
     if (base.reachability) {
       std::size_t retraced = 0;
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(dp::ReachabilityMatrix::recompute(
-          network, *entry.dataplane, *base.reachability, dirty, trace_options(), &retraced));
+          *entry.compiled, *base.reachability, dirty, trace_options(), &retraced));
       stats_.retraced_pairs += retraced;
       EngineMetrics::get().retraced_pairs.add(retraced);
       span.arg("retraced_pairs", std::to_string(retraced));
     } else {
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
-          dp::ReachabilityMatrix::compute(network, *entry.dataplane, trace_options()));
+          dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
     }
   }
   return entry;
@@ -218,17 +230,20 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
       ++stats_.cache_hits;
       metrics.cache_hits.add();
       span.arg("cache", "hit");
-      return Snapshot{digest, cached->dataplane, cached->matrix};
+      return Snapshot{digest, cached->dataplane, cached->matrix, cached->compiled};
     }
     // Dataplane known, matrix missing: complete the cached entry in place.
     ++stats_.matrix_completions;
     metrics.cache_misses.add();
     span.arg("cache", "complete-matrix");
     std::shared_ptr<const dp::Dataplane> dataplane = cached->dataplane;
+    std::shared_ptr<const dp::CompiledPlane> compiled = cached->compiled;
+    if (!compiled) compiled = compile_plane(network, *dataplane);
     auto matrix = std::make_shared<dp::ReachabilityMatrix>(
-        dp::ReachabilityMatrix::compute(network, *dataplane, trace_options()));
-    remember(digest, Entry{dataplane, matrix});
-    return Snapshot{std::move(digest), std::move(dataplane), std::move(matrix)};
+        dp::ReachabilityMatrix::compute(*compiled, trace_options()));
+    remember(digest, Entry{dataplane, matrix, compiled});
+    return Snapshot{std::move(digest), std::move(dataplane), std::move(matrix),
+                    std::move(compiled)};
   }
   metrics.cache_misses.add();
   span.arg("cache", "miss");
@@ -246,10 +261,12 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
     ++stats_.carried_forward;
     entry.dataplane = base->dataplane;
     entry.matrix = base->reachability;
+    entry.compiled = base->compiled;
     if (want_matrix && !entry.matrix) {
       ++stats_.matrix_completions;
+      if (!entry.compiled) entry.compiled = compile_plane(network, *entry.dataplane);
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
-          dp::ReachabilityMatrix::compute(network, *entry.dataplane, trace_options()));
+          dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
     }
   } else if (worst == Impact::Global || !base->reachability) {
     // Incremental retrace needs the base matrix's recorded paths; without
@@ -265,7 +282,8 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
   }
 
   remember(digest, entry);
-  return Snapshot{std::move(digest), std::move(entry.dataplane), std::move(entry.matrix)};
+  return Snapshot{std::move(digest), std::move(entry.dataplane), std::move(entry.matrix),
+                  std::move(entry.compiled)};
 }
 
 Snapshot Engine::analyze(const net::Network& network) {

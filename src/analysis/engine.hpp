@@ -75,6 +75,10 @@ struct Snapshot {
   std::string digest;
   std::shared_ptr<const dp::Dataplane> dataplane;
   std::shared_ptr<const dp::ReachabilityMatrix> reachability;
+  /// Immutable compiled forwarding plane for this snapshot — what the
+  /// all-pairs trace actually ran on. Self-contained (never dangles into
+  /// the analyzed Network); useful for fast ad-hoc flow traces.
+  std::shared_ptr<const dp::CompiledPlane> compiled;
 
   bool valid() const { return dataplane != nullptr; }
 };
@@ -121,6 +125,7 @@ class Engine {
   struct Entry {
     std::shared_ptr<const dp::Dataplane> dataplane;
     std::shared_ptr<const dp::ReachabilityMatrix> matrix;  // may lag behind dataplane
+    std::shared_ptr<const dp::CompiledPlane> compiled;
   };
 
   Snapshot analyze_impl(const net::Network& network, const Snapshot* base,

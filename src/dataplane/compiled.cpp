@@ -1,0 +1,332 @@
+#include "dataplane/compiled.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::dp {
+
+using namespace heimdall::net;
+
+namespace {
+
+constexpr unsigned kHopLimit = 32;
+
+/// Registry references resolved once; trace batches flush into these.
+struct PlaneMetrics {
+  obs::Histogram& compile_ms;
+  obs::Counter& lpm_lookups;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+
+  static PlaneMetrics& get() {
+    static PlaneMetrics metrics{
+        obs::Registry::global().histogram("dp.compile_ms",
+                                          {0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100}),
+        obs::Registry::global().counter("dp.lpm_lookups"),
+        obs::Registry::global().counter("dp.trace_cache_hits"),
+        obs::Registry::global().counter("dp.trace_cache_misses"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+CompiledPlane CompiledPlane::compile(const Network& network, const Dataplane& dataplane) {
+  util::Stopwatch watch;
+  CompiledPlane plane;
+  plane.idx_ = NetworkIndex::build(network);
+
+  const std::uint32_t device_count = plane.idx_.device_count();
+  plane.fibs_.reserve(device_count);
+  plane.out_iface_.reserve(device_count);
+  for (std::uint32_t d = 0; d < device_count; ++d) {
+    CompiledFib fib = CompiledFib::build(dataplane.fib(plane.idx_.device_id(d)));
+    std::vector<std::uint32_t> outs;
+    outs.reserve(fib.size());
+    for (const Route& route : fib.routes()) {
+      outs.push_back(plane.idx_.find_interface(d, route.out_iface));
+    }
+    plane.fibs_.push_back(std::move(fib));
+    plane.out_iface_.push_back(std::move(outs));
+  }
+
+  const L2Domains& l2 = dataplane.l2();
+  plane.iface_segment_.assign(plane.idx_.interface_count(), kInvalid);
+  for (std::uint32_t i = 0; i < plane.idx_.interface_count(); ++i) {
+    const NetworkIndex::InterfaceEntry& iface = plane.idx_.interface(i);
+    auto segment = l2.segment_of({plane.idx_.device_id(iface.device), iface.id});
+    if (segment) plane.iface_segment_[i] = static_cast<std::uint32_t>(*segment);
+  }
+  // ARP precompute. Members are sorted, so try_emplace keeps the first owner
+  // of each ip — the same endpoint L2Domains::resolve_ip's scan returns.
+  for (std::uint32_t segment = 0; segment < l2.segment_count(); ++segment) {
+    for (const Endpoint& member : l2.members(segment)) {
+      std::uint32_t device = plane.idx_.find_device(member.device);
+      if (device == kInvalid) continue;
+      std::uint32_t iface = plane.idx_.find_interface(device, member.iface);
+      if (iface == kInvalid) continue;
+      const auto& entry = plane.idx_.interface(iface);
+      if (!entry.address) continue;
+      plane.segment_ip_.try_emplace(segment_key(segment, entry.address->ip), iface);
+    }
+  }
+
+  PlaneMetrics::get().compile_ms.observe(watch.elapsed_ms());
+  return plane;
+}
+
+CompiledPlane::Decision CompiledPlane::compute_decision(std::uint32_t device_idx,
+                                                        Ipv4Address dst_ip,
+                                                        TraceCounters& counters) const {
+  Decision decision;
+  if (idx_.device_owns_ip(device_idx, dst_ip)) {
+    decision.kind = Decision::Kind::Deliver;
+    return decision;
+  }
+
+  ++counters.lpm_lookups;
+  const std::uint32_t route_idx = fibs_[device_idx].lookup_index(dst_ip);
+  if (route_idx == CompiledFib::kMiss) {
+    decision.kind = Decision::Kind::NoRoute;
+    return decision;
+  }
+  const Route& route = fibs_[device_idx].route(route_idx);
+  decision.out_iface = out_iface_[device_idx][route_idx];
+  if (decision.out_iface == kInvalid) {
+    // A FIB route referencing a missing interface cannot be produced by
+    // Dataplane::compute; mirror Device::interface's failure mode anyway.
+    throw util::NotFoundError("no interface '" + route.out_iface.str() + "' on " +
+                              idx_.device_id(device_idx).str());
+  }
+  decision.next_ip = route.next_hop.value_or(dst_ip);
+
+  if (idx_.interface(decision.out_iface).shutdown) {
+    decision.kind = Decision::Kind::EgressDown;
+    return decision;
+  }
+
+  const std::uint32_t segment = iface_segment_[decision.out_iface];
+  if (segment != kInvalid) {
+    auto it = segment_ip_.find(segment_key(segment, decision.next_ip));
+    if (it != segment_ip_.end()) {
+      decision.next_iface = it->second;
+      decision.next_device = idx_.interface(it->second).device;
+      decision.kind = Decision::Kind::Forward;
+      return decision;
+    }
+  }
+  decision.kind = Decision::Kind::L2Unresolved;
+  return decision;
+}
+
+CompiledPlane::IndexedTrace CompiledPlane::trace_indexed(const Flow& flow, DstCache& cache,
+                                                         TraceCounters& counters) const {
+  IndexedTrace result;
+
+  const std::uint32_t src_iface = idx_.iface_of_ip(flow.src_ip);
+  if (src_iface == kInvalid) {
+    result.disposition = Disposition::UnknownSource;
+    return result;
+  }
+  if (idx_.iface_of_ip(flow.dst_ip) == kInvalid) {
+    result.disposition = Disposition::UnknownDestination;
+    return result;
+  }
+  const NetworkIndex::InterfaceEntry& src_entry = idx_.interface(src_iface);
+  if (src_entry.shutdown) {
+    result.disposition = Disposition::SourceDown;
+    result.last_device = src_entry.device;
+    result.fail_iface = src_iface;
+    return result;
+  }
+
+  std::uint32_t current = src_entry.device;
+  std::uint32_t in_iface = kInvalid;  // origin
+
+  for (unsigned hop_count = 0; hop_count < kHopLimit; ++hop_count) {
+    // Ingress checks (not at the originating device). Per-flow: ACLs see the
+    // full 5-tuple, so they are never memoized.
+    if (in_iface != kInvalid) {
+      const NetworkIndex::InterfaceEntry& iface = idx_.interface(in_iface);
+      if (iface.shutdown) {
+        result.disposition = Disposition::NextHopUnreachable;
+        result.last_device = current;
+        result.fail_reason = IndexedTrace::FailReason::IngressDown;
+        result.fail_iface = in_iface;
+        return result;
+      }
+      if (iface.acl_in != kInvalid && !acl_permits(idx_.acls()[iface.acl_in], flow)) {
+        result.hops.push_back({current, in_iface, kInvalid});
+        result.disposition = Disposition::DeniedInbound;
+        result.last_device = current;
+        result.fail_iface = in_iface;
+        result.fail_acl = iface.acl_in;
+        return result;
+      }
+    }
+
+    const Decision& decision = cache.decision(*this, current, counters);
+    switch (decision.kind) {
+      case Decision::Kind::Deliver:
+        result.hops.push_back({current, in_iface, kInvalid});
+        result.disposition = Disposition::Delivered;
+        result.last_device = current;
+        return result;
+
+      case Decision::Kind::NoRoute:
+        result.hops.push_back({current, in_iface, kInvalid});
+        result.disposition = Disposition::NoRoute;
+        result.last_device = current;
+        return result;
+
+      case Decision::Kind::EgressDown:
+        result.hops.push_back({current, in_iface, decision.out_iface});
+        result.disposition = Disposition::NextHopUnreachable;
+        result.last_device = current;
+        result.fail_reason = IndexedTrace::FailReason::EgressDown;
+        result.fail_iface = decision.out_iface;
+        return result;
+
+      case Decision::Kind::L2Unresolved:
+      case Decision::Kind::Forward: {
+        // Egress ACL precedes L2 delivery, as in the reference tracer.
+        const NetworkIndex::InterfaceEntry& out = idx_.interface(decision.out_iface);
+        if (out.acl_out != kInvalid && !acl_permits(idx_.acls()[out.acl_out], flow)) {
+          result.hops.push_back({current, in_iface, decision.out_iface});
+          result.disposition = Disposition::DeniedOutbound;
+          result.last_device = current;
+          result.fail_iface = decision.out_iface;
+          result.fail_acl = out.acl_out;
+          return result;
+        }
+        result.hops.push_back({current, in_iface, decision.out_iface});
+        if (decision.kind == Decision::Kind::L2Unresolved) {
+          result.disposition = Disposition::NextHopUnreachable;
+          result.last_device = current;
+          result.fail_reason = IndexedTrace::FailReason::L2Unresolved;
+          result.fail_iface = decision.out_iface;
+          result.fail_next_ip = decision.next_ip;
+          return result;
+        }
+        current = decision.next_device;
+        in_iface = decision.next_iface;
+        break;
+      }
+
+      case Decision::Kind::Unknown:
+        break;  // unreachable: DstCache::decision always computes
+    }
+  }
+
+  result.disposition = Disposition::Loop;
+  result.last_device = current;
+  return result;
+}
+
+CompiledPlane::IndexedTrace CompiledPlane::trace_indexed(const Flow& flow) const {
+  DstCache cache = make_dst_cache(flow.dst_ip);
+  TraceCounters counters;
+  IndexedTrace trace = trace_indexed(flow, cache, counters);
+  flush_counters(counters);
+  return trace;
+}
+
+TraceResult CompiledPlane::render(const IndexedTrace& trace, const Flow& flow) const {
+  TraceResult result;
+  result.disposition = trace.disposition;
+  if (trace.last_device != kInvalid) result.last_device = idx_.device_id(trace.last_device);
+  result.hops.reserve(trace.hops.size());
+  for (const IndexedTrace::Hop& hop : trace.hops) {
+    Hop rendered;
+    rendered.device = idx_.device_id(hop.device);
+    if (hop.in_iface != kInvalid) rendered.in_iface = idx_.interface_id(hop.in_iface);
+    if (hop.out_iface != kInvalid) rendered.out_iface = idx_.interface_id(hop.out_iface);
+    result.hops.push_back(std::move(rendered));
+  }
+
+  auto endpoint_str = [&](std::uint32_t iface) {
+    return idx_.device_id(idx_.interface(iface).device).str() + ":" +
+           idx_.interface_id(iface).str();
+  };
+  auto acl_detail = [&](bool inbound) {
+    return "acl '" + idx_.acls()[trace.fail_acl].name + "' (" + (inbound ? "in" : "out") +
+           ") on " + endpoint_str(trace.fail_iface) + " denied " + flow.to_string();
+  };
+
+  switch (trace.disposition) {
+    case Disposition::UnknownSource:
+      result.detail = "no interface owns " + flow.src_ip.to_string();
+      break;
+    case Disposition::UnknownDestination:
+      result.detail = "no interface owns " + flow.dst_ip.to_string();
+      break;
+    case Disposition::SourceDown:
+      result.detail = "source interface " + endpoint_str(trace.fail_iface) + " is shutdown";
+      break;
+    case Disposition::DeniedInbound:
+      result.detail = acl_detail(/*inbound=*/true);
+      break;
+    case Disposition::DeniedOutbound:
+      result.detail = acl_detail(/*inbound=*/false);
+      break;
+    case Disposition::NoRoute:
+      result.detail =
+          "no route to " + flow.dst_ip.to_string() + " on " + result.last_device.str();
+      break;
+    case Disposition::NextHopUnreachable:
+      switch (trace.fail_reason) {
+        case IndexedTrace::FailReason::IngressDown:
+          result.detail =
+              "ingress interface " + idx_.interface_id(trace.fail_iface).str() + " is down";
+          break;
+        case IndexedTrace::FailReason::EgressDown:
+          result.detail =
+              "egress interface " + idx_.interface_id(trace.fail_iface).str() + " is down";
+          break;
+        case IndexedTrace::FailReason::L2Unresolved:
+          result.detail = "next hop " + trace.fail_next_ip.to_string() +
+                          " not reachable on segment of " + endpoint_str(trace.fail_iface);
+          break;
+        case IndexedTrace::FailReason::None:
+          break;
+      }
+      break;
+    case Disposition::Loop:
+      result.detail = "hop limit exceeded";
+      break;
+    case Disposition::Delivered:
+      break;
+  }
+  return result;
+}
+
+TraceResult CompiledPlane::trace_flow(const Flow& flow) const {
+  DstCache cache = make_dst_cache(flow.dst_ip);
+  TraceCounters counters;
+  IndexedTrace trace = trace_indexed(flow, cache, counters);
+  flush_counters(counters);
+  return render(trace, flow);
+}
+
+std::vector<DeviceId> CompiledPlane::path_of(const IndexedTrace& trace) const {
+  std::vector<DeviceId> out;
+  std::uint32_t last = kInvalid;
+  for (const IndexedTrace::Hop& hop : trace.hops) {
+    if (hop.device != last) {
+      out.push_back(idx_.device_id(hop.device));
+      last = hop.device;
+    }
+  }
+  return out;
+}
+
+void CompiledPlane::flush_counters(const TraceCounters& counters) {
+  PlaneMetrics& metrics = PlaneMetrics::get();
+  if (counters.lpm_lookups) metrics.lpm_lookups.add(counters.lpm_lookups);
+  if (counters.cache_hits) metrics.cache_hits.add(counters.cache_hits);
+  if (counters.cache_misses) metrics.cache_misses.add(counters.cache_misses);
+}
+
+}  // namespace heimdall::dp

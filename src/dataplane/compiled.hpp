@@ -1,0 +1,165 @@
+// The compiled forwarding plane: an immutable, dense-index representation
+// of one (Network, Dataplane) snapshot that the tracer and all-pairs
+// reachability run on instead of the string-keyed object model.
+//
+// Compilation interns every device/interface (net::NetworkIndex), flattens
+// each FIB trie into a CompiledFib array LPM, and precomputes the L2
+// adjacency (interface -> segment, (segment, ip) -> interface) that the
+// reference tracer re-derives through maps at every hop.
+//
+// The trace loop additionally memoizes the flow-independent part of each
+// hop per destination: the FIB decision and resolved L2 next hop for a
+// (device, dst_ip) pair do not depend on the flow's source, so the H traces
+// toward one destination in an all-pairs run share that work through a
+// DstCache while ACL evaluation stays per-flow.
+//
+// A CompiledPlane is self-contained (it copies addresses, shutdown flags
+// and ACL bodies); it never dangles into the Network it was compiled from.
+// Recompile after any config change — the analysis engine does this per
+// snapshot and the cost is telemetered as dp.compile_ms.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/compiled_fib.hpp"
+#include "dataplane/dataplane.hpp"
+#include "dataplane/trace.hpp"
+#include "netmodel/interner.hpp"
+
+namespace heimdall::dp {
+
+class CompiledPlane {
+ public:
+  static constexpr std::uint32_t kInvalid = net::NetworkIndex::kInvalid;
+
+  /// Compiles `network` + `dataplane` into the flat representation.
+  /// Observes dp.compile_ms in the global metrics registry.
+  static CompiledPlane compile(const net::Network& network, const Dataplane& dataplane);
+
+  const net::NetworkIndex& index() const { return idx_; }
+  const CompiledFib& fib(std::uint32_t device_idx) const { return fibs_[device_idx]; }
+
+  /// Counters accumulated across one trace batch; the caller flushes them to
+  /// the metrics registry once (dp.lpm_lookups, dp.trace_cache_hits) so the
+  /// hot loop never touches atomics.
+  struct TraceCounters {
+    std::uint64_t lpm_lookups = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+  };
+
+  /// The memoized flow-independent forwarding decision of one device for
+  /// one destination IP.
+  struct Decision {
+    enum class Kind : std::uint8_t {
+      Unknown,       ///< not computed yet
+      Deliver,       ///< this device owns the destination address
+      NoRoute,       ///< FIB miss
+      EgressDown,    ///< route found but its egress interface is shutdown
+      L2Unresolved,  ///< egress up but the next hop did not resolve on L2
+      Forward,       ///< forward out `out_iface` to (`next_device`, `next_iface`)
+    };
+    Kind kind = Kind::Unknown;
+    std::uint32_t out_iface = kInvalid;
+    std::uint32_t next_device = kInvalid;
+    std::uint32_t next_iface = kInvalid;
+    net::Ipv4Address next_ip;  ///< resolved next-hop IP (for diagnostics)
+  };
+
+  /// Per-destination decision memo, shared by every trace toward one dst_ip.
+  class DstCache {
+   public:
+    DstCache(net::Ipv4Address dst_ip, std::uint32_t device_count)
+        : dst_ip_(dst_ip), decisions_(device_count) {}
+
+    net::Ipv4Address dst_ip() const { return dst_ip_; }
+
+    const Decision& decision(const CompiledPlane& plane, std::uint32_t device_idx,
+                             TraceCounters& counters) {
+      Decision& cached = decisions_[device_idx];
+      if (cached.kind == Decision::Kind::Unknown) {
+        ++counters.cache_misses;
+        cached = plane.compute_decision(device_idx, dst_ip_, counters);
+      } else {
+        ++counters.cache_hits;
+      }
+      return cached;
+    }
+
+   private:
+    net::Ipv4Address dst_ip_;
+    std::vector<Decision> decisions_;
+  };
+
+  /// Raw trace outcome in dense indices: no strings are materialized. The
+  /// reference TraceResult (with detail text) can be rendered from it.
+  struct IndexedTrace {
+    struct Hop {
+      std::uint32_t device = kInvalid;
+      std::uint32_t in_iface = kInvalid;   ///< kInvalid at the origin
+      std::uint32_t out_iface = kInvalid;  ///< kInvalid at the final device
+    };
+    /// Why a NextHopUnreachable/denial happened, for detail rendering.
+    enum class FailReason : std::uint8_t { None, IngressDown, EgressDown, L2Unresolved };
+
+    Disposition disposition = Disposition::NoRoute;
+    std::vector<Hop> hops;
+    std::uint32_t last_device = kInvalid;
+    FailReason fail_reason = FailReason::None;
+    std::uint32_t fail_iface = kInvalid;  ///< interface involved in the failure
+    std::uint32_t fail_acl = kInvalid;    ///< denying ACL (Denied* dispositions)
+    net::Ipv4Address fail_next_ip;        ///< unresolved next hop (L2Unresolved)
+
+    bool delivered() const { return disposition == Disposition::Delivered; }
+  };
+
+  /// Traces `flow` sharing per-destination work through `cache` (which must
+  /// have been created for flow.dst_ip).
+  IndexedTrace trace_indexed(const net::Flow& flow, DstCache& cache,
+                             TraceCounters& counters) const;
+
+  /// Convenience single-flow trace with a throwaway cache.
+  IndexedTrace trace_indexed(const net::Flow& flow) const;
+
+  /// Full-fidelity trace, bit-for-bit equivalent to dp::trace_flow on the
+  /// snapshot this plane was compiled from (same dispositions, hops and
+  /// detail strings).
+  TraceResult trace_flow(const net::Flow& flow) const;
+
+  /// Renders an IndexedTrace into the reference TraceResult format.
+  TraceResult render(const IndexedTrace& trace, const net::Flow& flow) const;
+
+  /// Devices touched in order, deduplicated — PairReachability::path form.
+  std::vector<net::DeviceId> path_of(const IndexedTrace& trace) const;
+
+  /// Fresh per-destination cache sized for this plane.
+  DstCache make_dst_cache(net::Ipv4Address dst_ip) const {
+    return DstCache(dst_ip, idx_.device_count());
+  }
+
+  /// Flushes accumulated counters to the global metrics registry
+  /// (dp.lpm_lookups, dp.trace_cache_hits, dp.trace_cache_misses).
+  static void flush_counters(const TraceCounters& counters);
+
+ private:
+  Decision compute_decision(std::uint32_t device_idx, net::Ipv4Address dst_ip,
+                            TraceCounters& counters) const;
+
+  static std::uint64_t segment_key(std::uint32_t segment, net::Ipv4Address ip) {
+    return (static_cast<std::uint64_t>(segment) << 32) | ip.value();
+  }
+
+  net::NetworkIndex idx_;
+  std::vector<CompiledFib> fibs_;  ///< by device index
+  /// Per compiled route, the interned egress interface: out_iface_[device][i]
+  /// resolves fibs_[device].route(i).out_iface.
+  std::vector<std::vector<std::uint32_t>> out_iface_;
+  /// Interface -> L2 segment; kInvalid when the interface has no segment.
+  std::vector<std::uint32_t> iface_segment_;
+  /// (segment << 32 | ip) -> interface owning that ip in the segment (ARP).
+  std::unordered_map<std::uint64_t, std::uint32_t> segment_ip_;
+};
+
+}  // namespace heimdall::dp

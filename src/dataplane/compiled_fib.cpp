@@ -1,0 +1,45 @@
+#include "dataplane/compiled_fib.hpp"
+
+#include <algorithm>
+
+namespace heimdall::dp {
+
+namespace {
+
+std::uint32_t mask_of(unsigned length) {
+  return length == 0 ? 0u : ~0u << (32u - length);
+}
+
+}  // namespace
+
+CompiledFib CompiledFib::build(const Fib& fib) {
+  CompiledFib compiled;
+  compiled.routes_ = fib.routes();  // (length desc, network asc)
+
+  for (std::uint32_t i = 0; i < compiled.routes_.size(); ++i) {
+    const net::Ipv4Prefix& prefix = compiled.routes_[i].prefix;
+    if (compiled.buckets_.empty() ||
+        compiled.buckets_.back().mask != mask_of(prefix.length())) {
+      Bucket bucket;
+      bucket.mask = mask_of(prefix.length());
+      bucket.first = i;
+      compiled.buckets_.push_back(std::move(bucket));
+    }
+    compiled.buckets_.back().networks.push_back(prefix.network().value());
+  }
+  return compiled;
+}
+
+std::uint32_t CompiledFib::lookup_index(net::Ipv4Address address) const {
+  const std::uint32_t bits = address.value();
+  for (const Bucket& bucket : buckets_) {
+    const std::uint32_t key = bits & bucket.mask;
+    auto it = std::lower_bound(bucket.networks.begin(), bucket.networks.end(), key);
+    if (it != bucket.networks.end() && *it == key) {
+      return bucket.first + static_cast<std::uint32_t>(it - bucket.networks.begin());
+    }
+  }
+  return kMiss;
+}
+
+}  // namespace heimdall::dp

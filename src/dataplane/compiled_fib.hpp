@@ -1,0 +1,62 @@
+// Flat, cache-friendly longest-prefix-match table compiled from a Fib trie.
+//
+// The binary trie (Fib) walks up to 32 heap nodes per lookup. CompiledFib
+// flattens the routes into one contiguous array sorted by (prefix length
+// desc, network asc) — i.e. Fib::routes() order — with one bucket per
+// populated prefix length. A lookup masks the address per bucket and binary
+// searches that bucket's sorted network values; the first (longest) hit
+// wins, which is exactly the trie's longest-prefix-match answer. Enterprise
+// FIBs populate only a handful of distinct lengths, so a lookup touches a
+// few small sorted arrays that stay in cache.
+//
+// The trie remains the build-time/reference implementation; CompiledFib is
+// immutable — recompile after route changes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dataplane/fib.hpp"
+
+namespace heimdall::dp {
+
+class CompiledFib {
+ public:
+  static constexpr std::uint32_t kMiss = 0xffffffffu;
+
+  CompiledFib() = default;
+
+  /// Flattens `fib`. Routes keep Fib::routes() order, so indices are stable
+  /// and most-specific-first.
+  static CompiledFib build(const Fib& fib);
+
+  /// Longest-prefix-match; returns an index into routes() or kMiss.
+  std::uint32_t lookup_index(net::Ipv4Address address) const;
+
+  /// Reference-equivalent API mirroring Fib::lookup.
+  std::optional<Route> lookup(net::Ipv4Address address) const {
+    std::uint32_t idx = lookup_index(address);
+    if (idx == kMiss) return std::nullopt;
+    return routes_[idx];
+  }
+
+  const Route& route(std::uint32_t index) const { return routes_[index]; }
+  const std::vector<Route>& routes() const { return routes_; }
+  std::size_t size() const { return routes_.size(); }
+  bool empty() const { return routes_.empty(); }
+
+ private:
+  /// One populated prefix length: routes_[first, first + networks.size())
+  /// share this length; `networks` holds their network addresses, ascending.
+  struct Bucket {
+    std::uint32_t mask = 0;   ///< ~0u << (32 - length); 0 for the default route
+    std::uint32_t first = 0;  ///< index of the bucket's first route in routes_
+    std::vector<std::uint32_t> networks;
+  };
+
+  std::vector<Route> routes_;
+  std::vector<Bucket> buckets_;  ///< by prefix length, descending
+};
+
+}  // namespace heimdall::dp

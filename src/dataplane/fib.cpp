@@ -65,6 +65,7 @@ std::optional<Route> Fib::route_for(const net::Ipv4Prefix& prefix) const {
 
 std::vector<Route> Fib::routes() const {
   std::vector<Route> out;
+  out.reserve(size_);
   collect(*root_, out);
   std::sort(out.begin(), out.end(), [](const Route& a, const Route& b) {
     if (a.prefix.length() != b.prefix.length()) return a.prefix.length() > b.prefix.length();

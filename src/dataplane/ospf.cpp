@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 #include <set>
+
+#include "netmodel/interner.hpp"
 
 namespace heimdall::dp {
 
@@ -28,46 +31,64 @@ struct FirstHop {
   Ipv4Address next_hop_ip;
 };
 
-/// Per-area shortest-path state for one source router.
-struct SpfTree {
-  std::map<DeviceId, unsigned> dist;
-  std::map<DeviceId, FirstHop> first_hop;
-};
-
-/// Directed edge of the per-area router graph.
+/// Directed edge of the per-area router graph, in interned router indices.
 struct Edge {
-  DeviceId to;
+  std::uint32_t to;           ///< router index within the area
   unsigned cost;              ///< egress interface cost at `from`
   InterfaceId out_iface;      ///< egress interface at `from`
   Ipv4Address next_hop_ip;    ///< the neighbor's interface address
 };
 
-using AreaGraph = std::map<DeviceId, std::vector<Edge>>;
+/// Per-area shortest-path state for one source router, indexed by the
+/// area's dense router ids. `has_hop` distinguishes "no first hop recorded"
+/// from a default-constructed FirstHop.
+struct SpfTree {
+  std::vector<unsigned> dist;      ///< kInfinity when unreached
+  std::vector<FirstHop> first_hop;
+  std::vector<char> has_hop;
+};
 
-SpfTree dijkstra(const AreaGraph& graph, const DeviceId& source) {
+/// One area's interned router graph plus its all-sources SPF trees.
+struct AreaState {
+  std::vector<DeviceId> routers;         ///< sorted; index i <-> routers[i]
+  net::Interner index;                   ///< DeviceId string -> dense index
+  std::vector<std::vector<Edge>> edges;  ///< adjacency, by router index
+  std::vector<SpfTree> trees;            ///< SPF result, by source index
+};
+
+SpfTree dijkstra(const AreaState& area, std::uint32_t source) {
+  const std::size_t count = area.routers.size();
   SpfTree tree;
+  tree.dist.assign(count, kInfinity);
+  tree.first_hop.assign(count, FirstHop{});
+  tree.has_hop.assign(count, 0);
   tree.dist[source] = 0;
-  // Keyed by (distance, router, next-hop ip) for a deterministic order.
-  std::set<std::tuple<unsigned, DeviceId>> frontier{{0, source}};
+
+  // Binary min-heap keyed by (distance, router) with lazy deletion: stale
+  // entries are skipped when their recorded distance no longer matches.
+  // Router indices follow sorted DeviceId order, so equal-distance pops
+  // keep the same deterministic order an ordered set over DeviceIds had.
+  using Item = std::pair<unsigned, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  frontier.push({0, source});
   while (!frontier.empty()) {
-    auto [d, router] = *frontier.begin();
-    frontier.erase(frontier.begin());
-    auto edges = graph.find(router);
-    if (edges == graph.end()) continue;
-    for (const Edge& edge : edges->second) {
+    auto [d, router] = frontier.top();
+    frontier.pop();
+    if (d != tree.dist[router]) continue;  // stale entry
+    for (const Edge& edge : area.edges[router]) {
       unsigned nd = d + edge.cost;
-      auto it = tree.dist.find(edge.to);
       FirstHop hop = router == source ? FirstHop{edge.out_iface, edge.next_hop_ip}
                                       : tree.first_hop[router];
-      if (it == tree.dist.end() || nd < it->second) {
-        if (it != tree.dist.end()) frontier.erase({it->second, edge.to});
+      if (nd < tree.dist[edge.to]) {
         tree.dist[edge.to] = nd;
         tree.first_hop[edge.to] = hop;
-        frontier.insert({nd, edge.to});
-      } else if (nd == it->second) {
+        tree.has_hop[edge.to] = 1;
+        frontier.push({nd, edge.to});
+      } else if (nd == tree.dist[edge.to]) {
         // Deterministic ECMP tie-break: keep the lower next-hop address.
-        FirstHop& existing = tree.first_hop[edge.to];
-        if (hop.next_hop_ip < existing.next_hop_ip) existing = hop;
+        if (!tree.has_hop[edge.to]) tree.has_hop[edge.to] = 1;
+        if (hop.next_hop_ip < tree.first_hop[edge.to].next_hop_ip)
+          tree.first_hop[edge.to] = hop;
       }
     }
   }
@@ -99,8 +120,20 @@ OspfResult compute_ospf(const Network& network, const L2Domains& l2) {
     }
   }
 
-  // 2. Adjacencies: same L2 segment + same subnet + same area, non-passive.
-  std::map<unsigned, AreaGraph> graphs;
+  // 2. Per-area membership; routers are interned in sorted-DeviceId order so
+  // dense indices preserve the ordering the SPF tie-breaks rely on.
+  std::map<unsigned, std::set<DeviceId>> area_routers;
+  for (const OspfIface& iface : ifaces) area_routers[iface.area].insert(iface.router);
+
+  std::map<unsigned, AreaState> areas;
+  for (const auto& [area, routers] : area_routers) {
+    AreaState& state = areas[area];
+    state.routers.assign(routers.begin(), routers.end());
+    for (const DeviceId& router : state.routers) state.index.intern(router.str());
+    state.edges.resize(state.routers.size());
+  }
+
+  // 3. Adjacencies: same L2 segment + same subnet + same area, non-passive.
   std::set<OspfAdjacency> adjacencies;
   for (const OspfIface& a : ifaces) {
     for (const OspfIface& b : ifaces) {
@@ -108,8 +141,9 @@ OspfResult compute_ospf(const Network& network, const L2Domains& l2) {
       if (a.area != b.area || a.passive || b.passive) continue;
       if (a.address.subnet() != b.address.subnet()) continue;
       if (!l2.adjacent({a.router, a.iface}, {b.router, b.iface})) continue;
-      graphs[a.area][a.router].push_back(
-          Edge{b.router, a.cost, a.iface, b.address.ip});
+      AreaState& state = areas[a.area];
+      state.edges[state.index.find(a.router.str())].push_back(
+          Edge{state.index.find(b.router.str()), a.cost, a.iface, b.address.ip});
       Endpoint ea{a.router, a.iface};
       Endpoint eb{b.router, b.iface};
       if (eb < ea) std::swap(ea, eb);
@@ -118,34 +152,36 @@ OspfResult compute_ospf(const Network& network, const L2Domains& l2) {
   }
   result.adjacencies.assign(adjacencies.begin(), adjacencies.end());
 
-  // 3. Per-area membership and all-pairs SPF.
-  std::map<unsigned, std::set<DeviceId>> area_routers;
-  for (const OspfIface& iface : ifaces) area_routers[iface.area].insert(iface.router);
-
-  std::map<unsigned, std::map<DeviceId, SpfTree>> spf;  // area -> source -> tree
-  for (const auto& [area, routers] : area_routers) {
-    for (const DeviceId& router : routers) {
-      auto graph_it = graphs.find(area);
-      spf[area][router] = graph_it == graphs.end() ? SpfTree{.dist = {{router, 0}}, .first_hop = {}}
-                                                   : dijkstra(graph_it->second, router);
-      spf[area][router].dist.try_emplace(router, 0);
-    }
+  // All-sources SPF per area.
+  for (auto& [area, state] : areas) {
+    (void)area;
+    state.trees.reserve(state.routers.size());
+    for (std::uint32_t source = 0; source < state.routers.size(); ++source)
+      state.trees.push_back(dijkstra(state, source));
   }
 
   auto dist_in_area = [&](unsigned area, const DeviceId& from, const DeviceId& to) -> unsigned {
-    auto area_it = spf.find(area);
-    if (area_it == spf.end()) return kInfinity;
-    auto src_it = area_it->second.find(from);
-    if (src_it == area_it->second.end()) return kInfinity;
-    auto d = src_it->second.dist.find(to);
-    return d == src_it->second.dist.end() ? kInfinity : d->second;
+    auto area_it = areas.find(area);
+    if (area_it == areas.end()) return kInfinity;
+    const AreaState& state = area_it->second;
+    const std::uint32_t from_idx = state.index.find(from.str());
+    const std::uint32_t to_idx = state.index.find(to.str());
+    if (from_idx == net::Interner::kInvalid || to_idx == net::Interner::kInvalid)
+      return kInfinity;
+    return state.trees[from_idx].dist[to_idx];
   };
 
   auto first_hop_in_area = [&](unsigned area, const DeviceId& from,
                                const DeviceId& to) -> const FirstHop* {
-    auto& tree = spf[area][from];
-    auto it = tree.first_hop.find(to);
-    return it == tree.first_hop.end() ? nullptr : &it->second;
+    auto area_it = areas.find(area);
+    if (area_it == areas.end()) return nullptr;
+    const AreaState& state = area_it->second;
+    const std::uint32_t from_idx = state.index.find(from.str());
+    const std::uint32_t to_idx = state.index.find(to.str());
+    if (from_idx == net::Interner::kInvalid || to_idx == net::Interner::kInvalid)
+      return nullptr;
+    const SpfTree& tree = state.trees[from_idx];
+    return tree.has_hop[to_idx] ? &tree.first_hop[to_idx] : nullptr;
   };
 
   // ABRs per area: routers present in both the backbone and that area.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dataplane/compiled.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,6 +54,65 @@ ReachabilityMatrix ReachabilityMatrix::compute(const Network& network, const Dat
   return matrix;
 }
 
+ReachabilityMatrix ReachabilityMatrix::compute(const CompiledPlane& plane,
+                                               const TraceOptions& options) {
+  ReachabilityMatrix matrix;
+  const net::NetworkIndex& idx = plane.index();
+  const std::vector<std::uint32_t>& hosts = idx.hosts();
+  const std::size_t count = hosts.size();
+
+  std::vector<Ipv4Address> host_ips;
+  host_ips.reserve(count);
+  for (std::uint32_t host : hosts) {
+    auto ip = idx.primary_ip(host);
+    util::require(ip.has_value(), "trace_hosts: no address on " + idx.device_id(host).str());
+    host_ips.push_back(*ip);
+  }
+
+  // Pairs are laid out src-major, exactly like the reference overload, so
+  // the pair for (src i, dst j) lives at i*(count-1) + j - (j > i).
+  matrix.pairs_.resize(count < 2 ? 0 : count * (count - 1));
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      if (i == j) continue;
+      const std::size_t slot = i * (count - 1) + j - (j > i ? 1 : 0);
+      PairReachability& pair = matrix.pairs_[slot];
+      pair.src = idx.device_id(hosts[i]);
+      pair.dst = idx.device_id(hosts[j]);
+      matrix.index_[{pair.src, pair.dst}] = slot;
+    }
+  }
+
+  // One destination column per work item: every trace toward hosts[j]
+  // shares a DstCache, so the FIB walk and L2 resolution for a device are
+  // paid once per destination rather than once per pair.
+  auto trace_columns = [&](std::size_t begin, std::size_t end) {
+    CompiledPlane::TraceCounters counters;
+    for (std::size_t j = begin; j < end; ++j) {
+      CompiledPlane::DstCache cache = plane.make_dst_cache(host_ips[j]);
+      Flow flow;
+      flow.dst_ip = host_ips[j];
+      flow.protocol = IpProtocol::Icmp;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (i == j) continue;
+        flow.src_ip = host_ips[i];
+        CompiledPlane::IndexedTrace trace = plane.trace_indexed(flow, cache, counters);
+        PairReachability& pair = matrix.pairs_[i * (count - 1) + j - (j > i ? 1 : 0)];
+        pair.disposition = trace.disposition;
+        pair.path = plane.path_of(trace);
+      }
+    }
+    CompiledPlane::flush_counters(counters);
+  };
+  if (options.pool) {
+    // grain=1: a column is already count-1 traces of work.
+    options.pool->parallel_for(count, trace_columns, /*grain=*/1);
+  } else {
+    trace_columns(0, count);
+  }
+  return matrix;
+}
+
 ReachabilityMatrix ReachabilityMatrix::recompute(const Network& network, const Dataplane& dataplane,
                                                  const ReachabilityMatrix& base,
                                                  const std::set<DeviceId>& dirty,
@@ -79,6 +139,72 @@ ReachabilityMatrix ReachabilityMatrix::recompute(const Network& network, const D
     options.pool->parallel_for(stale.size(), trace_range);
   } else {
     trace_range(0, stale.size());
+  }
+  return matrix;
+}
+
+ReachabilityMatrix ReachabilityMatrix::recompute(const CompiledPlane& plane,
+                                                 const ReachabilityMatrix& base,
+                                                 const std::set<DeviceId>& dirty,
+                                                 const TraceOptions& options,
+                                                 std::size_t* retraced) {
+  ReachabilityMatrix matrix = base;
+  const net::NetworkIndex& idx = plane.index();
+
+  // Group stale pairs by destination so re-traces share decision caches.
+  std::map<DeviceId, std::vector<std::size_t>> stale_by_dst;
+  std::size_t stale_count = 0;
+  for (std::size_t i = 0; i < matrix.pairs_.size(); ++i) {
+    const PairReachability& pair = matrix.pairs_[i];
+    bool touches_dirty = std::any_of(pair.path.begin(), pair.path.end(), [&](const DeviceId& hop) {
+      return dirty.count(hop) != 0;
+    });
+    if (touches_dirty) {
+      stale_by_dst[pair.dst].push_back(i);
+      ++stale_count;
+    }
+  }
+  if (retraced) *retraced = stale_count;
+
+  std::vector<const std::vector<std::size_t>*> groups;
+  std::vector<Ipv4Address> group_ips;
+  groups.reserve(stale_by_dst.size());
+  for (const auto& [dst, slots] : stale_by_dst) {
+    const std::uint32_t dst_idx = idx.find_device(dst);
+    util::require(dst_idx != net::NetworkIndex::kInvalid,
+                  "recompute: unknown destination " + dst.str());
+    auto ip = idx.primary_ip(dst_idx);
+    util::require(ip.has_value(), "trace_hosts: no address on " + dst.str());
+    groups.push_back(&slots);
+    group_ips.push_back(*ip);
+  }
+
+  auto trace_groups = [&](std::size_t begin, std::size_t end) {
+    CompiledPlane::TraceCounters counters;
+    for (std::size_t g = begin; g < end; ++g) {
+      CompiledPlane::DstCache cache = plane.make_dst_cache(group_ips[g]);
+      for (std::size_t slot : *groups[g]) {
+        PairReachability& pair = matrix.pairs_[slot];
+        const std::uint32_t src_idx = idx.find_device(pair.src);
+        util::require(src_idx != net::NetworkIndex::kInvalid,
+                      "recompute: unknown source " + pair.src.str());
+        auto src_ip = idx.primary_ip(src_idx);
+        util::require(src_ip.has_value(), "trace_hosts: no address on " + pair.src.str());
+        Flow flow;
+        flow.src_ip = *src_ip;
+        flow.dst_ip = group_ips[g];
+        flow.protocol = IpProtocol::Icmp;
+        CompiledPlane::IndexedTrace trace = plane.trace_indexed(flow, cache, counters);
+        pair.disposition = trace.disposition;
+        pair.path = plane.path_of(trace);
+      }
+    }
+    CompiledPlane::flush_counters(counters);
+  };
+  if (options.pool) {
+    options.pool->parallel_for(groups.size(), trace_groups, /*grain=*/1);
+  } else {
+    trace_groups(0, groups.size());
   }
   return matrix;
 }

@@ -13,6 +13,8 @@ class ThreadPool;
 
 namespace heimdall::dp {
 
+class CompiledPlane;
+
 /// Reachability verdict for one ordered host pair.
 struct PairReachability {
   net::DeviceId src;
@@ -37,6 +39,13 @@ class ReachabilityMatrix {
   static ReachabilityMatrix compute(const net::Network& network, const Dataplane& dataplane,
                                     const TraceOptions& options = {});
 
+  /// Fast path over a compiled plane. Produces pairs in the identical order
+  /// and with identical contents as the reference overload, but partitions
+  /// work per destination column so all traces toward one host share a
+  /// per-destination decision cache.
+  static ReachabilityMatrix compute(const CompiledPlane& plane,
+                                    const TraceOptions& options = {});
+
   /// Partial recompute: copies `base` and re-traces only the pairs whose
   /// recorded path touches a device in `dirty`. Valid only when every FIB,
   /// L2 segment and interface address outside `dirty` is unchanged since
@@ -46,6 +55,13 @@ class ReachabilityMatrix {
   /// `retraced` (optional) receives the number of re-traced pairs.
   static ReachabilityMatrix recompute(const net::Network& network, const Dataplane& dataplane,
                                       const ReachabilityMatrix& base,
+                                      const std::set<net::DeviceId>& dirty,
+                                      const TraceOptions& options = {},
+                                      std::size_t* retraced = nullptr);
+
+  /// Partial recompute over a compiled plane (same precondition as above);
+  /// stale pairs are grouped by destination to share decision caches.
+  static ReachabilityMatrix recompute(const CompiledPlane& plane, const ReachabilityMatrix& base,
                                       const std::set<net::DeviceId>& dirty,
                                       const TraceOptions& options = {},
                                       std::size_t* retraced = nullptr);

@@ -77,7 +77,7 @@ TraceResult trace_flow(const Network& network, const Dataplane& dataplane, const
   DeviceId current = src->device;
   InterfaceId in_iface;  // empty at origin
 
-  for (unsigned hop_count = 0; hop_count <= kHopLimit; ++hop_count) {
+  for (unsigned hop_count = 0; hop_count < kHopLimit; ++hop_count) {
     const Device& device = network.device(current);
 
     // Ingress ACL (not at the originating device).

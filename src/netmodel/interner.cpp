@@ -1,0 +1,88 @@
+#include "netmodel/interner.hpp"
+
+namespace heimdall::net {
+
+std::uint32_t Interner::intern(const std::string& name) {
+  auto [it, inserted] = ids_.try_emplace(name, static_cast<std::uint32_t>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+std::uint32_t Interner::find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalid : it->second;
+}
+
+NetworkIndex NetworkIndex::build(const Network& network) {
+  NetworkIndex index;
+  index.devices_.reserve(network.devices().size());
+
+  for (const Device& device : network.devices()) {
+    const std::uint32_t device_idx = index.device_ids_.intern(device.id().str());
+    DeviceEntry entry;
+    entry.id = device.id();
+    entry.kind = device.kind();
+    entry.iface_begin = static_cast<std::uint32_t>(index.ifaces_.size());
+
+    // Resolve this device's ACLs into the global table up front so interface
+    // bindings become indices.
+    const std::uint32_t acl_base = static_cast<std::uint32_t>(index.acls_.size());
+    for (const Acl& acl : device.acls()) index.acls_.push_back(acl);
+    auto resolve_acl = [&](const std::string& name) -> std::uint32_t {
+      if (name.empty()) return kInvalid;
+      const std::vector<Acl>& acls = device.acls();
+      for (std::uint32_t i = 0; i < acls.size(); ++i) {
+        if (acls[i].name == name) return acl_base + i;
+      }
+      return kInvalid;  // dangling reference: permit-all, like the tracer
+    };
+
+    for (const Interface& iface : device.interfaces()) {
+      const std::uint32_t iface_idx = static_cast<std::uint32_t>(index.ifaces_.size());
+      InterfaceEntry rec;
+      rec.id = iface.id;
+      rec.device = device_idx;
+      rec.address = iface.address;
+      rec.shutdown = iface.shutdown;
+      rec.acl_in = resolve_acl(iface.acl_in);
+      rec.acl_out = resolve_acl(iface.acl_out);
+      index.ifaces_.push_back(std::move(rec));
+
+      if (iface.address) {
+        if (entry.primary_iface == kInvalid) entry.primary_iface = iface_idx;
+        index.ip_iface_.try_emplace(iface.address->ip.value(), iface_idx);
+        index.owned_ips_.insert(owner_key(device_idx, iface.address->ip));
+      }
+    }
+    entry.iface_end = static_cast<std::uint32_t>(index.ifaces_.size());
+    if (device.is_host()) index.hosts_.push_back(device_idx);
+    index.devices_.push_back(std::move(entry));
+  }
+  return index;
+}
+
+std::uint32_t NetworkIndex::find_interface(std::uint32_t device_idx,
+                                           const InterfaceId& iface) const {
+  const DeviceEntry& device = devices_[device_idx];
+  for (std::uint32_t i = device.iface_begin; i < device.iface_end; ++i) {
+    if (ifaces_[i].id == iface) return i;
+  }
+  return kInvalid;
+}
+
+std::uint32_t NetworkIndex::iface_of_ip(Ipv4Address ip) const {
+  auto it = ip_iface_.find(ip.value());
+  return it == ip_iface_.end() ? kInvalid : it->second;
+}
+
+bool NetworkIndex::device_owns_ip(std::uint32_t device_idx, Ipv4Address ip) const {
+  return owned_ips_.count(owner_key(device_idx, ip)) != 0;
+}
+
+std::optional<Ipv4Address> NetworkIndex::primary_ip(std::uint32_t device_idx) const {
+  const DeviceEntry& device = devices_[device_idx];
+  if (device.primary_iface == kInvalid) return std::nullopt;
+  return ifaces_[device.primary_iface].address->ip;
+}
+
+}  // namespace heimdall::net

@@ -1,0 +1,119 @@
+// Dense-id interning for network identifiers, plus the per-snapshot
+// NetworkIndex the compiled forwarding plane runs on.
+//
+// The object model keys everything by DeviceId/InterfaceId strings; every
+// hop of a flow trace then pays string hashing and map walks. NetworkIndex
+// assigns each device and interface a dense uint32_t once per snapshot and
+// exposes flat side tables (interface attributes, resolved ACL bindings,
+// interface-owned IPs, host list), so hot loops index vectors instead of
+// chasing string-keyed maps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netmodel/network.hpp"
+
+namespace heimdall::net {
+
+/// Maps strings to dense ids, first-come first-served. Ids are stable for
+/// the interner's lifetime; `name(id)` is the inverse.
+class Interner {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  /// Returns the id of `name`, assigning the next dense id on first sight.
+  std::uint32_t intern(const std::string& name);
+
+  /// Id of `name`, or kInvalid when never interned.
+  std::uint32_t find(const std::string& name) const;
+
+  const std::string& name(std::uint32_t id) const { return names_[id]; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Immutable dense-id view of one Network snapshot. Self-contained: it
+/// copies everything the trace hot path reads (addresses, shutdown flags,
+/// ACL bodies), so it stays valid after the source Network is gone.
+class NetworkIndex {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  struct DeviceEntry {
+    DeviceId id;
+    DeviceKind kind = DeviceKind::Router;
+    /// This device's interfaces occupy [iface_begin, iface_end) in the
+    /// global interface table.
+    std::uint32_t iface_begin = 0;
+    std::uint32_t iface_end = 0;
+    /// First interface with an address (the device's primary IP), or kInvalid.
+    std::uint32_t primary_iface = kInvalid;
+  };
+
+  struct InterfaceEntry {
+    InterfaceId id;
+    std::uint32_t device = kInvalid;
+    std::optional<InterfaceAddress> address;
+    bool shutdown = false;
+    /// ACL bindings resolved to indices into acls(); kInvalid when the
+    /// interface has no binding or the name dangles (both permit-all).
+    std::uint32_t acl_in = kInvalid;
+    std::uint32_t acl_out = kInvalid;
+  };
+
+  static NetworkIndex build(const Network& network);
+
+  std::uint32_t device_count() const { return static_cast<std::uint32_t>(devices_.size()); }
+  std::uint32_t interface_count() const { return static_cast<std::uint32_t>(ifaces_.size()); }
+
+  const DeviceEntry& device(std::uint32_t idx) const { return devices_[idx]; }
+  const InterfaceEntry& interface(std::uint32_t idx) const { return ifaces_[idx]; }
+  const DeviceId& device_id(std::uint32_t idx) const { return devices_[idx].id; }
+  const InterfaceId& interface_id(std::uint32_t idx) const { return ifaces_[idx].id; }
+
+  /// Dense id of `id`, or kInvalid when absent.
+  std::uint32_t find_device(const DeviceId& id) const { return device_ids_.find(id.str()); }
+
+  /// Dense id of `iface` on device `device_idx`, or kInvalid.
+  std::uint32_t find_interface(std::uint32_t device_idx, const InterfaceId& iface) const;
+
+  /// ACL bodies copied from every device, in (device, declaration) order.
+  const std::vector<Acl>& acls() const { return acls_; }
+
+  /// First interface configured with exactly `ip`, in device/interface
+  /// insertion order — mirrors Network::endpoint_of_ip. kInvalid when none.
+  std::uint32_t iface_of_ip(Ipv4Address ip) const;
+
+  /// True when any interface of `device_idx` (up or down) owns `ip` —
+  /// mirrors Device::interface_with_address.
+  bool device_owns_ip(std::uint32_t device_idx, Ipv4Address ip) const;
+
+  /// Host-kind devices in insertion order.
+  const std::vector<std::uint32_t>& hosts() const { return hosts_; }
+
+  /// Primary IP of `device_idx` (first interface with an address).
+  std::optional<Ipv4Address> primary_ip(std::uint32_t device_idx) const;
+
+ private:
+  static std::uint64_t owner_key(std::uint32_t device_idx, Ipv4Address ip) {
+    return (static_cast<std::uint64_t>(device_idx) << 32) | ip.value();
+  }
+
+  Interner device_ids_;
+  std::vector<DeviceEntry> devices_;
+  std::vector<InterfaceEntry> ifaces_;
+  std::vector<Acl> acls_;
+  std::unordered_map<std::uint32_t, std::uint32_t> ip_iface_;  ///< ip -> first owner iface
+  std::unordered_set<std::uint64_t> owned_ips_;                ///< (device << 32) | ip
+  std::vector<std::uint32_t> hosts_;
+};
+
+}  // namespace heimdall::net

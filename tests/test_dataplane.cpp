@@ -2,10 +2,14 @@
 // flow tracing, reachability.
 #include <gtest/gtest.h>
 
+#include "dataplane/compiled.hpp"
 #include "dataplane/reachability.hpp"
 #include "scenarios/builder.hpp"
 #include "scenarios/enterprise.hpp"
+#include "scenarios/university.hpp"
 #include "util/error.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace heimdall::dp {
 namespace {
@@ -419,6 +423,10 @@ TEST(Trace, LoopDetection) {
   TraceResult trace = trace_hosts(network, dataplane, DeviceId("h1"), DeviceId("h9"));
   EXPECT_EQ(trace.disposition, Disposition::Loop);
   EXPECT_GT(trace.hops.size(), 30u);
+  // Regression: the hop loop once ran kHopLimit + 1 iterations (<=), so a
+  // 32-hop limit recorded 33 hops. Each loop iteration forwards exactly one
+  // hop here, so the trace must record exactly the limit.
+  EXPECT_EQ(trace.hops.size(), 32u);
 }
 
 // ---------------------------------------------------------- reachability --
@@ -443,6 +451,211 @@ TEST(Reachability, MatrixCountsAndDiff) {
     EXPECT_TRUE(was);
     EXPECT_FALSE(now);
   }
+}
+
+// --------------------------------------------------------- compiled plane --
+
+TEST(Fib, RoutesCollectAllInsertedRoutes) {
+  util::Rng rng(7);
+  Fib fib;
+  for (int i = 0; i < 2000; ++i) {
+    unsigned length = static_cast<unsigned>(rng.next_in(0, 32));
+    Ipv4Prefix prefix(Ipv4Address(static_cast<std::uint32_t>(rng.next())), length);
+    Route route;
+    route.prefix = prefix;
+    route.protocol = RouteProtocol::Static;
+    route.admin_distance = default_admin_distance(RouteProtocol::Static);
+    route.next_hop = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    route.out_iface = InterfaceId("e0");
+    fib.insert(route);
+  }
+  // size() counts one route per distinct prefix; routes() must collect
+  // exactly that many.
+  EXPECT_EQ(fib.routes().size(), fib.size());
+}
+
+TEST(CompiledFib, MatchesTrieOnRandomInputs) {
+  util::Rng rng(42);
+  Fib fib;
+  for (int i = 0; i < 4000; ++i) {
+    // Bias toward clustered prefixes so lookups actually collide.
+    std::uint32_t base = rng.chance(0.5) ? 0x0a000000u : static_cast<std::uint32_t>(rng.next());
+    unsigned length = static_cast<unsigned>(rng.next_in(0, 32));
+    Route route;
+    route.prefix = Ipv4Prefix(Ipv4Address(base ^ static_cast<std::uint32_t>(rng.next() & 0xffffu)),
+                              length);
+    route.protocol = rng.chance(0.5) ? RouteProtocol::Static : RouteProtocol::Ospf;
+    route.admin_distance = default_admin_distance(route.protocol);
+    route.metric = static_cast<unsigned>(rng.next_in(0, 100));
+    route.next_hop = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    route.out_iface = InterfaceId("e0");
+    fib.insert(route);
+  }
+
+  CompiledFib compiled = CompiledFib::build(fib);
+  EXPECT_EQ(compiled.size(), fib.size());
+
+  for (int i = 0; i < 20000; ++i) {
+    // Half the probes land near the clustered space, half anywhere.
+    std::uint32_t probe = rng.chance(0.5)
+                              ? 0x0a000000u | static_cast<std::uint32_t>(rng.next() & 0x1ffffu)
+                              : static_cast<std::uint32_t>(rng.next());
+    Ipv4Address address(probe);
+    auto expected = fib.lookup(address);
+    auto got = compiled.lookup(address);
+    ASSERT_EQ(expected.has_value(), got.has_value()) << address.to_string();
+    if (expected) {
+      EXPECT_EQ(expected->prefix, got->prefix) << address.to_string();
+      EXPECT_EQ(expected->next_hop, got->next_hop) << address.to_string();
+      EXPECT_EQ(expected->out_iface, got->out_iface) << address.to_string();
+    }
+  }
+}
+
+void expect_same_trace(const TraceResult& expected, const TraceResult& got,
+                       const Flow& flow) {
+  ASSERT_EQ(expected.disposition, got.disposition) << flow.to_string();
+  EXPECT_EQ(expected.last_device, got.last_device) << flow.to_string();
+  EXPECT_EQ(expected.detail, got.detail) << flow.to_string();
+  ASSERT_EQ(expected.hops.size(), got.hops.size()) << flow.to_string();
+  for (std::size_t h = 0; h < expected.hops.size(); ++h) {
+    EXPECT_EQ(expected.hops[h].device, got.hops[h].device) << flow.to_string();
+    EXPECT_EQ(expected.hops[h].in_iface, got.hops[h].in_iface) << flow.to_string();
+    EXPECT_EQ(expected.hops[h].out_iface, got.hops[h].out_iface) << flow.to_string();
+  }
+  EXPECT_EQ(expected.path(), got.path()) << flow.to_string();
+}
+
+/// Compiled trace must reproduce the reference tracer bit-for-bit: every
+/// ordered host pair (ICMP) plus randomized TCP/UDP flows that exercise the
+/// per-flow ACL paths a destination cache must not shortcut.
+void expect_compiled_trace_equivalence(const Network& network, std::uint64_t seed) {
+  Dataplane dataplane = Dataplane::compute(network);
+  CompiledPlane plane = CompiledPlane::compile(network, dataplane);
+
+  std::vector<Ipv4Address> host_ips;
+  for (const DeviceId& host : network.device_ids(DeviceKind::Host))
+    host_ips.push_back(*network.primary_ip(host));
+
+  for (Ipv4Address dst : host_ips) {
+    CompiledPlane::DstCache cache = plane.make_dst_cache(dst);
+    CompiledPlane::TraceCounters counters;
+    for (Ipv4Address src : host_ips) {
+      if (src == dst) continue;
+      Flow flow;
+      flow.src_ip = src;
+      flow.dst_ip = dst;
+      flow.protocol = IpProtocol::Icmp;
+      TraceResult got = plane.render(plane.trace_indexed(flow, cache, counters), flow);
+      expect_same_trace(trace_flow(network, dataplane, flow), got, flow);
+    }
+  }
+
+  util::Rng rng(seed);
+  const IpProtocol protocols[] = {IpProtocol::Any, IpProtocol::Icmp, IpProtocol::Tcp,
+                                  IpProtocol::Udp};
+  const std::uint16_t ports[] = {0, 22, 53, 80, 123, 443, 3389, 8080, 65535};
+  for (int i = 0; i < 500; ++i) {
+    Flow flow;
+    // Occasionally probe unknown endpoints too.
+    flow.src_ip = rng.chance(0.9) ? host_ips[rng.next_below(host_ips.size())]
+                                  : Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    flow.dst_ip = rng.chance(0.9) ? host_ips[rng.next_below(host_ips.size())]
+                                  : Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    flow.protocol = protocols[rng.next_below(4)];
+    flow.src_port = rng.chance(0.5) ? ports[rng.next_below(9)]
+                                    : static_cast<std::uint16_t>(rng.next_in(0, 65535));
+    flow.dst_port = rng.chance(0.5) ? ports[rng.next_below(9)]
+                                    : static_cast<std::uint16_t>(rng.next_in(0, 65535));
+    expect_same_trace(trace_flow(network, dataplane, flow), plane.trace_flow(flow), flow);
+  }
+}
+
+void expect_same_matrix(const ReachabilityMatrix& expected, const ReachabilityMatrix& got) {
+  ASSERT_EQ(expected.total_count(), got.total_count());
+  for (std::size_t i = 0; i < expected.pairs().size(); ++i) {
+    const PairReachability& e = expected.pairs()[i];
+    const PairReachability& g = got.pairs()[i];
+    EXPECT_EQ(e.src, g.src);
+    EXPECT_EQ(e.dst, g.dst);
+    EXPECT_EQ(e.disposition, g.disposition) << e.src.str() << "->" << e.dst.str();
+    EXPECT_EQ(e.path, g.path) << e.src.str() << "->" << e.dst.str();
+  }
+}
+
+TEST(CompiledPlane, TraceEquivalenceEnterprise) {
+  expect_compiled_trace_equivalence(scen::build_enterprise(), 1001);
+}
+
+TEST(CompiledPlane, TraceEquivalenceUniversity) {
+  expect_compiled_trace_equivalence(scen::build_university(), 2002);
+}
+
+TEST(CompiledPlane, TraceEquivalenceUnderFailures) {
+  // Egress-down at the destination gateway.
+  Network down = ospf_square();
+  down.device(DeviceId("r1")).interface(InterfaceId("e2")).shutdown = true;
+  expect_compiled_trace_equivalence(down, 3003);
+
+  // No-route at the source host.
+  Network bare = ospf_square();
+  bare.device(DeviceId("h1")).static_routes().clear();
+  expect_compiled_trace_equivalence(bare, 4004);
+
+  // Source interface shut down.
+  Network src_down = ospf_square();
+  src_down.device(DeviceId("h1")).interface(InterfaceId("eth0")).shutdown = true;
+  expect_compiled_trace_equivalence(src_down, 5005);
+}
+
+TEST(CompiledPlane, MatrixEquivalenceBothScenarios) {
+  for (const Network& network : {scen::build_enterprise(), scen::build_university()}) {
+    Dataplane dataplane = Dataplane::compute(network);
+    CompiledPlane plane = CompiledPlane::compile(network, dataplane);
+    expect_same_matrix(ReachabilityMatrix::compute(network, dataplane),
+                       ReachabilityMatrix::compute(plane));
+  }
+}
+
+TEST(CompiledPlane, MatrixEquivalenceParallel) {
+  Network network = scen::build_university();
+  Dataplane dataplane = Dataplane::compute(network);
+  CompiledPlane plane = CompiledPlane::compile(network, dataplane);
+  util::ThreadPool pool(4);
+  TraceOptions options;
+  options.pool = &pool;
+  expect_same_matrix(ReachabilityMatrix::compute(network, dataplane),
+                     ReachabilityMatrix::compute(plane, options));
+}
+
+TEST(CompiledPlane, RecomputeEquivalence) {
+  Network network = scen::build_enterprise();
+  Dataplane dataplane = Dataplane::compute(network);
+  ReachabilityMatrix base = ReachabilityMatrix::compute(network, dataplane);
+
+  // ACL edit on r9: FIBs and L2 unchanged, so recompute's precondition holds
+  // with dirty = {r9}.
+  Network changed = network;
+  Acl* acl = changed.device(DeviceId("r9")).find_acl("DMZ_IN");
+  ASSERT_NE(acl, nullptr);
+  AclEntry deny;
+  deny.action = AclEntry::Action::Deny;
+  deny.protocol = IpProtocol::Icmp;
+  acl->entries.insert(acl->entries.begin(), deny);
+
+  Dataplane changed_dataplane = Dataplane::compute(changed);
+  CompiledPlane changed_plane = CompiledPlane::compile(changed, changed_dataplane);
+  std::set<DeviceId> dirty{DeviceId("r9")};
+
+  std::size_t ref_retraced = 0;
+  std::size_t fast_retraced = 0;
+  ReachabilityMatrix expected = ReachabilityMatrix::recompute(changed, changed_dataplane, base,
+                                                              dirty, {}, &ref_retraced);
+  ReachabilityMatrix got =
+      ReachabilityMatrix::recompute(changed_plane, base, dirty, {}, &fast_retraced);
+  EXPECT_EQ(ref_retraced, fast_retraced);
+  EXPECT_GT(fast_retraced, 0u);
+  expect_same_matrix(expected, got);
 }
 
 TEST(Reachability, PairLookupThrowsForUnknown) {

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Run the micro_perf benchmark suite and maintain BENCH_micro.json.
+
+Usage:
+    tools/bench_baseline.py [--binary build/bench/micro_perf]
+                            [--out BENCH_micro.json]
+                            [--filter REGEX] [--min-time SECONDS]
+                            [--check-only]
+
+The script runs micro_perf with --benchmark_format=json, extracts the
+benchmarks into a stable baseline artifact (name -> real_time ns), and then
+smoke-checks the compiled forwarding-plane paths against their reference
+counterparts: a compiled path that is slower than its reference path (plus a
+noise allowance) fails the run. --check-only re-checks an existing
+BENCH_micro.json without running the binary.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# Compiled path -> reference path it must not be slower than. The tolerance
+# absorbs CI noise; a compiled path slower than reference * TOLERANCE is a
+# regression in the whole point of the compiled plane.
+SMOKE_PAIRS = {
+    "BM_AllPairsCompiled/net:0": "BM_AllPairsReference/net:0",
+    "BM_AllPairsCompiled/net:1": "BM_AllPairsReference/net:1",
+    "BM_CompiledFlowTrace/net:0": "BM_FlowTrace/net:0",
+    "BM_CompiledFlowTrace/net:1": "BM_FlowTrace/net:1",
+}
+TOLERANCE = 1.10
+
+# The headline acceptance target: all-pairs reachability on the university
+# scenario must be at least this much faster on the compiled plane.
+HEADLINE_COMPILED = "BM_AllPairsCompiled/net:1"
+HEADLINE_REFERENCE = "BM_AllPairsReference/net:1"
+HEADLINE_MIN_SPEEDUP = 3.0
+
+
+def run_benchmarks(binary, bench_filter, min_time):
+    cmd = [binary, "--benchmark_format=json", f"--benchmark_min_time={min_time}"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed with exit code {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def to_baseline(report):
+    benchmarks = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        benchmarks[bench["name"]] = {
+            "real_time_ns": bench["real_time"],
+            "cpu_time_ns": bench["cpu_time"],
+            "iterations": bench["iterations"],
+        }
+    return {"context": report.get("context", {}), "benchmarks": benchmarks}
+
+
+def smoke_check(baseline):
+    benchmarks = baseline["benchmarks"]
+    failures = []
+    for compiled, reference in sorted(SMOKE_PAIRS.items()):
+        if compiled not in benchmarks or reference not in benchmarks:
+            continue  # filtered run; nothing to compare
+        compiled_ns = benchmarks[compiled]["real_time_ns"]
+        reference_ns = benchmarks[reference]["real_time_ns"]
+        speedup = reference_ns / compiled_ns if compiled_ns else float("inf")
+        status = "ok"
+        if compiled_ns > reference_ns * TOLERANCE:
+            status = "REGRESSION"
+            failures.append(
+                f"{compiled} ({compiled_ns:.0f} ns) is slower than "
+                f"{reference} ({reference_ns:.0f} ns) beyond {TOLERANCE:.0%}"
+            )
+        print(f"  {compiled:38s} {speedup:6.2f}x vs {reference} [{status}]")
+
+    if HEADLINE_COMPILED in benchmarks and HEADLINE_REFERENCE in benchmarks:
+        speedup = (
+            benchmarks[HEADLINE_REFERENCE]["real_time_ns"]
+            / benchmarks[HEADLINE_COMPILED]["real_time_ns"]
+        )
+        print(f"  headline all-pairs (university) speedup: {speedup:.2f}x "
+              f"(required >= {HEADLINE_MIN_SPEEDUP}x)")
+        if speedup < HEADLINE_MIN_SPEEDUP:
+            failures.append(
+                f"university all-pairs speedup {speedup:.2f}x is below the "
+                f"{HEADLINE_MIN_SPEEDUP}x floor"
+            )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", default="build/bench/micro_perf")
+    parser.add_argument("--out", default="BENCH_micro.json")
+    parser.add_argument("--filter", default="", help="--benchmark_filter regex")
+    parser.add_argument("--min-time", default="0.2", help="--benchmark_min_time seconds")
+    parser.add_argument("--check-only", action="store_true",
+                        help="re-check an existing baseline without running")
+    args = parser.parse_args()
+
+    if args.check_only:
+        with open(args.out) as fh:
+            baseline = json.load(fh)
+    else:
+        report = run_benchmarks(args.binary, args.filter, args.min_time)
+        baseline = to_baseline(report)
+        with open(args.out, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out} with {len(baseline['benchmarks'])} benchmarks")
+
+    print("compiled-vs-reference smoke check:")
+    failures = smoke_check(baseline)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
