@@ -17,6 +17,7 @@
 #include "config/parse.hpp"
 #include "config/serialize.hpp"
 #include "enforcer/audit.hpp"
+#include "enforcer/enforcer.hpp"
 #include "obs/telemetry.hpp"
 #include "scenarios/enterprise.hpp"
 #include "scenarios/university.hpp"
@@ -323,6 +324,100 @@ void BM_PolicyVerifyMemoized(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PolicyVerifyMemoized)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+// ------------------------------------------------------------- quarantine --
+// Copy-per-change vs undo-log quarantine enforcement: the same session
+// (four benign changes plus one policy-violating permit) through the
+// reference pipeline (fresh shadow network + from-scratch verification per
+// candidate) and the incremental one (single shadow, apply/invert replay,
+// delta verification over re-traced pairs). The two produce bit-identical
+// reports (property-tested); verifiers run uncached so neither row hides
+// behind the engine memo.
+
+cfg::ConfigChange violating_acl_change(int which) {
+  net::AclEntry permit;
+  permit.action = net::AclEntry::Action::Permit;
+  if (which == 0) {
+    permit.src = net::Ipv4Prefix::parse("10.0.20.0/24");
+    permit.dst = net::Ipv4Prefix::parse("10.0.8.0/24");
+    return {net::DeviceId("r9"), cfg::AclEntryAdd{"DMZ_IN", 0, permit}};
+  }
+  permit.src = net::Ipv4Prefix::parse("10.20.7.0/24");
+  permit.dst = net::Ipv4Prefix::parse("10.20.15.0/24");
+  return {net::DeviceId("u13"), cfg::AclEntryAdd{"SEC_IN", 0, permit}};
+}
+
+/// An ACL/route-centric session (the workload quarantine attribution sees in
+/// practice): four benign changes plus the violating permit. The benign ACL
+/// entries deny documentation prefixes no host uses, so reachability is
+/// unchanged but every candidate still has to be attributed.
+std::vector<cfg::ConfigChange> quarantine_session(int which) {
+  const net::Network& network = pick(which);
+  const net::DeviceId guard(which == 0 ? "r9" : "u13");
+  const std::string guard_acl = which == 0 ? "DMZ_IN" : "SEC_IN";
+  std::vector<const net::Device*> routers;
+  for (const net::Device& device : network.devices())
+    if (device.is_router()) routers.push_back(&device);
+
+  net::AclEntry noop_a;
+  noop_a.action = net::AclEntry::Action::Deny;
+  noop_a.src = net::Ipv4Prefix::parse("198.51.100.0/24");
+  net::AclEntry noop_b;
+  noop_b.action = net::AclEntry::Action::Deny;
+  noop_b.src = net::Ipv4Prefix::parse("192.0.2.0/24");
+  net::Acl unused;
+  unused.name = "BENCH_UNUSED";
+  unused.entries.push_back(noop_a);
+
+  std::vector<cfg::ConfigChange> session;
+  session.push_back({guard, cfg::AclEntryAdd{guard_acl, 0, noop_a}});
+  session.push_back({guard, cfg::AclEntryAdd{guard_acl, 1, noop_b}});
+  session.push_back({guard, cfg::AclCreate{unused}});
+  session.push_back(make_static_route_change(network, routers.front()->id()));
+  session.push_back(violating_acl_change(which));
+  return session;
+}
+
+template <bool Incremental>
+void run_quarantine_bench(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const net::Network& network = pick(which);
+  const std::vector<cfg::ConfigChange> session = quarantine_session(which);
+  priv::PrivilegeSpec root;
+  root.allow(priv::all_actions(), priv::Resource{"*", priv::ObjectKind::Device, ""});
+  enforce::PolicyEnforcer enforcer(
+      spec::PolicyVerifier(which == 0 ? scen::enterprise_policies(network)
+                                      : scen::university_policies(network),
+                           uncached()),
+      enforce::SimulatedEnclave("bench", "hw"));
+  util::VirtualClock clock;
+  auto enforce_once = [&](net::Network& production) {
+    return Incremental
+               ? enforcer.enforce_with_quarantine(production, session, root, clock, "bench")
+               : enforcer.enforce_with_quarantine_reference(production, session, root, clock,
+                                                            "bench");
+  };
+  {
+    // The measured session must actually exercise attribution: exactly the
+    // violating permit quarantined, the benign remainder applied.
+    net::Network production = network;
+    enforce::QuarantineReport report = enforce_once(production);
+    if (report.quarantined.size() != 1 || !report.applied_any) {
+      state.SkipWithError("quarantine session lost its expected shape");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    net::Network production = network;
+    benchmark::DoNotOptimize(enforce_once(production));
+  }
+}
+
+void BM_QuarantineCopy(benchmark::State& state) { run_quarantine_bench<false>(state); }
+BENCHMARK(BM_QuarantineCopy)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+void BM_QuarantineIncremental(benchmark::State& state) { run_quarantine_bench<true>(state); }
+BENCHMARK(BM_QuarantineIncremental)->Arg(0)->Arg(1)->ArgNames({"net"});
 
 void BM_TwinCreate(benchmark::State& state) {
   const net::Network& network = enterprise();

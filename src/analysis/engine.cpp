@@ -151,9 +151,10 @@ Engine::Entry Engine::compute_full(const net::Network& network, bool want_matrix
   return entry;
 }
 
-Engine::Entry Engine::compute_incremental(const net::Network& network, const Snapshot& base,
-                                          const std::vector<ConfigChange>& changes, Impact worst,
-                                          bool want_matrix) {
+Engine::Entry Engine::compute_incremental(
+    const net::Network& network, const Snapshot& base, const std::vector<ConfigChange>& changes,
+    Impact worst, bool want_matrix,
+    std::shared_ptr<const std::vector<std::size_t>>* retraced_out) {
   ++stats_.incremental_recomputes;
   EngineMetrics::get().incremental_recomputes.add();
   std::set<net::DeviceId> dirty;
@@ -180,11 +181,14 @@ Engine::Entry Engine::compute_incremental(const net::Network& network, const Sna
   if (want_matrix) {
     if (base.reachability) {
       std::size_t retraced = 0;
+      auto retraced_indices = std::make_shared<std::vector<std::size_t>>();
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(dp::ReachabilityMatrix::recompute(
-          *entry.compiled, *base.reachability, dirty, trace_options(), &retraced));
+          *entry.compiled, *base.reachability, dirty, trace_options(), &retraced,
+          retraced_indices.get()));
       stats_.retraced_pairs += retraced;
       EngineMetrics::get().retraced_pairs.add(retraced);
       span.arg("retraced_pairs", std::to_string(retraced));
+      if (retraced_out) *retraced_out = std::move(retraced_indices);
     } else {
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
           dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
@@ -222,7 +226,11 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
     ++stats_.cache_hits;
     metrics.cache_hits.add();
     span.arg("cache", "hit-base");
-    return *base;
+    Snapshot out = *base;
+    // The result IS the base, so relative to it nothing was re-traced. Any
+    // retraced set the base carried referred to an older ancestor.
+    out.retraced_pairs = std::make_shared<std::vector<std::size_t>>();
+    return out;
   }
 
   if (Entry* cached = caching ? lookup(digest) : nullptr) {
@@ -256,12 +264,14 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
   }
 
   Entry entry;
+  std::shared_ptr<const std::vector<std::size_t>> retraced_view;
   if (worst == Impact::None) {
     // Secrets only: the base artifacts describe this network verbatim.
     ++stats_.carried_forward;
     entry.dataplane = base->dataplane;
     entry.matrix = base->reachability;
     entry.compiled = base->compiled;
+    if (entry.matrix) retraced_view = std::make_shared<std::vector<std::size_t>>();
     if (want_matrix && !entry.matrix) {
       ++stats_.matrix_completions;
       if (!entry.compiled) entry.compiled = compile_plane(network, *entry.dataplane);
@@ -273,17 +283,17 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
     // them (dataplane-only base) a non-global change still recomputes the
     // dataplane incrementally but cannot scope the trace.
     if (worst != Impact::Global && base && base->valid()) {
-      entry = compute_incremental(network, *base, *changes, worst, want_matrix);
+      entry = compute_incremental(network, *base, *changes, worst, want_matrix, &retraced_view);
     } else {
       entry = compute_full(network, want_matrix);
     }
   } else {
-    entry = compute_incremental(network, *base, *changes, worst, want_matrix);
+    entry = compute_incremental(network, *base, *changes, worst, want_matrix, &retraced_view);
   }
 
   remember(digest, entry);
   return Snapshot{std::move(digest), std::move(entry.dataplane), std::move(entry.matrix),
-                  std::move(entry.compiled)};
+                  std::move(entry.compiled), std::move(retraced_view)};
 }
 
 Snapshot Engine::analyze(const net::Network& network) {

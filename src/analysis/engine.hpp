@@ -79,6 +79,12 @@ struct Snapshot {
   /// all-pairs trace actually ran on. Self-contained (never dangles into
   /// the analyzed Network); useful for fast ad-hoc flow traces.
   std::shared_ptr<const dp::CompiledPlane> compiled;
+  /// Indices into reachability->pairs() of the pairs the incremental path
+  /// re-traced relative to the `base` snapshot passed to analyze(); every
+  /// pair not listed is bit-identical to the base matrix. Empty vector =
+  /// nothing changed. Null = unknown provenance (full recompute, memo hit,
+  /// or no base) — a delta consumer must then treat every cell as changed.
+  std::shared_ptr<const std::vector<std::size_t>> retraced_pairs;
 
   bool valid() const { return dataplane != nullptr; }
 };
@@ -133,7 +139,8 @@ class Engine {
   Entry compute_full(const net::Network& network, bool want_matrix);
   Entry compute_incremental(const net::Network& network, const Snapshot& base,
                             const std::vector<cfg::ConfigChange>& changes, Impact worst,
-                            bool want_matrix);
+                            bool want_matrix,
+                            std::shared_ptr<const std::vector<std::size_t>>* retraced_out);
   dp::TraceOptions trace_options();
   Entry* lookup(const std::string& digest);
   void remember(const std::string& digest, Entry entry);

@@ -79,7 +79,9 @@ struct SummaryVisitor {
   std::string operator()(const VlanRemove& c) const {
     return "vlan " + std::to_string(c.vlan) + " removed";
   }
-  std::string operator()(const SecretChange& c) const { return "secret changed: " + c.field; }
+  std::string operator()(const SecretChange& c) const {
+    return (c.revert ? "secret rotation reverted: " : "secret changed: ") + c.field;
+  }
 };
 
 void diff_interface(const DeviceId& device, const Interface& before, const Interface& after,
@@ -300,7 +302,19 @@ struct ApplyVisitor {
                   "apply_change: ACL entry not present: '" + c.entry.to_string() + "'");
     acl->entries.erase(it);
   }
-  void operator()(const AclCreate& c) { device().add_acl(c.acl); }
+  void operator()(const AclCreate& c) {
+    if (!c.at) {
+      device().add_acl(c.acl);
+      return;
+    }
+    Device& dev = device();
+    util::require(!c.acl.name.empty(), "ACL must have a name");
+    util::require(dev.find_acl(c.acl.name) == nullptr,
+                  "duplicate ACL '" + c.acl.name + "' on device '" + dev.id().str() + "'");
+    auto& acls = dev.acls();
+    std::size_t index = std::min(*c.at, acls.size());
+    acls.insert(acls.begin() + static_cast<std::ptrdiff_t>(index), c.acl);
+  }
   void operator()(const AclDelete& c) {
     util::require(device().find_acl(c.name) != nullptr, "apply_change: no ACL '" + c.name + "'");
     device().remove_acl(c.name);
@@ -309,7 +323,8 @@ struct ApplyVisitor {
     auto& routes = device().static_routes();
     util::require(std::find(routes.begin(), routes.end(), c.route) == routes.end(),
                   "apply_change: duplicate static route");
-    routes.push_back(c.route);
+    std::size_t index = c.at ? std::min(*c.at, routes.size()) : routes.size();
+    routes.insert(routes.begin() + static_cast<std::ptrdiff_t>(index), c.route);
   }
   void operator()(const StaticRouteRemove& c) {
     auto& routes = device().static_routes();
@@ -320,19 +335,28 @@ struct ApplyVisitor {
   void operator()(const OspfNetworkAdd& c) {
     auto& ospf = device().ospf();
     util::require(ospf.has_value(), "apply_change: device has no OSPF process");
-    ospf->networks.push_back(c.network);
+    auto& networks = ospf->networks;
+    std::size_t index = c.at ? std::min(*c.at, networks.size()) : networks.size();
+    networks.insert(networks.begin() + static_cast<std::ptrdiff_t>(index), c.network);
   }
   void operator()(const OspfNetworkRemove& c) {
     auto& ospf = device().ospf();
     util::require(ospf.has_value(), "apply_change: device has no OSPF process");
-    auto it = std::find(ospf->networks.begin(), ospf->networks.end(), c.network);
-    util::require(it != ospf->networks.end(), "apply_change: ospf network not present");
-    ospf->networks.erase(it);
+    auto& networks = ospf->networks;
+    if (c.at && *c.at < networks.size() && networks[*c.at] == c.network) {
+      networks.erase(networks.begin() + static_cast<std::ptrdiff_t>(*c.at));
+      return;
+    }
+    auto it = std::find(networks.begin(), networks.end(), c.network);
+    util::require(it != networks.end(), "apply_change: ospf network not present");
+    networks.erase(it);
   }
   void operator()(const OspfProcessChange& c) { device().ospf() = c.new_process; }
   void operator()(const VlanDeclare& c) {
     util::require(!device().has_vlan(c.vlan), "apply_change: vlan already declared");
-    device().vlans().push_back(c.vlan);
+    auto& vlans = device().vlans();
+    std::size_t index = c.at ? std::min(*c.at, vlans.size()) : vlans.size();
+    vlans.insert(vlans.begin() + static_cast<std::ptrdiff_t>(index), c.vlan);
   }
   void operator()(const VlanRemove& c) {
     auto& vlans = device().vlans();
@@ -342,16 +366,25 @@ struct ApplyVisitor {
   }
   void operator()(const SecretChange& c) {
     // Secret values are not carried in change records; replaying one marks
-    // the field as rotated with a placeholder so diffs remain visible.
+    // the field as rotated with a placeholder so diffs remain visible. The
+    // revert form pops one rotation marker so undo replay is exact.
     DeviceSecrets& secrets = device().secrets();
+    std::string* field = nullptr;
     if (c.field == "enable_password")
-      secrets.enable_password += "*";
+      field = &secrets.enable_password;
     else if (c.field == "snmp_community")
-      secrets.snmp_community += "*";
+      field = &secrets.snmp_community;
     else if (c.field == "ipsec_key")
-      secrets.ipsec_key += "*";
+      field = &secrets.ipsec_key;
     else
       throw util::InvariantError("apply_change: unknown secret field '" + c.field + "'");
+    if (c.revert) {
+      util::require(!field->empty() && field->back() == '*',
+                    "apply_change: secret field '" + c.field + "' has no rotation to revert");
+      field->pop_back();
+    } else {
+      *field += "*";
+    }
   }
 };
 
@@ -364,6 +397,135 @@ void apply_change(Network& network, const ConfigChange& change) {
 
 void apply_changes(Network& network, const std::vector<ConfigChange>& changes) {
   for (const ConfigChange& change : changes) apply_change(network, change);
+}
+
+namespace {
+
+// Builds the exact inverse of each change against the pre-state. The rule
+// throughout: the inverse's "old" side is the value the forward change wrote
+// and its "new" side is the value actually observed in the pre-state (not
+// the possibly-stale old_* recorded in the forward change), so that
+// apply(forward); apply(inverse) restores the pre-state bit-for-bit.
+struct InvertVisitor {
+  const Network& pre_state;
+  const DeviceId& device_id;
+
+  const Device& device() const { return pre_state.device(device_id); }
+
+  ChangeDetail operator()(const InterfaceAdminChange& c) const {
+    const Interface& iface = device().interface(c.iface);
+    return InterfaceAdminChange{c.iface, c.new_shutdown, iface.shutdown};
+  }
+  ChangeDetail operator()(const InterfaceAddressChange& c) const {
+    const Interface& iface = device().interface(c.iface);
+    return InterfaceAddressChange{c.iface, c.new_address, iface.address};
+  }
+  ChangeDetail operator()(const InterfaceAclBindingChange& c) const {
+    const Interface& iface = device().interface(c.iface);
+    const std::string& current = c.direction == AclDirection::In ? iface.acl_in : iface.acl_out;
+    return InterfaceAclBindingChange{c.iface, c.direction, c.new_acl, current};
+  }
+  ChangeDetail operator()(const SwitchportChange& c) const {
+    const Interface& iface = device().interface(c.iface);
+    return SwitchportChange{c.iface,        c.new_mode,   iface.mode,
+                            c.new_access_vlan, iface.access_vlan, c.new_trunk,
+                            iface.trunk_allowed};
+  }
+  ChangeDetail operator()(const OspfCostChange& c) const {
+    const Interface& iface = device().interface(c.iface);
+    return OspfCostChange{c.iface, c.new_cost, iface.ospf_cost};
+  }
+  ChangeDetail operator()(const AclEntryAdd& c) const {
+    const Acl* acl = device().find_acl(c.acl);
+    if (!acl) throw util::NotFoundError("apply_change: no ACL '" + c.acl + "'");
+    // Mirror the apply-side clamp so the inverse targets the index where the
+    // entry actually lands.
+    std::size_t index = std::min(c.index, acl->entries.size());
+    return AclEntryRemove{c.acl, index, c.entry};
+  }
+  ChangeDetail operator()(const AclEntryRemove& c) const {
+    const Acl* acl = device().find_acl(c.acl);
+    if (!acl) throw util::NotFoundError("apply_change: no ACL '" + c.acl + "'");
+    // Mirror the apply-side resolution (recorded index if it still matches,
+    // otherwise content addressing) to find the index the entry leaves from.
+    std::size_t index;
+    if (c.index < acl->entries.size() && acl->entries[c.index] == c.entry) {
+      index = c.index;
+    } else {
+      auto it = std::find(acl->entries.begin(), acl->entries.end(), c.entry);
+      util::require(it != acl->entries.end(),
+                    "apply_change: ACL entry not present: '" + c.entry.to_string() + "'");
+      index = static_cast<std::size_t>(it - acl->entries.begin());
+    }
+    return AclEntryAdd{c.acl, index, acl->entries[index]};
+  }
+  ChangeDetail operator()(const AclCreate& c) const { return AclDelete{c.acl.name}; }
+  ChangeDetail operator()(const AclDelete& c) const {
+    const auto& acls = device().acls();
+    for (std::size_t i = 0; i < acls.size(); ++i) {
+      if (acls[i].name == c.name) return AclCreate{acls[i], i};
+    }
+    throw util::NotFoundError("apply_change: no ACL '" + c.name + "'");
+  }
+  ChangeDetail operator()(const StaticRouteAdd& c) const {
+    // apply rejects duplicates, so content addressing on the remove side is
+    // position-exact.
+    return StaticRouteRemove{c.route};
+  }
+  ChangeDetail operator()(const StaticRouteRemove& c) const {
+    const auto& routes = device().static_routes();
+    auto it = std::find(routes.begin(), routes.end(), c.route);
+    util::require(it != routes.end(), "apply_change: static route not present");
+    return StaticRouteAdd{c.route, static_cast<std::size_t>(it - routes.begin())};
+  }
+  ChangeDetail operator()(const OspfNetworkAdd& c) const {
+    const auto& ospf = device().ospf();
+    util::require(ospf.has_value(), "apply_change: device has no OSPF process");
+    // Network statements may repeat, so the inverse must remove by position.
+    std::size_t index = c.at ? std::min(*c.at, ospf->networks.size()) : ospf->networks.size();
+    return OspfNetworkRemove{c.network, index};
+  }
+  ChangeDetail operator()(const OspfNetworkRemove& c) const {
+    const auto& ospf = device().ospf();
+    util::require(ospf.has_value(), "apply_change: device has no OSPF process");
+    const auto& networks = ospf->networks;
+    std::size_t index;
+    if (c.at && *c.at < networks.size() && networks[*c.at] == c.network) {
+      index = *c.at;
+    } else {
+      auto it = std::find(networks.begin(), networks.end(), c.network);
+      util::require(it != networks.end(), "apply_change: ospf network not present");
+      index = static_cast<std::size_t>(it - networks.begin());
+    }
+    return OspfNetworkAdd{networks[index], index};
+  }
+  ChangeDetail operator()(const OspfProcessChange& c) const {
+    return OspfProcessChange{c.new_process, device().ospf()};
+  }
+  ChangeDetail operator()(const VlanDeclare& c) const {
+    // apply rejects duplicate declarations, so content addressing is exact.
+    return VlanRemove{c.vlan};
+  }
+  ChangeDetail operator()(const VlanRemove& c) const {
+    const auto& vlans = device().vlans();
+    auto it = std::find(vlans.begin(), vlans.end(), c.vlan);
+    util::require(it != vlans.end(), "apply_change: vlan not declared");
+    return VlanDeclare{c.vlan, static_cast<std::size_t>(it - vlans.begin())};
+  }
+  ChangeDetail operator()(const SecretChange& c) const {
+    util::require(c.field == "enable_password" || c.field == "snmp_community" ||
+                      c.field == "ipsec_key",
+                  "apply_change: unknown secret field '" + c.field + "'");
+    return SecretChange{c.field, !c.revert};
+  }
+};
+
+}  // namespace
+
+ConfigChange invert_change(const Network& pre_state, const ConfigChange& change) {
+  pre_state.device(change.device);  // unknown device: NotFoundError, like apply_change
+  InvertVisitor visitor{pre_state, change.device};
+  return ConfigChange{change.device, std::visit(visitor, change.detail)};
 }
 
 }  // namespace heimdall::cfg

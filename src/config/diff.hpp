@@ -87,6 +87,9 @@ struct AclEntryRemove {
 /// A whole ACL created (with its entries).
 struct AclCreate {
   net::Acl acl;
+  /// Insertion position among the device's ACLs for exact undo replay
+  /// (invert_change only); absent appends.
+  std::optional<std::size_t> at = std::nullopt;
   bool operator==(const AclCreate&) const = default;
 };
 
@@ -98,6 +101,9 @@ struct AclDelete {
 
 struct StaticRouteAdd {
   net::StaticRoute route;
+  /// Insertion position for exact undo replay (set by invert_change, never
+  /// by diffing); absent appends, preserving the historical semantics.
+  std::optional<std::size_t> at = std::nullopt;
   bool operator==(const StaticRouteAdd&) const = default;
 };
 
@@ -108,11 +114,16 @@ struct StaticRouteRemove {
 
 struct OspfNetworkAdd {
   net::OspfNetwork network;
+  /// Insertion position for exact undo replay (invert_change only).
+  std::optional<std::size_t> at = std::nullopt;
   bool operator==(const OspfNetworkAdd&) const = default;
 };
 
 struct OspfNetworkRemove {
   net::OspfNetwork network;
+  /// Removal position for exact undo replay (invert_change only); absent
+  /// removes the first value-equal network statement.
+  std::optional<std::size_t> at = std::nullopt;
   bool operator==(const OspfNetworkRemove&) const = default;
 };
 
@@ -125,6 +136,8 @@ struct OspfProcessChange {
 
 struct VlanDeclare {
   net::VlanId vlan = 1;
+  /// Insertion position for exact undo replay (invert_change only).
+  std::optional<std::size_t> at = std::nullopt;
   bool operator==(const VlanDeclare&) const = default;
 };
 
@@ -138,6 +151,10 @@ struct VlanRemove {
 /// record (they would leak into audit logs).
 struct SecretChange {
   std::string field;
+  /// When true, undoes one rotation of `field` (invert_change only). A
+  /// rotation is modeled as appending a '*' to the stored placeholder, so
+  /// the revert pops one and throws if there is nothing to pop.
+  bool revert = false;
   bool operator==(const SecretChange&) const = default;
 };
 
@@ -174,5 +191,15 @@ void apply_change(net::Network& network, const ConfigChange& change);
 
 /// Replays a list of changes in order.
 void apply_changes(net::Network& network, const std::vector<ConfigChange>& changes);
+
+/// Computes the exact inverse of `change` against `pre_state`, the network
+/// state the change is about to be applied to. Applying `change` and then
+/// the returned inverse restores `pre_state` bit-for-bit — including vector
+/// positions of VLANs, routes, OSPF networks and ACLs, so config
+/// fingerprints (and therefore analysis::Engine memoization) line up.
+///
+/// Throws the same NotFoundError / InvariantError family as apply_change
+/// when the change cannot apply to `pre_state` (no inverse exists).
+ConfigChange invert_change(const net::Network& pre_state, const ConfigChange& change);
 
 }  // namespace heimdall::cfg

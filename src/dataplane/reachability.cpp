@@ -117,7 +117,8 @@ ReachabilityMatrix ReachabilityMatrix::recompute(const Network& network, const D
                                                  const ReachabilityMatrix& base,
                                                  const std::set<DeviceId>& dirty,
                                                  const TraceOptions& options,
-                                                 std::size_t* retraced) {
+                                                 std::size_t* retraced,
+                                                 std::vector<std::size_t>* retraced_indices) {
   ReachabilityMatrix matrix = base;
   std::vector<std::size_t> stale;
   for (std::size_t i = 0; i < matrix.pairs_.size(); ++i) {
@@ -128,6 +129,7 @@ ReachabilityMatrix ReachabilityMatrix::recompute(const Network& network, const D
     if (touches_dirty) stale.push_back(i);
   }
   if (retraced) *retraced = stale.size();
+  if (retraced_indices) *retraced_indices = stale;
 
   auto trace_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
@@ -147,13 +149,15 @@ ReachabilityMatrix ReachabilityMatrix::recompute(const CompiledPlane& plane,
                                                  const ReachabilityMatrix& base,
                                                  const std::set<DeviceId>& dirty,
                                                  const TraceOptions& options,
-                                                 std::size_t* retraced) {
+                                                 std::size_t* retraced,
+                                                 std::vector<std::size_t>* retraced_indices) {
   ReachabilityMatrix matrix = base;
   const net::NetworkIndex& idx = plane.index();
 
   // Group stale pairs by destination so re-traces share decision caches.
   std::map<DeviceId, std::vector<std::size_t>> stale_by_dst;
   std::size_t stale_count = 0;
+  if (retraced_indices) retraced_indices->clear();
   for (std::size_t i = 0; i < matrix.pairs_.size(); ++i) {
     const PairReachability& pair = matrix.pairs_[i];
     bool touches_dirty = std::any_of(pair.path.begin(), pair.path.end(), [&](const DeviceId& hop) {
@@ -162,6 +166,7 @@ ReachabilityMatrix ReachabilityMatrix::recompute(const CompiledPlane& plane,
     if (touches_dirty) {
       stale_by_dst[pair.dst].push_back(i);
       ++stale_count;
+      if (retraced_indices) retraced_indices->push_back(i);
     }
   }
   if (retraced) *retraced = stale_count;

@@ -52,19 +52,23 @@ class ReachabilityMatrix {
   /// `base` was computed — tracing is deterministic, so a pair that never
   /// crossed a dirty device takes the identical hop sequence again. The
   /// analysis engine guarantees that precondition via change classification.
-  /// `retraced` (optional) receives the number of re-traced pairs.
+  /// `retraced` (optional) receives the number of re-traced pairs;
+  /// `retraced_indices` (optional) receives their indices into pairs(), in
+  /// ascending order — every pair NOT listed is bit-identical to `base`.
   static ReachabilityMatrix recompute(const net::Network& network, const Dataplane& dataplane,
                                       const ReachabilityMatrix& base,
                                       const std::set<net::DeviceId>& dirty,
                                       const TraceOptions& options = {},
-                                      std::size_t* retraced = nullptr);
+                                      std::size_t* retraced = nullptr,
+                                      std::vector<std::size_t>* retraced_indices = nullptr);
 
   /// Partial recompute over a compiled plane (same precondition as above);
   /// stale pairs are grouped by destination to share decision caches.
   static ReachabilityMatrix recompute(const CompiledPlane& plane, const ReachabilityMatrix& base,
                                       const std::set<net::DeviceId>& dirty,
                                       const TraceOptions& options = {},
-                                      std::size_t* retraced = nullptr);
+                                      std::size_t* retraced = nullptr,
+                                      std::vector<std::size_t>* retraced_indices = nullptr);
 
   const std::vector<PairReachability>& pairs() const { return pairs_; }
 

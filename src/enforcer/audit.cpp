@@ -1,5 +1,7 @@
 #include "enforcer/audit.hpp"
 
+#include <charconv>
+
 #include "util/error.hpp"
 
 namespace heimdall::enforce {
@@ -83,14 +85,32 @@ Sha256Digest parse_digest(const std::string& hex) {
   return digest;
 }
 
+/// Parses a 64-bit integer field serialized either as a JSON number (legacy
+/// exports) or as a decimal string (the lossless format to_json writes —
+/// util::Json numbers are doubles, which round above 2^53).
+template <typename Int>
+Int parse_int_field(const util::Json& value, const char* field) {
+  if (value.is_number()) return static_cast<Int>(value.as_number());
+  const std::string& text = value.as_string();
+  Int parsed{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc() || ptr != last) {
+    throw util::ParseError(std::string("audit field '") + field + "' is not an integer: '" +
+                           text + "'");
+  }
+  return parsed;
+}
+
 }  // namespace
 
 AuditLog AuditLog::from_json(const util::Json& document) {
   AuditLog log;
   for (const util::Json& item : document.at("audit_log").as_array()) {
     AuditEntry entry;
-    entry.sequence = static_cast<std::uint64_t>(item.at("seq").as_number());
-    entry.timestamp_ms = static_cast<std::int64_t>(item.at("t_ms").as_number());
+    entry.sequence = parse_int_field<std::uint64_t>(item.at("seq"), "seq");
+    entry.timestamp_ms = parse_int_field<std::int64_t>(item.at("t_ms"), "t_ms");
     entry.actor = item.at("actor").as_string();
     entry.category = parse_category(item.at("category").as_string());
     entry.message = item.at("message").as_string();
@@ -105,10 +125,11 @@ util::Json AuditLog::to_json() const {
   util::Json array{util::JsonArray{}};
   for (const AuditEntry& entry : entries_) {
     util::Json item;
-    item.set("seq", util::Json(entry.sequence > 0x1fffffffffffffULL
-                                   ? static_cast<double>(entry.sequence)
-                                   : static_cast<double>(entry.sequence)));
-    item.set("t_ms", util::Json(static_cast<double>(entry.timestamp_ms)));
+    // seq and t_ms go out as decimal strings: util::Json numbers are
+    // doubles, which silently round 64-bit values above 2^53 — and a
+    // rounded sequence number breaks the hash chain on re-import.
+    item.set("seq", util::Json(std::to_string(entry.sequence)));
+    item.set("t_ms", util::Json(std::to_string(entry.timestamp_ms)));
     item.set("actor", util::Json(entry.actor));
     item.set("category", util::Json(to_string(entry.category)));
     item.set("message", util::Json(entry.message));

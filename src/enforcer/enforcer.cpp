@@ -1,6 +1,8 @@
 #include "enforcer/enforcer.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <optional>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -9,8 +11,28 @@
 
 namespace heimdall::enforce {
 
-PolicyEnforcer::PolicyEnforcer(spec::PolicyVerifier policies, SimulatedEnclave enclave)
-    : policies_(std::move(policies)), enclave_(std::move(enclave)) {
+namespace {
+
+/// True when `verification` violates a policy outside `baseline` (the ids
+/// production was already violating); `which` receives the first such id.
+bool introduces_new_violation(const spec::VerificationReport& verification,
+                              const std::vector<std::string>& baseline, std::string* which) {
+  for (const std::string& id : verification.violated_ids()) {
+    if (std::find(baseline.begin(), baseline.end(), id) == baseline.end()) {
+      if (which) *which = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PolicyEnforcer::PolicyEnforcer(spec::PolicyVerifier policies, SimulatedEnclave enclave,
+                               EnforcerOptions options)
+    : policies_(std::move(policies)), enclave_(std::move(enclave)), options_(options) {
+  if (options_.attribution_threads > 1)
+    attribution_pool_ = std::make_unique<util::ThreadPool>(options_.attribution_threads);
   reseal_head();
 }
 
@@ -86,6 +108,88 @@ EnforcementReport PolicyEnforcer::enforce(net::Network& production,
   return report;
 }
 
+/// Phase-2 verdict for one candidate change, computed in isolation.
+struct PolicyEnforcer::AttributionVerdict {
+  enum class Kind : std::uint8_t { Clean, ReplayError, PolicyViolation };
+  Kind kind = Kind::Clean;
+  std::string detail;  // apply error text, or the violated policy id
+};
+
+std::vector<PolicyEnforcer::AttributionVerdict> PolicyEnforcer::attribute_candidates(
+    const net::Network& production, net::Network& shadow,
+    const std::vector<cfg::ConfigChange>& candidates, const analysis::Snapshot& base,
+    const spec::VerificationReport& baseline_report, const std::vector<std::string>& baseline) {
+  obs::Counter& reverts = obs::Registry::global().counter("enforcer.incremental_reverts");
+  util::Stopwatch watch;
+
+  // One attribution round on `round_shadow` (which must equal the network
+  // `base` was analyzed from): apply the candidate, delta-verify against
+  // the baseline report, then revert via the captured inverse so the shadow
+  // is ready for the next round without re-copying the whole network.
+  auto attribute_one = [&](net::Network& round_shadow, analysis::Engine& engine,
+                           const cfg::ConfigChange& change) {
+    AttributionVerdict verdict;
+    // Capture the inverse against the pre-state *before* mutating. Inversion
+    // failures are swallowed here: they only occur when the apply below also
+    // fails, and the apply's error text is the canonical quarantine reason.
+    std::optional<cfg::ConfigChange> inverse;
+    try {
+      inverse = cfg::invert_change(round_shadow, change);
+    } catch (const util::Error&) {
+    }
+    try {
+      cfg::apply_change(round_shadow, change);
+    } catch (const util::Error& error) {
+      verdict.kind = AttributionVerdict::Kind::ReplayError;
+      verdict.detail = error.what();
+      return verdict;  // shadow untouched: apply validates before mutating
+    }
+    analysis::Snapshot snapshot = engine.analyze(round_shadow, base, {change});
+    spec::VerificationReport verification =
+        policies_.verify_incremental(snapshot, baseline_report);
+    std::string which;
+    if (introduces_new_violation(verification, baseline, &which)) {
+      verdict.kind = AttributionVerdict::Kind::PolicyViolation;
+      verdict.detail = std::move(which);
+    }
+    if (inverse) {
+      cfg::apply_change(round_shadow, *inverse);
+      reverts.add();
+    } else {
+      // Unreachable in practice (no inverse implies the apply throws), but a
+      // full re-copy keeps the shadow honest if the two ever diverge.
+      round_shadow = production;
+    }
+    return verdict;
+  };
+
+  std::vector<AttributionVerdict> verdicts(candidates.size());
+  if (attribution_pool_ && candidates.size() > 1) {
+    // Rounds are independent, so chunks run on worker-local shadows and
+    // engines (the shared engine is not thread-safe). Verdicts land in a
+    // pre-sized vector; the caller replays them in candidate order, so the
+    // report stays deterministic regardless of scheduling.
+    attribution_pool_->parallel_for(
+        candidates.size(),
+        [&](std::size_t begin, std::size_t end) {
+          analysis::Options local_options;
+          local_options.cache_capacity = 4;
+          analysis::Engine local_engine(local_options);
+          net::Network local_shadow = production;
+          for (std::size_t i = begin; i < end; ++i) {
+            verdicts[i] = attribute_one(local_shadow, local_engine, candidates[i]);
+          }
+        },
+        /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      verdicts[i] = attribute_one(shadow, policies_.engine(), candidates[i]);
+    }
+  }
+  obs::Registry::global().histogram("enforcer.attribution_ms").observe(watch.elapsed_ms());
+  return verdicts;
+}
+
 QuarantineReport PolicyEnforcer::enforce_with_quarantine(
     net::Network& production, const std::vector<cfg::ConfigChange>& changes,
     const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor) {
@@ -114,57 +218,63 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
   // Production may already be violating policies (that is often why the
   // ticket exists); a change is only quarantined when it introduces *new*
   // violations beyond that baseline.
-  std::vector<std::string> baseline = policies_.verify_network(production).violated_ids();
-  auto introduces_new_violation = [&](const spec::VerificationReport& verification,
-                                      std::string* which) {
-    for (const std::string& id : verification.violated_ids()) {
-      if (std::find(baseline.begin(), baseline.end(), id) == baseline.end()) {
-        if (which) *which = id;
-        return true;
-      }
-    }
-    return false;
-  };
+  analysis::Engine& engine = policies_.engine();
+  analysis::Snapshot base = engine.analyze(production);
+  spec::VerificationReport baseline_report = policies_.verify(*base.reachability);
+  std::vector<std::string> baseline = baseline_report.violated_ids();
 
   // 2. Individual policy attribution: a change that introduces a violation
-  //    all by itself is quarantined.
+  //    all by itself is quarantined. One shadow network serves every round
+  //    (and phase 3): each round applies the candidate, delta-verifies only
+  //    the policies over re-traced pairs, and reverts via the undo log.
+  net::Network shadow = production;
+  std::vector<AttributionVerdict> verdicts =
+      attribute_candidates(production, shadow, candidates, base, baseline_report, baseline);
+
   std::vector<cfg::ConfigChange> remainder;
-  for (const cfg::ConfigChange& change : candidates) {
-    net::Network shadow = production;
-    bool replayable = true;
-    try {
-      cfg::apply_change(shadow, change);
-    } catch (const util::Error& error) {
-      audit_event(clock, actor, AuditCategory::Violation,
-                  "quarantined (replay): " + change.summary());
-      report.quarantined.emplace_back(change, std::string("replay: ") + error.what());
-      replayable = false;
-    }
-    if (!replayable) continue;
-    std::string which;
-    if (introduces_new_violation(policies_.verify_network(shadow), &which)) {
-      std::string detail = "policy: " + which;
-      audit_event(clock, actor, AuditCategory::Violation,
-                  "quarantined (" + detail + "): " + change.summary());
-      report.quarantined.emplace_back(change, detail);
-    } else {
-      remainder.push_back(change);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const cfg::ConfigChange& change = candidates[i];
+    switch (verdicts[i].kind) {
+      case AttributionVerdict::Kind::ReplayError:
+        audit_event(clock, actor, AuditCategory::Violation,
+                    "quarantined (replay): " + change.summary());
+        report.quarantined.emplace_back(change, "replay: " + verdicts[i].detail);
+        break;
+      case AttributionVerdict::Kind::PolicyViolation: {
+        std::string detail = "policy: " + verdicts[i].detail;
+        audit_event(clock, actor, AuditCategory::Violation,
+                    "quarantined (" + detail + "): " + change.summary());
+        report.quarantined.emplace_back(change, detail);
+        break;
+      }
+      case AttributionVerdict::Kind::Clean:
+        remainder.push_back(change);
+        break;
     }
   }
 
   // 3. Joint verification of the remainder; combination-only violations
   //    cannot be attributed to one change, so the remainder is rejected.
   if (!remainder.empty()) {
-    net::Network shadow = production;
     bool replay_ok = true;
-    try {
-      cfg::apply_changes(shadow, remainder);
-    } catch (const util::Error& error) {
-      replay_ok = false;
-      audit_event(clock, actor, AuditCategory::Verify,
-                  std::string("remainder rejected (replay): ") + error.what());
+    std::string replay_error;
+    for (const cfg::ConfigChange& change : remainder) {
+      try {
+        cfg::apply_change(shadow, change);
+      } catch (const util::Error& error) {
+        replay_ok = false;
+        replay_error = error.what();
+        break;
+      }
     }
-    if (replay_ok && !introduces_new_violation(policies_.verify_network(shadow), nullptr)) {
+    bool joint_clean = false;
+    if (replay_ok) {
+      analysis::Snapshot joint = engine.analyze(shadow, base, remainder);
+      joint_clean =
+          !introduces_new_violation(policies_.verify_incremental(joint, baseline_report),
+                                    baseline, nullptr);
+    }
+    if (replay_ok && joint_clean) {
       obs::tracer().end(verify_span);
       verify_span = 0;
       obs::ScopedSpan schedule_span("enforcer.schedule", "enforcer");
@@ -180,10 +290,118 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
       }
       audit_event(clock, actor, AuditCategory::Verify,
                   "remainder rejected: combination violates policies");
+    } else {
+      // A remainder that cannot even replay jointly (changes that conflict
+      // with each other, not with production) is quarantined wholesale —
+      // dropping it from the report would make the changes vanish.
+      audit_event(clock, actor, AuditCategory::Verify,
+                  "remainder rejected (replay): " + replay_error);
+      for (const cfg::ConfigChange& change : remainder) {
+        report.quarantined.emplace_back(change, "replay: " + replay_error);
+      }
     }
   }
 
   obs::tracer().end(verify_span);  // still open on the no-apply paths
+  obs::Registry::global().counter("enforcer.changes_applied").add(report.applied_changes.size());
+  obs::Registry::global().counter("enforcer.changes_quarantined").add(report.quarantined.size());
+  span.arg("applied", std::to_string(report.applied_changes.size()));
+  span.arg("quarantined", std::to_string(report.quarantined.size()));
+  audit_event(clock, actor, AuditCategory::Verify,
+              "quarantine round: " + std::to_string(report.applied_changes.size()) +
+                  " applied, " + std::to_string(report.quarantined.size()) + " intercepted");
+  return report;
+}
+
+QuarantineReport PolicyEnforcer::enforce_with_quarantine_reference(
+    net::Network& production, const std::vector<cfg::ConfigChange>& changes,
+    const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor) {
+  obs::ScopedSpan span("enforcer.quarantine_reference", "enforcer",
+                       {{"actor", actor}, {"changes", std::to_string(changes.size())}});
+  QuarantineReport report;
+
+  obs::SpanId verify_span = obs::tracer().begin("enforcer.verify", "enforcer");
+
+  // 1. Privilege compliance per change.
+  std::vector<cfg::ConfigChange> candidates;
+  for (const cfg::ConfigChange& change : changes) {
+    ChangeClassification classification = classify_change(change);
+    priv::Decision decision = privileges.evaluate(classification.action, classification.resource);
+    if (!decision.allowed) {
+      audit_event(clock, actor, AuditCategory::Violation,
+                  "quarantined (privilege): " + change.summary());
+      report.quarantined.emplace_back(change, "privilege: " + decision.reason);
+    } else {
+      candidates.push_back(change);
+    }
+  }
+
+  std::vector<std::string> baseline = policies_.verify_network(production).violated_ids();
+
+  // 2. Individual policy attribution, the expensive way: copy the whole
+  //    production network and run a from-scratch verification per change.
+  std::vector<cfg::ConfigChange> remainder;
+  for (const cfg::ConfigChange& change : candidates) {
+    net::Network shadow = production;
+    bool replayable = true;
+    try {
+      cfg::apply_change(shadow, change);
+    } catch (const util::Error& error) {
+      audit_event(clock, actor, AuditCategory::Violation,
+                  "quarantined (replay): " + change.summary());
+      report.quarantined.emplace_back(change, std::string("replay: ") + error.what());
+      replayable = false;
+    }
+    if (!replayable) continue;
+    std::string which;
+    if (introduces_new_violation(policies_.verify_network(shadow), baseline, &which)) {
+      std::string detail = "policy: " + which;
+      audit_event(clock, actor, AuditCategory::Violation,
+                  "quarantined (" + detail + "): " + change.summary());
+      report.quarantined.emplace_back(change, detail);
+    } else {
+      remainder.push_back(change);
+    }
+  }
+
+  // 3. Joint verification of the remainder.
+  if (!remainder.empty()) {
+    net::Network shadow = production;
+    bool replay_ok = true;
+    std::string replay_error;
+    try {
+      cfg::apply_changes(shadow, remainder);
+    } catch (const util::Error& error) {
+      replay_ok = false;
+      replay_error = error.what();
+    }
+    if (replay_ok &&
+        !introduces_new_violation(policies_.verify_network(shadow), baseline, nullptr)) {
+      obs::tracer().end(verify_span);
+      verify_span = 0;
+      obs::ScopedSpan schedule_span("enforcer.schedule", "enforcer");
+      for (const cfg::ConfigChange& change : schedule_changes(remainder)) {
+        cfg::apply_change(production, change);
+        audit_event(clock, actor, AuditCategory::Schedule, "applied: " + change.summary());
+        report.applied_changes.push_back(change);
+      }
+      report.applied_any = true;
+    } else if (replay_ok) {
+      for (const cfg::ConfigChange& change : remainder) {
+        report.quarantined.emplace_back(change, "combination violates policies");
+      }
+      audit_event(clock, actor, AuditCategory::Verify,
+                  "remainder rejected: combination violates policies");
+    } else {
+      audit_event(clock, actor, AuditCategory::Verify,
+                  "remainder rejected (replay): " + replay_error);
+      for (const cfg::ConfigChange& change : remainder) {
+        report.quarantined.emplace_back(change, "replay: " + replay_error);
+      }
+    }
+  }
+
+  obs::tracer().end(verify_span);
   obs::Registry::global().counter("enforcer.changes_applied").add(report.applied_changes.size());
   obs::Registry::global().counter("enforcer.changes_quarantined").add(report.quarantined.size());
   span.arg("applied", std::to_string(report.applied_changes.size()));
@@ -249,7 +467,18 @@ bool PolicyEnforcer::audit_intact() const {
   if (!unsealed) return false;
   auto separator = unsealed->find('|');
   if (separator == std::string::npos) return false;
-  return unsealed->substr(0, separator) == util::to_hex(audit_.head());
+  if (unsealed->substr(0, separator) != util::to_hex(audit_.head())) return false;
+  // Rollback protection: a stale sealed blob together with its matching
+  // truncated log passes the hash comparison above; only the monotonic
+  // counter — which the enclave bumps on every reseal and which cannot be
+  // rewound — distinguishes the current head from an old one.
+  const char* first = unsealed->data() + separator + 1;
+  const char* last = unsealed->data() + unsealed->size();
+  if (first == last) return false;
+  std::uint64_t sealed_counter = 0;
+  auto [ptr, ec] = std::from_chars(first, last, sealed_counter);
+  if (ec != std::errc() || ptr != last) return false;
+  return sealed_counter == enclave_.counter();
 }
 
 }  // namespace heimdall::enforce

@@ -4,6 +4,7 @@
 // trail whose head is sealed inside the (simulated) SGX enclave.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "twin/console.hpp"
 #include "twin/emulation.hpp"
 #include "util/clock.hpp"
+#include "util/thread_pool.hpp"
 
 namespace heimdall::enforce {
 
@@ -45,11 +47,20 @@ struct EmergencyResult {
   std::vector<std::string> rejection_reasons;
 };
 
+/// Tuning knobs for the enforcement hot path.
+struct EnforcerOptions {
+  /// Worker threads for per-change quarantine attribution (each round is
+  /// independent: apply one candidate, verify, revert); <= 1 keeps the
+  /// attribution sequential on a single shadow network.
+  std::size_t attribution_threads = 1;
+};
+
 class PolicyEnforcer {
  public:
   /// `policies` are the mined network policies the enterprise pins;
   /// `technician`/`enclave` identities feed attestation and audit records.
-  PolicyEnforcer(spec::PolicyVerifier policies, SimulatedEnclave enclave);
+  PolicyEnforcer(spec::PolicyVerifier policies, SimulatedEnclave enclave,
+                 EnforcerOptions options = {});
 
   const spec::PolicyVerifier& policies() const { return policies_; }
 
@@ -71,6 +82,15 @@ class PolicyEnforcer {
                                            const std::vector<cfg::ConfigChange>& changes,
                                            const priv::PrivilegeSpec& privileges,
                                            util::VirtualClock& clock, const std::string& actor);
+
+  /// Copy-per-change reference implementation of enforce_with_quarantine:
+  /// a fresh shadow network and a from-scratch verification per candidate.
+  /// Kept in-tree as the correctness oracle — the incremental pipeline must
+  /// produce a bit-identical QuarantineReport (property-tested) — and as
+  /// the baseline the ablation benchmarks compare against.
+  QuarantineReport enforce_with_quarantine_reference(
+      net::Network& production, const std::vector<cfg::ConfigChange>& changes,
+      const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor);
 
   /// Emergency mode (paper §7): a command bypasses the twin but still goes
   /// through privilege mediation and post-state verification before touching
@@ -95,11 +115,24 @@ class PolicyEnforcer {
 
   const SimulatedEnclave& enclave() const { return enclave_; }
 
+  // TAMPERING HOOKS (tests only): let rollback/truncation tests swap in a
+  // stale log + sealed-head pair the way an attacker with disk access would.
+  AuditLog& mutable_audit_for_test() { return audit_; }
+  SealedBlob& mutable_sealed_head_for_test() { return sealed_head_; }
+
  private:
+  struct AttributionVerdict;
+
   void reseal_head();
+  std::vector<AttributionVerdict> attribute_candidates(
+      const net::Network& production, net::Network& shadow,
+      const std::vector<cfg::ConfigChange>& candidates, const analysis::Snapshot& base,
+      const spec::VerificationReport& baseline_report, const std::vector<std::string>& baseline);
 
   spec::PolicyVerifier policies_;
   SimulatedEnclave enclave_;
+  EnforcerOptions options_;
+  std::unique_ptr<util::ThreadPool> attribution_pool_;
   AuditLog audit_;
   SealedBlob sealed_head_;
 };

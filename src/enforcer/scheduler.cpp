@@ -105,20 +105,71 @@ std::vector<ConfigChange> schedule_changes(const std::vector<ConfigChange>& chan
   return out;
 }
 
+namespace {
+
+/// Marker recorded for steps after a replay failure: the shadow is no
+/// longer a state the production network would ever pass through, so
+/// checking (or applying) further steps against it misattributes
+/// violations.
+constexpr const char* kUncheckedAfterReplayError = "unchecked: aborted after replay error";
+
+}  // namespace
+
 SchedulePlan check_plan_order(const net::Network& production,
                               const std::vector<ConfigChange>& ordered,
                               const spec::PolicyVerifier& invariants) {
   SchedulePlan plan;
+  if (ordered.empty()) return plan;
   net::Network shadow = production;
+  analysis::Engine& engine = invariants.engine();
+  analysis::Snapshot snapshot = engine.analyze(production);
+  spec::VerificationReport last_report = invariants.verify(*snapshot.reachability);
+  bool aborted = false;
   for (const ConfigChange& change : ordered) {
     ScheduledStep step;
     step.change = change;
+    if (aborted) {
+      step.transient_violations.push_back(kUncheckedAfterReplayError);
+      plan.steps.push_back(std::move(step));
+      continue;
+    }
+    try {
+      cfg::apply_change(shadow, change);
+      analysis::Snapshot next = engine.analyze(shadow, snapshot, {change});
+      spec::VerificationReport report = invariants.verify_incremental(next, last_report);
+      step.transient_violations = report.violated_ids();
+      snapshot = std::move(next);
+      last_report = std::move(report);
+    } catch (const util::Error& error) {
+      step.transient_violations.push_back(std::string("replay-error: ") + error.what());
+      aborted = true;
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+SchedulePlan check_plan_order_reference(const net::Network& production,
+                                        const std::vector<ConfigChange>& ordered,
+                                        const spec::PolicyVerifier& invariants) {
+  SchedulePlan plan;
+  net::Network shadow = production;
+  bool aborted = false;
+  for (const ConfigChange& change : ordered) {
+    ScheduledStep step;
+    step.change = change;
+    if (aborted) {
+      step.transient_violations.push_back(kUncheckedAfterReplayError);
+      plan.steps.push_back(std::move(step));
+      continue;
+    }
     try {
       cfg::apply_change(shadow, change);
       spec::VerificationReport report = invariants.verify_network(shadow);
       step.transient_violations = report.violated_ids();
     } catch (const util::Error& error) {
       step.transient_violations.push_back(std::string("replay-error: ") + error.what());
+      aborted = true;
     }
     plan.steps.push_back(std::move(step));
   }

@@ -58,9 +58,22 @@ SchedulePlan build_plan(const net::Network& production,
                         const spec::PolicyVerifier& invariants, bool check_transients);
 
 /// Same stepwise check over an arbitrary (e.g. unscheduled) order; used by
-/// the ablation bench to quantify what ordering buys.
+/// the ablation bench to quantify what ordering buys. Steps are verified
+/// incrementally: each step's analysis chains off the previous snapshot and
+/// only policies over re-traced pairs are re-checked. When a step fails to
+/// replay, checking aborts — the step records the replay error and every
+/// subsequent step is marked unchecked (the shadow no longer represents any
+/// reachable intermediate state).
 SchedulePlan check_plan_order(const net::Network& production,
                               const std::vector<cfg::ConfigChange>& ordered,
                               const spec::PolicyVerifier& invariants);
+
+/// Copy-based reference implementation of check_plan_order: a from-scratch
+/// verify_network per step. Kept in-tree as the correctness oracle — the
+/// incremental path must produce a bit-identical SchedulePlan — and as the
+/// ablation benchmarks' baseline.
+SchedulePlan check_plan_order_reference(const net::Network& production,
+                                        const std::vector<cfg::ConfigChange>& ordered,
+                                        const spec::PolicyVerifier& invariants);
 
 }  // namespace heimdall::enforce

@@ -5,6 +5,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/clock.hpp"
+#include "util/error.hpp"
 
 namespace heimdall::spec {
 
@@ -19,43 +20,109 @@ std::vector<std::string> VerificationReport::violated_ids() const {
 }
 
 PolicyVerifier::PolicyVerifier(std::vector<Policy> policies)
-    : policies_(std::move(policies)), engine_(std::make_shared<analysis::Engine>()) {}
+    : PolicyVerifier(std::move(policies), analysis::Options{}) {}
+
+PolicyVerifier::PolicyVerifier(std::vector<Policy> policies, analysis::Options engine_options)
+    : policies_(std::move(policies)),
+      engine_(std::make_shared<analysis::Engine>(engine_options)) {
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    pair_index_[{policies_[i].src, policies_[i].dst}].push_back(i);
+  }
+}
+
+void PolicyVerifier::check_policy(const Policy& policy, const dp::ReachabilityMatrix& matrix,
+                                  VerificationReport& report) const {
+  // Policies whose endpoints are absent from this (possibly sliced)
+  // network cannot be evaluated here; the enforcer always verifies on the
+  // full production shadow where every endpoint exists.
+  if (!matrix.has_pair(policy.src, policy.dst)) return;
+  ++report.checked;
+  const dp::PairReachability& pair = matrix.pair(policy.src, policy.dst);
+  switch (policy.type) {
+    case PolicyType::Reachability:
+      if (!pair.reachable()) {
+        report.violations.push_back(
+            {policy, "unreachable: " + dp::to_string(pair.disposition)});
+      }
+      break;
+    case PolicyType::Isolation:
+      if (pair.reachable()) {
+        report.violations.push_back({policy, "traffic now delivered"});
+      }
+      break;
+    case PolicyType::Waypoint:
+      if (!pair.reachable()) {
+        report.violations.push_back(
+            {policy, "unreachable: " + dp::to_string(pair.disposition)});
+      } else if (std::find(pair.path.begin(), pair.path.end(), policy.waypoint) ==
+                 pair.path.end()) {
+        report.violations.push_back({policy, "path bypasses " + policy.waypoint.str()});
+      }
+      break;
+  }
+}
 
 VerificationReport PolicyVerifier::verify(const dp::ReachabilityMatrix& matrix) const {
   obs::ScopedSpan span("spec.verify", "spec",
                        {{"policies", std::to_string(policies_.size())}});
   VerificationReport report;
-  for (const Policy& policy : policies_) {
-    // Policies whose endpoints are absent from this (possibly sliced)
-    // network cannot be evaluated here; the enforcer always verifies on the
-    // full production shadow where every endpoint exists.
-    if (!matrix.has_pair(policy.src, policy.dst)) continue;
-    ++report.checked;
-    const dp::PairReachability& pair = matrix.pair(policy.src, policy.dst);
-    switch (policy.type) {
-      case PolicyType::Reachability:
-        if (!pair.reachable()) {
-          report.violations.push_back(
-              {policy, "unreachable: " + dp::to_string(pair.disposition)});
-        }
-        break;
-      case PolicyType::Isolation:
-        if (pair.reachable()) {
-          report.violations.push_back({policy, "traffic now delivered"});
-        }
-        break;
-      case PolicyType::Waypoint:
-        if (!pair.reachable()) {
-          report.violations.push_back(
-              {policy, "unreachable: " + dp::to_string(pair.disposition)});
-        } else if (std::find(pair.path.begin(), pair.path.end(), policy.waypoint) ==
-                   pair.path.end()) {
-          report.violations.push_back({policy, "path bypasses " + policy.waypoint.str()});
-        }
-        break;
+  for (const Policy& policy : policies_) check_policy(policy, matrix, report);
+  obs::Registry::global().counter("spec.policies_checked").add(report.checked);
+  if (!report.violations.empty()) {
+    obs::Registry::global().counter("spec.violations").add(report.violations.size());
+    span.arg("violations", std::to_string(report.violations.size()));
+  }
+  return report;
+}
+
+VerificationReport PolicyVerifier::verify_incremental(const analysis::Snapshot& snapshot,
+                                                      const VerificationReport& base_report) const {
+  util::require(snapshot.reachability != nullptr,
+                "verify_incremental: snapshot has no reachability matrix");
+  if (!snapshot.retraced_pairs) return verify(*snapshot.reachability);
+
+  const dp::ReachabilityMatrix& matrix = *snapshot.reachability;
+  obs::ScopedSpan span("spec.verify_delta", "spec",
+                       {{"retraced_pairs", std::to_string(snapshot.retraced_pairs->size())}});
+
+  // Mark the policies whose matrix cell was recomputed; everything else
+  // provably kept its verdict (the cell is bit-identical to the base).
+  std::vector<char> recheck(policies_.size(), 0);
+  std::size_t recheck_count = 0;
+  for (std::size_t pair_idx : *snapshot.retraced_pairs) {
+    const dp::PairReachability& pair = matrix.pairs()[pair_idx];
+    auto it = pair_index_.find({pair.src, pair.dst});
+    if (it == pair_index_.end()) continue;
+    for (std::size_t policy_idx : it->second) {
+      if (!recheck[policy_idx]) {
+        recheck[policy_idx] = 1;
+        ++recheck_count;
+      }
+    }
+  }
+
+  // Waypoint policies also read the recorded *path*, but a pair whose path
+  // changed is by definition retraced, so the cell test above covers them.
+  VerificationReport report;
+  std::size_t cursor = 0;  // walks base_report.violations (in policy order)
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    const Policy& policy = policies_[i];
+    const bool was_violated = cursor < base_report.violations.size() &&
+                              base_report.violations[cursor].policy == policy;
+    if (recheck[i]) {
+      if (was_violated) ++cursor;
+      check_policy(policy, matrix, report);
+    } else {
+      if (!matrix.has_pair(policy.src, policy.dst)) continue;
+      ++report.checked;
+      if (was_violated) {
+        report.violations.push_back(base_report.violations[cursor]);
+        ++cursor;
+      }
     }
   }
   obs::Registry::global().counter("spec.policies_checked").add(report.checked);
+  obs::Registry::global().counter("spec.policies_rechecked").add(recheck_count);
   if (!report.violations.empty()) {
     obs::Registry::global().counter("spec.violations").add(report.violations.size());
     span.arg("violations", std::to_string(report.violations.size()));

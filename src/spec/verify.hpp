@@ -10,8 +10,10 @@
 //                           ablation_verification.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/engine.hpp"
@@ -42,10 +44,26 @@ class PolicyVerifier {
  public:
   explicit PolicyVerifier(std::vector<Policy> policies);
 
+  /// Same, but with explicit engine tuning (benchmarks disable the memo
+  /// cache this way to measure honest recompute cost).
+  PolicyVerifier(std::vector<Policy> policies, analysis::Options engine_options);
+
   const std::vector<Policy>& policies() const { return policies_; }
 
   /// Checks every policy against a precomputed matrix.
   VerificationReport verify(const dp::ReachabilityMatrix& matrix) const;
+
+  /// Delta verification: re-checks only the policies whose (src,dst) matrix
+  /// cell is in `snapshot.retraced_pairs` and splices every other verdict
+  /// from `base_report`. Produces a report identical to
+  /// verify(*snapshot.reachability).
+  ///
+  /// Contract: `base_report` must be this verifier's verify() result for
+  /// the base matrix that `snapshot` was incrementally derived from. When
+  /// the snapshot has no retraced set (full recompute / memo hit) this
+  /// falls back to a full verify().
+  VerificationReport verify_incremental(const analysis::Snapshot& snapshot,
+                                        const VerificationReport& base_report) const;
 
   /// Analyzes `network` (dataplane + matrix) through the verifier's
   /// analysis engine, then checks. Repeated calls on an unchanged network
@@ -57,7 +75,13 @@ class PolicyVerifier {
   analysis::Engine& engine() const { return *engine_; }
 
  private:
+  void check_policy(const Policy& policy, const dp::ReachabilityMatrix& matrix,
+                    VerificationReport& report) const;
+
   std::vector<Policy> policies_;
+  /// (src,dst) -> indices into policies_ reading that matrix cell; lets a
+  /// delta verification touch only policies over recomputed pairs.
+  std::map<std::pair<net::DeviceId, net::DeviceId>, std::vector<std::size_t>> pair_index_;
   std::shared_ptr<analysis::Engine> engine_;
 };
 

@@ -336,5 +336,122 @@ TEST(Diff, SecretChangesCarryNoValues) {
   EXPECT_EQ(changes[0].summary().find("super-secret"), std::string::npos);
 }
 
+// ------------------------------------------------------------------ invert --
+
+/// apply(change); apply(invert_change(pre, change)) must restore `base`
+/// bit-for-bit (operator== covers every field including vector order).
+void expect_invert_round_trip(const Network& base, const ConfigChange& change) {
+  Network network = base;
+  ConfigChange inverse = invert_change(network, change);
+  apply_change(network, change);
+  apply_change(network, inverse);
+  EXPECT_EQ(network, base) << "round trip failed for: " << change.summary();
+}
+
+TEST(Invert, RoundTripsEveryChangeKind) {
+  Network base = scen::build_enterprise();
+  // Give r1 two static routes so positional restore is observable.
+  StaticRoute route_a;
+  route_a.prefix = Ipv4Prefix::parse("192.0.2.0/24");
+  route_a.next_hop = Ipv4Address::parse("10.1.12.2");
+  StaticRoute route_b;
+  route_b.prefix = Ipv4Prefix::parse("198.51.100.0/24");
+  route_b.next_hop = Ipv4Address::parse("10.1.12.2");
+  base.device(DeviceId("r1")).static_routes() = {route_a, route_b};
+  StaticRoute route_new;
+  route_new.prefix = Ipv4Prefix::parse("203.0.113.0/24");
+  route_new.next_hop = Ipv4Address::parse("10.1.12.2");
+
+  const DeviceId r1("r1"), r6("r6"), r7("r7"), r9("r9");
+  AclEntry permit = parse_acl_entry("permit ip 10.0.10.0 0.0.0.255 10.0.7.0 0.0.0.255");
+  const Acl& dmz_in = *base.device(r9).find_acl("DMZ_IN");
+  Acl fresh;
+  fresh.name = "TMP";
+  fresh.entries.push_back(permit);
+  const auto& r6_ospf_networks = base.device(r6).ospf()->networks;
+  ASSERT_GE(r6_ospf_networks.size(), 2u);
+
+  std::vector<ConfigChange> cases = {
+      {r6, InterfaceAdminChange{InterfaceId("Gi0/0"), false, true}},
+      {r6, OspfCostChange{InterfaceId("Gi0/0"),
+                          base.device(r6).interface(InterfaceId("Gi0/0")).ospf_cost, 42u}},
+      {r7, SwitchportChange{InterfaceId("Fa0/1"), SwitchportMode::Access,
+                            SwitchportMode::Access, 10, 20, {}, {}}},
+      {r9, InterfaceAclBindingChange{InterfaceId("Gi0/0"), AclDirection::In, "DMZ_IN", ""}},
+      {r9, AclEntryAdd{"DMZ_IN", 0, permit}},
+      {r9, AclEntryAdd{"DMZ_IN", 99, permit}},  // clamped append
+      {r9, AclEntryRemove{"DMZ_IN", 0, dmz_in.entries.front()}},
+      {r9, AclCreate{fresh, std::nullopt}},
+      {r9, AclDelete{"DMZ_IN"}},
+      {r1, StaticRouteAdd{route_new, std::nullopt}},  // duplicate-free append
+      {r1, StaticRouteRemove{route_a}},             // restores at position 0
+      {r6, OspfNetworkAdd{OspfNetwork{Ipv4Prefix::parse("203.0.113.0/24"), 0}, std::nullopt}},
+      {r6, OspfNetworkRemove{r6_ospf_networks.front(), std::nullopt}},  // middle restore
+      {r6, OspfProcessChange{base.device(r6).ospf(), std::nullopt}},
+      {r7, VlanDeclare{999, std::nullopt}},
+      {r7, VlanRemove{10}},  // first of {10, 20}: restores position 0
+      {r6, SecretChange{"enable_password", false}},
+  };
+  for (const ConfigChange& change : cases) expect_invert_round_trip(base, change);
+}
+
+TEST(Invert, InverseOfInverseIsOriginalSequence) {
+  // Applying a whole changeset then the inverses in reverse order restores
+  // the network exactly (the enforcer's undo-log replay depends on this).
+  Network base = scen::build_enterprise();
+  AclEntry permit = parse_acl_entry("permit ip 10.0.10.0 0.0.0.255 10.0.7.0 0.0.0.255");
+  std::vector<ConfigChange> session = {
+      {DeviceId("r9"), AclEntryAdd{"DMZ_IN", 0, permit}},
+      {DeviceId("r6"), OspfCostChange{InterfaceId("Gi0/0"),
+                                      base.device(DeviceId("r6"))
+                                          .interface(InterfaceId("Gi0/0"))
+                                          .ospf_cost,
+                                      7u}},
+      {DeviceId("r7"), VlanDeclare{777, std::nullopt}},
+      {DeviceId("r6"), SecretChange{"snmp_community", false}},
+  };
+  Network network = base;
+  std::vector<ConfigChange> undo;
+  for (const ConfigChange& change : session) {
+    undo.push_back(invert_change(network, change));
+    apply_change(network, change);
+  }
+  EXPECT_NE(network, base);
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) apply_change(network, *it);
+  EXPECT_EQ(network, base);
+}
+
+TEST(Invert, ThrowsWhenChangeCannotApply) {
+  Network network = scen::build_enterprise();
+  // Unknown device.
+  EXPECT_THROW(invert_change(network, {DeviceId("ghost"), VlanDeclare{10, std::nullopt}}),
+               util::NotFoundError);
+  // Removing an absent static route has no inverse.
+  StaticRoute absent;
+  absent.prefix = Ipv4Prefix::parse("203.0.113.0/24");
+  absent.next_hop = Ipv4Address::parse("10.1.1.1");
+  EXPECT_THROW(invert_change(network, {DeviceId("r1"), StaticRouteRemove{absent}}),
+               util::InvariantError);
+  // Unknown ACL.
+  AclEntry entry = parse_acl_entry("deny ip any any");
+  EXPECT_THROW(invert_change(network, {DeviceId("r1"), AclEntryAdd{"NOPE", 0, entry}}),
+               util::NotFoundError);
+  // Reverting a secret that was never rotated.
+  EXPECT_THROW(
+      apply_change(network, {DeviceId("r6"), SecretChange{"enable_password", true}}),
+      util::InvariantError);
+}
+
+TEST(Invert, SecretRevertPopsOneRotation) {
+  Network network = scen::build_enterprise();
+  std::string original = network.device(DeviceId("r6")).secrets().enable_password;
+  ConfigChange rotate{DeviceId("r6"), SecretChange{"enable_password", false}};
+  ConfigChange inverse = invert_change(network, rotate);
+  apply_change(network, rotate);
+  EXPECT_EQ(network.device(DeviceId("r6")).secrets().enable_password, original + "*");
+  apply_change(network, inverse);
+  EXPECT_EQ(network.device(DeviceId("r6")).secrets().enable_password, original);
+}
+
 }  // namespace
 }  // namespace heimdall::cfg

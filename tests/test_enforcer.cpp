@@ -163,6 +163,36 @@ TEST(Audit, JsonRoundTripReVerifies) {
   EXPECT_FALSE(tampered.verify_chain());
 }
 
+TEST(Audit, JsonRoundTripPreservesLargeIntegers) {
+  // seq and t_ms are 64-bit; a double-backed JSON number silently rounds
+  // values above 2^53, which breaks the hash chain on re-import. The export
+  // must round-trip them losslessly.
+  AuditLog log;
+  log.append(0, "tech", AuditCategory::Command, "big");
+  constexpr std::uint64_t kBigSeq = (1ULL << 53) + 3;   // rounds to 2^53+4 as a double
+  constexpr std::int64_t kBigTime = (1LL << 53) + 1;
+  log.mutable_entries_for_test()[0].sequence = kBigSeq;
+  log.mutable_entries_for_test()[0].timestamp_ms = kBigTime;
+
+  AuditLog reloaded = AuditLog::from_json(util::Json::parse(log.to_json().dump()));
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.mutable_entries_for_test()[0].sequence, kBigSeq);
+  EXPECT_EQ(reloaded.mutable_entries_for_test()[0].timestamp_ms, kBigTime);
+}
+
+TEST(Audit, FromJsonAcceptsLegacyNumericFields) {
+  // Older exports wrote seq/t_ms as JSON numbers; they must still load.
+  std::string zeros(64, '0');
+  util::Json document = util::Json::parse(
+      R"({"audit_log":[{"seq":4,"t_ms":-25,"actor":"a","category":"command",
+          "message":"m","prev":")" +
+      zeros + R"(","hash":")" + zeros + R"("}]})");
+  AuditLog log = AuditLog::from_json(document);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.mutable_entries_for_test()[0].sequence, 4u);
+  EXPECT_EQ(log.mutable_entries_for_test()[0].timestamp_ms, -25);
+}
+
 TEST(Audit, FromJsonRejectsMalformed) {
   EXPECT_THROW(AuditLog::from_json(util::Json::parse(R"({"audit_log":[{"seq":0}]})")),
                util::ParseError);
@@ -171,6 +201,13 @@ TEST(Audit, FromJsonRejectsMalformed) {
                        "message":"m","prev":"00","hash":"00"}]})")),
                util::ParseError);
   EXPECT_THROW(AuditLog::from_json(util::Json::parse(R"({"wrong":[]})")), util::ParseError);
+  // String-encoded integers must be fully numeric.
+  std::string zeros(64, '0');
+  EXPECT_THROW(AuditLog::from_json(util::Json::parse(
+                   R"({"audit_log":[{"seq":"12x","t_ms":"0","actor":"a","category":"command",
+                       "message":"m","prev":")" +
+                   zeros + R"(","hash":")" + zeros + R"("}]})")),
+               util::ParseError);
 }
 
 // ----------------------------------------------------------------- enclave --
@@ -456,6 +493,145 @@ TEST(Enforcer, EmergencyModeVerifiesBeforeApply) {
   EmergencyResult denied = enforcer.emergency_execute(fixture.production, "reboot r1", none,
                                                       clock, "rogue");
   EXPECT_FALSE(denied.permitted);
+}
+
+TEST(Enforcer, AuditRollbackDetected) {
+  // An attacker with disk access can restore an *older* log together with
+  // its matching sealed head — both internally consistent. Only the
+  // enclave's monotonic counter exposes the rollback.
+  EnforcerFixture fixture;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  enforcer.audit_event(clock, "tech", AuditCategory::Session, "epoch 1");
+  AuditLog stale_log = enforcer.audit();
+  SealedBlob stale_head = enforcer.mutable_sealed_head_for_test();
+
+  enforcer.audit_event(clock, "tech", AuditCategory::Command, "epoch 2");
+  ASSERT_TRUE(enforcer.audit_intact());
+
+  enforcer.mutable_audit_for_test() = stale_log;
+  enforcer.mutable_sealed_head_for_test() = stale_head;
+  // The stale pair still chains and matches its own sealed hash, but the
+  // sealed counter lags the enclave's.
+  EXPECT_TRUE(enforcer.audit().verify_chain());
+  EXPECT_FALSE(enforcer.audit_intact());
+}
+
+TEST(Scheduler, PlanCheckStopsAfterReplayError) {
+  // Once a step fails to replay, the shadow no longer represents any state
+  // production would pass through; later steps must not be applied or
+  // checked against it.
+  EnforcerFixture fixture;
+  std::vector<ConfigChange> ordered = {
+      {DeviceId("r6"), cfg::OspfCostChange{InterfaceId("Gi0/0"), std::nullopt, 42u}},
+      {DeviceId("r7"), cfg::VlanRemove{3999}},  // never declared: replay fails
+      {DeviceId("r6"), cfg::OspfCostChange{InterfaceId("Gi0/1"), std::nullopt, 7u}},
+  };
+  SchedulePlan plan = check_plan_order(fixture.production, ordered, fixture.policies);
+  ASSERT_EQ(plan.steps.size(), 3u);
+  ASSERT_EQ(plan.steps[1].transient_violations.size(), 1u);
+  EXPECT_EQ(plan.steps[1].transient_violations[0].rfind("replay-error: ", 0), 0u);
+  ASSERT_EQ(plan.steps[2].transient_violations.size(), 1u);
+  EXPECT_EQ(plan.steps[2].transient_violations[0], "unchecked: aborted after replay error");
+
+  spec::PolicyVerifier oracle_policies{scen::enterprise_policies(fixture.production)};
+  SchedulePlan reference =
+      check_plan_order_reference(fixture.production, ordered, oracle_policies);
+  ASSERT_EQ(reference.steps.size(), plan.steps.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(plan.steps[i].change, reference.steps[i].change) << "step " << i;
+    EXPECT_EQ(plan.steps[i].transient_violations, reference.steps[i].transient_violations)
+        << "step " << i;
+  }
+}
+
+void expect_reports_equal(const QuarantineReport& incremental,
+                          const QuarantineReport& reference) {
+  EXPECT_EQ(incremental.applied_changes, reference.applied_changes);
+  ASSERT_EQ(incremental.quarantined.size(), reference.quarantined.size());
+  for (std::size_t i = 0; i < incremental.quarantined.size(); ++i) {
+    EXPECT_EQ(incremental.quarantined[i].first, reference.quarantined[i].first) << i;
+    EXPECT_EQ(incremental.quarantined[i].second, reference.quarantined[i].second) << i;
+  }
+  EXPECT_EQ(incremental.applied_any, reference.applied_any);
+}
+
+TEST(Quarantine, ReplayFailureQuarantinesRemainder) {
+  // Two identical VLAN declarations: each is clean in isolation, but the
+  // joint replay fails on the duplicate. The remainder must land in the
+  // quarantine list with a replay reason — not silently vanish.
+  EnforcerFixture fixture;
+  std::vector<ConfigChange> session = {
+      {DeviceId("r7"), cfg::VlanDeclare{99}},
+      {DeviceId("r7"), cfg::VlanDeclare{99}},
+  };
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  Network pristine = fixture.production;
+  QuarantineReport report =
+      enforcer.enforce_with_quarantine(fixture.production, session, fixture.root, clock, "tech");
+
+  EXPECT_FALSE(report.applied_any);
+  EXPECT_TRUE(report.applied_changes.empty());
+  ASSERT_EQ(report.quarantined.size(), 2u);
+  for (const auto& entry : report.quarantined) {
+    EXPECT_EQ(entry.second.rfind("replay: ", 0), 0u) << entry.second;
+  }
+  EXPECT_EQ(fixture.production, pristine);
+
+  // The copy-based oracle reports the same outcome.
+  EnforcerFixture oracle;
+  PolicyEnforcer reference(oracle.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock oracle_clock;
+  QuarantineReport oracle_report = reference.enforce_with_quarantine_reference(
+      oracle.production, session, oracle.root, oracle_clock, "tech");
+  expect_reports_equal(report, oracle_report);
+}
+
+TEST(Quarantine, IncrementalMatchesReferenceOracle) {
+  // The broken-production scenario from AppliesLegitimateInterceptsMalicious,
+  // run through both pipelines: reports and resulting networks must be
+  // identical, sequentially and with parallel attribution.
+  auto make_production = [] {
+    Network production = scen::build_enterprise();
+    AclEntry bogus;
+    bogus.action = AclEntry::Action::Deny;
+    bogus.src = Ipv4Prefix::parse("10.0.10.0/24");
+    bogus.dst = Ipv4Prefix::parse("10.0.7.0/24");
+    auto& entries = production.device(DeviceId("r9")).find_acl("DMZ_IN")->entries;
+    entries.insert(entries.begin(), bogus);
+    return production;
+  };
+  AclEntry malicious;
+  malicious.action = AclEntry::Action::Permit;
+  malicious.src = Ipv4Prefix::parse("10.0.20.0/24");
+  malicious.dst = Ipv4Prefix::parse("10.0.8.0/24");
+  AclEntry bogus = make_production().device(DeviceId("r9")).find_acl("DMZ_IN")->entries[0];
+  std::vector<ConfigChange> session = {
+      {DeviceId("r9"), cfg::AclEntryAdd{"DMZ_IN", 0, malicious}},
+      {DeviceId("r9"), cfg::AclEntryRemove{"DMZ_IN", 1, bogus}},
+  };
+  auto policies = scen::enterprise_policies(scen::build_enterprise());
+  priv::PrivilegeSpec root;
+  root.allow(priv::all_actions(), priv::Resource{"*", priv::ObjectKind::Device, ""});
+
+  Network reference_net = make_production();
+  PolicyEnforcer reference(spec::PolicyVerifier(policies), SimulatedEnclave("v1", "hw"));
+  util::VirtualClock reference_clock;
+  QuarantineReport reference_report = reference.enforce_with_quarantine_reference(
+      reference_net, session, root, reference_clock, "tech");
+  ASSERT_EQ(reference_report.quarantined.size(), 1u);  // scenario sanity
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    Network incremental_net = make_production();
+    PolicyEnforcer incremental(spec::PolicyVerifier(policies), SimulatedEnclave("v1", "hw"),
+                               EnforcerOptions{threads});
+    util::VirtualClock clock;
+    QuarantineReport report =
+        incremental.enforce_with_quarantine(incremental_net, session, root, clock, "tech");
+    expect_reports_equal(report, reference_report);
+    EXPECT_EQ(incremental_net, reference_net) << "threads=" << threads;
+  }
 }
 
 TEST(Quarantine, AppliesLegitimateInterceptsMalicious) {

@@ -10,9 +10,13 @@
 #include "config/serialize.hpp"
 #include "dataplane/reachability.hpp"
 #include "enforcer/audit.hpp"
+#include "enforcer/enforcer.hpp"
 #include "enforcer/scheduler.hpp"
 #include "privilege/generator.hpp"
 #include "scenarios/builder.hpp"
+#include "scenarios/enterprise.hpp"
+#include "scenarios/university.hpp"
+#include "spec/mine.hpp"
 #include "twin/console.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -349,6 +353,123 @@ TEST_P(PropertyTest, JsonParserNeverCrashesOnMutatedInput) {
     } catch (const util::ParseError&) {
       // expected
     }
+  }
+}
+
+TEST_P(PropertyTest, InvertUnwindsRandomChangesets) {
+  // The enforcer's undo-log replay depends on apply(c); apply(invert(c))
+  // being an exact identity, including vector positions.
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    Network base = random_tree_network(rng, static_cast<int>(rng.next_in(3, 8)));
+    Network target = base;
+    int mutations = static_cast<int>(rng.next_in(2, 9));
+    for (int i = 0; i < mutations; ++i) random_mutation(rng, target);
+
+    Network working = base;
+    std::vector<cfg::ConfigChange> undo;
+    for (const cfg::ConfigChange& change : cfg::diff_networks(base, target)) {
+      undo.push_back(cfg::invert_change(working, change));
+      cfg::apply_change(working, change);
+    }
+    EXPECT_EQ(working, target) << "seed=" << GetParam() << " round=" << round;
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) cfg::apply_change(working, *it);
+    EXPECT_EQ(working, base) << "seed=" << GetParam() << " round=" << round;
+  }
+}
+
+/// Runs a session through the incremental quarantine pipeline (sequential
+/// and parallel attribution) and the copy-based reference; reports and final
+/// networks must be identical.
+void expect_quarantine_equivalence(const Network& production,
+                                   const std::vector<spec::Policy>& policies,
+                                   const std::vector<cfg::ConfigChange>& session) {
+  priv::PrivilegeSpec root;
+  root.allow(priv::all_actions(), priv::Resource{"*", priv::ObjectKind::Device, ""});
+
+  Network reference_net = production;
+  enforce::PolicyEnforcer reference(spec::PolicyVerifier(policies),
+                                    enforce::SimulatedEnclave("v1", "hw"));
+  util::VirtualClock reference_clock;
+  enforce::QuarantineReport reference_report = reference.enforce_with_quarantine_reference(
+      reference_net, session, root, reference_clock, "tech");
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    Network incremental_net = production;
+    enforce::PolicyEnforcer incremental(spec::PolicyVerifier(policies),
+                                        enforce::SimulatedEnclave("v1", "hw"),
+                                        enforce::EnforcerOptions{threads});
+    util::VirtualClock clock;
+    enforce::QuarantineReport report =
+        incremental.enforce_with_quarantine(incremental_net, session, root, clock, "tech");
+
+    EXPECT_EQ(report.applied_changes, reference_report.applied_changes) << threads;
+    ASSERT_EQ(report.quarantined.size(), reference_report.quarantined.size()) << threads;
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+      EXPECT_EQ(report.quarantined[i].first, reference_report.quarantined[i].first) << i;
+      EXPECT_EQ(report.quarantined[i].second, reference_report.quarantined[i].second) << i;
+    }
+    EXPECT_EQ(report.applied_any, reference_report.applied_any) << threads;
+    EXPECT_EQ(incremental_net, reference_net) << "threads=" << threads;
+  }
+}
+
+TEST_P(PropertyTest, QuarantineIncrementalMatchesReferenceOnScenarios) {
+  // Both Table-1 networks with randomized diff-derived sessions.
+  Rng rng(GetParam());
+  for (int which = 0; which < 2; ++which) {
+    Network production = which == 0 ? scen::build_enterprise() : scen::build_university();
+    std::vector<spec::Policy> policies = which == 0 ? scen::enterprise_policies(production)
+                                                    : scen::university_policies(production);
+    Network target = production;
+    int mutations = static_cast<int>(rng.next_in(2, 6));
+    for (int i = 0; i < mutations; ++i) random_mutation(rng, target);
+    std::vector<cfg::ConfigChange> session = cfg::diff_networks(production, target);
+    if (session.empty()) continue;
+    expect_quarantine_equivalence(production, policies, session);
+  }
+}
+
+TEST_P(PropertyTest, QuarantineIncrementalMatchesReferenceOnRandomNetworks) {
+  Rng rng(GetParam() ^ 0xbeefULL);
+  Network production = random_tree_network(rng, static_cast<int>(rng.next_in(4, 9)));
+  analysis::Engine miner;
+  std::vector<spec::Policy> policies = spec::mine_policies(*miner.analyze(production).reachability);
+  Network target = production;
+  int mutations = static_cast<int>(rng.next_in(2, 7));
+  for (int i = 0; i < mutations; ++i) random_mutation(rng, target);
+  std::vector<cfg::ConfigChange> session = cfg::diff_networks(production, target);
+  if (session.empty()) return;
+  expect_quarantine_equivalence(production, policies, session);
+}
+
+TEST_P(PropertyTest, PlanCheckIncrementalMatchesReference) {
+  Rng rng(GetParam() ^ 0x5c5cULL);
+  Network production = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(production);
+  Network target = production;
+  int mutations = static_cast<int>(rng.next_in(2, 6));
+  for (int i = 0; i < mutations; ++i) random_mutation(rng, target);
+  std::vector<cfg::ConfigChange> ordered =
+      enforce::schedule_changes(cfg::diff_networks(production, target));
+  // Half the time, inject a step that fails replay so the abort path is
+  // exercised too.
+  if (rng.chance(0.5)) {
+    ordered.insert(ordered.begin() + static_cast<std::ptrdiff_t>(
+                       rng.next_below(ordered.size() + 1)),
+                   {DeviceId("r7"), cfg::VlanRemove{3999}});
+  }
+  spec::PolicyVerifier incremental_policies(policies);
+  spec::PolicyVerifier reference_policies(policies);
+  enforce::SchedulePlan plan =
+      enforce::check_plan_order(production, ordered, incremental_policies);
+  enforce::SchedulePlan reference =
+      enforce::check_plan_order_reference(production, ordered, reference_policies);
+  ASSERT_EQ(plan.steps.size(), reference.steps.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(plan.steps[i].change, reference.steps[i].change) << "step " << i;
+    EXPECT_EQ(plan.steps[i].transient_violations, reference.steps[i].transient_violations)
+        << "step " << i;
   }
 }
 

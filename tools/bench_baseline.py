@@ -30,14 +30,19 @@ SMOKE_PAIRS = {
     "BM_AllPairsCompiled/net:1": "BM_AllPairsReference/net:1",
     "BM_CompiledFlowTrace/net:0": "BM_FlowTrace/net:0",
     "BM_CompiledFlowTrace/net:1": "BM_FlowTrace/net:1",
+    "BM_QuarantineIncremental/net:0": "BM_QuarantineCopy/net:0",
+    "BM_QuarantineIncremental/net:1": "BM_QuarantineCopy/net:1",
 }
 TOLERANCE = 1.10
 
-# The headline acceptance target: all-pairs reachability on the university
-# scenario must be at least this much faster on the compiled plane.
-HEADLINE_COMPILED = "BM_AllPairsCompiled/net:1"
-HEADLINE_REFERENCE = "BM_AllPairsReference/net:1"
-HEADLINE_MIN_SPEEDUP = 3.0
+# Headline acceptance targets: (fast path, reference path, minimum speedup,
+# label). Falling below any floor fails the run.
+HEADLINES = [
+    ("BM_AllPairsCompiled/net:1", "BM_AllPairsReference/net:1", 3.0,
+     "all-pairs (university)"),
+    ("BM_QuarantineIncremental/net:1", "BM_QuarantineCopy/net:1", 2.0,
+     "quarantine enforcement (university)"),
+]
 
 
 def run_benchmarks(binary, bench_filter, min_time):
@@ -82,17 +87,19 @@ def smoke_check(baseline):
             )
         print(f"  {compiled:38s} {speedup:6.2f}x vs {reference} [{status}]")
 
-    if HEADLINE_COMPILED in benchmarks and HEADLINE_REFERENCE in benchmarks:
+    for fast, reference, min_speedup, label in HEADLINES:
+        if fast not in benchmarks or reference not in benchmarks:
+            continue  # filtered run; nothing to compare
         speedup = (
-            benchmarks[HEADLINE_REFERENCE]["real_time_ns"]
-            / benchmarks[HEADLINE_COMPILED]["real_time_ns"]
+            benchmarks[reference]["real_time_ns"]
+            / benchmarks[fast]["real_time_ns"]
         )
-        print(f"  headline all-pairs (university) speedup: {speedup:.2f}x "
-              f"(required >= {HEADLINE_MIN_SPEEDUP}x)")
-        if speedup < HEADLINE_MIN_SPEEDUP:
+        print(f"  headline {label} speedup: {speedup:.2f}x "
+              f"(required >= {min_speedup}x)")
+        if speedup < min_speedup:
             failures.append(
-                f"university all-pairs speedup {speedup:.2f}x is below the "
-                f"{HEADLINE_MIN_SPEEDUP}x floor"
+                f"{label} speedup {speedup:.2f}x is below the "
+                f"{min_speedup}x floor"
             )
     return failures
 
