@@ -1,0 +1,91 @@
+// heimdall_serve: the enforcement service end to end.
+//
+// Demonstrates the session-owned architecture on the enterprise network:
+// eight concurrent technician sessions (one thread each) open pooled twins,
+// work their tickets, and submit changesets to the shared enforcement
+// queue, which batches them, coalesces verification across disjoint
+// submissions, and keeps one tamper-evident audit chain over everything —
+// including the insider whose "fix" tries to open the DMZ.
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "scenarios/enterprise.hpp"
+#include "service/manager.hpp"
+
+using namespace heimdall;
+
+int main() {
+  net::Network production = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(production);
+  std::cout << "enterprise network: " << production.devices().size() << " devices, "
+            << policies.size() << " policies pinned\n\n";
+
+  service::ServiceOptions options;
+  options.max_batch = 16;
+  options.keep_journal = true;
+  service::SessionManager manager(production, policies, options);
+
+  // Eight technicians work tickets concurrently. Seven harden edge routers
+  // with benign documentation-prefix filters; one (tech-3) also tries to
+  // permit the finance subnet straight into the DMZ data store.
+  const std::vector<std::string> routers = {"r1", "r2", "r3", "r4", "r5", "r6", "r9", "r9"};
+  std::vector<std::thread> technicians;
+  std::mutex print_mutex;
+  for (std::size_t t = 0; t < routers.size(); ++t) {
+    technicians.emplace_back([&, t] {
+      const std::string& router = routers[t];
+      const bool insider = t == 6;  // first r9 session plays the insider
+      msp::Ticket ticket;
+      ticket.id = static_cast<int>(t + 1);
+      ticket.task = priv::TaskClass::AclChange;
+      ticket.description = insider ? "emergency: finance needs DMZ data access"
+                                   : "harden " + router + " ingress filtering";
+      ticket.affected = {net::DeviceId(router)};
+
+      auto session = manager.open(ticket, "tech-" + std::to_string(t + 1));
+      std::string acl = "EDGE" + std::to_string(t + 1);
+      if (insider) {
+        // The twin accepts this — it has no policies. The enforcer must not.
+        session->run("acl r9 DMZ_IN add 0 permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255");
+      } else {
+        session->run("acl " + router + " create " + acl);
+        session->run("acl " + router + " " + acl +
+                     " add deny ip 198.51.100.0 0.0.0.255 192.0.2.0 0.0.0.255");
+      }
+      service::SubmitOutcome outcome = session->submit().get();
+      session->close();
+
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::cout << "session #" << session->id() << " (" << session->actor() << ", " << router
+                << ", batch " << outcome.batch_id << "/" << outcome.batch_size << " subs): "
+                << outcome.report.applied_changes.size() << " applied, "
+                << outcome.report.quarantined.size() << " quarantined\n";
+      for (const auto& [change, reason] : outcome.report.quarantined)
+        std::cout << "    QUARANTINED " << change.summary() << "\n      reason: " << reason
+                  << "\n";
+    });
+  }
+  for (std::thread& technician : technicians) technician.join();
+  manager.drain();
+
+  service::ServiceStats stats = manager.stats();
+  std::cout << "\nservice: " << stats.sessions_opened << " sessions, " << stats.submissions
+            << " submissions in " << stats.batches << " batches (largest "
+            << stats.max_observed_batch << ")\n";
+  std::cout << "artifact cache: " << stats.artifact_hits << " hits, " << stats.artifact_misses
+            << " misses\n";
+  std::cout << "audit chain: " << manager.enforcer().audit().size() << " entries, intact="
+            << (manager.enforcer().audit_intact() ? "yes" : "NO") << "\n";
+
+  // The last word belongs to the audit trail: every session event and
+  // enforcement verdict, one hash chain, sealed in the enclave.
+  std::cout << "\nlast audit entries:\n";
+  const auto& entries = manager.enforcer().audit().entries();
+  std::size_t start = entries.size() > 8 ? entries.size() - 8 : 0;
+  for (std::size_t i = start; i < entries.size(); ++i)
+    std::cout << "  [" << to_string(entries[i].category) << "] " << entries[i].actor << ": "
+              << entries[i].message << "\n";
+  return manager.enforcer().audit_intact() ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "enforcer/audit_sink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace heimdall::enforce {
+
+AuditSink::AuditSink(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+AuditSink::Shard& AuditSink::shard_for_thread() {
+  std::size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % shards_.size();
+  return *shards_[index];
+}
+
+void AuditSink::record(std::int64_t timestamp_ms, std::string actor, AuditCategory category,
+                       std::string message) {
+  Staged staged;
+  staged.stamp = next_stamp_.fetch_add(1, std::memory_order_relaxed);
+  staged.timestamp_ms = timestamp_ms;
+  staged.actor = std::move(actor);
+  staged.category = category;
+  staged.message = std::move(message);
+  Shard& shard = shard_for_thread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.staged.push_back(std::move(staged));
+}
+
+std::size_t AuditSink::flush_into(AuditLog& chain) {
+  std::vector<Staged> merged;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.insert(merged.end(), std::make_move_iterator(shard->staged.begin()),
+                  std::make_move_iterator(shard->staged.end()));
+    shard->staged.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Staged& a, const Staged& b) { return a.stamp < b.stamp; });
+  for (Staged& staged : merged) {
+    chain.append(staged.timestamp_ms, std::move(staged.actor), staged.category,
+                 std::move(staged.message));
+  }
+  obs::Registry::global().counter("audit.sink_flushed").add(merged.size());
+  return merged.size();
+}
+
+std::size_t AuditSink::pending() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->staged.size();
+  }
+  return total;
+}
+
+}  // namespace heimdall::enforce

@@ -1,0 +1,73 @@
+// Sharded, mutex-striped staging buffer in front of the audit hash chain.
+//
+// The chain itself is inherently serial: every append hashes over the
+// previous head, and the enforcer reseals the head in the enclave after each
+// append. With many concurrent sessions that serialization (plus a SHA-256 +
+// HMAC per event) becomes the hot lock. The sink decouples event *recording*
+// from chain *sealing*: record() stamps the event with a global atomic
+// sequence and pushes it onto one of K mutex-striped shards — no hashing, no
+// shared tail — and flush_into() merges the shards by stamp and appends them
+// to the chain in one pass, paying the hash walk and a single reseal at seal
+// time (batch boundaries, drain, shutdown).
+//
+// The stamp order is the total order auditors see; it is assigned inside
+// record() so the chain reflects the real interleaving of sessions even
+// though the shards fill independently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "enforcer/audit.hpp"
+
+namespace heimdall::enforce {
+
+class AuditSink {
+ public:
+  /// `shards` stripes the staging mutexes (clamped to >= 1).
+  explicit AuditSink(std::size_t shards = 8);
+
+  AuditSink(const AuditSink&) = delete;
+  AuditSink& operator=(const AuditSink&) = delete;
+
+  /// Stages one event. Thread-safe; costs one atomic increment and one
+  /// striped mutex push. `timestamp_ms` is virtual-clock time as in
+  /// AuditLog::append.
+  void record(std::int64_t timestamp_ms, std::string actor, AuditCategory category,
+              std::string message);
+
+  /// Drains every shard, merges the staged events by stamp and appends them
+  /// to `chain` in that order. Returns the number of entries appended. The
+  /// caller owns `chain`'s synchronization (the enforcer holds its audit
+  /// mutex across the flush and reseals once afterwards).
+  std::size_t flush_into(AuditLog& chain);
+
+  /// Staged events not yet flushed (approximate under concurrency).
+  std::size_t pending() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Staged {
+    std::uint64_t stamp = 0;
+    std::int64_t timestamp_ms = 0;
+    std::string actor;
+    AuditCategory category = AuditCategory::Command;
+    std::string message;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Staged> staged;
+  };
+
+  Shard& shard_for_thread();
+
+  std::atomic<std::uint64_t> next_stamp_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace heimdall::enforce

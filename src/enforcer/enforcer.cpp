@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <charconv>
+#include <map>
 #include <optional>
+#include <set>
 
+#include "analysis/engine.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -30,13 +33,18 @@ bool introduces_new_violation(const spec::VerificationReport& verification,
 
 PolicyEnforcer::PolicyEnforcer(spec::PolicyVerifier policies, SimulatedEnclave enclave,
                                EnforcerOptions options)
-    : policies_(std::move(policies)), enclave_(std::move(enclave)), options_(options) {
+    : policies_(std::move(policies)),
+      enclave_(std::move(enclave)),
+      options_(options),
+      sink_(options.audit_shards) {
   if (options_.attribution_threads > 1)
     attribution_pool_ = std::make_unique<util::ThreadPool>(options_.attribution_threads);
+  std::lock_guard<std::mutex> lock(audit_mutex_);
   reseal_head();
 }
 
 void PolicyEnforcer::reseal_head() {
+  // Caller holds audit_mutex_.
   std::string head = util::to_hex(audit_.head()) + "|" + std::to_string(enclave_.bump_counter());
   sealed_head_ = enclave_.seal(head);
 }
@@ -47,9 +55,20 @@ void PolicyEnforcer::audit_event(util::VirtualClock& clock, const std::string& a
   // e.g. the workflow's ticket context), so an auditor can line the two up.
   obs::tracer().instant("audit." + to_string(category), "audit", {{"actor", actor}});
   OBS_LOG(Debug) << "audit[" << to_string(category) << "] " << actor << ": " << message;
+  std::lock_guard<std::mutex> lock(audit_mutex_);
   audit_.append(clock.now(), actor, category, std::move(message));
   obs::Registry::global().counter("audit.entries").add();
   reseal_head();
+}
+
+std::size_t PolicyEnforcer::flush_audit() {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  std::size_t flushed = sink_.flush_into(audit_);
+  if (flushed != 0) {
+    obs::Registry::global().counter("audit.entries").add(flushed);
+    reseal_head();
+  }
+  return flushed;
 }
 
 EnforcementReport PolicyEnforcer::enforce(net::Network& production,
@@ -114,6 +133,38 @@ struct PolicyEnforcer::AttributionVerdict {
   Kind kind = Kind::Clean;
   std::string detail;  // apply error text, or the violated policy id
 };
+
+/// The rolling verification state a batch threads from one submission to the
+/// next. `shadow` always equals the network `base` was analyzed from, so
+/// each submission's attribution and joint check run incrementally off the
+/// previous submission's outcome instead of paying a fresh full analysis.
+struct PolicyEnforcer::ChainContext {
+  analysis::Snapshot base;
+  spec::VerificationReport base_report;
+  std::vector<std::string> baseline_ids;
+  net::Network shadow;
+};
+
+/// One wave submission after phases 1–2: its surviving remainder plus the
+/// undo log captured while the coalesced phase 3 applied it.
+struct PolicyEnforcer::WaveMember {
+  std::size_t index = 0;  ///< submission index into the batch
+  std::vector<cfg::ConfigChange> remainder;
+  std::vector<cfg::ConfigChange> inverses;
+  bool invertible = true;
+  bool pending = false;  ///< remainder applied to the shadow, joint check owed
+};
+
+PolicyEnforcer::ChainContext PolicyEnforcer::make_chain(const net::Network& production) {
+  // Production may already be violating policies (that is often why a
+  // ticket exists); changes are only quarantined when they introduce *new*
+  // violations beyond this baseline.
+  ChainContext ctx{.base = {}, .base_report = {}, .baseline_ids = {}, .shadow = production};
+  ctx.base = policies_.engine().analyze(production);
+  ctx.base_report = policies_.verify(*ctx.base.reachability);
+  ctx.baseline_ids = ctx.base_report.violated_ids();
+  return ctx;
+}
 
 std::vector<PolicyEnforcer::AttributionVerdict> PolicyEnforcer::attribute_candidates(
     const net::Network& production, net::Network& shadow,
@@ -190,9 +241,11 @@ std::vector<PolicyEnforcer::AttributionVerdict> PolicyEnforcer::attribute_candid
   return verdicts;
 }
 
-QuarantineReport PolicyEnforcer::enforce_with_quarantine(
-    net::Network& production, const std::vector<cfg::ConfigChange>& changes,
-    const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor) {
+QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainContext& ctx,
+                                                const std::vector<cfg::ConfigChange>& changes,
+                                                const priv::PrivilegeSpec& privileges,
+                                                util::VirtualClock& clock,
+                                                const std::string& actor) {
   obs::ScopedSpan span("enforcer.quarantine", "enforcer",
                        {{"actor", actor}, {"changes", std::to_string(changes.size())}});
   QuarantineReport report;
@@ -215,21 +268,12 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
     }
   }
 
-  // Production may already be violating policies (that is often why the
-  // ticket exists); a change is only quarantined when it introduces *new*
-  // violations beyond that baseline.
-  analysis::Engine& engine = policies_.engine();
-  analysis::Snapshot base = engine.analyze(production);
-  spec::VerificationReport baseline_report = policies_.verify(*base.reachability);
-  std::vector<std::string> baseline = baseline_report.violated_ids();
-
   // 2. Individual policy attribution: a change that introduces a violation
-  //    all by itself is quarantined. One shadow network serves every round
+  //    all by itself is quarantined. The chain's shadow serves every round
   //    (and phase 3): each round applies the candidate, delta-verifies only
   //    the policies over re-traced pairs, and reverts via the undo log.
-  net::Network shadow = production;
-  std::vector<AttributionVerdict> verdicts =
-      attribute_candidates(production, shadow, candidates, base, baseline_report, baseline);
+  std::vector<AttributionVerdict> verdicts = attribute_candidates(
+      ctx.shadow, ctx.shadow, candidates, ctx.base, ctx.base_report, ctx.baseline_ids);
 
   std::vector<cfg::ConfigChange> remainder;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -255,24 +299,48 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
 
   // 3. Joint verification of the remainder; combination-only violations
   //    cannot be attributed to one change, so the remainder is rejected.
+  //    Inverses are captured so a rejected remainder can be peeled off the
+  //    shadow and the chain stays usable for the next submission.
   if (!remainder.empty()) {
     bool replay_ok = true;
+    bool invertible = true;
     std::string replay_error;
+    std::vector<cfg::ConfigChange> inverses;
     for (const cfg::ConfigChange& change : remainder) {
+      std::optional<cfg::ConfigChange> inverse;
       try {
-        cfg::apply_change(shadow, change);
+        inverse = cfg::invert_change(ctx.shadow, change);
+      } catch (const util::Error&) {
+      }
+      try {
+        cfg::apply_change(ctx.shadow, change);
       } catch (const util::Error& error) {
         replay_ok = false;
         replay_error = error.what();
         break;
       }
+      if (inverse)
+        inverses.push_back(*inverse);
+      else
+        invertible = false;
     }
+    auto revert_remainder = [&] {
+      if (invertible) {
+        for (auto it = inverses.rbegin(); it != inverses.rend(); ++it)
+          cfg::apply_change(ctx.shadow, *it);
+      } else {
+        // Unreachable in practice (a change without an inverse fails to
+        // apply); rebuilding from production keeps the chain honest.
+        ctx.shadow = production;
+      }
+    };
     bool joint_clean = false;
+    analysis::Snapshot joint;
+    spec::VerificationReport joint_report;
     if (replay_ok) {
-      analysis::Snapshot joint = engine.analyze(shadow, base, remainder);
-      joint_clean =
-          !introduces_new_violation(policies_.verify_incremental(joint, baseline_report),
-                                    baseline, nullptr);
+      joint = policies_.engine().analyze(ctx.shadow, ctx.base, remainder);
+      joint_report = policies_.verify_incremental(joint, ctx.base_report);
+      joint_clean = !introduces_new_violation(joint_report, ctx.baseline_ids, nullptr);
     }
     if (replay_ok && joint_clean) {
       obs::tracer().end(verify_span);
@@ -284,7 +352,14 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
         report.applied_changes.push_back(change);
       }
       report.applied_any = true;
+      // Chain forward: the joint snapshot/report *is* the next submission's
+      // baseline (production and the shadow converge on the same state; the
+      // scheduler preserves final state by construction).
+      ctx.base = std::move(joint);
+      ctx.base_report = std::move(joint_report);
+      ctx.baseline_ids = ctx.base_report.violated_ids();
     } else if (replay_ok) {
+      revert_remainder();
       for (const cfg::ConfigChange& change : remainder) {
         report.quarantined.emplace_back(change, "combination violates policies");
       }
@@ -294,6 +369,7 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
       // A remainder that cannot even replay jointly (changes that conflict
       // with each other, not with production) is quarantined wholesale —
       // dropping it from the report would make the changes vanish.
+      revert_remainder();
       audit_event(clock, actor, AuditCategory::Verify,
                   "remainder rejected (replay): " + replay_error);
       for (const cfg::ConfigChange& change : remainder) {
@@ -311,6 +387,359 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine(
               "quarantine round: " + std::to_string(report.applied_changes.size()) +
                   " applied, " + std::to_string(report.quarantined.size()) + " intercepted");
   return report;
+}
+
+QuarantineReport PolicyEnforcer::enforce_with_quarantine(
+    net::Network& production, const std::vector<cfg::ConfigChange>& changes,
+    const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor) {
+  ChainContext ctx = make_chain(production);
+  return quarantine_one(production, ctx, changes, privileges, clock, actor);
+}
+
+std::vector<std::size_t> PolicyEnforcer::form_wave(const std::vector<BatchSubmission>& batch,
+                                                   std::size_t pos,
+                                                   const ChainContext& ctx) const {
+  std::vector<std::size_t> wave{pos};
+  if (!options_.coalesce_waves || pos + 1 >= batch.size()) return wave;
+
+  // Pair footprints come from the baseline matrix paths: a change on device
+  // D can only move the cells of pairs whose recorded path crosses D — the
+  // exact crossing rule ReachabilityMatrix::recompute() uses, so the
+  // footprint is sound for TraceOnly/FibLocal changes. Global-impact
+  // changes (interfaces/VLANs/OSPF) can move anything and always run solo.
+  const std::vector<dp::PairReachability>& pairs = ctx.base.reachability->pairs();
+  std::map<net::DeviceId, std::vector<std::size_t>> crossing;
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    for (const net::DeviceId& hop : pairs[i].path) crossing[hop].push_back(i);
+
+  struct Footprint {
+    bool global = false;
+    std::set<net::DeviceId> devices;
+    std::vector<std::size_t> pair_indices;
+  };
+  auto footprint_of = [&](const BatchSubmission& submission) {
+    Footprint fp;
+    for (const cfg::ConfigChange& change : submission.changes) {
+      if (analysis::classify_impact(change) == analysis::Impact::Global) fp.global = true;
+      fp.devices.insert(change.device);
+    }
+    std::set<std::size_t> touched;
+    for (const net::DeviceId& device : fp.devices) {
+      auto it = crossing.find(device);
+      if (it == crossing.end()) continue;
+      touched.insert(it->second.begin(), it->second.end());
+    }
+    fp.pair_indices.assign(touched.begin(), touched.end());
+    return fp;
+  };
+
+  Footprint head = footprint_of(batch[pos]);
+  if (head.global) return wave;
+  std::set<net::DeviceId> union_devices = head.devices;
+  std::vector<bool> union_pairs(pairs.size(), false);
+  for (std::size_t i : head.pair_indices) union_pairs[i] = true;
+
+  for (std::size_t next = pos + 1; next < batch.size(); ++next) {
+    Footprint fp = footprint_of(batch[next]);
+    if (fp.global) break;
+    bool disjoint = true;
+    for (const net::DeviceId& device : fp.devices)
+      if (union_devices.count(device)) { disjoint = false; break; }
+    if (disjoint)
+      for (std::size_t i : fp.pair_indices)
+        if (union_pairs[i]) { disjoint = false; break; }
+    if (!disjoint) break;
+    wave.push_back(next);
+    union_devices.insert(fp.devices.begin(), fp.devices.end());
+    for (std::size_t i : fp.pair_indices) union_pairs[i] = true;
+  }
+  return wave;
+}
+
+void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
+                                  const std::vector<BatchSubmission>& batch,
+                                  const std::vector<std::size_t>& wave,
+                                  util::VirtualClock& clock,
+                                  std::vector<QuarantineReport>& reports) {
+  obs::ScopedSpan span("enforcer.quarantine_wave", "enforcer",
+                       {{"submissions", std::to_string(wave.size())}});
+  obs::Registry::global().counter("enforcer.wave_submissions").add(wave.size());
+
+  // Phases 1–2 for every member run against the shared wave baseline. The
+  // disjoint footprints make that exact: no member's changes can move the
+  // matrix cells another member's attribution reads, so each verdict equals
+  // the one a serialized run (with earlier members already applied) would
+  // compute.
+  std::vector<WaveMember> members;
+  members.reserve(wave.size());
+  for (std::size_t index : wave) {
+    const BatchSubmission& submission = batch[index];
+    obs::ScopedContextFrame frame(submission.context);
+    QuarantineReport& report = reports[index];
+    std::vector<cfg::ConfigChange> candidates;
+    for (const cfg::ConfigChange& change : submission.changes) {
+      ChangeClassification classification = classify_change(change);
+      priv::Decision decision =
+          submission.privileges.evaluate(classification.action, classification.resource);
+      if (!decision.allowed) {
+        audit_event(clock, submission.actor, AuditCategory::Violation,
+                    "quarantined (privilege): " + change.summary());
+        report.quarantined.emplace_back(change, "privilege: " + decision.reason);
+      } else {
+        candidates.push_back(change);
+      }
+    }
+
+    std::vector<AttributionVerdict> verdicts = attribute_candidates(
+        ctx.shadow, ctx.shadow, candidates, ctx.base, ctx.base_report, ctx.baseline_ids);
+
+    WaveMember member;
+    member.index = index;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const cfg::ConfigChange& change = candidates[i];
+      switch (verdicts[i].kind) {
+        case AttributionVerdict::Kind::ReplayError:
+          audit_event(clock, submission.actor, AuditCategory::Violation,
+                      "quarantined (replay): " + change.summary());
+          report.quarantined.emplace_back(change, "replay: " + verdicts[i].detail);
+          break;
+        case AttributionVerdict::Kind::PolicyViolation: {
+          std::string detail = "policy: " + verdicts[i].detail;
+          audit_event(clock, submission.actor, AuditCategory::Violation,
+                      "quarantined (" + detail + "): " + change.summary());
+          report.quarantined.emplace_back(change, detail);
+          break;
+        }
+        case AttributionVerdict::Kind::Clean:
+          member.remainder.push_back(change);
+          break;
+      }
+    }
+    members.push_back(std::move(member));
+  }
+
+  // Coalesced phase 3: apply every surviving remainder to the single shadow
+  // (session order within a member, members in submission order), then one
+  // incremental analyze + one delta verification covers the whole wave.
+  std::vector<cfg::ConfigChange> cumulative;
+  auto rebuild_shadow = [&] {
+    // Cold path for the unreachable no-inverse case: reconstruct the shadow
+    // from production plus every still-pending remainder.
+    ctx.shadow = production;
+    for (const WaveMember& member : members)
+      if (member.pending)
+        for (const cfg::ConfigChange& change : member.remainder)
+          cfg::apply_change(ctx.shadow, change);
+  };
+
+  for (WaveMember& member : members) {
+    if (member.remainder.empty()) continue;
+    const BatchSubmission& submission = batch[member.index];
+    bool replay_ok = true;
+    std::string replay_error;
+    for (const cfg::ConfigChange& change : member.remainder) {
+      std::optional<cfg::ConfigChange> inverse;
+      try {
+        inverse = cfg::invert_change(ctx.shadow, change);
+      } catch (const util::Error&) {
+      }
+      try {
+        cfg::apply_change(ctx.shadow, change);
+      } catch (const util::Error& error) {
+        replay_ok = false;
+        replay_error = error.what();
+        break;
+      }
+      if (inverse)
+        member.inverses.push_back(*inverse);
+      else
+        member.invertible = false;
+    }
+    if (replay_ok) {
+      member.pending = true;
+      cumulative.insert(cumulative.end(), member.remainder.begin(), member.remainder.end());
+    } else {
+      // Peel this member's applied prefix back off; the other members'
+      // applies stay (their devices are disjoint, so this member's failure
+      // is independent of them — same outcome as a serialized run).
+      if (member.invertible) {
+        for (auto it = member.inverses.rbegin(); it != member.inverses.rend(); ++it)
+          cfg::apply_change(ctx.shadow, *it);
+      } else {
+        rebuild_shadow();
+      }
+      member.inverses.clear();
+      obs::ScopedContextFrame frame(submission.context);
+      audit_event(clock, submission.actor, AuditCategory::Verify,
+                  "remainder rejected (replay): " + replay_error);
+      for (const cfg::ConfigChange& change : member.remainder) {
+        reports[member.index].quarantined.emplace_back(change, "replay: " + replay_error);
+      }
+      member.remainder.clear();
+    }
+  }
+
+  bool any_pending =
+      std::any_of(members.begin(), members.end(), [](const WaveMember& m) { return m.pending; });
+  if (any_pending) {
+    analysis::Snapshot joint = policies_.engine().analyze(ctx.shadow, ctx.base, cumulative);
+    spec::VerificationReport joint_report = policies_.verify_incremental(joint, ctx.base_report);
+    if (!introduces_new_violation(joint_report, ctx.baseline_ids, nullptr)) {
+      // The coalesced state is clean; by disjointness every member's solo
+      // joint state is too, so all of them apply.
+      for (WaveMember& member : members) {
+        if (!member.pending) continue;
+        const BatchSubmission& submission = batch[member.index];
+        obs::ScopedContextFrame frame(submission.context);
+        obs::ScopedSpan schedule_span("enforcer.schedule", "enforcer");
+        for (const cfg::ConfigChange& change : schedule_changes(member.remainder)) {
+          cfg::apply_change(production, change);
+          audit_event(clock, submission.actor, AuditCategory::Schedule,
+                      "applied: " + change.summary());
+          reports[member.index].applied_changes.push_back(change);
+        }
+        reports[member.index].applied_any = true;
+      }
+      ctx.base = std::move(joint);
+      ctx.base_report = std::move(joint_report);
+      ctx.baseline_ids = ctx.base_report.violated_ids();
+      obs::Registry::global().counter("enforcer.waves_coalesced").add();
+    } else {
+      // Some member's remainder violates jointly (a combination-only
+      // violation inside that member). Peel every pending remainder off the
+      // shadow and fall back to per-member joint checks — exactly the
+      // serialized phase 3, so the reports stay oracle-identical.
+      obs::Registry::global().counter("enforcer.waves_split").add();
+      bool all_invertible = std::all_of(members.begin(), members.end(), [](const WaveMember& m) {
+        return !m.pending || m.invertible;
+      });
+      if (all_invertible) {
+        for (auto mit = members.rbegin(); mit != members.rend(); ++mit) {
+          if (!mit->pending) continue;
+          for (auto it = mit->inverses.rbegin(); it != mit->inverses.rend(); ++it)
+            cfg::apply_change(ctx.shadow, *it);
+        }
+      } else {
+        ctx.shadow = production;
+      }
+      for (WaveMember& member : members) {
+        if (!member.pending) continue;
+        member.pending = false;
+        const BatchSubmission& submission = batch[member.index];
+        obs::ScopedContextFrame frame(submission.context);
+        QuarantineReport& report = reports[member.index];
+        bool replay_ok = true;
+        bool invertible = true;
+        std::string replay_error;
+        std::vector<cfg::ConfigChange> inverses;
+        for (const cfg::ConfigChange& change : member.remainder) {
+          std::optional<cfg::ConfigChange> inverse;
+          try {
+            inverse = cfg::invert_change(ctx.shadow, change);
+          } catch (const util::Error&) {
+          }
+          try {
+            cfg::apply_change(ctx.shadow, change);
+          } catch (const util::Error& error) {
+            replay_ok = false;
+            replay_error = error.what();
+            break;
+          }
+          if (inverse)
+            inverses.push_back(*inverse);
+          else
+            invertible = false;
+        }
+        auto revert_member = [&] {
+          if (invertible) {
+            for (auto it = inverses.rbegin(); it != inverses.rend(); ++it)
+              cfg::apply_change(ctx.shadow, *it);
+          } else {
+            ctx.shadow = production;
+          }
+        };
+        bool member_clean = false;
+        analysis::Snapshot solo;
+        spec::VerificationReport solo_report;
+        if (replay_ok) {
+          solo = policies_.engine().analyze(ctx.shadow, ctx.base, member.remainder);
+          solo_report = policies_.verify_incremental(solo, ctx.base_report);
+          member_clean = !introduces_new_violation(solo_report, ctx.baseline_ids, nullptr);
+        }
+        if (replay_ok && member_clean) {
+          obs::ScopedSpan schedule_span("enforcer.schedule", "enforcer");
+          for (const cfg::ConfigChange& change : schedule_changes(member.remainder)) {
+            cfg::apply_change(production, change);
+            audit_event(clock, submission.actor, AuditCategory::Schedule,
+                        "applied: " + change.summary());
+            report.applied_changes.push_back(change);
+          }
+          report.applied_any = true;
+          ctx.base = std::move(solo);
+          ctx.base_report = std::move(solo_report);
+          ctx.baseline_ids = ctx.base_report.violated_ids();
+        } else if (replay_ok) {
+          revert_member();
+          for (const cfg::ConfigChange& change : member.remainder) {
+            report.quarantined.emplace_back(change, "combination violates policies");
+          }
+          audit_event(clock, submission.actor, AuditCategory::Verify,
+                      "remainder rejected: combination violates policies");
+        } else {
+          revert_member();
+          audit_event(clock, submission.actor, AuditCategory::Verify,
+                      "remainder rejected (replay): " + replay_error);
+          for (const cfg::ConfigChange& change : member.remainder) {
+            report.quarantined.emplace_back(change, "replay: " + replay_error);
+          }
+        }
+      }
+    }
+  }
+
+  // Per-submission round summaries, in submission order (matching what a
+  // serialized run audits after each submission).
+  for (const WaveMember& member : members) {
+    const BatchSubmission& submission = batch[member.index];
+    const QuarantineReport& report = reports[member.index];
+    obs::ScopedContextFrame frame(submission.context);
+    obs::Registry::global().counter("enforcer.changes_applied").add(report.applied_changes.size());
+    obs::Registry::global()
+        .counter("enforcer.changes_quarantined")
+        .add(report.quarantined.size());
+    audit_event(clock, submission.actor, AuditCategory::Verify,
+                "quarantine round: " + std::to_string(report.applied_changes.size()) +
+                    " applied, " + std::to_string(report.quarantined.size()) + " intercepted");
+  }
+}
+
+std::vector<QuarantineReport> PolicyEnforcer::enforce_with_quarantine_batch(
+    net::Network& production, const std::vector<BatchSubmission>& batch,
+    util::VirtualClock& clock) {
+  std::vector<QuarantineReport> reports(batch.size());
+  if (batch.empty()) return reports;
+  obs::ScopedSpan span("enforcer.quarantine_batch", "enforcer",
+                       {{"submissions", std::to_string(batch.size())}});
+  obs::Registry::global().counter("enforcer.batches").add();
+  obs::Registry::global().counter("enforcer.batch_submissions").add(batch.size());
+
+  // One full baseline analysis serves the whole batch; every submission
+  // after that verifies incrementally off the chained context.
+  ChainContext ctx = make_chain(production);
+  std::size_t pos = 0;
+  while (pos < batch.size()) {
+    std::vector<std::size_t> wave = form_wave(batch, pos, ctx);
+    if (wave.size() == 1) {
+      const BatchSubmission& submission = batch[pos];
+      obs::ScopedContextFrame frame(submission.context);
+      reports[pos] = quarantine_one(production, ctx, submission.changes, submission.privileges,
+                                    clock, submission.actor);
+    } else {
+      process_wave(production, ctx, batch, wave, clock, reports);
+    }
+    pos += wave.size();
+  }
+  return reports;
 }
 
 QuarantineReport PolicyEnforcer::enforce_with_quarantine_reference(
@@ -458,10 +887,12 @@ EmergencyResult PolicyEnforcer::emergency_execute(net::Network& production,
 }
 
 AttestationReport PolicyEnforcer::attest() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
   return enclave_.attest(util::to_hex(audit_.head()));
 }
 
 bool PolicyEnforcer::audit_intact() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
   if (!audit_.verify_chain()) return false;
   auto unsealed = enclave_.unseal(sealed_head_);
   if (!unsealed) return false;

@@ -2,16 +2,30 @@
 // production network (paper §4.3). Verifies changesets, schedules approved
 // changes, applies them to production, and keeps the tamper-evident audit
 // trail whose head is sealed inside the (simulated) SGX enclave.
+//
+// Threading contract (the service refactor made it explicit):
+//   * audit_event(), flush_audit(), audit_sink(), attest() and
+//     audit_intact() are thread-safe — an internal mutex guards the hash
+//     chain, the sealed head and the enclave counter, and the sink stages
+//     concurrent appends without touching the chain at all.
+//   * the enforce* entry points are NOT thread-safe against each other: they
+//     mutate the production network and drive the verifier's shared analysis
+//     engine. The enforcement service serializes them on one worker thread
+//     (and batches submissions there — see enforce_with_quarantine_batch);
+//     standalone callers were always single-threaded.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "enforcer/audit.hpp"
+#include "enforcer/audit_sink.hpp"
 #include "enforcer/enclave.hpp"
 #include "enforcer/scheduler.hpp"
 #include "enforcer/verifier.hpp"
+#include "obs/trace.hpp"
 #include "twin/console.hpp"
 #include "twin/emulation.hpp"
 #include "util/clock.hpp"
@@ -47,12 +61,29 @@ struct EmergencyResult {
   std::vector<std::string> rejection_reasons;
 };
 
+/// One session's submitted changeset inside an enforcement batch.
+struct BatchSubmission {
+  std::string actor;
+  std::vector<cfg::ConfigChange> changes;
+  priv::PrivilegeSpec privileges;
+  /// The submitting session's obs::current_context(), replayed on the
+  /// enforcement thread so the spans and audit records emitted while this
+  /// submission is processed carry the session's correlation keys.
+  obs::SpanArgs context;
+};
+
 /// Tuning knobs for the enforcement hot path.
 struct EnforcerOptions {
   /// Worker threads for per-change quarantine attribution (each round is
   /// independent: apply one candidate, verify, revert); <= 1 keeps the
   /// attribution sequential on a single shadow network.
   std::size_t attribution_threads = 1;
+  /// Mutex stripes in the audit staging sink (see AuditSink).
+  std::size_t audit_shards = 8;
+  /// When false, enforce_with_quarantine_batch() never coalesces the joint
+  /// verification of disjoint submissions — every submission still shares
+  /// the batch baseline but gets its own phase-3 analyze. Ablation knob.
+  bool coalesce_waves = true;
 };
 
 class PolicyEnforcer {
@@ -83,6 +114,24 @@ class PolicyEnforcer {
                                            const priv::PrivilegeSpec& privileges,
                                            util::VirtualClock& clock, const std::string& actor);
 
+  /// Batched quarantine enforcement: processes every submission in FIFO
+  /// order and returns one QuarantineReport per submission, each identical
+  /// to what a serialized sequence of enforce_with_quarantine() calls would
+  /// have produced (property-tested). The batch amortizes the expensive
+  /// full baseline analysis — it is computed once and then *chained*:
+  /// after a submission applies, the joint-verification snapshot becomes the
+  /// next submission's baseline. On top of that, consecutive submissions
+  /// whose device and (src,dst)-pair footprints are pairwise disjoint (the
+  /// pairs come from the baseline matrix paths, the same crossing rule the
+  /// incremental engine uses) form a *wave*: their per-candidate
+  /// attributions share the wave baseline and their phase-3 joint checks
+  /// coalesce into a single incremental analyze + delta verification. A
+  /// wave whose coalesced check fails falls back to per-submission joint
+  /// checks, which keeps the serialized-oracle equivalence exact.
+  std::vector<QuarantineReport> enforce_with_quarantine_batch(
+      net::Network& production, const std::vector<BatchSubmission>& batch,
+      util::VirtualClock& clock);
+
   /// Copy-per-change reference implementation of enforce_with_quarantine:
   /// a fresh shadow network and a from-scratch verification per candidate.
   /// Kept in-tree as the correctness oracle — the incremental pipeline must
@@ -100,10 +149,22 @@ class PolicyEnforcer {
                                     util::VirtualClock& clock, const std::string& actor);
 
   /// Records a twin-session event into the audit trail (sessions route their
-  /// logs through the enforcer so the chain covers them).
+  /// logs through the enforcer so the chain covers them). Thread-safe; pays
+  /// the chain hash + enclave reseal inline. Concurrent sessions should
+  /// prefer audit_sink().record() + a later flush_audit().
   void audit_event(util::VirtualClock& clock, const std::string& actor, AuditCategory category,
                    std::string message);
 
+  /// The striped staging sink for concurrent session events. Staged events
+  /// reach the chain (in stamp order) at the next flush_audit().
+  AuditSink& audit_sink() { return sink_; }
+
+  /// Seals every staged sink event into the hash chain: one chain walk, one
+  /// reseal. Thread-safe. Returns the number of entries appended.
+  std::size_t flush_audit();
+
+  /// The audit chain. Callers must quiesce concurrent audit writers (the
+  /// service drains its queue first) — the reference is unsynchronized.
   const AuditLog& audit() const { return audit_; }
 
   /// Attestation report over the current audit head (freshness binding).
@@ -122,6 +183,8 @@ class PolicyEnforcer {
 
  private:
   struct AttributionVerdict;
+  struct ChainContext;
+  struct WaveMember;
 
   void reseal_head();
   std::vector<AttributionVerdict> attribute_candidates(
@@ -129,12 +192,28 @@ class PolicyEnforcer {
       const std::vector<cfg::ConfigChange>& candidates, const analysis::Snapshot& base,
       const spec::VerificationReport& baseline_report, const std::vector<std::string>& baseline);
 
+  ChainContext make_chain(const net::Network& production);
+  QuarantineReport quarantine_one(net::Network& production, ChainContext& ctx,
+                                  const std::vector<cfg::ConfigChange>& changes,
+                                  const priv::PrivilegeSpec& privileges, util::VirtualClock& clock,
+                                  const std::string& actor);
+  std::vector<std::size_t> form_wave(const std::vector<BatchSubmission>& batch, std::size_t pos,
+                                     const ChainContext& ctx) const;
+  void process_wave(net::Network& production, ChainContext& ctx,
+                    const std::vector<BatchSubmission>& batch,
+                    const std::vector<std::size_t>& wave, util::VirtualClock& clock,
+                    std::vector<QuarantineReport>& reports);
+
   spec::PolicyVerifier policies_;
   SimulatedEnclave enclave_;
   EnforcerOptions options_;
   std::unique_ptr<util::ThreadPool> attribution_pool_;
+  /// Guards audit_, sealed_head_ and the enclave counter. The enforcement
+  /// paths take it only around chain appends, never across verification.
+  mutable std::mutex audit_mutex_;
   AuditLog audit_;
   SealedBlob sealed_head_;
+  AuditSink sink_;
 };
 
 }  // namespace heimdall::enforce

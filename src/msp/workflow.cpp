@@ -116,9 +116,13 @@ WorkflowResult run_heimdall_workflow(Network& production, enforce::PolicyEnforce
                        generate_watch.elapsed_ms()});
 
   // Step 2: set up the twin network (slice + scrub + privileges + boot).
+  // Construction runs through the artifacts API so the workflow exercises
+  // the same build+instantiate split the enforcement service caches.
   util::Stopwatch twin_watch;
   obs::SpanId setup_span = obs::tracer().begin("workflow.twin-setup", "workflow");
-  twin::TwinNetwork twin = twin::TwinNetwork::create(production, dataplane, ticket, strategy);
+  twin::TwinArtifacts artifacts =
+      twin::build_twin_artifacts(production, dataplane, ticket, strategy);
+  twin::TwinNetwork twin = twin::TwinNetwork::instantiate(artifacts, ticket);
   obs::tracer().end(setup_span);
   util::VirtualMillis boot =
       latency.twin_boot_per_device_ms *

@@ -203,6 +203,14 @@ ScopedContext::ScopedContext(std::string key, std::string value) {
 
 ScopedContext::~ScopedContext() { t_context.pop_back(); }
 
+ScopedContextFrame::ScopedContextFrame(SpanArgs context) : added_(context.size()) {
+  for (auto& [key, value] : context) t_context.emplace_back(std::move(key), std::move(value));
+}
+
+ScopedContextFrame::~ScopedContextFrame() {
+  t_context.resize(t_context.size() - added_);
+}
+
 const SpanArgs& current_context() { return t_context; }
 
 }  // namespace heimdall::obs

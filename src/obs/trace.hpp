@@ -122,6 +122,23 @@ class ScopedContext {
   ScopedContext& operator=(const ScopedContext&) = delete;
 };
 
+/// Reinstalls a captured context stack on the current thread (RAII). The
+/// enforcement worker captures current_context() at submit time and replays
+/// it here while processing that submission, so spans recorded on the worker
+/// thread carry the submitting session's keys (ticket, session id) and stay
+/// correlatable with the session's own spans and audit records.
+class ScopedContextFrame {
+ public:
+  explicit ScopedContextFrame(SpanArgs context);
+  ~ScopedContextFrame();
+
+  ScopedContextFrame(const ScopedContextFrame&) = delete;
+  ScopedContextFrame& operator=(const ScopedContextFrame&) = delete;
+
+ private:
+  std::size_t added_ = 0;
+};
+
 /// The current thread's context stack (outermost first).
 const SpanArgs& current_context();
 

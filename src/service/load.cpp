@@ -1,0 +1,168 @@
+#include "service/load.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "scenarios/enterprise.hpp"
+#include "scenarios/university.hpp"
+#include "service/manager.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::service {
+
+namespace {
+
+/// One scripted ticket: which device it touches and the console lines the
+/// technician runs inside the twin.
+struct ScriptedTicket {
+  msp::Ticket ticket;
+  std::vector<std::string> script;
+  bool violating = false;
+};
+
+ScriptedTicket scripted_ticket(const LoadSpec& spec, const std::vector<net::DeviceId>& routers,
+                               const net::DeviceId& guard, const std::string& guard_acl,
+                               const std::string& violating_entry, std::size_t index) {
+  ScriptedTicket out;
+  out.ticket.id = static_cast<int>(index + 1);
+  out.ticket.task = priv::TaskClass::AclChange;
+  out.violating =
+      spec.violating_every != 0 && (index + 1) % spec.violating_every == 0;
+  if (out.violating) {
+    // An over-eager "fix": permit a filtered subnet straight through the
+    // scenario's guarded ACL. The twin accepts it (no policies there); the
+    // enforcer must quarantine exactly this entry.
+    out.ticket.description = "open access through " + guard_acl;
+    out.ticket.affected = {guard};
+    out.script = {"acl " + guard.str() + " " + guard_acl + " add 0 " + violating_entry};
+    return out;
+  }
+  const net::DeviceId& router = routers[(index + spec.seed) % routers.size()];
+  // The ACL name is unique per ticket so repeated tickets against the same
+  // router replay cleanly (an existing ACL makes creation fail).
+  std::string acl = "LG" + std::to_string(index + 1);
+  out.ticket.description = "tighten ingress filtering (documentation prefixes)";
+  out.ticket.affected = {router};
+  out.script = {
+      "acl " + router.str() + " create " + acl,
+      "acl " + router.str() + " " + acl + " add deny ip 198.51.100.0 0.0.0.255 192.0.2.0 0.0.0.255",
+  };
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(LoadNetwork network) {
+  return network == LoadNetwork::Enterprise ? "enterprise" : "university";
+}
+
+LoadReport run_load(const LoadSpec& spec) {
+  const bool enterprise = spec.network == LoadNetwork::Enterprise;
+  net::Network production =
+      enterprise ? scen::build_enterprise() : scen::build_university();
+  std::vector<spec::Policy> policies =
+      enterprise ? scen::enterprise_policies(production) : scen::university_policies(production);
+  const net::DeviceId guard(enterprise ? "r9" : "u13");
+  const std::string guard_acl = enterprise ? "DMZ_IN" : "SEC_IN";
+  const std::string violating_entry =
+      enterprise ? "permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255"
+                 : "permit ip 10.20.7.0 0.0.0.255 10.20.15.0 0.0.0.255";
+
+  std::vector<net::DeviceId> routers;
+  for (const net::Device& device : production.devices()) {
+    if (device.is_router() && device.id() != guard) routers.push_back(device.id());
+  }
+  if (routers.empty()) throw util::Error("load network has no scriptable routers");
+
+  ServiceOptions options;
+  options.max_batch = spec.serialized ? 1 : spec.max_batch;
+  options.coalesce_waves = !spec.serialized;
+  options.artifact_cache_capacity = spec.artifact_cache_capacity;
+  SessionManager manager(std::move(production), std::move(policies), options);
+
+  struct PerThread {
+    std::vector<double> latencies_ms;
+    std::size_t applied = 0;
+    std::size_t quarantined = 0;
+    std::size_t stale = 0;
+    std::size_t violating = 0;
+  };
+  std::size_t technicians = std::max<std::size_t>(1, spec.technicians);
+  std::vector<PerThread> per_thread(technicians);
+  std::atomic<std::size_t> next_ticket{0};
+
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(technicians);
+  for (std::size_t t = 0; t < technicians; ++t) {
+    workers.emplace_back([&, t] {
+      PerThread& mine = per_thread[t];
+      std::string actor = "tech-" + std::to_string(t + 1);
+      for (;;) {
+        std::size_t index = next_ticket.fetch_add(1, std::memory_order_relaxed);
+        if (index >= spec.tickets) return;
+        ScriptedTicket scripted =
+            scripted_ticket(spec, routers, guard, guard_acl, violating_entry, index);
+        auto ticket_start = std::chrono::steady_clock::now();
+        auto session = manager.open(scripted.ticket, actor);
+        session->run_script(scripted.script);
+        SubmitOutcome outcome = session->submit().get();
+        session->close();
+        auto ticket_end = std::chrono::steady_clock::now();
+        mine.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(ticket_end - ticket_start).count());
+        mine.applied += outcome.report.applied_changes.size();
+        mine.quarantined += outcome.report.quarantined.size();
+        if (!outcome.stale_devices.empty()) ++mine.stale;
+        if (scripted.violating) ++mine.violating;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  manager.drain();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  LoadReport report;
+  report.tickets = spec.tickets;
+  report.wall_seconds = wall_seconds;
+  report.throughput_tps =
+      wall_seconds > 0 ? static_cast<double>(spec.tickets) / wall_seconds : 0.0;
+
+  std::vector<double> latencies;
+  for (const PerThread& mine : per_thread) {
+    latencies.insert(latencies.end(), mine.latencies_ms.begin(), mine.latencies_ms.end());
+    report.applied_changes += mine.applied;
+    report.quarantined_changes += mine.quarantined;
+    report.stale_sessions += mine.stale;
+    report.violating_tickets += mine.violating;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
+    return latencies[rank];
+  };
+  report.p50_ms = percentile(0.50);
+  report.p95_ms = percentile(0.95);
+  report.p99_ms = percentile(0.99);
+  report.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  double total = 0;
+  for (double latency : latencies) total += latency;
+  report.mean_ms = latencies.empty() ? 0.0 : total / static_cast<double>(latencies.size());
+
+  ServiceStats stats = manager.stats();
+  report.batches = stats.batches;
+  report.mean_batch =
+      stats.batches > 0 ? static_cast<double>(stats.submissions) / static_cast<double>(stats.batches)
+                        : 0.0;
+  report.max_batch_observed = stats.max_observed_batch;
+  report.artifact_hits = stats.artifact_hits;
+  report.artifact_misses = stats.artifact_misses;
+  report.audit_intact = manager.enforcer().audit_intact();
+  report.audit_entries = manager.enforcer().audit().size();
+  return report;
+}
+
+}  // namespace heimdall::service

@@ -1,0 +1,60 @@
+// Scripted multi-technician load for the enforcement service: N technician
+// threads work M tickets through open -> script -> submit -> close against
+// a scenario network. Shared by tools/load_gen and the service benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace heimdall::service {
+
+enum class LoadNetwork : std::uint8_t { Enterprise, University };
+
+std::string to_string(LoadNetwork network);
+
+struct LoadSpec {
+  LoadNetwork network = LoadNetwork::University;
+  /// Concurrent technician threads (each owns its sessions).
+  std::size_t technicians = 8;
+  /// Total tickets worked across all technicians.
+  std::size_t tickets = 1000;
+  /// Largest enforcement batch (1 + serialized=true reproduces the
+  /// one-enforcement-per-ticket baseline).
+  std::size_t max_batch = 16;
+  /// Disable batching AND wave coalescing — the pre-service pipeline.
+  bool serialized = false;
+  std::size_t artifact_cache_capacity = 32;
+  /// Rotates which routers the scripted tickets target.
+  unsigned seed = 1;
+  /// Every violating_every-th ticket attempts a policy-violating permit
+  /// into the scenario's guarded ACL (0 = never).
+  std::size_t violating_every = 20;
+};
+
+struct LoadReport {
+  std::size_t tickets = 0;
+  std::size_t applied_changes = 0;
+  std::size_t quarantined_changes = 0;
+  std::size_t violating_tickets = 0;
+  std::size_t stale_sessions = 0;
+  double wall_seconds = 0.0;
+  double throughput_tps = 0.0;  ///< tickets per wall-clock second
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+  std::size_t max_batch_observed = 0;
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_misses = 0;
+  bool audit_intact = false;
+  std::size_t audit_entries = 0;
+};
+
+/// Runs the load to completion (drains the service, verifies the audit
+/// chain) and reports per-ticket latency percentiles + throughput.
+LoadReport run_load(const LoadSpec& spec);
+
+}  // namespace heimdall::service

@@ -1,0 +1,135 @@
+#include "service/manager.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "spec/verify.hpp"
+
+namespace heimdall::service {
+
+SessionManager::SessionManager(net::Network production, std::vector<spec::Policy> policies,
+                               ServiceOptions options)
+    : options_(options),
+      production_(std::move(production)),
+      enforcer_(spec::PolicyVerifier(std::move(policies), options.engine_options),
+                enforce::SimulatedEnclave("heimdall-serve-v1", "hw-root"),
+                enforce::EnforcerOptions{.attribution_threads = 1,
+                                         .audit_shards = options.audit_shards,
+                                         .coalesce_waves = options.coalesce_waves}),
+      queue_(enforcer_, production_, production_mutex_, clock_,
+             EnforcementQueue::Options{.max_batch = options.max_batch,
+                                       .keep_journal = options.keep_journal}) {}
+
+SessionManager::~SessionManager() { shutdown(); }
+
+void SessionManager::record_event(const std::string& actor, enforce::AuditCategory category,
+                                  std::string message) {
+  enforcer_.audit_sink().record(now_ms_.fetch_add(1, std::memory_order_relaxed) + 1, actor,
+                                category, std::move(message));
+}
+
+std::pair<std::shared_ptr<const twin::TwinArtifacts>, bool> SessionManager::artifacts_for(
+    const msp::Ticket& ticket) {
+  std::lock_guard<std::mutex> artifact_lock(artifact_mutex_);
+  std::shared_lock<std::shared_mutex> production_lock(production_mutex_);
+  // The cache key pins the exact production state the slice was computed
+  // from: any applied batch changes the fingerprint and naturally retires
+  // every stale entry (they age out of the LRU).
+  std::string key = twin_engine_.fingerprint(production_) + '|' +
+                    twin::ticket_content_hash(ticket) + '|' + twin::to_string(options_.strategy);
+  if (auto it = artifact_cache_.find(key); it != artifact_cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    artifact_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("service.artifact_hits").add();
+    return {it->second.artifacts, true};
+  }
+  artifact_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("service.artifact_misses").add();
+  // The dataplane analysis is memoized by the same fingerprint, so a burst
+  // of opens against unchanged production pays for it once.
+  analysis::Snapshot snapshot = twin_engine_.analyze_dataplane(production_);
+  auto artifacts = std::make_shared<const twin::TwinArtifacts>(
+      twin::build_twin_artifacts(production_, *snapshot.dataplane, ticket, options_.strategy));
+  production_lock.unlock();
+  if (options_.artifact_cache_capacity > 0) {
+    lru_.push_front(key);
+    artifact_cache_[key] = CacheEntry{lru_.begin(), artifacts};
+    while (artifact_cache_.size() > options_.artifact_cache_capacity) {
+      artifact_cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  return {artifacts, false};
+}
+
+std::unique_ptr<TicketSession> SessionManager::open(const msp::Ticket& ticket,
+                                                    const std::string& actor) {
+  std::uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::ScopedContext session_context("session", std::to_string(id));
+  obs::ScopedContext ticket_context("ticket", std::to_string(ticket.id));
+  obs::ScopedSpan span("service.open", "service", {{"actor", actor}});
+  auto [artifacts, from_cache] = artifacts_for(ticket);
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("service.sessions_opened").add();
+  record_event(actor, enforce::AuditCategory::Session,
+               "session #" + std::to_string(id) + " opened for ticket #" +
+                   std::to_string(ticket.id) + " (" +
+                   std::to_string(artifacts->slice.devices.size()) + " devices, " +
+                   (from_cache ? "cached artifacts" : "fresh artifacts") + ")");
+  return std::unique_ptr<TicketSession>(
+      new TicketSession(*this, id, actor, std::move(artifacts), ticket, from_cache));
+}
+
+std::future<SubmitOutcome> SessionManager::submit_changes(TicketSession& session,
+                                                          std::vector<cfg::ConfigChange> changes,
+                                                          obs::SpanArgs context) {
+  record_event(session.actor(), enforce::AuditCategory::Session,
+               "session #" + std::to_string(session.id()) + " submitted " +
+                   std::to_string(changes.size()) + " changes");
+  PendingSubmission submission;
+  submission.session_id = session.id();
+  submission.actor = session.actor();
+  submission.changes = std::move(changes);
+  submission.privileges = session.twin().privileges();
+  submission.baseline = session.twin().baseline_fingerprints();
+  submission.context = std::move(context);
+  return queue_.submit(std::move(submission));
+}
+
+void SessionManager::note_closed(TicketSession& session) {
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("service.sessions_closed").add();
+  record_event(session.actor(), enforce::AuditCategory::Session,
+               "session #" + std::to_string(session.id()) + " closed");
+}
+
+void SessionManager::drain() {
+  queue_.drain();
+  enforcer_.flush_audit();
+}
+
+void SessionManager::shutdown() {
+  queue_.drain();
+  queue_.shutdown();
+  enforcer_.flush_audit();
+}
+
+void SessionManager::set_queue_paused(bool paused) { queue_.set_paused(paused); }
+
+net::Network SessionManager::production_copy() const {
+  std::shared_lock<std::shared_mutex> lock(production_mutex_);
+  return production_;
+}
+
+ServiceStats SessionManager::stats() const {
+  ServiceStats stats;
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  stats.submissions = queue_.submissions();
+  stats.batches = queue_.batches();
+  stats.max_observed_batch = queue_.max_observed_batch();
+  stats.artifact_hits = artifact_hits_.load(std::memory_order_relaxed);
+  stats.artifact_misses = artifact_misses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace heimdall::service

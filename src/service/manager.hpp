@@ -1,0 +1,139 @@
+// SessionManager: owns the production network, the policy enforcer and the
+// enforcement queue, and pools twin-construction artifacts so concurrent
+// ticket sessions are cheap to open.
+//
+// Ownership layout (ISSUE: "session-owned service architecture"):
+//   SessionManager
+//     ├── production network + shared_mutex   (worker writes, readers copy)
+//     ├── PolicyEnforcer (audit chain + sink + enclave)
+//     ├── artifact cache: (production digest, ticket content hash, strategy)
+//     │     -> TwinArtifacts, LRU-evicted
+//     └── EnforcementQueue (one worker thread, batches submissions)
+//   TicketSession (handed to callers) owns its twin and shares the cached
+//   artifacts it was instantiated from.
+#pragma once
+
+#include <atomic>
+#include <list>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "service/session.hpp"
+#include "spec/policy.hpp"
+#include "util/clock.hpp"
+
+namespace heimdall::service {
+
+struct ServiceOptions {
+  twin::SliceStrategy strategy = twin::SliceStrategy::TaskDriven;
+  /// Largest submission batch handed to the enforcer at once.
+  std::size_t max_batch = 16;
+  /// Mutex stripes in the enforcer's audit staging sink.
+  std::size_t audit_shards = 8;
+  /// Cached TwinArtifacts entries (0 disables the cache).
+  std::size_t artifact_cache_capacity = 32;
+  /// Record batch inputs for serialized-oracle replay (tests).
+  bool keep_journal = false;
+  /// Coalesce disjoint submissions' joint verification (ablation knob).
+  bool coalesce_waves = true;
+  /// Tuning for the verifier's analysis engine.
+  analysis::Options engine_options;
+};
+
+/// Point-in-time service counters.
+struct ServiceStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t submissions = 0;
+  std::uint64_t batches = 0;
+  std::size_t max_observed_batch = 0;
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_misses = 0;
+};
+
+class SessionManager {
+ public:
+  SessionManager(net::Network production, std::vector<spec::Policy> policies,
+                 ServiceOptions options = {});
+  /// Shuts the queue down; outstanding futures resolve first (drain-then-
+  /// stop). Sessions must not outlive their manager.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session for `ticket`: reuses cached artifacts when an
+  /// equivalent ticket was sliced against this exact production state,
+  /// otherwise builds them fresh. Thread-safe.
+  std::unique_ptr<TicketSession> open(const msp::Ticket& ticket, const std::string& actor);
+
+  /// Blocks until every submission so far is enforced, then seals any
+  /// staged audit events into the chain.
+  void drain();
+
+  /// drain() + stop the worker; further submissions fail. Idempotent.
+  void shutdown();
+
+  /// Pause/resume the enforcement worker (deterministic batches in tests
+  /// and benchmarks).
+  void set_queue_paused(bool paused);
+
+  /// Snapshot of the current production network (shared lock + copy).
+  net::Network production_copy() const;
+
+  enforce::PolicyEnforcer& enforcer() { return enforcer_; }
+  const enforce::PolicyEnforcer& enforcer() const { return enforcer_; }
+
+  /// Batch journal for oracle replay; quiesce (drain/shutdown) first.
+  const std::vector<BatchRecord>& journal() const { return queue_.journal(); }
+
+  ServiceStats stats() const;
+
+ private:
+  friend class TicketSession;
+
+  std::future<SubmitOutcome> submit_changes(TicketSession& session,
+                                            std::vector<cfg::ConfigChange> changes,
+                                            obs::SpanArgs context);
+  void note_closed(TicketSession& session);
+  /// Staged (sink) audit record with a monotonic service timestamp.
+  void record_event(const std::string& actor, enforce::AuditCategory category,
+                    std::string message);
+  std::pair<std::shared_ptr<const twin::TwinArtifacts>, bool> artifacts_for(
+      const msp::Ticket& ticket);
+
+  ServiceOptions options_;
+  mutable std::shared_mutex production_mutex_;
+  net::Network production_;
+  enforce::PolicyEnforcer enforcer_;
+  util::VirtualClock clock_;  // enforcement-worker only (not thread-safe)
+  /// Monotonic virtual time for session-side (sink) audit records; kept
+  /// separate because VirtualClock itself is single-threaded.
+  std::atomic<std::int64_t> now_ms_{0};
+  std::atomic<std::uint64_t> next_session_id_{0};
+
+  /// Guards the twin engine + artifact cache (open() path only).
+  std::mutex artifact_mutex_;
+  analysis::Engine twin_engine_;
+  struct CacheEntry {
+    std::list<std::string>::iterator lru;
+    std::shared_ptr<const twin::TwinArtifacts> artifacts;
+  };
+  std::list<std::string> lru_;  // most recent at front
+  std::map<std::string, CacheEntry> artifact_cache_;
+
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_closed_{0};
+  std::atomic<std::uint64_t> artifact_hits_{0};
+  std::atomic<std::uint64_t> artifact_misses_{0};
+
+  /// Declared last: its worker thread must start after (and die before)
+  /// every member it borrows.
+  EnforcementQueue queue_;
+};
+
+}  // namespace heimdall::service

@@ -1,0 +1,139 @@
+#include "service/queue.hpp"
+
+#include "config/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace heimdall::service {
+
+namespace {
+
+util::Sha256Digest config_fingerprint(const net::Device& device) {
+  return util::Sha256::hash(cfg::serialize_device(device));
+}
+
+}  // namespace
+
+EnforcementQueue::EnforcementQueue(enforce::PolicyEnforcer& enforcer, net::Network& production,
+                                   std::shared_mutex& production_mutex,
+                                   util::VirtualClock& clock, Options options)
+    : enforcer_(enforcer),
+      production_(production),
+      production_mutex_(production_mutex),
+      clock_(clock),
+      options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+EnforcementQueue::~EnforcementQueue() { shutdown(); }
+
+std::future<SubmitOutcome> EnforcementQueue::submit(PendingSubmission submission) {
+  std::future<SubmitOutcome> future = submission.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    ++enqueued_;
+  }
+  if (!queue_.push(std::move(submission))) {
+    // Shut down: the dropped submission's promise died with it, so the
+    // future above reports broken_promise. Rebalance the drain counter.
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    --enqueued_;
+    progress_.notify_all();
+  }
+  return future;
+}
+
+void EnforcementQueue::set_paused(bool paused) { queue_.set_paused(paused); }
+
+void EnforcementQueue::drain() {
+  std::unique_lock<std::mutex> lock(progress_mutex_);
+  progress_.wait(lock, [&] { return completed_ >= enqueued_; });
+}
+
+void EnforcementQueue::shutdown() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void EnforcementQueue::worker_loop() {
+  obs::ScopedContext worker_context("thread", "enforcement-worker");
+  for (;;) {
+    std::vector<PendingSubmission> batch = queue_.pop_some(options_.max_batch);
+    if (batch.empty()) return;  // closed and drained
+    process_batch(batch);
+  }
+}
+
+void EnforcementQueue::process_batch(std::vector<PendingSubmission>& batch) {
+  std::uint64_t batch_id = batches_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::ScopedSpan span("service.batch", "service",
+                       {{"batch", std::to_string(batch_id)},
+                        {"submissions", std::to_string(batch.size())}});
+  submissions_.fetch_add(batch.size(), std::memory_order_relaxed);
+  std::size_t observed = max_observed_batch_.load(std::memory_order_relaxed);
+  while (batch.size() > observed &&
+         !max_observed_batch_.compare_exchange_weak(observed, batch.size())) {
+  }
+  obs::Registry::global().histogram("service.batch_size").observe(
+      static_cast<double>(batch.size()));
+
+  // Session events staged before this batch reach the chain first, so the
+  // sealed log reads open -> ... -> enforcement for every submission.
+  enforcer_.flush_audit();
+
+  std::vector<enforce::BatchSubmission> submissions;
+  submissions.reserve(batch.size());
+  std::vector<std::vector<net::DeviceId>> stale(batch.size());
+  std::vector<enforce::QuarantineReport> reports;
+  {
+    std::unique_lock<std::shared_mutex> lock(production_mutex_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PendingSubmission& pending = batch[i];
+      for (const auto& [device, fingerprint] : pending.baseline) {
+        const net::Device* current = production_.find_device(device);
+        if (!current || config_fingerprint(*current) != fingerprint)
+          stale[i].push_back(device);
+      }
+      enforce::BatchSubmission submission;
+      submission.actor = pending.actor;
+      submission.changes = pending.changes;
+      submission.privileges = pending.privileges;
+      submission.context = pending.context;
+      submissions.push_back(std::move(submission));
+    }
+    reports = enforcer_.enforce_with_quarantine_batch(production_, submissions, clock_);
+    clock_.advance(1);
+  }
+  enforcer_.flush_audit();
+
+  if (options_.keep_journal) {
+    BatchRecord record;
+    record.batch_id = batch_id;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      BatchRecord::Entry entry;
+      entry.session_id = batch[i].session_id;
+      entry.actor = batch[i].actor;
+      entry.changes = batch[i].changes;
+      entry.privileges = batch[i].privileges;
+      record.entries.push_back(std::move(entry));
+    }
+    journal_.push_back(std::move(record));
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SubmitOutcome outcome;
+    outcome.report = std::move(reports[i]);
+    outcome.stale_devices = std::move(stale[i]);
+    outcome.batch_id = batch_id;
+    outcome.batch_size = batch.size();
+    batch[i].promise.set_value(std::move(outcome));
+  }
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    completed_ += batch.size();
+  }
+  progress_.notify_all();
+}
+
+}  // namespace heimdall::service

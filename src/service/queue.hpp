@@ -1,0 +1,138 @@
+// EnforcementQueue: the single chokepoint between concurrent ticket
+// sessions and the production network.
+//
+// Sessions submit their extracted changesets from any thread; one worker
+// thread drains the queue in FIFO batches and hands each batch to
+// PolicyEnforcer::enforce_with_quarantine_batch, which amortizes the full
+// baseline analysis across the batch and coalesces the joint verification
+// of submissions with disjoint device/pair footprints. Batching is therefore
+// not just a concurrency valve — it is where the service's throughput win
+// over one-enforcement-per-ticket comes from.
+//
+// The worker is the only thread that mutates production (under the writer
+// side of the shared mutex) and the only user of the virtual clock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "enforcer/enforcer.hpp"
+#include "util/queue.hpp"
+#include "util/sha256.hpp"
+
+namespace heimdall::service {
+
+/// What a session gets back for one submitted changeset.
+struct SubmitOutcome {
+  enforce::QuarantineReport report;
+  /// Slice devices whose production config changed between twin creation
+  /// and enforcement (paper §3 staleness). Informational: the enforcer
+  /// verified against the *current* production either way, so a non-empty
+  /// list means "your twin was stale but the verdict is still sound".
+  std::vector<net::DeviceId> stale_devices;
+  std::uint64_t batch_id = 0;
+  std::size_t batch_size = 0;
+};
+
+/// One session's submission traveling through the queue.
+struct PendingSubmission {
+  std::uint64_t session_id = 0;
+  std::string actor;
+  std::vector<cfg::ConfigChange> changes;
+  priv::PrivilegeSpec privileges;
+  /// Twin-creation fingerprints of the slice devices (staleness check).
+  std::map<net::DeviceId, util::Sha256Digest> baseline;
+  /// The session's trace context, replayed on the worker thread.
+  obs::SpanArgs context;
+  std::promise<SubmitOutcome> promise;
+};
+
+/// Journal of one processed batch (exact inputs, in enforcement order) —
+/// enough to replay the whole run serially against a fresh enforcer, which
+/// is how the stress tests prove batched == serialized.
+struct BatchRecord {
+  std::uint64_t batch_id = 0;
+  struct Entry {
+    std::uint64_t session_id = 0;
+    std::string actor;
+    std::vector<cfg::ConfigChange> changes;
+    priv::PrivilegeSpec privileges;
+  };
+  std::vector<Entry> entries;
+};
+
+class EnforcementQueue {
+ public:
+  struct Options {
+    /// Largest batch handed to the enforcer in one drain.
+    std::size_t max_batch = 16;
+    /// Record every batch's inputs for serialized-oracle replay.
+    bool keep_journal = false;
+  };
+
+  /// The queue borrows everything: the caller (SessionManager) owns the
+  /// enforcer, production network, its mutex and the clock, and must
+  /// outlive this object. The worker thread starts immediately.
+  EnforcementQueue(enforce::PolicyEnforcer& enforcer, net::Network& production,
+                   std::shared_mutex& production_mutex, util::VirtualClock& clock,
+                   Options options);
+  ~EnforcementQueue();
+
+  EnforcementQueue(const EnforcementQueue&) = delete;
+  EnforcementQueue& operator=(const EnforcementQueue&) = delete;
+
+  /// Enqueues a submission; the future resolves when its batch has been
+  /// enforced. After shutdown() the future fails with broken_promise.
+  std::future<SubmitOutcome> submit(PendingSubmission submission);
+
+  /// While paused the worker sleeps and submissions accumulate; resuming
+  /// releases them as one batch (tests and benchmarks build deterministic
+  /// batches this way).
+  void set_paused(bool paused);
+
+  /// Blocks until every submission enqueued so far has been enforced.
+  void drain();
+
+  /// Drains, stops the worker and rejects future submissions. Idempotent.
+  void shutdown();
+
+  std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  std::uint64_t submissions() const { return submissions_.load(std::memory_order_relaxed); }
+  std::size_t max_observed_batch() const {
+    return max_observed_batch_.load(std::memory_order_relaxed);
+  }
+
+  /// The batch journal (empty unless Options::keep_journal). Only safe to
+  /// read after drain()/shutdown() quiesced the worker.
+  const std::vector<BatchRecord>& journal() const { return journal_; }
+
+ private:
+  void worker_loop();
+  void process_batch(std::vector<PendingSubmission>& batch);
+
+  enforce::PolicyEnforcer& enforcer_;
+  net::Network& production_;
+  std::shared_mutex& production_mutex_;
+  util::VirtualClock& clock_;  // worker-thread only
+  Options options_;
+
+  util::BlockingQueue<PendingSubmission> queue_;
+  std::mutex progress_mutex_;
+  std::condition_variable progress_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t completed_ = 0;
+
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> submissions_{0};
+  std::atomic<std::size_t> max_observed_batch_{0};
+  std::vector<BatchRecord> journal_;  // worker-thread only until quiesced
+
+  std::thread worker_;
+};
+
+}  // namespace heimdall::service

@@ -1,0 +1,69 @@
+#include "service/session.hpp"
+
+#include "obs/trace.hpp"
+#include "service/manager.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::service {
+
+TicketSession::TicketSession(SessionManager& manager, std::uint64_t id, std::string actor,
+                             std::shared_ptr<const twin::TwinArtifacts> artifacts,
+                             const msp::Ticket& ticket, bool from_cache)
+    : manager_(&manager),
+      id_(id),
+      actor_(std::move(actor)),
+      artifacts_(std::move(artifacts)),
+      twin_(twin::TwinNetwork::instantiate(*artifacts_, ticket)),
+      from_cache_(from_cache) {}
+
+TicketSession::~TicketSession() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors don't throw; a failed close-audit is not worth a crash.
+  }
+}
+
+twin::CommandResult TicketSession::run(std::string_view command_line) {
+  obs::ScopedContext session_context("session", std::to_string(id_));
+  obs::ScopedContext ticket_context("ticket", std::to_string(ticket().id));
+  return twin_.run(command_line);
+}
+
+std::vector<twin::CommandResult> TicketSession::run_script(
+    const std::vector<std::string>& commands) {
+  obs::ScopedContext session_context("session", std::to_string(id_));
+  obs::ScopedContext ticket_context("ticket", std::to_string(ticket().id));
+  return twin_.run_script(commands);
+}
+
+priv::EscalationResult TicketSession::request_escalation(const priv::EscalationRequest& request,
+                                                         bool admin_approved) {
+  obs::ScopedContext session_context("session", std::to_string(id_));
+  obs::ScopedContext ticket_context("ticket", std::to_string(ticket().id));
+  return twin_.request_escalation(request, admin_approved);
+}
+
+std::vector<cfg::ConfigChange> TicketSession::pending_changes() const {
+  return twin_.extract_changes();
+}
+
+std::future<SubmitOutcome> TicketSession::submit() {
+  if (state_ != State::Open)
+    throw util::Error("session #" + std::to_string(id_) + " is not open for submission");
+  obs::ScopedContext session_context("session", std::to_string(id_));
+  obs::ScopedContext ticket_context("ticket", std::to_string(ticket().id));
+  obs::SpanArgs context = {{"session", std::to_string(id_)},
+                           {"ticket", std::to_string(ticket().id)},
+                           {"actor", actor_}};
+  state_ = State::Submitted;
+  return manager_->submit_changes(*this, twin_.extract_changes(), std::move(context));
+}
+
+void TicketSession::close() {
+  if (state_ == State::Closed) return;
+  state_ = State::Closed;
+  manager_->note_closed(*this);
+}
+
+}  // namespace heimdall::service

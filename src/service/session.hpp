@@ -1,0 +1,86 @@
+// TicketSession: one technician's owned twin session inside the
+// enforcement service.
+//
+// Lifecycle: SessionManager::open() builds (or cache-hits) the twin
+// artifacts and instantiates a twin the session owns exclusively — run
+// commands, request escalations, then submit() the extracted changeset to
+// the shared enforcement queue and close(). Sessions are single-technician
+// objects: each individual session must be driven from one thread at a
+// time, but any number of *different* sessions run concurrently.
+//
+// Every operation runs under the session's observability context
+// ("session" + "ticket" keys), and submit() ships that context with the
+// changeset so the enforcement worker's spans and audit records stay
+// correlated with the session that caused them.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "msp/ticket.hpp"
+#include "service/queue.hpp"
+#include "twin/twin.hpp"
+
+namespace heimdall::service {
+
+class SessionManager;
+
+class TicketSession {
+ public:
+  enum class State : std::uint8_t { Open, Submitted, Closed };
+
+  /// Closes the session if the owner forgot to (audited like close()).
+  ~TicketSession();
+
+  TicketSession(const TicketSession&) = delete;
+  TicketSession& operator=(const TicketSession&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& actor() const { return actor_; }
+  const msp::Ticket& ticket() const { return twin_.ticket(); }
+  State state() const { return state_; }
+  /// True when the twin was instantiated from cached artifacts instead of
+  /// a fresh slice/scrub/privilege build.
+  bool from_cache() const { return from_cache_; }
+
+  twin::TwinNetwork& twin() { return twin_; }
+  const twin::TwinNetwork& twin() const { return twin_; }
+
+  /// Presentation-layer passthroughs, under the session's trace context.
+  twin::CommandResult run(std::string_view command_line);
+  std::vector<twin::CommandResult> run_script(const std::vector<std::string>& commands);
+  priv::EscalationResult request_escalation(const priv::EscalationRequest& request,
+                                            bool admin_approved = false);
+
+  /// The changes a submit() would ship right now.
+  std::vector<cfg::ConfigChange> pending_changes() const;
+
+  /// Extracts the session's changeset and enqueues it for enforcement.
+  /// Returns the future outcome (report + staleness + batch identity).
+  /// One submission per session: throws util::Error when not Open.
+  std::future<SubmitOutcome> submit();
+
+  /// Ends the session (idempotent). Audited via the manager's sink.
+  void close();
+
+ private:
+  friend class SessionManager;
+  TicketSession(SessionManager& manager, std::uint64_t id, std::string actor,
+                std::shared_ptr<const twin::TwinArtifacts> artifacts, const msp::Ticket& ticket,
+                bool from_cache);
+
+  SessionManager* manager_;
+  std::uint64_t id_;
+  std::string actor_;
+  /// Shared with the manager's cache; keeps the slice/privilege artifacts
+  /// alive for the session's lifetime even across cache eviction.
+  std::shared_ptr<const twin::TwinArtifacts> artifacts_;
+  twin::TwinNetwork twin_;
+  bool from_cache_ = false;
+  State state_ = State::Open;
+};
+
+}  // namespace heimdall::service

@@ -17,20 +17,50 @@ util::Sha256Digest config_fingerprint(const Device& device) {
 
 }  // namespace
 
+TwinArtifacts build_twin_artifacts(const Network& production, const dp::Dataplane& dataplane,
+                                   const msp::Ticket& ticket, SliceStrategy strategy) {
+  obs::ScopedSpan span("twin.build_artifacts", "twin", {{"ticket", std::to_string(ticket.id)}});
+  TwinArtifacts artifacts;
+  artifacts.slice = compute_slice(production, dataplane, ticket, strategy);
+  artifacts.sliced = materialize_slice(production, artifacts.slice);
+  artifacts.scrubbed = scrub_network(artifacts.sliced);
+  artifacts.privileges = priv::generate_privileges(artifacts.sliced, ticket.task);
+  for (const DeviceId& device : artifacts.slice.devices) {
+    artifacts.baseline[device] = config_fingerprint(production.device(device));
+  }
+  obs::Registry::global().counter("twin.secrets_scrubbed").add(artifacts.scrubbed);
+  span.arg("slice_devices", std::to_string(artifacts.slice.devices.size()));
+  return artifacts;
+}
+
+std::string ticket_content_hash(const msp::Ticket& ticket) {
+  // Field separators guard against ambiguity ("ab"+"c" vs "a"+"bc"); the id
+  // and state are excluded on purpose — they don't affect construction.
+  std::string material = priv::to_string(ticket.task);
+  material += '\x1f';
+  material += ticket.description;
+  material += '\x1f';
+  for (const DeviceId& device : ticket.affected) {
+    material += device.str();
+    material += '\x1e';
+  }
+  material += '\x1f';
+  if (ticket.flow) material += ticket.flow->to_string();
+  return util::to_hex(util::Sha256::hash(material));
+}
+
 TwinNetwork TwinNetwork::create(const Network& production, const dp::Dataplane& dataplane,
                                 const msp::Ticket& ticket, SliceStrategy strategy) {
   obs::ScopedSpan span("twin.create", "twin", {{"ticket", std::to_string(ticket.id)}});
+  TwinArtifacts artifacts = build_twin_artifacts(production, dataplane, ticket, strategy);
+  return instantiate(artifacts, ticket);
+}
+
+TwinNetwork TwinNetwork::instantiate(const TwinArtifacts& artifacts, const msp::Ticket& ticket) {
   obs::Registry::global().counter("twin.created").add();
-  Slice slice = compute_slice(production, dataplane, ticket, strategy);
-  Network sliced = materialize_slice(production, slice);
-  std::size_t scrubbed = scrub_network(sliced);
-  priv::PrivilegeSpec privileges = priv::generate_privileges(sliced, ticket.task);
-  obs::Registry::global().counter("twin.secrets_scrubbed").add(scrubbed);
-  span.arg("slice_devices", std::to_string(slice.devices.size()));
-  TwinNetwork twin(std::move(slice), scrubbed, std::move(sliced), std::move(privileges), ticket);
-  for (const DeviceId& device : twin.slice_.devices) {
-    twin.baseline_[device] = config_fingerprint(production.device(device));
-  }
+  TwinNetwork twin(artifacts.slice, artifacts.scrubbed, artifacts.sliced, artifacts.privileges,
+                   ticket);
+  twin.baseline_ = artifacts.baseline;
   return twin;
 }
 

@@ -21,6 +21,35 @@
 
 namespace heimdall::twin {
 
+/// Everything expensive about twin construction, split out from the twin
+/// itself so it can be cached and re-instantiated. Building artifacts pays
+/// for slicing, materialization, scrubbing, privilege generation and the
+/// baseline fingerprints; instantiating a TwinNetwork from them is a plain
+/// copy. The enforcement service caches artifacts keyed by
+/// (production fingerprint, ticket_content_hash, strategy) so a pool of
+/// sessions working equivalent tickets skips the redundant work.
+struct TwinArtifacts {
+  Slice slice;
+  /// Sliced + scrubbed clone of production, ready to seed an emulation layer.
+  net::Network sliced;
+  std::size_t scrubbed = 0;
+  priv::PrivilegeSpec privileges;
+  /// Production config fingerprints of the slice devices at build time.
+  std::map<net::DeviceId, util::Sha256Digest> baseline;
+};
+
+/// Runs the construction pipeline (slice -> materialize -> scrub ->
+/// privileges -> fingerprints) without creating a session.
+TwinArtifacts build_twin_artifacts(const net::Network& production, const dp::Dataplane& dataplane,
+                                   const msp::Ticket& ticket,
+                                   SliceStrategy strategy = SliceStrategy::TaskDriven);
+
+/// SHA-256 over the ticket fields that determine twin construction (task,
+/// description, affected devices, flow) — deliberately excluding the ticket
+/// id and lifecycle state, so two tickets describing the same problem hash
+/// alike and share cached artifacts.
+std::string ticket_content_hash(const msp::Ticket& ticket);
+
 class TwinNetwork {
  public:
   /// Builds the twin for `ticket`. The default strategy is Heimdall's
@@ -28,6 +57,10 @@ class TwinNetwork {
   static TwinNetwork create(const net::Network& production, const dp::Dataplane& dataplane,
                             const msp::Ticket& ticket,
                             SliceStrategy strategy = SliceStrategy::TaskDriven);
+
+  /// Cheap instantiation from prebuilt (possibly cached) artifacts: copies
+  /// the sliced network into a fresh emulation layer, no analysis work.
+  static TwinNetwork instantiate(const TwinArtifacts& artifacts, const msp::Ticket& ticket);
 
   /// The slice metadata (visible devices + rationale).
   const Slice& slice() const { return slice_; }

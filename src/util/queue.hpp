@@ -1,0 +1,90 @@
+// Bounded-latency producer/consumer queue for the enforcement service.
+//
+// Many session threads push submissions; one worker pops them in batches so
+// the enforcer can coalesce verification across a whole drain. The queue is
+// deliberately minimal: mutex + condition variable, FIFO order preserved,
+// close() wakes every waiter, and an optional pause gate lets tests and
+// benchmarks accumulate a deterministic batch before the consumer runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace heimdall::util {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueues one item (FIFO). Returns false (and destroys the item)
+  /// when the queue is already closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available (and the queue is not
+  /// paused), then pops up to `max` items in FIFO order. Returns an empty
+  /// vector only once the queue is closed and drained.
+  std::vector<T> pop_some(std::size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return (!paused_ && !items_.empty()) || (closed_ && items_.empty()); });
+    std::vector<T> out;
+    while (!items_.empty() && out.size() < max) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  /// While paused, pop_some() blocks even when items are queued. Lets a
+  /// caller stage several submissions and release them as one batch.
+  void set_paused(bool paused) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      paused_ = paused;
+    }
+    ready_.notify_all();
+  }
+
+  /// Wakes every blocked pop_some(); subsequent pushes are dropped. Already
+  /// queued items are still handed out (drain-then-stop semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      paused_ = false;  // a paused closed queue would deadlock its consumer
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool paused_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace heimdall::util

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "enforcer/enforcer.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "scenarios/builder.hpp"
 #include "scenarios/enterprise.hpp"
 #include "twin/twin.hpp"
 
@@ -739,6 +741,231 @@ TEST(Quarantine, CleanSessionAppliesEverything) {
   EXPECT_TRUE(report.applied_any);
   EXPECT_EQ(report.applied_changes.size(), 2u);
   EXPECT_TRUE(report.quarantined.empty());
+}
+
+// ------------------------------------------------------------------ batch --
+
+// Two routed islands with no link between them: every reachability pair
+// lives entirely inside one island, so submissions touching ra and rb have
+// disjoint device AND pair footprints — the exact precondition for the
+// batch enforcer to coalesce their joint verification into one wave.
+Network two_islands() {
+  Network network("islands");
+  network.add_device(scen::make_router("ra"));
+  network.add_device(scen::make_router("rb"));
+  network.add_device(
+      scen::make_host("ha1", Ipv4Address::parse("10.1.1.10"), 24, Ipv4Address::parse("10.1.1.1")));
+  network.add_device(
+      scen::make_host("ha2", Ipv4Address::parse("10.1.2.10"), 24, Ipv4Address::parse("10.1.2.1")));
+  network.add_device(
+      scen::make_host("hb1", Ipv4Address::parse("10.2.1.10"), 24, Ipv4Address::parse("10.2.1.1")));
+  network.add_device(
+      scen::make_host("hb2", Ipv4Address::parse("10.2.2.10"), 24, Ipv4Address::parse("10.2.2.1")));
+  scen::attach_host_routed(network, "ra", "Gi0/0", Ipv4Address::parse("10.1.1.1"), 24, "ha1");
+  scen::attach_host_routed(network, "ra", "Gi0/1", Ipv4Address::parse("10.1.2.1"), 24, "ha2");
+  scen::attach_host_routed(network, "rb", "Gi0/0", Ipv4Address::parse("10.2.1.1"), 24, "hb1");
+  scen::attach_host_routed(network, "rb", "Gi0/1", Ipv4Address::parse("10.2.2.1"), 24, "hb2");
+  return network;
+}
+
+std::vector<spec::Policy> island_policies() {
+  return {{spec::PolicyType::Reachability, DeviceId("ha1"), DeviceId("ha2"), {}},
+          {spec::PolicyType::Reachability, DeviceId("hb1"), DeviceId("hb2"), {}}};
+}
+
+net::Acl unbound_acl(const std::string& name) {
+  Acl acl;
+  acl.name = name;
+  AclEntry deny;
+  deny.action = AclEntry::Action::Deny;
+  deny.src = Ipv4Prefix::parse("192.0.2.0/24");
+  acl.entries.push_back(deny);
+  return acl;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::global().counter(name).value();
+}
+
+/// Replays `batch` through a fresh enforcer as a serialized sequence of
+/// enforce_with_quarantine() calls — the oracle the batch path must match.
+std::vector<QuarantineReport> serialized_oracle(Network& production,
+                                                const spec::PolicyVerifier& policies,
+                                                const std::vector<BatchSubmission>& batch) {
+  PolicyEnforcer oracle(spec::PolicyVerifier(policies.policies()),
+                        SimulatedEnclave("oracle", "hw"));
+  util::VirtualClock clock;
+  std::vector<QuarantineReport> reports;
+  for (const BatchSubmission& submission : batch)
+    reports.push_back(oracle.enforce_with_quarantine(production, submission.changes,
+                                                     submission.privileges, clock,
+                                                     submission.actor));
+  return reports;
+}
+
+TEST(Batch, MatchesSerializedOracle) {
+  // A mixed batch covering every quarantine path: a Global-impact benign
+  // change (runs solo), a solo-violating DMZ permit, a joint replay failure
+  // (duplicate VLAN declarations) and a privilege violation. Every report
+  // must be identical to a serialized run, and so must production.
+  EnforcerFixture fixture;
+  AclEntry permit;
+  permit.action = AclEntry::Action::Permit;
+  permit.src = Ipv4Prefix::parse("10.0.20.0/24");
+  permit.dst = Ipv4Prefix::parse("10.0.8.0/24");
+  priv::PrivilegeSpec none;  // allows nothing
+  std::vector<BatchSubmission> batch;
+  batch.push_back({"carol",
+                   {{DeviceId("r6"), cfg::OspfCostChange{InterfaceId("Gi0/0"), std::nullopt, 7u}}},
+                   fixture.root,
+                   {}});
+  batch.push_back(
+      {"dave", {{DeviceId("r9"), cfg::AclEntryAdd{"DMZ_IN", 0, permit}}}, fixture.root, {}});
+  batch.push_back({"erin",
+                   {{DeviceId("r7"), cfg::VlanDeclare{99}}, {DeviceId("r7"), cfg::VlanDeclare{99}}},
+                   fixture.root,
+                   {}});
+  batch.push_back({"frank", {shutdown_change("r1", "e0")}, none, {}});
+
+  Network batched = fixture.production;
+  Network serial = fixture.production;
+  PolicyEnforcer enforcer(spec::PolicyVerifier(fixture.policies.policies()),
+                          SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  std::vector<QuarantineReport> reports = enforcer.enforce_with_quarantine_batch(batched, batch, clock);
+  std::vector<QuarantineReport> oracle = serialized_oracle(serial, fixture.policies, batch);
+
+  ASSERT_EQ(reports.size(), batch.size());
+  ASSERT_EQ(oracle.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("submission " + std::to_string(i));
+    expect_reports_equal(reports[i], oracle[i]);
+  }
+  EXPECT_TRUE(reports[0].applied_any);
+  EXPECT_FALSE(reports[1].applied_any);
+  EXPECT_EQ(reports[1].quarantined.size(), 1u);
+  EXPECT_EQ(reports[2].quarantined.size(), 2u);
+  EXPECT_EQ(reports[3].quarantined.size(), 1u);
+  EXPECT_EQ(reports[3].quarantined[0].second.rfind("privilege: ", 0), 0u);
+  EXPECT_EQ(batched, serial);
+  EXPECT_TRUE(enforcer.audit_intact());
+}
+
+TEST(Batch, CoalescesDisjointSubmissionsIntoOneWave) {
+  Network production = two_islands();
+  spec::PolicyVerifier policies{island_policies()};
+  EXPECT_TRUE(policies.verify_network(production).ok());
+  priv::PrivilegeSpec root;
+  root.allow(priv::all_actions(), priv::Resource{"*", priv::ObjectKind::Device, ""});
+
+  std::vector<BatchSubmission> batch = {
+      {"alice", {{DeviceId("ra"), cfg::AclCreate{unbound_acl("FA")}}}, root, {}},
+      {"bob", {{DeviceId("rb"), cfg::AclCreate{unbound_acl("FB")}}}, root, {}},
+  };
+  Network serial = production;
+  PolicyEnforcer enforcer(spec::PolicyVerifier(policies.policies()), SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  std::uint64_t coalesced_before = counter_value("enforcer.waves_coalesced");
+  std::uint64_t split_before = counter_value("enforcer.waves_split");
+  std::vector<QuarantineReport> reports =
+      enforcer.enforce_with_quarantine_batch(production, batch, clock);
+
+  // Disjoint islands -> one coalesced wave, both submissions applied.
+  EXPECT_EQ(counter_value("enforcer.waves_coalesced") - coalesced_before, 1u);
+  EXPECT_EQ(counter_value("enforcer.waves_split") - split_before, 0u);
+  ASSERT_EQ(reports.size(), 2u);
+  for (const QuarantineReport& report : reports) {
+    EXPECT_TRUE(report.applied_any);
+    EXPECT_EQ(report.applied_changes.size(), 1u);
+    EXPECT_TRUE(report.quarantined.empty());
+  }
+  std::vector<QuarantineReport> oracle = serialized_oracle(serial, policies, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("submission " + std::to_string(i));
+    expect_reports_equal(reports[i], oracle[i]);
+  }
+  EXPECT_EQ(production, serial);
+}
+
+TEST(Batch, DisabledCoalescingNeverFormsWaves) {
+  Network production = two_islands();
+  spec::PolicyVerifier policies{island_policies()};
+  priv::PrivilegeSpec root;
+  root.allow(priv::all_actions(), priv::Resource{"*", priv::ObjectKind::Device, ""});
+  std::vector<BatchSubmission> batch = {
+      {"alice", {{DeviceId("ra"), cfg::AclCreate{unbound_acl("FA")}}}, root, {}},
+      {"bob", {{DeviceId("rb"), cfg::AclCreate{unbound_acl("FB")}}}, root, {}},
+  };
+  EnforcerOptions options;
+  options.coalesce_waves = false;
+  PolicyEnforcer enforcer(spec::PolicyVerifier(policies.policies()), SimulatedEnclave("v1", "hw"),
+                          options);
+  util::VirtualClock clock;
+  std::uint64_t coalesced_before = counter_value("enforcer.waves_coalesced");
+  std::vector<QuarantineReport> reports =
+      enforcer.enforce_with_quarantine_batch(production, batch, clock);
+  EXPECT_EQ(counter_value("enforcer.waves_coalesced") - coalesced_before, 0u);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].applied_any);
+  EXPECT_TRUE(reports[1].applied_any);
+}
+
+TEST(Batch, WaveWithCombinationViolationFallsBackToSerialChecks) {
+  // ra guards ha1 -> ha2 with two duplicate permits. One submission removes
+  // both — each removal is clean alone (the twin still permits), jointly
+  // they deny everything. The wave's coalesced check must catch it, split,
+  // and re-check per submission so the reports stay oracle-identical: the
+  // combination is rejected, and bob's disjoint benign change still lands.
+  Network production = two_islands();
+  AclEntry permit;
+  permit.action = AclEntry::Action::Permit;
+  permit.src = Ipv4Prefix::parse("10.1.1.0/24");
+  permit.dst = Ipv4Prefix::parse("10.1.2.0/24");
+  AclEntry deny;
+  deny.action = AclEntry::Action::Deny;
+  {
+    Device& ra = production.device(DeviceId("ra"));
+    Acl guard;
+    guard.name = "GUARD";
+    guard.entries = {permit, permit, deny};
+    ra.add_acl(std::move(guard));
+    ra.interface(InterfaceId("Gi0/0")).acl_in = "GUARD";
+  }
+  spec::PolicyVerifier policies{island_policies()};
+  ASSERT_TRUE(policies.verify_network(production).ok());
+  priv::PrivilegeSpec root;
+  root.allow(priv::all_actions(), priv::Resource{"*", priv::ObjectKind::Device, ""});
+
+  std::vector<BatchSubmission> batch = {
+      {"mallory",
+       {{DeviceId("ra"), cfg::AclEntryRemove{"GUARD", 1, permit}},
+        {DeviceId("ra"), cfg::AclEntryRemove{"GUARD", 0, permit}}},
+       root,
+       {}},
+      {"bob", {{DeviceId("rb"), cfg::AclCreate{unbound_acl("FB")}}}, root, {}},
+  };
+  Network serial = production;
+  PolicyEnforcer enforcer(spec::PolicyVerifier(policies.policies()), SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  std::uint64_t split_before = counter_value("enforcer.waves_split");
+  std::vector<QuarantineReport> reports =
+      enforcer.enforce_with_quarantine_batch(production, batch, clock);
+
+  EXPECT_EQ(counter_value("enforcer.waves_split") - split_before, 1u);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_FALSE(reports[0].applied_any);
+  ASSERT_EQ(reports[0].quarantined.size(), 2u);
+  for (const auto& entry : reports[0].quarantined)
+    EXPECT_EQ(entry.second, "combination violates policies");
+  EXPECT_TRUE(reports[1].applied_any);
+  std::vector<QuarantineReport> oracle = serialized_oracle(serial, policies, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("submission " + std::to_string(i));
+    expect_reports_equal(reports[i], oracle[i]);
+  }
+  EXPECT_EQ(production, serial);
+  EXPECT_TRUE(policies.verify_network(production).ok());
+  EXPECT_TRUE(enforcer.audit_intact());
 }
 
 TEST(Enforcer, EndToEndWithTwin) {

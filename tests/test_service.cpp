@@ -1,0 +1,382 @@
+// Tests for the enforcement service: ticket-session lifecycle, artifact
+// pooling, deterministic batching, the sharded audit sink, and the
+// stress-level guarantee that a concurrent run is indistinguishable from a
+// serialized oracle replay of its batch journal.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "enforcer/audit_sink.hpp"
+#include "scenarios/enterprise.hpp"
+#include "service/load.hpp"
+#include "service/manager.hpp"
+#include "twin/twin.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::service {
+namespace {
+
+using net::DeviceId;
+
+msp::Ticket acl_ticket(int id, const std::string& router, const std::string& description) {
+  msp::Ticket ticket;
+  ticket.id = id;
+  ticket.task = priv::TaskClass::AclChange;
+  ticket.description = description;
+  ticket.affected = {DeviceId(router)};
+  return ticket;
+}
+
+void expect_reports_equal(const enforce::QuarantineReport& actual,
+                          const enforce::QuarantineReport& oracle) {
+  EXPECT_EQ(actual.applied_changes, oracle.applied_changes);
+  ASSERT_EQ(actual.quarantined.size(), oracle.quarantined.size());
+  for (std::size_t i = 0; i < actual.quarantined.size(); ++i) {
+    EXPECT_EQ(actual.quarantined[i].first, oracle.quarantined[i].first) << i;
+    EXPECT_EQ(actual.quarantined[i].second, oracle.quarantined[i].second) << i;
+  }
+  EXPECT_EQ(actual.applied_any, oracle.applied_any);
+}
+
+/// Replays the manager's batch journal serially (one enforce_with_quarantine
+/// per submission, FIFO) against a fresh enforcer on the original
+/// production network. Returns the per-session reports plus the final
+/// network the serialized world ends in.
+struct OracleReplay {
+  std::map<std::uint64_t, enforce::QuarantineReport> reports;
+  net::Network production;
+};
+
+OracleReplay replay_journal(net::Network production, const std::vector<spec::Policy>& policies,
+                            const std::vector<BatchRecord>& journal) {
+  OracleReplay replay{{}, std::move(production)};
+  enforce::PolicyEnforcer oracle(spec::PolicyVerifier(policies),
+                                 enforce::SimulatedEnclave("oracle", "hw"));
+  util::VirtualClock clock;
+  for (const BatchRecord& batch : journal) {
+    for (const BatchRecord::Entry& entry : batch.entries) {
+      replay.reports[entry.session_id] = oracle.enforce_with_quarantine(
+          replay.production, entry.changes, entry.privileges, clock, entry.actor);
+    }
+  }
+  return replay;
+}
+
+// ------------------------------------------------------------- lifecycle --
+
+TEST(Session, LifecycleOpenSubmitClose) {
+  SessionManager manager(scen::build_enterprise(), scen::enterprise_policies(scen::build_enterprise()));
+  auto session = manager.open(acl_ticket(1, "r1", "harden r1"), "alice");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->state(), TicketSession::State::Open);
+  EXPECT_EQ(session->actor(), "alice");
+
+  session->run("acl r1 create T1");
+  session->run("acl r1 T1 add deny ip 198.51.100.0 0.0.0.255 192.0.2.0 0.0.0.255");
+  EXPECT_FALSE(session->pending_changes().empty());
+
+  SubmitOutcome outcome = session->submit().get();
+  EXPECT_EQ(session->state(), TicketSession::State::Submitted);
+  EXPECT_TRUE(outcome.report.applied_any);
+  EXPECT_TRUE(outcome.report.quarantined.empty());
+  EXPECT_TRUE(outcome.stale_devices.empty());
+  EXPECT_GE(outcome.batch_size, 1u);
+
+  // One submission per session; close() is terminal and idempotent.
+  EXPECT_THROW(session->submit(), util::Error);
+  session->close();
+  EXPECT_EQ(session->state(), TicketSession::State::Closed);
+  session->close();
+  EXPECT_EQ(session->state(), TicketSession::State::Closed);
+  EXPECT_THROW(session->submit(), util::Error);
+
+  manager.drain();
+  EXPECT_TRUE(manager.enforcer().audit_intact());
+  ServiceStats stats = manager.stats();
+  EXPECT_EQ(stats.sessions_opened, 1u);
+  EXPECT_EQ(stats.sessions_closed, 1u);
+  EXPECT_EQ(stats.submissions, 1u);
+}
+
+TEST(Session, AppliedChangeLandsInProduction) {
+  net::Network original = scen::build_enterprise();
+  SessionManager manager(original, scen::enterprise_policies(original));
+  auto session = manager.open(acl_ticket(2, "r2", "new filter"), "bob");
+  session->run("acl r2 create EDGE2");
+  SubmitOutcome outcome = session->submit().get();
+  session->close();
+  ASSERT_TRUE(outcome.report.applied_any);
+  net::Network now = manager.production_copy();
+  EXPECT_NE(now, original);
+  bool found = false;
+  for (const net::Acl& acl : now.device(DeviceId("r2")).acls()) found |= acl.name == "EDGE2";
+  EXPECT_TRUE(found);
+}
+
+TEST(Session, QuarantinesInsiderSubmission) {
+  net::Network original = scen::build_enterprise();
+  SessionManager manager(original, scen::enterprise_policies(original));
+  auto session = manager.open(acl_ticket(3, "r9", "emergency DMZ access"), "mallory");
+  // The twin accepts this (no policies inside the twin); the enforcer must
+  // quarantine it at submit time.
+  session->run("acl r9 DMZ_IN add 0 permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255");
+  SubmitOutcome outcome = session->submit().get();
+  session->close();
+  EXPECT_FALSE(outcome.report.applied_any);
+  ASSERT_EQ(outcome.report.quarantined.size(), 1u);
+  EXPECT_EQ(outcome.report.quarantined[0].second.rfind("policy: ", 0), 0u);
+  EXPECT_EQ(manager.production_copy(), original);
+  manager.drain();
+  EXPECT_TRUE(manager.enforcer().audit_intact());
+}
+
+// --------------------------------------------------------- artifact cache --
+
+TEST(Artifacts, EquivalentTicketsShareCachedArtifacts) {
+  SessionManager manager(scen::build_enterprise(),
+                         scen::enterprise_policies(scen::build_enterprise()));
+  // Same content, different ticket ids: the cache keys on content, not id.
+  auto first = manager.open(acl_ticket(10, "r3", "harden r3"), "alice");
+  auto second = manager.open(acl_ticket(11, "r3", "harden r3"), "bob");
+  EXPECT_FALSE(first->from_cache());
+  EXPECT_TRUE(second->from_cache());
+  ServiceStats stats = manager.stats();
+  EXPECT_EQ(stats.artifact_misses, 1u);
+  EXPECT_EQ(stats.artifact_hits, 1u);
+
+  // Different content -> fresh build.
+  auto third = manager.open(acl_ticket(12, "r4", "harden r4"), "carol");
+  EXPECT_FALSE(third->from_cache());
+
+  // The pooled artifacts must still give each session its own twin.
+  first->run("acl r3 create A1");
+  EXPECT_EQ(first->pending_changes().size(), 1u);
+  EXPECT_TRUE(second->pending_changes().empty());
+}
+
+TEST(Artifacts, ProductionChangeInvalidatesCache) {
+  SessionManager manager(scen::build_enterprise(),
+                         scen::enterprise_policies(scen::build_enterprise()));
+  auto first = manager.open(acl_ticket(20, "r5", "tune r5"), "alice");
+  first->run("acl r5 create EDGE5");
+  first->submit().get();
+  first->close();
+  // Production changed since the artifacts were sliced; an equivalent
+  // ticket must not reuse them (the cache keys on the production digest).
+  auto second = manager.open(acl_ticket(21, "r5", "tune r5"), "bob");
+  EXPECT_FALSE(second->from_cache());
+}
+
+TEST(Artifacts, TicketContentHashIgnoresIdAndState) {
+  msp::Ticket a = acl_ticket(1, "r1", "same work");
+  msp::Ticket b = acl_ticket(999, "r1", "same work");
+  b.state = msp::TicketState::Resolved;
+  EXPECT_EQ(twin::ticket_content_hash(a), twin::ticket_content_hash(b));
+  msp::Ticket c = acl_ticket(1, "r1", "different work");
+  EXPECT_NE(twin::ticket_content_hash(a), twin::ticket_content_hash(c));
+  msp::Ticket d = acl_ticket(1, "r2", "same work");
+  EXPECT_NE(twin::ticket_content_hash(a), twin::ticket_content_hash(d));
+}
+
+// ---------------------------------------------------- deterministic batch --
+
+TEST(Queue, PausedQueueFormsOneBatchAndMatchesOracle) {
+  net::Network original = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(original);
+  ServiceOptions options;
+  options.keep_journal = true;
+  SessionManager manager(original, policies, options);
+  manager.set_queue_paused(true);
+
+  auto benign1 = manager.open(acl_ticket(1, "r1", "harden r1"), "alice");
+  auto benign2 = manager.open(acl_ticket(2, "r3", "harden r3"), "bob");
+  auto insider = manager.open(acl_ticket(3, "r9", "open the DMZ"), "mallory");
+  benign1->run("acl r1 create EDGE1");
+  benign2->run("acl r3 create EDGE3");
+  insider->run("acl r9 DMZ_IN add 0 permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255");
+
+  std::future<SubmitOutcome> f1 = benign1->submit();
+  std::future<SubmitOutcome> f2 = benign2->submit();
+  std::future<SubmitOutcome> f3 = insider->submit();
+  manager.set_queue_paused(false);
+  SubmitOutcome o1 = f1.get();
+  SubmitOutcome o2 = f2.get();
+  SubmitOutcome o3 = f3.get();
+  manager.drain();
+
+  // All three submissions were staged while the worker slept -> one batch.
+  EXPECT_EQ(o1.batch_id, o2.batch_id);
+  EXPECT_EQ(o1.batch_id, o3.batch_id);
+  EXPECT_EQ(o1.batch_size, 3u);
+  EXPECT_TRUE(o1.report.applied_any);
+  EXPECT_TRUE(o2.report.applied_any);
+  EXPECT_FALSE(o3.report.applied_any);
+  ASSERT_EQ(o3.report.quarantined.size(), 1u);
+
+  ASSERT_EQ(manager.journal().size(), 1u);
+  EXPECT_EQ(manager.journal()[0].entries.size(), 3u);
+  OracleReplay oracle = replay_journal(original, policies, manager.journal());
+  expect_reports_equal(o1.report, oracle.reports.at(benign1->id()));
+  expect_reports_equal(o2.report, oracle.reports.at(benign2->id()));
+  expect_reports_equal(o3.report, oracle.reports.at(insider->id()));
+  EXPECT_EQ(manager.production_copy(), oracle.production);
+  EXPECT_TRUE(manager.enforcer().audit_intact());
+}
+
+TEST(Queue, StaleTwinIsReportedButVerdictIsSound) {
+  net::Network original = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(original);
+  SessionManager manager(original, policies);
+  // Session A slices r6, then production changes under it (session B lands
+  // an r6 change first). A's outcome must flag the stale slice device.
+  auto stale = manager.open(acl_ticket(1, "r6", "tune r6"), "alice");
+  auto fresh = manager.open(acl_ticket(2, "r6", "other r6 work"), "bob");
+  fresh->run("acl r6 create EDGE6");
+  SubmitOutcome first = fresh->submit().get();
+  ASSERT_TRUE(first.report.applied_any);
+
+  stale->run("acl r6 create EDGE6B");
+  SubmitOutcome second = stale->submit().get();
+  EXPECT_TRUE(second.report.applied_any);
+  ASSERT_EQ(second.stale_devices.size(), 1u);
+  EXPECT_EQ(second.stale_devices[0], DeviceId("r6"));
+}
+
+// ------------------------------------------------------------- audit sink --
+
+TEST(AuditSink, ConcurrentRecordsFlushInStampOrder) {
+  enforce::AuditSink sink(4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        sink.record(t, "writer-" + std::to_string(t), enforce::AuditCategory::Command,
+                    std::to_string(i));
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(sink.pending(), static_cast<std::size_t>(kThreads * kPerThread));
+
+  enforce::AuditLog chain;
+  EXPECT_EQ(sink.flush_into(chain), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(sink.pending(), 0u);
+  ASSERT_EQ(chain.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(chain.verify_chain());
+
+  // The stamp order is a total order consistent with every writer's program
+  // order: each writer's messages must appear in increasing sequence.
+  std::map<std::string, int> last_seen;
+  for (const enforce::AuditEntry& entry : chain.entries()) {
+    auto it = last_seen.find(entry.actor);
+    int sequence = std::stoi(entry.message);
+    if (it != last_seen.end()) EXPECT_GT(sequence, it->second) << entry.actor;
+    last_seen[entry.actor] = sequence;
+  }
+  EXPECT_EQ(last_seen.size(), static_cast<std::size_t>(kThreads));
+
+  // A second flush with nothing staged is a no-op.
+  EXPECT_EQ(sink.flush_into(chain), 0u);
+  EXPECT_EQ(chain.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+// ----------------------------------------------------------------- stress --
+
+TEST(Stress, ConcurrentSessionsMatchSerializedOracleReplay) {
+  // Many technician threads, interleaved submissions, a violating ticket in
+  // the mix — afterwards the batch journal replayed serially against a
+  // fresh enforcer must reproduce every report and the exact production
+  // network, and the audit chain must still verify.
+  net::Network original = scen::build_enterprise();
+  std::vector<spec::Policy> policies = scen::enterprise_policies(original);
+  ServiceOptions options;
+  options.keep_journal = true;
+  SessionManager manager(original, policies, options);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kTickets = 96;
+  const std::vector<std::string> routers = {"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8"};
+  std::atomic<std::size_t> next_ticket{0};
+  std::mutex outcomes_mutex;
+  std::map<std::uint64_t, SubmitOutcome> outcomes;
+
+  std::vector<std::thread> technicians;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    technicians.emplace_back([&] {
+      for (;;) {
+        std::size_t n = next_ticket.fetch_add(1);
+        if (n >= kTickets) return;
+        bool violating = n % 12 == 5;
+        const std::string router = violating ? "r9" : routers[n % routers.size()];
+        auto session = manager.open(
+            acl_ticket(static_cast<int>(n + 1), router,
+                       violating ? "open the DMZ" : "stress filter " + std::to_string(n)),
+            "tech-" + std::to_string(n));
+        if (violating) {
+          session->run("acl r9 DMZ_IN add 0 permit ip 10.0.20.0 0.0.0.255 10.0.8.0 0.0.0.255");
+        } else {
+          std::string acl = "ST" + std::to_string(n);
+          session->run("acl " + router + " create " + acl);
+          session->run("acl " + router + " " + acl +
+                       " add deny ip 198.51.100.0 0.0.0.255 192.0.2.0 0.0.0.255");
+        }
+        SubmitOutcome outcome = session->submit().get();
+        session->close();
+        std::lock_guard<std::mutex> lock(outcomes_mutex);
+        outcomes.emplace(session->id(), std::move(outcome));
+      }
+    });
+  }
+  for (std::thread& technician : technicians) technician.join();
+  manager.drain();
+
+  ASSERT_EQ(outcomes.size(), kTickets);
+  EXPECT_TRUE(manager.enforcer().audit_intact());
+  ServiceStats stats = manager.stats();
+  EXPECT_EQ(stats.submissions, kTickets);
+  EXPECT_GE(stats.batches, 1u);
+
+  std::size_t journaled = 0;
+  for (const BatchRecord& batch : manager.journal()) journaled += batch.entries.size();
+  ASSERT_EQ(journaled, kTickets);
+
+  OracleReplay oracle = replay_journal(original, policies, manager.journal());
+  std::size_t applied = 0;
+  std::size_t quarantined = 0;
+  for (const auto& [session_id, outcome] : outcomes) {
+    SCOPED_TRACE("session " + std::to_string(session_id));
+    expect_reports_equal(outcome.report, oracle.reports.at(session_id));
+    applied += outcome.report.applied_changes.size();
+    quarantined += outcome.report.quarantined.size();
+  }
+  EXPECT_EQ(quarantined, kTickets / 12);
+  EXPECT_EQ(applied, kTickets - kTickets / 12);
+  EXPECT_EQ(manager.production_copy(), oracle.production);
+  // The quarantined permits never leaked into production.
+  EXPECT_TRUE(spec::PolicyVerifier(policies).verify_network(manager.production_copy()).ok());
+}
+
+TEST(Stress, LoadHarnessKeepsAuditIntact) {
+  // The same harness tools/load_gen and the benchmarks use, at test scale.
+  LoadSpec spec;
+  spec.network = LoadNetwork::University;
+  spec.technicians = 4;
+  spec.tickets = 40;
+  spec.violating_every = 10;
+  LoadReport report = run_load(spec);
+  EXPECT_EQ(report.tickets, 40u);
+  EXPECT_TRUE(report.audit_intact);
+  EXPECT_EQ(report.violating_tickets, 4u);
+  EXPECT_GE(report.quarantined_changes, 4u);
+  EXPECT_GT(report.applied_changes, 0u);
+  EXPECT_GT(report.throughput_tps, 0.0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+}
+
+}  // namespace
+}  // namespace heimdall::service

@@ -2,9 +2,14 @@
 // PRNG and the virtual clock.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/queue.hpp"
 #include "util/random.hpp"
 #include "util/sha256.hpp"
 #include "util/strings.hpp"
@@ -313,6 +318,77 @@ TEST(Stopwatch, MeasuresNonNegative) {
   EXPECT_GE(watch.elapsed_ms(), 0.0);
   watch.restart();
   EXPECT_GE(watch.elapsed_ms(), 0.0);
+}
+
+// ------------------------------------------------------------------ queue --
+
+TEST(BlockingQueue, PopsInFifoOrderUpToMax) {
+  BlockingQueue<int> queue;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  EXPECT_EQ(queue.pop_some(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.pop_some(10), (std::vector<int>{3, 4}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BlockingQueue, PauseGateAccumulatesOneBatch) {
+  BlockingQueue<int> queue;
+  queue.set_paused(true);
+  std::vector<int> popped;
+  std::thread consumer([&] { popped = queue.pop_some(16); });
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  // The consumer must still be blocked: nothing can have been popped while
+  // paused, so the queue still holds everything we pushed.
+  EXPECT_EQ(queue.size(), 3u);
+  queue.set_paused(false);
+  consumer.join();
+  EXPECT_EQ(popped, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BlockingQueue, CloseDrainsThenStops) {
+  BlockingQueue<int> queue;
+  EXPECT_TRUE(queue.push(7));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(8));  // dropped, not queued
+  EXPECT_EQ(queue.pop_some(4), (std::vector<int>{7}));
+  // Closed and drained: pop_some returns empty instead of blocking.
+  EXPECT_TRUE(queue.pop_some(4).empty());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> queue;
+  std::vector<int> popped{-1};
+  std::thread consumer([&] { popped = queue.pop_some(1); });
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(popped.empty());
+}
+
+TEST(BlockingQueue, ConcurrentProducersLoseNothing) {
+  BlockingQueue<int> queue;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<int> all;
+  std::thread consumer([&] {
+    while (all.size() < kProducers * kPerProducer) {
+      std::vector<int> got = queue.pop_some(32);
+      all.insert(all.end(), got.begin(), got.end());
+    }
+  });
+  for (std::thread& producer : producers) producer.join();
+  consumer.join();
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(all[i], i);
 }
 
 }  // namespace

@@ -5,20 +5,31 @@ Usage:
     tools/bench_baseline.py [--binary build/bench/micro_perf]
                             [--out BENCH_micro.json]
                             [--filter REGEX] [--min-time SECONDS]
+                            [--load-gen build/tools/load_gen]
+                            [--skip-load-gen]
                             [--check-only]
 
 The script runs micro_perf with --benchmark_format=json, extracts the
 benchmarks into a stable baseline artifact (name -> real_time ns), and then
 smoke-checks the compiled forwarding-plane paths against their reference
 counterparts: a compiled path that is slower than its reference path (plus a
-noise allowance) fails the run. --check-only re-checks an existing
-BENCH_micro.json without running the binary.
+noise allowance) fails the run. It also drives tools/load_gen once (eight
+concurrent technician sessions, >= 1000 tickets) and merges the service-level
+report into the baseline as LG_* rows, asserting the audit chain stayed
+intact. --check-only re-checks an existing BENCH_micro.json without running
+anything.
+
+Parallel-scaling floors (rows whose speedup only exists with real cores to
+scale across) are annotated-skipped on single-CPU hosts; throughput floors
+that come from architectural amortization, like the batched enforcement
+service, are asserted everywhere.
 
 Only the Python standard library is used.
 """
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 
@@ -36,13 +47,30 @@ SMOKE_PAIRS = {
 TOLERANCE = 1.10
 
 # Headline acceptance targets: (fast path, reference path, minimum speedup,
-# label). Falling below any floor fails the run.
+# label). Falling below any floor fails the run. These hold on any host:
+# the speedups come from doing less work, not from parallel hardware.
 HEADLINES = [
     ("BM_AllPairsCompiled/net:1", "BM_AllPairsReference/net:1", 3.0,
      "all-pairs (university)"),
     ("BM_QuarantineIncremental/net:1", "BM_QuarantineCopy/net:1", 2.0,
      "quarantine enforcement (university)"),
+    ("BM_ServeBatched/net:1/manual_time", "BM_ServeSerialized/net:1/manual_time", 2.0,
+     "enforcement service, 8 sessions batched vs serialized (university)"),
 ]
+
+# Floors that measure thread-level scaling: the fast path only wins when
+# there are cores to spread the contention across, so they are checked only
+# on multi-CPU hosts and annotated-skipped otherwise.
+PARALLEL_HEADLINES = [
+    ("BM_AuditSinkRecord/iterations:20000/real_time/threads:8",
+     "BM_AuditAppendContended/iterations:20000/real_time/threads:8", 2.0,
+     "sharded audit sink vs mutexed chain append (8 threads)"),
+]
+
+# Floors over the merged load_gen report (LG_* rows): the service must have
+# actually sustained the ISSUE's load shape, with the audit chain intact.
+LOAD_GEN_SPEC = ["--network", "university", "--technicians", "8",
+                 "--tickets", "1000", "--violating-every", "20"]
 
 
 def run_benchmarks(binary, bench_filter, min_time):
@@ -56,17 +84,44 @@ def run_benchmarks(binary, bench_filter, min_time):
     return json.loads(proc.stdout)
 
 
-def to_baseline(report):
-    benchmarks = {}
-    for bench in report.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
-            continue
-        benchmarks[bench["name"]] = {
-            "real_time_ns": bench["real_time"],
-            "cpu_time_ns": bench["cpu_time"],
-            "iterations": bench["iterations"],
-        }
-    return {"context": report.get("context", {}), "benchmarks": benchmarks}
+def run_load_gen(binary):
+    proc = subprocess.run([binary] + LOAD_GEN_SPEC, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"load_gen failed with exit code {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def load_gen_rows(report):
+    """Flattens the load_gen JSON report into LG_* baseline rows."""
+    rows = {}
+    for key, value in report.items():
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, (int, float)):
+            rows[f"LG_{key}"] = value
+    return rows
+
+
+def num_cpus(baseline):
+    context = baseline.get("context", {})
+    cpus = context.get("num_cpus")
+    if isinstance(cpus, int) and cpus > 0:
+        return cpus
+    return os.cpu_count() or 1
+
+
+def check_pair(benchmarks, fast, reference, min_speedup, label):
+    """Returns (speedup or None, failure message or None)."""
+    if fast not in benchmarks or reference not in benchmarks:
+        return None, None  # filtered run; nothing to compare
+    fast_ns = benchmarks[fast]["real_time_ns"]
+    reference_ns = benchmarks[reference]["real_time_ns"]
+    speedup = reference_ns / fast_ns if fast_ns else float("inf")
+    failure = None
+    if speedup < min_speedup:
+        failure = f"{label} speedup {speedup:.2f}x is below the {min_speedup}x floor"
+    return speedup, failure
 
 
 def smoke_check(baseline):
@@ -88,19 +143,55 @@ def smoke_check(baseline):
         print(f"  {compiled:38s} {speedup:6.2f}x vs {reference} [{status}]")
 
     for fast, reference, min_speedup, label in HEADLINES:
-        if fast not in benchmarks or reference not in benchmarks:
-            continue  # filtered run; nothing to compare
-        speedup = (
-            benchmarks[reference]["real_time_ns"]
-            / benchmarks[fast]["real_time_ns"]
-        )
+        speedup, failure = check_pair(benchmarks, fast, reference, min_speedup, label)
+        if speedup is None:
+            continue
         print(f"  headline {label} speedup: {speedup:.2f}x "
               f"(required >= {min_speedup}x)")
-        if speedup < min_speedup:
-            failures.append(
-                f"{label} speedup {speedup:.2f}x is below the "
-                f"{min_speedup}x floor"
-            )
+        if failure:
+            failures.append(failure)
+
+    cpus = num_cpus(baseline)
+    for fast, reference, min_speedup, label in PARALLEL_HEADLINES:
+        speedup, failure = check_pair(benchmarks, fast, reference, min_speedup, label)
+        if speedup is None:
+            continue
+        if cpus <= 1:
+            print(f"  parallel {label} speedup: {speedup:.2f}x "
+                  f"[SKIPPED: single-CPU host, floor needs cores to scale across]")
+            continue
+        print(f"  parallel {label} speedup: {speedup:.2f}x "
+              f"(required >= {min_speedup}x on {cpus} CPUs)")
+        if failure:
+            failures.append(failure)
+    return failures
+
+
+def load_check(baseline):
+    """Asserts the service-level floors over the merged LG_* rows."""
+    rows = baseline["benchmarks"]
+    if "LG_audit_intact" not in rows:
+        return []  # no load_gen rows merged (filtered or skipped run)
+    failures = []
+
+    def floor(name, minimum, label):
+        value = rows.get(name)
+        if value is None:
+            failures.append(f"load_gen row {name} missing from baseline")
+            return
+        status = "ok" if value >= minimum else "FAIL"
+        print(f"  {label}: {value:g} (required >= {minimum:g}) [{status}]")
+        if value < minimum:
+            failures.append(f"{label} {value:g} is below the {minimum:g} floor")
+
+    floor("LG_audit_intact", 1, "load_gen audit chain intact")
+    floor("LG_tickets", 1000, "load_gen tickets sustained")
+    floor("LG_technicians", 8, "load_gen concurrent sessions")
+    floor("LG_throughput_tps", 1, "load_gen throughput (tickets/s)")
+    if "LG_p99_ms" in rows:
+        print(f"  load_gen latency: p50 {rows.get('LG_p50_ms', 0):.2f} ms, "
+              f"p95 {rows.get('LG_p95_ms', 0):.2f} ms, "
+              f"p99 {rows.get('LG_p99_ms', 0):.2f} ms")
     return failures
 
 
@@ -110,6 +201,10 @@ def main():
     parser.add_argument("--out", default="BENCH_micro.json")
     parser.add_argument("--filter", default="", help="--benchmark_filter regex")
     parser.add_argument("--min-time", default="0.2", help="--benchmark_min_time seconds")
+    parser.add_argument("--load-gen", default="build/tools/load_gen",
+                        help="load_gen binary for the LG_* service rows")
+    parser.add_argument("--skip-load-gen", action="store_true",
+                        help="do not run load_gen / merge LG_* rows")
     parser.add_argument("--check-only", action="store_true",
                         help="re-check an existing baseline without running")
     args = parser.parse_args()
@@ -120,6 +215,9 @@ def main():
     else:
         report = run_benchmarks(args.binary, args.filter, args.min_time)
         baseline = to_baseline(report)
+        if not args.skip_load_gen and not args.filter:
+            load_report = run_load_gen(args.load_gen)
+            baseline["benchmarks"].update(load_gen_rows(load_report))
         with open(args.out, "w") as fh:
             json.dump(baseline, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -127,12 +225,27 @@ def main():
 
     print("compiled-vs-reference smoke check:")
     failures = smoke_check(baseline)
+    print("service load check:")
+    failures += load_check(baseline)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print("smoke check passed")
     return 0
+
+
+def to_baseline(report):
+    benchmarks = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        benchmarks[bench["name"]] = {
+            "real_time_ns": bench["real_time"],
+            "cpu_time_ns": bench["cpu_time"],
+            "iterations": bench["iterations"],
+        }
+    return {"context": report.get("context", {}), "benchmarks": benchmarks}
 
 
 if __name__ == "__main__":

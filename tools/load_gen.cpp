@@ -1,0 +1,119 @@
+// load_gen: drives the heimdall enforcement service with N technician
+// threads working M scripted tickets, and emits a JSON report of ticket
+// latency percentiles, throughput, batching statistics and audit health.
+//
+//   load_gen --network university --technicians 8 --tickets 1000
+//   load_gen --serialized            # one-enforcement-per-ticket baseline
+//
+// tools/bench_baseline.py merges the report into BENCH_micro.json as LG_*
+// rows and asserts the service-level floors (audit chain intact, ticket
+// count, concurrency).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/load.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: load_gen [--network enterprise|university] [--technicians N]\n"
+               "                [--tickets N] [--max-batch N] [--serialized]\n"
+               "                [--violating-every N] [--seed N] [--out FILE]\n";
+}
+
+std::string json_bool(bool value) { return value ? "true" : "false"; }
+
+std::string report_json(const heimdall::service::LoadSpec& spec,
+                        const heimdall::service::LoadReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"network\": \"" << heimdall::service::to_string(spec.network) << "\",\n";
+  out << "  \"technicians\": " << spec.technicians << ",\n";
+  out << "  \"serialized\": " << json_bool(spec.serialized) << ",\n";
+  out << "  \"max_batch\": " << spec.max_batch << ",\n";
+  out << "  \"tickets\": " << report.tickets << ",\n";
+  out << "  \"applied_changes\": " << report.applied_changes << ",\n";
+  out << "  \"quarantined_changes\": " << report.quarantined_changes << ",\n";
+  out << "  \"violating_tickets\": " << report.violating_tickets << ",\n";
+  out << "  \"stale_sessions\": " << report.stale_sessions << ",\n";
+  out << "  \"wall_seconds\": " << report.wall_seconds << ",\n";
+  out << "  \"throughput_tps\": " << report.throughput_tps << ",\n";
+  out << "  \"p50_ms\": " << report.p50_ms << ",\n";
+  out << "  \"p95_ms\": " << report.p95_ms << ",\n";
+  out << "  \"p99_ms\": " << report.p99_ms << ",\n";
+  out << "  \"mean_ms\": " << report.mean_ms << ",\n";
+  out << "  \"max_ms\": " << report.max_ms << ",\n";
+  out << "  \"batches\": " << report.batches << ",\n";
+  out << "  \"mean_batch\": " << report.mean_batch << ",\n";
+  out << "  \"max_batch_observed\": " << report.max_batch_observed << ",\n";
+  out << "  \"artifact_hits\": " << report.artifact_hits << ",\n";
+  out << "  \"artifact_misses\": " << report.artifact_misses << ",\n";
+  out << "  \"audit_entries\": " << report.audit_entries << ",\n";
+  out << "  \"audit_intact\": " << json_bool(report.audit_intact) << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  heimdall::service::LoadSpec spec;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--network") {
+      std::string name = next();
+      if (name == "enterprise")
+        spec.network = heimdall::service::LoadNetwork::Enterprise;
+      else if (name == "university")
+        spec.network = heimdall::service::LoadNetwork::University;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--technicians") {
+      spec.technicians = std::stoul(next());
+    } else if (arg == "--tickets") {
+      spec.tickets = std::stoul(next());
+    } else if (arg == "--max-batch") {
+      spec.max_batch = std::stoul(next());
+    } else if (arg == "--serialized") {
+      spec.serialized = true;
+    } else if (arg == "--violating-every") {
+      spec.violating_every = std::stoul(next());
+    } else if (arg == "--seed") {
+      spec.seed = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  heimdall::service::LoadReport report = heimdall::service::run_load(spec);
+  std::string json = report_json(spec, report);
+  std::cout << json;
+  if (!out_path.empty()) {
+    std::ofstream file(out_path);
+    file << json;
+  }
+  if (!report.audit_intact) {
+    std::cerr << "FATAL: audit chain not intact after load\n";
+    return 1;
+  }
+  return 0;
+}
