@@ -24,7 +24,9 @@
 #include "enforcer/audit_sink.hpp"
 #include "enforcer/enforcer.hpp"
 #include "service/manager.hpp"
+#include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "scenarios/enterprise.hpp"
 #include "scenarios/university.hpp"
 #include "spec/verify.hpp"
@@ -463,6 +465,44 @@ BENCHMARK(BM_AuditAppend);
 // seal time). Fixed iteration counts keep the staged/chained entry volume
 // bounded. tools/bench_baseline.py asserts the sink's win at 8 threads on
 // multi-core hosts (the floor is annotated-skipped on single-CPU runners).
+
+// ---------------------------------------------------------- observability --
+// What an instrumentation site costs. Disabled is the floor every call pays
+// in the default configuration (one relaxed load and, for spans, the
+// argument construction); enabled journal appends are the price of running
+// the service observable. tools/bench_baseline.py holds both under generous
+// ceilings so instrumentation creep shows up as a red build, not a shrug.
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer tracer;  // default: disabled
+  for (auto _ : state) {
+    obs::ScopedSpan span(tracer, "bench.noop", "bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_JournalAppendDisabled(benchmark::State& state) {
+  obs::EventJournal journal;  // default: disabled
+  std::int64_t ticket = 0;
+  for (auto _ : state) {
+    journal.append(obs::EventType::QueueEnqueue, ++ticket, 1, "bench", "2 changes", 7);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_JournalAppendDisabled);
+
+void BM_JournalAppend(benchmark::State& state) {
+  obs::EventJournal journal;
+  journal.set_enabled(true);
+  std::int64_t ticket = 0;
+  for (auto _ : state) {
+    journal.append(obs::EventType::QueueEnqueue, ++ticket, 1, "bench", "2 changes", 7);
+    benchmark::ClobberMemory();
+  }
+  state.counters["dropped"] = static_cast<double>(journal.dropped());
+}
+BENCHMARK(BM_JournalAppend);
 
 void BM_AuditAppendContended(benchmark::State& state) {
   struct SharedChain {

@@ -4,11 +4,14 @@
 //
 // Usage:
 //   ./build/examples/heimdall_repl [enterprise|university] [vlan|ospf|isp|acl|route]
-//                                  [--trace-out <file>] [--metrics-out <file>]
+//                                  [--trace-out <file>] [--metrics-out <file>] [...]
 //
-// --trace-out writes a Chrome trace_event JSON file (load it in Perfetto or
-// chrome://tracing) covering the whole session; --metrics-out dumps the global
-// metrics registry (counters, gauges, latency histograms) as JSON on exit.
+// Accepts the shared telemetry flags (obs::TelemetryFlags): --trace-out
+// writes a Chrome trace_event JSON file (load it in Perfetto or
+// chrome://tracing) covering the whole session; --metrics-out dumps the
+// global metrics registry (counters, gauges, latency histograms) as JSON on
+// exit; --prom-out/--journal-out export the Prometheus text form and the
+// structured event journal.
 //
 // Meta-commands on top of the twin console grammar:
 //   .slice       show the slice and its rationale
@@ -76,20 +79,11 @@ void print_help() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_out;
-  std::string metrics_out;
+  obs::TelemetryFlags telemetry;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--trace-out" || arg == "--metrics-out") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a file argument\n", arg.c_str());
-        return 2;
-      }
-      (arg == "--trace-out" ? trace_out : metrics_out) = argv[++i];
-    } else {
-      positional.push_back(std::move(arg));
-    }
+    if (telemetry.consume(argc, argv, i)) continue;
+    positional.emplace_back(argv[i]);
   }
   std::string network_name = positional.size() > 0 ? positional[0] : "enterprise";
   std::string issue_key = positional.size() > 1 ? positional[1] : "vlan";
@@ -97,7 +91,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown network '%s'\n", network_name.c_str());
     return 2;
   }
-  if (!trace_out.empty()) obs::enable_tracing();
+  telemetry.apply();
 
   net::Network production =
       network_name == "enterprise" ? scen::build_enterprise() : scen::build_university();
@@ -224,14 +218,10 @@ int main(int argc, char** argv) {
               issue.resolved(production) ? "yes" : (submitted ? "no" : "never submitted"));
 
   obs::tracer().end(session_span);
-  if (!trace_out.empty()) {
-    if (obs::write_trace_file(obs::tracer(), trace_out))
-      std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
-                  obs::tracer().span_count());
-  }
-  if (!metrics_out.empty()) {
-    if (obs::write_metrics_file(obs::Registry::global(), metrics_out))
-      std::printf("metrics written to %s\n", metrics_out.c_str());
-  }
-  return 0;
+  if (!telemetry.trace_out.empty())
+    std::printf("writing trace to %s (%zu spans)\n", telemetry.trace_out.c_str(),
+                obs::tracer().span_count());
+  if (!telemetry.metrics_out.empty())
+    std::printf("writing metrics to %s\n", telemetry.metrics_out.c_str());
+  return telemetry.write_outputs() ? 0 : 1;
 }

@@ -6,17 +6,39 @@
 // queue, which batches them, coalesces verification across disjoint
 // submissions, and keeps one tamper-evident audit chain over everything —
 // including the insider whose "fix" tries to open the DMZ.
+//
+// Telemetry flags (--journal-out, --statusz-out, --flight-dir, --trace-out,
+// --metrics-out, --prom-out, --audit-out) turn the run into an observable
+// one: the insider's quarantine fires the flight recorder, and obs_report
+// can join the exported journal/trace/audit into per-ticket timelines.
 #include <future>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "obs/journal.hpp"
+#include "obs/telemetry.hpp"
 #include "scenarios/enterprise.hpp"
 #include "service/manager.hpp"
 
 using namespace heimdall;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::TelemetryFlags telemetry;
+  for (int i = 1; i < argc; ++i) {
+    if (telemetry.consume(argc, argv, i)) continue;
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cerr << "usage: heimdall_serve\n" << obs::TelemetryFlags::usage();
+      return 0;
+    }
+    std::cerr << "unknown flag: " << arg << "\n"
+              << "usage: heimdall_serve\n" << obs::TelemetryFlags::usage();
+    return 2;
+  }
+  telemetry.apply();
+
   net::Network production = scen::build_enterprise();
   std::vector<spec::Policy> policies = scen::enterprise_policies(production);
   std::cout << "enterprise network: " << production.devices().size() << " devices, "
@@ -25,7 +47,13 @@ int main() {
   service::ServiceOptions options;
   options.max_batch = 16;
   options.keep_journal = true;
+  options.journal_enabled = obs::EventJournal::global().enabled();
   service::SessionManager manager(production, policies, options);
+  std::unique_ptr<service::StatuszWriter> statusz;
+  if (!telemetry.statusz_out.empty()) {
+    statusz = std::make_unique<service::StatuszWriter>(manager, telemetry.statusz_out,
+                                                       telemetry.statusz_period_ms);
+  }
 
   // Eight technicians work tickets concurrently. Seven harden edge routers
   // with benign documentation-prefix filters; one (tech-3) also tries to
@@ -87,5 +115,18 @@ int main() {
   for (std::size_t i = start; i < entries.size(); ++i)
     std::cout << "  [" << to_string(entries[i].category) << "] " << entries[i].actor << ": "
               << entries[i].message << "\n";
+
+  // Telemetry exports happen while the manager (and its sealed audit chain)
+  // is still alive: final statusz snapshot, then the joined-report inputs.
+  statusz.reset();
+  bool telemetry_ok = telemetry.write_outputs();
+  if (!telemetry.audit_out.empty()) {
+    telemetry_ok &= obs::write_string_file(
+        telemetry.audit_out, manager.enforcer().audit().to_json().dump(), "audit log");
+  }
+  if (!telemetry_ok) {
+    std::cerr << "FATAL: failed to write telemetry outputs\n";
+    return 1;
+  }
   return manager.enforcer().audit_intact() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "analysis/engine.hpp"
+#include "obs/journal.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -15,6 +16,39 @@
 namespace heimdall::enforce {
 
 namespace {
+
+/// " [ticket #N, session #M]" from the calling thread's obs context, or ""
+/// when the thread carries no such keys. Appended to audit messages so the
+/// chain's records are joinable with journal/trace timelines by ticket id;
+/// standalone (context-free) callers keep their messages byte-identical.
+std::string context_audit_suffix() {
+  std::string ticket, session;
+  for (const auto& [key, value] : obs::current_context()) {
+    if (key == "ticket")
+      ticket = value;  // innermost frame wins
+    else if (key == "session")
+      session = value;
+  }
+  if (ticket.empty() && session.empty()) return {};
+  std::string out = " [";
+  if (!ticket.empty()) out += "ticket #" + ticket;
+  if (!session.empty()) {
+    if (!ticket.empty()) out += ", ";
+    out += "session #" + session;
+  }
+  out += "]";
+  return out;
+}
+
+/// Journals one intercepted change (ReplayFailure when the reason says so).
+void journal_quarantine(const std::string& actor, const std::string& reason,
+                        const cfg::ConfigChange& change) {
+  obs::EventJournal& journal = obs::EventJournal::global();
+  if (!journal.enabled()) return;
+  bool replay = reason.rfind("replay", 0) == 0;
+  journal.append_in_context(replay ? obs::EventType::ReplayFailure : obs::EventType::Quarantine,
+                            actor, reason + ": " + change.summary());
+}
 
 /// True when `verification` violates a policy outside `baseline` (the ids
 /// production was already violating); `which` receives the first such id.
@@ -54,19 +88,43 @@ void PolicyEnforcer::audit_event(util::VirtualClock& clock, const std::string& a
   // The instant event mirrors the audit record into the trace (inheriting
   // e.g. the workflow's ticket context), so an auditor can line the two up.
   obs::tracer().instant("audit." + to_string(category), "audit", {{"actor", actor}});
+  message += context_audit_suffix();
   OBS_LOG(Debug) << "audit[" << to_string(category) << "] " << actor << ": " << message;
-  std::lock_guard<std::mutex> lock(audit_mutex_);
-  audit_.append(clock.now(), actor, category, std::move(message));
-  obs::Registry::global().counter("audit.entries").add();
-  reseal_head();
+  util::Stopwatch watch;
+  {
+    std::lock_guard<std::mutex> lock(audit_mutex_);
+    audit_.append(clock.now(), actor, category, std::move(message));
+    obs::Registry::global().counter("audit.entries").add();
+    reseal_head();
+  }
+  audit_elapsed_us_.fetch_add(static_cast<std::uint64_t>(watch.elapsed_ms() * 1000.0),
+                              std::memory_order_relaxed);
 }
 
 std::size_t PolicyEnforcer::flush_audit() {
-  std::lock_guard<std::mutex> lock(audit_mutex_);
-  std::size_t flushed = sink_.flush_into(audit_);
+  util::Stopwatch watch;
+  std::size_t flushed = 0;
+  std::size_t chain_size = 0;
+  {
+    std::lock_guard<std::mutex> lock(audit_mutex_);
+    flushed = sink_.flush_into(audit_);
+    if (flushed != 0) {
+      obs::Registry::global().counter("audit.entries").add(flushed);
+      reseal_head();
+    }
+    chain_size = audit_.size();
+  }
+  audit_elapsed_us_.fetch_add(static_cast<std::uint64_t>(watch.elapsed_ms() * 1000.0),
+                              std::memory_order_relaxed);
   if (flushed != 0) {
-    obs::Registry::global().counter("audit.entries").add(flushed);
-    reseal_head();
+    obs::EventJournal& journal = obs::EventJournal::global();
+    if (journal.enabled()) {
+      journal.append_in_context(obs::EventType::AuditFlush, "enforcer",
+                                std::to_string(flushed) + " staged entries sealed into chain",
+                                flushed);
+      journal.append_in_context(obs::EventType::AuditSeal, "enforcer",
+                                "chain length " + std::to_string(chain_size), chain_size);
+    }
   }
   return flushed;
 }
@@ -249,6 +307,8 @@ QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainC
   obs::ScopedSpan span("enforcer.quarantine", "enforcer",
                        {{"actor", actor}, {"changes", std::to_string(changes.size())}});
   QuarantineReport report;
+  std::uint64_t audit_before = audit_elapsed_us();
+  util::Stopwatch verify_watch;
 
   // Covers phases 1–2 (per-change privilege + policy attribution) and the
   // joint check in phase 3; closed by hand because application interleaves.
@@ -345,6 +405,7 @@ QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainC
     if (replay_ok && joint_clean) {
       obs::tracer().end(verify_span);
       verify_span = 0;
+      report.stages.verify_us = static_cast<std::uint64_t>(verify_watch.elapsed_ms() * 1000.0);
       obs::ScopedSpan schedule_span("enforcer.schedule", "enforcer");
       for (const cfg::ConfigChange& change : schedule_changes(remainder)) {
         cfg::apply_change(production, change);
@@ -379,6 +440,8 @@ QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainC
   }
 
   obs::tracer().end(verify_span);  // still open on the no-apply paths
+  if (report.stages.verify_us == 0)
+    report.stages.verify_us = static_cast<std::uint64_t>(verify_watch.elapsed_ms() * 1000.0);
   obs::Registry::global().counter("enforcer.changes_applied").add(report.applied_changes.size());
   obs::Registry::global().counter("enforcer.changes_quarantined").add(report.quarantined.size());
   span.arg("applied", std::to_string(report.applied_changes.size()));
@@ -386,6 +449,16 @@ QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainC
   audit_event(clock, actor, AuditCategory::Verify,
               "quarantine round: " + std::to_string(report.applied_changes.size()) +
                   " applied, " + std::to_string(report.quarantined.size()) + " intercepted");
+  report.stages.audit_us = audit_elapsed_us() - audit_before;
+  obs::EventJournal& journal = obs::EventJournal::global();
+  if (journal.enabled()) {
+    for (const auto& [change, reason] : report.quarantined)
+      journal_quarantine(actor, reason, change);
+    journal.append_in_context(obs::EventType::VerifyVerdict, actor,
+                              std::to_string(report.applied_changes.size()) + " applied, " +
+                                  std::to_string(report.quarantined.size()) + " intercepted",
+                              report.stages.verify_us);
+  }
   return report;
 }
 
@@ -464,6 +537,8 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
   obs::ScopedSpan span("enforcer.quarantine_wave", "enforcer",
                        {{"submissions", std::to_string(wave.size())}});
   obs::Registry::global().counter("enforcer.wave_submissions").add(wave.size());
+  std::uint64_t audit_before = audit_elapsed_us();
+  obs::EventJournal& journal = obs::EventJournal::global();
 
   // Phases 1–2 for every member run against the shared wave baseline. The
   // disjoint footprints make that exact: no member's changes can move the
@@ -475,6 +550,7 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
   for (std::size_t index : wave) {
     const BatchSubmission& submission = batch[index];
     obs::ScopedContextFrame frame(submission.context);
+    util::Stopwatch member_watch;
     QuarantineReport& report = reports[index];
     std::vector<cfg::ConfigChange> candidates;
     for (const cfg::ConfigChange& change : submission.changes) {
@@ -515,6 +591,7 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
           break;
       }
     }
+    report.stages.verify_us += static_cast<std::uint64_t>(member_watch.elapsed_ms() * 1000.0);
     members.push_back(std::move(member));
   }
 
@@ -582,8 +659,17 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
   bool any_pending =
       std::any_of(members.begin(), members.end(), [](const WaveMember& m) { return m.pending; });
   if (any_pending) {
+    std::size_t pending_count = static_cast<std::size_t>(std::count_if(
+        members.begin(), members.end(), [](const WaveMember& m) { return m.pending; }));
+    util::Stopwatch joint_watch;
     analysis::Snapshot joint = policies_.engine().analyze(ctx.shadow, ctx.base, cumulative);
     spec::VerificationReport joint_report = policies_.verify_incremental(joint, ctx.base_report);
+    std::uint64_t joint_us = static_cast<std::uint64_t>(joint_watch.elapsed_ms() * 1000.0);
+    // Each pending member owes an even share of the coalesced check whether
+    // the wave holds or splits — the split path's extra solo checks are
+    // timed separately below.
+    for (const WaveMember& member : members)
+      if (member.pending) reports[member.index].stages.verify_us += joint_us / pending_count;
     if (!introduces_new_violation(joint_report, ctx.baseline_ids, nullptr)) {
       // The coalesced state is clean; by disjointness every member's solo
       // joint state is too, so all of them apply.
@@ -604,12 +690,24 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
       ctx.base_report = std::move(joint_report);
       ctx.baseline_ids = ctx.base_report.violated_ids();
       obs::Registry::global().counter("enforcer.waves_coalesced").add();
+      if (journal.enabled()) {
+        journal.append_in_context(obs::EventType::WaveCoalesce, "enforcer",
+                                  std::to_string(pending_count) +
+                                      " submissions verified in one coalesced analyze",
+                                  joint_us);
+      }
     } else {
       // Some member's remainder violates jointly (a combination-only
       // violation inside that member). Peel every pending remainder off the
       // shadow and fall back to per-member joint checks — exactly the
       // serialized phase 3, so the reports stay oracle-identical.
       obs::Registry::global().counter("enforcer.waves_split").add();
+      if (journal.enabled()) {
+        journal.append_in_context(obs::EventType::WaveSplit, "enforcer",
+                                  "coalesced check violated; per-member joint checks for " +
+                                      std::to_string(pending_count) + " submissions",
+                                  joint_us);
+      }
       bool all_invertible = std::all_of(members.begin(), members.end(), [](const WaveMember& m) {
         return !m.pending || m.invertible;
       });
@@ -662,9 +760,12 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
         analysis::Snapshot solo;
         spec::VerificationReport solo_report;
         if (replay_ok) {
+          util::Stopwatch solo_watch;
           solo = policies_.engine().analyze(ctx.shadow, ctx.base, member.remainder);
           solo_report = policies_.verify_incremental(solo, ctx.base_report);
           member_clean = !introduces_new_violation(solo_report, ctx.baseline_ids, nullptr);
+          report.stages.verify_us +=
+              static_cast<std::uint64_t>(solo_watch.elapsed_ms() * 1000.0);
         }
         if (replay_ok && member_clean) {
           obs::ScopedSpan schedule_span("enforcer.schedule", "enforcer");
@@ -710,7 +811,20 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
     audit_event(clock, submission.actor, AuditCategory::Verify,
                 "quarantine round: " + std::to_string(report.applied_changes.size()) +
                     " applied, " + std::to_string(report.quarantined.size()) + " intercepted");
+    if (journal.enabled()) {
+      for (const auto& [change, reason] : report.quarantined)
+        journal_quarantine(submission.actor, reason, change);
+      journal.append_in_context(obs::EventType::VerifyVerdict, submission.actor,
+                                std::to_string(report.applied_changes.size()) + " applied, " +
+                                    std::to_string(report.quarantined.size()) + " intercepted",
+                                report.stages.verify_us);
+    }
   }
+
+  // The chain appends interleave across members, so the audit share is an
+  // even split of the wave's total.
+  std::uint64_t audit_share = (audit_elapsed_us() - audit_before) / wave.size();
+  for (const WaveMember& member : members) reports[member.index].stages.audit_us = audit_share;
 }
 
 std::vector<QuarantineReport> PolicyEnforcer::enforce_with_quarantine_batch(
@@ -725,7 +839,10 @@ std::vector<QuarantineReport> PolicyEnforcer::enforce_with_quarantine_batch(
 
   // One full baseline analysis serves the whole batch; every submission
   // after that verifies incrementally off the chained context.
+  util::Stopwatch baseline_watch;
   ChainContext ctx = make_chain(production);
+  std::uint64_t baseline_share =
+      static_cast<std::uint64_t>(baseline_watch.elapsed_ms() * 1000.0) / batch.size();
   std::size_t pos = 0;
   while (pos < batch.size()) {
     std::vector<std::size_t> wave = form_wave(batch, pos, ctx);
@@ -739,6 +856,7 @@ std::vector<QuarantineReport> PolicyEnforcer::enforce_with_quarantine_batch(
     }
     pos += wave.size();
   }
+  for (QuarantineReport& report : reports) report.stages.analyze_us = baseline_share;
   return reports;
 }
 

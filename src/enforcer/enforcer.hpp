@@ -51,6 +51,17 @@ struct QuarantineReport {
   /// False when even the non-quarantined remainder violated policies
   /// jointly and everything was rejected.
   bool applied_any = false;
+
+  /// Wall-time decomposition of this submission's round. Observability only
+  /// — the serialized-oracle equivalence compares the fields above, never
+  /// these (timings differ between the batched and oracle pipelines by
+  /// construction).
+  struct StageTimes {
+    std::uint64_t analyze_us = 0;  ///< this submission's share of the batch baseline analysis
+    std::uint64_t verify_us = 0;   ///< privilege check + attribution + joint verification
+    std::uint64_t audit_us = 0;    ///< audit chain appends + enclave reseals
+  };
+  StageTimes stages;
 };
 
 /// Outcome of one emergency-mode command.
@@ -176,6 +187,13 @@ class PolicyEnforcer {
 
   const SimulatedEnclave& enclave() const { return enclave_; }
 
+  /// Cumulative wall time spent inside audit_event() chain appends +
+  /// reseals on this enforcer (microseconds). The service reads deltas of
+  /// this around each submission to fill QuarantineReport::StageTimes.
+  std::uint64_t audit_elapsed_us() const {
+    return audit_elapsed_us_.load(std::memory_order_relaxed);
+  }
+
   // TAMPERING HOOKS (tests only): let rollback/truncation tests swap in a
   // stale log + sealed-head pair the way an attacker with disk access would.
   AuditLog& mutable_audit_for_test() { return audit_; }
@@ -214,6 +232,7 @@ class PolicyEnforcer {
   AuditLog audit_;
   SealedBlob sealed_head_;
   AuditSink sink_;
+  std::atomic<std::uint64_t> audit_elapsed_us_{0};
 };
 
 }  // namespace heimdall::enforce

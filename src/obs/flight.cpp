@@ -1,0 +1,138 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/journal.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rolling.hpp"
+#include "obs/trace.hpp"
+
+namespace heimdall::obs {
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder the_recorder;
+  return the_recorder;
+}
+
+void FlightRecorder::configure(Options options) {
+  if (!options.output_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.output_dir, ec);
+    if (ec) {
+      OBS_LOG(Error) << "flight recorder cannot create output dir '" << options.output_dir
+                     << "': " << ec.message();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    options_ = std::move(options);
+  }
+  set_enabled(true);
+}
+
+std::string FlightRecorder::trigger(std::string_view reason, std::int64_t ticket) {
+  if (!enabled()) return {};
+  Options options;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    options = options_;
+  }
+  std::uint64_t index = dumps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (index > options.max_dumps) {
+    dumps_.fetch_sub(1, std::memory_order_relaxed);
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+
+  EventJournal& journal = EventJournal::global();
+  std::string out = "{\"reason\":";
+  detail::append_json_string(out, reason);
+  out += ",\"ticket\":" + std::to_string(ticket);
+  out += ",\"t_us\":" + std::to_string(steady_now_us());
+  out += ",\"dump\":" + std::to_string(index);
+
+  out += ",\"recent_events\":[";
+  bool first = true;
+  for (const EventRecord& record : journal.tail(options.last_events)) {
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_event_json(out, record);
+  }
+  out += "]";
+
+  if (ticket != 0) {
+    out += ",\"ticket_events\":[";
+    first = true;
+    for (const EventRecord& record : journal.for_ticket(ticket)) {
+      if (!first) out.push_back(',');
+      first = false;
+      detail::append_event_json(out, record);
+    }
+    out += "]";
+  }
+
+  out += ",\"open_spans\":[";
+  first = true;
+  for (const SpanRecord& span : tracer().open_spans()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    detail::append_json_string(out, span.name);
+    out += ",\"cat\":";
+    detail::append_json_string(out, span.category);
+    out += ",\"start_us\":" + std::to_string(span.start_us);
+    out += ",\"tid\":" + std::to_string(span.tid);
+    out += ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : span.args) {
+      if (!first_arg) out.push_back(',');
+      first_arg = false;
+      detail::append_json_string(out, key);
+      out.push_back(':');
+      detail::append_json_string(out, value);
+    }
+    out += "}}";
+  }
+  out += "]";
+
+  // Registry / rolling / SLO exports are already JSON documents.
+  out += ",\"metrics\":" + Registry::global().to_json();
+  out += ",\"rolling\":" + RollingRegistry::global().to_json();
+  out += ",\"slo\":" + SloTracker::global().to_json();
+  out.push_back('}');
+
+  journal.append(EventType::FlightDump, ticket, 0, "flight-recorder", std::string(reason), index);
+
+  if (!options.output_dir.empty()) {
+    std::string path = options.output_dir + "/flight-" + std::to_string(index) + "-" +
+                       std::string(reason) + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file) {
+      std::fwrite(out.data(), 1, out.size(), file);
+      std::fclose(file);
+    } else {
+      OBS_LOG(Error) << "flight recorder cannot write '" << path << "'";
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_dump_ = out;
+  }
+  return out;
+}
+
+std::string FlightRecorder::last_dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_dump_;
+}
+
+void FlightRecorder::reset() {
+  dumps_.store(0, std::memory_order_relaxed);
+  suppressed_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_dump_.clear();
+}
+
+}  // namespace heimdall::obs

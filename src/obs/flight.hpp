@@ -1,0 +1,67 @@
+// Flight recorder: on an anomaly (violation/quarantine, replay failure,
+// audit-tamper detection, SLO meltdown) capture everything an operator
+// needs to reconstruct "what was the service doing right then" — the last-N
+// journal events, the offending ticket's full event trail, every span still
+// open, and a metrics + SLO snapshot — as one JSON dump.
+//
+// Dumps are written to a configured directory (flight-<n>-<reason>.json) or,
+// when no directory is set, kept in memory for the caller (tests read
+// last_dump()). A per-run cap keeps a pathological run from flooding the
+// disk; suppressed dumps are counted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace heimdall::obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Directory dumps are written into ("" keeps them in memory only).
+    std::string output_dir;
+    /// How many trailing journal events a dump includes.
+    std::size_t last_events = 256;
+    /// Dumps per run before triggers are suppressed (counted, not written).
+    std::size_t max_dumps = 32;
+  };
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  static FlightRecorder& global();
+
+  /// Configure + enable in one step (what TelemetryFlags::apply does).
+  void configure(Options options);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+
+  /// Captures a dump for `reason` (and `ticket` when != 0). Returns the dump
+  /// JSON, or "" when disabled or over the dump cap. Thread-safe; the
+  /// capture itself is journaled as a FlightDump event.
+  std::string trigger(std::string_view reason, std::int64_t ticket);
+
+  std::uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+  std::uint64_t suppressed() const { return suppressed_.load(std::memory_order_relaxed); }
+
+  /// The most recent dump (copy; "" when none yet).
+  std::string last_dump() const;
+
+  /// Re-arms the recorder (counters + last dump). Test isolation hook.
+  void reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+  mutable std::mutex mutex_;  ///< guards options_ and last_dump_
+  Options options_;
+  std::string last_dump_;
+};
+
+}  // namespace heimdall::obs

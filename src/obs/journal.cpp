@@ -1,0 +1,201 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace heimdall::obs {
+
+std::string_view to_string(EventType type) {
+  switch (type) {
+    case EventType::SessionOpen: return "session_open";
+    case EventType::SessionSubmit: return "session_submit";
+    case EventType::SessionClose: return "session_close";
+    case EventType::QueueEnqueue: return "queue_enqueue";
+    case EventType::QueueDequeue: return "queue_dequeue";
+    case EventType::WaveCoalesce: return "wave_coalesce";
+    case EventType::WaveSplit: return "wave_split";
+    case EventType::VerifyVerdict: return "verify_verdict";
+    case EventType::Quarantine: return "quarantine";
+    case EventType::ReplayFailure: return "replay_failure";
+    case EventType::AuditFlush: return "audit_flush";
+    case EventType::AuditSeal: return "audit_seal";
+    case EventType::TamperAlert: return "tamper_alert";
+    case EventType::SloBreach: return "slo_breach";
+    case EventType::FlightDump: return "flight_dump";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void append_event_json(std::string& out, const EventRecord& record) {
+  out += "{\"seq\":" + std::to_string(record.seq);
+  out += ",\"t_us\":" + std::to_string(record.t_us);
+  out += ",\"type\":";
+  append_json_string(out, to_string(record.type));
+  out += ",\"ticket\":" + std::to_string(record.ticket);
+  out += ",\"session\":" + std::to_string(record.session);
+  out += ",\"actor\":";
+  append_json_string(out, record.actor);
+  out += ",\"detail\":";
+  append_json_string(out, record.detail);
+  out += ",\"value_us\":" + std::to_string(record.value_us);
+  out.push_back('}');
+}
+
+}  // namespace detail
+
+EventJournal::EventJournal(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, kShards)) {
+  shards_.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t EventJournal::per_shard_capacity() const {
+  return std::max<std::size_t>(1, capacity_.load(std::memory_order_relaxed) / kShards);
+}
+
+void EventJournal::set_capacity(std::size_t capacity) {
+  capacity_.store(std::max<std::size_t>(capacity, kShards), std::memory_order_relaxed);
+  std::size_t per_shard = per_shard_capacity();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->ring.size() <= per_shard) continue;
+    // Keep the newest events: rotate the ring into stamp order, then trim
+    // the front (oldest) down to the new budget.
+    std::rotate(shard->ring.begin(), shard->ring.begin() + static_cast<std::ptrdiff_t>(shard->next),
+                shard->ring.end());
+    std::size_t excess = shard->ring.size() - per_shard;
+    shard->ring.erase(shard->ring.begin(), shard->ring.begin() + static_cast<std::ptrdiff_t>(excess));
+    shard->next = 0;
+    dropped_.fetch_add(excess, std::memory_order_relaxed);
+  }
+}
+
+void EventJournal::set_time_source(TimeSource source) {
+  std::lock_guard<std::mutex> lock(time_mutex_);
+  time_ = std::move(source);
+}
+
+EventJournal::Shard& EventJournal::shard_for_thread() {
+  std::size_t index = std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return *shards_[index];
+}
+
+void EventJournal::append(EventType type, std::int64_t ticket, std::uint64_t session,
+                          std::string actor, std::string detail, std::uint64_t value_us) {
+  if (!enabled()) return;
+  EventRecord record;
+  record.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(time_mutex_);
+    record.t_us = time_ ? time_() : steady_now_us();
+  }
+  record.type = type;
+  record.ticket = ticket;
+  record.session = session;
+  record.actor = std::move(actor);
+  record.detail = std::move(detail);
+  record.value_us = value_us;
+  appended_.fetch_add(1, std::memory_order_relaxed);
+
+  std::size_t per_shard = per_shard_capacity();
+  Shard& shard = shard_for_thread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.ring.size() < per_shard) {
+    shard.ring.push_back(std::move(record));
+    return;
+  }
+  // Ring full: overwrite the oldest slot. The registry counter reference is
+  // looked up once — the drop path stays two relaxed adds + the assignment.
+  static Counter& drop_counter = Registry::global().counter("obs.journal_dropped");
+  drop_counter.add();
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.next >= shard.ring.size()) shard.next = 0;
+  shard.ring[shard.next] = std::move(record);
+  shard.next = (shard.next + 1) % shard.ring.size();
+}
+
+void EventJournal::append_in_context(EventType type, std::string actor, std::string detail,
+                                     std::uint64_t value_us) {
+  if (!enabled()) return;
+  std::int64_t ticket = 0;
+  std::uint64_t session = 0;
+  for (const auto& [key, value] : current_context()) {
+    // Inner frames shadow outer ones, so the last match wins.
+    if (key == "ticket")
+      ticket = std::strtoll(value.c_str(), nullptr, 10);
+    else if (key == "session")
+      session = std::strtoull(value.c_str(), nullptr, 10);
+  }
+  append(type, ticket, session, std::move(actor), std::move(detail), value_us);
+}
+
+std::vector<EventRecord> EventJournal::snapshot() const {
+  std::vector<EventRecord> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.insert(out.end(), shard->ring.begin(), shard->ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventRecord& a, const EventRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::vector<EventRecord> EventJournal::for_ticket(std::int64_t ticket) const {
+  std::vector<EventRecord> all = snapshot();
+  std::vector<EventRecord> out;
+  for (EventRecord& record : all)
+    if (record.ticket == ticket) out.push_back(std::move(record));
+  return out;
+}
+
+std::vector<EventRecord> EventJournal::tail(std::size_t count) const {
+  std::vector<EventRecord> all = snapshot();
+  if (all.size() > count) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(count));
+  return all;
+}
+
+std::size_t EventJournal::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->ring.size();
+  }
+  return total;
+}
+
+void EventJournal::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->ring.clear();
+    shard->next = 0;
+  }
+}
+
+std::string EventJournal::to_json() const {
+  std::vector<EventRecord> events = snapshot();
+  std::string out = "{\"events\":[";
+  bool first = true;
+  for (const EventRecord& record : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_event_json(out, record);
+  }
+  out += "],\"appended\":" + std::to_string(appended());
+  out += ",\"dropped\":" + std::to_string(dropped());
+  out.push_back('}');
+  return out;
+}
+
+EventJournal& EventJournal::global() {
+  static EventJournal the_journal;
+  return the_journal;
+}
+
+}  // namespace heimdall::obs

@@ -1,0 +1,142 @@
+// Bounded, lock-sharded structured event journal — the service's flight
+// recorder memory.
+//
+// Instrumented code appends typed events (session open/submit/close, queue
+// enqueue/dequeue, wave coalesce/split, verification verdicts, quarantines,
+// audit flush/seal, SLO breaches) tagged with the ticket and session they
+// belong to. Events carry a global atomic stamp, so a merged snapshot is
+// totally ordered even though the shards fill independently. Storage is a
+// ring per shard: week-long runs keep the most recent window and count what
+// they dropped instead of growing without bound.
+//
+// The journal is disabled by default; an instrumentation site then costs one
+// relaxed atomic load. The enforcement service enables the global journal,
+// and tools/obs_report joins the exported events with the trace and the
+// audit chain into per-ticket timelines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/common.hpp"
+
+namespace heimdall::obs {
+
+enum class EventType : std::uint8_t {
+  SessionOpen,
+  SessionSubmit,
+  SessionClose,
+  QueueEnqueue,
+  QueueDequeue,
+  WaveCoalesce,
+  WaveSplit,
+  VerifyVerdict,
+  Quarantine,
+  ReplayFailure,
+  AuditFlush,
+  AuditSeal,
+  TamperAlert,
+  SloBreach,
+  FlightDump,
+};
+
+std::string_view to_string(EventType type);
+
+/// One journaled event. `ticket` 0 / `session` 0 mean "not scoped".
+struct EventRecord {
+  std::uint64_t seq = 0;   ///< global stamp: the total order auditors see
+  std::uint64_t t_us = 0;  ///< time-source microseconds
+  EventType type = EventType::SessionOpen;
+  std::int64_t ticket = 0;
+  std::uint64_t session = 0;
+  std::string actor;
+  std::string detail;
+  std::uint64_t value_us = 0;  ///< optional payload (stage duration, count)
+};
+
+namespace detail {
+/// Appends one event as a JSON object (shared by journal export and the
+/// flight recorder).
+void append_event_json(std::string& out, const EventRecord& record);
+}  // namespace detail
+
+class EventJournal {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit EventJournal(std::size_t capacity = kDefaultCapacity);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+
+  /// Total retained-event budget, split across the shards (clamped >= shard
+  /// count). Shrinking drops the oldest events of affected shards.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+  /// Replaces the timestamp source ({} restores steady_now_us).
+  void set_time_source(TimeSource source);
+
+  /// Appends one event. Thread-safe: one atomic stamp + one striped mutex.
+  void append(EventType type, std::int64_t ticket, std::uint64_t session, std::string actor,
+              std::string detail, std::uint64_t value_us = 0);
+
+  /// Like append(), but resolves ticket/session from the calling thread's
+  /// obs::current_context() ("ticket"/"session" keys) — what enforcement-
+  /// worker sites use under a replayed ScopedContextFrame.
+  void append_in_context(EventType type, std::string actor, std::string detail,
+                         std::uint64_t value_us = 0);
+
+  /// Retained events merged across shards, in stamp order.
+  std::vector<EventRecord> snapshot() const;
+
+  /// Retained events for one ticket, in stamp order.
+  std::vector<EventRecord> for_ticket(std::int64_t ticket) const;
+
+  /// The newest `count` retained events, in stamp order.
+  std::vector<EventRecord> tail(std::size_t count) const;
+
+  std::size_t size() const;
+  std::uint64_t appended() const { return appended_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Drops every retained event (stamps keep counting up).
+  void clear();
+
+  /// {"events":[...],"appended":N,"dropped":N}
+  std::string to_json() const;
+
+  /// The process-global journal instrumentation sites bind to.
+  static EventJournal& global();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<EventRecord> ring;  ///< ring buffer once full
+    std::size_t next = 0;           ///< overwrite position when full
+  };
+
+  Shard& shard_for_thread();
+  std::size_t per_shard_capacity() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex time_mutex_;
+  TimeSource time_;  ///< guarded by time_mutex_; empty -> steady_now_us
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace heimdall::obs

@@ -1,0 +1,223 @@
+#include "obs/rolling.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/journal.hpp"
+
+namespace heimdall::obs {
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+RollingHistogram::RollingHistogram(std::vector<double> bounds, std::uint64_t window_us,
+                                   std::size_t slices) {
+  Histogram normalizer(std::move(bounds));  // reuse sort/unique/default rules
+  bounds_ = normalizer.bounds();
+  slices = std::max<std::size_t>(slices, 2);
+  slice_us_ = std::max<std::uint64_t>(1, window_us / slices);
+  slices_.resize(slices);
+  for (Slice& slice : slices_) slice.counts.assign(bounds_.size() + 1, 0);
+}
+
+std::uint64_t RollingHistogram::now_us_locked() const {
+  return time_ ? time_() : steady_now_us();
+}
+
+RollingHistogram::Slice& RollingHistogram::slice_for_locked(std::uint64_t slot) {
+  Slice& slice = slices_[slot % slices_.size()];
+  if (slice.slot != slot) {
+    // The ring moved past this slice's old window: recycle it.
+    slice.slot = slot;
+    std::fill(slice.counts.begin(), slice.counts.end(), 0);
+    slice.count = 0;
+    slice.sum = 0;
+  }
+  return slice;
+}
+
+void RollingHistogram::observe(double value) {
+  std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                               bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slice& slice = slice_for_locked(now_us_locked() / slice_us_);
+  slice.counts[bucket] += 1;
+  slice.count += 1;
+  slice.sum += value;
+}
+
+HistogramSnapshot RollingHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t now_slot = now_us_locked() / slice_us_;
+  std::uint64_t oldest = now_slot >= slices_.size() - 1 ? now_slot - (slices_.size() - 1) : 0;
+  HistogramSnapshot merged;
+  merged.bounds = bounds_;
+  merged.counts.assign(bounds_.size() + 1, 0);
+  for (const Slice& slice : slices_) {
+    if (slice.count == 0 || slice.slot < oldest || slice.slot > now_slot) continue;
+    for (std::size_t i = 0; i < slice.counts.size(); ++i) merged.counts[i] += slice.counts[i];
+    merged.count += slice.count;
+    merged.sum += slice.sum;
+  }
+  return merged;
+}
+
+void RollingHistogram::set_time_source(TimeSource source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  time_ = std::move(source);
+}
+
+void RollingHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Slice& slice : slices_) {
+    slice.slot = 0;
+    std::fill(slice.counts.begin(), slice.counts.end(), 0);
+    slice.count = 0;
+    slice.sum = 0;
+  }
+}
+
+RollingRegistry& RollingRegistry::global() {
+  static RollingRegistry the_registry;
+  return the_registry;
+}
+
+RollingHistogram& RollingRegistry::histogram(const std::string& name, std::vector<double> bounds,
+                                             std::uint64_t window_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    auto fresh = std::make_unique<RollingHistogram>(std::move(bounds), window_us);
+    if (time_) fresh->set_time_source(time_);
+    it = histograms_.emplace(name, std::move(fresh)).first;
+  }
+  return *it->second;
+}
+
+void RollingRegistry::set_time_source(TimeSource source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  time_ = source;
+  for (auto& [name, histogram] : histograms_) histogram->set_time_source(time_);
+}
+
+std::string RollingRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap = histogram->snapshot();
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_json_string(out, name);
+    out += ":{\"window_us\":" + std::to_string(histogram->window_us());
+    out += ",\"count\":" + std::to_string(snap.count);
+    out += ",\"mean\":";
+    append_double(out, snap.mean());
+    out += ",\"p50\":";
+    append_double(out, snap.p50());
+    out += ",\"p95\":";
+    append_double(out, snap.p95());
+    out += ",\"p99\":";
+    append_double(out, snap.p99());
+    out.push_back('}');
+  }
+  out.push_back('}');
+  return out;
+}
+
+void RollingRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+SloTracker& SloTracker::global() {
+  static SloTracker the_tracker;
+  return the_tracker;
+}
+
+void SloTracker::define(const std::string& name, double threshold) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SloStatus& status = objectives_[name];
+  status.name = name;
+  status.threshold = threshold;
+}
+
+bool SloTracker::observe(const std::string& name, double value) {
+  bool breached = false;
+  double threshold = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = objectives_.find(name);
+    if (it == objectives_.end()) return false;
+    SloStatus& status = it->second;
+    status.last = value;
+    status.samples += 1;
+    if (value > status.threshold) {
+      status.breaches += 1;
+      breached = true;
+      threshold = status.threshold;
+    }
+  }
+  if (breached) {
+    static Counter& breach_counter = Registry::global().counter("slo.breaches");
+    breach_counter.add();
+    char detail[96];
+    std::snprintf(detail, sizeof detail, "%.3g > threshold %.3g", value, threshold);
+    EventJournal::global().append_in_context(EventType::SloBreach, name, detail,
+                                             static_cast<std::uint64_t>(value));
+  }
+  return breached;
+}
+
+std::vector<SloStatus> SloTracker::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloStatus> out;
+  out.reserve(objectives_.size());
+  for (const auto& [name, status] : objectives_) out.push_back(status);
+  return out;
+}
+
+std::uint64_t SloTracker::total_breaches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, status] : objectives_) total += status.breaches;
+  return total;
+}
+
+std::string SloTracker::to_json() const {
+  std::vector<SloStatus> all = status();
+  std::string out = "[";
+  bool first = true;
+  for (const SloStatus& status : all) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    detail::append_json_string(out, status.name);
+    out += ",\"threshold\":";
+    append_double(out, status.threshold);
+    out += ",\"last\":";
+    append_double(out, status.last);
+    out += ",\"samples\":" + std::to_string(status.samples);
+    out += ",\"breaches\":" + std::to_string(status.breaches);
+    out += ",\"healthy\":";
+    out += status.healthy() ? "true" : "false";
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return out;
+}
+
+void SloTracker::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  objectives_.clear();
+}
+
+}  // namespace heimdall::obs

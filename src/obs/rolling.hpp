@@ -1,0 +1,138 @@
+// Rolling-window telemetry + SLO tracking on top of the cumulative registry.
+//
+// The cumulative Registry answers "what happened since the process started";
+// a live service also needs "what is happening *now*". RollingHistogram
+// keeps a ring of time slices and forgets slices older than the window, so
+// its snapshot is a time-decayed view (p99 over the last minute, not the
+// last week). RollingRegistry is the named, process-global layer the service
+// reports into; SloTracker turns selected observations into explicit
+// service-level objectives with breach counters and a health verdict.
+//
+// An SLO breach is an *event*: the tracker journals it (with the breaching
+// ticket's context) and bumps a breach counter, so statusz and the flight
+// recorder can show not just "p99 is high" but which tickets blew the
+// objective and when.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/common.hpp"
+#include "obs/metrics.hpp"
+
+namespace heimdall::obs {
+
+class RollingHistogram {
+ public:
+  /// `bounds` as in Histogram (empty -> default latency buckets). The window
+  /// is `slices` ring slots of `window_us / slices` each; an observation
+  /// lands in the current slot and expires once the window moves past it.
+  explicit RollingHistogram(std::vector<double> bounds = {},
+                            std::uint64_t window_us = kDefaultWindowUs, std::size_t slices = 6);
+
+  void observe(double value);
+
+  /// Merged view of the slices still inside the window.
+  HistogramSnapshot snapshot() const;
+
+  std::uint64_t window_us() const { return slice_us_ * slices_.size(); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  void set_time_source(TimeSource source);
+  void reset();
+
+  static constexpr std::uint64_t kDefaultWindowUs = 60ull * 1000 * 1000;
+
+ private:
+  struct Slice {
+    std::uint64_t slot = 0;  ///< absolute slot index this slice holds
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0;
+  };
+
+  std::uint64_t now_us_locked() const;
+  Slice& slice_for_locked(std::uint64_t slot);
+
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;
+  std::uint64_t slice_us_;
+  mutable std::vector<Slice> slices_;
+  TimeSource time_;  ///< guarded by mutex_; empty -> steady_now_us
+};
+
+/// Named rolling histograms, mirroring Registry's find-or-create contract.
+class RollingRegistry {
+ public:
+  RollingRegistry() = default;
+  RollingRegistry(const RollingRegistry&) = delete;
+  RollingRegistry& operator=(const RollingRegistry&) = delete;
+
+  static RollingRegistry& global();
+
+  /// Finds or creates; `bounds`/`window_us` are used only on first creation.
+  /// References stay valid for the registry's lifetime.
+  RollingHistogram& histogram(const std::string& name, std::vector<double> bounds = {},
+                              std::uint64_t window_us = RollingHistogram::kDefaultWindowUs);
+
+  /// Applied to every existing and future histogram (deterministic tests).
+  void set_time_source(TimeSource source);
+
+  /// {"name":{"window_us":N,"count":N,"p50":..,"p95":..,"p99":..,"mean":..}}
+  std::string to_json() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  TimeSource time_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>> histograms_;
+};
+
+/// One objective's live health.
+struct SloStatus {
+  std::string name;
+  double threshold = 0;  ///< breach when an observation exceeds this
+  double last = 0;       ///< most recent observation
+  std::uint64_t samples = 0;
+  std::uint64_t breaches = 0;
+  bool healthy() const { return breaches == 0; }
+};
+
+class SloTracker {
+ public:
+  SloTracker() = default;
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  static SloTracker& global();
+
+  /// Registers (or re-thresholds) an objective. Counters are kept.
+  void define(const std::string& name, double threshold);
+
+  /// Records one observation; returns true on breach. A breach bumps the
+  /// "slo.breaches" registry counter and journals an SloBreach event under
+  /// the calling thread's context. Unknown names are ignored (returns
+  /// false) so instrumentation sites don't need to know which objectives
+  /// the operator configured.
+  bool observe(const std::string& name, double value);
+
+  std::vector<SloStatus> status() const;
+  std::uint64_t total_breaches() const;
+
+  /// [{"name":..,"threshold":..,"last":..,"samples":N,"breaches":N,"healthy":b}]
+  std::string to_json() const;
+
+  /// Drops every objective and its counters. Test isolation hook.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, SloStatus> objectives_;
+};
+
+}  // namespace heimdall::obs

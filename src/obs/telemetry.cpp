@@ -1,6 +1,12 @@
 #include "obs/telemetry.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/flight.hpp"
+#include "obs/journal.hpp"
 
 namespace heimdall::obs {
 
@@ -18,6 +24,27 @@ bool write_file(const std::string& path, const std::string& content, const char*
   return ok;
 }
 
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+void append_prom_double(std::string& out, double value) {
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
 }  // namespace
 
 Tracer& enable_tracing() {
@@ -32,6 +59,113 @@ bool write_trace_file(const Tracer& tracer, const std::string& path) {
 
 bool write_metrics_file(const Registry& registry, const std::string& path, bool as_json) {
   return write_file(path, as_json ? registry.to_json() : registry.to_text(), "metrics");
+}
+
+bool write_string_file(const std::string& path, const std::string& content, const char* what) {
+  return write_file(path, content, what);
+}
+
+std::string export_prometheus(const Registry& registry) {
+  MetricsSnapshot snap = registry.snapshot();
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snap.counters) {
+    std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += i < hist.counts.size() ? hist.counts[i] : 0;
+      out += metric + "_bucket{le=\"";
+      append_prom_double(out, hist.bounds[i]);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += metric + "_sum ";
+    append_prom_double(out, hist.sum);
+    out += "\n";
+    out += metric + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+bool TelemetryFlags::consume(int argc, char** argv, int& i) {
+  auto take_value = [&](std::string& slot) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    slot = argv[++i];
+  };
+  const char* flag = argv[i];
+  if (std::strcmp(flag, "--trace-out") == 0) {
+    take_value(trace_out);
+  } else if (std::strcmp(flag, "--metrics-out") == 0) {
+    take_value(metrics_out);
+  } else if (std::strcmp(flag, "--prom-out") == 0) {
+    take_value(prom_out);
+  } else if (std::strcmp(flag, "--journal-out") == 0) {
+    take_value(journal_out);
+  } else if (std::strcmp(flag, "--flight-dir") == 0) {
+    take_value(flight_dir);
+  } else if (std::strcmp(flag, "--statusz-out") == 0) {
+    take_value(statusz_out);
+  } else if (std::strcmp(flag, "--audit-out") == 0) {
+    take_value(audit_out);
+  } else if (std::strcmp(flag, "--statusz-period-ms") == 0) {
+    std::string value;
+    take_value(value);
+    statusz_period_ms = std::strtoull(value.c_str(), nullptr, 10);
+    if (statusz_period_ms == 0) statusz_period_ms = 200;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* TelemetryFlags::usage() {
+  return "  --trace-out FILE          write Chrome trace JSON\n"
+         "  --metrics-out FILE        write metrics registry JSON\n"
+         "  --prom-out FILE           write Prometheus text exposition\n"
+         "  --journal-out FILE        write structured event journal JSON\n"
+         "  --flight-dir DIR          write flight-recorder dumps on anomalies\n"
+         "  --statusz-out FILE        periodically write service statusz JSON\n"
+         "  --statusz-period-ms N     statusz refresh period (default 200)\n"
+         "  --audit-out FILE          write the sealed audit log JSON\n";
+}
+
+void TelemetryFlags::apply() const {
+  if (!trace_out.empty()) enable_tracing();
+  if (!journal_out.empty() || !statusz_out.empty() || !flight_dir.empty()) {
+    EventJournal::global().set_enabled(true);
+  }
+  if (!flight_dir.empty()) {
+    FlightRecorder::Options options;
+    options.output_dir = flight_dir;
+    FlightRecorder::global().configure(std::move(options));
+  }
+}
+
+bool TelemetryFlags::write_outputs() const {
+  bool ok = true;
+  if (!trace_out.empty()) ok &= write_trace_file(tracer(), trace_out);
+  if (!metrics_out.empty()) ok &= write_metrics_file(Registry::global(), metrics_out);
+  if (!prom_out.empty()) {
+    ok &= write_file(prom_out, export_prometheus(Registry::global()), "prometheus");
+  }
+  if (!journal_out.empty()) {
+    ok &= write_file(journal_out, EventJournal::global().to_json(), "journal");
+  }
+  return ok;
 }
 
 }  // namespace heimdall::obs

@@ -1,8 +1,16 @@
-// Telemetry facade: one-call setup and file export for the global tracer
-// and metrics registry — what examples and benches use to implement their
-// --trace-out / --metrics-out flags.
+// Telemetry facade: one-call setup and file export for the global tracer,
+// metrics registry and event journal — what examples, tools and benches use
+// to implement their --trace-out / --metrics-out / --journal-out flags.
+//
+// TelemetryFlags centralises the flag surface so every binary spells the
+// flags the same way: call consume() from the argv loop, apply() once flags
+// are parsed (enables the tracer / journal / flight recorder as requested),
+// and write_outputs() on the way out. Flags whose payload the obs layer
+// cannot produce itself (--statusz-out, --audit-out) are still parsed here
+// so usage() stays complete; the binary reads the stored paths.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "obs/log.hpp"
@@ -22,5 +30,43 @@ bool write_trace_file(const Tracer& tracer, const std::string& path);
 /// Writes a registry snapshot to `path`; JSON by default, plain text when
 /// `as_json` is false.
 bool write_metrics_file(const Registry& registry, const std::string& path, bool as_json = true);
+
+/// Writes `content` to `path`, logging an Error on failure. `what` names the
+/// payload in the error message ("statusz", "flight dump", ...).
+bool write_string_file(const std::string& path, const std::string& content, const char* what);
+
+/// Prometheus text exposition (version 0.0.4) of a registry snapshot.
+/// Metric names are sanitised ('.' and '-' become '_'); histograms export
+/// cumulative _bucket{le=...} series plus _sum and _count.
+std::string export_prometheus(const Registry& registry);
+
+/// The shared observability flag set.
+struct TelemetryFlags {
+  std::string trace_out;       ///< --trace-out: Chrome trace JSON
+  std::string metrics_out;     ///< --metrics-out: registry JSON
+  std::string prom_out;        ///< --prom-out: Prometheus text format
+  std::string journal_out;     ///< --journal-out: event journal JSON
+  std::string flight_dir;      ///< --flight-dir: flight-recorder dump dir
+  std::string statusz_out;     ///< --statusz-out: periodic service statusz
+  std::string audit_out;       ///< --audit-out: sealed audit log JSON
+  std::uint64_t statusz_period_ms = 200;  ///< --statusz-period-ms
+
+  /// Tries to consume argv[i] (and its value). Returns true when the flag
+  /// was recognised, advancing `i` past the value. Exits with status 2 when
+  /// a recognised flag is missing its value.
+  bool consume(int argc, char** argv, int& i);
+
+  /// One usage line per flag, for --help text.
+  static const char* usage();
+
+  /// Enables the subsystems the requested outputs need: the tracer when a
+  /// trace file is wanted, the journal when a journal / statusz / flight
+  /// output is wanted, and the flight recorder when a dump dir is set.
+  void apply() const;
+
+  /// Writes trace / metrics / prometheus / journal files (the outputs the
+  /// obs layer can produce alone). Returns false if any write failed.
+  bool write_outputs() const;
+};
 
 }  // namespace heimdall::obs

@@ -1,9 +1,12 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <thread>
+
+#include "obs/metrics.hpp"
 
 namespace heimdall::obs {
 
@@ -25,9 +28,24 @@ struct Tracer::State {
   TimeSource time;  // empty -> steady_now_us
   SpanId next_id = 1;
   std::map<SpanId, SpanRecord> open;
-  std::vector<SpanRecord> finished;
+  std::deque<SpanRecord> finished;  ///< bounded ring: oldest spans evicted
   std::map<std::thread::id, std::uint32_t> thread_indices;
 };
+
+void Tracer::push_finished_locked(State& s, SpanRecord record) {
+  s.finished.push_back(std::move(record));
+  std::size_t capacity = capacity_.load(std::memory_order_relaxed);
+  std::uint64_t evicted = 0;
+  while (s.finished.size() > capacity) {
+    s.finished.pop_front();
+    ++evicted;
+  }
+  if (evicted > 0) {
+    dropped_.fetch_add(evicted, std::memory_order_relaxed);
+    static Counter& drop_counter = Registry::global().counter("obs.trace_dropped");
+    drop_counter.add(evicted);
+  }
+}
 
 Tracer::~Tracer() { delete state_.load(); }
 
@@ -99,7 +117,7 @@ void Tracer::end(SpanId id) {
   s.open.erase(it);
   std::uint64_t now = s.time ? s.time() : steady_now_us();
   record.duration_us = now >= record.start_us ? now - record.start_us : 0;
-  s.finished.push_back(std::move(record));
+  push_finished_locked(s, std::move(record));
   // Pop this thread's frame (RAII makes it the innermost one for `this`).
   for (auto frame = t_open_stack.rbegin(); frame != t_open_stack.rend(); ++frame) {
     if (frame->tracer == this && frame->id == id) {
@@ -128,13 +146,39 @@ void Tracer::instant(std::string name, std::string category, SpanArgs args) {
       break;
     }
   }
-  s.finished.push_back(std::move(record));
+  push_finished_locked(s, std::move(record));
 }
 
 std::vector<SpanRecord> Tracer::spans() const {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
-  return s.finished;
+  return std::vector<SpanRecord>(s.finished.begin(), s.finished.end());
+}
+
+std::vector<SpanRecord> Tracer::open_spans() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<SpanRecord> out;
+  out.reserve(s.open.size());
+  for (const auto& [id, record] : s.open) out.push_back(record);
+  return out;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  capacity_.store(std::max<std::size_t>(capacity, 1), std::memory_order_relaxed);
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t limit = capacity_.load(std::memory_order_relaxed);
+  std::uint64_t evicted = 0;
+  while (s.finished.size() > limit) {
+    s.finished.pop_front();
+    ++evicted;
+  }
+  if (evicted > 0) {
+    dropped_.fetch_add(evicted, std::memory_order_relaxed);
+    static Counter& drop_counter = Registry::global().counter("obs.trace_dropped");
+    drop_counter.add(evicted);
+  }
 }
 
 std::size_t Tracer::span_count() const {

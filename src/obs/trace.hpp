@@ -13,8 +13,11 @@
 // cross-correlatable with the audit trail.
 //
 // The tracer is disabled by default; every instrumentation site then costs a
-// single relaxed atomic load. to_chrome_json() emits complete ("ph":"X")
-// events loadable in chrome://tracing and https://ui.perfetto.dev.
+// single relaxed atomic load. Finished spans live in a bounded ring
+// (set_capacity) — a week-long service run retains the most recent window
+// and counts evictions in obs.trace_dropped instead of growing without
+// bound. to_chrome_json() emits complete ("ph":"X") events over that
+// retained window, loadable in chrome://tracing and https://ui.perfetto.dev.
 #pragma once
 
 #include <atomic>
@@ -68,10 +71,21 @@ class Tracer {
   /// Zero-duration instant event (e.g. "audit.append").
   void instant(std::string name, std::string category, SpanArgs args = {});
 
-  /// Finished spans, in completion order.
+  /// Finished spans retained in the ring, in completion order.
   std::vector<SpanRecord> spans() const;
 
+  /// Spans begun but not yet ended (duration 0), flight-recorder fodder.
+  std::vector<SpanRecord> open_spans() const;
+
   std::size_t span_count() const;
+
+  /// Ring capacity for finished spans (clamped >= 1). Shrinking drops the
+  /// oldest retained spans; every eviction counts into obs.trace_dropped.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+  /// Finished spans evicted from the ring so far.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
   /// Drops finished spans (open spans and thread bookkeeping are kept).
   void clear();
@@ -84,8 +98,13 @@ class Tracer {
   State& state() const;
 
   std::uint32_t thread_index_locked(State& state) const;
+  void push_finished_locked(State& state, SpanRecord record);
+
+  static constexpr std::size_t kDefaultCapacity = 262144;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::atomic<State*> state_{nullptr};
 };
 

@@ -4,6 +4,12 @@
 #include <chrono>
 #include <thread>
 
+#include <memory>
+
+#include "obs/flight.hpp"
+#include "obs/journal.hpp"
+#include "obs/rolling.hpp"
+#include "obs/telemetry.hpp"
 #include "scenarios/enterprise.hpp"
 #include "scenarios/university.hpp"
 #include "service/manager.hpp"
@@ -79,7 +85,13 @@ LoadReport run_load(const LoadSpec& spec) {
   options.max_batch = spec.serialized ? 1 : spec.max_batch;
   options.coalesce_waves = !spec.serialized;
   options.artifact_cache_capacity = spec.artifact_cache_capacity;
+  options.journal_enabled = spec.journal || !spec.statusz_out.empty();
   SessionManager manager(std::move(production), std::move(policies), options);
+  std::unique_ptr<StatuszWriter> statusz;
+  if (!spec.statusz_out.empty()) {
+    statusz = std::make_unique<StatuszWriter>(manager, spec.statusz_out,
+                                              spec.statusz_period_ms);
+  }
 
   struct PerThread {
     std::vector<double> latencies_ms;
@@ -87,6 +99,10 @@ LoadReport run_load(const LoadSpec& spec) {
     std::size_t quarantined = 0;
     std::size_t stale = 0;
     std::size_t violating = 0;
+    std::uint64_t queue_wait_us = 0;
+    std::uint64_t analyze_us = 0;
+    std::uint64_t verify_us = 0;
+    std::uint64_t audit_us = 0;
   };
   std::size_t technicians = std::max<std::size_t>(1, spec.technicians);
   std::vector<PerThread> per_thread(technicians);
@@ -114,6 +130,10 @@ LoadReport run_load(const LoadSpec& spec) {
             std::chrono::duration<double, std::milli>(ticket_end - ticket_start).count());
         mine.applied += outcome.report.applied_changes.size();
         mine.quarantined += outcome.report.quarantined.size();
+        mine.queue_wait_us += outcome.queue_wait_us;
+        mine.analyze_us += outcome.report.stages.analyze_us;
+        mine.verify_us += outcome.report.stages.verify_us;
+        mine.audit_us += outcome.report.stages.audit_us;
         if (!outcome.stale_devices.empty()) ++mine.stale;
         if (scripted.violating) ++mine.violating;
       }
@@ -131,12 +151,24 @@ LoadReport run_load(const LoadSpec& spec) {
       wall_seconds > 0 ? static_cast<double>(spec.tickets) / wall_seconds : 0.0;
 
   std::vector<double> latencies;
+  std::uint64_t total_queue_wait = 0, total_analyze = 0, total_verify = 0, total_audit = 0;
   for (const PerThread& mine : per_thread) {
     latencies.insert(latencies.end(), mine.latencies_ms.begin(), mine.latencies_ms.end());
     report.applied_changes += mine.applied;
     report.quarantined_changes += mine.quarantined;
     report.stale_sessions += mine.stale;
     report.violating_tickets += mine.violating;
+    total_queue_wait += mine.queue_wait_us;
+    total_analyze += mine.analyze_us;
+    total_verify += mine.verify_us;
+    total_audit += mine.audit_us;
+  }
+  if (spec.tickets > 0) {
+    double n = static_cast<double>(spec.tickets);
+    report.mean_queue_wait_us = static_cast<double>(total_queue_wait) / n;
+    report.mean_analyze_us = static_cast<double>(total_analyze) / n;
+    report.mean_verify_us = static_cast<double>(total_verify) / n;
+    report.mean_audit_us = static_cast<double>(total_audit) / n;
   }
   std::sort(latencies.begin(), latencies.end());
   auto percentile = [&](double q) {
@@ -162,6 +194,17 @@ LoadReport run_load(const LoadSpec& spec) {
   report.artifact_misses = stats.artifact_misses;
   report.audit_intact = manager.enforcer().audit_intact();
   report.audit_entries = manager.enforcer().audit().size();
+  report.slo_breaches = obs::SloTracker::global().total_breaches();
+  report.flight_dumps = obs::FlightRecorder::global().dumps();
+  report.journal_events = obs::EventJournal::global().appended();
+
+  // The statusz writer's final snapshot and the audit export must happen
+  // before the manager (and its sealed chain) goes out of scope.
+  statusz.reset();
+  if (!spec.audit_out.empty()) {
+    obs::write_string_file(spec.audit_out, manager.enforcer().audit().to_json().dump(),
+                           "audit log");
+  }
   return report;
 }
 

@@ -29,6 +29,15 @@ struct LoadSpec {
   /// Every violating_every-th ticket attempts a policy-violating permit
   /// into the scenario's guarded ACL (0 = never).
   std::size_t violating_every = 20;
+  /// Enable the structured event journal for this run (obs_report input).
+  bool journal = false;
+  /// When non-empty, a StatuszWriter rewrites this file every
+  /// statusz_period_ms during the run (and once at the end).
+  std::string statusz_out;
+  std::uint64_t statusz_period_ms = 200;
+  /// When non-empty, the sealed audit log is exported here as JSON after
+  /// the drain (obs_report joins it against the journal/trace).
+  std::string audit_out;
 };
 
 struct LoadReport {
@@ -51,6 +60,15 @@ struct LoadReport {
   std::uint64_t artifact_misses = 0;
   bool audit_intact = false;
   std::size_t audit_entries = 0;
+  /// Mean per-ticket stage decomposition (microseconds), from the
+  /// QuarantineReport stage times + queue wait the service recorded.
+  double mean_queue_wait_us = 0.0;
+  double mean_analyze_us = 0.0;
+  double mean_verify_us = 0.0;
+  double mean_audit_us = 0.0;
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t flight_dumps = 0;
+  std::uint64_t journal_events = 0;
 };
 
 /// Runs the load to completion (drains the service, verifies the audit

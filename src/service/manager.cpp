@@ -1,10 +1,35 @@
 #include "service/manager.hpp"
 
+#include <chrono>
+
+#include "obs/flight.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rolling.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "spec/verify.hpp"
 
 namespace heimdall::service {
+
+namespace {
+
+obs::Gauge& active_sessions_gauge() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge("service.active_sessions");
+  return gauge;
+}
+
+obs::Gauge& pooled_artifacts_gauge() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge("service.pooled_artifacts");
+  return gauge;
+}
+
+obs::Gauge& cache_hit_rate_gauge() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge("service.cache_hit_rate");
+  return gauge;
+}
+
+}  // namespace
 
 SessionManager::SessionManager(net::Network production, std::vector<spec::Policy> policies,
                                ServiceOptions options)
@@ -17,7 +42,17 @@ SessionManager::SessionManager(net::Network production, std::vector<spec::Policy
                                          .coalesce_waves = options.coalesce_waves}),
       queue_(enforcer_, production_, production_mutex_, clock_,
              EnforcementQueue::Options{.max_batch = options.max_batch,
-                                       .keep_journal = options.keep_journal}) {}
+                                       .keep_journal = options.keep_journal}) {
+  if (options_.journal_enabled) {
+    obs::EventJournal& journal = obs::EventJournal::global();
+    journal.set_enabled(true);
+    if (options_.journal_capacity > 0) journal.set_capacity(options_.journal_capacity);
+  }
+  obs::SloTracker& slo = obs::SloTracker::global();
+  if (options_.slo_queue_wait_ms > 0) slo.define("queue_wait_ms", options_.slo_queue_wait_ms);
+  if (options_.slo_enforce_ms > 0) slo.define("enforce_ms", options_.slo_enforce_ms);
+  if (options_.slo_queue_depth > 0) slo.define("queue_depth", options_.slo_queue_depth);
+}
 
 SessionManager::~SessionManager() { shutdown(); }
 
@@ -36,14 +71,22 @@ std::pair<std::shared_ptr<const twin::TwinArtifacts>, bool> SessionManager::arti
   // every stale entry (they age out of the LRU).
   std::string key = twin_engine_.fingerprint(production_) + '|' +
                     twin::ticket_content_hash(ticket) + '|' + twin::to_string(options_.strategy);
+  auto refresh_hit_rate = [&] {
+    std::uint64_t hits = artifact_hits_.load(std::memory_order_relaxed);
+    std::uint64_t total = hits + artifact_misses_.load(std::memory_order_relaxed);
+    cache_hit_rate_gauge().set(
+        total == 0 ? 0 : static_cast<std::int64_t>(hits * 100 / total));
+  };
   if (auto it = artifact_cache_.find(key); it != artifact_cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru);
     artifact_hits_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::global().counter("service.artifact_hits").add();
+    refresh_hit_rate();
     return {it->second.artifacts, true};
   }
   artifact_misses_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::global().counter("service.artifact_misses").add();
+  refresh_hit_rate();
   // The dataplane analysis is memoized by the same fingerprint, so a burst
   // of opens against unchanged production pays for it once.
   analysis::Snapshot snapshot = twin_engine_.analyze_dataplane(production_);
@@ -57,6 +100,7 @@ std::pair<std::shared_ptr<const twin::TwinArtifacts>, bool> SessionManager::arti
       artifact_cache_.erase(lru_.back());
       lru_.pop_back();
     }
+    pooled_artifacts_gauge().set(static_cast<std::int64_t>(artifact_cache_.size()));
   }
   return {artifacts, false};
 }
@@ -70,11 +114,16 @@ std::unique_ptr<TicketSession> SessionManager::open(const msp::Ticket& ticket,
   auto [artifacts, from_cache] = artifacts_for(ticket);
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::global().counter("service.sessions_opened").add();
+  active_sessions_gauge().add(1);
+  std::string detail = std::to_string(artifacts->slice.devices.size()) + " devices, " +
+                       (from_cache ? "cached artifacts" : "fresh artifacts");
+  obs::EventJournal& journal = obs::EventJournal::global();
+  if (journal.enabled()) {
+    journal.append(obs::EventType::SessionOpen, ticket.id, id, actor, detail);
+  }
   record_event(actor, enforce::AuditCategory::Session,
                "session #" + std::to_string(id) + " opened for ticket #" +
-                   std::to_string(ticket.id) + " (" +
-                   std::to_string(artifacts->slice.devices.size()) + " devices, " +
-                   (from_cache ? "cached artifacts" : "fresh artifacts") + ")");
+                   std::to_string(ticket.id) + " (" + detail + ")");
   return std::unique_ptr<TicketSession>(
       new TicketSession(*this, id, actor, std::move(artifacts), ticket, from_cache));
 }
@@ -84,9 +133,16 @@ std::future<SubmitOutcome> SessionManager::submit_changes(TicketSession& session
                                                           obs::SpanArgs context) {
   record_event(session.actor(), enforce::AuditCategory::Session,
                "session #" + std::to_string(session.id()) + " submitted " +
-                   std::to_string(changes.size()) + " changes");
+                   std::to_string(changes.size()) + " changes for ticket #" +
+                   std::to_string(session.ticket().id));
+  obs::EventJournal& journal = obs::EventJournal::global();
+  if (journal.enabled()) {
+    journal.append(obs::EventType::SessionSubmit, session.ticket().id, session.id(),
+                   session.actor(), std::to_string(changes.size()) + " changes");
+  }
   PendingSubmission submission;
   submission.session_id = session.id();
+  submission.ticket = session.ticket().id;
   submission.actor = session.actor();
   submission.changes = std::move(changes);
   submission.privileges = session.twin().privileges();
@@ -98,19 +154,37 @@ std::future<SubmitOutcome> SessionManager::submit_changes(TicketSession& session
 void SessionManager::note_closed(TicketSession& session) {
   sessions_closed_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::global().counter("service.sessions_closed").add();
+  active_sessions_gauge().add(-1);
+  obs::EventJournal& journal = obs::EventJournal::global();
+  if (journal.enabled()) {
+    journal.append(obs::EventType::SessionClose, session.ticket().id, session.id(),
+                   session.actor(), {});
+  }
   record_event(session.actor(), enforce::AuditCategory::Session,
-               "session #" + std::to_string(session.id()) + " closed");
+               "session #" + std::to_string(session.id()) + " closed (ticket #" +
+                   std::to_string(session.ticket().id) + ")");
+}
+
+void SessionManager::check_audit_integrity() {
+  obs::EventJournal& journal = obs::EventJournal::global();
+  if (!journal.enabled()) return;  // observability off: callers check themselves
+  if (enforcer_.audit_intact()) return;
+  journal.append(obs::EventType::TamperAlert, 0, 0, "service",
+                 "audit chain or sealed head mismatch detected after drain");
+  obs::FlightRecorder::global().trigger("audit_tamper", 0);
 }
 
 void SessionManager::drain() {
   queue_.drain();
   enforcer_.flush_audit();
+  check_audit_integrity();
 }
 
 void SessionManager::shutdown() {
   queue_.drain();
   queue_.shutdown();
   enforcer_.flush_audit();
+  check_audit_integrity();
 }
 
 void SessionManager::set_queue_paused(bool paused) { queue_.set_paused(paused); }
@@ -130,6 +204,74 @@ ServiceStats SessionManager::stats() const {
   stats.artifact_hits = artifact_hits_.load(std::memory_order_relaxed);
   stats.artifact_misses = artifact_misses_.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::string SessionManager::statusz_json() const {
+  ServiceStats stats = this->stats();
+  obs::Registry& registry = obs::Registry::global();
+  obs::EventJournal& journal = obs::EventJournal::global();
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  std::size_t pooled = 0;
+  {
+    std::lock_guard<std::mutex> lock(artifact_mutex_);
+    pooled = artifact_cache_.size();
+  }
+  std::string out = "{";
+  out += "\"t_us\":" + std::to_string(obs::steady_now_us());
+  out += ",\"sessions_opened\":" + std::to_string(stats.sessions_opened);
+  out += ",\"sessions_closed\":" + std::to_string(stats.sessions_closed);
+  out += ",\"active_sessions\":" +
+         std::to_string(registry.gauge("service.active_sessions").value());
+  out += ",\"queue_depth\":" + std::to_string(registry.gauge("service.queue_depth").value());
+  out += ",\"submissions\":" + std::to_string(stats.submissions);
+  out += ",\"batches\":" + std::to_string(stats.batches);
+  out += ",\"max_observed_batch\":" + std::to_string(stats.max_observed_batch);
+  out += ",\"pooled_artifacts\":" + std::to_string(pooled);
+  out += ",\"artifact_hits\":" + std::to_string(stats.artifact_hits);
+  out += ",\"artifact_misses\":" + std::to_string(stats.artifact_misses);
+  out += ",\"cache_hit_rate\":" +
+         std::to_string(registry.gauge("service.cache_hit_rate").value());
+  out += ",\"audit_entries\":" + std::to_string(registry.counter("audit.entries").value());
+  out += ",\"slo\":" + obs::SloTracker::global().to_json();
+  out += ",\"slo_breaches\":" + std::to_string(obs::SloTracker::global().total_breaches());
+  out += ",\"rolling\":" + obs::RollingRegistry::global().to_json();
+  out += ",\"journal\":{\"enabled\":";
+  out += journal.enabled() ? "true" : "false";
+  out += ",\"size\":" + std::to_string(journal.size());
+  out += ",\"appended\":" + std::to_string(journal.appended());
+  out += ",\"dropped\":" + std::to_string(journal.dropped());
+  out += "},\"flight\":{\"dumps\":" + std::to_string(flight.dumps());
+  out += ",\"suppressed\":" + std::to_string(flight.suppressed());
+  out += "}}";
+  return out;
+}
+
+StatuszWriter::StatuszWriter(const SessionManager& manager, std::string path,
+                             std::uint64_t period_ms)
+    : manager_(manager), path_(std::move(path)), period_ms_(period_ms ? period_ms : 200) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+StatuszWriter::~StatuszWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final snapshot, so even a run shorter than one period leaves a file.
+  obs::write_string_file(path_, manager_.statusz_json(), "statusz");
+}
+
+void StatuszWriter::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, std::chrono::milliseconds(period_ms_), [&] { return stop_; }))
+      return;
+    lock.unlock();
+    obs::write_string_file(path_, manager_.statusz_json(), "statusz");
+    lock.lock();
+  }
 }
 
 }  // namespace heimdall::service

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/engine.hpp"
@@ -40,6 +43,18 @@ struct ServiceOptions {
   bool keep_journal = false;
   /// Coalesce disjoint submissions' joint verification (ablation knob).
   bool coalesce_waves = true;
+  /// Enable the global event journal for this service run (the statusz /
+  /// flight-recorder / obs_report plumbing assumes it). Off by default so
+  /// the disabled instrumentation floor stays a relaxed atomic load.
+  bool journal_enabled = false;
+  /// Retained-event budget for the journal (0 keeps its current capacity).
+  std::size_t journal_capacity = 0;
+  /// SLO thresholds for the live health plane; <= 0 skips that objective.
+  /// Breaches count (they never reject work) and are journaled with the
+  /// breaching ticket's context.
+  double slo_queue_wait_ms = 250;
+  double slo_enforce_ms = 1000;
+  double slo_queue_depth = 128;
   /// Tuning for the verifier's analysis engine.
   analysis::Options engine_options;
 };
@@ -93,6 +108,11 @@ class SessionManager {
 
   ServiceStats stats() const;
 
+  /// One-line-of-JSON health snapshot: service counters + live gauges +
+  /// rolling-window latencies + SLO status + journal/flight-recorder state.
+  /// Thread-safe; what --statusz-out serves.
+  std::string statusz_json() const;
+
  private:
   friend class TicketSession;
 
@@ -103,6 +123,9 @@ class SessionManager {
   /// Staged (sink) audit record with a monotonic service timestamp.
   void record_event(const std::string& actor, enforce::AuditCategory category,
                     std::string message);
+  /// Post-drain audit verification: a broken chain or stale sealed head
+  /// journals a TamperAlert and fires the flight recorder.
+  void check_audit_integrity();
   std::pair<std::shared_ptr<const twin::TwinArtifacts>, bool> artifacts_for(
       const msp::Ticket& ticket);
 
@@ -116,8 +139,8 @@ class SessionManager {
   std::atomic<std::int64_t> now_ms_{0};
   std::atomic<std::uint64_t> next_session_id_{0};
 
-  /// Guards the twin engine + artifact cache (open() path only).
-  std::mutex artifact_mutex_;
+  /// Guards the twin engine + artifact cache (open() path + statusz reads).
+  mutable std::mutex artifact_mutex_;
   analysis::Engine twin_engine_;
   struct CacheEntry {
     std::list<std::string>::iterator lru;
@@ -134,6 +157,30 @@ class SessionManager {
   /// Declared last: its worker thread must start after (and die before)
   /// every member it borrows.
   EnforcementQueue queue_;
+};
+
+/// RAII periodic statusz exporter: rewrites `path` with the manager's
+/// statusz_json() every `period_ms` until destroyed, then writes one final
+/// snapshot (so short runs still leave a complete file behind). The manager
+/// must outlive the writer.
+class StatuszWriter {
+ public:
+  StatuszWriter(const SessionManager& manager, std::string path, std::uint64_t period_ms = 200);
+  ~StatuszWriter();
+
+  StatuszWriter(const StatuszWriter&) = delete;
+  StatuszWriter& operator=(const StatuszWriter&) = delete;
+
+ private:
+  void loop();
+
+  const SessionManager& manager_;
+  std::string path_;
+  std::uint64_t period_ms_;
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 }  // namespace heimdall::service

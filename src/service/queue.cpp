@@ -1,7 +1,10 @@
 #include "service/queue.hpp"
 
 #include "config/serialize.hpp"
+#include "obs/flight.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rolling.hpp"
 #include "obs/trace.hpp"
 
 namespace heimdall::service {
@@ -10,6 +13,20 @@ namespace {
 
 util::Sha256Digest config_fingerprint(const net::Device& device) {
   return util::Sha256::hash(cfg::serialize_device(device));
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge("service.queue_depth");
+  return gauge;
+}
+
+/// "quarantine", or "replay_failure" when any interception was a replay
+/// error — the flight-recorder trigger reason for this report.
+const char* anomaly_reason(const enforce::QuarantineReport& report) {
+  for (const auto& [change, reason] : report.quarantined) {
+    if (reason.rfind("replay", 0) == 0) return "replay_failure";
+  }
+  return "quarantine";
 }
 
 }  // namespace
@@ -30,11 +47,19 @@ EnforcementQueue::~EnforcementQueue() { shutdown(); }
 
 std::future<SubmitOutcome> EnforcementQueue::submit(PendingSubmission submission) {
   std::future<SubmitOutcome> future = submission.promise.get_future();
+  submission.enqueued_us = obs::steady_now_us();
+  obs::EventJournal& journal = obs::EventJournal::global();
+  if (journal.enabled()) {
+    journal.append(obs::EventType::QueueEnqueue, submission.ticket, submission.session_id,
+                   submission.actor, std::to_string(submission.changes.size()) + " changes");
+  }
+  queue_depth_gauge().add(1);
   {
     std::lock_guard<std::mutex> lock(progress_mutex_);
     ++enqueued_;
   }
   if (!queue_.push(std::move(submission))) {
+    queue_depth_gauge().add(-1);
     // Shut down: the dropped submission's promise died with it, so the
     // future above reports broken_promise. Rebalance the drain counter.
     std::lock_guard<std::mutex> lock(progress_mutex_);
@@ -77,6 +102,30 @@ void EnforcementQueue::process_batch(std::vector<PendingSubmission>& batch) {
   }
   obs::Registry::global().histogram("service.batch_size").observe(
       static_cast<double>(batch.size()));
+  queue_depth_gauge().add(-static_cast<std::int64_t>(batch.size()));
+
+  // Queue-wait decomposition: how long each submission sat before its batch
+  // started. Feeds the per-ticket timeline, the rolling window and the
+  // queue-wait SLO.
+  std::uint64_t dequeued_us = obs::steady_now_us();
+  std::vector<std::uint64_t> queue_wait_us(batch.size(), 0);
+  obs::EventJournal& journal = obs::EventJournal::global();
+  obs::RollingHistogram& rolling_wait = obs::RollingRegistry::global().histogram(
+      "service.queue_wait_ms");
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingSubmission& pending = batch[i];
+    queue_wait_us[i] =
+        dequeued_us >= pending.enqueued_us ? dequeued_us - pending.enqueued_us : 0;
+    if (journal.enabled()) {
+      journal.append(obs::EventType::QueueDequeue, pending.ticket, pending.session_id,
+                     pending.actor, "batch #" + std::to_string(batch_id), queue_wait_us[i]);
+    }
+    double wait_ms = static_cast<double>(queue_wait_us[i]) / 1000.0;
+    rolling_wait.observe(wait_ms);
+    obs::SloTracker::global().observe("queue_wait_ms", wait_ms);
+  }
+  obs::SloTracker::global().observe("queue_depth",
+                                    static_cast<double>(queue_depth_gauge().value()));
 
   // Session events staged before this batch reach the chain first, so the
   // sealed log reads open -> ... -> enforcement for every submission.
@@ -121,12 +170,28 @@ void EnforcementQueue::process_batch(std::vector<PendingSubmission>& batch) {
     journal_.push_back(std::move(record));
   }
 
+  obs::RollingHistogram& rolling_enforce =
+      obs::RollingRegistry::global().histogram("service.enforce_ms");
   for (std::size_t i = 0; i < batch.size(); ++i) {
     SubmitOutcome outcome;
     outcome.report = std::move(reports[i]);
     outcome.stale_devices = std::move(stale[i]);
     outcome.batch_id = batch_id;
     outcome.batch_size = batch.size();
+    outcome.queue_wait_us = queue_wait_us[i];
+
+    const enforce::QuarantineReport::StageTimes& stages = outcome.report.stages;
+    double enforce_ms = static_cast<double>(stages.analyze_us + stages.verify_us +
+                                            stages.audit_us) /
+                        1000.0;
+    rolling_enforce.observe(enforce_ms);
+    obs::SloTracker::global().observe("enforce_ms", enforce_ms);
+
+    // Anomaly hook: an intercepted change is exactly the moment an operator
+    // wants the service's recent history frozen.
+    if (!outcome.report.quarantined.empty() && obs::FlightRecorder::global().enabled()) {
+      obs::FlightRecorder::global().trigger(anomaly_reason(outcome.report), batch[i].ticket);
+    }
     batch[i].promise.set_value(std::move(outcome));
   }
   {

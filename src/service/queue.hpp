@@ -37,11 +37,16 @@ struct SubmitOutcome {
   std::vector<net::DeviceId> stale_devices;
   std::uint64_t batch_id = 0;
   std::size_t batch_size = 0;
+  /// Time the submission sat in the queue before its batch started —
+  /// together with report.stages this completes the per-ticket latency
+  /// decomposition (queue wait -> analyze -> verify -> audit).
+  std::uint64_t queue_wait_us = 0;
 };
 
 /// One session's submission traveling through the queue.
 struct PendingSubmission {
   std::uint64_t session_id = 0;
+  std::int64_t ticket = 0;  ///< originating ticket id (journal correlation)
   std::string actor;
   std::vector<cfg::ConfigChange> changes;
   priv::PrivilegeSpec privileges;
@@ -49,6 +54,7 @@ struct PendingSubmission {
   std::map<net::DeviceId, util::Sha256Digest> baseline;
   /// The session's trace context, replayed on the worker thread.
   obs::SpanArgs context;
+  std::uint64_t enqueued_us = 0;  ///< stamped by EnforcementQueue::submit
   std::promise<SubmitOutcome> promise;
 };
 

@@ -56,10 +56,10 @@ void ThreadPool::parallel_for(std::size_t count,
       std::size_t end = std::min(count, begin + chunk_size);
       tasks_.push([&, begin, end] {
         body(begin, end);
-        {
-          std::lock_guard<std::mutex> done_lock(done_mutex);
-          --remaining;
-        }
+        // Notify while holding the lock: the waiter owns done_mutex until its
+        // wait() returns, so done_cv cannot be destroyed mid-notify.
+        std::lock_guard<std::mutex> done_lock(done_mutex);
+        --remaining;
         done_cv.notify_one();
       });
     }

@@ -13,8 +13,12 @@
 
 #include "enforcer/enforcer.hpp"
 #include "msp/workflow.hpp"
+#include "obs/flight.hpp"
+#include "obs/journal.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rolling.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "scenarios/enterprise.hpp"
 #include "util/json.hpp"
@@ -316,6 +320,264 @@ TEST(Trace, ClearKeepsCollecting) {
   std::vector<obs::SpanRecord> spans = tracer.spans();
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_EQ(spans[0].name, "two");
+}
+
+TEST(Trace, FinishedRingIsBoundedAndCountsDrops) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_capacity(2);
+  EXPECT_EQ(tracer.capacity(), 2u);
+  for (int i = 0; i < 5; ++i) {
+    obs::ScopedSpan span(tracer, "span" + std::to_string(i), "test");
+  }
+  std::vector<obs::SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // The ring keeps the newest spans and drops from the front.
+  EXPECT_EQ(spans[0].name, "span3");
+  EXPECT_EQ(spans[1].name, "span4");
+  EXPECT_EQ(tracer.dropped(), 3u);
+
+  // Shrinking the capacity trims retained spans too (and counts them).
+  tracer.set_capacity(1);
+  EXPECT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.dropped(), 4u);
+}
+
+TEST(Trace, OpenSpansAreVisibleUntilEnded) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  obs::SpanId id = tracer.begin("long.operation", "test", {{"ticket", "9"}});
+  std::vector<obs::SpanRecord> open = tracer.open_spans();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0].name, "long.operation");
+  tracer.end(id);
+  EXPECT_TRUE(tracer.open_spans().empty());
+}
+
+// ---------------------------------------------------------------- journal --
+
+TEST(Journal, DisabledByDefaultAndCheap) {
+  obs::EventJournal journal;
+  journal.append(obs::EventType::SessionOpen, 1, 1, "t", "d");
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.appended(), 0u);
+}
+
+TEST(Journal, AppendSnapshotAndTicketFilter) {
+  obs::EventJournal journal;
+  journal.set_enabled(true);
+  std::uint64_t now = 100;
+  journal.set_time_source([&now] { return now; });
+
+  journal.append(obs::EventType::SessionOpen, 7, 1, "tech-1", "opened");
+  now = 200;
+  journal.append(obs::EventType::QueueDequeue, 7, 1, "service", "batch #1", 55);
+  journal.append(obs::EventType::SessionOpen, 8, 2, "tech-2", "opened");
+
+  std::vector<obs::EventRecord> all = journal.snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  // Stamp order is total even across shards.
+  EXPECT_LT(all[0].seq, all[1].seq);
+  EXPECT_LT(all[1].seq, all[2].seq);
+  EXPECT_EQ(all[0].t_us, 100u);
+  EXPECT_EQ(all[1].value_us, 55u);
+
+  std::vector<obs::EventRecord> mine = journal.for_ticket(7);
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_EQ(mine[0].type, obs::EventType::SessionOpen);
+  EXPECT_EQ(mine[1].type, obs::EventType::QueueDequeue);
+
+  // JSON export round-trips through the parser with the typed fields.
+  util::Json doc = util::Json::parse(journal.to_json());
+  ASSERT_EQ(doc.at("events").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("events").as_array()[0].at("type").as_string(), "session_open");
+  EXPECT_DOUBLE_EQ(doc.at("events").as_array()[1].at("value_us").as_number(), 55.0);
+  EXPECT_DOUBLE_EQ(doc.at("appended").as_number(), 3.0);
+}
+
+TEST(Journal, RingOverwritesOldestAndCountsDrops) {
+  obs::EventJournal journal(8);  // one slot per shard; this thread uses one
+  journal.set_enabled(true);
+  for (int i = 0; i < 5; ++i)
+    journal.append(obs::EventType::QueueEnqueue, i + 1, 0, "t", "d");
+  EXPECT_EQ(journal.appended(), 5u);
+  EXPECT_EQ(journal.size(), 1u);
+  EXPECT_EQ(journal.dropped(), 4u);
+  std::vector<obs::EventRecord> kept = journal.snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].ticket, 5);  // the newest survives
+}
+
+TEST(Journal, AppendInContextResolvesTicketAndSession) {
+  obs::EventJournal journal;
+  journal.set_enabled(true);
+  {
+    obs::ScopedContextFrame frame({{"session", "12"}, {"ticket", "34"}, {"actor", "tech-2"}});
+    journal.append_in_context(obs::EventType::VerifyVerdict, "enforcer", "1 applied", 17);
+  }
+  journal.append_in_context(obs::EventType::AuditSeal, "enforcer", "sealed");
+
+  std::vector<obs::EventRecord> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ticket, 34);
+  EXPECT_EQ(events[0].session, 12u);
+  EXPECT_EQ(events[0].value_us, 17u);
+  // Outside the frame there is no context: unscoped event.
+  EXPECT_EQ(events[1].ticket, 0);
+  EXPECT_EQ(events[1].session, 0u);
+}
+
+// ---------------------------------------------------------------- rolling --
+
+TEST(Rolling, WindowForgetsExpiredSlices) {
+  obs::RollingHistogram histogram({1, 10, 100}, /*window_us=*/600, /*slices=*/6);
+  std::uint64_t now = 0;
+  histogram.set_time_source([&now] { return now; });
+
+  histogram.observe(5.0);
+  histogram.observe(50.0);
+  obs::HistogramSnapshot live = histogram.snapshot();
+  EXPECT_EQ(live.count, 2u);
+  EXPECT_DOUBLE_EQ(live.sum, 55.0);
+
+  // Half a window later both observations are still in view; a full window
+  // later they have expired.
+  now = 300;
+  EXPECT_EQ(histogram.snapshot().count, 2u);
+  now = 2000;
+  EXPECT_EQ(histogram.snapshot().count, 0u);
+
+  // New observations land in the fresh window.
+  histogram.observe(3.0);
+  EXPECT_EQ(histogram.snapshot().count, 1u);
+}
+
+TEST(Rolling, RegistryFindsOrCreatesAndExports) {
+  obs::RollingRegistry registry;
+  registry.histogram("queue_wait_ms").observe(4.0);
+  EXPECT_EQ(&registry.histogram("queue_wait_ms"), &registry.histogram("queue_wait_ms"));
+
+  util::Json doc = util::Json::parse(registry.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("queue_wait_ms").at("count").as_number(), 1.0);
+  EXPECT_GT(doc.at("queue_wait_ms").at("window_us").as_number(), 0.0);
+}
+
+TEST(Rolling, SloTrackerCountsBreaches) {
+  obs::SloTracker tracker;
+  tracker.define("enforce_ms", 10.0);
+
+  EXPECT_FALSE(tracker.observe("enforce_ms", 5.0));
+  EXPECT_TRUE(tracker.observe("enforce_ms", 25.0));
+  EXPECT_TRUE(tracker.observe("enforce_ms", 11.0));
+  // Unknown objectives are ignored, not errors.
+  EXPECT_FALSE(tracker.observe("unconfigured", 1e9));
+
+  std::vector<obs::SloStatus> status = tracker.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].samples, 3u);
+  EXPECT_EQ(status[0].breaches, 2u);
+  EXPECT_DOUBLE_EQ(status[0].last, 11.0);
+  EXPECT_FALSE(status[0].healthy());
+  EXPECT_EQ(tracker.total_breaches(), 2u);
+
+  util::Json doc = util::Json::parse(tracker.to_json());
+  ASSERT_EQ(doc.as_array().size(), 1u);
+  EXPECT_EQ(doc.as_array()[0].at("name").as_string(), "enforce_ms");
+  EXPECT_DOUBLE_EQ(doc.as_array()[0].at("breaches").as_number(), 2.0);
+  EXPECT_FALSE(doc.as_array()[0].at("healthy").as_bool());
+}
+
+// ----------------------------------------------------------------- flight --
+
+/// Restores the global journal + flight recorder after a test that uses them
+/// (both are process-global and default-disabled).
+struct FlightGuard {
+  ~FlightGuard() {
+    obs::FlightRecorder::global().set_enabled(false);
+    obs::FlightRecorder::global().reset();
+    obs::EventJournal::global().set_enabled(false);
+    obs::EventJournal::global().clear();
+  }
+};
+
+TEST(Flight, DumpCarriesOffendingTicketEvents) {
+  FlightGuard guard;
+  obs::EventJournal& journal = obs::EventJournal::global();
+  journal.clear();
+  journal.set_enabled(true);
+  journal.append(obs::EventType::SessionOpen, 42, 9, "tech-1", "opened");
+  journal.append(obs::EventType::Quarantine, 42, 9, "enforcer", "policy violation");
+  journal.append(obs::EventType::SessionOpen, 43, 10, "tech-2", "opened");
+
+  obs::FlightRecorder::Options options;  // no output_dir: memory only
+  options.last_events = 16;
+  obs::FlightRecorder::global().reset();
+  obs::FlightRecorder::global().configure(options);
+  std::string dump = obs::FlightRecorder::global().trigger("quarantine", 42);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_EQ(obs::FlightRecorder::global().dumps(), 1u);
+  EXPECT_EQ(obs::FlightRecorder::global().last_dump(), dump);
+
+  util::Json doc = util::Json::parse(dump);
+  EXPECT_EQ(doc.at("reason").as_string(), "quarantine");
+  EXPECT_DOUBLE_EQ(doc.at("ticket").as_number(), 42.0);
+  // The ticket trail has exactly the offender's events; the recent-events
+  // tail sees everything.
+  ASSERT_EQ(doc.at("ticket_events").as_array().size(), 2u);
+  EXPECT_EQ(doc.at("ticket_events").as_array()[1].at("type").as_string(), "quarantine");
+  EXPECT_GE(doc.at("recent_events").as_array().size(), 3u);
+  EXPECT_TRUE(doc.at("metrics").is_object());
+  EXPECT_TRUE(doc.at("slo").is_array());
+
+  // The capture itself is journaled, closing the loop for obs_report.
+  std::vector<obs::EventRecord> trail = journal.for_ticket(42);
+  ASSERT_EQ(trail.size(), 3u);
+  EXPECT_EQ(trail[2].type, obs::EventType::FlightDump);
+}
+
+TEST(Flight, DumpCapSuppressesFloods) {
+  FlightGuard guard;
+  obs::FlightRecorder::Options options;
+  options.max_dumps = 2;
+  obs::FlightRecorder::global().reset();
+  obs::FlightRecorder::global().configure(options);
+  EXPECT_FALSE(obs::FlightRecorder::global().trigger("one", 0).empty());
+  EXPECT_FALSE(obs::FlightRecorder::global().trigger("two", 0).empty());
+  EXPECT_TRUE(obs::FlightRecorder::global().trigger("three", 0).empty());
+  EXPECT_EQ(obs::FlightRecorder::global().dumps(), 2u);
+  EXPECT_EQ(obs::FlightRecorder::global().suppressed(), 1u);
+}
+
+// ------------------------------------------------------------- exposition --
+
+TEST(Telemetry, PrometheusExposition) {
+  obs::Registry registry;
+  registry.counter("obs.journal_dropped").add(3);
+  registry.gauge("service.queue_depth").set(7);
+  registry.histogram("enforce_ms", {1, 10}).observe(0.5);
+  registry.histogram("enforce_ms").observe(99.0);
+
+  std::string text = obs::export_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE obs_journal_dropped counter\n"), std::string::npos);
+  EXPECT_NE(text.find("obs_journal_dropped 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE service_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("service_queue_depth 7\n"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("enforce_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("enforce_ms_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("enforce_ms_count 2\n"), std::string::npos);
+}
+
+TEST(Telemetry, RegistryExportsGauges) {
+  obs::Registry registry;
+  registry.gauge("service.active_sessions").set(5);
+  registry.gauge("service.cache_hit_rate").set(-1);
+
+  util::Json doc = util::Json::parse(registry.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("service.active_sessions").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("service.cache_hit_rate").as_number(), -1.0);
+  std::string text = registry.to_text();
+  EXPECT_NE(text.find("service.active_sessions"), std::string::npos);
 }
 
 // ----------------------------------------------- workflow correlation ------

@@ -67,6 +67,18 @@ PARALLEL_HEADLINES = [
      "sharded audit sink vs mutexed chain append (8 threads)"),
 ]
 
+# Absolute ceilings (ns per operation) on what an observability
+# instrumentation site may cost. Disabled sites must stay near their
+# one-relaxed-load floor; an enabled journal append is one atomic stamp plus
+# one striped-mutex ring write. Ceilings are generous (CI machines are slow
+# and noisy) — they exist to catch order-of-magnitude instrumentation creep,
+# not nanosecond drift.
+OVERHEAD_CEILINGS_NS = {
+    "BM_SpanDisabled": (200.0, "disabled span site"),
+    "BM_JournalAppendDisabled": (200.0, "disabled journal append site"),
+    "BM_JournalAppend": (2000.0, "enabled journal append"),
+}
+
 # Floors over the merged load_gen report (LG_* rows): the service must have
 # actually sustained the ISSUE's load shape, with the audit chain intact.
 LOAD_GEN_SPEC = ["--network", "university", "--technicians", "8",
@@ -167,6 +179,24 @@ def smoke_check(baseline):
     return failures
 
 
+def overhead_check(baseline):
+    """Asserts the instrumentation-cost ceilings."""
+    benchmarks = baseline["benchmarks"]
+    failures = []
+    for name, (ceiling_ns, label) in sorted(OVERHEAD_CEILINGS_NS.items()):
+        row = benchmarks.get(name)
+        if row is None:
+            continue  # filtered run; nothing to check
+        actual_ns = row["real_time_ns"]
+        status = "ok" if actual_ns <= ceiling_ns else "REGRESSION"
+        print(f"  {label}: {actual_ns:.1f} ns (ceiling {ceiling_ns:g} ns) [{status}]")
+        if actual_ns > ceiling_ns:
+            failures.append(
+                f"{label} ({name}) costs {actual_ns:.1f} ns, over the "
+                f"{ceiling_ns:g} ns ceiling")
+    return failures
+
+
 def load_check(baseline):
     """Asserts the service-level floors over the merged LG_* rows."""
     rows = baseline["benchmarks"]
@@ -225,6 +255,8 @@ def main():
 
     print("compiled-vs-reference smoke check:")
     failures = smoke_check(baseline)
+    print("instrumentation overhead check:")
+    failures += overhead_check(baseline)
     print("service load check:")
     failures += load_check(baseline)
     if failures:

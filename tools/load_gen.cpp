@@ -14,6 +14,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/journal.hpp"
+#include "obs/telemetry.hpp"
 #include "service/load.hpp"
 
 namespace {
@@ -21,7 +23,8 @@ namespace {
 void usage() {
   std::cerr << "usage: load_gen [--network enterprise|university] [--technicians N]\n"
                "                [--tickets N] [--max-batch N] [--serialized]\n"
-               "                [--violating-every N] [--seed N] [--out FILE]\n";
+               "                [--violating-every N] [--seed N] [--out FILE]\n"
+            << heimdall::obs::TelemetryFlags::usage();
 }
 
 std::string json_bool(bool value) { return value ? "true" : "false"; }
@@ -52,6 +55,13 @@ std::string report_json(const heimdall::service::LoadSpec& spec,
   out << "  \"artifact_hits\": " << report.artifact_hits << ",\n";
   out << "  \"artifact_misses\": " << report.artifact_misses << ",\n";
   out << "  \"audit_entries\": " << report.audit_entries << ",\n";
+  out << "  \"mean_queue_wait_us\": " << report.mean_queue_wait_us << ",\n";
+  out << "  \"mean_analyze_us\": " << report.mean_analyze_us << ",\n";
+  out << "  \"mean_verify_us\": " << report.mean_verify_us << ",\n";
+  out << "  \"mean_audit_us\": " << report.mean_audit_us << ",\n";
+  out << "  \"slo_breaches\": " << report.slo_breaches << ",\n";
+  out << "  \"flight_dumps\": " << report.flight_dumps << ",\n";
+  out << "  \"journal_events\": " << report.journal_events << ",\n";
   out << "  \"audit_intact\": " << json_bool(report.audit_intact) << "\n";
   out << "}\n";
   return out.str();
@@ -61,8 +71,10 @@ std::string report_json(const heimdall::service::LoadSpec& spec,
 
 int main(int argc, char** argv) {
   heimdall::service::LoadSpec spec;
+  heimdall::obs::TelemetryFlags telemetry;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
+    if (telemetry.consume(argc, argv, i)) continue;
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -104,12 +116,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  telemetry.apply();
+  spec.journal = heimdall::obs::EventJournal::global().enabled();
+  spec.statusz_out = telemetry.statusz_out;
+  spec.statusz_period_ms = telemetry.statusz_period_ms;
+  spec.audit_out = telemetry.audit_out;
+
   heimdall::service::LoadReport report = heimdall::service::run_load(spec);
   std::string json = report_json(spec, report);
   std::cout << json;
   if (!out_path.empty()) {
     std::ofstream file(out_path);
     file << json;
+  }
+  if (!telemetry.write_outputs()) {
+    std::cerr << "FATAL: failed to write telemetry outputs\n";
+    return 1;
   }
   if (!report.audit_intact) {
     std::cerr << "FATAL: audit chain not intact after load\n";

@@ -1,0 +1,364 @@
+// obs_report: joins the three observability exports of one service run —
+// the structured event journal (--journal-out), the Chrome trace
+// (--trace-out) and the sealed audit log (--audit-out) — into per-ticket
+// end-to-end timelines, and cross-checks them against each other:
+//
+//   * every journal ticket must have a complete lifecycle (open -> submit ->
+//     queue enqueue/dequeue -> verify verdict -> close);
+//   * every audit record naming a ticket or session must join a known
+//     timeline (otherwise it is an orphan — evidence without provenance);
+//   * every verified ticket must appear in the audit chain (otherwise the
+//     timeline is unaudited — work without evidence);
+//   * trace spans carrying a ticket arg must join a known timeline;
+//   * the audit hash chain must re-verify offline.
+//
+// Exit status is 0 only when every cross-check passes, which is what the CI
+// load_gen smoke step asserts.
+//
+//   obs_report --journal run.journal.json [--trace run.trace.json]
+//              [--audit run.audit.json] [--out report.json]
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "enforcer/audit.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using heimdall::util::Json;
+
+void usage() {
+  std::cerr << "usage: obs_report --journal FILE [--trace FILE] [--audit FILE]\n"
+               "                  [--out FILE]\n";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw heimdall::util::Error("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+std::uint64_t u64(const Json& object, const char* key) {
+  const Json* field = object.find(key);
+  return field && field->is_number() ? static_cast<std::uint64_t>(field->as_number()) : 0;
+}
+
+/// One journal event, as exported by EventJournal::to_json().
+struct Event {
+  std::uint64_t seq = 0;
+  std::uint64_t t_us = 0;
+  std::string type;
+  std::int64_t ticket = 0;
+  std::uint64_t session = 0;
+  std::string actor;
+  std::string detail;
+  std::uint64_t value_us = 0;
+};
+
+/// Everything one ticket did, joined across the three exports.
+struct Timeline {
+  std::vector<Event> events;
+  std::set<std::uint64_t> sessions;
+  std::string actor;
+  std::uint64_t first_us = 0;
+  std::uint64_t last_us = 0;
+  std::uint64_t queue_wait_us = 0;  ///< QueueDequeue value
+  std::uint64_t verify_us = 0;      ///< VerifyVerdict value
+  std::size_t quarantines = 0;
+  std::size_t audit_records = 0;
+  std::size_t spans = 0;
+  bool has_open = false, has_submit = false, has_enqueue = false;
+  bool has_dequeue = false, has_verdict = false, has_close = false;
+
+  bool complete() const {
+    return has_open && has_submit && has_enqueue && has_dequeue && has_verdict && has_close;
+  }
+  std::string missing() const {
+    std::string out;
+    auto need = [&](bool have, const char* stage) {
+      if (have) return;
+      if (!out.empty()) out += ", ";
+      out += stage;
+    };
+    need(has_open, "session_open");
+    need(has_submit, "session_submit");
+    need(has_enqueue, "queue_enqueue");
+    need(has_dequeue, "queue_dequeue");
+    need(has_verdict, "verify_verdict");
+    need(has_close, "session_close");
+    return out;
+  }
+};
+
+struct Report {
+  std::map<std::int64_t, Timeline> timelines;
+  std::map<std::uint64_t, std::int64_t> session_to_ticket;
+  std::uint64_t journal_events = 0;
+  std::uint64_t journal_dropped = 0;
+  std::size_t service_events = 0;  ///< journal events with no ticket/session
+  std::size_t audit_entries = 0;
+  std::size_t service_audit_records = 0;
+  std::size_t trace_spans = 0;
+  bool audit_chain_checked = false;
+  bool audit_chain_intact = false;
+  std::vector<std::string> problems;  ///< orphans / incomplete / tamper
+};
+
+void ingest_journal(Report& report, const Json& document) {
+  report.journal_events = u64(document, "appended");
+  report.journal_dropped = u64(document, "dropped");
+  std::vector<Event> events;
+  for (const Json& item : document.at("events").as_array()) {
+    Event event;
+    event.seq = u64(item, "seq");
+    event.t_us = u64(item, "t_us");
+    event.type = item.at("type").as_string();
+    event.ticket = static_cast<std::int64_t>(item.at("ticket").as_number());
+    event.session = u64(item, "session");
+    event.actor = item.at("actor").as_string();
+    event.detail = item.at("detail").as_string();
+    event.value_us = u64(item, "value_us");
+    events.push_back(std::move(event));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+
+  // First pass: session -> ticket, learned from any event carrying both.
+  for (const Event& event : events) {
+    if (event.ticket != 0 && event.session != 0)
+      report.session_to_ticket.emplace(event.session, event.ticket);
+  }
+  for (Event& event : events) {
+    std::int64_t ticket = event.ticket;
+    if (ticket == 0 && event.session != 0) {
+      auto found = report.session_to_ticket.find(event.session);
+      if (found != report.session_to_ticket.end()) ticket = found->second;
+    }
+    if (ticket == 0) {
+      ++report.service_events;  // audit flush/seal, tamper alerts, dumps
+      continue;
+    }
+    Timeline& timeline = report.timelines[ticket];
+    if (timeline.events.empty()) timeline.first_us = event.t_us;
+    timeline.last_us = std::max(timeline.last_us, event.t_us);
+    if (event.session != 0) timeline.sessions.insert(event.session);
+    if (timeline.actor.empty() && !event.actor.empty() && event.actor != "enforcer" &&
+        event.actor != "service")
+      timeline.actor = event.actor;
+    if (event.type == "session_open") timeline.has_open = true;
+    if (event.type == "session_submit") timeline.has_submit = true;
+    if (event.type == "queue_enqueue") timeline.has_enqueue = true;
+    if (event.type == "queue_dequeue") {
+      timeline.has_dequeue = true;
+      timeline.queue_wait_us += event.value_us;
+    }
+    if (event.type == "verify_verdict") {
+      timeline.has_verdict = true;
+      timeline.verify_us += event.value_us;
+    }
+    if (event.type == "session_close") timeline.has_close = true;
+    if (event.type == "quarantine" || event.type == "replay_failure") ++timeline.quarantines;
+    timeline.events.push_back(std::move(event));
+  }
+}
+
+void ingest_audit(Report& report, const Json& document) {
+  // Offline forensics first: rebuild the log and re-verify the hash chain.
+  heimdall::enforce::AuditLog log = heimdall::enforce::AuditLog::from_json(document);
+  report.audit_entries = log.size();
+  report.audit_chain_checked = true;
+  report.audit_chain_intact = log.verify_chain();
+  if (!report.audit_chain_intact)
+    report.problems.push_back("audit chain does NOT re-verify (first corrupt index " +
+                              std::to_string(log.first_corrupt_index()) + ")");
+
+  static const std::regex ticket_re("ticket #(-?[0-9]+)");
+  static const std::regex session_re("session #([0-9]+)");
+  for (const heimdall::enforce::AuditEntry& entry : log.entries()) {
+    std::smatch match;
+    std::int64_t ticket = 0;
+    if (std::regex_search(entry.message, match, ticket_re)) {
+      ticket = std::stoll(match[1].str());
+    } else if (std::regex_search(entry.message, match, session_re)) {
+      std::uint64_t session = std::stoull(match[1].str());
+      auto found = report.session_to_ticket.find(session);
+      if (found == report.session_to_ticket.end()) {
+        report.problems.push_back("orphan audit record (seq " + std::to_string(entry.sequence) +
+                                  "): unknown session #" + std::to_string(session) + ": " +
+                                  entry.message);
+        continue;
+      }
+      ticket = found->second;
+    } else {
+      ++report.service_audit_records;  // seals, service lifecycle, etc.
+      continue;
+    }
+    auto timeline = report.timelines.find(ticket);
+    if (timeline == report.timelines.end()) {
+      report.problems.push_back("orphan audit record (seq " + std::to_string(entry.sequence) +
+                                "): no journal timeline for ticket #" + std::to_string(ticket) +
+                                ": " + entry.message);
+      continue;
+    }
+    ++timeline->second.audit_records;
+  }
+}
+
+void ingest_trace(Report& report, const Json& document) {
+  for (const Json& item : document.at("traceEvents").as_array()) {
+    ++report.trace_spans;
+    const Json* args = item.find("args");
+    const Json* ticket_arg = args ? args->find("ticket") : nullptr;
+    if (!ticket_arg || !ticket_arg->is_string()) continue;
+    std::int64_t ticket = 0;
+    try {
+      ticket = std::stoll(ticket_arg->as_string());
+    } catch (...) {
+      continue;
+    }
+    if (ticket == 0) continue;
+    auto timeline = report.timelines.find(ticket);
+    if (timeline == report.timelines.end()) {
+      report.problems.push_back("orphan trace span '" + item.at("name").as_string() +
+                                "': no journal timeline for ticket #" + std::to_string(ticket));
+      continue;
+    }
+    ++timeline->second.spans;
+  }
+}
+
+void cross_check(Report& report, bool have_audit) {
+  for (const auto& [ticket, timeline] : report.timelines) {
+    if (!timeline.complete())
+      report.problems.push_back("incomplete timeline for ticket #" + std::to_string(ticket) +
+                                ": missing " + timeline.missing());
+    if (have_audit && timeline.audit_records == 0)
+      report.problems.push_back("unaudited ticket #" + std::to_string(ticket) +
+                                ": journal timeline has no matching audit record");
+  }
+  if (report.journal_dropped != 0)
+    report.problems.push_back("journal dropped " + std::to_string(report.journal_dropped) +
+                              " events (raise the capacity for a complete join)");
+}
+
+Json report_json(const Report& report) {
+  Json tickets{heimdall::util::JsonArray{}};
+  for (const auto& [ticket, timeline] : report.timelines) {
+    Json row;
+    row.set("ticket", Json(ticket));
+    Json sessions{heimdall::util::JsonArray{}};
+    for (std::uint64_t session : timeline.sessions) sessions.push_back(Json(session));
+    row.set("sessions", std::move(sessions));
+    row.set("actor", Json(timeline.actor));
+    row.set("events", Json(timeline.events.size()));
+    row.set("first_us", Json(timeline.first_us));
+    row.set("last_us", Json(timeline.last_us));
+    row.set("wall_us", Json(timeline.last_us - timeline.first_us));
+    row.set("queue_wait_us", Json(timeline.queue_wait_us));
+    row.set("verify_us", Json(timeline.verify_us));
+    row.set("quarantines", Json(timeline.quarantines));
+    row.set("audit_records", Json(timeline.audit_records));
+    row.set("trace_spans", Json(timeline.spans));
+    row.set("complete", Json(timeline.complete()));
+    if (!timeline.complete()) row.set("missing", Json(timeline.missing()));
+    Json stages{heimdall::util::JsonArray{}};
+    for (const Event& event : timeline.events) {
+      Json stage;
+      stage.set("t_us", Json(event.t_us));
+      stage.set("type", Json(event.type));
+      stage.set("actor", Json(event.actor));
+      stage.set("detail", Json(event.detail));
+      if (event.value_us != 0) stage.set("value_us", Json(event.value_us));
+      stages.push_back(std::move(stage));
+    }
+    row.set("timeline", std::move(stages));
+    tickets.push_back(std::move(row));
+  }
+
+  Json problems{heimdall::util::JsonArray{}};
+  for (const std::string& problem : report.problems) problems.push_back(Json(problem));
+
+  Json out;
+  out.set("tickets", std::move(tickets));
+  out.set("ticket_count", Json(report.timelines.size()));
+  out.set("journal_events", Json(report.journal_events));
+  out.set("journal_dropped", Json(report.journal_dropped));
+  out.set("service_events", Json(report.service_events));
+  out.set("audit_entries", Json(report.audit_entries));
+  out.set("service_audit_records", Json(report.service_audit_records));
+  out.set("trace_spans", Json(report.trace_spans));
+  if (report.audit_chain_checked) out.set("audit_chain_intact", Json(report.audit_chain_intact));
+  out.set("problems", std::move(problems));
+  out.set("ok", Json(report.problems.empty()));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path, trace_path, audit_path, out_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--journal") {
+      journal_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--audit") {
+      audit_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (journal_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  Report report;
+  try {
+    ingest_journal(report, Json::parse(read_file(journal_path)));
+    if (!audit_path.empty()) ingest_audit(report, Json::parse(read_file(audit_path)));
+    if (!trace_path.empty()) ingest_trace(report, Json::parse(read_file(trace_path)));
+  } catch (const std::exception& error) {
+    std::cerr << "obs_report: " << error.what() << "\n";
+    return 2;
+  }
+  cross_check(report, !audit_path.empty());
+
+  std::string json = report_json(report).dump(2);
+  std::cout << json << "\n";
+  if (!out_path.empty()) {
+    std::ofstream file(out_path);
+    file << json << "\n";
+  }
+
+  for (const std::string& problem : report.problems)
+    std::cerr << "PROBLEM: " << problem << "\n";
+  std::cerr << "obs_report: " << report.timelines.size() << " ticket timelines, "
+            << report.problems.size() << " problems\n";
+  return report.problems.empty() ? 0 : 1;
+}
