@@ -50,9 +50,11 @@ struct EngineMetrics {
 /// when any artifact changed: the plane copies ACL bodies and interface
 /// state, so even a TraceOnly change (shared dataplane) needs a fresh one.
 std::shared_ptr<const dp::CompiledPlane> compile_plane(const net::Network& network,
-                                                       const dp::Dataplane& dataplane) {
+                                                       const dp::Dataplane& dataplane,
+                                                       unsigned fib_stride) {
   obs::ScopedSpan span("engine.compile", "analysis");
-  return std::make_shared<dp::CompiledPlane>(dp::CompiledPlane::compile(network, dataplane));
+  return std::make_shared<dp::CompiledPlane>(
+      dp::CompiledPlane::compile(network, dataplane, {fib_stride}));
 }
 
 }  // namespace
@@ -142,7 +144,7 @@ Engine::Entry Engine::compute_full(const net::Network& network, bool want_matrix
     obs::ScopedSpan span("engine.dataplane", "analysis");
     entry.dataplane = std::make_shared<dp::Dataplane>(dp::Dataplane::compute(network));
   }
-  entry.compiled = compile_plane(network, *entry.dataplane);
+  entry.compiled = compile_plane(network, *entry.dataplane, options_.fib_stride);
   if (want_matrix) {
     obs::ScopedSpan span("engine.reachability", "analysis");
     entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
@@ -176,7 +178,7 @@ Engine::Entry Engine::compute_incremental(
     for (const net::DeviceId& device : dirty) dataplane->rebuild_device_fib(network.device(device));
     entry.dataplane = std::move(dataplane);
   }
-  entry.compiled = compile_plane(network, *entry.dataplane);
+  entry.compiled = compile_plane(network, *entry.dataplane, options_.fib_stride);
 
   if (want_matrix) {
     if (base.reachability) {
@@ -246,7 +248,7 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
     span.arg("cache", "complete-matrix");
     std::shared_ptr<const dp::Dataplane> dataplane = cached->dataplane;
     std::shared_ptr<const dp::CompiledPlane> compiled = cached->compiled;
-    if (!compiled) compiled = compile_plane(network, *dataplane);
+    if (!compiled) compiled = compile_plane(network, *dataplane, options_.fib_stride);
     auto matrix = std::make_shared<dp::ReachabilityMatrix>(
         dp::ReachabilityMatrix::compute(*compiled, trace_options()));
     remember(digest, Entry{dataplane, matrix, compiled});
@@ -274,7 +276,7 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
     if (entry.matrix) retraced_view = std::make_shared<std::vector<std::size_t>>();
     if (want_matrix && !entry.matrix) {
       ++stats_.matrix_completions;
-      if (!entry.compiled) entry.compiled = compile_plane(network, *entry.dataplane);
+      if (!entry.compiled) entry.compiled = compile_plane(network, *entry.dataplane, options_.fib_stride);
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
           dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
     }

@@ -51,6 +51,10 @@ struct Options {
   /// (0 would mean hardware_concurrency, but the pool is only built when
   /// trace_threads > 1).
   std::size_t trace_threads = 1;
+  /// CompiledFib top-table stride (8, 16 or 24 bits) for every snapshot's
+  /// compiled plane; 0 sizes each device's table by its route count.
+  /// Property tests force both /16 and /24 through the full trace stack.
+  unsigned fib_stride = 0;
 };
 
 struct Stats {

@@ -18,6 +18,8 @@ struct PlaneMetrics {
   obs::Counter& lpm_lookups;
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
+  obs::Gauge& fib_bytes;
+  obs::Gauge& fib_overflow_chunks;
 
   static PlaneMetrics& get() {
     static PlaneMetrics metrics{
@@ -26,6 +28,8 @@ struct PlaneMetrics {
         obs::Registry::global().counter("dp.lpm_lookups"),
         obs::Registry::global().counter("dp.trace_cache_hits"),
         obs::Registry::global().counter("dp.trace_cache_misses"),
+        obs::Registry::global().gauge("dp.fib_bytes"),
+        obs::Registry::global().gauge("dp.fib_overflow_chunks"),
     };
     return metrics;
   }
@@ -33,21 +37,25 @@ struct PlaneMetrics {
 
 }  // namespace
 
-CompiledPlane CompiledPlane::compile(const Network& network, const Dataplane& dataplane) {
+CompiledPlane CompiledPlane::compile(const Network& network, const Dataplane& dataplane,
+                                     const CompileOptions& options) {
   util::Stopwatch watch;
   CompiledPlane plane;
   plane.idx_ = NetworkIndex::build(network);
 
+  const CompiledFib::BuildOptions fib_options{options.fib_stride};
   const std::uint32_t device_count = plane.idx_.device_count();
   plane.fibs_.reserve(device_count);
   plane.out_iface_.reserve(device_count);
   for (std::uint32_t d = 0; d < device_count; ++d) {
-    CompiledFib fib = CompiledFib::build(dataplane.fib(plane.idx_.device_id(d)));
+    CompiledFib fib = CompiledFib::build(dataplane.fib(plane.idx_.device_id(d)), fib_options);
     std::vector<std::uint32_t> outs;
     outs.reserve(fib.size());
     for (const Route& route : fib.routes()) {
       outs.push_back(plane.idx_.find_interface(d, route.out_iface));
     }
+    plane.fib_bytes_ += fib.table_bytes();
+    plane.fib_overflow_chunks_ += fib.overflow_chunks();
     plane.fibs_.push_back(std::move(fib));
     plane.out_iface_.push_back(std::move(outs));
   }
@@ -73,21 +81,40 @@ CompiledPlane CompiledPlane::compile(const Network& network, const Dataplane& da
     }
   }
 
-  PlaneMetrics::get().compile_ms.observe(watch.elapsed_ms());
+  PlaneMetrics& metrics = PlaneMetrics::get();
+  metrics.compile_ms.observe(watch.elapsed_ms());
+  metrics.fib_bytes.set(static_cast<std::int64_t>(plane.fib_bytes_));
+  metrics.fib_overflow_chunks.set(static_cast<std::int64_t>(plane.fib_overflow_chunks_));
   return plane;
 }
 
 CompiledPlane::Decision CompiledPlane::compute_decision(std::uint32_t device_idx,
                                                         Ipv4Address dst_ip,
                                                         TraceCounters& counters) const {
-  Decision decision;
   if (idx_.device_owns_ip(device_idx, dst_ip)) {
+    Decision decision;
     decision.kind = Decision::Kind::Deliver;
     return decision;
   }
-
   ++counters.lpm_lookups;
-  const std::uint32_t route_idx = fibs_[device_idx].lookup_index(dst_ip);
+  return resolve_route(device_idx, dst_ip, fibs_[device_idx].lookup_index(dst_ip));
+}
+
+CompiledPlane::Decision CompiledPlane::decision_from_route(std::uint32_t device_idx,
+                                                           Ipv4Address dst_ip,
+                                                           std::uint32_t route_idx) const {
+  if (idx_.device_owns_ip(device_idx, dst_ip)) {
+    Decision decision;
+    decision.kind = Decision::Kind::Deliver;
+    return decision;
+  }
+  return resolve_route(device_idx, dst_ip, route_idx);
+}
+
+CompiledPlane::Decision CompiledPlane::resolve_route(std::uint32_t device_idx,
+                                                     Ipv4Address dst_ip,
+                                                     std::uint32_t route_idx) const {
+  Decision decision;
   if (route_idx == CompiledFib::kMiss) {
     decision.kind = Decision::Kind::NoRoute;
     return decision;

@@ -34,12 +34,30 @@ class CompiledPlane {
  public:
   static constexpr std::uint32_t kInvalid = net::NetworkIndex::kInvalid;
 
+  struct CompileOptions {
+    /// Top-table stride forwarded to CompiledFib::build for every device's
+    /// FIB (0 = auto per FIB by route count). Tests force both /16 and /24
+    /// through the whole trace stack with this.
+    unsigned fib_stride = 0;
+  };
+
   /// Compiles `network` + `dataplane` into the flat representation.
-  /// Observes dp.compile_ms in the global metrics registry.
-  static CompiledPlane compile(const net::Network& network, const Dataplane& dataplane);
+  /// Observes dp.compile_ms and the dp.fib_bytes / dp.fib_overflow_chunks
+  /// gauges in the global metrics registry.
+  static CompiledPlane compile(const net::Network& network, const Dataplane& dataplane) {
+    return compile(network, dataplane, CompileOptions());
+  }
+  static CompiledPlane compile(const net::Network& network, const Dataplane& dataplane,
+                               const CompileOptions& options);
 
   const net::NetworkIndex& index() const { return idx_; }
   const CompiledFib& fib(std::uint32_t device_idx) const { return fibs_[device_idx]; }
+
+  /// Total LPM table memory (top tables + overflow chunks) across all
+  /// device FIBs; what the dp.fib_bytes gauge last reported.
+  std::size_t fib_bytes() const { return fib_bytes_; }
+  /// Total 256-entry overflow chunks across all device FIBs.
+  std::size_t fib_overflow_chunks() const { return fib_overflow_chunks_; }
 
   /// Counters accumulated across one trace batch; the caller flushes them to
   /// the metrics registry once (dp.lpm_lookups, dp.trace_cache_hits) so the
@@ -69,10 +87,17 @@ class CompiledPlane {
   };
 
   /// Per-destination decision memo, shared by every trace toward one dst_ip.
+  /// Optionally seeded with per-device LPM answers (route_hints) produced by
+  /// a CompiledFib::lookup_many prewarm sweep — a hinted miss skips the FIB
+  /// walk entirely and only resolves egress/L2 state.
   class DstCache {
    public:
     DstCache(net::Ipv4Address dst_ip, std::uint32_t device_count)
         : dst_ip_(dst_ip), decisions_(device_count) {}
+
+    DstCache(net::Ipv4Address dst_ip, std::uint32_t device_count,
+             std::vector<std::uint32_t> route_hints)
+        : dst_ip_(dst_ip), decisions_(device_count), route_hints_(std::move(route_hints)) {}
 
     net::Ipv4Address dst_ip() const { return dst_ip_; }
 
@@ -81,7 +106,9 @@ class CompiledPlane {
       Decision& cached = decisions_[device_idx];
       if (cached.kind == Decision::Kind::Unknown) {
         ++counters.cache_misses;
-        cached = plane.compute_decision(device_idx, dst_ip_, counters);
+        cached = route_hints_.empty()
+                     ? plane.compute_decision(device_idx, dst_ip_, counters)
+                     : plane.decision_from_route(device_idx, dst_ip_, route_hints_[device_idx]);
       } else {
         ++counters.cache_hits;
       }
@@ -91,6 +118,7 @@ class CompiledPlane {
    private:
     net::Ipv4Address dst_ip_;
     std::vector<Decision> decisions_;
+    std::vector<std::uint32_t> route_hints_;  ///< by device; empty = lazy lookups
   };
 
   /// Raw trace outcome in dense indices: no strings are materialized. The
@@ -139,6 +167,13 @@ class CompiledPlane {
     return DstCache(dst_ip, idx_.device_count());
   }
 
+  /// Per-destination cache seeded with one prewarmed LPM answer per device
+  /// (CompiledFib::lookup_many output for dst_ip, in device-index order).
+  DstCache make_dst_cache(net::Ipv4Address dst_ip,
+                          std::vector<std::uint32_t> route_hints) const {
+    return DstCache(dst_ip, idx_.device_count(), std::move(route_hints));
+  }
+
   /// Flushes accumulated counters to the global metrics registry
   /// (dp.lpm_lookups, dp.trace_cache_hits, dp.trace_cache_misses).
   static void flush_counters(const TraceCounters& counters);
@@ -146,6 +181,12 @@ class CompiledPlane {
  private:
   Decision compute_decision(std::uint32_t device_idx, net::Ipv4Address dst_ip,
                             TraceCounters& counters) const;
+  /// compute_decision with the LPM already answered (route_idx, possibly
+  /// CompiledFib::kMiss) by a batched prewarm sweep.
+  Decision decision_from_route(std::uint32_t device_idx, net::Ipv4Address dst_ip,
+                               std::uint32_t route_idx) const;
+  Decision resolve_route(std::uint32_t device_idx, net::Ipv4Address dst_ip,
+                         std::uint32_t route_idx) const;
 
   static std::uint64_t segment_key(std::uint32_t segment, net::Ipv4Address ip) {
     return (static_cast<std::uint64_t>(segment) << 32) | ip.value();
@@ -153,6 +194,8 @@ class CompiledPlane {
 
   net::NetworkIndex idx_;
   std::vector<CompiledFib> fibs_;  ///< by device index
+  std::size_t fib_bytes_ = 0;           ///< total LPM table memory
+  std::size_t fib_overflow_chunks_ = 0; ///< total 256-entry overflow chunks
   /// Per compiled route, the interned egress interface: out_iface_[device][i]
   /// resolves fibs_[device].route(i).out_iface.
   std::vector<std::vector<std::uint32_t>> out_iface_;

@@ -2,44 +2,102 @@
 
 #include <algorithm>
 
+#include "util/error.hpp"
+
 namespace heimdall::dp {
 
 namespace {
 
-std::uint32_t mask_of(unsigned length) {
-  return length == 0 ? 0u : ~0u << (32u - length);
+constexpr std::size_t kChunkEntries = 256;
+
+/// Stride choice when BuildOptions::stride is 0: pay for a large flat top
+/// table only when the route count says lookups will actually spread across
+/// it. Scenario-scale FIBs (tens of routes) stay in one or two L1-resident
+/// pages; a datacenter-scale FIB gets the classic DIR-24-8 layout.
+unsigned auto_stride(std::size_t route_count) {
+  if (route_count >= 65536) return 24;
+  if (route_count >= 256) return 16;
+  return 8;
 }
 
 }  // namespace
 
-CompiledFib CompiledFib::build(const Fib& fib) {
+CompiledFib CompiledFib::build(const Fib& fib, const BuildOptions& options) {
   CompiledFib compiled;
   compiled.routes_ = fib.routes();  // (length desc, network asc)
 
-  for (std::uint32_t i = 0; i < compiled.routes_.size(); ++i) {
-    const net::Ipv4Prefix& prefix = compiled.routes_[i].prefix;
-    if (compiled.buckets_.empty() ||
-        compiled.buckets_.back().mask != mask_of(prefix.length())) {
-      Bucket bucket;
-      bucket.mask = mask_of(prefix.length());
-      bucket.first = i;
-      compiled.buckets_.push_back(std::move(bucket));
-    }
-    compiled.buckets_.back().networks.push_back(prefix.network().value());
+  const unsigned stride =
+      options.stride != 0 ? options.stride : auto_stride(compiled.routes_.size());
+  util::require(stride == 8 || stride == 16 || stride == 24,
+                "CompiledFib stride must be 8, 16 or 24 bits");
+  compiled.shift_ = 32u - stride;
+  compiled.top_.assign(std::size_t(1) << stride, 0u);
+
+  // Paint shortest prefix first (routes_ is length-descending, so walk it
+  // backwards): a longer prefix painted later overwrites exactly the entries
+  // it refines, and equal-length prefixes are disjoint. Because lengths are
+  // non-decreasing, a paint target range can never contain a chunk pointer —
+  // chunks are only spawned by strictly longer prefixes — so every paint is
+  // a plain range fill.
+  for (std::size_t r = compiled.routes_.size(); r-- > 0;) {
+    compiled.paint(compiled.routes_[r].prefix, static_cast<std::uint32_t>(r) + 1);
   }
   return compiled;
 }
 
-std::uint32_t CompiledFib::lookup_index(net::Ipv4Address address) const {
-  const std::uint32_t bits = address.value();
-  for (const Bucket& bucket : buckets_) {
-    const std::uint32_t key = bits & bucket.mask;
-    auto it = std::lower_bound(bucket.networks.begin(), bucket.networks.end(), key);
-    if (it != bucket.networks.end() && *it == key) {
-      return bucket.first + static_cast<std::uint32_t>(it - bucket.networks.begin());
+void CompiledFib::paint(const net::Ipv4Prefix& prefix, std::uint32_t leaf) {
+  const std::uint32_t bits = prefix.network().value();
+  const unsigned length = prefix.length();
+  unsigned shift = shift_;
+  bool in_top = true;
+  std::size_t chunk_base = 0;  // offset of the current chunk in chunks_
+
+  // Descend through every level the prefix extends past, materializing a
+  // chunk on first refinement. A fresh chunk is pre-filled with the entry it
+  // replaces so addresses missing the longer prefix keep resolving to the
+  // shorter covering route.
+  while (length > 32u - shift) {
+    const std::size_t slot = in_top ? static_cast<std::size_t>(bits >> shift)
+                                    : chunk_base + ((bits >> shift) & 0xffu);
+    std::uint32_t entry = in_top ? top_[slot] : chunks_[slot];
+    if (!(entry & kChunkBit)) {
+      const std::uint32_t chunk = static_cast<std::uint32_t>(chunks_.size() / kChunkEntries);
+      chunks_.resize(chunks_.size() + kChunkEntries, entry);
+      entry = kChunkBit | chunk;
+      (in_top ? top_[slot] : chunks_[slot]) = entry;
     }
+    chunk_base = static_cast<std::size_t>(entry & ~kChunkBit) * kChunkEntries;
+    in_top = false;
+    shift -= 8;
   }
-  return kMiss;
+
+  // Fill the covered range at the target level. The range never crosses the
+  // level's table (the prefix is longer than every level above it) and never
+  // holds a chunk pointer (see build).
+  const std::size_t first = in_top ? static_cast<std::size_t>(bits >> shift)
+                                   : chunk_base + ((bits >> shift) & 0xffu);
+  const std::size_t count = std::size_t(1) << (32u - shift - length);
+  std::uint32_t* table = in_top ? top_.data() : chunks_.data();
+  std::fill_n(table + first, count, leaf);
+}
+
+void CompiledFib::lookup_many(std::span<const net::Ipv4Address> addresses,
+                              std::span<std::uint32_t> out) const {
+  util::require(out.size() >= addresses.size(),
+                "CompiledFib::lookup_many: output span too small");
+  if (top_.empty()) {
+    std::fill_n(out.begin(), addresses.size(), kMiss);
+    return;
+  }
+  constexpr std::size_t kPrefetchAhead = 8;
+  const std::size_t count = addresses.size();
+  for (std::size_t i = 0; i < count; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kPrefetchAhead < count)
+      __builtin_prefetch(&top_[addresses[i + kPrefetchAhead].value() >> shift_]);
+#endif
+    out[i] = lookup_index(addresses[i]);
+  }
 }
 
 }  // namespace heimdall::dp

@@ -1,20 +1,31 @@
-// Flat, cache-friendly longest-prefix-match table compiled from a Fib trie.
+// DIR-24-8-style multibit longest-prefix-match table compiled from a Fib
+// trie.
 //
 // The binary trie (Fib) walks up to 32 heap nodes per lookup. CompiledFib
-// flattens the routes into one contiguous array sorted by (prefix length
-// desc, network asc) — i.e. Fib::routes() order — with one bucket per
-// populated prefix length. A lookup masks the address per bucket and binary
-// searches that bucket's sorted network values; the first (longest) hit
-// wins, which is exactly the trie's longest-prefix-match answer. Enterprise
-// FIBs populate only a handful of distinct lengths, so a lookup touches a
-// few small sorted arrays that stay in cache.
+// paints the routes into a flat top-level table indexed by the address's
+// leading `stride` bits plus 256-entry overflow chunks for prefixes longer
+// than the stride (each further chunk level resolves 8 more bits). A lookup
+// is one top-table load and, only under refined prefixes, one chunk load per
+// remaining 8-bit level — no search, no pointer chase proportional to prefix
+// length. Chunk entries are pre-filled with the covering shorter route, so a
+// refined range that does not match still falls back correctly.
 //
-// The trie remains the build-time/reference implementation; CompiledFib is
-// immutable — recompile after route changes.
+// The table is built from the trie in Fib::routes() order (prefix length
+// desc, network asc): route indices returned by lookup_index are stable and
+// bit-for-bit identical to a trie walk, which DstCache/CompiledPlane
+// memoization relies on.
+//
+// The stride is a memory knob: /24 is the classic DIR-24-8 layout (64 MiB
+// top table — datacenter-scale FIBs), /16 and /8 shrink the top table for
+// small FIBs at the cost of one or two extra chunk levels. The default
+// (stride 0) picks per FIB by route count. The trie remains the
+// build-time/reference implementation; CompiledFib is immutable — recompile
+// after route changes.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "dataplane/fib.hpp"
@@ -25,14 +36,38 @@ class CompiledFib {
  public:
   static constexpr std::uint32_t kMiss = 0xffffffffu;
 
+  struct BuildOptions {
+    /// Top-table stride in bits: 8, 16 or 24. 0 picks per FIB by route
+    /// count (small FIBs get /8, mid-size /16, 64k+ routes the full /24).
+    unsigned stride = 0;
+  };
+
   CompiledFib() = default;
 
   /// Flattens `fib`. Routes keep Fib::routes() order, so indices are stable
   /// and most-specific-first.
-  static CompiledFib build(const Fib& fib);
+  static CompiledFib build(const Fib& fib) { return build(fib, BuildOptions()); }
+  static CompiledFib build(const Fib& fib, const BuildOptions& options);
 
   /// Longest-prefix-match; returns an index into routes() or kMiss.
-  std::uint32_t lookup_index(net::Ipv4Address address) const;
+  std::uint32_t lookup_index(net::Ipv4Address address) const {
+    if (top_.empty()) return kMiss;  // default-constructed (never built)
+    const std::uint32_t bits = address.value();
+    std::uint32_t entry = top_[bits >> shift_];
+    unsigned shift = shift_;
+    while (entry & kChunkBit) {
+      shift -= 8;
+      entry = chunks_[(static_cast<std::size_t>(entry & ~kChunkBit) << 8) |
+                      ((bits >> shift) & 0xffu)];
+    }
+    return entry - 1;  // entries store route index + 1; 0 wraps to kMiss
+  }
+
+  /// Batch lookup: out[i] = lookup_index(addresses[i]). Software-prefetches
+  /// the top-table rows a few probes ahead so a large table (whose rows are
+  /// not cache-resident) overlaps its memory latency across the batch.
+  void lookup_many(std::span<const net::Ipv4Address> addresses,
+                   std::span<std::uint32_t> out) const;
 
   /// Reference-equivalent API mirroring Fib::lookup.
   std::optional<Route> lookup(net::Ipv4Address address) const {
@@ -46,17 +81,27 @@ class CompiledFib {
   std::size_t size() const { return routes_.size(); }
   bool empty() const { return routes_.empty(); }
 
+  /// Top-table stride in bits this FIB was built with.
+  unsigned stride() const { return 32u - shift_; }
+  /// Bytes held by the lookup tables (top table + overflow chunks).
+  std::size_t table_bytes() const {
+    return (top_.size() + chunks_.size()) * sizeof(std::uint32_t);
+  }
+  /// Number of 256-entry overflow chunks backing prefixes longer than the
+  /// stride.
+  std::size_t overflow_chunks() const { return chunks_.size() >> 8; }
+
  private:
-  /// One populated prefix length: routes_[first, first + networks.size())
-  /// share this length; `networks` holds their network addresses, ascending.
-  struct Bucket {
-    std::uint32_t mask = 0;   ///< ~0u << (32 - length); 0 for the default route
-    std::uint32_t first = 0;  ///< index of the bucket's first route in routes_
-    std::vector<std::uint32_t> networks;
-  };
+  /// Table entry encoding: 0 = miss, high bit set = overflow chunk index,
+  /// otherwise route index + 1.
+  static constexpr std::uint32_t kChunkBit = 0x80000000u;
+
+  void paint(const net::Ipv4Prefix& prefix, std::uint32_t leaf);
 
   std::vector<Route> routes_;
-  std::vector<Bucket> buckets_;  ///< by prefix length, descending
+  std::vector<std::uint32_t> top_;     ///< 2^stride entries
+  std::vector<std::uint32_t> chunks_;  ///< overflow arena, 256 entries per chunk
+  unsigned shift_ = 24;                ///< 32 - stride
 };
 
 }  // namespace heimdall::dp

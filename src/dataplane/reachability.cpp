@@ -1,6 +1,7 @@
 #include "dataplane/reachability.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "dataplane/compiled.hpp"
 #include "util/error.hpp"
@@ -83,13 +84,32 @@ ReachabilityMatrix ReachabilityMatrix::compute(const CompiledPlane& plane,
     }
   }
 
+  // Batch-prewarm the LPM: one software-prefetched lookup_many sweep per
+  // device answers every (device, destination) route query up front, so the
+  // column traces below never walk a FIB one miss at a time.
+  const std::uint32_t device_count = idx.device_count();
+  std::vector<std::uint32_t> route_by_device(static_cast<std::size_t>(device_count) * count);
+  {
+    CompiledPlane::TraceCounters counters;
+    for (std::uint32_t d = 0; d < device_count; ++d) {
+      plane.fib(d).lookup_many(
+          host_ips, std::span(route_by_device).subspan(static_cast<std::size_t>(d) * count));
+    }
+    counters.lpm_lookups += route_by_device.size();
+    CompiledPlane::flush_counters(counters);
+  }
+
   // One destination column per work item: every trace toward hosts[j]
-  // shares a DstCache, so the FIB walk and L2 resolution for a device are
-  // paid once per destination rather than once per pair.
+  // shares a DstCache seeded with the prewarmed routes, so the FIB walk and
+  // L2 resolution for a device are paid once per destination rather than
+  // once per pair.
   auto trace_columns = [&](std::size_t begin, std::size_t end) {
     CompiledPlane::TraceCounters counters;
     for (std::size_t j = begin; j < end; ++j) {
-      CompiledPlane::DstCache cache = plane.make_dst_cache(host_ips[j]);
+      std::vector<std::uint32_t> hints(device_count);
+      for (std::uint32_t d = 0; d < device_count; ++d)
+        hints[d] = route_by_device[static_cast<std::size_t>(d) * count + j];
+      CompiledPlane::DstCache cache = plane.make_dst_cache(host_ips[j], std::move(hints));
       Flow flow;
       flow.dst_ip = host_ips[j];
       flow.protocol = IpProtocol::Icmp;

@@ -512,6 +512,137 @@ TEST(CompiledFib, MatchesTrieOnRandomInputs) {
   }
 }
 
+/// Pins CompiledFib to the trie on a probe set at one table stride: the
+/// matched prefix must be identical, and lookup_many must agree with
+/// lookup_index entry-for-entry (including misses).
+void expect_fib_equivalence(const Fib& fib, const std::vector<Ipv4Address>& probes,
+                            unsigned stride) {
+  CompiledFib compiled = CompiledFib::build(fib, {stride});
+  ASSERT_EQ(compiled.size(), fib.size());
+  if (stride != 0) EXPECT_EQ(compiled.stride(), stride);
+
+  std::vector<std::uint32_t> batch(probes.size());
+  compiled.lookup_many(probes, batch);
+
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    std::uint32_t idx = compiled.lookup_index(probes[i]);
+    ASSERT_EQ(batch[i], idx) << "stride " << compiled.stride() << " lookup_many diverged at "
+                             << probes[i].to_string();
+    auto expected = fib.lookup(probes[i]);
+    ASSERT_EQ(expected.has_value(), idx != CompiledFib::kMiss)
+        << "stride " << compiled.stride() << " " << probes[i].to_string();
+    if (expected) {
+      ASSERT_EQ(expected->prefix, compiled.route(idx).prefix)
+          << "stride " << compiled.stride() << " " << probes[i].to_string();
+    }
+  }
+}
+
+Route plain_route(const char* prefix) {
+  return route_to(prefix, RouteProtocol::Static, 0, "192.0.2.1");
+}
+
+TEST(CompiledFib, DefaultRouteOnly) {
+  Fib fib;
+  fib.insert(plain_route("0.0.0.0/0"));
+
+  std::vector<Ipv4Address> probes = {ip("0.0.0.0"), ip("10.1.2.3"), ip("127.255.255.255"),
+                                     ip("128.0.0.0"), ip("255.255.255.255")};
+  for (unsigned stride : {8u, 16u, 24u, 0u}) expect_fib_equivalence(fib, probes, stride);
+
+  // The /0 paints every top-table entry and needs no overflow chunks at any
+  // stride.
+  CompiledFib compiled = CompiledFib::build(fib, {24});
+  EXPECT_EQ(compiled.overflow_chunks(), 0u);
+  EXPECT_EQ(compiled.table_bytes(), (1u << 24) * sizeof(std::uint32_t));
+}
+
+TEST(CompiledFib, EmptyFibMissesEverywhere) {
+  Fib fib;
+  for (unsigned stride : {8u, 16u, 24u, 0u}) {
+    CompiledFib compiled = CompiledFib::build(fib, {stride});
+    EXPECT_EQ(compiled.lookup_index(ip("10.0.0.1")), CompiledFib::kMiss);
+    EXPECT_FALSE(compiled.lookup(ip("0.0.0.0")).has_value());
+  }
+}
+
+TEST(CompiledFib, RefinementsCrossTopEntryBoundaries) {
+  // Adjacent /24s whose longer refinements straddle the /24 (and, at /16
+  // stride, the /16) top-table entry boundaries: a paint that pre-fills a
+  // fresh chunk with the wrong covering route, or chunks spilled across two
+  // top entries, shows up here.
+  Fib fib;
+  fib.insert(plain_route("10.0.1.0/24"));
+  fib.insert(plain_route("10.0.2.0/24"));
+  fib.insert(plain_route("10.0.1.128/25"));  // upper half of the first /24
+  fib.insert(plain_route("10.0.2.0/25"));    // lower half of the second /24
+  fib.insert(plain_route("10.0.1.192/26"));
+  fib.insert(plain_route("10.0.1.254/31"));  // hugs the 10.0.1/10.0.2 boundary
+  fib.insert(plain_route("10.0.2.0/32"));    // first address of the second /24
+  fib.insert(plain_route("10.0.1.255/32"));  // last address of the first /24
+  fib.insert(plain_route("10.0.255.0/24"));  // last /24 of the 10.0/16 entry
+  fib.insert(plain_route("10.0.255.255/32"));
+  fib.insert(plain_route("10.1.0.0/32"));    // first address of the next /16
+
+  // Exhaustive over 10.0.0.0/22 plus the /16 boundary neighborhood.
+  std::vector<Ipv4Address> probes;
+  for (std::uint32_t a = ip("10.0.0.0").value(); a <= ip("10.0.3.255").value(); ++a)
+    probes.emplace_back(a);
+  for (std::uint32_t a = ip("10.0.255.0").value(); a <= ip("10.1.0.255").value(); ++a)
+    probes.emplace_back(a);
+  probes.push_back(ip("10.2.0.0"));
+  probes.push_back(ip("9.255.255.255"));
+
+  for (unsigned stride : {8u, 16u, 24u, 0u}) expect_fib_equivalence(fib, probes, stride);
+}
+
+TEST(CompiledFib, OverlappingSlash31AndSlash32) {
+  // /32s refine a covering /31 (one fully shadowing half of it) — the
+  // deepest chunk level where entry pre-fill and most-specific-wins meet.
+  Fib fib;
+  fib.insert(plain_route("172.16.0.0/24"));
+  fib.insert(plain_route("172.16.0.10/31"));
+  fib.insert(plain_route("172.16.0.10/32"));  // shadows the even half of the /31
+  fib.insert(plain_route("172.16.0.12/31"));
+  fib.insert(plain_route("172.16.0.13/32"));  // shadows the odd half
+  fib.insert(plain_route("172.16.0.14/32"));  // /32 with no covering /31
+
+  std::vector<Ipv4Address> probes;
+  for (std::uint32_t a = ip("172.16.0.0").value(); a <= ip("172.16.0.32").value(); ++a)
+    probes.emplace_back(a);
+  probes.push_back(ip("172.16.1.0"));
+  for (unsigned stride : {8u, 16u, 24u, 0u}) expect_fib_equivalence(fib, probes, stride);
+}
+
+TEST(CompiledFib, FuzzFiftyThousandRoutes) {
+  // 50k random routes, 100k probes, pinned at both explicit strides. Route
+  // networks are biased into a handful of /8s so prefixes actually nest.
+  util::Rng rng(20240808);
+  Fib fib;
+  for (int i = 0; i < 50000; ++i) {
+    std::uint32_t base = static_cast<std::uint32_t>(rng.next());
+    if (rng.chance(0.75)) base = 0x0a000000u | (base & 0x00ffffffu);
+    unsigned length = static_cast<unsigned>(rng.next_in(0, 32));
+    Route route;
+    route.prefix = Ipv4Prefix(Ipv4Address(base), length);
+    route.protocol = RouteProtocol::Static;
+    route.admin_distance = default_admin_distance(route.protocol);
+    route.next_hop = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    route.out_iface = InterfaceId("e0");
+    fib.insert(route);
+  }
+
+  std::vector<Ipv4Address> probes;
+  probes.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    std::uint32_t a = static_cast<std::uint32_t>(rng.next());
+    if (rng.chance(0.75)) a = 0x0a000000u | (a & 0x00ffffffu);
+    probes.emplace_back(a);
+  }
+
+  for (unsigned stride : {16u, 24u}) expect_fib_equivalence(fib, probes, stride);
+}
+
 void expect_same_trace(const TraceResult& expected, const TraceResult& got,
                        const Flow& flow) {
   ASSERT_EQ(expected.disposition, got.disposition) << flow.to_string();
@@ -528,10 +659,13 @@ void expect_same_trace(const TraceResult& expected, const TraceResult& got,
 
 /// Compiled trace must reproduce the reference tracer bit-for-bit: every
 /// ordered host pair (ICMP) plus randomized TCP/UDP flows that exercise the
-/// per-flow ACL paths a destination cache must not shortcut.
-void expect_compiled_trace_equivalence(const Network& network, std::uint64_t seed) {
+/// per-flow ACL paths a destination cache must not shortcut. `fib_stride`
+/// forces the CompiledFib top-table layout (0 = auto) so the whole trace
+/// stack is exercised at both the compact and the full DIR-24-8 strides.
+void expect_compiled_trace_equivalence(const Network& network, std::uint64_t seed,
+                                       unsigned fib_stride = 0) {
   Dataplane dataplane = Dataplane::compute(network);
-  CompiledPlane plane = CompiledPlane::compile(network, dataplane);
+  CompiledPlane plane = CompiledPlane::compile(network, dataplane, {fib_stride});
 
   std::vector<Ipv4Address> host_ips;
   for (const DeviceId& host : network.device_ids(DeviceKind::Host))
@@ -584,11 +718,15 @@ void expect_same_matrix(const ReachabilityMatrix& expected, const ReachabilityMa
 }
 
 TEST(CompiledPlane, TraceEquivalenceEnterprise) {
-  expect_compiled_trace_equivalence(scen::build_enterprise(), 1001);
+  // Auto stride plus both explicit table layouts: /16 keeps every scenario
+  // route in overflow chunks, /24 is the full DIR-24-8 top table.
+  for (unsigned stride : {0u, 16u, 24u})
+    expect_compiled_trace_equivalence(scen::build_enterprise(), 1001, stride);
 }
 
 TEST(CompiledPlane, TraceEquivalenceUniversity) {
-  expect_compiled_trace_equivalence(scen::build_university(), 2002);
+  for (unsigned stride : {0u, 16u, 24u})
+    expect_compiled_trace_equivalence(scen::build_university(), 2002, stride);
 }
 
 TEST(CompiledPlane, TraceEquivalenceUnderFailures) {
@@ -611,9 +749,11 @@ TEST(CompiledPlane, TraceEquivalenceUnderFailures) {
 TEST(CompiledPlane, MatrixEquivalenceBothScenarios) {
   for (const Network& network : {scen::build_enterprise(), scen::build_university()}) {
     Dataplane dataplane = Dataplane::compute(network);
-    CompiledPlane plane = CompiledPlane::compile(network, dataplane);
-    expect_same_matrix(ReachabilityMatrix::compute(network, dataplane),
-                       ReachabilityMatrix::compute(plane));
+    ReachabilityMatrix reference = ReachabilityMatrix::compute(network, dataplane);
+    for (unsigned stride : {0u, 16u, 24u}) {
+      CompiledPlane plane = CompiledPlane::compile(network, dataplane, {stride});
+      expect_same_matrix(reference, ReachabilityMatrix::compute(plane));
+    }
   }
 }
 
