@@ -27,12 +27,15 @@
 #include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "dataplane/sharded.hpp"
 #include "scenarios/enterprise.hpp"
+#include "scenarios/fabric.hpp"
 #include "scenarios/university.hpp"
 #include "spec/verify.hpp"
 #include "twin/twin.hpp"
 #include "util/random.hpp"
 #include "util/sha256.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -377,6 +380,75 @@ void BM_CompiledFlowTrace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompiledFlowTrace)->Arg(0)->Arg(1)->ArgNames({"net"});
+
+// ------------------------------------------------------------ fabric scale --
+// The sharded all-pairs path on fat-tree fabrics. BM_AllPairsSharded is the
+// multi-core scaling row (k=6, destination-class columns across a
+// ThreadPool; tools/bench_baseline.py holds the 4-thread speedup floor on
+// multi-core hosts). The BM_FabricAllPairs{Dense,Sharded} pair is the
+// representation comparison at identical k — the sharded rows carry the
+// matrix_bytes / equiv_classes / hosts counters that feed the committed
+// BENCH_micro.json memory ceiling.
+
+const dp::CompiledPlane& fabric_plane(unsigned k) {
+  auto build = [](unsigned arity) {
+    scen::FabricOptions options;
+    options.k = arity;
+    net::Network network = scen::build_fabric(options);
+    dp::Dataplane dataplane = dp::Dataplane::compute(network);
+    return dp::CompiledPlane::compile(network, dataplane);
+  };
+  static const dp::CompiledPlane k6 = build(6);
+  static const dp::CompiledPlane k8 = build(8);
+  return k == 6 ? k6 : k8;
+}
+
+void annotate_sharded(benchmark::State& state, const dp::ShardedReachability& result) {
+  state.counters["matrix_bytes"] = static_cast<double>(result.bytes());
+  state.counters["equiv_classes"] = static_cast<double>(result.class_count());
+  state.counters["hosts"] = static_cast<double>(result.hosts().size());
+}
+
+void BM_AllPairsSharded(benchmark::State& state) {
+  const dp::CompiledPlane& plane = fabric_plane(6);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::unique_ptr<util::ThreadPool> pool;
+  dp::ShardOptions options;
+  if (threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(threads);
+    options.pool = pool.get();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::ShardedReachability::compute(plane, options));
+  }
+  annotate_sharded(state, dp::ShardedReachability::compute(plane, options));
+}
+BENCHMARK(BM_AllPairsSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->UseRealTime();
+
+void BM_FabricAllPairsDense(benchmark::State& state) {
+  const dp::CompiledPlane& plane = fabric_plane(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::ReachabilityMatrix::compute(plane));
+  }
+  state.counters["matrix_bytes"] =
+      static_cast<double>(dp::ReachabilityMatrix::compute(plane).bytes());
+}
+BENCHMARK(BM_FabricAllPairsDense)->Arg(6)->Arg(8)->ArgNames({"k"});
+
+void BM_FabricAllPairsSharded(benchmark::State& state) {
+  const dp::CompiledPlane& plane = fabric_plane(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::ShardedReachability::compute(plane));
+  }
+  annotate_sharded(state, dp::ShardedReachability::compute(plane));
+}
+BENCHMARK(BM_FabricAllPairsSharded)->Arg(6)->Arg(8)->ArgNames({"k"});
 
 void BM_PolicyVerifyFullPipeline(benchmark::State& state) {
   const net::Network& network = pick(static_cast<int>(state.range(0)));

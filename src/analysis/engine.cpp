@@ -5,6 +5,7 @@
 
 #include "config/serialize.hpp"
 #include "dataplane/compiled.hpp"
+#include "dataplane/sharded.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/clock.hpp"
@@ -57,7 +58,29 @@ std::shared_ptr<const dp::CompiledPlane> compile_plane(const net::Network& netwo
       dp::CompiledPlane::compile(network, dataplane, {fib_stride}));
 }
 
+/// Representation choice for one analysis (see MatrixMode). Deliberately a
+/// function of the *network*, not the cached artifacts: repeated analyses
+/// of related snapshots keep picking the same representation, so
+/// incremental recomputes always find a matching base.
+bool wants_sharded(const Options& options, const net::Network& network) {
+  switch (options.matrix_mode) {
+    case MatrixMode::Dense:
+      return false;
+    case MatrixMode::Sharded:
+      return true;
+    case MatrixMode::Auto:
+      break;
+  }
+  return network.count(net::DeviceKind::Host) >= options.sharded_host_threshold;
+}
+
 }  // namespace
+
+const dp::ReachabilityView* Snapshot::view() const {
+  if (reachability) return reachability.get();
+  if (sharded) return sharded.get();
+  return nullptr;
+}
 
 Impact classify_impact(const ConfigChange& change) {
   struct Visitor {
@@ -107,6 +130,8 @@ std::string Engine::fingerprint(const net::Network& network) const {
 
 dp::TraceOptions Engine::trace_options() { return dp::TraceOptions{pool_.get()}; }
 
+dp::ShardOptions Engine::shard_options() { return dp::ShardOptions{pool_.get()}; }
+
 Engine::Entry* Engine::lookup(const std::string& digest) {
   auto it = cache_.find(digest);
   if (it == cache_.end()) return nullptr;
@@ -147,8 +172,13 @@ Engine::Entry Engine::compute_full(const net::Network& network, bool want_matrix
   entry.compiled = compile_plane(network, *entry.dataplane, options_.fib_stride);
   if (want_matrix) {
     obs::ScopedSpan span("engine.reachability", "analysis");
-    entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
-        dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
+    if (wants_sharded(options_, network)) {
+      entry.sharded = std::make_shared<dp::ShardedReachability>(
+          dp::ShardedReachability::compute(*entry.compiled, shard_options()));
+    } else {
+      entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
+          dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
+    }
   }
   return entry;
 }
@@ -181,7 +211,21 @@ Engine::Entry Engine::compute_incremental(
   entry.compiled = compile_plane(network, *entry.dataplane, options_.fib_stride);
 
   if (want_matrix) {
-    if (base.reachability) {
+    if (wants_sharded(options_, network)) {
+      std::size_t retraced = 0;
+      entry.sharded = base.sharded
+                          ? std::make_shared<dp::ShardedReachability>(
+                                dp::ShardedReachability::recompute(*entry.compiled, *base.sharded,
+                                                                   dirty, shard_options(),
+                                                                   &retraced))
+                          : std::make_shared<dp::ShardedReachability>(
+                                dp::ShardedReachability::compute(*entry.compiled, shard_options()));
+      stats_.retraced_pairs += retraced;
+      EngineMetrics::get().retraced_pairs.add(retraced);
+      span.arg("retraced_pairs", std::to_string(retraced));
+      // No retraced_out: sharded retraces are class pairs, not indices into
+      // a dense pair vector — delta consumers fall back to a full check.
+    } else if (base.reachability) {
       std::size_t retraced = 0;
       auto retraced_indices = std::make_shared<std::vector<std::size_t>>();
       entry.matrix = std::make_shared<dp::ReachabilityMatrix>(dp::ReachabilityMatrix::recompute(
@@ -224,7 +268,7 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
   // Unchanged network (e.g. a changeset that cancels out, or a secret edit
   // against the same base): the base snapshot already answers.
   if (caching && base && base->valid() && base->digest == digest &&
-      (!want_matrix || base->reachability)) {
+      (!want_matrix || base->reachability || base->sharded)) {
     ++stats_.cache_hits;
     metrics.cache_hits.add();
     span.arg("cache", "hit-base");
@@ -236,24 +280,32 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
   }
 
   if (Entry* cached = caching ? lookup(digest) : nullptr) {
-    if (!want_matrix || cached->matrix) {
+    if (!want_matrix || cached->has_reachability()) {
       ++stats_.cache_hits;
       metrics.cache_hits.add();
       span.arg("cache", "hit");
-      return Snapshot{digest, cached->dataplane, cached->matrix, cached->compiled};
+      return Snapshot{digest, cached->dataplane, cached->matrix, cached->compiled,
+                      /*retraced_pairs=*/nullptr, cached->sharded};
     }
     // Dataplane known, matrix missing: complete the cached entry in place.
     ++stats_.matrix_completions;
     metrics.cache_misses.add();
     span.arg("cache", "complete-matrix");
-    std::shared_ptr<const dp::Dataplane> dataplane = cached->dataplane;
-    std::shared_ptr<const dp::CompiledPlane> compiled = cached->compiled;
-    if (!compiled) compiled = compile_plane(network, *dataplane, options_.fib_stride);
-    auto matrix = std::make_shared<dp::ReachabilityMatrix>(
-        dp::ReachabilityMatrix::compute(*compiled, trace_options()));
-    remember(digest, Entry{dataplane, matrix, compiled});
-    return Snapshot{std::move(digest), std::move(dataplane), std::move(matrix),
-                    std::move(compiled)};
+    Entry entry;
+    entry.dataplane = cached->dataplane;
+    entry.compiled = cached->compiled;
+    if (!entry.compiled) entry.compiled = compile_plane(network, *entry.dataplane, options_.fib_stride);
+    if (wants_sharded(options_, network)) {
+      entry.sharded = std::make_shared<dp::ShardedReachability>(
+          dp::ShardedReachability::compute(*entry.compiled, shard_options()));
+    } else {
+      entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
+          dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
+    }
+    remember(digest, entry);
+    return Snapshot{std::move(digest), std::move(entry.dataplane), std::move(entry.matrix),
+                    std::move(entry.compiled), /*retraced_pairs=*/nullptr,
+                    std::move(entry.sharded)};
   }
   metrics.cache_misses.add();
   span.arg("cache", "miss");
@@ -272,15 +324,21 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
     ++stats_.carried_forward;
     entry.dataplane = base->dataplane;
     entry.matrix = base->reachability;
+    entry.sharded = base->sharded;
     entry.compiled = base->compiled;
     if (entry.matrix) retraced_view = std::make_shared<std::vector<std::size_t>>();
-    if (want_matrix && !entry.matrix) {
+    if (want_matrix && !entry.has_reachability()) {
       ++stats_.matrix_completions;
       if (!entry.compiled) entry.compiled = compile_plane(network, *entry.dataplane, options_.fib_stride);
-      entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
-          dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
+      if (wants_sharded(options_, network)) {
+        entry.sharded = std::make_shared<dp::ShardedReachability>(
+            dp::ShardedReachability::compute(*entry.compiled, shard_options()));
+      } else {
+        entry.matrix = std::make_shared<dp::ReachabilityMatrix>(
+            dp::ReachabilityMatrix::compute(*entry.compiled, trace_options()));
+      }
     }
-  } else if (worst == Impact::Global || !base->reachability) {
+  } else if (worst == Impact::Global || (!base->reachability && !base->sharded)) {
     // Incremental retrace needs the base matrix's recorded paths; without
     // them (dataplane-only base) a non-global change still recomputes the
     // dataplane incrementally but cannot scope the trace.
@@ -295,7 +353,8 @@ Snapshot Engine::analyze_impl(const net::Network& network, const Snapshot* base,
 
   remember(digest, entry);
   return Snapshot{std::move(digest), std::move(entry.dataplane), std::move(entry.matrix),
-                  std::move(entry.compiled), std::move(retraced_view)};
+                  std::move(entry.compiled), std::move(retraced_view),
+                  std::move(entry.sharded)};
 }
 
 Snapshot Engine::analyze(const net::Network& network) {

@@ -29,6 +29,11 @@
 #include "dataplane/reachability.hpp"
 #include "util/thread_pool.hpp"
 
+namespace heimdall::dp {
+class ShardedReachability;
+struct ShardOptions;
+}
+
 namespace heimdall::analysis {
 
 /// How a ConfigChange can affect a cached analysis, from cheapest to most
@@ -43,6 +48,13 @@ enum class Impact : std::uint8_t {
 /// Classifies one semantic change (see Impact).
 Impact classify_impact(const cfg::ConfigChange& change);
 
+/// Which all-pairs reachability representation analyses produce.
+enum class MatrixMode : std::uint8_t {
+  Auto,     ///< dense below sharded_host_threshold hosts, sharded at or above
+  Dense,    ///< always the full ReachabilityMatrix (per-pair paths, diffable)
+  Sharded,  ///< always the compressed ShardedReachability (fabric scale)
+};
+
 struct Options {
   /// Memoized snapshots kept (LRU). 0 disables memoization entirely —
   /// benchmarks use that to measure honest recompute cost.
@@ -55,6 +67,12 @@ struct Options {
   /// compiled plane; 0 sizes each device's table by its route count.
   /// Property tests force both /16 and /24 through the full trace stack.
   unsigned fib_stride = 0;
+  /// Reachability representation policy (see MatrixMode).
+  MatrixMode matrix_mode = MatrixMode::Auto;
+  /// Host count at which MatrixMode::Auto switches to the sharded
+  /// representation: fabric-scale networks would otherwise pay
+  /// O(hosts^2 . path) matrix memory per memoized snapshot.
+  std::size_t sharded_host_threshold = 512;
 };
 
 struct Stats {
@@ -88,9 +106,18 @@ struct Snapshot {
   /// pair not listed is bit-identical to the base matrix. Empty vector =
   /// nothing changed. Null = unknown provenance (full recompute, memo hit,
   /// or no base) — a delta consumer must then treat every cell as changed.
+  /// Always null on sharded snapshots (the sharded recompute counts class
+  /// pairs, which are not indices into a dense pair vector).
   std::shared_ptr<const std::vector<std::size_t>> retraced_pairs;
+  /// Compressed reachability when the engine chose the sharded
+  /// representation (see MatrixMode); `reachability` is then null.
+  std::shared_ptr<const dp::ShardedReachability> sharded;
 
   bool valid() const { return dataplane != nullptr; }
+
+  /// Whichever reachability representation this snapshot carries, as the
+  /// common read interface; null when only the dataplane stage ran.
+  const dp::ReachabilityView* view() const;
 };
 
 /// The facade. Not thread-safe itself (internal trace parallelism is);
@@ -136,6 +163,9 @@ class Engine {
     std::shared_ptr<const dp::Dataplane> dataplane;
     std::shared_ptr<const dp::ReachabilityMatrix> matrix;  // may lag behind dataplane
     std::shared_ptr<const dp::CompiledPlane> compiled;
+    std::shared_ptr<const dp::ShardedReachability> sharded;  // exclusive with matrix
+
+    bool has_reachability() const { return matrix != nullptr || sharded != nullptr; }
   };
 
   Snapshot analyze_impl(const net::Network& network, const Snapshot* base,
@@ -146,6 +176,7 @@ class Engine {
                             bool want_matrix,
                             std::shared_ptr<const std::vector<std::size_t>>* retraced_out);
   dp::TraceOptions trace_options();
+  dp::ShardOptions shard_options();
   Entry* lookup(const std::string& digest);
   void remember(const std::string& digest, Entry entry);
 

@@ -53,6 +53,12 @@ class CompiledPlane {
   const net::NetworkIndex& index() const { return idx_; }
   const CompiledFib& fib(std::uint32_t device_idx) const { return fibs_[device_idx]; }
 
+  /// L2 segment of interface `iface_idx` (kInvalid when the interface is in
+  /// no broadcast domain). Exposed so the sharded reachability layer can
+  /// group hosts by attachment segment when building forwarding-equivalence
+  /// classes.
+  std::uint32_t iface_segment(std::uint32_t iface_idx) const { return iface_segment_[iface_idx]; }
+
   /// Total LPM table memory (top tables + overflow chunks) across all
   /// device FIBs; what the dp.fib_bytes gauge last reported.
   std::size_t fib_bytes() const { return fib_bytes_; }

@@ -33,6 +33,17 @@ CompiledFib CompiledFib::build(const Fib& fib, const BuildOptions& options) {
   compiled.shift_ = 32u - stride;
   compiled.top_.assign(std::size_t(1) << stride, 0u);
 
+  // Upper-bound the overflow arena from the route list: a route extending
+  // `levels` strides past the top table spawns at most `levels` chunks. The
+  // bound ignores chunk sharing between sibling prefixes, so trim to actual
+  // occupancy after the paint — reserving up front keeps the paint loop from
+  // re-copying the arena on every geometric growth step.
+  std::size_t chunk_bound = 0;
+  for (const Route& route : compiled.routes_) {
+    if (route.prefix.length() > stride) chunk_bound += (route.prefix.length() - stride + 7) / 8;
+  }
+  compiled.chunks_.reserve(chunk_bound * kChunkEntries);
+
   // Paint shortest prefix first (routes_ is length-descending, so walk it
   // backwards): a longer prefix painted later overwrites exactly the entries
   // it refines, and equal-length prefixes are disjoint. Because lengths are
@@ -42,6 +53,7 @@ CompiledFib CompiledFib::build(const Fib& fib, const BuildOptions& options) {
   for (std::size_t r = compiled.routes_.size(); r-- > 0;) {
     compiled.paint(compiled.routes_[r].prefix, static_cast<std::uint32_t>(r) + 1);
   }
+  compiled.chunks_.shrink_to_fit();
   return compiled;
 }
 

@@ -14,22 +14,39 @@ using namespace heimdall::net;
 namespace {
 
 PairReachability trace_pair(const Network& network, const Dataplane& dataplane,
-                            const DeviceId& src, const DeviceId& dst) {
+                            const DeviceId& src, const DeviceId& dst, bool record_path) {
   TraceResult result = trace_hosts(network, dataplane, src, dst);
   PairReachability pair;
   pair.src = src;
   pair.dst = dst;
   pair.disposition = result.disposition;
-  pair.path = result.path();
+  if (record_path) pair.path = result.path();
   return pair;
 }
 
 }  // namespace
 
+std::vector<std::tuple<DeviceId, DeviceId, bool, bool>> diff_views(
+    const ReachabilityView& before, const ReachabilityView& after) {
+  std::vector<std::tuple<DeviceId, DeviceId, bool, bool>> out;
+  for (const DeviceId& src : before.hosts()) {
+    for (const DeviceId& dst : before.hosts()) {
+      if (src == dst) continue;
+      if (!after.has_pair(src, dst)) continue;
+      const bool was = before.reachable(src, dst);
+      const bool now = after.reachable(src, dst);
+      if (was != now) out.emplace_back(src, dst, was, now);
+    }
+  }
+  return out;
+}
+
 ReachabilityMatrix ReachabilityMatrix::compute(const Network& network, const Dataplane& dataplane,
                                                const TraceOptions& options) {
   ReachabilityMatrix matrix;
-  std::vector<DeviceId> hosts = network.device_ids(DeviceKind::Host);
+  matrix.paths_recorded_ = options.record_paths;
+  matrix.hosts_ = network.device_ids(DeviceKind::Host);
+  const std::vector<DeviceId>& hosts = matrix.hosts_;
   for (const DeviceId& src : hosts) {
     for (const DeviceId& dst : hosts) {
       if (src == dst) continue;
@@ -44,7 +61,7 @@ ReachabilityMatrix ReachabilityMatrix::compute(const Network& network, const Dat
   auto trace_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       PairReachability& pair = matrix.pairs_[i];
-      pair = trace_pair(network, dataplane, pair.src, pair.dst);
+      pair = trace_pair(network, dataplane, pair.src, pair.dst, options.record_paths);
     }
   };
   if (options.pool) {
@@ -58,16 +75,19 @@ ReachabilityMatrix ReachabilityMatrix::compute(const Network& network, const Dat
 ReachabilityMatrix ReachabilityMatrix::compute(const CompiledPlane& plane,
                                                const TraceOptions& options) {
   ReachabilityMatrix matrix;
+  matrix.paths_recorded_ = options.record_paths;
   const net::NetworkIndex& idx = plane.index();
   const std::vector<std::uint32_t>& hosts = idx.hosts();
   const std::size_t count = hosts.size();
 
   std::vector<Ipv4Address> host_ips;
   host_ips.reserve(count);
+  matrix.hosts_.reserve(count);
   for (std::uint32_t host : hosts) {
     auto ip = idx.primary_ip(host);
     util::require(ip.has_value(), "trace_hosts: no address on " + idx.device_id(host).str());
     host_ips.push_back(*ip);
+    matrix.hosts_.push_back(idx.device_id(host));
   }
 
   // Pairs are laid out src-major, exactly like the reference overload, so
@@ -119,7 +139,7 @@ ReachabilityMatrix ReachabilityMatrix::compute(const CompiledPlane& plane,
         CompiledPlane::IndexedTrace trace = plane.trace_indexed(flow, cache, counters);
         PairReachability& pair = matrix.pairs_[i * (count - 1) + j - (j > i ? 1 : 0)];
         pair.disposition = trace.disposition;
-        pair.path = plane.path_of(trace);
+        if (options.record_paths) pair.path = plane.path_of(trace);
       }
     }
     CompiledPlane::flush_counters(counters);
@@ -139,6 +159,8 @@ ReachabilityMatrix ReachabilityMatrix::recompute(const Network& network, const D
                                                  const TraceOptions& options,
                                                  std::size_t* retraced,
                                                  std::vector<std::size_t>* retraced_indices) {
+  util::require(base.paths_recorded_,
+                "recompute: base matrix was computed without recorded paths");
   ReachabilityMatrix matrix = base;
   std::vector<std::size_t> stale;
   for (std::size_t i = 0; i < matrix.pairs_.size(); ++i) {
@@ -154,7 +176,7 @@ ReachabilityMatrix ReachabilityMatrix::recompute(const Network& network, const D
   auto trace_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
       PairReachability& pair = matrix.pairs_[stale[s]];
-      pair = trace_pair(network, dataplane, pair.src, pair.dst);
+      pair = trace_pair(network, dataplane, pair.src, pair.dst, /*record_path=*/true);
     }
   };
   if (options.pool) {
@@ -171,6 +193,8 @@ ReachabilityMatrix ReachabilityMatrix::recompute(const CompiledPlane& plane,
                                                  const TraceOptions& options,
                                                  std::size_t* retraced,
                                                  std::vector<std::size_t>* retraced_indices) {
+  util::require(base.paths_recorded_,
+                "recompute: base matrix was computed without recorded paths");
   ReachabilityMatrix matrix = base;
   const net::NetworkIndex& idx = plane.index();
 
@@ -241,17 +265,41 @@ const PairReachability& ReachabilityMatrix::pair(const DeviceId& src, const Devi
   return pairs_[it->second];
 }
 
-bool ReachabilityMatrix::reachable(const DeviceId& src, const DeviceId& dst) const {
-  return pair(src, dst).reachable();
-}
-
 bool ReachabilityMatrix::has_pair(const DeviceId& src, const DeviceId& dst) const {
   return index_.count({src, dst}) != 0;
+}
+
+Disposition ReachabilityMatrix::disposition(const DeviceId& src, const DeviceId& dst) const {
+  return pair(src, dst).disposition;
+}
+
+std::vector<DeviceId> ReachabilityMatrix::path(const DeviceId& src, const DeviceId& dst) const {
+  return pair(src, dst).path;
 }
 
 std::size_t ReachabilityMatrix::reachable_count() const {
   return static_cast<std::size_t>(std::count_if(
       pairs_.begin(), pairs_.end(), [](const PairReachability& p) { return p.reachable(); }));
+}
+
+std::size_t ReachabilityMatrix::bytes() const {
+  // Estimate: vector/map storage plus the per-pair hop paths (DeviceId wraps
+  // a std::string; count its heap payload). The point is the asymptotic
+  // O(hosts^2 . path) shape, not byte-exact accounting.
+  std::size_t total = pairs_.capacity() * sizeof(PairReachability);
+  for (const PairReachability& pair : pairs_) {
+    total += pair.src.str().size() + pair.dst.str().size();
+    total += pair.path.capacity() * sizeof(DeviceId);
+    for (const DeviceId& hop : pair.path) total += hop.str().size();
+  }
+  // index_ nodes: key pair of DeviceIds + size_t + red-black overhead.
+  total += index_.size() * (2 * sizeof(DeviceId) + sizeof(std::size_t) + 4 * sizeof(void*));
+  for (const auto& [key, slot] : index_) {
+    (void)slot;
+    total += key.first.str().size() + key.second.str().size();
+  }
+  for (const DeviceId& host : hosts_) total += sizeof(DeviceId) + host.str().size();
+  return total;
 }
 
 std::vector<std::tuple<DeviceId, DeviceId, bool, bool>> ReachabilityMatrix::diff(

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "dataplane/trace.hpp"
@@ -30,10 +31,59 @@ struct TraceOptions {
   /// When non-null, pair traces are partitioned across this pool (each trace
   /// is independent and read-only over network + dataplane).
   util::ThreadPool* pool = nullptr;
+  /// When false, the dense compute keeps only dispositions and leaves every
+  /// pair's hop path empty. A matrix computed this way cannot seed a
+  /// recompute() (the dirty-device scoping reads recorded paths) and answers
+  /// path() with an empty vector; everything else is unaffected. The
+  /// sharded representation ignores this knob — it always keeps its (cheap,
+  /// per-class-pair) representative paths.
+  bool record_paths = true;
 };
 
+/// Read-only interface over an all-pairs reachability result, implemented by
+/// both the dense ReachabilityMatrix and the compressed ShardedReachability.
+/// Consumers that only ask per-pair questions (the policy verifier, diffs,
+/// examples) go through this so the representation can be swapped per
+/// network scale.
+class ReachabilityView {
+ public:
+  virtual ~ReachabilityView() = default;
+
+  /// True when both endpoints were present when the result was computed.
+  virtual bool has_pair(const net::DeviceId& src, const net::DeviceId& dst) const = 0;
+
+  /// Disposition of one ordered pair; throws NotFoundError for unknown pairs.
+  virtual Disposition disposition(const net::DeviceId& src, const net::DeviceId& dst) const = 0;
+
+  /// The pair's forwarding path (devices touched in order). May be empty
+  /// when paths were not recorded (TraceOptions::record_paths = false) or
+  /// the trace died before the first hop.
+  virtual std::vector<net::DeviceId> path(const net::DeviceId& src,
+                                          const net::DeviceId& dst) const = 0;
+
+  virtual std::size_t reachable_count() const = 0;
+  virtual std::size_t total_count() const = 0;
+
+  /// Hosts in the canonical (insertion) order the pair enumeration uses.
+  virtual const std::vector<net::DeviceId>& hosts() const = 0;
+
+  /// Approximate heap footprint of the stored result, for the matrix.bytes
+  /// gauge and memory-ceiling benchmarks.
+  virtual std::size_t bytes() const = 0;
+
+  bool reachable(const net::DeviceId& src, const net::DeviceId& dst) const {
+    return disposition(src, dst) == Disposition::Delivered;
+  }
+};
+
+/// Ordered pairs whose reachability differs between two views, enumerated
+/// src-major in `before`'s host order — the exact tuple sequence
+/// ReachabilityMatrix::diff produces. Pairs absent from `after` are skipped.
+std::vector<std::tuple<net::DeviceId, net::DeviceId, bool, bool>> diff_views(
+    const ReachabilityView& before, const ReachabilityView& after);
+
 /// The full ordered-pair matrix.
-class ReachabilityMatrix {
+class ReachabilityMatrix : public ReachabilityView {
  public:
   /// Traces every ordered pair of hosts (ICMP on primary addresses).
   static ReachabilityMatrix compute(const net::Network& network, const Dataplane& dataplane,
@@ -52,6 +102,7 @@ class ReachabilityMatrix {
   /// `base` was computed — tracing is deterministic, so a pair that never
   /// crossed a dirty device takes the identical hop sequence again. The
   /// analysis engine guarantees that precondition via change classification.
+  /// `base` must have been computed with record_paths (the default).
   /// `retraced` (optional) receives the number of re-traced pairs;
   /// `retraced_indices` (optional) receives their indices into pairs(), in
   /// ascending order — every pair NOT listed is bit-identical to `base`.
@@ -75,13 +126,19 @@ class ReachabilityMatrix {
   /// Lookup; throws NotFoundError for unknown pairs.
   const PairReachability& pair(const net::DeviceId& src, const net::DeviceId& dst) const;
 
-  bool reachable(const net::DeviceId& src, const net::DeviceId& dst) const;
+  /// True when every pair carries its recorded hop path (the matrix was
+  /// computed with TraceOptions::record_paths, the default).
+  bool paths_recorded() const { return paths_recorded_; }
 
-  /// True when both endpoints were present when the matrix was computed.
-  bool has_pair(const net::DeviceId& src, const net::DeviceId& dst) const;
-
-  std::size_t reachable_count() const;
-  std::size_t total_count() const { return pairs_.size(); }
+  // ReachabilityView:
+  bool has_pair(const net::DeviceId& src, const net::DeviceId& dst) const override;
+  Disposition disposition(const net::DeviceId& src, const net::DeviceId& dst) const override;
+  std::vector<net::DeviceId> path(const net::DeviceId& src,
+                                  const net::DeviceId& dst) const override;
+  std::size_t reachable_count() const override;
+  std::size_t total_count() const override { return pairs_.size(); }
+  const std::vector<net::DeviceId>& hosts() const override { return hosts_; }
+  std::size_t bytes() const override;
 
   /// Ordered pairs whose reachability differs between two matrices. Each
   /// element is (src, dst, was_reachable, now_reachable).
@@ -89,8 +146,10 @@ class ReachabilityMatrix {
       const ReachabilityMatrix& before, const ReachabilityMatrix& after);
 
  private:
+  std::vector<net::DeviceId> hosts_;
   std::vector<PairReachability> pairs_;
   std::map<std::pair<net::DeviceId, net::DeviceId>, std::size_t> index_;
+  bool paths_recorded_ = true;
 };
 
 }  // namespace heimdall::dp

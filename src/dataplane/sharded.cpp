@@ -1,0 +1,488 @@
+#include "dataplane/sharded.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "dataplane/compiled.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace heimdall::dp {
+
+using namespace heimdall::net;
+
+namespace {
+
+struct ShardMetrics {
+  obs::Gauge& matrix_bytes;
+  obs::Gauge& matrix_equiv_classes;
+
+  static ShardMetrics& get() {
+    static ShardMetrics metrics{
+        obs::Registry::global().gauge("matrix.bytes"),
+        obs::Registry::global().gauge("matrix.equiv_classes"),
+    };
+    return metrics;
+  }
+};
+
+/// Sorted boundary set of every discriminating prefix: two addresses fall in
+/// the same cell iff every route and ACL prefix in the network contains
+/// either both or neither.
+class PrefixRefinement {
+ public:
+  explicit PrefixRefinement(const CompiledPlane& plane) {
+    const NetworkIndex& idx = plane.index();
+    std::size_t prefix_estimate = 0;
+    for (std::uint32_t d = 0; d < idx.device_count(); ++d)
+      prefix_estimate += plane.fib(d).size();
+    for (const Acl& acl : idx.acls()) prefix_estimate += 2 * acl.entries.size();
+    boundaries_.reserve(2 * prefix_estimate);
+
+    auto add = [&](const Ipv4Prefix& prefix) {
+      const std::uint64_t lo = prefix.network().value();
+      const std::uint64_t size = std::uint64_t(1) << (32u - prefix.length());
+      boundaries_.push_back(lo);
+      boundaries_.push_back(lo + size);
+    };
+    for (std::uint32_t d = 0; d < idx.device_count(); ++d) {
+      for (const Route& route : plane.fib(d).routes()) add(route.prefix);
+    }
+    for (const Acl& acl : idx.acls()) {
+      for (const AclEntry& entry : acl.entries) {
+        add(entry.src);
+        add(entry.dst);
+      }
+    }
+    std::sort(boundaries_.begin(), boundaries_.end());
+    boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()), boundaries_.end());
+  }
+
+  std::size_t cell(Ipv4Address ip) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), std::uint64_t(ip.value())) -
+        boundaries_.begin());
+  }
+
+ private:
+  std::vector<std::uint64_t> boundaries_;
+};
+
+void append_acl(std::string& sig, const NetworkIndex& idx, std::uint32_t acl_idx) {
+  if (acl_idx == NetworkIndex::kInvalid) {
+    sig += '-';
+    return;
+  }
+  for (const AclEntry& entry : idx.acls()[acl_idx].entries) {
+    sig += entry.to_string();
+    sig += ';';
+  }
+}
+
+}  // namespace
+
+HostClasses HostClasses::compute(const CompiledPlane& plane) {
+  const NetworkIndex& idx = plane.index();
+  const std::vector<std::uint32_t>& hosts = idx.hosts();
+  PrefixRefinement refinement(plane);
+
+  // Exclusive-ownership census: a host address owned by more than one
+  // interface (or whose first owner is not the host itself) makes
+  // device_owns_ip / L2 resolution per-address in ways the refinement cells
+  // cannot see — such hosts stay singleton classes.
+  std::unordered_map<std::uint32_t, std::uint32_t> owner_count;
+  std::unordered_map<std::uint32_t, std::uint32_t> first_owner;  // ip -> iface idx
+  for (std::uint32_t i = 0; i < idx.interface_count(); ++i) {
+    const NetworkIndex::InterfaceEntry& iface = idx.interface(i);
+    if (!iface.address) continue;
+    ++owner_count[iface.address->ip.value()];
+    first_owner.try_emplace(iface.address->ip.value(), i);
+  }
+
+  HostClasses classes;
+  classes.class_of_.assign(hosts.size(), kInvalid);
+  std::unordered_map<std::string, std::uint32_t> by_signature;
+  by_signature.reserve(hosts.size());
+
+  for (std::uint32_t pos = 0; pos < hosts.size(); ++pos) {
+    const std::uint32_t host = hosts[pos];
+    const NetworkIndex::DeviceEntry& device = idx.device(host);
+    auto primary = idx.primary_ip(host);
+
+    bool clean = primary.has_value();
+    if (clean) {
+      auto count_it = owner_count.find(primary->value());
+      clean = count_it != owner_count.end() && count_it->second == 1 &&
+              idx.interface(first_owner[primary->value()]).device == host;
+    }
+
+    std::string sig;
+    if (!clean) {
+      // Unique signature: correctness never depends on the equivalence
+      // argument for this host, only compression is lost.
+      sig = "!" + device.id.str();
+    } else {
+      sig.reserve(96);
+      sig += 'c';
+      sig += std::to_string(refinement.cell(*primary));
+      for (std::uint32_t i = device.iface_begin; i < device.iface_end; ++i) {
+        const NetworkIndex::InterfaceEntry& iface = idx.interface(i);
+        sig += "|i:";
+        sig += iface.id.str();
+        sig += ':';
+        sig += std::to_string(plane.iface_segment(i));
+        sig += iface.shutdown ? ":d:" : ":u:";
+        if (iface.address) {
+          sig += std::to_string(iface.address->prefix_length);
+          sig += ':';
+          sig += std::to_string(refinement.cell(iface.address->ip));
+        } else {
+          sig += '-';
+        }
+        sig += ':';
+        append_acl(sig, idx, iface.acl_in);
+        sig += ':';
+        append_acl(sig, idx, iface.acl_out);
+      }
+      sig += "|r:";
+      for (const Route& route : plane.fib(host).routes()) {
+        sig += route.prefix.to_string();
+        sig += ',';
+        sig += std::to_string(static_cast<unsigned>(route.protocol));
+        sig += ',';
+        sig += route.next_hop ? std::to_string(route.next_hop->value()) : std::string("-");
+        sig += ',';
+        sig += route.out_iface.str();
+        sig += ',';
+        sig += std::to_string(route.admin_distance);
+        sig += ',';
+        sig += std::to_string(route.metric);
+        sig += ';';
+      }
+    }
+
+    auto [it, inserted] =
+        by_signature.try_emplace(std::move(sig), static_cast<std::uint32_t>(classes.members_.size()));
+    if (inserted) classes.members_.emplace_back();
+    classes.class_of_[pos] = it->second;
+    classes.members_[it->second].push_back(pos);
+  }
+  return classes;
+}
+
+void ShardedReachability::set_delivered_bit(std::uint32_t src_cls, std::uint32_t dst_cls,
+                                            bool value) {
+  const std::uint32_t k = classes_.class_count();
+  const std::size_t words_per_row = (k + 63) / 64;
+  std::uint64_t& word = delivered_bits_[dst_cls * words_per_row + (src_cls >> 6)];
+  const std::uint64_t mask = std::uint64_t(1) << (src_cls & 63);
+  if (value) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+bool ShardedReachability::delivered_bit_value(std::uint32_t src_cls, std::uint32_t dst_cls) const {
+  const std::uint32_t k = classes_.class_count();
+  const std::size_t words_per_row = (k + 63) / 64;
+  return (delivered_bits_[dst_cls * words_per_row + (src_cls >> 6)] >> (src_cls & 63)) & 1u;
+}
+
+std::pair<const net::DeviceId*, const net::DeviceId*> ShardedReachability::rep_ids(
+    std::uint32_t src_cls, std::uint32_t dst_cls) const {
+  const auto& src_members = classes_.members()[src_cls];
+  const auto& dst_members = classes_.members()[dst_cls];
+  const std::uint32_t src_pos = src_cls == dst_cls ? src_members[1] : src_members[0];
+  return {&host_ids_[src_pos], &host_ids_[dst_members[0]]};
+}
+
+void ShardedReachability::finalize_counts() {
+  const std::uint32_t k = classes_.class_count();
+  reachable_count_ = 0;
+  traced_pairs_ = 0;
+  for (std::uint32_t d = 0; d < k; ++d) {
+    const std::size_t dst_size = classes_.members()[d].size();
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const std::size_t src_size = classes_.members()[c].size();
+      const std::size_t mult = c == d ? dst_size * (dst_size - 1) : src_size * dst_size;
+      if (mult == 0) continue;
+      ++traced_pairs_;
+      if (delivered_bit_value(c, d)) reachable_count_ += mult;
+    }
+  }
+}
+
+void ShardedReachability::store_paths(const std::vector<std::vector<net::DeviceId>>& rep_paths) {
+  path_pool_.clear();
+  path_offsets_.assign(rep_paths.size() + 1, 0);
+  path_entries_.clear();
+  std::size_t total = 0;
+  for (const auto& path : rep_paths) total += path.size();
+  path_entries_.reserve(total);
+  std::unordered_map<std::string, std::uint32_t> pool_index;
+  for (std::size_t p = 0; p < rep_paths.size(); ++p) {
+    for (const DeviceId& hop : rep_paths[p]) {
+      auto [it, inserted] =
+          pool_index.try_emplace(hop.str(), static_cast<std::uint32_t>(path_pool_.size()));
+      if (inserted) path_pool_.push_back(hop);
+      path_entries_.push_back(it->second);
+    }
+    path_offsets_[p + 1] = static_cast<std::uint32_t>(path_entries_.size());
+  }
+}
+
+std::vector<net::DeviceId> ShardedReachability::decode_path(std::size_t pair_slot) const {
+  std::vector<net::DeviceId> out;
+  const std::uint32_t begin = path_offsets_[pair_slot];
+  const std::uint32_t end = path_offsets_[pair_slot + 1];
+  out.reserve(end - begin);
+  for (std::uint32_t e = begin; e < end; ++e) out.push_back(path_pool_[path_entries_[e]]);
+  return out;
+}
+
+ShardedReachability ShardedReachability::compute(const CompiledPlane& plane,
+                                                 const ShardOptions& options) {
+  ShardedReachability out;
+  const NetworkIndex& idx = plane.index();
+  const std::vector<std::uint32_t>& hosts = idx.hosts();
+
+  out.host_ids_.reserve(hosts.size());
+  std::vector<Ipv4Address> host_ips;
+  host_ips.reserve(hosts.size());
+  for (std::uint32_t host : hosts) {
+    auto ip = idx.primary_ip(host);
+    util::require(ip.has_value(), "trace_hosts: no address on " + idx.device_id(host).str());
+    host_ips.push_back(*ip);
+    out.host_ids_.push_back(idx.device_id(host));
+  }
+  out.host_pos_.reserve(hosts.size());
+  for (std::uint32_t pos = 0; pos < out.host_ids_.size(); ++pos)
+    out.host_pos_.emplace(out.host_ids_[pos].str(), pos);
+
+  out.classes_ = HostClasses::compute(plane);
+  const std::uint32_t k = out.classes_.class_count();
+  const std::size_t slots = static_cast<std::size_t>(k) * k;
+  const std::size_t words_per_row = (k + 63) / 64;
+  out.dispositions_.assign(slots, Disposition::NoRoute);
+  out.delivered_bits_.assign(words_per_row * k, 0);
+
+  std::vector<Ipv4Address> rep_ips;
+  rep_ips.reserve(k);
+  for (std::uint32_t c = 0; c < k; ++c) rep_ips.push_back(host_ips[out.classes_.representative(c)]);
+
+  // One lookup_many sweep per device prewarms every (device, dst class) LPM
+  // answer — classes^2 column traces below never walk a FIB cold.
+  const std::uint32_t device_count = idx.device_count();
+  std::vector<std::uint32_t> route_by_device(static_cast<std::size_t>(device_count) * k);
+  {
+    CompiledPlane::TraceCounters counters;
+    for (std::uint32_t d = 0; d < device_count; ++d) {
+      plane.fib(d).lookup_many(
+          rep_ips, std::span(route_by_device).subspan(static_cast<std::size_t>(d) * k, k));
+    }
+    counters.lpm_lookups += route_by_device.size();
+    CompiledPlane::flush_counters(counters);
+  }
+
+  // Destination-class columns are the shards: each owns a DstCache seeded
+  // with the prewarmed routes and writes only its own disposition row,
+  // bitset row and path slots, so no synchronization beyond the pool join.
+  std::vector<std::vector<DeviceId>> rep_paths(slots);
+  auto trace_columns = [&](std::size_t begin, std::size_t end) {
+    CompiledPlane::TraceCounters counters;
+    for (std::size_t d = begin; d < end; ++d) {
+      std::vector<std::uint32_t> hints(device_count);
+      for (std::uint32_t dev = 0; dev < device_count; ++dev)
+        hints[dev] = route_by_device[static_cast<std::size_t>(dev) * k + d];
+      CompiledPlane::DstCache cache = plane.make_dst_cache(rep_ips[d], std::move(hints));
+      Flow flow;
+      flow.dst_ip = rep_ips[d];
+      flow.protocol = IpProtocol::Icmp;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        if (c == d) {
+          const auto& members = out.classes_.members()[d];
+          if (members.size() < 2) continue;  // singleton diagonal: no pair
+          flow.src_ip = host_ips[members[1]];
+        } else {
+          flow.src_ip = rep_ips[c];
+        }
+        CompiledPlane::IndexedTrace trace = plane.trace_indexed(flow, cache, counters);
+        const std::size_t s = out.slot(c, static_cast<std::uint32_t>(d));
+        out.dispositions_[s] = trace.disposition;
+        if (trace.delivered()) out.set_delivered_bit(c, static_cast<std::uint32_t>(d), true);
+        rep_paths[s] = plane.path_of(trace);
+      }
+    }
+    CompiledPlane::flush_counters(counters);
+  };
+  if (options.pool) {
+    options.pool->parallel_for(k, trace_columns, /*grain=*/1);
+  } else {
+    trace_columns(0, k);
+  }
+
+  out.store_paths(rep_paths);
+  out.finalize_counts();
+  ShardMetrics& metrics = ShardMetrics::get();
+  metrics.matrix_bytes.set(static_cast<std::int64_t>(out.bytes()));
+  metrics.matrix_equiv_classes.set(static_cast<std::int64_t>(k));
+  return out;
+}
+
+ShardedReachability ShardedReachability::recompute(const CompiledPlane& plane,
+                                                   const ShardedReachability& base,
+                                                   const std::set<net::DeviceId>& dirty,
+                                                   const ShardOptions& options,
+                                                   std::size_t* retraced) {
+  const NetworkIndex& idx = plane.index();
+  const std::vector<std::uint32_t>& hosts = idx.hosts();
+
+  // The incremental path is only sound when the compressed pairs still
+  // stand for the same member sets: a change that moves the partition (or
+  // the host list) invalidates the representative choice, so fall back.
+  bool same_hosts = hosts.size() == base.host_ids_.size();
+  for (std::uint32_t pos = 0; same_hosts && pos < hosts.size(); ++pos)
+    same_hosts = idx.device_id(hosts[pos]) == base.host_ids_[pos];
+  HostClasses classes = HostClasses::compute(plane);
+  if (!same_hosts || !classes.same_partition(base.classes_)) {
+    ShardedReachability fresh = compute(plane, options);
+    if (retraced) *retraced = fresh.traced_pairs();
+    return fresh;
+  }
+
+  ShardedReachability out = base;
+  const std::uint32_t k = out.classes_.class_count();
+  const std::size_t slots = static_cast<std::size_t>(k) * k;
+
+  // Materialize the paths once: stale slots get re-traced, the rest are
+  // decoded from the base and re-interned wholesale at the end.
+  std::vector<std::vector<DeviceId>> rep_paths(slots);
+  std::vector<std::vector<std::uint32_t>> stale_by_dst(k);  // src classes per dst column
+  std::size_t stale_count = 0;
+  for (std::uint32_t d = 0; d < k; ++d) {
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (c == d && out.classes_.members()[d].size() < 2) continue;
+      const std::size_t s = out.slot(c, d);
+      rep_paths[s] = out.decode_path(s);
+      bool touches_dirty =
+          std::any_of(rep_paths[s].begin(), rep_paths[s].end(),
+                      [&](const DeviceId& hop) { return dirty.count(hop) != 0; });
+      if (touches_dirty) {
+        stale_by_dst[d].push_back(c);
+        ++stale_count;
+      }
+    }
+  }
+  if (retraced) *retraced = stale_count;
+
+  std::vector<std::uint32_t> stale_columns;
+  for (std::uint32_t d = 0; d < k; ++d)
+    if (!stale_by_dst[d].empty()) stale_columns.push_back(d);
+
+  std::vector<Ipv4Address> host_ips;
+  host_ips.reserve(hosts.size());
+  for (std::uint32_t host : hosts) host_ips.push_back(*idx.primary_ip(host));
+
+  auto trace_groups = [&](std::size_t begin, std::size_t end) {
+    CompiledPlane::TraceCounters counters;
+    for (std::size_t g = begin; g < end; ++g) {
+      const std::uint32_t d = stale_columns[g];
+      const Ipv4Address dst_ip = host_ips[out.classes_.representative(d)];
+      CompiledPlane::DstCache cache = plane.make_dst_cache(dst_ip);
+      Flow flow;
+      flow.dst_ip = dst_ip;
+      flow.protocol = IpProtocol::Icmp;
+      for (std::uint32_t c : stale_by_dst[d]) {
+        flow.src_ip = c == d ? host_ips[out.classes_.members()[d][1]]
+                             : host_ips[out.classes_.representative(c)];
+        CompiledPlane::IndexedTrace trace = plane.trace_indexed(flow, cache, counters);
+        const std::size_t s = out.slot(c, d);
+        out.dispositions_[s] = trace.disposition;
+        out.set_delivered_bit(c, d, trace.delivered());
+        rep_paths[s] = plane.path_of(trace);
+      }
+    }
+    CompiledPlane::flush_counters(counters);
+  };
+  if (options.pool) {
+    options.pool->parallel_for(stale_columns.size(), trace_groups, /*grain=*/1);
+  } else {
+    trace_groups(0, stale_columns.size());
+  }
+
+  out.store_paths(rep_paths);
+  out.finalize_counts();
+  ShardMetrics& metrics = ShardMetrics::get();
+  metrics.matrix_bytes.set(static_cast<std::int64_t>(out.bytes()));
+  metrics.matrix_equiv_classes.set(static_cast<std::int64_t>(k));
+  return out;
+}
+
+std::uint32_t ShardedReachability::host_pos(const net::DeviceId& id) const {
+  auto it = host_pos_.find(id.str());
+  return it == host_pos_.end() ? HostClasses::kInvalid : it->second;
+}
+
+bool ShardedReachability::has_pair(const net::DeviceId& src, const net::DeviceId& dst) const {
+  if (src == dst) return false;
+  return host_pos(src) != HostClasses::kInvalid && host_pos(dst) != HostClasses::kInvalid;
+}
+
+Disposition ShardedReachability::disposition(const net::DeviceId& src,
+                                             const net::DeviceId& dst) const {
+  const std::uint32_t src_pos = src == dst ? HostClasses::kInvalid : host_pos(src);
+  const std::uint32_t dst_pos = src == dst ? HostClasses::kInvalid : host_pos(dst);
+  if (src_pos == HostClasses::kInvalid || dst_pos == HostClasses::kInvalid)
+    throw util::NotFoundError("no reachability entry for " + src.str() + " -> " + dst.str());
+  return dispositions_[slot(classes_.class_of(src_pos), classes_.class_of(dst_pos))];
+}
+
+std::vector<net::DeviceId> ShardedReachability::path(const net::DeviceId& src,
+                                                     const net::DeviceId& dst) const {
+  const std::uint32_t src_pos = src == dst ? HostClasses::kInvalid : host_pos(src);
+  const std::uint32_t dst_pos = src == dst ? HostClasses::kInvalid : host_pos(dst);
+  if (src_pos == HostClasses::kInvalid || dst_pos == HostClasses::kInvalid)
+    throw util::NotFoundError("no reachability entry for " + src.str() + " -> " + dst.str());
+  const std::uint32_t src_cls = classes_.class_of(src_pos);
+  const std::uint32_t dst_cls = classes_.class_of(dst_pos);
+  std::vector<DeviceId> out = decode_path(slot(src_cls, dst_cls));
+  // The representative path is exact for the member pair modulo the
+  // endpoints themselves: substitute them when present (a trace that died
+  // before its first hop has no endpoint to substitute).
+  auto [rep_src, rep_dst] = rep_ids(src_cls, dst_cls);
+  const bool front_is_src = !out.empty() && out.front() == *rep_src;
+  const bool back_is_dst = !out.empty() && out.back() == *rep_dst;
+  if (front_is_src) out.front() = src;
+  if (back_is_dst) out.back() = dst;
+  return out;
+}
+
+std::size_t ShardedReachability::total_count() const {
+  const std::size_t h = host_ids_.size();
+  return h < 2 ? 0 : h * (h - 1);
+}
+
+std::size_t ShardedReachability::bytes() const {
+  // Estimate of the retained footprint: O(classes^2) verdict/path tables
+  // plus O(hosts) id bookkeeping — the asymptotic contrast with the dense
+  // matrix's O(hosts^2 . path) is the point.
+  std::size_t total = 0;
+  total += classes_.host_count() * sizeof(std::uint32_t);  // class_of
+  total += dispositions_.capacity() * sizeof(Disposition);
+  total += delivered_bits_.capacity() * sizeof(std::uint64_t);
+  total += path_offsets_.capacity() * sizeof(std::uint32_t);
+  total += path_entries_.capacity() * sizeof(std::uint32_t);
+  for (const DeviceId& id : path_pool_) total += sizeof(DeviceId) + id.str().size();
+  for (const DeviceId& id : host_ids_) total += sizeof(DeviceId) + id.str().size();
+  total += host_pos_.size() * (sizeof(std::uint32_t) + 2 * sizeof(void*));
+  return total;
+}
+
+std::vector<std::tuple<DeviceId, DeviceId, bool, bool>> ShardedReachability::diff(
+    const ShardedReachability& before, const ShardedReachability& after) {
+  return diff_views(before, after);
+}
+
+}  // namespace heimdall::dp

@@ -1,0 +1,172 @@
+// Sharded, compressed all-pairs reachability for fabric-scale topologies.
+//
+// The dense ReachabilityMatrix stores a PairReachability (with a hop-path
+// vector) for every ordered host pair — O(hosts^2 . path) memory, fine at
+// paper scale (9-17 hosts), hopeless for a datacenter fabric standing in for
+// thousands of host addresses. This layer exploits what makes fabrics
+// tractable: hosts sharing a (leaf, subnet) forwarding class are
+// indistinguishable to every FIB and ACL in the network, so one
+// representative trace per ordered *class* pair answers every member pair.
+//
+// Class construction is sound by prefix refinement, not topology heuristics:
+// every discriminating prefix in the network (each device's FIB route
+// prefixes, each ACL entry's src/dst prefixes) contributes its boundaries to
+// a sorted interval partition of the IPv4 space. Two host addresses in the
+// same refinement cell match the identical set of route and ACL prefixes at
+// every device, so every LPM answer and ACL row they can ever hit is the
+// same. The class signature additionally pins everything else a trace can
+// read from an endpoint: the host's own FIB (serialized routes), each NIC's
+// L2 segment / shutdown flag / ACL bindings, and exclusive ownership of its
+// primary IP. Hosts that fail the cleanliness checks (duplicate or shadowed
+// IPs) become singleton classes — correct by construction, just
+// uncompressed.
+//
+// Storage is O(classes^2 + hosts): a disposition byte and a delivered bit
+// per ordered class pair (per-destination bitset rows), one interned
+// representative path per class pair, and a class id per host. The compute
+// is sharded by destination-class column across a util::ThreadPool, each
+// column owning a DstCache seeded from one CompiledFib::lookup_many prewarm
+// sweep — the same structure the dense compiled compute uses, applied to
+// classes instead of hosts.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/reachability.hpp"
+
+namespace heimdall::util {
+class ThreadPool;
+}
+
+namespace heimdall::dp {
+
+class CompiledPlane;
+
+/// Tuning knobs for the sharded all-pairs compute.
+struct ShardOptions {
+  /// When non-null, destination-class columns are partitioned across this
+  /// pool (grain 1: a column is a full sweep of source classes).
+  util::ThreadPool* pool = nullptr;
+};
+
+/// The forwarding-equivalence partition of a compiled plane's hosts.
+class HostClasses {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  /// Partitions the plane's hosts (NetworkIndex::hosts() order) into
+  /// forwarding-equivalence classes. Deterministic: classes are numbered by
+  /// first-member host position.
+  static HostClasses compute(const CompiledPlane& plane);
+
+  std::uint32_t class_count() const { return static_cast<std::uint32_t>(members_.size()); }
+  std::uint32_t host_count() const { return static_cast<std::uint32_t>(class_of_.size()); }
+
+  /// Class of the host at `host_pos` (position in NetworkIndex::hosts()).
+  std::uint32_t class_of(std::uint32_t host_pos) const { return class_of_[host_pos]; }
+
+  /// Member host positions per class, each ascending.
+  const std::vector<std::vector<std::uint32_t>>& members() const { return members_; }
+
+  /// First member host position of `cls` — the class representative.
+  std::uint32_t representative(std::uint32_t cls) const { return members_[cls].front(); }
+
+  /// True when `other` partitions the same number of hosts identically.
+  bool same_partition(const HostClasses& other) const { return class_of_ == other.class_of_; }
+
+ private:
+  std::vector<std::uint32_t> class_of_;              ///< by host position
+  std::vector<std::vector<std::uint32_t>> members_;  ///< by class
+};
+
+/// Compressed all-pairs reachability: one representative verdict per ordered
+/// forwarding-equivalence class pair, expanded on demand through the
+/// ReachabilityView interface. Agrees pair-for-pair with the dense
+/// ReachabilityMatrix computed on the same plane (property-tested oracle).
+class ShardedReachability : public ReachabilityView {
+ public:
+  /// Traces one representative ordered pair per class pair, sharded by
+  /// destination-class column. Sets the matrix.bytes / matrix.equiv_classes
+  /// gauges in the global metrics registry.
+  static ShardedReachability compute(const CompiledPlane& plane, const ShardOptions& options = {});
+
+  /// Partial recompute mirroring ReachabilityMatrix::recompute: copies
+  /// `base` and re-traces only the class pairs whose representative path
+  /// touches a device in `dirty` (same determinism precondition). Falls
+  /// back to a full compute when the class partition or host set moved.
+  /// `retraced` (optional) receives the number of re-traced class pairs.
+  static ShardedReachability recompute(const CompiledPlane& plane,
+                                       const ShardedReachability& base,
+                                       const std::set<net::DeviceId>& dirty,
+                                       const ShardOptions& options = {},
+                                       std::size_t* retraced = nullptr);
+
+  // ReachabilityView:
+  bool has_pair(const net::DeviceId& src, const net::DeviceId& dst) const override;
+  Disposition disposition(const net::DeviceId& src, const net::DeviceId& dst) const override;
+  /// The representative path with the class representatives substituted by
+  /// the queried endpoints — identical to the dense matrix's recorded path
+  /// for the pair.
+  std::vector<net::DeviceId> path(const net::DeviceId& src,
+                                  const net::DeviceId& dst) const override;
+  std::size_t reachable_count() const override { return reachable_count_; }
+  std::size_t total_count() const override;
+  const std::vector<net::DeviceId>& hosts() const override { return host_ids_; }
+  std::size_t bytes() const override;
+
+  const HostClasses& classes() const { return classes_; }
+  std::size_t class_count() const { return classes_.class_count(); }
+  /// Ordered class pairs actually traced (classes^2 minus empty diagonals).
+  std::size_t traced_pairs() const { return traced_pairs_; }
+
+  /// Ordered host pairs whose reachability differs, src-major in `before`'s
+  /// host order — the same tuple sequence ReachabilityMatrix::diff emits for
+  /// the equivalent dense matrices. Pairs absent from `after` are skipped.
+  static std::vector<std::tuple<net::DeviceId, net::DeviceId, bool, bool>> diff(
+      const ShardedReachability& before, const ShardedReachability& after);
+
+ private:
+  std::uint32_t host_pos(const net::DeviceId& id) const;
+  /// Disposition slot for ordered class pair (src_cls -> dst_cls);
+  /// dst-major so one destination column is contiguous.
+  std::size_t slot(std::uint32_t src_cls, std::uint32_t dst_cls) const {
+    return static_cast<std::size_t>(dst_cls) * classes_.class_count() + src_cls;
+  }
+  /// Bitset rows are padded to whole words so two destination columns never
+  /// share a word — the parallel column shards write bits lock-free.
+  bool delivered_bit_value(std::uint32_t src_cls, std::uint32_t dst_cls) const;
+  void set_delivered_bit(std::uint32_t src_cls, std::uint32_t dst_cls, bool value);
+  /// (representative src id, representative dst id) for one class pair; the
+  /// diagonal uses (second member, first member).
+  std::pair<const net::DeviceId*, const net::DeviceId*> rep_ids(std::uint32_t src_cls,
+                                                                std::uint32_t dst_cls) const;
+  void finalize_counts();
+  void store_paths(const std::vector<std::vector<net::DeviceId>>& rep_paths);
+  std::vector<net::DeviceId> decode_path(std::size_t pair_slot) const;
+
+  std::vector<net::DeviceId> host_ids_;  ///< NetworkIndex::hosts() order
+  std::unordered_map<std::string, std::uint32_t> host_pos_;
+  HostClasses classes_;
+  /// Per ordered class pair (dst-major, see slot()). The diagonal of a
+  /// singleton class has no pair; its slot stays NoRoute / bit 0 and is
+  /// never exposed.
+  std::vector<Disposition> dispositions_;
+  /// Per-destination bitset rows: row d holds the delivered bit of every
+  /// source class toward destination class d.
+  std::vector<std::uint64_t> delivered_bits_;
+  /// Representative paths, interned: path_pool_ holds each distinct device
+  /// id once; pair slot p's path is path_entries_[path_offsets_[p] ..
+  /// path_offsets_[p+1]) indices into the pool.
+  std::vector<net::DeviceId> path_pool_;
+  std::vector<std::uint32_t> path_offsets_;
+  std::vector<std::uint32_t> path_entries_;
+  std::size_t reachable_count_ = 0;
+  std::size_t traced_pairs_ = 0;
+};
+
+}  // namespace heimdall::dp

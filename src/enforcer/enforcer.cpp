@@ -219,7 +219,7 @@ PolicyEnforcer::ChainContext PolicyEnforcer::make_chain(const net::Network& prod
   // violations beyond this baseline.
   ChainContext ctx{.base = {}, .base_report = {}, .baseline_ids = {}, .shadow = production};
   ctx.base = policies_.engine().analyze(production);
-  ctx.base_report = policies_.verify(*ctx.base.reachability);
+  ctx.base_report = policies_.verify(*ctx.base.view());
   ctx.baseline_ids = ctx.base_report.violated_ids();
   return ctx;
 }
@@ -473,7 +473,10 @@ std::vector<std::size_t> PolicyEnforcer::form_wave(const std::vector<BatchSubmis
                                                    std::size_t pos,
                                                    const ChainContext& ctx) const {
   std::vector<std::size_t> wave{pos};
-  if (!options_.coalesce_waves || pos + 1 >= batch.size()) return wave;
+  // Footprint-disjointness needs the dense per-pair paths; a sharded
+  // (fabric-scale) baseline has only class-representative paths, so every
+  // submission runs solo — correct, just without coalescing.
+  if (!options_.coalesce_waves || pos + 1 >= batch.size() || !ctx.base.reachability) return wave;
 
   // Pair footprints come from the baseline matrix paths: a change on device
   // D can only move the cells of pairs whose recorded path crosses D — the

@@ -123,7 +123,7 @@ SchedulePlan check_plan_order(const net::Network& production,
   net::Network shadow = production;
   analysis::Engine& engine = invariants.engine();
   analysis::Snapshot snapshot = engine.analyze(production);
-  spec::VerificationReport last_report = invariants.verify(*snapshot.reachability);
+  spec::VerificationReport last_report = invariants.verify(*snapshot.view());
   bool aborted = false;
   for (const ConfigChange& change : ordered) {
     ScheduledStep step;

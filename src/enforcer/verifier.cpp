@@ -48,7 +48,7 @@ VerifyOutcome verify_changes(const net::Network& production,
   }
 
   analysis::Snapshot shadow = engine.analyze(outcome.shadow, base, applied);
-  outcome.policy_report = verifier.verify(*shadow.reachability);
+  outcome.policy_report = verifier.verify(*shadow.view());
   return outcome;
 }
 

@@ -1,6 +1,7 @@
 #include "netmodel/network.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -100,11 +101,17 @@ std::optional<Ipv4Address> Network::primary_ip(const DeviceId& id) const {
 }
 
 void Network::validate() const {
+  // One id -> device map up front: resolving every link endpoint through
+  // find_device's linear scan is quadratic at fabric scale.
+  std::unordered_map<std::string, const Device*> by_id;
+  by_id.reserve(devices_.size());
+  for (const Device& d : devices_) by_id.emplace(d.id().str(), &d);
   for (const Link& link : topology_.links()) {
     for (const Endpoint& endpoint : {link.a, link.b}) {
-      const Device* d = find_device(endpoint.device);
-      util::require(d != nullptr, "link references unknown device '" + endpoint.device.str() + "'");
-      util::require(d->find_interface(endpoint.iface) != nullptr,
+      auto it = by_id.find(endpoint.device.str());
+      util::require(it != by_id.end(),
+                    "link references unknown device '" + endpoint.device.str() + "'");
+      util::require(it->second->find_interface(endpoint.iface) != nullptr,
                     "link references unknown interface " + endpoint.to_string());
     }
   }

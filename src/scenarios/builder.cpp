@@ -1,5 +1,10 @@
 #include "scenarios/builder.hpp"
 
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.hpp"
+
 namespace heimdall::scen {
 
 using namespace heimdall::net;
@@ -77,6 +82,47 @@ void add_svi(Device& device, VlanId vlan, Ipv4Address ip, unsigned prefix_len) {
   svi.description = "SVI vlan " + std::to_string(vlan);
   svi.address = InterfaceAddress{ip, prefix_len};
   device.add_interface(std::move(svi));
+}
+
+void add_devices(Network& network, std::vector<Device> devices) {
+  std::vector<Device>& existing = network.devices();
+  std::unordered_set<std::string> ids;
+  ids.reserve(existing.size() + devices.size());
+  for (const Device& device : existing) ids.insert(device.id().str());
+  existing.reserve(existing.size() + devices.size());
+  for (Device& device : devices) {
+    util::require(!device.id().empty(), "device must have an id");
+    util::require(ids.insert(device.id().str()).second,
+                  "duplicate device '" + device.id().str() + "'");
+    existing.push_back(std::move(device));
+  }
+}
+
+void attach_hosts_access(Network& network, const std::string& router, VlanId vlan,
+                         const std::vector<AccessHost>& hosts) {
+  {
+    // Scope the reference: add_devices below may reallocate the vector.
+    Device& device = network.device(DeviceId(router));
+    for (const AccessHost& spec : hosts) {
+      Interface iface;
+      iface.id = InterfaceId(spec.router_iface);
+      iface.description = "to " + spec.host;
+      iface.mode = SwitchportMode::Access;
+      iface.access_vlan = vlan;
+      device.add_interface(std::move(iface));
+    }
+  }
+  std::vector<Device> new_hosts;
+  new_hosts.reserve(hosts.size());
+  for (const AccessHost& spec : hosts)
+    new_hosts.push_back(make_host(spec.host, spec.ip, spec.prefix_len, spec.gateway));
+  add_devices(network, std::move(new_hosts));
+  // The endpoints were just created above; skip connect()'s per-link device
+  // scans and add the links directly.
+  for (const AccessHost& spec : hosts) {
+    network.topology().add_link({{DeviceId(router), InterfaceId(spec.router_iface)},
+                                 {DeviceId(spec.host), InterfaceId("eth0")}});
+  }
 }
 
 void ospf_network(Device& device, const Ipv4Prefix& subnet, unsigned area) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "netmodel/network.hpp"
 
@@ -40,5 +41,26 @@ void add_svi(net::Device& device, net::VlanId vlan, net::Ipv4Address ip, unsigne
 /// Appends "network <subnet> area <area>" to the device's OSPF process,
 /// creating the process (id 1) on first use.
 void ospf_network(net::Device& device, const net::Ipv4Prefix& subnet, unsigned area = 0);
+
+/// Adds `devices` to `network` in one pass. Network::add_device re-scans
+/// the device vector per call for the duplicate check, which turns
+/// fabric-scale host population quadratic; this does one combined pass.
+void add_devices(net::Network& network, std::vector<net::Device> devices);
+
+/// One access-port host attachment for attach_hosts_access.
+struct AccessHost {
+  std::string router_iface;  ///< new access port id on the router
+  std::string host;          ///< host device name; gets eth0 at ip/prefix_len
+  net::Ipv4Address ip;
+  unsigned prefix_len = 24;
+  net::Ipv4Address gateway;
+};
+
+/// Bulk form of make_host + add_device + attach_host_access for one VLAN:
+/// resolves `router` once, appends every access port, adds every host via
+/// add_devices, and wires the links directly — the one-at-a-time helpers
+/// resolve ids by linear scan per call and are quadratic at fabric scale.
+void attach_hosts_access(net::Network& network, const std::string& router, net::VlanId vlan,
+                         const std::vector<AccessHost>& hosts);
 
 }  // namespace heimdall::scen

@@ -1,0 +1,312 @@
+#include "scenarios/fabric.hpp"
+
+#include <string>
+
+#include "netmodel/ipv4.hpp"
+#include "obs/metrics.hpp"
+#include "scenarios/builder.hpp"
+#include "util/error.hpp"
+
+namespace heimdall::scen {
+
+using namespace heimdall::net;
+
+namespace {
+
+void check(const FabricOptions& options) {
+  util::require(options.k >= 4 && options.k % 2 == 0, "fabric: k must be even and >= 4");
+  util::require(options.subnets_per_edge >= 1 && options.subnets_per_edge <= 200,
+                "fabric: subnets_per_edge out of range");
+  util::require(options.hosts_per_subnet >= 1 && options.hosts_per_subnet <= 200,
+                "fabric: hosts_per_subnet out of range");
+  // Access subnets are 10.{edge_index+1}.{subnet}.0/24.
+  util::require(options.k * options.k / 2 <= 254, "fabric: too many edge routers to address");
+}
+
+std::string core_name(unsigned n) { return "c" + std::to_string(n); }
+std::string agg_name(unsigned pod, unsigned a) {
+  return "p" + std::to_string(pod) + "-a" + std::to_string(a);
+}
+std::string edge_name(unsigned pod, unsigned e) {
+  return "p" + std::to_string(pod) + "-e" + std::to_string(e);
+}
+std::string host_name(unsigned pod, unsigned e, unsigned s, unsigned h) {
+  return edge_name(pod, e) + "-s" + std::to_string(s) + "-h" + std::to_string(h);
+}
+
+unsigned edge_index(const FabricOptions& options, unsigned pod, unsigned e) {
+  return pod * (options.k / 2) + e;
+}
+
+Ipv4Address subnet_base(const FabricOptions& options, unsigned pod, unsigned e, unsigned s) {
+  return Ipv4Address::of(10, static_cast<std::uint8_t>(edge_index(options, pod, e) + 1),
+                         static_cast<std::uint8_t>(s), 0);
+}
+
+Ipv4Address offset(Ipv4Address base, std::uint32_t delta) {
+  return Ipv4Address(base.value() + delta);
+}
+
+/// Sequential /30 allocator for the routed point-to-point links, out of
+/// 10.255.0.0/16. Allocation order is the wiring order, so addresses are a
+/// deterministic function of FabricOptions.
+class P2pAllocator {
+ public:
+  struct Block {
+    Ipv4Address first;   ///< .1 of the /30
+    Ipv4Address second;  ///< .2 of the /30
+  };
+  Block next() {
+    const std::uint32_t base = Ipv4Address::of(10, 255, 0, 0).value() + 4 * count_++;
+    util::require((base & 0xffff0000u) == Ipv4Address::of(10, 255, 0, 0).value(),
+                  "fabric: p2p /30 pool exhausted");
+    return {Ipv4Address(base + 1), Ipv4Address(base + 2)};
+  }
+
+ private:
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace
+
+FabricInfo fabric_info(const FabricOptions& options) {
+  check(options);
+  const std::size_t half = options.k / 2;
+  FabricInfo info;
+  info.routers = half * half            // cores
+                 + options.k * half     // aggregation
+                 + options.k * half;    // edge
+  const std::size_t edges = options.k * half;
+  info.hosts = edges * options.subnets_per_edge * options.hosts_per_subnet;
+  info.links = options.k * half * half    // core <-> agg
+               + options.k * half * half  // agg <-> edge
+               + info.hosts;              // access ports
+  info.host_addresses = edges * options.subnets_per_edge * 254;
+  return info;
+}
+
+Network build_fabric(const FabricOptions& options) {
+  check(options);
+  const unsigned k = options.k;
+  const unsigned half = k / 2;
+  Network network("fabric-k" + std::to_string(k));
+  const FabricInfo info = fabric_info(options);
+  network.devices().reserve(info.routers + info.hosts);
+
+  // Routers first, wired through the small-N helpers while the device
+  // vector is short; the host population goes through the bulk helpers.
+  std::vector<Device> routers;
+  routers.reserve(info.routers);
+  for (unsigned n = 0; n < half * half; ++n) routers.push_back(make_router(core_name(n)));
+  for (unsigned pod = 0; pod < k; ++pod) {
+    for (unsigned a = 0; a < half; ++a) routers.push_back(make_router(agg_name(pod, a)));
+    for (unsigned e = 0; e < half; ++e) routers.push_back(make_router(edge_name(pod, e)));
+  }
+  add_devices(network, std::move(routers));
+
+  P2pAllocator p2p;
+  // Core <-> aggregation: agg A of every pod owns core group
+  // [A*half, (A+1)*half); core n faces pod P on Gi0/P.
+  for (unsigned pod = 0; pod < k; ++pod) {
+    for (unsigned a = 0; a < half; ++a) {
+      for (unsigned j = 0; j < half; ++j) {
+        const P2pAllocator::Block block = p2p.next();
+        connect_routers(network, agg_name(pod, a), "Gi0/" + std::to_string(j), block.first,
+                        core_name(a * half + j), "Gi0/" + std::to_string(pod), block.second);
+      }
+    }
+  }
+  // Aggregation <-> edge: full bipartite within the pod.
+  for (unsigned pod = 0; pod < k; ++pod) {
+    for (unsigned a = 0; a < half; ++a) {
+      for (unsigned e = 0; e < half; ++e) {
+        const P2pAllocator::Block block = p2p.next();
+        connect_routers(network, agg_name(pod, a), "Gi1/" + std::to_string(e), block.first,
+                        edge_name(pod, e), "Gi0/" + std::to_string(a), block.second);
+      }
+    }
+  }
+
+  // Access layer: per edge, one VLAN + SVI per subnet and the bulk-attached
+  // hosts.
+  for (unsigned pod = 0; pod < k; ++pod) {
+    for (unsigned e = 0; e < half; ++e) {
+      {
+        Device& edge = network.device(DeviceId(edge_name(pod, e)));
+        for (unsigned s = 0; s < options.subnets_per_edge; ++s)
+          add_svi(edge, static_cast<VlanId>(10 + s), offset(subnet_base(options, pod, e, s), 1),
+                  24);
+      }
+      for (unsigned s = 0; s < options.subnets_per_edge; ++s) {
+        const Ipv4Address base = subnet_base(options, pod, e, s);
+        std::vector<AccessHost> hosts;
+        hosts.reserve(options.hosts_per_subnet);
+        for (unsigned h = 0; h < options.hosts_per_subnet; ++h) {
+          hosts.push_back(AccessHost{"Fa" + std::to_string(s) + "/" + std::to_string(h),
+                                     host_name(pod, e, s, h), offset(base, 10 + h), 24,
+                                     offset(base, 1)});
+        }
+        attach_hosts_access(network, edge_name(pod, e), static_cast<VlanId>(10 + s), hosts);
+      }
+    }
+  }
+
+  // OSPF: every addressed interface's subnet in area 0; SVIs passive (the
+  // access segments carry no adjacencies).
+  unsigned router_index = 0;
+  for (Device& device : network.devices()) {
+    if (!device.is_router()) continue;
+    for (const Interface& iface : device.interfaces()) {
+      if (!iface.address) continue;
+      ospf_network(device, iface.address->subnet(), 0);
+      if (iface.id.str().rfind("Vlan", 0) == 0) {
+        device.ospf()->passive_interfaces.push_back(iface.id);
+      }
+    }
+    ++router_index;
+    device.ospf()->router_id = Ipv4Address::of(10, 254, static_cast<std::uint8_t>(router_index >> 8),
+                                               static_cast<std::uint8_t>(router_index & 0xff));
+  }
+
+  network.validate();
+  return network;
+}
+
+std::vector<spec::Policy> fabric_policies(const FabricOptions& options) {
+  check(options);
+  const std::string probe = host_name(0, 0, 0, 0);
+  auto reach = [](const std::string& src, const std::string& dst) {
+    return spec::Policy{spec::PolicyType::Reachability, DeviceId(src), DeviceId(dst), DeviceId()};
+  };
+  std::vector<spec::Policy> policies;
+  // Cross-pod fan-out from pod0's first host.
+  for (unsigned pod = 1; pod < options.k; ++pod)
+    policies.push_back(reach(probe, host_name(pod, 0, 0, 0)));
+  // Reverse direction of the farthest probe.
+  policies.push_back(reach(host_name(options.k - 1, 0, 0, 0), probe));
+  // Intra-pod, cross-edge.
+  policies.push_back(reach(probe, host_name(0, 1, 0, 0)));
+  // Same edge, across subnets / within the subnet.
+  if (options.subnets_per_edge >= 2) policies.push_back(reach(probe, host_name(0, 0, 1, 0)));
+  if (options.hosts_per_subnet >= 2) policies.push_back(reach(probe, host_name(0, 0, 0, 1)));
+  return policies;
+}
+
+std::vector<IssueSpec> fabric_issues(const FabricOptions& options) {
+  check(options);
+  util::require(options.subnets_per_edge >= 2, "fabric_issues: needs subnets_per_edge >= 2");
+  const std::string src_host = host_name(0, 0, 0, 0);
+  const std::string dst_host = host_name(1, 0, 0, 0);
+  const std::string dst_edge = edge_name(1, 0);
+  const Ipv4Prefix src_subnet(subnet_base(options, 0, 0, 0), 24);
+  const Ipv4Prefix dst_subnet(subnet_base(options, 1, 0, 0), 24);
+  const unsigned half = options.k / 2;
+
+  std::vector<IssueSpec> issues;
+
+  // --- ACL misconfiguration: a stray deny on the destination edge's
+  // uplinks blocks the source subnet. --------------------------------------
+  {
+    IssueSpec issue;
+    issue.key = "acl";
+    issue.ticket = msp::Ticket::connectivity(
+        201, DeviceId(src_host), DeviceId(dst_host),
+        "pod0 clients lost the pod1 service after last night's edge ACL work",
+        priv::TaskClass::AclChange);
+    issue.root_cause = DeviceId(dst_edge);
+    issue.inject = [dst_edge, src_subnet, dst_subnet, half](Network& network) {
+      Acl acl;
+      acl.name = "EDGE_PROT_IN";
+      AclEntry bogus;
+      bogus.action = AclEntry::Action::Deny;
+      bogus.src = src_subnet;
+      bogus.dst = dst_subnet;
+      acl.entries.push_back(bogus);
+      AclEntry permit_all;
+      permit_all.action = AclEntry::Action::Permit;
+      acl.entries.push_back(permit_all);
+      Device& edge = network.device(DeviceId(dst_edge));
+      edge.add_acl(std::move(acl));
+      for (unsigned a = 0; a < half; ++a)
+        edge.interface(InterfaceId("Gi0/" + std::to_string(a))).acl_in = "EDGE_PROT_IN";
+    };
+    issue.fix_script = {
+        "ping " + src_host + " " + dst_host,
+        "show acls " + dst_edge,
+        "acl " + dst_edge + " EDGE_PROT_IN remove 0",
+        "ping " + src_host + " " + dst_host,
+        "save " + dst_edge,
+    };
+    issue.resolved = pair_reachable_check(src_host, dst_host);
+    issues.push_back(std::move(issue));
+  }
+
+  // --- Blackhole static route: a fat-fingered next hop on the source edge
+  // sends the pod1 subnet into its own access VLAN, where nothing answers
+  // ARP for it. ------------------------------------------------------------
+  {
+    const std::string src_edge = edge_name(0, 0);
+    const Ipv4Address bad_next_hop = offset(subnet_base(options, 0, 0, 0), 254);
+    IssueSpec issue;
+    issue.key = "route";
+    issue.ticket = msp::Ticket::connectivity(
+        202, DeviceId(src_host), DeviceId(dst_host),
+        "pod0 hosts lost one remote subnet; suspected routing problem on the edge",
+        priv::TaskClass::Connectivity);
+    issue.root_cause = DeviceId(src_edge);
+    issue.inject = [src_edge, dst_subnet, bad_next_hop](Network& network) {
+      StaticRoute blackhole;
+      blackhole.prefix = dst_subnet;
+      blackhole.next_hop = bad_next_hop;
+      network.device(DeviceId(src_edge)).static_routes().push_back(blackhole);
+    };
+    issue.fix_script = {
+        "ping " + src_host + " " + dst_host,
+        "show routes " + src_edge,
+        "route " + src_edge + " remove " + dst_subnet.network().to_string() + " " +
+            dst_subnet.netmask().to_string() + " " + bad_next_hop.to_string(),
+        "ping " + src_host + " " + dst_host,
+        "save " + src_edge,
+    };
+    issue.resolved = pair_reachable_check(src_host, dst_host);
+    issues.push_back(std::move(issue));
+  }
+
+  // --- VLAN issue: the source host's access port lands in the second
+  // subnet's VLAN, cutting it off from its gateway SVI. --------------------
+  {
+    const std::string src_edge = edge_name(0, 0);
+    IssueSpec issue;
+    issue.key = "vlan";
+    issue.ticket = msp::Ticket::connectivity(
+        203, DeviceId(src_host), DeviceId(dst_host),
+        "one pod0 client dropped off the network after a port change",
+        priv::TaskClass::VlanIssue);
+    issue.root_cause = DeviceId(src_edge);
+    issue.inject = [src_edge](Network& network) {
+      network.device(DeviceId(src_edge)).interface(InterfaceId("Fa0/0")).access_vlan = 11;
+    };
+    issue.fix_script = {
+        "ping " + src_host + " " + dst_host,
+        "show interfaces " + src_edge,
+        "show vlans " + src_edge,
+        "interface " + src_edge + " Fa0/0 switchport-access-vlan 10",
+        "ping " + src_host + " " + dst_host,
+        "save " + src_edge,
+    };
+    issue.resolved = pair_reachable_check(src_host, dst_host);
+    issues.push_back(std::move(issue));
+  }
+
+  return issues;
+}
+
+void fabric_probe(const net::Network& network) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("scenario.routers")
+      .set(static_cast<std::int64_t>(network.count(DeviceKind::Router)));
+  registry.gauge("scenario.hosts")
+      .set(static_cast<std::int64_t>(network.count(DeviceKind::Host)));
+}
+
+}  // namespace heimdall::scen

@@ -1,0 +1,68 @@
+// Fabric-scale evaluation topologies: a parameterized k-ary fat-tree (Clos)
+// generator for stressing the sharded all-pairs reachability path.
+//
+// Layout of build_fabric(k):
+//   * (k/2)^2 core routers c0..c{(k/2)^2-1};
+//   * k pods, each with k/2 aggregation routers p{P}-a{A} and k/2 edge
+//     routers p{P}-e{E}; agg A of every pod uplinks to cores
+//     [A*(k/2), (A+1)*(k/2)), pods are internally full-bipartite agg<->edge;
+//   * per edge router, `subnets_per_edge` access subnets: subnet S of the
+//     edge with global index G gets 10.{G+1}.{S}.0/24, VLAN 10+S with the
+//     SVI at .1, and `hosts_per_subnet` hosts p{P}-e{E}-s{S}-h{H} at .10+H;
+//   * every router-router link is a routed /30 from 10.255.0.0/16; OSPF
+//     area 0 everywhere, SVIs passive.
+//
+// All names, addresses and link orders are deterministic functions of
+// FabricOptions, so fingerprint-keyed caches and property tests can rely on
+// bit-identical rebuilds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scenarios/issues.hpp"
+#include "spec/policy.hpp"
+
+namespace heimdall::scen {
+
+/// Shape of a generated fabric. k must be even and >= 4.
+struct FabricOptions {
+  unsigned k = 4;                ///< fat-tree arity: pods, and uplinks per switch
+  unsigned subnets_per_edge = 2; ///< access /24s (VLAN + SVI) per edge router
+  unsigned hosts_per_subnet = 2; ///< host devices instantiated per subnet
+};
+
+/// Derived size of a fabric, computable without building it.
+struct FabricInfo {
+  std::size_t routers = 0;
+  std::size_t hosts = 0;          ///< host devices instantiated
+  std::size_t links = 0;          ///< router-router plus host access links
+  std::size_t host_addresses = 0; ///< usable addresses across the access /24s
+};
+
+FabricInfo fabric_info(const FabricOptions& options = {});
+
+/// Builds the fabric production network. Deterministic.
+net::Network build_fabric(const FabricOptions& options = {});
+
+/// Reachability invariants pinned on a fabric: pod0's first host must reach
+/// a peer in every pod, plus intra-pod, intra-edge and reverse-direction
+/// probes. Constructed directly (not mined): a fabric with symmetric
+/// shortest paths has no meaningful waypoint or isolation structure.
+std::vector<spec::Policy> fabric_policies(const FabricOptions& options = {});
+
+/// Injectable fabric issues, keyed "acl" (stray deny on the destination
+/// edge's uplinks), "route" (fat-fingered static next hop blackholes a
+/// remote subnet) and "vlan" (access port lands in the wrong VLAN). All
+/// tickets are about pod0's first host reaching pod1's first host.
+/// Requires subnets_per_edge >= 2 (the vlan issue flips into the second
+/// subnet's VLAN).
+std::vector<IssueSpec> fabric_issues(const FabricOptions& options = {});
+
+/// Publishes the heimdall.fabric_probe gauge set for `network`
+/// (scenario.routers, scenario.hosts) to the global metrics registry; the
+/// matching matrix.bytes / matrix.equiv_classes gauges are maintained by
+/// ShardedReachability::compute.
+void fabric_probe(const net::Network& network);
+
+}  // namespace heimdall::scen

@@ -232,6 +232,15 @@ std::string SessionManager::statusz_json() const {
   out += ",\"cache_hit_rate\":" +
          std::to_string(registry.gauge("service.cache_hit_rate").value());
   out += ",\"audit_entries\":" + std::to_string(registry.counter("audit.entries").value());
+  // The heimdall.fabric_probe gauge set: scenario shape (scen::fabric_probe)
+  // and the compressed reachability footprint (ShardedReachability::compute).
+  out += ",\"fabric_probe\":{\"scenario_routers\":" +
+         std::to_string(registry.gauge("scenario.routers").value());
+  out += ",\"scenario_hosts\":" + std::to_string(registry.gauge("scenario.hosts").value());
+  out += ",\"matrix_bytes\":" + std::to_string(registry.gauge("matrix.bytes").value());
+  out += ",\"matrix_equiv_classes\":" +
+         std::to_string(registry.gauge("matrix.equiv_classes").value());
+  out += "}";
   out += ",\"slo\":" + obs::SloTracker::global().to_json();
   out += ",\"slo_breaches\":" + std::to_string(obs::SloTracker::global().total_breaches());
   out += ",\"rolling\":" + obs::RollingRegistry::global().to_json();

@@ -30,43 +30,46 @@ PolicyVerifier::PolicyVerifier(std::vector<Policy> policies, analysis::Options e
   }
 }
 
-void PolicyVerifier::check_policy(const Policy& policy, const dp::ReachabilityMatrix& matrix,
+void PolicyVerifier::check_policy(const Policy& policy, const dp::ReachabilityView& view,
                                   VerificationReport& report) const {
   // Policies whose endpoints are absent from this (possibly sliced)
   // network cannot be evaluated here; the enforcer always verifies on the
   // full production shadow where every endpoint exists.
-  if (!matrix.has_pair(policy.src, policy.dst)) return;
+  if (!view.has_pair(policy.src, policy.dst)) return;
   ++report.checked;
-  const dp::PairReachability& pair = matrix.pair(policy.src, policy.dst);
+  const dp::Disposition disposition = view.disposition(policy.src, policy.dst);
+  const bool reachable = disposition == dp::Disposition::Delivered;
   switch (policy.type) {
     case PolicyType::Reachability:
-      if (!pair.reachable()) {
+      if (!reachable) {
         report.violations.push_back(
-            {policy, "unreachable: " + dp::to_string(pair.disposition)});
+            {policy, "unreachable: " + dp::to_string(disposition)});
       }
       break;
     case PolicyType::Isolation:
-      if (pair.reachable()) {
+      if (reachable) {
         report.violations.push_back({policy, "traffic now delivered"});
       }
       break;
     case PolicyType::Waypoint:
-      if (!pair.reachable()) {
+      if (!reachable) {
         report.violations.push_back(
-            {policy, "unreachable: " + dp::to_string(pair.disposition)});
-      } else if (std::find(pair.path.begin(), pair.path.end(), policy.waypoint) ==
-                 pair.path.end()) {
-        report.violations.push_back({policy, "path bypasses " + policy.waypoint.str()});
+            {policy, "unreachable: " + dp::to_string(disposition)});
+      } else {
+        const std::vector<net::DeviceId> path = view.path(policy.src, policy.dst);
+        if (std::find(path.begin(), path.end(), policy.waypoint) == path.end()) {
+          report.violations.push_back({policy, "path bypasses " + policy.waypoint.str()});
+        }
       }
       break;
   }
 }
 
-VerificationReport PolicyVerifier::verify(const dp::ReachabilityMatrix& matrix) const {
+VerificationReport PolicyVerifier::verify(const dp::ReachabilityView& view) const {
   obs::ScopedSpan span("spec.verify", "spec",
                        {{"policies", std::to_string(policies_.size())}});
   VerificationReport report;
-  for (const Policy& policy : policies_) check_policy(policy, matrix, report);
+  for (const Policy& policy : policies_) check_policy(policy, view, report);
   obs::Registry::global().counter("spec.policies_checked").add(report.checked);
   if (!report.violations.empty()) {
     obs::Registry::global().counter("spec.violations").add(report.violations.size());
@@ -77,9 +80,11 @@ VerificationReport PolicyVerifier::verify(const dp::ReachabilityMatrix& matrix) 
 
 VerificationReport PolicyVerifier::verify_incremental(const analysis::Snapshot& snapshot,
                                                       const VerificationReport& base_report) const {
-  util::require(snapshot.reachability != nullptr,
-                "verify_incremental: snapshot has no reachability matrix");
-  if (!snapshot.retraced_pairs) return verify(*snapshot.reachability);
+  const dp::ReachabilityView* view = snapshot.view();
+  util::require(view != nullptr, "verify_incremental: snapshot has no reachability");
+  // Delta splicing needs dense pair indices; sharded snapshots (and any
+  // snapshot of unknown provenance) take the full check over the view.
+  if (!snapshot.reachability || !snapshot.retraced_pairs) return verify(*view);
 
   const dp::ReachabilityMatrix& matrix = *snapshot.reachability;
   obs::ScopedSpan span("spec.verify_delta", "spec",
@@ -135,7 +140,7 @@ VerificationReport PolicyVerifier::verify_network(const Network& network) const 
   util::Stopwatch watch;
   obs::Registry::global().counter("spec.verifications").add();
   analysis::Snapshot snapshot = engine_->analyze(network);
-  VerificationReport report = verify(*snapshot.reachability);
+  VerificationReport report = verify(*snapshot.view());
   obs::Registry::global().histogram("spec.verify_ms").observe(watch.elapsed_ms());
   return report;
 }

@@ -50,8 +50,10 @@ class PolicyVerifier {
 
   const std::vector<Policy>& policies() const { return policies_; }
 
-  /// Checks every policy against a precomputed matrix.
-  VerificationReport verify(const dp::ReachabilityMatrix& matrix) const;
+  /// Checks every policy against a precomputed reachability result — the
+  /// dense matrix or the sharded fabric-scale representation, through the
+  /// common view interface.
+  VerificationReport verify(const dp::ReachabilityView& view) const;
 
   /// Delta verification: re-checks only the policies whose (src,dst) matrix
   /// cell is in `snapshot.retraced_pairs` and splices every other verdict
@@ -60,8 +62,9 @@ class PolicyVerifier {
   ///
   /// Contract: `base_report` must be this verifier's verify() result for
   /// the base matrix that `snapshot` was incrementally derived from. When
-  /// the snapshot has no retraced set (full recompute / memo hit) this
-  /// falls back to a full verify().
+  /// the snapshot has no retraced set (full recompute / memo hit) or
+  /// carries the sharded representation (no dense pair indices), this
+  /// falls back to a full verify() over the snapshot's view.
   VerificationReport verify_incremental(const analysis::Snapshot& snapshot,
                                         const VerificationReport& base_report) const;
 
@@ -75,7 +78,7 @@ class PolicyVerifier {
   analysis::Engine& engine() const { return *engine_; }
 
  private:
-  void check_policy(const Policy& policy, const dp::ReachabilityMatrix& matrix,
+  void check_policy(const Policy& policy, const dp::ReachabilityView& view,
                     VerificationReport& report) const;
 
   std::vector<Policy> policies_;

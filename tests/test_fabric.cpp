@@ -1,0 +1,443 @@
+// Fabric generator + sharded all-pairs reachability tests.
+//
+// The load-bearing property: ShardedReachability (one representative trace
+// per forwarding-equivalence class pair) must agree pair-for-pair — same
+// disposition, same hop path, same counts, same diffs — with the dense
+// ReachabilityMatrix computed on the identical plane, across clean and
+// misconfigured networks, every FIB stride, and incremental recomputes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "dataplane/compiled.hpp"
+#include "dataplane/sharded.hpp"
+#include "msp/workflow.hpp"
+#include "obs/metrics.hpp"
+#include "scenarios/enterprise.hpp"
+#include "scenarios/fabric.hpp"
+#include "scenarios/university.hpp"
+#include "spec/verify.hpp"
+#include "util/thread_pool.hpp"
+
+namespace heimdall::scen {
+namespace {
+
+using namespace heimdall::net;
+
+dp::CompiledPlane compile(const Network& network, const dp::Dataplane& dataplane,
+                          unsigned stride = 0) {
+  dp::CompiledPlane::CompileOptions options;
+  options.fib_stride = stride;
+  return dp::CompiledPlane::compile(network, dataplane, options);
+}
+
+/// Dense matrix is the oracle: every ordered pair must agree exactly.
+void expect_matches_dense(const dp::ReachabilityMatrix& dense,
+                          const dp::ShardedReachability& sharded, const std::string& context) {
+  ASSERT_EQ(dense.hosts().size(), sharded.hosts().size()) << context;
+  EXPECT_EQ(dense.reachable_count(), sharded.reachable_count()) << context;
+  EXPECT_EQ(dense.total_count(), sharded.total_count()) << context;
+  for (const dp::PairReachability& expected : dense.pairs()) {
+    const std::string pair_context =
+        context + ": " + expected.src.str() + " -> " + expected.dst.str();
+    ASSERT_TRUE(sharded.has_pair(expected.src, expected.dst)) << pair_context;
+    EXPECT_EQ(expected.disposition, sharded.disposition(expected.src, expected.dst))
+        << pair_context;
+    EXPECT_EQ(expected.path, sharded.path(expected.src, expected.dst)) << pair_context;
+  }
+}
+
+void expect_sharded_identical(const dp::ShardedReachability& a, const dp::ShardedReachability& b,
+                              const std::string& context) {
+  ASSERT_EQ(a.hosts(), b.hosts()) << context;
+  EXPECT_EQ(a.reachable_count(), b.reachable_count()) << context;
+  EXPECT_EQ(a.class_count(), b.class_count()) << context;
+  for (const DeviceId& src : a.hosts()) {
+    for (const DeviceId& dst : a.hosts()) {
+      if (src == dst) continue;
+      EXPECT_EQ(a.disposition(src, dst), b.disposition(src, dst))
+          << context << ": " << src.str() << " -> " << dst.str();
+      EXPECT_EQ(a.path(src, dst), b.path(src, dst))
+          << context << ": " << src.str() << " -> " << dst.str();
+    }
+  }
+}
+
+// ------------------------------------------------------------- generator --
+
+TEST(Fabric, InfoMatchesConstruction) {
+  for (unsigned k : {4u, 6u}) {
+    FabricOptions options;
+    options.k = k;
+    const FabricInfo info = fabric_info(options);
+    Network network = build_fabric(options);
+    EXPECT_EQ(network.count(DeviceKind::Router), info.routers) << "k=" << k;
+    EXPECT_EQ(network.count(DeviceKind::Host), info.hosts) << "k=" << k;
+    EXPECT_EQ(network.topology().links().size(), info.links) << "k=" << k;
+    EXPECT_NO_THROW(network.validate());
+  }
+}
+
+TEST(Fabric, SizesMatchFatTreeFormulas) {
+  const FabricInfo k4 = fabric_info(FabricOptions{4, 2, 2});
+  EXPECT_EQ(k4.routers, 20u);  // 4 cores + 8 agg + 8 edge
+  EXPECT_EQ(k4.hosts, 32u);
+  const FabricInfo k8 = fabric_info(FabricOptions{8, 2, 2});
+  EXPECT_EQ(k8.routers, 80u);  // 16 cores + 32 agg + 32 edge
+  EXPECT_EQ(k8.hosts, 128u);
+  // The acceptance bar: a k=8 fabric stands in for 10k+ host addresses.
+  EXPECT_GE(k8.host_addresses, 10000u);
+}
+
+TEST(Fabric, BuilderIsDeterministic) {
+  EXPECT_EQ(build_fabric(), build_fabric());
+  FabricOptions options;
+  options.k = 6;
+  analysis::Engine engine;
+  EXPECT_EQ(engine.fingerprint(build_fabric(options)), engine.fingerprint(build_fabric(options)));
+}
+
+TEST(Fabric, CleanFabricIsFullyReachable) {
+  Network network = build_fabric();
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ReachabilityMatrix dense = dp::ReachabilityMatrix::compute(compile(network, dataplane));
+  EXPECT_EQ(dense.reachable_count(), dense.total_count());
+}
+
+TEST(Fabric, PoliciesHoldOnCleanFabric) {
+  Network network = build_fabric();
+  std::vector<spec::Policy> policies = fabric_policies();
+  EXPECT_GE(policies.size(), 6u);
+  spec::PolicyVerifier verifier(policies);
+  EXPECT_TRUE(verifier.verify_network(network).ok());
+}
+
+TEST(Fabric, ProbeGaugesPublished) {
+  Network network = build_fabric();
+  fabric_probe(network);
+  obs::Registry& registry = obs::Registry::global();
+  EXPECT_EQ(registry.gauge("scenario.routers").value(), 20);
+  EXPECT_EQ(registry.gauge("scenario.hosts").value(), 32);
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ShardedReachability sharded =
+      dp::ShardedReachability::compute(compile(network, dataplane));
+  EXPECT_EQ(registry.gauge("matrix.bytes").value(), static_cast<std::int64_t>(sharded.bytes()));
+  EXPECT_EQ(registry.gauge("matrix.equiv_classes").value(),
+            static_cast<std::int64_t>(sharded.class_count()));
+}
+
+// ----------------------------------------------------------- compression --
+
+TEST(Sharded, FabricCompressesToSubnetClasses) {
+  Network network = build_fabric();  // k=4: 8 edges x 2 subnets, 2 hosts each
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ShardedReachability sharded =
+      dp::ShardedReachability::compute(compile(network, dataplane));
+  // Hosts sharing a (leaf, subnet) are forwarding-equivalent: 16 classes
+  // cover 32 hosts, and every ordered class pair (incl. the two-member
+  // diagonals) gets exactly one representative trace.
+  EXPECT_EQ(sharded.class_count(), 16u);
+  EXPECT_EQ(sharded.hosts().size(), 32u);
+  EXPECT_EQ(sharded.traced_pairs(), 16u * 16u);
+  // The compressed store must be far below the dense matrix's footprint.
+  dp::ReachabilityMatrix dense = dp::ReachabilityMatrix::compute(compile(network, dataplane));
+  EXPECT_LT(sharded.bytes(), dense.bytes() / 2);
+}
+
+// ------------------------------------------------- dense-oracle property --
+
+struct OracleCase {
+  std::string name;
+  unsigned stride;
+};
+
+class ShardedOracleTest : public ::testing::TestWithParam<OracleCase> {
+ protected:
+  Network network() const {
+    const std::string& name = GetParam().name;
+    if (name == "enterprise") return build_enterprise();
+    if (name == "university") return build_university();
+    return build_fabric();
+  }
+};
+
+TEST_P(ShardedOracleTest, MatchesDense) {
+  Network net = network();
+  dp::Dataplane dataplane = dp::Dataplane::compute(net);
+  dp::CompiledPlane plane = compile(net, dataplane, GetParam().stride);
+  dp::ReachabilityMatrix dense = dp::ReachabilityMatrix::compute(plane);
+  dp::ShardedReachability sharded = dp::ShardedReachability::compute(plane);
+  expect_matches_dense(dense, sharded, GetParam().name);
+}
+
+TEST_P(ShardedOracleTest, ParallelMatchesSerial) {
+  Network net = network();
+  dp::Dataplane dataplane = dp::Dataplane::compute(net);
+  dp::CompiledPlane plane = compile(net, dataplane, GetParam().stride);
+  dp::ShardedReachability serial = dp::ShardedReachability::compute(plane);
+  util::ThreadPool pool(4);
+  dp::ShardOptions options;
+  options.pool = &pool;
+  dp::ShardedReachability parallel = dp::ShardedReachability::compute(plane, options);
+  expect_sharded_identical(serial, parallel, GetParam().name + " parallel");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ShardedOracleTest,
+    ::testing::Values(OracleCase{"enterprise", 0}, OracleCase{"enterprise", 16},
+                      OracleCase{"enterprise", 24}, OracleCase{"university", 0},
+                      OracleCase{"university", 16}, OracleCase{"university", 24},
+                      OracleCase{"fabric", 0}, OracleCase{"fabric", 16},
+                      OracleCase{"fabric", 24}),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      return info.param.name + "_stride" + std::to_string(info.param.stride);
+    });
+
+TEST(Sharded, MatchesDenseUnderInjectedIssues) {
+  for (const IssueSpec& issue : fabric_issues()) {
+    Network network = build_fabric();
+    issue.inject(network);
+    dp::Dataplane dataplane = dp::Dataplane::compute(network);
+    dp::CompiledPlane plane = compile(network, dataplane);
+    dp::ReachabilityMatrix dense = dp::ReachabilityMatrix::compute(plane);
+    dp::ShardedReachability sharded = dp::ShardedReachability::compute(plane);
+    expect_matches_dense(dense, sharded, "issue " + issue.key);
+    // The injection must actually break the ticket pair.
+    EXPECT_FALSE(sharded.reachable(issue.ticket.affected[0], issue.ticket.affected[1])) << issue.key;
+  }
+}
+
+TEST(Sharded, DiffMatchesDenseDiff) {
+  Network clean = build_fabric();
+  Network broken = build_fabric();
+  const IssueSpec issue = fabric_issues().front();  // acl
+  issue.inject(broken);
+
+  dp::Dataplane clean_plane = dp::Dataplane::compute(clean);
+  dp::Dataplane broken_plane = dp::Dataplane::compute(broken);
+  dp::ReachabilityMatrix dense_before = dp::ReachabilityMatrix::compute(compile(clean, clean_plane));
+  dp::ReachabilityMatrix dense_after =
+      dp::ReachabilityMatrix::compute(compile(broken, broken_plane));
+  dp::ShardedReachability sharded_before =
+      dp::ShardedReachability::compute(compile(clean, clean_plane));
+  dp::ShardedReachability sharded_after =
+      dp::ShardedReachability::compute(compile(broken, broken_plane));
+
+  auto dense_diff = dp::ReachabilityMatrix::diff(dense_before, dense_after);
+  ASSERT_FALSE(dense_diff.empty());
+  EXPECT_EQ(dense_diff, dp::ShardedReachability::diff(sharded_before, sharded_after));
+  EXPECT_EQ(dense_diff, dp::diff_views(sharded_before, sharded_after));
+  EXPECT_EQ(dense_diff, dp::diff_views(dense_before, sharded_after));
+}
+
+// --------------------------------------------------------------- recompute --
+
+TEST(Sharded, RecomputeMatchesFreshAfterAclInjection) {
+  Network network = build_fabric();
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ShardedReachability base = dp::ShardedReachability::compute(compile(network, dataplane));
+
+  const IssueSpec issue = fabric_issues().front();  // acl: device-local on p1-e0
+  issue.inject(network);
+  dp::Dataplane changed_plane = dp::Dataplane::compute(network);
+  dp::CompiledPlane plane = compile(network, changed_plane);
+
+  std::size_t retraced = 0;
+  dp::ShardedReachability incremental =
+      dp::ShardedReachability::recompute(plane, base, {issue.root_cause}, {}, &retraced);
+  dp::ShardedReachability fresh = dp::ShardedReachability::compute(plane);
+  expect_sharded_identical(fresh, incremental, "acl recompute");
+  // Only class pairs whose representative path crossed p1-e0 re-trace.
+  EXPECT_GT(retraced, 0u);
+  EXPECT_LT(retraced, base.traced_pairs());
+  // And the oracle agrees with the incremental result.
+  expect_matches_dense(dp::ReachabilityMatrix::compute(plane), incremental, "acl recompute dense");
+}
+
+TEST(Sharded, RecomputeFallsBackWhenPartitionMoves) {
+  Network network = build_fabric();
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::ShardedReachability base = dp::ShardedReachability::compute(compile(network, dataplane));
+
+  // The vlan issue moves a host's L2 segment, which changes its class
+  // signature — the partition shifts and recompute must fall back to a full
+  // compute (retraced == fresh traced_pairs) while staying correct.
+  const IssueSpec issue = fabric_issues()[2];
+  ASSERT_EQ(issue.key, "vlan");
+  issue.inject(network);
+  dp::Dataplane changed_plane = dp::Dataplane::compute(network);
+  dp::CompiledPlane plane = compile(network, changed_plane);
+
+  std::size_t retraced = 0;
+  dp::ShardedReachability incremental =
+      dp::ShardedReachability::recompute(plane, base, {issue.root_cause}, {}, &retraced);
+  dp::ShardedReachability fresh = dp::ShardedReachability::compute(plane);
+  EXPECT_EQ(retraced, fresh.traced_pairs());
+  expect_sharded_identical(fresh, incremental, "vlan recompute");
+  expect_matches_dense(dp::ReachabilityMatrix::compute(plane), incremental, "vlan recompute dense");
+}
+
+// ------------------------------------------------------------ engine modes --
+
+TEST(EngineMatrixMode, ExplicitShardedProducesShardedSnapshot) {
+  analysis::Options options;
+  options.matrix_mode = analysis::MatrixMode::Sharded;
+  analysis::Engine engine(options);
+  analysis::Snapshot snapshot = engine.analyze(build_enterprise());
+  EXPECT_EQ(snapshot.reachability, nullptr);
+  ASSERT_NE(snapshot.sharded, nullptr);
+  EXPECT_EQ(snapshot.view(), snapshot.sharded.get());
+  EXPECT_EQ(snapshot.retraced_pairs, nullptr);
+}
+
+TEST(EngineMatrixMode, AutoFollowsHostThreshold) {
+  analysis::Options sharded_options;
+  sharded_options.sharded_host_threshold = 1;
+  analysis::Engine crossing(sharded_options);
+  analysis::Snapshot compressed = crossing.analyze(build_enterprise());
+  EXPECT_NE(compressed.sharded, nullptr);
+  EXPECT_EQ(compressed.reachability, nullptr);
+
+  analysis::Engine below;  // default threshold 512 >> 9 enterprise hosts
+  analysis::Snapshot dense = below.analyze(build_enterprise());
+  EXPECT_EQ(dense.sharded, nullptr);
+  ASSERT_NE(dense.reachability, nullptr);
+  EXPECT_EQ(dense.view(), dense.reachability.get());
+
+  // Both representations answer identically through the view.
+  expect_matches_dense(*dense.reachability, *compressed.sharded, "auto threshold");
+}
+
+TEST(EngineMatrixMode, ShardedSnapshotsMemoize) {
+  analysis::Options options;
+  options.matrix_mode = analysis::MatrixMode::Sharded;
+  analysis::Engine engine(options);
+  Network network = build_fabric();
+  analysis::Snapshot first = engine.analyze(network);
+  analysis::Snapshot second = engine.analyze(network);
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(first.sharded.get(), second.sharded.get());
+}
+
+TEST(EngineMatrixMode, IncrementalShardedMatchesFreshDense) {
+  analysis::Options options;
+  options.matrix_mode = analysis::MatrixMode::Sharded;
+  analysis::Engine engine(options);
+  Network network = build_fabric();
+  analysis::Snapshot base = engine.analyze(network);
+
+  // Apply the blackhole-static-route issue both as a mutation and as the
+  // matching semantic change, driving the engine's FibLocal incremental path.
+  const IssueSpec issue = fabric_issues()[1];
+  ASSERT_EQ(issue.key, "route");
+  issue.inject(network);
+  const Device& edge = network.device(issue.root_cause);
+  cfg::ConfigChange change{issue.root_cause,
+                           cfg::StaticRouteAdd{edge.static_routes().back()}};
+  analysis::Snapshot after = engine.analyze(network, base, {change});
+  EXPECT_EQ(engine.stats().incremental_recomputes, 1u);
+  ASSERT_NE(after.sharded, nullptr);
+  EXPECT_EQ(after.retraced_pairs, nullptr);  // class pairs are not dense indices
+
+  analysis::Engine fresh;  // dense oracle
+  analysis::Snapshot reference = fresh.analyze(network);
+  expect_matches_dense(*reference.reachability, *after.sharded, "incremental route");
+  EXPECT_FALSE(after.sharded->reachable(issue.ticket.affected[0], issue.ticket.affected[1]));
+}
+
+// ------------------------------------------------------------ verification --
+
+TEST(ShardedVerify, ReportsMatchDense) {
+  Network network = build_fabric();
+  const IssueSpec issue = fabric_issues().front();
+  issue.inject(network);
+  dp::Dataplane dataplane = dp::Dataplane::compute(network);
+  dp::CompiledPlane plane = compile(network, dataplane);
+  dp::ReachabilityMatrix dense = dp::ReachabilityMatrix::compute(plane);
+  dp::ShardedReachability sharded = dp::ShardedReachability::compute(plane);
+
+  spec::PolicyVerifier verifier(fabric_policies());
+  spec::VerificationReport dense_report = verifier.verify(dense);
+  spec::VerificationReport sharded_report = verifier.verify(sharded);
+  EXPECT_FALSE(dense_report.ok());
+  EXPECT_EQ(dense_report.checked, sharded_report.checked);
+  EXPECT_EQ(dense_report.violated_ids(), sharded_report.violated_ids());
+}
+
+TEST(ShardedVerify, IncrementalFallsBackOnShardedSnapshots) {
+  analysis::Options options;
+  options.matrix_mode = analysis::MatrixMode::Sharded;
+  analysis::Engine engine(options);
+  Network network = build_fabric();
+  analysis::Snapshot base = engine.analyze(network);
+
+  spec::PolicyVerifier verifier(fabric_policies());
+  spec::VerificationReport base_report = verifier.verify(*base.view());
+  EXPECT_TRUE(base_report.ok());
+
+  const IssueSpec issue = fabric_issues().front();
+  issue.inject(network);
+  cfg::ConfigChange change{
+      issue.root_cause,
+      cfg::InterfaceAclBindingChange{InterfaceId("Gi0/0"), cfg::AclDirection::In, "",
+                                     "EDGE_PROT_IN"}};
+  analysis::Snapshot after = engine.analyze(network, base, {change});
+  spec::VerificationReport incremental = verifier.verify_incremental(after, base_report);
+  spec::VerificationReport full = verifier.verify(*after.view());
+  EXPECT_EQ(incremental.checked, full.checked);
+  EXPECT_EQ(incremental.violated_ids(), full.violated_ids());
+  EXPECT_FALSE(full.ok());
+}
+
+// ------------------------------------------------------- issue workflows --
+
+class FabricIssueTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  IssueSpec issue() const {
+    for (IssueSpec& candidate : issues_) {
+      if (candidate.key == GetParam()) return candidate;
+    }
+    throw std::runtime_error("no such fabric issue");
+  }
+
+ private:
+  mutable std::vector<IssueSpec> issues_ = fabric_issues();
+};
+
+TEST_P(FabricIssueTest, InjectBreaksResolvedPair) {
+  Network production = build_fabric();
+  IssueSpec spec = issue();
+  EXPECT_TRUE(spec.resolved(production));
+  EXPECT_TRUE(production.has_device(spec.root_cause));
+  spec.inject(production);
+  EXPECT_FALSE(spec.resolved(production)) << "injection must break the pair";
+  EXPECT_NO_THROW(production.validate());
+}
+
+TEST_P(FabricIssueTest, FixScriptRepairsViaHeimdall) {
+  Network production = build_fabric();
+  IssueSpec spec = issue();
+  spec.inject(production);
+
+  enforce::PolicyEnforcer enforcer(spec::PolicyVerifier(fabric_policies()),
+                                   enforce::SimulatedEnclave("v1", "hw"));
+  msp::Technician technician;
+  msp::WorkflowResult result = msp::run_heimdall_workflow(
+      production, enforcer, spec.ticket, spec.fix_script, technician, spec.resolved);
+  EXPECT_TRUE(result.changes_applied);
+  EXPECT_TRUE(result.issue_resolved);
+  EXPECT_EQ(result.commands_denied, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFabricIssues, FabricIssueTest,
+                         ::testing::Values("acl", "route", "vlan"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace heimdall::scen

@@ -62,15 +62,22 @@ HEADLINES = [
      "quarantine enforcement (university)"),
     ("BM_ServeBatched/net:1/manual_time", "BM_ServeSerialized/net:1/manual_time", 2.0,
      "enforcement service, 8 sessions batched vs serialized (university)"),
+    ("BM_FabricAllPairsSharded/k:8", "BM_FabricAllPairsDense/k:8", 2.0,
+     "sharded vs dense all-pairs (k=8 fabric)"),
 ]
 
 # Floors that measure thread-level scaling: the fast path only wins when
-# there are cores to spread the contention across, so they are checked only
-# on multi-CPU hosts and annotated-skipped otherwise.
+# there are cores to spread the work or contention across, so each entry
+# carries the minimum host CPU count it needs; rows on smaller hosts are
+# annotated-skipped (printing the host CPU count) instead of checked.
+# Entries: (fast, reference, min_speedup, min_cpus, label).
 PARALLEL_HEADLINES = [
     ("BM_AuditSinkRecord/iterations:20000/real_time/threads:8",
-     "BM_AuditAppendContended/iterations:20000/real_time/threads:8", 2.0,
+     "BM_AuditAppendContended/iterations:20000/real_time/threads:8", 2.0, 2,
      "sharded audit sink vs mutexed chain append (8 threads)"),
+    ("BM_AllPairsSharded/threads:4/real_time",
+     "BM_AllPairsSharded/threads:1/real_time", 1.5, 4,
+     "sharded all-pairs, 4 threads vs 1 (k=6 fabric)"),
 ]
 
 # Absolute ceilings (ns per operation) on what an observability
@@ -92,6 +99,16 @@ OVERHEAD_CEILINGS_NS = {
 # table-painting blowup, not scheduler jitter.
 COMPILE_CEILINGS_NS = {
     "BM_CompilePlane/net:1": (5_000_000.0, "plane compile (university)"),
+}
+
+# Memory ceiling (bytes) on the compressed all-pairs store: the k=8 fabric
+# (80 routers, 128 host devices standing in for 16k+ addresses) must fit its
+# reachability result in O(classes^2 + hosts), far below the dense matrix's
+# O(hosts^2 . path). The ceiling is loose against today's footprint but well
+# under what the dense representation needs at the same scale, so losing the
+# compression shows up as a red build.
+MATRIX_BYTE_CEILINGS = {
+    "BM_FabricAllPairsSharded/k:8": (8_000_000.0, "sharded matrix bytes (k=8 fabric)"),
 }
 
 # Floors over the merged load_gen report (LG_* rows): the service must have
@@ -179,13 +196,13 @@ def smoke_check(baseline):
             failures.append(failure)
 
     cpus = num_cpus(baseline)
-    for fast, reference, min_speedup, label in PARALLEL_HEADLINES:
+    for fast, reference, min_speedup, min_cpus, label in PARALLEL_HEADLINES:
         speedup, failure = check_pair(benchmarks, fast, reference, min_speedup, label)
         if speedup is None:
             continue
-        if cpus <= 1:
+        if cpus < min_cpus:
             print(f"  parallel {label} speedup: {speedup:.2f}x "
-                  f"[SKIPPED: host has {cpus} CPU, floor needs cores to scale across]")
+                  f"[SKIPPED: host has {cpus} CPU(s), floor needs >= {min_cpus}]")
             continue
         print(f"  parallel {label} speedup: {speedup:.2f}x "
               f"(required >= {min_speedup}x on {cpus} CPUs)")
@@ -208,6 +225,26 @@ def ceiling_check(benchmarks, ceilings):
             failures.append(
                 f"{label} ({name}) costs {actual_ns:.1f} ns, over the "
                 f"{ceiling_ns:g} ns ceiling")
+    return failures
+
+
+def matrix_byte_check(benchmarks):
+    """Asserts the compressed reachability store stayed under its ceiling."""
+    failures = []
+    for name, (ceiling, label) in sorted(MATRIX_BYTE_CEILINGS.items()):
+        row = benchmarks.get(name)
+        if row is None:
+            continue  # filtered run; nothing to check
+        actual = row.get("matrix_bytes")
+        if actual is None:
+            failures.append(f"{name} is missing its matrix_bytes counter")
+            continue
+        status = "ok" if actual <= ceiling else "REGRESSION"
+        print(f"  {label}: {actual:,.0f} bytes (ceiling {ceiling:,.0f}) [{status}]")
+        if actual > ceiling:
+            failures.append(
+                f"{label} ({name}) holds {actual:,.0f} bytes, over the "
+                f"{ceiling:,.0f} byte ceiling")
     return failures
 
 
@@ -273,6 +310,8 @@ def main():
     failures += ceiling_check(baseline["benchmarks"], OVERHEAD_CEILINGS_NS)
     print("plane compile-time check:")
     failures += ceiling_check(baseline["benchmarks"], COMPILE_CEILINGS_NS)
+    print("sharded matrix memory check:")
+    failures += matrix_byte_check(baseline["benchmarks"])
     print("service load check:")
     failures += load_check(baseline)
     if failures:
@@ -285,8 +324,10 @@ def main():
 
 # User counters worth freezing into the baseline alongside timings: the LPM
 # table shape (stride / bytes / overflow chunks) explains the lookup and
-# compile rows next to them.
-COUNTER_KEYS = ("stride", "table_bytes", "fib_bytes", "fib_overflow_chunks")
+# compile rows next to them, and the sharded reachability shape
+# (matrix_bytes / equiv_classes / hosts) feeds the memory-ceiling check.
+COUNTER_KEYS = ("stride", "table_bytes", "fib_bytes", "fib_overflow_chunks",
+                "matrix_bytes", "equiv_classes", "hosts")
 
 
 def to_baseline(report):

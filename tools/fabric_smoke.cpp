@@ -1,0 +1,157 @@
+// fabric_smoke: the fabric-scale CI gate. Generates a k-ary fat-tree,
+// computes the sharded all-pairs reachability (multi-threaded when the host
+// has cores), then drives one real enforcement ticket — the injected edge
+// ACL issue, fixed through a SessionManager session running the prepared
+// script — and asserts the things CI cares about:
+//
+//   * the clean fabric is fully reachable and the compressed matrix stays
+//     under --max-matrix-bytes;
+//   * the fix applies through the service, the ticket pair is healthy
+//     afterwards, and the audit chain verifies end to end;
+//   * the heimdall.fabric_probe gauges are published.
+//
+// Exit status is 0 only when every check passes. --out writes the global
+// metrics registry as JSON (the CI artifact).
+//
+//   fabric_smoke [--k N] [--max-matrix-bytes BYTES] [--out FILE]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataplane/compiled.hpp"
+#include "dataplane/dataplane.hpp"
+#include "dataplane/sharded.hpp"
+#include "obs/telemetry.hpp"
+#include "scenarios/fabric.hpp"
+#include "service/manager.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace heimdall;
+
+struct Args {
+  unsigned k = 6;
+  std::size_t max_matrix_bytes = 8'000'000;
+  std::string out;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (std::strcmp(flag, "--k") == 0) {
+      const char* v = value();
+      if (!v) return false;
+      args.k = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(flag, "--max-matrix-bytes") == 0) {
+      const char* v = value();
+      if (!v) return false;
+      args.max_matrix_bytes = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(flag, "--out") == 0) {
+      const char* v = value();
+      if (!v) return false;
+      args.out = v;
+    } else {
+      return false;
+    }
+  }
+  return args.k >= 4 && args.k % 2 == 0;
+}
+
+int failures = 0;
+
+void check(bool ok, const std::string& label) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", label.c_str());
+  if (!ok) ++failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: fabric_smoke [--k N] [--max-matrix-bytes BYTES] [--out FILE]\n");
+    return 2;
+  }
+
+  scen::FabricOptions options;
+  options.k = args.k;
+  const scen::FabricInfo info = scen::fabric_info(options);
+  std::printf("fabric k=%u: %zu routers, %zu hosts, %zu links, %zu host addresses\n", args.k,
+              info.routers, info.hosts, info.links, info.host_addresses);
+
+  net::Network production = scen::build_fabric(options);
+  scen::fabric_probe(production);
+
+  // ---- sharded all-pairs on the clean fabric -----------------------------
+  {
+    dp::Dataplane dataplane = dp::Dataplane::compute(production);
+    dp::CompiledPlane plane = dp::CompiledPlane::compile(production, dataplane);
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::unique_ptr<util::ThreadPool> pool;
+    dp::ShardOptions shard_options;
+    if (cores > 1) {
+      pool = std::make_unique<util::ThreadPool>(cores);
+      shard_options.pool = pool.get();
+    }
+    dp::ShardedReachability matrix = dp::ShardedReachability::compute(plane, shard_options);
+    std::printf("sharded all-pairs: %zu hosts in %zu classes, %zu traced pairs, %zu bytes\n",
+                matrix.hosts().size(), matrix.class_count(), matrix.traced_pairs(),
+                matrix.bytes());
+    check(matrix.hosts().size() == info.hosts, "all fabric hosts enumerated");
+    check(matrix.reachable_count() == matrix.total_count(), "clean fabric fully reachable");
+    check(matrix.class_count() < matrix.hosts().size(),
+          "equivalence classes compress the host set");
+    check(matrix.bytes() <= args.max_matrix_bytes,
+          "matrix bytes " + std::to_string(matrix.bytes()) + " under ceiling " +
+              std::to_string(args.max_matrix_bytes));
+  }
+
+  // ---- one enforcement ticket through the service ------------------------
+  {
+    const scen::IssueSpec issue = scen::fabric_issues(options).front();  // edge ACL
+    issue.inject(production);
+    check(!issue.resolved(production), "injected issue breaks the ticket pair");
+
+    service::ServiceOptions service_options;
+    service_options.engine_options.matrix_mode = analysis::MatrixMode::Sharded;
+    service::SessionManager manager(production, scen::fabric_policies(options),
+                                    service_options);
+    auto session = manager.open(issue.ticket, "fabric-smoke");
+    for (const std::string& command : issue.fix_script) session->run(command);
+    auto outcome = session->submit();
+    manager.drain();
+    check(outcome.get().report.applied_any, "fix changeset applied to production");
+    check(issue.resolved(manager.production_copy()), "ticket pair healthy after the fix");
+    session->close();
+    manager.shutdown();
+    check(manager.enforcer().audit_intact(), "audit chain intact");
+  }
+
+  // ---- gauges + artifact --------------------------------------------------
+  obs::Registry& registry = obs::Registry::global();
+  check(registry.gauge("scenario.routers").value() ==
+            static_cast<std::int64_t>(info.routers),
+        "scenario.routers gauge published");
+  check(registry.gauge("scenario.hosts").value() == static_cast<std::int64_t>(info.hosts),
+        "scenario.hosts gauge published");
+  check(registry.gauge("matrix.bytes").value() > 0, "matrix.bytes gauge published");
+  check(registry.gauge("matrix.equiv_classes").value() > 0,
+        "matrix.equiv_classes gauge published");
+
+  if (!args.out.empty()) {
+    if (obs::write_metrics_file(registry, args.out))
+      std::printf("metrics written to %s\n", args.out.c_str());
+    else
+      check(false, "metrics artifact written");
+  }
+
+  std::printf(failures == 0 ? "fabric smoke passed\n" : "fabric smoke FAILED (%d)\n", failures);
+  return failures == 0 ? 0 : 1;
+}
