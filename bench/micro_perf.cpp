@@ -23,6 +23,7 @@
 #include "enforcer/audit.hpp"
 #include "enforcer/audit_sink.hpp"
 #include "enforcer/enforcer.hpp"
+#include "enforcer/ledger.hpp"
 #include "service/manager.hpp"
 #include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
@@ -597,6 +598,25 @@ void BM_AuditAppend(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AuditAppend);
+
+// Quorum-replicated append: one leader append + commit_appended() across 3
+// replicas (leader reseal, two followers each verifying their seal, the
+// chain extension and the entry hash, then resealing). The price of
+// rollback/equivocation detection over the bare chain append above;
+// tools/bench_baseline.py holds the ratio under a ceiling so replication
+// cost never silently grows past "a handful of hashes per entry".
+void BM_QuorumAppend(benchmark::State& state) {
+  enforce::ReplicatedAuditLedger ledger(
+      enforce::SimulatedEnclave("bench-enclave", "bench-hw-key"), 3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ledger.leader_log().append(++t, "tech", enforce::AuditCategory::Command,
+                               "interface r1 Gi0/0 down");
+    benchmark::DoNotOptimize(ledger.commit_appended());
+  }
+  if (!ledger.intact()) state.SkipWithError("ledger not intact after append loop");
+}
+BENCHMARK(BM_QuorumAppend);
 
 // Contended audit recording: the pre-service architecture (every session
 // thread takes one mutex and appends + hashes into the chain inline) versus

@@ -1,16 +1,27 @@
 // heimdall_serve: the enforcement service end to end.
 //
 // Demonstrates the session-owned architecture on the enterprise network:
-// eight concurrent technician sessions (one thread each) open pooled twins,
-// work their tickets, and submit changesets to the shared enforcement
-// queue, which batches them, coalesces verification across disjoint
-// submissions, and keeps one tamper-evident audit chain over everything —
-// including the insider whose "fix" tries to open the DMZ.
+// concurrent technician sessions (one thread each) open pooled twins, work
+// their tickets, and submit changesets to the shared enforcement queue,
+// which batches them, coalesces verification across disjoint submissions,
+// and keeps one quorum-replicated tamper-evident audit ledger over
+// everything — including three attackers:
+//   * the insider whose "fix" tries to open the DMZ (privilege/policy
+//     quarantine),
+//   * the colluding technician who social-engineers one admin in the twin
+//     but ships a self-approved m=1 approval set, caught by the enforcer's
+//     m-of-n gate,
+//   * the compromised audit replica that rewrites its own sealed history,
+//     caught by cross-replica verification.
+// An honest counterpart shows the m-of-n happy path: two distinct
+// principals (one customer-side) co-sign the ticket content hash and the
+// same out-of-class change goes through.
 //
 // Telemetry flags (--journal-out, --statusz-out, --flight-dir, --trace-out,
 // --metrics-out, --prom-out, --audit-out) turn the run into an observable
-// one: the insider's quarantine fires the flight recorder, and obs_report
-// can join the exported journal/trace/audit into per-ticket timelines.
+// one: every quarantine and the tampered ledger fire the flight recorder,
+// and obs_report can join the exported journal/trace/audit into per-ticket
+// timelines and re-verify all replica chains.
 #include <future>
 #include <iostream>
 #include <memory>
@@ -19,6 +30,7 @@
 
 #include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
+#include "scenarios/adversary.hpp"
 #include "scenarios/enterprise.hpp"
 #include "service/manager.hpp"
 
@@ -98,6 +110,87 @@ int main(int argc, char** argv) {
   for (std::thread& technician : technicians) technician.join();
   manager.drain();
 
+  // Multi-party authorization: an out-of-class change (a static route on an
+  // ACL ticket) needs m-of-n approvals over the ticket content hash. The
+  // honest path gathers two distinct principals, one customer-side; the
+  // colluding path social-engineers a single admin inside the twin but can
+  // only mint a self-approved m=1 set for the enforcer — which re-checks
+  // the signatures in the enclave and quarantines the change.
+  std::cout << "\n--- multi-party authorization ---\n";
+  auto route_ticket = [](int id, const std::string& description) {
+    msp::Ticket ticket;
+    ticket.id = id;
+    ticket.task = priv::TaskClass::AclChange;
+    ticket.description = description;
+    ticket.affected = {net::DeviceId("r6")};
+    return ticket;
+  };
+  priv::EscalationRequest route_request{priv::Action::StaticRouteAdd,
+                                        priv::Resource::routes(net::DeviceId("r6")),
+                                        "null-route a scanner prefix at the border"};
+
+  {
+    msp::Ticket ticket = route_ticket(101, "border hardening needs a scanner null-route");
+    auto session = manager.open(ticket, "tech-honest");
+    priv::ApprovalSet approvals;
+    approvals.required = 2;
+    approvals.approvals = {
+        manager.attest_approval("customer-admin", priv::PrincipalRole::Customer, ticket),
+        manager.attest_approval("msp-supervisor", priv::PrincipalRole::Msp, ticket),
+    };
+    priv::EscalationResult escalation = session->request_escalation(route_request, approvals);
+    std::cout << "tech-honest escalation: " << priv::to_string(escalation.verdict) << " ("
+              << escalation.reason << ")\n";
+    session->run("route r6 add 203.0.113.0 255.255.255.0 10.1.16.1");
+    session->set_approvals(approvals);
+    service::SubmitOutcome outcome = session->submit().get();
+    session->close();
+    std::cout << "tech-honest submit: " << outcome.report.applied_changes.size()
+              << " applied, " << outcome.report.quarantined.size() << " quarantined\n";
+  }
+
+  {
+    msp::Ticket ticket = route_ticket(102, "emergency: reroute monitoring traffic");
+    auto session = manager.open(ticket, "tech-colluder");
+    // Inside the twin the colluder gets one admin to click approve (the
+    // legacy single-admin path), so the twin lets the command through...
+    priv::EscalationResult escalation =
+        session->request_escalation(route_request, /*admin_approved=*/true);
+    std::cout << "tech-colluder twin escalation: " << priv::to_string(escalation.verdict)
+              << " (" << escalation.reason << ")\n";
+    session->run("route r6 add 198.18.0.0 255.255.0.0 10.1.16.1");
+    // ...but the enforcer's m-of-n gate sees only a self-approved m=1 set.
+    session->set_approvals(scen::colluding_approval_set(
+        manager.enforcer().enclave(), "tech-colluder", twin::ticket_content_hash(ticket)));
+    service::SubmitOutcome outcome = session->submit().get();
+    session->close();
+    std::cout << "tech-colluder submit: " << outcome.report.applied_changes.size()
+              << " applied, " << outcome.report.quarantined.size() << " quarantined\n";
+    for (const auto& [change, reason] : outcome.report.quarantined)
+      std::cout << "    QUARANTINED " << change.summary() << "\n      reason: " << reason
+                << "\n";
+  }
+  manager.drain();
+
+  // Replica equivocation: a compromised audit replica rewrites one sealed
+  // entry and re-chains + reseals so every single-replica check passes.
+  // Only the cross-replica comparison exposes the fork; drain() journals a
+  // TamperAlert and fires the flight recorder.
+  std::cout << "\n--- replica equivocation ---\n";
+  enforce::ReplicatedAuditLedger& ledger = manager.enforcer().mutable_ledger_for_test();
+  std::cout << "ledger: " << ledger.replica_count() << " replicas, intact="
+            << (manager.enforcer().audit_intact() ? "yes" : "NO") << "\n";
+  auto pristine = scen::equivocate_replica(ledger, 1, 2, "session #1 opened by ghost-tech");
+  std::cout << "replica 1 rewrote sequence 2 and resealed through its own enclave\n";
+  for (const std::string& problem : manager.enforcer().audit_problems())
+    std::cout << "  DETECTED: " << problem << "\n";
+  manager.drain();  // journals the TamperAlert + flight dump
+  // Restore the pristine replica so the final integrity verdict (and the
+  // process exit code) reflects the healthy service again.
+  scen::restore_replica(ledger, 1, std::move(pristine));
+  std::cout << "replica 1 restored from quorum copy, intact="
+            << (manager.enforcer().audit_intact() ? "yes" : "NO") << "\n";
+
   service::ServiceStats stats = manager.stats();
   std::cout << "\nservice: " << stats.sessions_opened << " sessions, " << stats.submissions
             << " submissions in " << stats.batches << " batches (largest "
@@ -122,7 +215,7 @@ int main(int argc, char** argv) {
   bool telemetry_ok = telemetry.write_outputs();
   if (!telemetry.audit_out.empty()) {
     telemetry_ok &= obs::write_string_file(
-        telemetry.audit_out, manager.enforcer().audit().to_json().dump(), "audit log");
+        telemetry.audit_out, manager.enforcer().ledger().to_json().dump(), "audit ledger");
   }
   if (!telemetry_ok) {
     std::cerr << "FATAL: failed to write telemetry outputs\n";

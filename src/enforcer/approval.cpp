@@ -1,0 +1,44 @@
+#include "enforcer/approval.hpp"
+
+#include <algorithm>
+
+#include "util/sha256.hpp"
+
+namespace heimdall::enforce {
+
+std::string approval_statement(const priv::Approval& approval) {
+  return "approval|" + approval.principal + "|" + priv::to_string(approval.role) + "|" +
+         approval.subject;
+}
+
+priv::Approval make_attested_approval(const SimulatedEnclave& enclave,
+                                      const std::string& principal, priv::PrincipalRole role,
+                                      const std::string& subject) {
+  priv::Approval approval;
+  approval.principal = principal;
+  approval.role = role;
+  approval.subject = subject;
+  approval.signature = util::to_hex(enclave.attest(approval_statement(approval)).mac);
+  return approval;
+}
+
+bool verify_attested_approval(const SimulatedEnclave& enclave, const priv::Approval& approval) {
+  return approval.signature == util::to_hex(enclave.attest(approval_statement(approval)).mac);
+}
+
+priv::ApprovalCheck check_submission_approvals(const SimulatedEnclave& enclave,
+                                               const SubmissionApprovals& approvals,
+                                               const std::string& requester) {
+  return priv::check_approvals(
+      approvals.approvals, requester, approvals.subject, approvals.min_required,
+      [&](const priv::Approval& approval) { return verify_attested_approval(enclave, approval); });
+}
+
+bool needs_approval(priv::Action action, priv::TaskClass task) {
+  if (priv::is_high_impact(action)) return true;
+  if (!priv::is_mutating(action)) return false;
+  const std::vector<priv::Action>& compatible = priv::mutating_actions_for(task);
+  return std::find(compatible.begin(), compatible.end(), action) == compatible.end();
+}
+
+}  // namespace heimdall::enforce

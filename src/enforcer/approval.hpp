@@ -1,0 +1,60 @@
+// Enclave binding for multi-party authorization (priv/approval.hpp holds
+// the enclave-free data model and policy rules).
+//
+// An approval is "signed" by asking the enforcer's enclave to attest a
+// canonical statement over (principal, role, subject); the report MAC —
+// keyed by the simulated hardware root — stands in for the principal's
+// signature issued through the attested approval UI. Verification
+// recomputes the attestation inside the same enclave and compares MACs, so
+// a signature minted against a different enclave (or a doctored statement)
+// fails closed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "enforcer/enclave.hpp"
+#include "privilege/action.hpp"
+#include "privilege/approval.hpp"
+#include "privilege/generator.hpp"
+
+namespace heimdall::enforce {
+
+/// The m-of-n context a BatchSubmission carries through the quarantine
+/// pipeline. `gate == false` (the default) means the submission predates
+/// the approval workflow — phase 1 then behaves exactly as before, which
+/// keeps the serialized-oracle equivalence and legacy callers intact.
+struct SubmissionApprovals {
+  bool gate = false;  ///< enable m-of-n gating of high-impact / out-of-class changes
+  priv::TaskClass task = priv::TaskClass::Monitoring;  ///< ticket task class
+  std::string subject;             ///< ticket content hash the approvals must cover
+  std::size_t min_required = 2;    ///< policy floor for m (downgrade detection)
+  priv::ApprovalSet approvals;
+};
+
+/// Canonical statement an approval signs: "approval|principal|role|subject".
+std::string approval_statement(const priv::Approval& approval);
+
+/// Mints an approval for `subject` by `principal`, signed via `enclave`'s
+/// attestation (signature = hex MAC of the attested statement).
+priv::Approval make_attested_approval(const SimulatedEnclave& enclave,
+                                      const std::string& principal, priv::PrincipalRole role,
+                                      const std::string& subject);
+
+/// True when `approval.signature` is the hex MAC `enclave` attests over the
+/// approval's canonical statement.
+bool verify_attested_approval(const SimulatedEnclave& enclave, const priv::Approval& approval);
+
+/// priv::check_approvals bound to `enclave` attestation: evaluates the
+/// submission's ApprovalSet for `requester` against its subject and policy
+/// floor.
+priv::ApprovalCheck check_submission_approvals(const SimulatedEnclave& enclave,
+                                               const SubmissionApprovals& approvals,
+                                               const std::string& requester);
+
+/// Which changes the m-of-n gate covers: high-impact actions always, plus
+/// mutations outside the ticket's task class (the same set the escalation
+/// policy marks RequiresAdmin).
+bool needs_approval(priv::Action action, priv::TaskClass task);
+
+}  // namespace heimdall::enforce

@@ -24,24 +24,33 @@ AuditSink::Shard& AuditSink::shard_for_thread() {
 void AuditSink::record(std::int64_t timestamp_ms, std::string actor, AuditCategory category,
                        std::string message) {
   Staged staged;
-  staged.stamp = next_stamp_.fetch_add(1, std::memory_order_relaxed);
   staged.timestamp_ms = timestamp_ms;
   staged.actor = std::move(actor);
   staged.category = category;
   staged.message = std::move(message);
   Shard& shard = shard_for_thread();
   std::lock_guard<std::mutex> lock(shard.mutex);
+  // Stamp under the shard mutex: flush_into() holds every shard mutex while
+  // draining, so a stamped event is always published before any flush that
+  // could append a later stamp (see the header's ordering invariant).
+  staged.stamp = next_stamp_.fetch_add(1, std::memory_order_relaxed);
+  if (record_pause_) record_pause_();
   shard.staged.push_back(std::move(staged));
 }
 
 std::size_t AuditSink::flush_into(AuditLog& chain) {
+  // All shard locks, in index order (record() only ever takes one, so the
+  // ordered sweep cannot deadlock), before draining any shard.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
   std::vector<Staged> merged;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
     merged.insert(merged.end(), std::make_move_iterator(shard->staged.begin()),
                   std::make_move_iterator(shard->staged.end()));
     shard->staged.clear();
   }
+  locks.clear();
   std::sort(merged.begin(), merged.end(),
             [](const Staged& a, const Staged& b) { return a.stamp < b.stamp; });
   for (Staged& staged : merged) {

@@ -13,10 +13,19 @@
 // The stamp order is the total order auditors see; it is assigned inside
 // record() so the chain reflects the real interleaving of sessions even
 // though the shards fill independently.
+//
+// Ordering invariant: a stamp is only ever taken while holding the writer's
+// shard mutex, and flush_into() holds *every* shard mutex while draining.
+// Together those guarantee the drained set is a stamp-prefix: no record()
+// can sit between taking a stamp and publishing it while a flush runs, so
+// chain order equals stamp order across flush boundaries. (Either half
+// alone is insufficient — a stamp taken before the lock can lose the race
+// to a later-stamped entry in an earlier flush.)
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +59,14 @@ class AuditSink {
 
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// TEST HOOK: invoked inside record()'s critical section, after the stamp
+  /// is taken and before the event is published to its shard. Lets the
+  /// stamp-order regression test hold a writer at the exact point the old
+  /// stamp-before-lock window used to open. Set before spawning writers.
+  void set_record_pause_for_test(std::function<void()> hook) {
+    record_pause_ = std::move(hook);
+  }
+
  private:
   struct Staged {
     std::uint64_t stamp = 0;
@@ -68,6 +85,7 @@ class AuditSink {
 
   std::atomic<std::uint64_t> next_stamp_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::function<void()> record_pause_;
 };
 
 }  // namespace heimdall::enforce

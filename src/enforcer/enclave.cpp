@@ -13,6 +13,41 @@ SimulatedEnclave::SimulatedEnclave(std::string code_identity, std::string hardwa
     : hardware_key_(std::move(hardware_key)),
       measurement_(Sha256::hash(code_identity)) {}
 
+SimulatedEnclave::SimulatedEnclave(const SimulatedEnclave& other)
+    : hardware_key_(other.hardware_key_),
+      measurement_(other.measurement_),
+      counter_(other.counter_.load(std::memory_order_relaxed)) {}
+
+SimulatedEnclave& SimulatedEnclave::operator=(const SimulatedEnclave& other) {
+  if (this != &other) {
+    hardware_key_ = other.hardware_key_;
+    measurement_ = other.measurement_;
+    counter_.store(other.counter_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+SimulatedEnclave::SimulatedEnclave(SimulatedEnclave&& other) noexcept
+    : hardware_key_(std::move(other.hardware_key_)),
+      measurement_(other.measurement_),
+      counter_(other.counter_.load(std::memory_order_relaxed)) {}
+
+SimulatedEnclave& SimulatedEnclave::operator=(SimulatedEnclave&& other) noexcept {
+  if (this != &other) {
+    hardware_key_ = std::move(other.hardware_key_);
+    measurement_ = other.measurement_;
+    counter_.store(other.counter_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+SimulatedEnclave SimulatedEnclave::replica(std::size_t index) const {
+  SimulatedEnclave copy(*this);
+  copy.hardware_key_ = hardware_key_ + "#replica-" + std::to_string(index);
+  copy.counter_.store(0, std::memory_order_relaxed);
+  return copy;
+}
+
 Sha256Digest SimulatedEnclave::mac_over(std::string_view domain, std::string_view payload) const {
   std::string message = std::string(domain) + "|" + util::to_hex(measurement_) + "|" +
                         std::string(payload);

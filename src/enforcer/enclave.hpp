@@ -11,6 +11,8 @@
 // See DESIGN.md §1 for the substitution rationale.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -45,6 +47,19 @@ class SimulatedEnclave {
   /// `hardware_key` for the CPU's fused root key.
   SimulatedEnclave(std::string code_identity, std::string hardware_key);
 
+  // Copy/move clone the simulated instance (std::atomic is neither): the
+  // counter value travels with the clone, so moving an enclave into its
+  // owner preserves rollback protection.
+  SimulatedEnclave(const SimulatedEnclave& other);
+  SimulatedEnclave& operator=(const SimulatedEnclave& other);
+  SimulatedEnclave(SimulatedEnclave&& other) noexcept;
+  SimulatedEnclave& operator=(SimulatedEnclave&& other) noexcept;
+
+  /// A replica instance of the same enclave binary on another simulated
+  /// host: identical measurement, distinct hardware root, fresh counter.
+  /// The replicated audit ledger derives its followers this way.
+  SimulatedEnclave replica(std::size_t index) const;
+
   const util::Sha256Digest& measurement() const { return measurement_; }
 
   /// Produces an attestation report binding `report_data` to this enclave.
@@ -63,15 +78,19 @@ class SimulatedEnclave {
   std::optional<std::string> unseal(const SealedBlob& blob) const;
 
   /// Monotonic counter (rollback protection). Increments and returns.
-  std::uint64_t bump_counter() { return ++counter_; }
-  std::uint64_t counter() const { return counter_; }
+  /// Atomic: reseals reach it from the enforcement worker, from any thread
+  /// flushing the sharded audit sink, and from the quorum-append protocol.
+  std::uint64_t bump_counter() {
+    return counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  std::uint64_t counter() const { return counter_.load(std::memory_order_relaxed); }
 
  private:
   util::Sha256Digest mac_over(std::string_view domain, std::string_view payload) const;
 
   std::string hardware_key_;
   util::Sha256Digest measurement_{};
-  std::uint64_t counter_ = 0;
+  std::atomic<std::uint64_t> counter_{0};
 };
 
 }  // namespace heimdall::enforce

@@ -1,7 +1,6 @@
 #include "enforcer/enforcer.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <map>
 #include <optional>
 #include <set>
@@ -63,24 +62,42 @@ bool introduces_new_violation(const spec::VerificationReport& verification,
   return false;
 }
 
+/// Lazily evaluated m-of-n gate for one submission's phase-1 loop. The
+/// ApprovalCheck is computed at most once (the first gated change pays the
+/// attestation verification; later gated changes in the same submission
+/// reuse the verdict) and not at all for submissions with no gated change.
+class ApprovalGate {
+ public:
+  ApprovalGate(const SimulatedEnclave& enclave, const SubmissionApprovals& approvals,
+               const std::string& requester)
+      : enclave_(enclave), approvals_(approvals), requester_(requester) {}
+
+  /// Quarantine reason when `action` needs m-of-n approval the submission
+  /// does not carry; nullopt when the change may proceed to phase 2.
+  std::optional<std::string> block_reason(priv::Action action) {
+    if (!approvals_.gate || !needs_approval(action, approvals_.task)) return std::nullopt;
+    if (!check_) check_ = check_submission_approvals(enclave_, approvals_, requester_);
+    if (check_->satisfied) return std::nullopt;
+    return "approval: " + check_->summary();
+  }
+
+ private:
+  const SimulatedEnclave& enclave_;
+  const SubmissionApprovals& approvals_;
+  const std::string& requester_;
+  std::optional<priv::ApprovalCheck> check_;
+};
+
 }  // namespace
 
 PolicyEnforcer::PolicyEnforcer(spec::PolicyVerifier policies, SimulatedEnclave enclave,
                                EnforcerOptions options)
     : policies_(std::move(policies)),
-      enclave_(std::move(enclave)),
       options_(options),
+      ledger_(std::move(enclave), options.audit_replicas),
       sink_(options.audit_shards) {
   if (options_.attribution_threads > 1)
     attribution_pool_ = std::make_unique<util::ThreadPool>(options_.attribution_threads);
-  std::lock_guard<std::mutex> lock(audit_mutex_);
-  reseal_head();
-}
-
-void PolicyEnforcer::reseal_head() {
-  // Caller holds audit_mutex_.
-  std::string head = util::to_hex(audit_.head()) + "|" + std::to_string(enclave_.bump_counter());
-  sealed_head_ = enclave_.seal(head);
 }
 
 void PolicyEnforcer::audit_event(util::VirtualClock& clock, const std::string& actor,
@@ -93,9 +110,11 @@ void PolicyEnforcer::audit_event(util::VirtualClock& clock, const std::string& a
   util::Stopwatch watch;
   {
     std::lock_guard<std::mutex> lock(audit_mutex_);
-    audit_.append(clock.now(), actor, category, std::move(message));
+    ledger_.leader_log().append(clock.now(), actor, category, std::move(message));
     obs::Registry::global().counter("audit.entries").add();
-    reseal_head();
+    QuorumStatus quorum = ledger_.commit_appended();
+    if (!quorum.committed)
+      obs::Registry::global().counter("audit.quorum_failures").add();
   }
   audit_elapsed_us_.fetch_add(static_cast<std::uint64_t>(watch.elapsed_ms() * 1000.0),
                               std::memory_order_relaxed);
@@ -107,12 +126,14 @@ std::size_t PolicyEnforcer::flush_audit() {
   std::size_t chain_size = 0;
   {
     std::lock_guard<std::mutex> lock(audit_mutex_);
-    flushed = sink_.flush_into(audit_);
+    flushed = sink_.flush_into(ledger_.leader_log());
     if (flushed != 0) {
       obs::Registry::global().counter("audit.entries").add(flushed);
-      reseal_head();
+      QuorumStatus quorum = ledger_.commit_appended();
+      if (!quorum.committed)
+        obs::Registry::global().counter("audit.quorum_failures").add();
     }
-    chain_size = audit_.size();
+    chain_size = ledger_.leader_log().size();
   }
   audit_elapsed_us_.fetch_add(static_cast<std::uint64_t>(watch.elapsed_ms() * 1000.0),
                               std::memory_order_relaxed);
@@ -303,7 +324,8 @@ QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainC
                                                 const std::vector<cfg::ConfigChange>& changes,
                                                 const priv::PrivilegeSpec& privileges,
                                                 util::VirtualClock& clock,
-                                                const std::string& actor) {
+                                                const std::string& actor,
+                                                const SubmissionApprovals& approvals) {
   obs::ScopedSpan span("enforcer.quarantine", "enforcer",
                        {{"actor", actor}, {"changes", std::to_string(changes.size())}});
   QuarantineReport report;
@@ -314,7 +336,9 @@ QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainC
   // joint check in phase 3; closed by hand because application interleaves.
   obs::SpanId verify_span = obs::tracer().begin("enforcer.verify", "enforcer");
 
-  // 1. Privilege compliance per change.
+  // 1. Privilege compliance per change, then the m-of-n approval gate for
+  //    high-impact / out-of-class actions.
+  ApprovalGate gate(ledger_.leader_enclave(), approvals, actor);
   std::vector<cfg::ConfigChange> candidates;
   for (const cfg::ConfigChange& change : changes) {
     ChangeClassification classification = classify_change(change);
@@ -323,6 +347,10 @@ QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainC
       audit_event(clock, actor, AuditCategory::Violation,
                   "quarantined (privilege): " + change.summary());
       report.quarantined.emplace_back(change, "privilege: " + decision.reason);
+    } else if (auto blocked = gate.block_reason(classification.action)) {
+      audit_event(clock, actor, AuditCategory::Violation,
+                  "quarantined (approval): " + change.summary());
+      report.quarantined.emplace_back(change, *blocked);
     } else {
       candidates.push_back(change);
     }
@@ -465,8 +493,16 @@ QuarantineReport PolicyEnforcer::quarantine_one(net::Network& production, ChainC
 QuarantineReport PolicyEnforcer::enforce_with_quarantine(
     net::Network& production, const std::vector<cfg::ConfigChange>& changes,
     const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor) {
+  return enforce_with_quarantine(production, changes, privileges, clock, actor,
+                                 SubmissionApprovals{});
+}
+
+QuarantineReport PolicyEnforcer::enforce_with_quarantine(
+    net::Network& production, const std::vector<cfg::ConfigChange>& changes,
+    const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor,
+    const SubmissionApprovals& approvals) {
   ChainContext ctx = make_chain(production);
-  return quarantine_one(production, ctx, changes, privileges, clock, actor);
+  return quarantine_one(production, ctx, changes, privileges, clock, actor, approvals);
 }
 
 std::vector<std::size_t> PolicyEnforcer::form_wave(const std::vector<BatchSubmission>& batch,
@@ -555,6 +591,7 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
     obs::ScopedContextFrame frame(submission.context);
     util::Stopwatch member_watch;
     QuarantineReport& report = reports[index];
+    ApprovalGate gate(ledger_.leader_enclave(), submission.approvals, submission.actor);
     std::vector<cfg::ConfigChange> candidates;
     for (const cfg::ConfigChange& change : submission.changes) {
       ChangeClassification classification = classify_change(change);
@@ -564,6 +601,10 @@ void PolicyEnforcer::process_wave(net::Network& production, ChainContext& ctx,
         audit_event(clock, submission.actor, AuditCategory::Violation,
                     "quarantined (privilege): " + change.summary());
         report.quarantined.emplace_back(change, "privilege: " + decision.reason);
+      } else if (auto blocked = gate.block_reason(classification.action)) {
+        audit_event(clock, submission.actor, AuditCategory::Violation,
+                    "quarantined (approval): " + change.summary());
+        report.quarantined.emplace_back(change, *blocked);
       } else {
         candidates.push_back(change);
       }
@@ -853,7 +894,7 @@ std::vector<QuarantineReport> PolicyEnforcer::enforce_with_quarantine_batch(
       const BatchSubmission& submission = batch[pos];
       obs::ScopedContextFrame frame(submission.context);
       reports[pos] = quarantine_one(production, ctx, submission.changes, submission.privileges,
-                                    clock, submission.actor);
+                                    clock, submission.actor, submission.approvals);
     } else {
       process_wave(production, ctx, batch, wave, clock, reports);
     }
@@ -866,13 +907,23 @@ std::vector<QuarantineReport> PolicyEnforcer::enforce_with_quarantine_batch(
 QuarantineReport PolicyEnforcer::enforce_with_quarantine_reference(
     net::Network& production, const std::vector<cfg::ConfigChange>& changes,
     const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor) {
+  return enforce_with_quarantine_reference(production, changes, privileges, clock, actor,
+                                           SubmissionApprovals{});
+}
+
+QuarantineReport PolicyEnforcer::enforce_with_quarantine_reference(
+    net::Network& production, const std::vector<cfg::ConfigChange>& changes,
+    const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor,
+    const SubmissionApprovals& approvals) {
   obs::ScopedSpan span("enforcer.quarantine_reference", "enforcer",
                        {{"actor", actor}, {"changes", std::to_string(changes.size())}});
   QuarantineReport report;
 
   obs::SpanId verify_span = obs::tracer().begin("enforcer.verify", "enforcer");
 
-  // 1. Privilege compliance per change.
+  // 1. Privilege compliance per change, then the m-of-n approval gate —
+  //    the same order and reasons as the incremental pipeline's phase 1.
+  ApprovalGate gate(ledger_.leader_enclave(), approvals, actor);
   std::vector<cfg::ConfigChange> candidates;
   for (const cfg::ConfigChange& change : changes) {
     ChangeClassification classification = classify_change(change);
@@ -881,6 +932,10 @@ QuarantineReport PolicyEnforcer::enforce_with_quarantine_reference(
       audit_event(clock, actor, AuditCategory::Violation,
                   "quarantined (privilege): " + change.summary());
       report.quarantined.emplace_back(change, "privilege: " + decision.reason);
+    } else if (auto blocked = gate.block_reason(classification.action)) {
+      audit_event(clock, actor, AuditCategory::Violation,
+                  "quarantined (approval): " + change.summary());
+      report.quarantined.emplace_back(change, *blocked);
     } else {
       candidates.push_back(change);
     }
@@ -1009,28 +1064,23 @@ EmergencyResult PolicyEnforcer::emergency_execute(net::Network& production,
 
 AttestationReport PolicyEnforcer::attest() const {
   std::lock_guard<std::mutex> lock(audit_mutex_);
-  return enclave_.attest(util::to_hex(audit_.head()));
+  return ledger_.leader_enclave().attest(util::to_hex(ledger_.leader_log().head()));
 }
 
 bool PolicyEnforcer::audit_intact() const {
   std::lock_guard<std::mutex> lock(audit_mutex_);
-  if (!audit_.verify_chain()) return false;
-  auto unsealed = enclave_.unseal(sealed_head_);
-  if (!unsealed) return false;
-  auto separator = unsealed->find('|');
-  if (separator == std::string::npos) return false;
-  if (unsealed->substr(0, separator) != util::to_hex(audit_.head())) return false;
-  // Rollback protection: a stale sealed blob together with its matching
-  // truncated log passes the hash comparison above; only the monotonic
-  // counter — which the enclave bumps on every reseal and which cannot be
-  // rewound — distinguishes the current head from an old one.
-  const char* first = unsealed->data() + separator + 1;
-  const char* last = unsealed->data() + unsealed->size();
-  if (first == last) return false;
-  std::uint64_t sealed_counter = 0;
-  auto [ptr, ec] = std::from_chars(first, last, sealed_counter);
-  if (ec != std::errc() || ptr != last) return false;
-  return sealed_counter == enclave_.counter();
+  return ledger_.intact();
+}
+
+std::vector<std::string> PolicyEnforcer::audit_problems() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  return ledger_.problems();
+}
+
+PolicyEnforcer::LedgerStats PolicyEnforcer::ledger_stats() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  return {ledger_.replica_count(), ledger_.commits(), ledger_.quorum_failures(),
+          ledger_.rejected_acks()};
 }
 
 }  // namespace heimdall::enforce

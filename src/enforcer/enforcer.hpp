@@ -20,9 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "enforcer/approval.hpp"
 #include "enforcer/audit.hpp"
 #include "enforcer/audit_sink.hpp"
 #include "enforcer/enclave.hpp"
+#include "enforcer/ledger.hpp"
 #include "enforcer/scheduler.hpp"
 #include "enforcer/verifier.hpp"
 #include "obs/trace.hpp"
@@ -81,6 +83,9 @@ struct BatchSubmission {
   /// enforcement thread so the spans and audit records emitted while this
   /// submission is processed carry the session's correlation keys.
   obs::SpanArgs context;
+  /// m-of-n authorization context; default (gate == false) preserves the
+  /// pre-approval pipeline byte-for-byte.
+  SubmissionApprovals approvals;
 };
 
 /// Tuning knobs for the enforcement hot path.
@@ -95,6 +100,10 @@ struct EnforcerOptions {
   /// verification of disjoint submissions — every submission still shares
   /// the batch baseline but gets its own phase-3 analyze. Ablation knob.
   bool coalesce_waves = true;
+  /// Replicas in the quorum-appended audit ledger (1 == the classic single
+  /// sealed chain). Appended last: the service initializes these fields by
+  /// designated initializers in declaration order.
+  std::size_t audit_replicas = 3;
 };
 
 class PolicyEnforcer {
@@ -125,6 +134,16 @@ class PolicyEnforcer {
                                            const priv::PrivilegeSpec& privileges,
                                            util::VirtualClock& clock, const std::string& actor);
 
+  /// Approval-gated variant: changes whose action is high-impact or outside
+  /// the ticket's task class are additionally quarantined ("approval: ...")
+  /// unless `approvals` carries a satisfied m-of-n set. The legacy overload
+  /// forwards a gate-off default.
+  QuarantineReport enforce_with_quarantine(net::Network& production,
+                                           const std::vector<cfg::ConfigChange>& changes,
+                                           const priv::PrivilegeSpec& privileges,
+                                           util::VirtualClock& clock, const std::string& actor,
+                                           const SubmissionApprovals& approvals);
+
   /// Batched quarantine enforcement: processes every submission in FIFO
   /// order and returns one QuarantineReport per submission, each identical
   /// to what a serialized sequence of enforce_with_quarantine() calls would
@@ -152,6 +171,13 @@ class PolicyEnforcer {
       net::Network& production, const std::vector<cfg::ConfigChange>& changes,
       const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor);
 
+  /// Approval-gated reference oracle; must stay bit-identical to the
+  /// approval-gated incremental pipeline (property-tested).
+  QuarantineReport enforce_with_quarantine_reference(
+      net::Network& production, const std::vector<cfg::ConfigChange>& changes,
+      const priv::PrivilegeSpec& privileges, util::VirtualClock& clock, const std::string& actor,
+      const SubmissionApprovals& approvals);
+
   /// Emergency mode (paper §7): a command bypasses the twin but still goes
   /// through privilege mediation and post-state verification before touching
   /// production. Rolls back on violation.
@@ -174,18 +200,36 @@ class PolicyEnforcer {
   /// reseal. Thread-safe. Returns the number of entries appended.
   std::size_t flush_audit();
 
-  /// The audit chain. Callers must quiesce concurrent audit writers (the
-  /// service drains its queue first) — the reference is unsynchronized.
-  const AuditLog& audit() const { return audit_; }
+  /// The audit chain (the replicated ledger's leader copy). Callers must
+  /// quiesce concurrent audit writers (the service drains its queue first)
+  /// — the reference is unsynchronized.
+  const AuditLog& audit() const { return ledger_.leader_log(); }
+
+  /// The replicated ledger behind audit(). Same quiescence caveat.
+  const ReplicatedAuditLedger& ledger() const { return ledger_; }
+
+  /// Replication counters, read under the audit mutex — safe concurrently
+  /// with enforcement (statusz polls this).
+  struct LedgerStats {
+    std::size_t replicas = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t quorum_failures = 0;
+    std::uint64_t rejected_acks = 0;
+  };
+  LedgerStats ledger_stats() const;
 
   /// Attestation report over the current audit head (freshness binding).
   AttestationReport attest() const;
 
-  /// True when the chain verifies AND the sealed head matches — detects
-  /// both in-place tampering and truncation.
+  /// True when every replica's chain + seal verify AND the replicas agree
+  /// entry-for-entry — detects in-place tampering, truncation, one
+  /// replica's rollback, and equivocation (divergent sealed histories).
   bool audit_intact() const;
 
-  const SimulatedEnclave& enclave() const { return enclave_; }
+  /// Cross-replica integrity problems, human-readable (empty == intact).
+  std::vector<std::string> audit_problems() const;
+
+  const SimulatedEnclave& enclave() const { return ledger_.leader_enclave(); }
 
   /// Cumulative wall time spent inside audit_event() chain appends +
   /// reseals on this enforcer (microseconds). The service reads deltas of
@@ -195,16 +239,18 @@ class PolicyEnforcer {
   }
 
   // TAMPERING HOOKS (tests only): let rollback/truncation tests swap in a
-  // stale log + sealed-head pair the way an attacker with disk access would.
-  AuditLog& mutable_audit_for_test() { return audit_; }
-  SealedBlob& mutable_sealed_head_for_test() { return sealed_head_; }
+  // stale log + sealed-head pair the way an attacker with disk access would
+  // (on the leader replica; mutable_ledger_for_test() reaches the others).
+  AuditLog& mutable_audit_for_test() { return ledger_.leader_log(); }
+  SealedBlob& mutable_sealed_head_for_test() {
+    return ledger_.replica_for_test(0).sealed_head;
+  }
+  ReplicatedAuditLedger& mutable_ledger_for_test() { return ledger_; }
 
  private:
   struct AttributionVerdict;
   struct ChainContext;
   struct WaveMember;
-
-  void reseal_head();
   std::vector<AttributionVerdict> attribute_candidates(
       const net::Network& production, net::Network& shadow,
       const std::vector<cfg::ConfigChange>& candidates, const analysis::Snapshot& base,
@@ -214,7 +260,7 @@ class PolicyEnforcer {
   QuarantineReport quarantine_one(net::Network& production, ChainContext& ctx,
                                   const std::vector<cfg::ConfigChange>& changes,
                                   const priv::PrivilegeSpec& privileges, util::VirtualClock& clock,
-                                  const std::string& actor);
+                                  const std::string& actor, const SubmissionApprovals& approvals);
   std::vector<std::size_t> form_wave(const std::vector<BatchSubmission>& batch, std::size_t pos,
                                      const ChainContext& ctx) const;
   void process_wave(net::Network& production, ChainContext& ctx,
@@ -223,14 +269,13 @@ class PolicyEnforcer {
                     std::vector<QuarantineReport>& reports);
 
   spec::PolicyVerifier policies_;
-  SimulatedEnclave enclave_;
   EnforcerOptions options_;
   std::unique_ptr<util::ThreadPool> attribution_pool_;
-  /// Guards audit_, sealed_head_ and the enclave counter. The enforcement
-  /// paths take it only around chain appends, never across verification.
+  /// Guards the replicated ledger (chains, seals, enclave counters). The
+  /// enforcement paths take it only around chain appends, never across
+  /// verification.
   mutable std::mutex audit_mutex_;
-  AuditLog audit_;
-  SealedBlob sealed_head_;
+  ReplicatedAuditLedger ledger_;
   AuditSink sink_;
   std::atomic<std::uint64_t> audit_elapsed_us_{0};
 };

@@ -1,0 +1,154 @@
+#include "enforcer/ledger.hpp"
+
+#include <charconv>
+
+#include "util/sha256.hpp"
+
+namespace heimdall::enforce {
+
+using util::Sha256;
+
+ReplicatedAuditLedger::ReplicatedAuditLedger(SimulatedEnclave leader_enclave,
+                                             std::size_t replica_count) {
+  if (replica_count < 1) replica_count = 1;
+  replicas_.reserve(replica_count);
+  replicas_.push_back(Replica{std::move(leader_enclave), AuditLog{}, SealedBlob{}});
+  for (std::size_t i = 1; i < replica_count; ++i) {
+    replicas_.push_back(
+        Replica{replicas_.front().enclave.replica(i), AuditLog{}, SealedBlob{}});
+  }
+  for (Replica& replica : replicas_) reseal(replica);
+}
+
+void ReplicatedAuditLedger::reseal(Replica& replica) {
+  std::string head = util::to_hex(replica.log.head()) + "|" +
+                     std::to_string(replica.enclave.bump_counter());
+  replica.sealed_head = replica.enclave.seal(head);
+}
+
+bool ReplicatedAuditLedger::verify_replica_seal(const Replica& replica, std::size_t index,
+                                                std::vector<std::string>* out) const {
+  auto problem = [&](const std::string& text) {
+    if (out) out->push_back("replica " + std::to_string(index) + ": " + text);
+    return false;
+  };
+  auto unsealed = replica.enclave.unseal(replica.sealed_head);
+  if (!unsealed) return problem("sealed head fails to unseal (tampered or foreign seal)");
+  auto separator = unsealed->find('|');
+  if (separator == std::string::npos) return problem("sealed head is malformed");
+  if (unsealed->substr(0, separator) != util::to_hex(replica.log.head()))
+    return problem("sealed head does not match the chain head (log rewritten or truncated)");
+  const char* first = unsealed->data() + separator + 1;
+  const char* last = unsealed->data() + unsealed->size();
+  std::uint64_t sealed_counter = 0;
+  auto [ptr, ec] = std::from_chars(first, last, sealed_counter);
+  if (first == last || ec != std::errc() || ptr != last)
+    return problem("sealed counter is malformed");
+  if (sealed_counter != replica.enclave.counter())
+    return problem("sealed counter " + std::to_string(sealed_counter) +
+                   " lags the enclave counter " + std::to_string(replica.enclave.counter()) +
+                   " (rollback to a stale sealed head)");
+  return true;
+}
+
+QuorumStatus ReplicatedAuditLedger::commit_appended() {
+  QuorumStatus status;
+  status.replicas = replicas_.size();
+
+  Replica& leader = replicas_.front();
+  reseal(leader);
+  ++status.acks;  // the leader trivially acks its own extension
+
+  const std::vector<AuditEntry>& entries = leader.log.entries();
+  for (std::size_t i = 1; i < replicas_.size(); ++i) {
+    Replica& follower = replicas_[i];
+    // A follower first re-checks its own seal: a rolled-back or rewritten
+    // follower must not ack (nor silently re-converge and erase the
+    // evidence) — it stays divergent for problems() to report.
+    if (!verify_replica_seal(follower, i, nullptr)) {
+      ++rejected_acks_;
+      continue;
+    }
+    bool ok = true;
+    while (follower.log.size() < entries.size()) {
+      const AuditEntry& entry = entries[follower.log.size()];
+      // Verify the extension exactly as a remote replica would before
+      // trusting the leader: contiguous sequence, link to our own head,
+      // content hash recomputes.
+      if (entry.sequence != follower.log.size() ||
+          entry.previous_hash != follower.log.head() ||
+          entry.hash != Sha256::hash(entry.canonical())) {
+        ok = false;
+        break;
+      }
+      // append() recomputes sequence/previous_hash/hash from the follower's
+      // own chain; the checks above guarantee the result is bit-identical.
+      follower.log.append(entry.timestamp_ms, entry.actor, entry.category, entry.message);
+    }
+    if (!ok) {
+      ++rejected_acks_;
+      continue;
+    }
+    reseal(follower);
+    ++status.acks;
+  }
+
+  status.committed = status.acks * 2 > status.replicas;
+  if (status.committed)
+    ++commits_;
+  else
+    ++quorum_failures_;
+  return status;
+}
+
+std::vector<std::string> ReplicatedAuditLedger::problems() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const Replica& replica = replicas_[i];
+    std::size_t corrupt = replica.log.first_corrupt_index();
+    if (corrupt != replica.log.size())
+      out.push_back("replica " + std::to_string(i) + ": chain breaks at sequence " +
+                    std::to_string(corrupt));
+    verify_replica_seal(replica, i, &out);
+  }
+  // Cross-replica: every follower must agree with the leader entry-for-entry
+  // over the shared prefix and must not lag. Divergent hashes at the same
+  // sequence == equivocation (two "agreed" histories); a shorter follower
+  // whose seal still verifies == it was never brought past quorum (the
+  // leader failed to replicate) and the ledger is not intact either way.
+  const std::vector<AuditEntry>& leader_entries = replicas_.front().log.entries();
+  for (std::size_t i = 1; i < replicas_.size(); ++i) {
+    const std::vector<AuditEntry>& follower_entries = replicas_[i].log.entries();
+    std::size_t shared = std::min(leader_entries.size(), follower_entries.size());
+    for (std::size_t seq = 0; seq < shared; ++seq) {
+      if (follower_entries[seq].hash != leader_entries[seq].hash) {
+        out.push_back("replica " + std::to_string(i) + " equivocates: divergent entry at sequence " +
+                      std::to_string(seq) + " (leader and replica sealed different histories)");
+        break;
+      }
+    }
+    if (follower_entries.size() != leader_entries.size())
+      out.push_back("replica " + std::to_string(i) + " holds " +
+                    std::to_string(follower_entries.size()) + " entries, leader holds " +
+                    std::to_string(leader_entries.size()));
+  }
+  return out;
+}
+
+util::Json ReplicatedAuditLedger::to_json() const {
+  util::Json array{util::JsonArray{}};
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const Replica& replica = replicas_[i];
+    util::Json item = replica.log.to_json();
+    item.set("replica", static_cast<double>(i));
+    // Like the audit log's seq/t_ms, the counter goes out as a decimal
+    // string: util::Json numbers are doubles.
+    item.set("sealed_counter", util::Json(std::to_string(replica.enclave.counter())));
+    array.push_back(std::move(item));
+  }
+  util::Json document;
+  document.set("replicas", std::move(array));
+  return document;
+}
+
+}  // namespace heimdall::enforce

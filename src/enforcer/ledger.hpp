@@ -1,0 +1,108 @@
+// Replicated audit ledger: the hash-chained AuditLog copied across N
+// simulated enclave replicas with quorum-append.
+//
+// A single sealed head detects tampering on one host, but an attacker who
+// owns that host's disk *and* its (simulated) enclave instance can rewrite
+// the log and reseal. Replication raises the bar: the leader stamps entries
+// into its chain, every follower re-verifies the chain extension entry by
+// entry (sequence, previous-hash link, content hash) before appending, and
+// each replica seals its own head with its own monotonic counter. An append
+// commits once a majority of replicas ack. Cross-replica verification then
+// catches what a single replica cannot: one replica rolled back to a stale
+// (correctly sealed) prefix, or equivocating — presenting a divergent entry
+// at a sequence the quorum already agreed on.
+//
+// Ground: Kinkelin et al. (PAPERS.md) argue distributed-ledger replication
+// for exactly this "who watches the audit log" gap in managed-network
+// configuration management.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "enforcer/audit.hpp"
+#include "enforcer/enclave.hpp"
+#include "util/json.hpp"
+
+namespace heimdall::enforce {
+
+/// Outcome of one quorum-append round.
+struct QuorumStatus {
+  std::size_t replicas = 0;  ///< N
+  std::size_t acks = 0;      ///< replicas that verified + sealed the extension (leader included)
+  bool committed = false;    ///< acks form a majority of replicas
+};
+
+/// N copies of the audit chain, each sealed by its own enclave replica.
+/// Replica 0 is the leader; the enforcer appends to leader_log() and then
+/// calls commit_appended() to replicate. NOT thread-safe — the enforcer
+/// serializes access under its audit mutex.
+class ReplicatedAuditLedger {
+ public:
+  /// `leader_enclave` seals replica 0; followers run the same measured
+  /// binary on distinct simulated hosts (SimulatedEnclave::replica()).
+  /// `replica_count` < 1 is treated as 1 (unreplicated degenerates to the
+  /// classic single sealed head).
+  ReplicatedAuditLedger(SimulatedEnclave leader_enclave, std::size_t replica_count);
+
+  std::size_t replica_count() const { return replicas_.size(); }
+
+  /// The leader's chain — the one the enforcer appends to and exports.
+  AuditLog& leader_log() { return replicas_.front().log; }
+  const AuditLog& leader_log() const { return replicas_.front().log; }
+  const SimulatedEnclave& leader_enclave() const { return replicas_.front().enclave; }
+
+  /// Replicates every leader entry the followers have not seen yet: each
+  /// follower verifies the extension (sequence contiguity, previous-hash
+  /// link, content hash) and its own current seal before appending and
+  /// resealing. The leader reseals unconditionally. Returns the quorum
+  /// outcome; a follower whose seal or chain check fails refuses the ack
+  /// (it does NOT silently heal — divergence stays visible to problems()).
+  QuorumStatus commit_appended();
+
+  /// True when every replica's chain + seal verify AND all replicas agree
+  /// entry-for-entry with the leader. The cross-replica half is what a
+  /// single sealed head cannot give: rollback of one replica to a stale
+  /// sealed prefix, or equivocation (a divergent entry hash at a sequence
+  /// another replica also holds), both surface here.
+  bool intact() const { return problems().empty(); }
+
+  /// Every integrity problem across the replica set, human-readable.
+  std::vector<std::string> problems() const;
+
+  /// Lifetime counters for /statusz and the bench harness.
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t quorum_failures() const { return quorum_failures_; }
+  std::uint64_t rejected_acks() const { return rejected_acks_; }
+
+  /// Offline export: every replica's chain + sealed counter, so an auditor
+  /// (obs_report) can re-verify each chain and diff heads.
+  util::Json to_json() const;
+
+  // TAMPERING HOOKS (tests and attack scenarios only).
+  struct Replica {
+    SimulatedEnclave enclave;
+    AuditLog log;
+    SealedBlob sealed_head;
+  };
+  Replica& replica_for_test(std::size_t index) { return replicas_.at(index); }
+  /// Reseals `index`'s current head through its own enclave — what a
+  /// compromised replica does after rewriting its log.
+  void reseal_replica_for_test(std::size_t index) { reseal(replicas_.at(index)); }
+
+ private:
+  void reseal(Replica& replica);
+  /// Verifies `replica`'s sealed head against its log + counter; appends
+  /// human-readable problems to `out` (when given) naming `index`.
+  bool verify_replica_seal(const Replica& replica, std::size_t index,
+                           std::vector<std::string>* out) const;
+
+  std::vector<Replica> replicas_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t quorum_failures_ = 0;
+  std::uint64_t rejected_acks_ = 0;
+};
+
+}  // namespace heimdall::enforce

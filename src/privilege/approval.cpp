@@ -1,0 +1,183 @@
+#include "privilege/approval.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace heimdall::priv {
+
+std::string to_string(PrincipalRole role) {
+  switch (role) {
+    case PrincipalRole::Customer: return "customer";
+    case PrincipalRole::Msp: return "msp";
+  }
+  return "msp";
+}
+
+PrincipalRole parse_principal_role(std::string_view text) {
+  if (text == "customer") return PrincipalRole::Customer;
+  if (text == "msp") return PrincipalRole::Msp;
+  throw util::ParseError("approval: unknown principal role '" + std::string(text) + "'");
+}
+
+util::Json approval_set_to_json(const ApprovalSet& set) {
+  util::Json document;
+  document.set("required", set.required);
+  util::Json approvals{util::JsonArray{}};
+  for (const Approval& approval : set.approvals) {
+    util::Json entry;
+    entry.set("principal", approval.principal);
+    entry.set("role", to_string(approval.role));
+    entry.set("subject", approval.subject);
+    entry.set("signature", approval.signature);
+    approvals.push_back(std::move(entry));
+  }
+  document.set("approvals", std::move(approvals));
+  return document;
+}
+
+ApprovalSet approval_set_from_json(const util::Json& document) {
+  ApprovalSet set;
+  const util::Json& required = util::require_field(document, "required", "approval set");
+  if (!required.is_number() || required.as_number() < 0)
+    throw util::ParseError("approval set: field 'required' must be a non-negative number");
+  set.required = static_cast<std::size_t>(required.as_number());
+  for (const util::Json& entry : util::require_array(document, "approvals", "approval set")) {
+    Approval approval;
+    approval.principal = util::require_string(entry, "principal", "approval");
+    approval.role = parse_principal_role(util::require_string(entry, "role", "approval"));
+    approval.subject = util::require_string(entry, "subject", "approval");
+    approval.signature = util::require_string(entry, "signature", "approval");
+    set.approvals.push_back(std::move(approval));
+  }
+  return set;
+}
+
+std::string ApprovalCheck::summary() const {
+  if (problems.empty())
+    return "satisfied (" + std::to_string(valid) + " valid approvals)";
+  std::string out;
+  for (const std::string& problem : problems) {
+    if (!out.empty()) out += "; ";
+    out += problem;
+  }
+  return out;
+}
+
+ApprovalCheck check_approvals(const ApprovalSet& set, const std::string& requester,
+                              const std::string& subject, std::size_t min_required,
+                              const std::function<bool(const Approval&)>& attested) {
+  ApprovalCheck check;
+  std::size_t required = std::max(set.required, min_required);
+  if (set.required < min_required) {
+    check.problems.push_back("m-of-n downgrade: set requires " + std::to_string(set.required) +
+                             " approvals, policy floor is " + std::to_string(min_required));
+  }
+  std::set<std::string> seen;
+  bool customer = false;
+  for (const Approval& approval : set.approvals) {
+    if (approval.subject != subject) {
+      check.problems.push_back("approval by " + approval.principal +
+                               " covers a different subject");
+      continue;
+    }
+    if (approval.principal == requester) {
+      check.problems.push_back("self-approval by " + approval.principal);
+      continue;
+    }
+    if (!seen.insert(approval.principal).second) {
+      check.problems.push_back("duplicate approval by " + approval.principal);
+      continue;
+    }
+    if (!attested || !attested(approval)) {
+      check.problems.push_back("approval by " + approval.principal +
+                               " failed attestation (bad or foreign signature)");
+      continue;
+    }
+    ++check.valid;
+    customer |= approval.role == PrincipalRole::Customer;
+  }
+  if (check.valid < required) {
+    check.problems.push_back("only " + std::to_string(check.valid) + " of " +
+                             std::to_string(required) + " required approvals are valid");
+  }
+  if (!customer) {
+    check.problems.push_back("no customer-side approval");
+  }
+  check.satisfied = set.required >= min_required && check.valid >= required && customer;
+  return check;
+}
+
+namespace {
+
+std::string mediation_key(const PendingApproval& pending) {
+  return pending.subject + "|" + pending.requester + "|" + pending.resource.to_string();
+}
+
+bool footprints_overlap(const Resource& a, const Resource& b) {
+  return a.covers(b) || b.covers(a);
+}
+
+}  // namespace
+
+std::vector<MediationResult> mediate_conflicts(const std::vector<PendingApproval>& pending,
+                                               const std::vector<std::size_t>& valid_counts) {
+  if (pending.size() != valid_counts.size())
+    throw util::Error("mediate_conflicts: pending/valid_counts size mismatch");
+  std::vector<MediationResult> results(pending.size());
+
+  // Connected components of the overlap graph, discovered in a canonical
+  // (content-keyed) order so the grouping — and therefore every verdict —
+  // is independent of arrival order.
+  std::vector<std::size_t> order(pending.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return mediation_key(pending[a]) < mediation_key(pending[b]);
+  });
+
+  std::vector<bool> assigned(pending.size(), false);
+  for (std::size_t seed : order) {
+    if (assigned[seed]) continue;
+    // Grow the component from the seed.
+    std::vector<std::size_t> component{seed};
+    assigned[seed] = true;
+    for (std::size_t scan = 0; scan < component.size(); ++scan) {
+      for (std::size_t candidate : order) {
+        if (assigned[candidate]) continue;
+        if (footprints_overlap(pending[component[scan]].resource,
+                               pending[candidate].resource)) {
+          component.push_back(candidate);
+          assigned[candidate] = true;
+        }
+      }
+    }
+    if (component.size() == 1) {
+      results[seed] = {MediationVerdict::Proceed, "mediation: no conflicting request"};
+      continue;
+    }
+    // Winner: most valid approvals, then smallest canonical key.
+    std::size_t winner = component.front();
+    for (std::size_t index : component) {
+      if (valid_counts[index] > valid_counts[winner] ||
+          (valid_counts[index] == valid_counts[winner] &&
+           mediation_key(pending[index]) < mediation_key(pending[winner])))
+        winner = index;
+    }
+    for (std::size_t index : component) {
+      if (index == winner) {
+        results[index] = {MediationVerdict::Proceed,
+                          "mediation: strongest approval set among " +
+                              std::to_string(component.size()) + " conflicting requests"};
+      } else {
+        results[index] = {MediationVerdict::Deferred,
+                          "deferred: footprint overlaps " + pending[winner].requester +
+                              "'s request for " + pending[winner].resource.to_string() +
+                              " which holds more approvals"};
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace heimdall::priv

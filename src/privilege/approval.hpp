@@ -1,0 +1,107 @@
+// Multi-party authorization: m-of-n approval sets with deterministic
+// conflict mediation.
+//
+// Ground: Kinkelin et al. (PAPERS.md — distributed-ledger configuration
+// management). A single technician approval is a single point of collusion;
+// high-impact and out-of-class changes instead carry an ApprovalSet that
+// must gather `required` (m) signed approvals from *distinct* principals —
+// at least one on the customer side — over the ticket content hash. The
+// signatures themselves are enclave-attested MACs; this module only defines
+// the data model and policy rules, the enclave binding lives in
+// enforcer/approval.hpp so the privilege layer stays enclave-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "privilege/resource.hpp"
+#include "util/json.hpp"
+
+namespace heimdall::priv {
+
+/// Which side of the MSP relationship a principal signs for.
+enum class PrincipalRole : std::uint8_t {
+  Customer,  ///< enterprise-side admin
+  Msp,       ///< MSP-side supervisor
+};
+
+std::string to_string(PrincipalRole role);
+PrincipalRole parse_principal_role(std::string_view text);
+
+/// One principal's signed approval of a subject (the ticket content hash).
+struct Approval {
+  std::string principal;
+  PrincipalRole role = PrincipalRole::Msp;
+  std::string subject;    ///< hash of the approved content
+  std::string signature;  ///< hex MAC of the enclave-attested statement
+
+  bool operator==(const Approval&) const = default;
+};
+
+/// The m-of-n approval set a submission or escalation carries.
+struct ApprovalSet {
+  std::size_t required = 0;  ///< m — approvals needed for the grant
+  std::vector<Approval> approvals;
+
+  bool operator==(const ApprovalSet&) const = default;
+};
+
+/// JSON round-trip (frontend style: typed-field errors name the entity).
+util::Json approval_set_to_json(const ApprovalSet& set);
+ApprovalSet approval_set_from_json(const util::Json& document);
+
+/// Outcome of checking an ApprovalSet against the policy rules.
+struct ApprovalCheck {
+  bool satisfied = false;
+  std::size_t valid = 0;  ///< distinct, attested, on-subject approvals
+  std::vector<std::string> problems;
+
+  /// "satisfied (N valid approvals)" or the problems joined by "; ".
+  std::string summary() const;
+};
+
+/// Evaluates `set` for a request by `requester` over `subject`:
+///   * `set.required` must be at least `min_required` — an m=1 downgrade is
+///     flagged, never honored;
+///   * every approval must cover `subject`;
+///   * the requester cannot approve their own request (collusion rule);
+///   * principals must be distinct (a duplicate signature counts once);
+///   * every approval must pass `attested` (enclave MAC verification);
+///   * at least one valid approval must come from a Customer principal.
+/// satisfied == the valid count reaches max(required, min_required) with a
+/// customer on board.
+ApprovalCheck check_approvals(const ApprovalSet& set, const std::string& requester,
+                              const std::string& subject, std::size_t min_required,
+                              const std::function<bool(const Approval&)>& attested);
+
+/// One pending approval-gated request competing for a resource footprint.
+struct PendingApproval {
+  std::string requester;
+  Resource resource;  ///< footprint the grant would cover
+  std::string subject;
+  ApprovalSet approvals;
+};
+
+enum class MediationVerdict : std::uint8_t { Proceed, Deferred };
+
+struct MediationResult {
+  MediationVerdict verdict = MediationVerdict::Proceed;
+  std::string reason;
+};
+
+/// Deterministic mediation of concurrent approval-gated requests whose
+/// resource footprints overlap (either resource covers the other). Within
+/// each overlapping group exactly one request proceeds — the one with the
+/// most valid approvals, ties broken by the lexicographically smallest
+/// (subject, requester, resource) key — and the rest defer. The rule is a
+/// pure function of request *content*: feeding the same requests in any
+/// arrival order yields the same per-request outcome (property-tested).
+/// `valid_counts[i]` is the caller's check_approvals(...).valid for
+/// `pending[i]`; sizes must match.
+std::vector<MediationResult> mediate_conflicts(const std::vector<PendingApproval>& pending,
+                                               const std::vector<std::size_t>& valid_counts);
+
+}  // namespace heimdall::priv

@@ -16,6 +16,32 @@ std::string to_string(EscalationVerdict verdict) {
   return "rejected";
 }
 
+namespace {
+
+bool has_glob(const std::string& text) {
+  return text.find('*') != std::string::npos || text.find('?') != std::string::npos;
+}
+
+/// True when `kind` identifies its object by name, so an escalation must
+/// spell that name out. Device/Ospf/Route resources are singletons per
+/// device and legitimately carry an empty name (Resource::whole_device &c).
+bool name_identifies_object(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::Interface:
+    case ObjectKind::AclObject:
+    case ObjectKind::VlanObject:
+    case ObjectKind::SecretObject:
+      return true;
+    case ObjectKind::Device:
+    case ObjectKind::OspfObject:
+    case ObjectKind::RouteObject:
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool EscalationPolicy::in_slice(const Resource& resource) const {
   // A request naming a device outside the slice (or a glob) is out-of-slice:
   // escalations must stay within the technician's visible world.
@@ -33,6 +59,16 @@ EscalationResult EscalationPolicy::assess(const EscalationRequest& request) cons
   }
   if (request.resource.kind == ObjectKind::SecretObject) {
     return {EscalationVerdict::Rejected, "secrets are never escalatable"};
+  }
+  // An escalation must name one concrete object: a glob name (and, for
+  // kinds whose name identifies the object, an empty name — Resource
+  // documents empty as "*") would turn a single grant into a wildcard over
+  // every object of that kind on the device.
+  if (has_glob(request.resource.name) ||
+      (request.resource.name.empty() && name_identifies_object(request.resource.kind))) {
+    return {EscalationVerdict::Rejected,
+            "resource " + request.resource.to_string() +
+                " does not name a concrete object (glob or empty names are not escalatable)"};
   }
   if (!in_slice(request.resource)) {
     return {EscalationVerdict::Rejected,
@@ -59,6 +95,18 @@ EscalationResult EscalationPolicy::apply(PrivilegeSpec& spec, const EscalationRe
   if (grant) spec.allow({request.action}, request.resource);
   if (result.verdict == EscalationVerdict::RequiresAdmin && admin_approved)
     result.reason += " (admin approved)";
+  return result;
+}
+
+EscalationResult EscalationPolicy::apply(PrivilegeSpec& spec, const EscalationRequest& request,
+                                         const ApprovalCheck& approvals) const {
+  EscalationResult result = assess(request);
+  bool grant = result.verdict == EscalationVerdict::AutoGranted ||
+               result.verdict == EscalationVerdict::Granted ||
+               (result.verdict == EscalationVerdict::RequiresAdmin && approvals.satisfied);
+  if (grant) spec.allow({request.action}, request.resource);
+  if (result.verdict == EscalationVerdict::RequiresAdmin)
+    result.reason += " (m-of-n " + approvals.summary() + ")";
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "netmodel/types.hpp"
+#include "privilege/approval.hpp"
 #include "privilege/generator.hpp"
 #include "privilege/spec.hpp"
 
@@ -51,9 +52,17 @@ class EscalationPolicy {
 
   /// Assesses and, when the verdict grants (AutoGranted/Granted, or
   /// RequiresAdmin with `admin_approved`), extends `spec` with the new
-  /// predicate. Returns the assessment.
+  /// predicate. Returns the assessment. Legacy single-admin path — the
+  /// multi-party overload below supersedes it for RequiresAdmin verdicts.
   EscalationResult apply(PrivilegeSpec& spec, const EscalationRequest& request,
                          bool admin_approved = false) const;
+
+  /// Multi-party variant: a RequiresAdmin verdict only extends `spec` when
+  /// `approvals` (the caller's check_approvals over the m-of-n ApprovalSet)
+  /// is satisfied; the result's reason records the approval summary either
+  /// way. AutoGranted/Granted behave as in the legacy overload.
+  EscalationResult apply(PrivilegeSpec& spec, const EscalationRequest& request,
+                         const ApprovalCheck& approvals) const;
 
  private:
   bool in_slice(const Resource& resource) const;

@@ -1,0 +1,45 @@
+#include "scenarios/adversary.hpp"
+
+#include "util/error.hpp"
+#include "util/sha256.hpp"
+
+namespace heimdall::scen {
+
+priv::ApprovalSet colluding_approval_set(const enforce::SimulatedEnclave& enclave,
+                                         const std::string& technician,
+                                         const std::string& subject) {
+  priv::ApprovalSet set;
+  set.required = 1;  // the downgrade: one signature "suffices"
+  set.approvals.push_back(enforce::make_attested_approval(enclave, technician,
+                                                          priv::PrincipalRole::Msp, subject));
+  return set;
+}
+
+enforce::ReplicatedAuditLedger::Replica equivocate_replica(
+    enforce::ReplicatedAuditLedger& ledger, std::size_t index, std::size_t sequence,
+    const std::string& forged_message) {
+  enforce::ReplicatedAuditLedger::Replica pristine = ledger.replica_for_test(index);
+  enforce::ReplicatedAuditLedger::Replica& replica = ledger.replica_for_test(index);
+  std::vector<enforce::AuditEntry>& entries = replica.log.mutable_entries_for_test();
+  if (sequence >= entries.size())
+    throw util::Error("equivocate_replica: sequence " + std::to_string(sequence) +
+                      " beyond chain length " + std::to_string(entries.size()));
+  entries[sequence].message = forged_message;
+  // Re-chain the suffix so the forged history is internally consistent.
+  util::Sha256Digest previous =
+      sequence == 0 ? util::Sha256Digest{} : entries[sequence - 1].hash;
+  for (std::size_t i = sequence; i < entries.size(); ++i) {
+    entries[i].previous_hash = previous;
+    entries[i].hash = util::Sha256::hash(entries[i].canonical());
+    previous = entries[i].hash;
+  }
+  ledger.reseal_replica_for_test(index);
+  return pristine;
+}
+
+void restore_replica(enforce::ReplicatedAuditLedger& ledger, std::size_t index,
+                     enforce::ReplicatedAuditLedger::Replica pristine) {
+  ledger.replica_for_test(index) = std::move(pristine);
+}
+
+}  // namespace heimdall::scen

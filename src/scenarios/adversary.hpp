@@ -1,0 +1,45 @@
+// Attacker scenarios against the multi-party authorization and replicated
+// audit ledger planes (ISSUE: colluding technician, replica equivocation).
+//
+// These helpers *stage* the attacks; the detection lives in the enforcer
+// (approval gate, cross-replica audit verification) and is exercised by
+// tests, examples/heimdall_serve and tools/obs_report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "enforcer/approval.hpp"
+#include "enforcer/ledger.hpp"
+#include "privilege/approval.hpp"
+
+namespace heimdall::scen {
+
+/// Colluding technician: `technician` forges the strongest approval set
+/// they can mint alone — an m=1 downgrade (below the service's floor of 2)
+/// whose single approval is their *own* signature over `subject`. The
+/// signature itself is genuine (minted through the enclave), so only the
+/// policy rules — downgrade rejection, self-approval rejection, the missing
+/// customer principal — stand between this set and a granted escalation.
+priv::ApprovalSet colluding_approval_set(const enforce::SimulatedEnclave& enclave,
+                                         const std::string& technician,
+                                         const std::string& subject);
+
+/// Replica equivocation: rewrites replica `index`'s entry at `sequence` to
+/// `forged_message`, recomputes every later hash so the replica's own chain
+/// still verifies link by link, and reseals through the replica's own
+/// enclave (the attacker owns the host, so the seal and counter are
+/// consistent too). Every *single-replica* check passes afterwards; only
+/// the cross-replica comparison — divergent entry hashes at a sequence the
+/// quorum already sealed — exposes the fork. Returns the pristine replica
+/// so a demo can restore it after detection.
+enforce::ReplicatedAuditLedger::Replica equivocate_replica(
+    enforce::ReplicatedAuditLedger& ledger, std::size_t index, std::size_t sequence,
+    const std::string& forged_message);
+
+/// Restores a replica captured by equivocate_replica (state, seal and
+/// enclave counter all revert to the pristine copy).
+void restore_replica(enforce::ReplicatedAuditLedger& ledger, std::size_t index,
+                     enforce::ReplicatedAuditLedger::Replica pristine);
+
+}  // namespace heimdall::scen

@@ -194,6 +194,11 @@ LoadReport run_load(const LoadSpec& spec) {
   report.artifact_misses = stats.artifact_misses;
   report.audit_intact = manager.enforcer().audit_intact();
   report.audit_entries = manager.enforcer().audit().size();
+  enforce::PolicyEnforcer::LedgerStats ledger_stats = manager.enforcer().ledger_stats();
+  report.audit_replicas = ledger_stats.replicas;
+  report.quorum_commits = ledger_stats.commits;
+  report.quorum_failures = ledger_stats.quorum_failures;
+  report.rejected_acks = ledger_stats.rejected_acks;
   report.slo_breaches = obs::SloTracker::global().total_breaches();
   report.flight_dumps = obs::FlightRecorder::global().dumps();
   report.journal_events = obs::EventJournal::global().appended();
@@ -202,8 +207,8 @@ LoadReport run_load(const LoadSpec& spec) {
   // before the manager (and its sealed chain) goes out of scope.
   statusz.reset();
   if (!spec.audit_out.empty()) {
-    obs::write_string_file(spec.audit_out, manager.enforcer().audit().to_json().dump(),
-                           "audit log");
+    obs::write_string_file(spec.audit_out, manager.enforcer().ledger().to_json().dump(),
+                           "audit ledger");
   }
   return report;
 }

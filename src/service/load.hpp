@@ -35,8 +35,9 @@ struct LoadSpec {
   /// statusz_period_ms during the run (and once at the end).
   std::string statusz_out;
   std::uint64_t statusz_period_ms = 200;
-  /// When non-empty, the sealed audit log is exported here as JSON after
-  /// the drain (obs_report joins it against the journal/trace).
+  /// When non-empty, the replicated audit ledger (all replica chains) is
+  /// exported here as JSON after the drain (obs_report re-verifies every
+  /// replica and joins the leader chain against the journal/trace).
   std::string audit_out;
 };
 
@@ -69,6 +70,12 @@ struct LoadReport {
   std::uint64_t slo_breaches = 0;
   std::uint64_t flight_dumps = 0;
   std::uint64_t journal_events = 0;
+  /// Replicated audit ledger health: replica count, quorum-committed
+  /// appends, appends that missed quorum, and follower acks refused.
+  std::size_t audit_replicas = 0;
+  std::uint64_t quorum_commits = 0;
+  std::uint64_t quorum_failures = 0;
+  std::uint64_t rejected_acks = 0;
 };
 
 /// Runs the load to completion (drains the service, verifies the audit

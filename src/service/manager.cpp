@@ -39,7 +39,8 @@ SessionManager::SessionManager(net::Network production, std::vector<spec::Policy
                 enforce::SimulatedEnclave("heimdall-serve-v1", "hw-root"),
                 enforce::EnforcerOptions{.attribution_threads = 1,
                                          .audit_shards = options.audit_shards,
-                                         .coalesce_waves = options.coalesce_waves}),
+                                         .coalesce_waves = options.coalesce_waves,
+                                         .audit_replicas = options.audit_replicas}),
       queue_(enforcer_, production_, production_mutex_, clock_,
              EnforcementQueue::Options{.max_batch = options.max_batch,
                                        .keep_journal = options.keep_journal}) {
@@ -146,9 +147,69 @@ std::future<SubmitOutcome> SessionManager::submit_changes(TicketSession& session
   submission.actor = session.actor();
   submission.changes = std::move(changes);
   submission.privileges = session.twin().privileges();
+  submission.approvals.gate = options_.approval_gate;
+  submission.approvals.task = session.ticket().task;
+  submission.approvals.subject = twin::ticket_content_hash(session.ticket());
+  submission.approvals.min_required = options_.min_approvals;
+  submission.approvals.approvals = session.approvals();
   submission.baseline = session.twin().baseline_fingerprints();
   submission.context = std::move(context);
   return queue_.submit(std::move(submission));
+}
+
+priv::Approval SessionManager::attest_approval(const std::string& principal,
+                                               priv::PrincipalRole role,
+                                               const msp::Ticket& ticket) const {
+  return enforce::make_attested_approval(enforcer_.enclave(), principal, role,
+                                         twin::ticket_content_hash(ticket));
+}
+
+priv::ApprovalCheck SessionManager::verify_approvals(const priv::ApprovalSet& approvals,
+                                                     const std::string& requester,
+                                                     const msp::Ticket& ticket) const {
+  enforce::SubmissionApprovals context;
+  context.gate = true;
+  context.task = ticket.task;
+  context.subject = twin::ticket_content_hash(ticket);
+  context.min_required = options_.min_approvals;
+  context.approvals = approvals;
+  return enforce::check_submission_approvals(enforcer_.enclave(), context, requester);
+}
+
+std::vector<SessionManager::MediatedEscalation> SessionManager::mediate_escalations(
+    const std::vector<EscalationPetition>& petitions) {
+  std::vector<priv::PendingApproval> pending;
+  std::vector<priv::ApprovalCheck> checks;
+  pending.reserve(petitions.size());
+  checks.reserve(petitions.size());
+  std::vector<std::size_t> valid_counts;
+  for (const EscalationPetition& petition : petitions) {
+    TicketSession& session = *petition.session;
+    checks.push_back(verify_approvals(petition.approvals, session.actor(), session.ticket()));
+    pending.push_back(priv::PendingApproval{session.actor(), petition.request.resource,
+                                            twin::ticket_content_hash(session.ticket()),
+                                            petition.approvals});
+    valid_counts.push_back(checks.back().valid);
+  }
+  std::vector<priv::MediationResult> mediations = priv::mediate_conflicts(pending, valid_counts);
+
+  std::vector<MediatedEscalation> results(petitions.size());
+  for (std::size_t i = 0; i < petitions.size(); ++i) {
+    TicketSession& session = *petitions[i].session;
+    results[i].mediation = mediations[i];
+    if (mediations[i].verdict == priv::MediationVerdict::Proceed) {
+      results[i].escalation = session.twin().request_escalation(petitions[i].request, checks[i]);
+    } else {
+      // Deferred: the request stays pending (no privilege change) and the
+      // technician retries once the winning change lands.
+      results[i].escalation = {priv::EscalationVerdict::RequiresAdmin, mediations[i].reason};
+    }
+    record_event(session.actor(), enforce::AuditCategory::Escalation,
+                 "session #" + std::to_string(session.id()) + " mediated escalation " +
+                     priv::to_string(results[i].escalation.verdict) + ": " +
+                     mediations[i].reason);
+  }
+  return results;
 }
 
 void SessionManager::note_closed(TicketSession& session) {
@@ -168,9 +229,14 @@ void SessionManager::note_closed(TicketSession& session) {
 void SessionManager::check_audit_integrity() {
   obs::EventJournal& journal = obs::EventJournal::global();
   if (!journal.enabled()) return;  // observability off: callers check themselves
-  if (enforcer_.audit_intact()) return;
-  journal.append(obs::EventType::TamperAlert, 0, 0, "service",
-                 "audit chain or sealed head mismatch detected after drain");
+  std::vector<std::string> problems = enforcer_.audit_problems();
+  if (problems.empty()) return;
+  std::string detail = "audit ledger integrity failure after drain: ";
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    if (i != 0) detail += "; ";
+    detail += problems[i];
+  }
+  journal.append(obs::EventType::TamperAlert, 0, 0, "service", detail);
   obs::FlightRecorder::global().trigger("audit_tamper", 0);
 }
 
@@ -232,6 +298,12 @@ std::string SessionManager::statusz_json() const {
   out += ",\"cache_hit_rate\":" +
          std::to_string(registry.gauge("service.cache_hit_rate").value());
   out += ",\"audit_entries\":" + std::to_string(registry.counter("audit.entries").value());
+  enforce::PolicyEnforcer::LedgerStats ledger = enforcer_.ledger_stats();
+  out += ",\"audit_ledger\":{\"replicas\":" + std::to_string(ledger.replicas);
+  out += ",\"quorum_commits\":" + std::to_string(ledger.commits);
+  out += ",\"quorum_failures\":" + std::to_string(ledger.quorum_failures);
+  out += ",\"rejected_acks\":" + std::to_string(ledger.rejected_acks);
+  out += "}";
   // The heimdall.fabric_probe gauge set: scenario shape (scen::fabric_probe)
   // and the compressed reachability footprint (ShardedReachability::compute).
   out += ",\"fabric_probe\":{\"scenario_routers\":" +

@@ -57,6 +57,14 @@ struct ServiceOptions {
   double slo_queue_depth = 128;
   /// Tuning for the verifier's analysis engine.
   analysis::Options engine_options;
+  /// Gate high-impact / out-of-class changes on m-of-n approvals at
+  /// enforcement time (the enclave re-verifies every signature).
+  bool approval_gate = true;
+  /// Policy floor for m — approval sets declaring fewer are rejected
+  /// outright (an m=1 downgrade never passes, satellite bugfix).
+  std::size_t min_approvals = 2;
+  /// Replicas in the enforcer's quorum-appended audit ledger.
+  std::size_t audit_replicas = 3;
 };
 
 /// Point-in-time service counters.
@@ -112,6 +120,39 @@ class SessionManager {
   /// rolling-window latencies + SLO status + journal/flight-recorder state.
   /// Thread-safe; what --statusz-out serves.
   std::string statusz_json() const;
+
+  /// Mints an enclave-attested approval by `principal` over `ticket`'s
+  /// content hash — the signature the enforcer later re-verifies. In a real
+  /// deployment this runs in the principal's attested approval UI; here the
+  /// manager's enclave stands in for that channel.
+  priv::Approval attest_approval(const std::string& principal, priv::PrincipalRole role,
+                                 const msp::Ticket& ticket) const;
+
+  /// Evaluates `approvals` for a request by `requester` against `ticket`'s
+  /// content hash under the service's m-of-n floor.
+  priv::ApprovalCheck verify_approvals(const priv::ApprovalSet& approvals,
+                                       const std::string& requester,
+                                       const msp::Ticket& ticket) const;
+
+  /// One approval-gated escalation competing in a mediation round.
+  struct EscalationPetition {
+    TicketSession* session = nullptr;
+    priv::EscalationRequest request;
+    priv::ApprovalSet approvals;
+  };
+  struct MediatedEscalation {
+    priv::MediationResult mediation;
+    priv::EscalationResult escalation;
+  };
+
+  /// Deterministic mediation of concurrent approval-gated escalations with
+  /// overlapping resource footprints: within each overlapping group only
+  /// the petition holding the most valid approvals is applied; the rest
+  /// come back RequiresAdmin with a "deferred" reason and an unchanged
+  /// privilege spec. Outcomes depend only on petition content, never on
+  /// arrival order (property-tested).
+  std::vector<MediatedEscalation> mediate_escalations(
+      const std::vector<EscalationPetition>& petitions);
 
  private:
   friend class TicketSession;

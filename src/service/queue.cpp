@@ -148,6 +148,7 @@ void EnforcementQueue::process_batch(std::vector<PendingSubmission>& batch) {
       submission.actor = pending.actor;
       submission.changes = pending.changes;
       submission.privileges = pending.privileges;
+      submission.approvals = pending.approvals;
       submission.context = pending.context;
       submissions.push_back(std::move(submission));
     }
@@ -165,6 +166,7 @@ void EnforcementQueue::process_batch(std::vector<PendingSubmission>& batch) {
       entry.actor = batch[i].actor;
       entry.changes = batch[i].changes;
       entry.privileges = batch[i].privileges;
+      entry.approvals = batch[i].approvals;
       record.entries.push_back(std::move(entry));
     }
     journal_.push_back(std::move(record));

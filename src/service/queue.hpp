@@ -50,6 +50,8 @@ struct PendingSubmission {
   std::string actor;
   std::vector<cfg::ConfigChange> changes;
   priv::PrivilegeSpec privileges;
+  /// m-of-n authorization context the enforcer's approval gate evaluates.
+  enforce::SubmissionApprovals approvals;
   /// Twin-creation fingerprints of the slice devices (staleness check).
   std::map<net::DeviceId, util::Sha256Digest> baseline;
   /// The session's trace context, replayed on the worker thread.
@@ -68,6 +70,7 @@ struct BatchRecord {
     std::string actor;
     std::vector<cfg::ConfigChange> changes;
     priv::PrivilegeSpec privileges;
+    enforce::SubmissionApprovals approvals;
   };
   std::vector<Entry> entries;
 };

@@ -44,6 +44,18 @@ priv::EscalationResult TicketSession::request_escalation(const priv::EscalationR
   return twin_.request_escalation(request, admin_approved);
 }
 
+priv::EscalationResult TicketSession::request_escalation(const priv::EscalationRequest& request,
+                                                         const priv::ApprovalSet& approvals) {
+  obs::ScopedContext session_context("session", std::to_string(id_));
+  obs::ScopedContext ticket_context("ticket", std::to_string(ticket().id));
+  priv::ApprovalCheck check = manager_->verify_approvals(approvals, actor_, ticket());
+  priv::EscalationResult result = twin_.request_escalation(request, check);
+  manager_->record_event(actor_, enforce::AuditCategory::Escalation,
+                         "session #" + std::to_string(id_) + " escalation " +
+                             priv::to_string(result.verdict) + ": " + result.reason);
+  return result;
+}
+
 std::vector<cfg::ConfigChange> TicketSession::pending_changes() const {
   return twin_.extract_changes();
 }

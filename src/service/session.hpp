@@ -55,6 +55,19 @@ class TicketSession {
   priv::EscalationResult request_escalation(const priv::EscalationRequest& request,
                                             bool admin_approved = false);
 
+  /// Multi-party escalation: the manager verifies `approvals` (enclave
+  /// attestation, distinct principals, subject == this ticket's content
+  /// hash, m-of-n floor) and a RequiresAdmin verdict only grants when the
+  /// check is satisfied. The audit record carries the approval summary.
+  priv::EscalationResult request_escalation(const priv::EscalationRequest& request,
+                                            const priv::ApprovalSet& approvals);
+
+  /// Attaches the m-of-n approval set submit() ships with the changeset —
+  /// the enforcer re-verifies it inside the enclave before letting any
+  /// high-impact / out-of-class change through.
+  void set_approvals(priv::ApprovalSet approvals) { approvals_ = std::move(approvals); }
+  const priv::ApprovalSet& approvals() const { return approvals_; }
+
   /// The changes a submit() would ship right now.
   std::vector<cfg::ConfigChange> pending_changes() const;
 
@@ -79,6 +92,7 @@ class TicketSession {
   /// alive for the session's lifetime even across cache eviction.
   std::shared_ptr<const twin::TwinArtifacts> artifacts_;
   twin::TwinNetwork twin_;
+  priv::ApprovalSet approvals_;
   bool from_cache_ = false;
   State state_ = State::Open;
 };

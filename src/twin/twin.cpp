@@ -92,6 +92,13 @@ priv::EscalationResult TwinNetwork::request_escalation(const priv::EscalationReq
   return policy.apply(monitor_.mutable_privileges(), request, admin_approved);
 }
 
+priv::EscalationResult TwinNetwork::request_escalation(const priv::EscalationRequest& request,
+                                                       const priv::ApprovalCheck& approvals) {
+  std::vector<DeviceId> devices(slice_.devices.begin(), slice_.devices.end());
+  priv::EscalationPolicy policy(ticket_.task, devices);
+  return policy.apply(monitor_.mutable_privileges(), request, approvals);
+}
+
 std::vector<cfg::ConfigChange> TwinNetwork::extract_changes() const {
   return emulation_.session_changes();
 }

@@ -79,6 +79,12 @@ class TwinNetwork {
   priv::EscalationResult request_escalation(const priv::EscalationRequest& request,
                                             bool admin_approved = false);
 
+  /// Multi-party variant: a RequiresAdmin verdict extends the session's
+  /// privileges only when `approvals` (the service's m-of-n check over the
+  /// ticket content hash) is satisfied.
+  priv::EscalationResult request_escalation(const priv::EscalationRequest& request,
+                                            const priv::ApprovalCheck& approvals);
+
   /// Everything the technician changed, as semantic config changes relative
   /// to the slice snapshot (input to the policy enforcer).
   std::vector<cfg::ConfigChange> extract_changes() const;

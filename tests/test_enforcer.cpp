@@ -6,6 +6,7 @@
 #include "enforcer/enforcer.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "scenarios/adversary.hpp"
 #include "scenarios/builder.hpp"
 #include "scenarios/enterprise.hpp"
 #include "twin/twin.hpp"
@@ -987,6 +988,246 @@ TEST(Enforcer, EndToEndWithTwin) {
   EXPECT_TRUE(report.applied);
   EXPECT_TRUE(spec::PolicyVerifier(policies).verify_network(production).ok());
   EXPECT_TRUE(enforcer.audit_intact());
+}
+
+// ---------------------------------------------------------------- ledger --
+
+TEST(Ledger, QuorumAppendReplicatesToEveryFollower) {
+  ReplicatedAuditLedger ledger(SimulatedEnclave("v1", "hw"), 3);
+  ledger.leader_log().append(1, "tech", AuditCategory::Session, "session open");
+  ledger.leader_log().append(2, "tech", AuditCategory::Command, "show config");
+  QuorumStatus status = ledger.commit_appended();
+  EXPECT_TRUE(status.committed);
+  EXPECT_EQ(status.replicas, 3u);
+  EXPECT_EQ(status.acks, 3u);
+  EXPECT_TRUE(ledger.intact());
+  EXPECT_EQ(ledger.commits(), 1u);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(ledger.replica_for_test(i).log.size(), 2u);
+    EXPECT_EQ(ledger.replica_for_test(i).log.head(), ledger.leader_log().head());
+  }
+}
+
+TEST(Ledger, SingleReplicaDegeneratesToSealedChain) {
+  // replica_count < 1 clamps to 1: the classic single sealed chain.
+  ReplicatedAuditLedger ledger(SimulatedEnclave("v1", "hw"), 0);
+  EXPECT_EQ(ledger.replica_count(), 1u);
+  ledger.leader_log().append(1, "tech", AuditCategory::Session, "solo");
+  QuorumStatus status = ledger.commit_appended();
+  EXPECT_TRUE(status.committed);  // 1 ack of 1 replica is a majority
+  EXPECT_EQ(status.acks, 1u);
+  EXPECT_TRUE(ledger.intact());
+}
+
+TEST(Ledger, DetectsFollowerRollback) {
+  // The attacker restores a follower's older log + matching sealed head
+  // (both internally consistent); the replica's monotonic enclave counter —
+  // which cannot roll back — exposes the stale seal.
+  ReplicatedAuditLedger ledger(SimulatedEnclave("v1", "hw"), 3);
+  ledger.leader_log().append(1, "tech", AuditCategory::Session, "epoch 1");
+  ASSERT_TRUE(ledger.commit_appended().committed);
+  AuditLog stale_log = ledger.replica_for_test(1).log;
+  SealedBlob stale_head = ledger.replica_for_test(1).sealed_head;
+
+  ledger.leader_log().append(2, "tech", AuditCategory::Command, "epoch 2");
+  ASSERT_TRUE(ledger.commit_appended().committed);
+  ASSERT_TRUE(ledger.intact());
+
+  ledger.replica_for_test(1).log = stale_log;
+  ledger.replica_for_test(1).sealed_head = stale_head;
+  EXPECT_FALSE(ledger.intact());
+  bool rollback_flagged = false, length_flagged = false;
+  for (const std::string& problem : ledger.problems()) {
+    rollback_flagged |= problem.find("rollback") != std::string::npos;
+    length_flagged |= problem.find("holds 1 entries") != std::string::npos;
+  }
+  EXPECT_TRUE(rollback_flagged);
+  EXPECT_TRUE(length_flagged);
+}
+
+TEST(Ledger, DetectsInPlaceFollowerTamper) {
+  ReplicatedAuditLedger ledger(SimulatedEnclave("v1", "hw"), 3);
+  ledger.leader_log().append(1, "tech", AuditCategory::Violation, "quarantined: bad acl");
+  ledger.leader_log().append(2, "tech", AuditCategory::Session, "session closed");
+  ASSERT_TRUE(ledger.commit_appended().committed);
+
+  // A naive edit (no re-chaining) breaks the replica's own hash chain.
+  ledger.replica_for_test(2).log.mutable_entries_for_test()[0].message = "nothing happened";
+  EXPECT_FALSE(ledger.intact());
+}
+
+TEST(Ledger, DetectsEquivocationAfterConsistentRewrite) {
+  // The staged attack from scenarios/adversary.hpp: the compromised replica
+  // rewrites an entry, re-chains every later hash and reseals through its
+  // own enclave, so every single-replica check passes — only the
+  // cross-replica comparison catches the fork.
+  ReplicatedAuditLedger ledger(SimulatedEnclave("v1", "hw"), 3);
+  ledger.leader_log().append(1, "tech", AuditCategory::Session, "session open");
+  ledger.leader_log().append(2, "tech", AuditCategory::Violation, "quarantined: bad acl");
+  ledger.leader_log().append(3, "tech", AuditCategory::Session, "session closed");
+  ASSERT_TRUE(ledger.commit_appended().committed);
+
+  auto pristine = scen::equivocate_replica(ledger, 1, 1, "applied: bad acl");
+  // The forged chain still verifies link by link...
+  EXPECT_TRUE(ledger.replica_for_test(1).log.verify_chain());
+  // ...but the ledger flags the divergence at the rewritten sequence.
+  EXPECT_FALSE(ledger.intact());
+  bool equivocation_flagged = false;
+  for (const std::string& problem : ledger.problems())
+    equivocation_flagged |= problem.find("equivocates: divergent entry at sequence 1") !=
+                            std::string::npos;
+  EXPECT_TRUE(equivocation_flagged);
+
+  scen::restore_replica(ledger, 1, std::move(pristine));
+  EXPECT_TRUE(ledger.intact());
+  EXPECT_THROW(scen::equivocate_replica(ledger, 1, 99, "x"), util::Error);
+}
+
+TEST(Ledger, EnforcerRunsReplicatedAndStaysIntact) {
+  EnforcerFixture fixture;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"),
+                          EnforcerOptions{.audit_replicas = 5});
+  util::VirtualClock clock;
+  std::vector<ConfigChange> changes = {
+      {DeviceId("r6"), cfg::OspfCostChange{InterfaceId("Gi0/0"), std::nullopt, 50u}}};
+  EnforcementReport report =
+      enforcer.enforce(fixture.production, changes, fixture.root, clock, "tech");
+  EXPECT_TRUE(report.applied);
+  EXPECT_TRUE(enforcer.audit_intact());
+  PolicyEnforcer::LedgerStats stats = enforcer.ledger_stats();
+  EXPECT_EQ(stats.replicas, 5u);
+  EXPECT_GT(stats.commits, 0u);
+  EXPECT_EQ(stats.quorum_failures, 0u);
+  EXPECT_EQ(stats.rejected_acks, 0u);
+}
+
+// -------------------------------------------------------- approval gating --
+
+TEST(ApprovalGate, NeedsApprovalTaxonomy) {
+  // High-impact actions always need m-of-n sign-off.
+  EXPECT_TRUE(needs_approval(Action::EraseConfig, priv::TaskClass::AclChange));
+  EXPECT_TRUE(needs_approval(Action::Reboot, priv::TaskClass::OspfIssue));
+  // Mutations outside the ticket's task class do too.
+  EXPECT_TRUE(needs_approval(Action::StaticRouteAdd, priv::TaskClass::AclChange));
+  // In-class mutations and reads do not.
+  EXPECT_FALSE(needs_approval(Action::AclEdit, priv::TaskClass::AclChange));
+  EXPECT_FALSE(needs_approval(Action::ShowConfig, priv::TaskClass::Monitoring));
+}
+
+TEST(ApprovalGate, AttestedApprovalRoundTrip) {
+  SimulatedEnclave enclave("v1", "hw");
+  priv::Approval approval = make_attested_approval(enclave, "customer-admin",
+                                                   priv::PrincipalRole::Customer, "hash-1");
+  EXPECT_TRUE(verify_attested_approval(enclave, approval));
+
+  // A doctored statement fails verification.
+  priv::Approval doctored = approval;
+  doctored.subject = "hash-2";
+  EXPECT_FALSE(verify_attested_approval(enclave, doctored));
+  // So does a signature minted against a different hardware root.
+  SimulatedEnclave foreign("v1", "other-hw");
+  EXPECT_FALSE(verify_attested_approval(foreign, approval));
+}
+
+// The honest and colluding submissions the gate tests share: an out-of-class
+// static route on an ACL-class ticket, valid against the enterprise policies.
+std::vector<ConfigChange> out_of_class_route() {
+  return {{DeviceId("r6"),
+           cfg::StaticRouteAdd{net::StaticRoute{Ipv4Prefix::parse("203.0.113.0/24"),
+                                                Ipv4Address::parse("10.1.16.1")}}}};
+}
+
+SubmissionApprovals gated_submission(const SimulatedEnclave& enclave) {
+  SubmissionApprovals approvals;
+  approvals.gate = true;
+  approvals.task = priv::TaskClass::AclChange;
+  approvals.subject = "ticket-hash-1";
+  approvals.min_required = 2;
+  approvals.approvals.required = 2;
+  approvals.approvals.approvals = {
+      make_attested_approval(enclave, "customer-admin", priv::PrincipalRole::Customer,
+                             approvals.subject),
+      make_attested_approval(enclave, "msp-supervisor", priv::PrincipalRole::Msp,
+                             approvals.subject),
+  };
+  return approvals;
+}
+
+TEST(ApprovalGate, SatisfiedMOfNAppliesOutOfClassChange) {
+  EnforcerFixture fixture;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  QuarantineReport report =
+      enforcer.enforce_with_quarantine(fixture.production, out_of_class_route(), fixture.root,
+                                       clock, "tech", gated_submission(enforcer.enclave()));
+  EXPECT_TRUE(report.quarantined.empty());
+  ASSERT_EQ(report.applied_changes.size(), 1u);
+  EXPECT_TRUE(enforcer.audit_intact());
+}
+
+TEST(ApprovalGate, QuarantinesColludingSelfApprovedSet) {
+  EnforcerFixture fixture;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  Network pristine = fixture.production;
+
+  SubmissionApprovals colluding = gated_submission(enforcer.enclave());
+  colluding.approvals =
+      scen::colluding_approval_set(enforcer.enclave(), "tech", colluding.subject);
+  QuarantineReport report = enforcer.enforce_with_quarantine(
+      fixture.production, out_of_class_route(), fixture.root, clock, "tech", colluding);
+  EXPECT_TRUE(report.applied_changes.empty());
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].second.find("approval: "), 0u);
+  EXPECT_NE(report.quarantined[0].second.find("m-of-n downgrade"), std::string::npos);
+  EXPECT_NE(report.quarantined[0].second.find("self-approval by tech"), std::string::npos);
+  EXPECT_EQ(fixture.production, pristine);
+
+  // The interception is on the audit chain.
+  bool audited = false;
+  for (const AuditEntry& entry : enforcer.audit().entries())
+    audited |= entry.message.find("quarantined (approval)") != std::string::npos;
+  EXPECT_TRUE(audited);
+}
+
+TEST(ApprovalGate, UngatedSubmissionBypassesTheGate) {
+  // Legacy path: gate off (the 5-arg overload) never quarantines on
+  // approvals, even for an out-of-class change.
+  EnforcerFixture fixture;
+  PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+  util::VirtualClock clock;
+  QuarantineReport report = enforcer.enforce_with_quarantine(
+      fixture.production, out_of_class_route(), fixture.root, clock, "tech");
+  EXPECT_TRUE(report.quarantined.empty());
+  ASSERT_EQ(report.applied_changes.size(), 1u);
+}
+
+TEST(ApprovalGate, GatedIncrementalMatchesGatedReferenceOracle) {
+  // The bit-identical-oracle property must survive the approval gate: both
+  // pipelines quarantine the same change with the same reason string.
+  auto run = [](bool incremental, const SubmissionApprovals& approvals) {
+    EnforcerFixture fixture;
+    PolicyEnforcer enforcer(fixture.policies, SimulatedEnclave("v1", "hw"));
+    util::VirtualClock clock;
+    std::vector<ConfigChange> session = out_of_class_route();
+    session.push_back({DeviceId("r6"),
+                       cfg::OspfCostChange{InterfaceId("Gi0/0"), std::nullopt, 50u}});
+    return incremental
+               ? enforcer.enforce_with_quarantine(fixture.production, session, fixture.root,
+                                                  clock, "tech", approvals)
+               : enforcer.enforce_with_quarantine_reference(fixture.production, session,
+                                                            fixture.root, clock, "tech",
+                                                            approvals);
+  };
+  SimulatedEnclave enclave("v1", "hw");  // same identity the runs construct
+  for (const SubmissionApprovals& approvals :
+       {gated_submission(enclave),
+        SubmissionApprovals{true, priv::TaskClass::AclChange, "ticket-hash-1", 2,
+                            scen::colluding_approval_set(enclave, "tech", "ticket-hash-1")}}) {
+    QuarantineReport incremental = run(true, approvals);
+    QuarantineReport reference = run(false, approvals);
+    expect_reports_equal(incremental, reference);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 // evaluation semantics, JSON front-end, task-driven generation, escalation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "privilege/approval.hpp"
 #include "privilege/escalation.hpp"
 #include "privilege/explain.hpp"
 #include "privilege/generator.hpp"
@@ -347,6 +352,221 @@ TEST(Escalation, ApplyExtendsSpec) {
   EXPECT_EQ(policy.apply(spec, rejected, /*admin_approved=*/true).verdict,
             EscalationVerdict::Rejected);
   EXPECT_FALSE(spec.allows(Action::EraseConfig, Resource::whole_device(DeviceId("r5"))));
+}
+
+// Regression: an escalation request whose resource carries a glob — or an
+// empty name where the kind identifies objects by name — used to assess as
+// if it named one concrete object, silently widening the grant to every
+// match. Both shapes must be rejected outright.
+TEST(Escalation, RejectsGlobResourceNames) {
+  EscalationPolicy policy(TaskClass::AclChange, {DeviceId("r5")});
+  EscalationResult glob_name =
+      policy.assess({Action::AclEdit, Resource::acl(DeviceId("r5"), "EDGE*"), "all the edges"});
+  EXPECT_EQ(glob_name.verdict, EscalationVerdict::Rejected);
+  EXPECT_NE(glob_name.reason.find("does not name a concrete object"), std::string::npos);
+
+  EscalationResult glob_iface = policy.assess(
+      {Action::InterfaceUp, Resource::interface(DeviceId("r5"), InterfaceId("Gi0/?")), "any"});
+  EXPECT_EQ(glob_iface.verdict, EscalationVerdict::Rejected);
+}
+
+TEST(Escalation, RejectsEmptyNamedObjectResources) {
+  EscalationPolicy policy(TaskClass::AclChange, {DeviceId("r5")});
+  EscalationResult empty_acl =
+      policy.assess({Action::AclEdit, Resource{"r5", ObjectKind::AclObject, ""}, "which acl?"});
+  EXPECT_EQ(empty_acl.verdict, EscalationVerdict::Rejected);
+  EXPECT_NE(empty_acl.reason.find("does not name a concrete object"), std::string::npos);
+
+  // Kinds that do not name sub-objects (whole device, ospf, the route
+  // table) legitimately carry empty names and must still assess normally:
+  // an out-of-class route mutation is admin-gated, not rejected.
+  EXPECT_EQ(policy.assess({Action::StaticRouteAdd, Resource::routes(DeviceId("r5")), "null-route"})
+                .verdict,
+            EscalationVerdict::RequiresAdmin);
+}
+
+// --------------------------------------------------------------- approvals --
+
+Approval signed_approval(const std::string& principal, PrincipalRole role,
+                         const std::string& subject) {
+  return {principal, role, subject, "sig:" + principal + ":" + subject};
+}
+
+// The test stand-in for the enclave: a signature is attested iff it is the
+// one signed_approval would have minted.
+bool fake_attested(const Approval& approval) {
+  return approval.signature == "sig:" + approval.principal + ":" + approval.subject;
+}
+
+TEST(Approvals, JsonRoundTrip) {
+  ApprovalSet set;
+  set.required = 2;
+  set.approvals = {signed_approval("customer-admin", PrincipalRole::Customer, "hash-1"),
+                   signed_approval("msp-supervisor", PrincipalRole::Msp, "hash-1")};
+  ApprovalSet back = approval_set_from_json(approval_set_to_json(set));
+  EXPECT_EQ(back, set);
+
+  ApprovalSet empty;
+  EXPECT_EQ(approval_set_from_json(approval_set_to_json(empty)), empty);
+
+  EXPECT_THROW(approval_set_from_json(util::Json::parse(R"({"approvals": []})")),
+               util::ParseError);
+  EXPECT_THROW(approval_set_from_json(util::Json::parse(R"({"required": -1, "approvals": []})")),
+               util::ParseError);
+  EXPECT_THROW(approval_set_from_json(util::Json::parse(
+                   R"({"required": 1, "approvals": [{"principal": "a"}]})")),
+               util::ParseError);
+  EXPECT_THROW(
+      approval_set_from_json(util::Json::parse(
+          R"({"required": 1,
+              "approvals": [{"principal": "a", "role": "root", "subject": "s", "signature": "x"}]})")),
+      util::ParseError);
+}
+
+TEST(Approvals, CheckHappyPath) {
+  ApprovalSet set;
+  set.required = 2;
+  set.approvals = {signed_approval("customer-admin", PrincipalRole::Customer, "hash-1"),
+                   signed_approval("msp-supervisor", PrincipalRole::Msp, "hash-1")};
+  ApprovalCheck check = check_approvals(set, "technician", "hash-1", 2, fake_attested);
+  EXPECT_TRUE(check.satisfied);
+  EXPECT_EQ(check.valid, 2u);
+  EXPECT_TRUE(check.problems.empty());
+  EXPECT_EQ(check.summary(), "satisfied (2 valid approvals)");
+}
+
+TEST(Approvals, CheckRejectsDowngradeSelfApprovalAndDuplicates) {
+  const std::string subject = "hash-1";
+  // m=1 downgrade: even a genuine signature cannot lower the policy floor.
+  ApprovalSet downgraded;
+  downgraded.required = 1;
+  downgraded.approvals = {signed_approval("customer-admin", PrincipalRole::Customer, subject)};
+  ApprovalCheck check = check_approvals(downgraded, "technician", subject, 2, fake_attested);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_NE(check.summary().find("m-of-n downgrade"), std::string::npos);
+
+  // Self-approval: the requester's own signature never counts.
+  ApprovalSet selfie;
+  selfie.required = 2;
+  selfie.approvals = {signed_approval("technician", PrincipalRole::Customer, subject),
+                      signed_approval("msp-supervisor", PrincipalRole::Msp, subject)};
+  check = check_approvals(selfie, "technician", subject, 2, fake_attested);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_EQ(check.valid, 1u);
+  EXPECT_NE(check.summary().find("self-approval by technician"), std::string::npos);
+
+  // Duplicate principal: the same signer twice is one approval.
+  ApprovalSet duplicated;
+  duplicated.required = 2;
+  duplicated.approvals = {signed_approval("customer-admin", PrincipalRole::Customer, subject),
+                          signed_approval("customer-admin", PrincipalRole::Customer, subject)};
+  check = check_approvals(duplicated, "technician", subject, 2, fake_attested);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_EQ(check.valid, 1u);
+  EXPECT_NE(check.summary().find("duplicate approval"), std::string::npos);
+}
+
+TEST(Approvals, CheckRejectsWrongSubjectBadSignatureAndMissingCustomer) {
+  const std::string subject = "hash-1";
+  // Wrong subject: an approval of some other ticket's content is worthless.
+  ApprovalSet stale;
+  stale.required = 2;
+  stale.approvals = {signed_approval("customer-admin", PrincipalRole::Customer, "hash-0"),
+                     signed_approval("msp-supervisor", PrincipalRole::Msp, subject)};
+  ApprovalCheck check = check_approvals(stale, "technician", subject, 2, fake_attested);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_NE(check.summary().find("covers a different subject"), std::string::npos);
+
+  // Forged signature: attestation fails.
+  ApprovalSet forged;
+  forged.required = 2;
+  forged.approvals = {signed_approval("customer-admin", PrincipalRole::Customer, subject),
+                      {"msp-supervisor", PrincipalRole::Msp, subject, "deadbeef"}};
+  check = check_approvals(forged, "technician", subject, 2, fake_attested);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_NE(check.summary().find("failed attestation"), std::string::npos);
+
+  // Two valid MSP-side approvals still fail without a customer principal.
+  ApprovalSet msp_only;
+  msp_only.required = 2;
+  msp_only.approvals = {signed_approval("msp-supervisor", PrincipalRole::Msp, subject),
+                        signed_approval("msp-oncall", PrincipalRole::Msp, subject)};
+  check = check_approvals(msp_only, "technician", subject, 2, fake_attested);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_EQ(check.valid, 2u);
+  EXPECT_NE(check.summary().find("no customer-side approval"), std::string::npos);
+}
+
+// --------------------------------------------------------------- mediation --
+
+TEST(Mediation, DisjointFootprintsAllProceed) {
+  std::vector<PendingApproval> pending = {
+      {"alice", Resource::acl(DeviceId("r1"), "EDGE1"), "h1", {}},
+      {"bob", Resource::acl(DeviceId("r2"), "EDGE2"), "h2", {}},
+  };
+  std::vector<MediationResult> results = mediate_conflicts(pending, {1, 1});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].verdict, MediationVerdict::Proceed);
+  EXPECT_EQ(results[1].verdict, MediationVerdict::Proceed);
+  EXPECT_EQ(results[0].reason, "mediation: no conflicting request");
+}
+
+TEST(Mediation, StrongestApprovalSetWinsOverlap) {
+  // bob's whole-device footprint covers alice's ACL: one component. bob
+  // holds more valid approvals, so bob proceeds and alice defers.
+  std::vector<PendingApproval> pending = {
+      {"alice", Resource::acl(DeviceId("r1"), "EDGE1"), "h1", {}},
+      {"bob", Resource::whole_device(DeviceId("r1")), "h2", {}},
+  };
+  std::vector<MediationResult> results = mediate_conflicts(pending, {1, 3});
+  EXPECT_EQ(results[0].verdict, MediationVerdict::Deferred);
+  EXPECT_NE(results[0].reason.find("overlaps bob's request"), std::string::npos);
+  EXPECT_EQ(results[1].verdict, MediationVerdict::Proceed);
+
+  EXPECT_THROW(mediate_conflicts(pending, {1}), util::Error);
+}
+
+TEST(Mediation, DeterministicAcrossArrivalOrder) {
+  // Two overlapping groups plus one standalone request; a tie inside the
+  // second group exercises the canonical-key tie-break. Whatever order the
+  // requests arrive in, each requester gets the same verdict.
+  std::vector<PendingApproval> base = {
+      {"alice", Resource::acl(DeviceId("r1"), "EDGE1"), "h1", {}},
+      {"bob", Resource::whole_device(DeviceId("r1")), "h2", {}},
+      {"carol", Resource::ospf(DeviceId("r2")), "h3", {}},
+      {"dave", Resource::whole_device(DeviceId("r3")), "h4", {}},
+      {"erin", Resource::whole_device(DeviceId("r3")), "h5", {}},
+  };
+  std::vector<std::size_t> base_counts = {1, 3, 2, 2, 2};
+
+  std::map<std::string, MediationVerdict> reference;
+  {
+    std::vector<MediationResult> results = mediate_conflicts(base, base_counts);
+    for (std::size_t i = 0; i < base.size(); ++i)
+      reference[base[i].requester] = results[i].verdict;
+  }
+  EXPECT_EQ(reference["bob"], MediationVerdict::Proceed);
+  EXPECT_EQ(reference["alice"], MediationVerdict::Deferred);
+  EXPECT_EQ(reference["carol"], MediationVerdict::Proceed);
+  // dave vs erin tie on approvals: the smaller (subject, requester,
+  // resource) key — dave's h4 — wins deterministically.
+  EXPECT_EQ(reference["dave"], MediationVerdict::Proceed);
+  EXPECT_EQ(reference["erin"], MediationVerdict::Deferred);
+
+  std::vector<std::size_t> order(base.size());
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    std::vector<PendingApproval> pending;
+    std::vector<std::size_t> counts;
+    for (std::size_t index : order) {
+      pending.push_back(base[index]);
+      counts.push_back(base_counts[index]);
+    }
+    std::vector<MediationResult> results = mediate_conflicts(pending, counts);
+    for (std::size_t i = 0; i < pending.size(); ++i)
+      EXPECT_EQ(results[i].verdict, reference[pending[i].requester])
+          << "arrival order changed the verdict for " << pending[i].requester;
+  } while (std::next_permutation(order.begin(), order.end()));
 }
 
 }  // namespace

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "enforcer/audit_sink.hpp"
+#include "scenarios/adversary.hpp"
 #include "obs/flight.hpp"
 #include "obs/journal.hpp"
 #include "obs/rolling.hpp"
@@ -64,7 +66,8 @@ OracleReplay replay_journal(net::Network production, const std::vector<spec::Pol
   for (const BatchRecord& batch : journal) {
     for (const BatchRecord::Entry& entry : batch.entries) {
       replay.reports[entry.session_id] = oracle.enforce_with_quarantine(
-          replay.production, entry.changes, entry.privileges, clock, entry.actor);
+          replay.production, entry.changes, entry.privileges, clock, entry.actor,
+          entry.approvals);
     }
   }
   return replay;
@@ -487,8 +490,206 @@ TEST(Observability, StatuszSnapshotIsParsableAndCurrent) {
   EXPECT_GE(doc.at("audit_entries").as_number(), 1.0);
   EXPECT_TRUE(doc.at("journal").at("enabled").as_bool());
   EXPECT_GT(doc.at("journal").at("appended").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.at("audit_ledger").at("replicas").as_number(), 3.0);
+  EXPECT_GE(doc.at("audit_ledger").at("quorum_commits").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("audit_ledger").at("quorum_failures").as_number(), 0.0);
   EXPECT_TRUE(doc.at("slo").is_array());
   EXPECT_TRUE(doc.at("rolling").is_object());
+}
+
+TEST(AuditSink, RecordStampAndPublishAreAtomicAcrossFlush) {
+  // Regression for the stamp-before-lock race: record() used to take its
+  // global stamp *before* acquiring the shard mutex, so a writer could be
+  // pre-empted between stamping and publishing while a flush drained a
+  // later-stamped entry — the next flush then appended the earlier stamp
+  // after it, and chain order no longer matched stamp order. The pause hook
+  // holds writer A at exactly that point; with the stamp taken inside the
+  // critical section, a concurrent flush must wait for A instead of
+  // overtaking it. Two threads, fully deterministic; runs under TSan in CI.
+  enforce::AuditSink sink(1);  // one shard: both writers and the flush contend
+  std::atomic<bool> paused{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> first{true};
+  sink.set_record_pause_for_test([&] {
+    if (!first.exchange(false)) return;  // only writer A pauses
+    paused = true;
+    while (!release) std::this_thread::yield();
+  });
+
+  std::thread writer_a(
+      [&] { sink.record(1, "writer-a", enforce::AuditCategory::Command, "stamped first"); });
+  while (!paused) std::this_thread::yield();
+
+  std::thread writer_b(
+      [&] { sink.record(2, "writer-b", enforce::AuditCategory::Command, "stamped second"); });
+  enforce::AuditLog chain;
+  std::atomic<bool> flush_done{false};
+  std::thread flusher([&] {
+    sink.flush_into(chain);
+    flush_done = true;
+  });
+
+  // Writer A sits between stamp and publish; the flush must not complete —
+  // under the old ordering it could slip in here and seal writer B's later
+  // stamp first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(flush_done.load());
+
+  release = true;
+  writer_a.join();
+  writer_b.join();
+  flusher.join();
+  sink.flush_into(chain);  // pick up whatever the first flush raced past
+
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_TRUE(chain.verify_chain());
+  EXPECT_EQ(chain.entries()[0].actor, "writer-a");
+  EXPECT_EQ(chain.entries()[1].actor, "writer-b");
+}
+
+// ------------------------------------------------- multi-party approvals --
+
+TEST(Approvals, SatisfiedMOfNEscalationAndSubmit) {
+  net::Network original = scen::build_enterprise();
+  SessionManager manager(original, scen::enterprise_policies(original), {});
+  msp::Ticket ticket = acl_ticket(61, "r6", "border hardening needs a null-route");
+  auto session = manager.open(ticket, "tech-honest");
+
+  priv::ApprovalSet approvals;
+  approvals.required = 2;
+  approvals.approvals = {
+      manager.attest_approval("customer-admin", priv::PrincipalRole::Customer, ticket),
+      manager.attest_approval("msp-supervisor", priv::PrincipalRole::Msp, ticket),
+  };
+  priv::EscalationRequest request{priv::Action::StaticRouteAdd,
+                                  priv::Resource::routes(DeviceId("r6")),
+                                  "null-route a scanner prefix"};
+  priv::EscalationResult escalation = session->request_escalation(request, approvals);
+  EXPECT_EQ(escalation.verdict, priv::EscalationVerdict::RequiresAdmin);
+  EXPECT_NE(escalation.reason.find("satisfied (2 valid approvals)"), std::string::npos);
+
+  EXPECT_TRUE(session->run("route r6 add 203.0.113.0 255.255.255.0 10.1.16.1").ok);
+  session->set_approvals(approvals);
+  SubmitOutcome outcome = session->submit().get();
+  session->close();
+  manager.drain();
+
+  EXPECT_EQ(outcome.report.applied_changes.size(), 1u);
+  EXPECT_TRUE(outcome.report.quarantined.empty());
+  EXPECT_TRUE(manager.enforcer().audit_intact());
+}
+
+TEST(Approvals, ColludingTechnicianQuarantinedBySubmitGate) {
+  // The twin can be social-engineered (legacy single-admin escalation), but
+  // the enforcer re-checks the m-of-n set inside the enclave: a
+  // self-approved m=1 downgrade never reaches production.
+  net::Network original = scen::build_enterprise();
+  SessionManager manager(original, scen::enterprise_policies(original), {});
+  msp::Ticket ticket = acl_ticket(62, "r6", "emergency reroute");
+  auto session = manager.open(ticket, "tech-colluder");
+
+  priv::EscalationRequest request{priv::Action::StaticRouteAdd,
+                                  priv::Resource::routes(DeviceId("r6")), "trust me"};
+  session->request_escalation(request, /*admin_approved=*/true);
+  EXPECT_TRUE(session->run("route r6 add 198.18.0.0 255.255.0.0 10.1.16.1").ok);
+  session->set_approvals(scen::colluding_approval_set(
+      manager.enforcer().enclave(), "tech-colluder", twin::ticket_content_hash(ticket)));
+  SubmitOutcome outcome = session->submit().get();
+  session->close();
+  manager.drain();
+
+  EXPECT_TRUE(outcome.report.applied_changes.empty());
+  ASSERT_EQ(outcome.report.quarantined.size(), 1u);
+  const std::string& reason = outcome.report.quarantined[0].second;
+  EXPECT_EQ(reason.find("approval: "), 0u);
+  EXPECT_NE(reason.find("m-of-n downgrade"), std::string::npos);
+  EXPECT_NE(reason.find("self-approval by tech-colluder"), std::string::npos);
+  EXPECT_NE(reason.find("no customer-side approval"), std::string::npos);
+  EXPECT_TRUE(manager.enforcer().audit_intact());
+}
+
+TEST(Approvals, MediationPicksStrongestPetitionRegardlessOfOrder) {
+  net::Network original = scen::build_enterprise();
+  SessionManager manager(original, scen::enterprise_policies(original), {});
+  msp::Ticket weak_ticket = acl_ticket(63, "r6", "reroute A");
+  msp::Ticket strong_ticket = acl_ticket(64, "r6", "reroute B");
+  priv::EscalationRequest request{priv::Action::StaticRouteAdd,
+                                  priv::Resource::routes(DeviceId("r6")), "overlapping route"};
+
+  auto run_round = [&](bool swap) {
+    auto weak = manager.open(weak_ticket, "tech-weak");
+    auto strong = manager.open(strong_ticket, "tech-strong");
+    priv::ApprovalSet weak_set = scen::colluding_approval_set(
+        manager.enforcer().enclave(), "tech-weak", twin::ticket_content_hash(weak_ticket));
+    priv::ApprovalSet strong_set;
+    strong_set.required = 2;
+    strong_set.approvals = {
+        manager.attest_approval("customer-admin", priv::PrincipalRole::Customer, strong_ticket),
+        manager.attest_approval("msp-supervisor", priv::PrincipalRole::Msp, strong_ticket),
+    };
+    std::vector<SessionManager::EscalationPetition> petitions = {
+        {weak.get(), request, weak_set},
+        {strong.get(), request, strong_set},
+    };
+    if (swap) std::swap(petitions[0], petitions[1]);
+    std::vector<SessionManager::MediatedEscalation> mediated =
+        manager.mediate_escalations(petitions);
+    std::map<std::string, SessionManager::MediatedEscalation> by_actor;
+    for (std::size_t i = 0; i < petitions.size(); ++i)
+      by_actor[petitions[i].session->actor()] = mediated[i];
+    weak->close();
+    strong->close();
+    return by_actor;
+  };
+
+  for (bool swap : {false, true}) {
+    auto outcome = run_round(swap);
+    EXPECT_EQ(outcome["tech-strong"].mediation.verdict, priv::MediationVerdict::Proceed)
+        << "swap=" << swap;
+    EXPECT_EQ(outcome["tech-weak"].mediation.verdict, priv::MediationVerdict::Deferred)
+        << "swap=" << swap;
+    EXPECT_EQ(outcome["tech-weak"].escalation.verdict, priv::EscalationVerdict::RequiresAdmin);
+    EXPECT_NE(outcome["tech-weak"].escalation.reason.find("deferred"), std::string::npos);
+  }
+  manager.drain();
+  EXPECT_TRUE(manager.enforcer().audit_intact());
+}
+
+TEST(Observability, ReplicaEquivocationJournalsTamperAlert) {
+  ObservabilityGuard guard;
+  net::Network original = scen::build_enterprise();
+  ServiceOptions options;
+  options.journal_enabled = true;
+  SessionManager manager(original, scen::enterprise_policies(original), options);
+  obs::FlightRecorder::global().configure({});  // memory-only dumps
+
+  auto session = manager.open(acl_ticket(71, "r2", "benign change"), "alice");
+  session->run("acl r2 create EQ1");
+  session->submit().get();
+  session->close();
+  manager.drain();
+  ASSERT_TRUE(manager.enforcer().audit_intact());
+
+  enforce::ReplicatedAuditLedger& ledger = manager.enforcer().mutable_ledger_for_test();
+  auto pristine = scen::equivocate_replica(ledger, 1, 0, "session #1 opened by ghost-tech");
+  EXPECT_FALSE(manager.enforcer().audit_intact());
+  std::size_t dumps_before = obs::FlightRecorder::global().dumps();
+  manager.drain();  // post-drain integrity check journals the alert
+
+  std::size_t alerts =
+      count_events(obs::EventJournal::global().snapshot(), obs::EventType::TamperAlert);
+  EXPECT_GE(alerts, 1u);
+  bool equivocation_named = false;
+  for (const obs::EventRecord& event : obs::EventJournal::global().snapshot())
+    if (event.type == obs::EventType::TamperAlert)
+      equivocation_named |= event.detail.find("equivocates") != std::string::npos;
+  EXPECT_TRUE(equivocation_named);
+  EXPECT_GT(obs::FlightRecorder::global().dumps(), dumps_before);
+  util::Json dump = util::Json::parse(obs::FlightRecorder::global().last_dump());
+  EXPECT_EQ(dump.at("reason").as_string(), "audit_tamper");
+
+  scen::restore_replica(ledger, 1, std::move(pristine));
+  EXPECT_TRUE(manager.enforcer().audit_intact());
 }
 
 TEST(Stress, LoadHarnessKeepsAuditIntact) {

@@ -92,6 +92,17 @@ OVERHEAD_CEILINGS_NS = {
     "BM_JournalAppend": (2000.0, "enabled journal append"),
 }
 
+# Relative overhead ceilings: (slow path, reference path, max ratio, label).
+# The quorum-replicated audit append pays for rollback/equivocation
+# detection with a bounded number of extra hashes per entry (3 chain
+# appends, 3 reseals, 2 seal verifications); if it drifts past the ceiling
+# relative to the bare chain append, replication has stopped being O(1)
+# per entry.
+OVERHEAD_RATIO_CEILINGS = [
+    ("BM_QuorumAppend", "BM_AuditAppend", 40.0,
+     "quorum-replicated append vs bare chain append (3 replicas)"),
+]
+
 # Absolute build-time ceilings (ns): compiling a scenario's forwarding plane
 # (FIB flattening into the DIR-24-8 tables + L2 precompute) must stay cheap
 # enough to run per snapshot. The ceiling is ~20x the observed cost on a
@@ -228,6 +239,24 @@ def ceiling_check(benchmarks, ceilings):
     return failures
 
 
+def ratio_ceiling_check(benchmarks):
+    """Asserts slow-path / reference-path overhead ratios stay bounded."""
+    failures = []
+    for slow, reference, max_ratio, label in OVERHEAD_RATIO_CEILINGS:
+        if slow not in benchmarks or reference not in benchmarks:
+            continue  # filtered run; nothing to compare
+        slow_ns = benchmarks[slow]["real_time_ns"]
+        reference_ns = benchmarks[reference]["real_time_ns"]
+        ratio = slow_ns / reference_ns if reference_ns else float("inf")
+        status = "ok" if ratio <= max_ratio else "REGRESSION"
+        print(f"  {label}: {ratio:.2f}x (ceiling {max_ratio:g}x) [{status}]")
+        if ratio > max_ratio:
+            failures.append(
+                f"{label} costs {ratio:.2f}x the reference, over the "
+                f"{max_ratio:g}x ceiling")
+    return failures
+
+
 def matrix_byte_check(benchmarks):
     """Asserts the compressed reachability store stayed under its ceiling."""
     failures = []
@@ -269,6 +298,14 @@ def load_check(baseline):
     floor("LG_tickets", 1000, "load_gen tickets sustained")
     floor("LG_technicians", 8, "load_gen concurrent sessions")
     floor("LG_throughput_tps", 1, "load_gen throughput (tickets/s)")
+    floor("LG_audit_replicas", 3, "load_gen audit ledger replicas")
+    floor("LG_quorum_commits", 1, "load_gen quorum-committed appends")
+    quorum_failures = rows.get("LG_quorum_failures", 0)
+    status = "ok" if quorum_failures == 0 else "FAIL"
+    print(f"  load_gen quorum failures: {quorum_failures:g} (required 0) [{status}]")
+    if quorum_failures > 0:
+        failures.append(
+            f"load_gen saw {quorum_failures:g} audit appends miss quorum")
     if "LG_p99_ms" in rows:
         print(f"  load_gen latency: p50 {rows.get('LG_p50_ms', 0):.2f} ms, "
               f"p95 {rows.get('LG_p95_ms', 0):.2f} ms, "
@@ -308,6 +345,8 @@ def main():
     failures = smoke_check(baseline)
     print("instrumentation overhead check:")
     failures += ceiling_check(baseline["benchmarks"], OVERHEAD_CEILINGS_NS)
+    print("replication overhead check:")
+    failures += ratio_ceiling_check(baseline["benchmarks"])
     print("plane compile-time check:")
     failures += ceiling_check(baseline["benchmarks"], COMPILE_CEILINGS_NS)
     print("sharded matrix memory check:")

@@ -6,8 +6,8 @@
 //   load_gen --serialized            # one-enforcement-per-ticket baseline
 //
 // tools/bench_baseline.py merges the report into BENCH_micro.json as LG_*
-// rows and asserts the service-level floors (audit chain intact, ticket
-// count, concurrency).
+// rows and asserts the service-level floors (audit chain intact, every
+// ledger append quorum-committed, ticket count, concurrency).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -55,6 +55,10 @@ std::string report_json(const heimdall::service::LoadSpec& spec,
   out << "  \"artifact_hits\": " << report.artifact_hits << ",\n";
   out << "  \"artifact_misses\": " << report.artifact_misses << ",\n";
   out << "  \"audit_entries\": " << report.audit_entries << ",\n";
+  out << "  \"audit_replicas\": " << report.audit_replicas << ",\n";
+  out << "  \"quorum_commits\": " << report.quorum_commits << ",\n";
+  out << "  \"quorum_failures\": " << report.quorum_failures << ",\n";
+  out << "  \"rejected_acks\": " << report.rejected_acks << ",\n";
   out << "  \"mean_queue_wait_us\": " << report.mean_queue_wait_us << ",\n";
   out << "  \"mean_analyze_us\": " << report.mean_analyze_us << ",\n";
   out << "  \"mean_verify_us\": " << report.mean_verify_us << ",\n";
@@ -135,6 +139,10 @@ int main(int argc, char** argv) {
   }
   if (!report.audit_intact) {
     std::cerr << "FATAL: audit chain not intact after load\n";
+    return 1;
+  }
+  if (report.quorum_failures > 0) {
+    std::cerr << "FATAL: " << report.quorum_failures << " audit appends missed quorum\n";
     return 1;
   }
   return 0;

@@ -1,7 +1,7 @@
 // obs_report: joins the three observability exports of one service run —
 // the structured event journal (--journal-out), the Chrome trace
-// (--trace-out) and the sealed audit log (--audit-out) — into per-ticket
-// end-to-end timelines, and cross-checks them against each other:
+// (--trace-out) and the replicated audit ledger (--audit-out) — into
+// per-ticket end-to-end timelines, and cross-checks them against each other:
 //
 //   * every journal ticket must have a complete lifecycle (open -> submit ->
 //     queue enqueue/dequeue -> verify verdict -> close);
@@ -10,7 +10,8 @@
 //   * every verified ticket must appear in the audit chain (otherwise the
 //     timeline is unaudited — work without evidence);
 //   * trace spans carrying a ticket arg must join a known timeline;
-//   * the audit hash chain must re-verify offline.
+//   * every replica's audit hash chain must re-verify offline, and the
+//     replicas must agree entry-for-entry (divergence = equivocation).
 //
 // Exit status is 0 only when every cross-check passes, which is what the CI
 // load_gen smoke step asserts.
@@ -108,6 +109,7 @@ struct Report {
   std::uint64_t journal_dropped = 0;
   std::size_t service_events = 0;  ///< journal events with no ticket/session
   std::size_t audit_entries = 0;
+  std::size_t audit_replicas = 0;
   std::size_t service_audit_records = 0;
   std::size_t trace_spans = 0;
   bool audit_chain_checked = false;
@@ -174,14 +176,50 @@ void ingest_journal(Report& report, const Json& document) {
 }
 
 void ingest_audit(Report& report, const Json& document) {
-  // Offline forensics first: rebuild the log and re-verify the hash chain.
-  heimdall::enforce::AuditLog log = heimdall::enforce::AuditLog::from_json(document);
+  // Offline forensics first: rebuild the chains and re-verify every one.
+  // A replicated-ledger export carries a "replicas" array of chains; a
+  // legacy export is one bare log. Replica 0 (the leader) drives the
+  // ticket joining either way.
+  std::vector<heimdall::enforce::AuditLog> replicas;
+  if (const Json* array = document.find("replicas")) {
+    for (const Json& item : array->as_array())
+      replicas.push_back(heimdall::enforce::AuditLog::from_json(item));
+  }
+  if (replicas.empty()) replicas.push_back(heimdall::enforce::AuditLog::from_json(document));
+
+  const heimdall::enforce::AuditLog& log = replicas.front();
   report.audit_entries = log.size();
+  report.audit_replicas = replicas.size();
   report.audit_chain_checked = true;
-  report.audit_chain_intact = log.verify_chain();
-  if (!report.audit_chain_intact)
-    report.problems.push_back("audit chain does NOT re-verify (first corrupt index " +
-                              std::to_string(log.first_corrupt_index()) + ")");
+  report.audit_chain_intact = true;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (replicas[i].verify_chain()) continue;
+    report.audit_chain_intact = false;
+    report.problems.push_back("audit replica " + std::to_string(i) +
+                              " chain does NOT re-verify (first corrupt index " +
+                              std::to_string(replicas[i].first_corrupt_index()) + ")");
+  }
+  // Cross-replica comparison: a replica whose chain verifies but disagrees
+  // with the leader entry-for-entry sealed a different history.
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    const auto& follower = replicas[i].entries();
+    const auto& leader = log.entries();
+    std::size_t common = std::min(leader.size(), follower.size());
+    for (std::size_t seq = 0; seq < common; ++seq) {
+      if (follower[seq].hash == leader[seq].hash) continue;
+      report.audit_chain_intact = false;
+      report.problems.push_back("audit replica " + std::to_string(i) +
+                                " equivocates: diverges from the leader at sequence " +
+                                std::to_string(seq));
+      break;
+    }
+    if (follower.size() != leader.size()) {
+      report.audit_chain_intact = false;
+      report.problems.push_back("audit replica " + std::to_string(i) + " holds " +
+                                std::to_string(follower.size()) + " entries, leader holds " +
+                                std::to_string(leader.size()));
+    }
+  }
 
   static const std::regex ticket_re("ticket #(-?[0-9]+)");
   static const std::regex session_re("session #([0-9]+)");
@@ -296,6 +334,7 @@ Json report_json(const Report& report) {
   out.set("journal_dropped", Json(report.journal_dropped));
   out.set("service_events", Json(report.service_events));
   out.set("audit_entries", Json(report.audit_entries));
+  out.set("audit_replicas", Json(report.audit_replicas));
   out.set("service_audit_records", Json(report.service_audit_records));
   out.set("trace_spans", Json(report.trace_spans));
   if (report.audit_chain_checked) out.set("audit_chain_intact", Json(report.audit_chain_intact));
